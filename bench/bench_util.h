@@ -1,0 +1,42 @@
+// Shared helpers for the benchmark harness. Every bench prints the same
+// rows/series the paper's figures plot. Default sizes are scaled down so
+// the whole suite runs in minutes; set UNICLEAN_BENCH_SCALE=<n> to multiply
+// the data sizes toward paper scale.
+
+#ifndef UNICLEAN_BENCH_BENCH_UTIL_H_
+#define UNICLEAN_BENCH_BENCH_UTIL_H_
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+namespace uniclean {
+namespace bench {
+
+/// Data-size multiplier from the environment (default 1).
+inline int Scale() {
+  const char* s = std::getenv("UNICLEAN_BENCH_SCALE");
+  if (s == nullptr) return 1;
+  int v = std::atoi(s);
+  return v >= 1 ? v : 1;
+}
+
+/// Wall-clock seconds of a callable.
+template <typename F>
+double Seconds(F&& f) {
+  auto start = std::chrono::steady_clock::now();
+  f();
+  auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(end - start).count();
+}
+
+inline void Header(const char* figure, const char* claim) {
+  std::printf("==== %s ====\n", figure);
+  std::printf("# %s\n", claim);
+}
+
+}  // namespace bench
+}  // namespace uniclean
+
+#endif  // UNICLEAN_BENCH_BENCH_UTIL_H_

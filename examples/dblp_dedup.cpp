@@ -1,0 +1,48 @@
+// Bibliography deduplication: the paper's DBLP scenario. Shows that
+// repairing helps matching (§8 Exp-2): sorted-neighborhood matching on the
+// dirty data misses duplicates whose corrupted keys sort far from their
+// master record; cleaning the data first recovers them.
+
+#include <cstdio>
+
+#include "baselines/sortn.h"
+#include "eval/metrics.h"
+#include "gen/dataset.h"
+#include "uniclean/uniclean.h"
+
+using namespace uniclean;  // NOLINT
+
+int main() {
+  gen::GeneratorConfig config;
+  config.num_tuples = 2000;
+  config.master_size = 500;
+  config.noise_rate = 0.08;
+  config.dup_rate = 0.4;
+  config.seed = 4711;
+  gen::Dataset ds = gen::GenerateDblp(config);
+
+  std::printf("DBLP: %d publications, %d master records, %zu true matches\n\n",
+              ds.dirty.size(), ds.master.size(), ds.true_matches.size());
+
+  baselines::SortNOptions sortn_opts;
+  sortn_opts.window = 5;
+  auto sortn = baselines::SortedNeighborhoodMatch(ds.dirty, ds.master,
+                                                  ds.rules.mds(), sortn_opts);
+  auto sortn_pr = eval::MatchAccuracy(sortn, ds.true_matches);
+  std::printf("SortN(MD) on dirty data:   %4zu matches  P %.3f  R %.3f  F %.3f\n",
+              sortn.size(), sortn_pr.precision, sortn_pr.recall,
+              sortn_pr.F());
+
+  data::Relation cleaned = ds.dirty.Clone();
+  core::UniCleanOptions options;
+  options.eta = 1.0;
+  core::UniClean(&cleaned, ds.master, ds.rules, options);
+  auto uni = baselines::FindAllMatches(cleaned, ds.master, ds.rules.mds());
+  auto uni_pr = eval::MatchAccuracy(uni, ds.true_matches);
+  std::printf("Uni (repair, then match):  %4zu matches  P %.3f  R %.3f  F %.3f\n",
+              uni.size(), uni_pr.precision, uni_pr.recall, uni_pr.F());
+
+  std::printf("\nrepairing helps matching: F %.3f -> %.3f\n", sortn_pr.F(),
+              uni_pr.F());
+  return uni_pr.F() >= sortn_pr.F() ? 0 : 1;
+}

@@ -1,0 +1,31 @@
+#include "baselines/quaid.h"
+
+#include "common/check.h"
+
+namespace uniclean {
+namespace baselines {
+
+QuaidStats Quaid(data::Relation* d, const rules::RuleSet& ruleset) {
+  UC_CHECK(d != nullptr);
+  // A CFD-only rule set over the same schemas.
+  auto cfd_only = rules::RuleSet::Make(ruleset.data_schema_ptr(),
+                                       ruleset.master_schema_ptr(),
+                                       ruleset.cfds(), {});
+  UC_CHECK(cfd_only.ok()) << cfd_only.status().ToString();
+  // Clear fix marks: quaid has no notion of deterministic fixes.
+  for (data::TupleId t = 0; t < d->size(); ++t) {
+    for (data::AttributeId a = 0; a < d->schema().arity(); ++a) {
+      d->mutable_tuple(t).set_mark(a, data::FixMark::kNone);
+    }
+  }
+  data::Relation empty_master(ruleset.master_schema_ptr());
+  core::HRepairStats stats =
+      core::HRepair(d, empty_master, cfd_only.value(), {});
+  QuaidStats out;
+  out.fixes = stats.possible_fixes;
+  out.passes = stats.passes;
+  return out;
+}
+
+}  // namespace baselines
+}  // namespace uniclean

@@ -1,0 +1,30 @@
+// The `quaid` baseline of §8: the heuristic CFD-only repairing algorithm of
+// [Cong et al. 2007], i.e. the paper's comparison system that treats
+// repairing as an isolated process — no MDs, no master data, no
+// deterministic/reliable phases. Implemented by running the hRepair engine
+// over the CFDs alone, starting from unmarked data.
+
+#ifndef UNICLEAN_BASELINES_QUAID_H_
+#define UNICLEAN_BASELINES_QUAID_H_
+
+#include "core/hrepair.h"
+#include "data/relation.h"
+#include "rules/ruleset.h"
+
+namespace uniclean {
+namespace baselines {
+
+struct QuaidStats {
+  int fixes = 0;
+  int passes = 0;
+};
+
+/// Repairs `*d` against the CFDs of `ruleset` only, with the heuristic
+/// equivalence-class method. MDs and fix marks are ignored (all cells are
+/// equally changeable, as in the original system).
+QuaidStats Quaid(data::Relation* d, const rules::RuleSet& ruleset);
+
+}  // namespace baselines
+}  // namespace uniclean
+
+#endif  // UNICLEAN_BASELINES_QUAID_H_

@@ -1,0 +1,45 @@
+// SortN: the sorted-neighborhood record matching baseline of [Hernandez &
+// Stolfo 1998], used by §8's Exp-2 as the matching-only comparison
+// (SortN(MD)). Data and master tuples are projected onto a sorting key
+// derived from each MD's premise, sorted together, and premises are
+// verified only within a sliding window — the classic blocking scheme that
+// misses matches whose dirty key values sort far apart (which is exactly
+// what repairing-before-matching recovers).
+
+#ifndef UNICLEAN_BASELINES_SORTN_H_
+#define UNICLEAN_BASELINES_SORTN_H_
+
+#include <utility>
+#include <vector>
+
+#include "data/relation.h"
+#include "rules/md.h"
+
+namespace uniclean {
+namespace baselines {
+
+struct SortNOptions {
+  /// Sliding window size over the merged sorted list.
+  int window = 10;
+};
+
+/// A discovered match: data tuple `t` refers to the same entity as master
+/// tuple `s`.
+using MatchPair = std::pair<data::TupleId, data::TupleId>;
+
+/// Runs sorted-neighborhood matching for each normalized MD in `mds` and
+/// returns the union of discovered (t, s) pairs, sorted and deduplicated.
+std::vector<MatchPair> SortedNeighborhoodMatch(
+    const data::Relation& d, const data::Relation& dm,
+    const std::vector<rules::Md>& mds, const SortNOptions& options = {});
+
+/// Exhaustive matcher (used on cleaned data for Exp-2's Uni line): all
+/// (t, s) pairs whose premise holds for some MD, via the blocking index.
+std::vector<MatchPair> FindAllMatches(const data::Relation& d,
+                                      const data::Relation& dm,
+                                      const std::vector<rules::Md>& mds);
+
+}  // namespace baselines
+}  // namespace uniclean
+
+#endif  // UNICLEAN_BASELINES_SORTN_H_

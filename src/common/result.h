@@ -1,0 +1,66 @@
+// Result<T>: a value-or-Status holder (the StatusOr / arrow::Result idiom).
+
+#ifndef UNICLEAN_COMMON_RESULT_H_
+#define UNICLEAN_COMMON_RESULT_H_
+
+#include <optional>
+#include <utility>
+
+#include "common/check.h"
+#include "common/status.h"
+
+namespace uniclean {
+
+/// Holds either a T or a non-OK Status explaining why no T is available.
+template <typename T>
+class Result {
+ public:
+  /// Implicit construction from a value (the common success path).
+  Result(T value) : value_(std::move(value)) {}  // NOLINT(runtime/explicit)
+
+  /// Implicit construction from a non-OK status.
+  Result(Status status) : status_(std::move(status)) {  // NOLINT
+    UC_CHECK(!status_.ok()) << "Result constructed from OK status";
+  }
+
+  bool ok() const { return value_.has_value(); }
+
+  const Status& status() const { return status_; }
+
+  /// Requires ok().
+  const T& value() const& {
+    UC_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    UC_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    UC_CHECK(ok()) << "Result::value() on error: " << status_.ToString();
+    return std::move(*value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  std::optional<T> value_;
+  Status status_;  // OK when value_ holds a T.
+};
+
+/// Propagates the error of a Result expression, otherwise assigns its value.
+#define UC_ASSIGN_OR_RETURN(lhs, expr)              \
+  auto UC_CONCAT_(_uc_result_, __LINE__) = (expr);  \
+  if (!UC_CONCAT_(_uc_result_, __LINE__).ok())      \
+    return UC_CONCAT_(_uc_result_, __LINE__).status(); \
+  lhs = std::move(UC_CONCAT_(_uc_result_, __LINE__)).value()
+
+#define UC_CONCAT_IMPL_(a, b) a##b
+#define UC_CONCAT_(a, b) UC_CONCAT_IMPL_(a, b)
+
+}  // namespace uniclean
+
+#endif  // UNICLEAN_COMMON_RESULT_H_

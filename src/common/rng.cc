@@ -1,0 +1,26 @@
+#include "common/rng.h"
+
+#include <cmath>
+
+namespace uniclean {
+
+size_t Rng::SkewedIndex(size_t n, double skew) {
+  UC_CHECK_GT(n, 0u);
+  // Inverse-CDF sampling of a truncated Pareto-like distribution; cheap and
+  // good enough for value-frequency skew in synthetic data.
+  double u = NextDouble();
+  double x = std::pow(u, skew + 1.0);
+  size_t idx = static_cast<size_t>(x * static_cast<double>(n));
+  return idx >= n ? n - 1 : idx;
+}
+
+std::string Rng::RandomWord(size_t length) {
+  std::string out;
+  out.reserve(length);
+  for (size_t i = 0; i < length; ++i) {
+    out.push_back(static_cast<char>('a' + Uniform(0, 25)));
+  }
+  return out;
+}
+
+}  // namespace uniclean

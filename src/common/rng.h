@@ -1,0 +1,74 @@
+// Deterministic random number generation. All generators and noise injectors
+// take an explicit seed so every experiment in the paper reproduction is
+// bit-for-bit repeatable.
+
+#ifndef UNICLEAN_COMMON_RNG_H_
+#define UNICLEAN_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace uniclean {
+
+/// Thin deterministic wrapper around std::mt19937_64 with the sampling
+/// helpers the data generators need.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] (inclusive). Requires lo <= hi.
+  int64_t Uniform(int64_t lo, int64_t hi) {
+    UC_CHECK_LE(lo, hi);
+    return std::uniform_int_distribution<int64_t>(lo, hi)(engine_);
+  }
+
+  /// Uniform double in [0, 1).
+  double NextDouble() {
+    return std::uniform_real_distribution<double>(0.0, 1.0)(engine_);
+  }
+
+  /// Bernoulli draw with probability p of true.
+  bool Bernoulli(double p) { return NextDouble() < p; }
+
+  /// Uniformly chosen element of a non-empty vector.
+  template <typename T>
+  const T& Choice(const std::vector<T>& items) {
+    UC_CHECK(!items.empty());
+    return items[static_cast<size_t>(Uniform(0, items.size() - 1))];
+  }
+
+  /// Uniformly chosen index in [0, n).
+  size_t Index(size_t n) {
+    UC_CHECK_GT(n, 0u);
+    return static_cast<size_t>(Uniform(0, static_cast<int64_t>(n) - 1));
+  }
+
+  /// Zipf-like skewed index in [0, n): smaller indices more likely.
+  /// Used to give generated attribute values realistic frequency skew.
+  size_t SkewedIndex(size_t n, double skew = 1.0);
+
+  /// Random lowercase ASCII string of the given length.
+  std::string RandomWord(size_t length);
+
+  /// Fisher-Yates shuffle.
+  template <typename T>
+  void Shuffle(std::vector<T>* items) {
+    if (items->empty()) return;
+    for (size_t i = items->size() - 1; i > 0; --i) {
+      std::swap((*items)[i], (*items)[Index(i + 1)]);
+    }
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace uniclean
+
+#endif  // UNICLEAN_COMMON_RNG_H_

@@ -1,0 +1,236 @@
+// A self-balancing AVL tree with multiset semantics, the ordered half of the
+// "2-in-1" structure of §6.3: eRepair keys conflict groups by entropy and
+// walks them in ascending order, resolving the most certain groups first and
+// stopping at the entropy threshold δ2.
+
+#ifndef UNICLEAN_CORE_AVL_TREE_H_
+#define UNICLEAN_CORE_AVL_TREE_H_
+
+#include <algorithm>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "common/check.h"
+
+namespace uniclean {
+namespace core {
+
+/// AVL tree mapping ordered keys to values; duplicate keys allowed.
+template <typename Key, typename Value, typename Compare = std::less<Key>>
+class AvlTree {
+ public:
+  explicit AvlTree(Compare cmp = Compare()) : cmp_(std::move(cmp)) {}
+
+  int size() const { return size_; }
+  bool empty() const { return size_ == 0; }
+
+  void Insert(const Key& key, Value value) {
+    root_ = Insert(std::move(root_), key, std::move(value));
+    ++size_;
+  }
+
+  /// Removes one entry with exactly this (key, value); value must be
+  /// equality-comparable. Returns true if an entry was removed.
+  bool Erase(const Key& key, const Value& value) {
+    bool erased = false;
+    root_ = Erase(std::move(root_), key, value, &erased);
+    if (erased) --size_;
+    return erased;
+  }
+
+  /// In-order visit of entries with key < bound; the visitor returns false
+  /// to stop early.
+  void VisitBelow(const Key& bound,
+                  const std::function<bool(const Key&, const Value&)>& visit)
+      const {
+    bool keep_going = true;
+    VisitBelow(root_.get(), bound, visit, &keep_going);
+  }
+
+  /// In-order visit of all entries.
+  void VisitAll(
+      const std::function<bool(const Key&, const Value&)>& visit) const {
+    bool keep_going = true;
+    VisitAll(root_.get(), visit, &keep_going);
+  }
+
+  /// Smallest key (requires !empty()).
+  const Key& MinKey() const {
+    UC_CHECK(!empty());
+    const Node* n = root_.get();
+    while (n->left) n = n->left.get();
+    return n->key;
+  }
+
+  /// Height of the tree (0 for empty); exposed for balance tests.
+  int Height() const { return Height(root_.get()); }
+
+  /// Validates AVL invariants (ordering + balance); for tests.
+  bool CheckInvariants() const {
+    bool ok = true;
+    CheckNode(root_.get(), nullptr, nullptr, &ok);
+    return ok;
+  }
+
+ private:
+  struct Node {
+    Key key;
+    Value value;
+    std::unique_ptr<Node> left;
+    std::unique_ptr<Node> right;
+    int height = 1;
+
+    Node(const Key& k, Value v) : key(k), value(std::move(v)) {}
+  };
+  using NodePtr = std::unique_ptr<Node>;
+
+  static int Height(const Node* n) { return n ? n->height : 0; }
+  static int Balance(const Node* n) {
+    return n ? Height(n->left.get()) - Height(n->right.get()) : 0;
+  }
+  static void Update(Node* n) {
+    n->height = 1 + std::max(Height(n->left.get()), Height(n->right.get()));
+  }
+
+  static NodePtr RotateRight(NodePtr y) {
+    NodePtr x = std::move(y->left);
+    y->left = std::move(x->right);
+    Update(y.get());
+    x->right = std::move(y);
+    Update(x.get());
+    return x;
+  }
+
+  static NodePtr RotateLeft(NodePtr x) {
+    NodePtr y = std::move(x->right);
+    x->right = std::move(y->left);
+    Update(x.get());
+    y->left = std::move(x);
+    Update(y.get());
+    return y;
+  }
+
+  static NodePtr Rebalance(NodePtr n) {
+    Update(n.get());
+    int balance = Balance(n.get());
+    if (balance > 1) {
+      if (Balance(n->left.get()) < 0) n->left = RotateLeft(std::move(n->left));
+      return RotateRight(std::move(n));
+    }
+    if (balance < -1) {
+      if (Balance(n->right.get()) > 0) {
+        n->right = RotateRight(std::move(n->right));
+      }
+      return RotateLeft(std::move(n));
+    }
+    return n;
+  }
+
+  NodePtr Insert(NodePtr n, const Key& key, Value value) {
+    if (!n) return std::make_unique<Node>(key, std::move(value));
+    if (cmp_(key, n->key)) {
+      n->left = Insert(std::move(n->left), key, std::move(value));
+    } else {
+      n->right = Insert(std::move(n->right), key, std::move(value));
+    }
+    return Rebalance(std::move(n));
+  }
+
+  NodePtr Erase(NodePtr n, const Key& key, const Value& value, bool* erased) {
+    if (!n) return n;
+    if (cmp_(key, n->key)) {
+      n->left = Erase(std::move(n->left), key, value, erased);
+    } else if (cmp_(n->key, key)) {
+      n->right = Erase(std::move(n->right), key, value, erased);
+    } else if (n->value == value) {
+      *erased = true;
+      if (!n->left) return std::move(n->right);
+      if (!n->right) return std::move(n->left);
+      // Replace with in-order successor.
+      Node* succ = n->right.get();
+      while (succ->left) succ = succ->left.get();
+      n->key = succ->key;
+      n->value = succ->value;
+      bool dummy = false;
+      n->right = EraseExact(std::move(n->right), succ, &dummy);
+    } else {
+      // Equal keys, different value: the match may be in either subtree
+      // (duplicates are inserted to the right, but rotations move them).
+      n->right = Erase(std::move(n->right), key, value, erased);
+      if (!*erased) n->left = Erase(std::move(n->left), key, value, erased);
+    }
+    if (!n) return n;
+    return Rebalance(std::move(n));
+  }
+
+  /// Erases the specific node `target` (by address) from the subtree.
+  NodePtr EraseExact(NodePtr n, const Node* target, bool* erased) {
+    if (!n) return n;
+    if (n.get() == target) {
+      *erased = true;
+      if (!n->left) return std::move(n->right);
+      if (!n->right) return std::move(n->left);
+      Node* succ = n->right.get();
+      while (succ->left) succ = succ->left.get();
+      n->key = succ->key;
+      n->value = succ->value;
+      bool dummy = false;
+      n->right = EraseExact(std::move(n->right), succ, &dummy);
+    } else if (cmp_(target->key, n->key)) {
+      n->left = EraseExact(std::move(n->left), target, erased);
+      if (!*erased) n->right = EraseExact(std::move(n->right), target, erased);
+    } else {
+      n->right = EraseExact(std::move(n->right), target, erased);
+      if (!*erased) n->left = EraseExact(std::move(n->left), target, erased);
+    }
+    return Rebalance(std::move(n));
+  }
+
+  void VisitBelow(const Node* n, const Key& bound,
+                  const std::function<bool(const Key&, const Value&)>& visit,
+                  bool* keep_going) const {
+    if (!n || !*keep_going) return;
+    VisitBelow(n->left.get(), bound, visit, keep_going);
+    if (!*keep_going) return;
+    if (!cmp_(n->key, bound)) return;  // n->key >= bound: stop this branch
+    if (!visit(n->key, n->value)) {
+      *keep_going = false;
+      return;
+    }
+    VisitBelow(n->right.get(), bound, visit, keep_going);
+  }
+
+  void VisitAll(const Node* n,
+                const std::function<bool(const Key&, const Value&)>& visit,
+                bool* keep_going) const {
+    if (!n || !*keep_going) return;
+    VisitAll(n->left.get(), visit, keep_going);
+    if (!*keep_going) return;
+    if (!visit(n->key, n->value)) {
+      *keep_going = false;
+      return;
+    }
+    VisitAll(n->right.get(), visit, keep_going);
+  }
+
+  void CheckNode(const Node* n, const Key* lo, const Key* hi, bool* ok) const {
+    if (!n || !*ok) return;
+    if (lo && cmp_(n->key, *lo)) *ok = false;
+    if (hi && cmp_(*hi, n->key)) *ok = false;
+    if (std::abs(Balance(n)) > 1) *ok = false;
+    int expected = 1 + std::max(Height(n->left.get()), Height(n->right.get()));
+    if (n->height != expected) *ok = false;
+    CheckNode(n->left.get(), lo, &n->key, ok);
+    CheckNode(n->right.get(), &n->key, hi, ok);
+  }
+
+  Compare cmp_;
+  NodePtr root_;
+  int size_ = 0;
+};
+
+}  // namespace core
+}  // namespace uniclean
+
+#endif  // UNICLEAN_CORE_AVL_TREE_H_

@@ -1,0 +1,34 @@
+#include "core/cost_model.h"
+
+#include "common/check.h"
+#include "similarity/metrics.h"
+
+namespace uniclean {
+namespace core {
+
+double CellCost(const data::Value& from, double cf, const data::Value& to) {
+  if (from == to) return 0.0;
+  if (from.is_null() || to.is_null()) {
+    // Treat null as maximally distant: dis/max = 1.
+    return cf;
+  }
+  return cf * similarity::NormalizedEditDistance(from.str(), to.str());
+}
+
+double RepairCost(const data::Relation& original,
+                  const data::Relation& repaired) {
+  UC_CHECK_EQ(original.size(), repaired.size());
+  UC_CHECK_EQ(original.schema().arity(), repaired.schema().arity());
+  double cost = 0.0;
+  for (data::TupleId t = 0; t < original.size(); ++t) {
+    for (data::AttributeId a = 0; a < original.schema().arity(); ++a) {
+      cost += CellCost(original.tuple(t).value(a),
+                       original.tuple(t).confidence(a),
+                       repaired.tuple(t).value(a));
+    }
+  }
+  return cost;
+}
+
+}  // namespace core
+}  // namespace uniclean

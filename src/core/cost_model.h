@@ -1,0 +1,26 @@
+// The repair cost model of §3.1:
+//   cost(Dr, D) = Σ_t Σ_A  t[A].cf * dis(t[A], t'[A]) / max(|t[A]|, |t'[A]|)
+// The higher the confidence of the original value and the further the new
+// value, the more a change costs. Used by hRepair to pick cheap resolutions
+// and to report repair quality.
+
+#ifndef UNICLEAN_CORE_COST_MODEL_H_
+#define UNICLEAN_CORE_COST_MODEL_H_
+
+#include "data/relation.h"
+
+namespace uniclean {
+namespace core {
+
+/// Cost of changing one cell from `from` (with confidence `cf`) to `to`.
+/// Changing to/from null costs as a full-length edit; a no-op costs 0.
+double CellCost(const data::Value& from, double cf, const data::Value& to);
+
+/// cost(Dr, D) over all cells; relations must have equal schema and size.
+double RepairCost(const data::Relation& original,
+                  const data::Relation& repaired);
+
+}  // namespace core
+}  // namespace uniclean
+
+#endif  // UNICLEAN_CORE_COST_MODEL_H_

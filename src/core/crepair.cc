@@ -1,0 +1,262 @@
+#include "core/crepair.h"
+
+#include <deque>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+
+namespace uniclean {
+namespace core {
+
+namespace {
+
+using data::AttributeId;
+using data::FixMark;
+using data::Relation;
+using data::TupleId;
+using data::Value;
+using rules::Cfd;
+using rules::Md;
+using rules::RuleId;
+using rules::RuleSet;
+
+std::string LhsKey(const data::Tuple& t,
+                   const std::vector<AttributeId>& attrs) {
+  std::string key;
+  for (AttributeId a : attrs) {
+    key += t.value(a).str();
+    key.push_back('\x1f');
+  }
+  return key;
+}
+
+/// One entry of the per-variable-CFD hash table Hϕ (§5.2): the pending
+/// tuples of a group ∆(ȳ) and the group's asserted RHS value once known.
+struct GroupEntry {
+  bool val_set = false;
+  Value val;
+  std::vector<TupleId> list;
+};
+
+/// The full state of one cRepair run (Fig. 4's indexing structures).
+class CRepairRun {
+ public:
+  CRepairRun(Relation* d, const Relation& dm, const RuleSet& ruleset,
+             const CRepairOptions& options)
+      : d_(*d), dm_(dm), ruleset_(ruleset), options_(options) {
+    const size_t n = static_cast<size_t>(d_.size());
+    const size_t r = static_cast<size_t>(ruleset_.num_rules());
+    const size_t arity = static_cast<size_t>(d_.schema().arity());
+    asserted_.assign(n * arity, 0);
+    in_pending_.assign(n * r, 0);
+    count_.assign(n * r, 0);
+
+    rules_by_lhs_attr_.assign(arity, {});
+    lhs_required_.assign(r, 0);
+    for (RuleId rule = 0; rule < ruleset_.num_rules(); ++rule) {
+      std::vector<AttributeId> unique_lhs = ruleset_.DataLhs(rule);
+      std::sort(unique_lhs.begin(), unique_lhs.end());
+      unique_lhs.erase(std::unique(unique_lhs.begin(), unique_lhs.end()),
+                       unique_lhs.end());
+      lhs_required_[static_cast<size_t>(rule)] =
+          static_cast<int>(unique_lhs.size());
+      for (AttributeId a : unique_lhs) {
+        rules_by_lhs_attr_[static_cast<size_t>(a)].push_back(rule);
+      }
+      if (ruleset_.kind(rule) == rules::RuleKind::kVariableCfd) {
+        groups_[rule];  // create the hash table Hϕ
+      }
+      if (!ruleset_.IsCfd(rule)) {
+        matchers_.emplace(rule, std::make_unique<MdMatcher>(
+                                    ruleset_.md(rule), dm_, options_.matcher));
+      }
+    }
+  }
+
+  CRepairStats Run() {
+    // Initialization (Fig. 4 lines 1-6): assert every cell with cf >= η.
+    for (TupleId t = 0; t < d_.size(); ++t) {
+      // Rules with an empty premise apply unconditionally.
+      for (RuleId rule = 0; rule < ruleset_.num_rules(); ++rule) {
+        if (lhs_required_[static_cast<size_t>(rule)] == 0) {
+          worklist_.emplace_back(t, rule);
+        }
+      }
+      for (AttributeId a : ruleset_.RuleAttributes()) {
+        if (d_.tuple(t).confidence(a) >= options_.eta) {
+          Update(t, a);
+        }
+      }
+    }
+    // Main loop (Fig. 4 lines 7-15).
+    while (!worklist_.empty()) {
+      auto [t, rule] = worklist_.front();
+      worklist_.pop_front();
+      ++stats_.rule_applications;
+      switch (ruleset_.kind(rule)) {
+        case rules::RuleKind::kVariableCfd:
+          VCfdInfer(t, rule);
+          break;
+        case rules::RuleKind::kConstantCfd:
+          CCfdInfer(t, rule);
+          break;
+        case rules::RuleKind::kMd:
+          MdInfer(t, rule);
+          break;
+      }
+    }
+    return stats_;
+  }
+
+ private:
+  size_t CellIndex(TupleId t, AttributeId a) const {
+    return static_cast<size_t>(t) *
+               static_cast<size_t>(d_.schema().arity()) +
+           static_cast<size_t>(a);
+  }
+  size_t RuleIndex(TupleId t, RuleId rule) const {
+    return static_cast<size_t>(t) *
+               static_cast<size_t>(ruleset_.num_rules()) +
+           static_cast<size_t>(rule);
+  }
+
+  bool Asserted(TupleId t, AttributeId a) const {
+    return asserted_[CellIndex(t, a)] != 0;
+  }
+
+  /// Procedure update (Fig. 5): t[A] has just become asserted.
+  void Update(TupleId t, AttributeId a) {
+    size_t cell = CellIndex(t, a);
+    if (asserted_[cell]) return;  // propagate each assertion exactly once
+    asserted_[cell] = 1;
+    for (RuleId rule : rules_by_lhs_attr_[static_cast<size_t>(a)]) {
+      size_t idx = RuleIndex(t, rule);
+      if (++count_[idx] == lhs_required_[static_cast<size_t>(rule)]) {
+        worklist_.emplace_back(t, rule);
+      }
+    }
+    // Variable CFDs waiting in P[t] whose RHS is A: t may now be the donor.
+    for (auto& [rule, table] : groups_) {
+      if (ruleset_.DataRhs(rule) != a) continue;
+      size_t idx = RuleIndex(t, rule);
+      if (!in_pending_[idx]) continue;
+      in_pending_[idx] = 0;
+      auto it = table.find(LhsKey(d_.tuple(t), ruleset_.cfd(rule).lhs()));
+      if (it == table.end() || !it->second.val_set) {
+        worklist_.emplace_back(t, rule);
+      } else if (it->second.val != d_.tuple(t).value(a)) {
+        ++stats_.conflicts;
+      }
+    }
+  }
+
+  /// Writes `v` into t[A] (confidence η), marking a deterministic fix when
+  /// the value actually changes, then propagates.
+  void Fix(TupleId t, AttributeId a, const Value& v) {
+    data::Tuple& tuple = d_.mutable_tuple(t);
+    if (tuple.value(a) != v) {
+      tuple.set_value(a, v);
+      tuple.set_mark(a, FixMark::kDeterministic);
+      ++stats_.deterministic_fixes;
+    } else {
+      ++stats_.confidence_upgrades;
+    }
+    tuple.set_confidence(a, options_.eta);
+    Update(t, a);
+  }
+
+  /// Procedure vCFDInfer (Fig. 5).
+  void VCfdInfer(TupleId t, RuleId rule) {
+    const Cfd& cfd = ruleset_.cfd(rule);
+    if (!cfd.MatchesLhs(d_.tuple(t))) return;
+    const AttributeId b = cfd.rhs()[0];
+    GroupEntry& entry =
+        groups_[rule][LhsKey(d_.tuple(t), cfd.lhs())];
+    if (Asserted(t, b)) {
+      if (!entry.val_set) {
+        // t supplies the group's asserted value; fix everyone waiting.
+        entry.val_set = true;
+        entry.val = d_.tuple(t).value(b);
+        for (TupleId waiting : entry.list) {
+          if (waiting == t || Asserted(waiting, b)) continue;
+          Fix(waiting, b, entry.val);
+        }
+        entry.list.clear();
+      } else if (entry.val != d_.tuple(t).value(b)) {
+        ++stats_.conflicts;  // two asserted donors disagree (§5.1(3)(c))
+      }
+      return;
+    }
+    if (entry.val_set) {
+      Fix(t, b, entry.val);
+    } else {
+      entry.list.push_back(t);
+      in_pending_[RuleIndex(t, rule)] = 1;  // P[t].add(ξ)
+    }
+  }
+
+  /// Procedure cCFDInfer (Fig. 5).
+  void CCfdInfer(TupleId t, RuleId rule) {
+    const Cfd& cfd = ruleset_.cfd(rule);
+    if (!cfd.MatchesLhs(d_.tuple(t))) return;
+    const AttributeId b = cfd.rhs()[0];
+    const Value target(cfd.rhs_pattern()[0].constant());
+    if (Asserted(t, b)) {
+      if (d_.tuple(t).value(b) != target) ++stats_.conflicts;
+      return;
+    }
+    Fix(t, b, target);
+  }
+
+  /// Procedure MDInfer (Fig. 5).
+  void MdInfer(TupleId t, RuleId rule) {
+    const Md& md = ruleset_.md(rule);
+    auto it = matchers_.find(rule);
+    UC_CHECK(it != matchers_.end());
+    TupleId s = it->second->FindFirstMatch(d_.tuple(t));
+    if (s < 0) return;
+    stats_.md_matches.emplace_back(t, s);
+    const rules::MdAction& action = md.actions()[0];
+    const Value& master_value = dm_.tuple(s).value(action.master_attr);
+    if (master_value.is_null()) return;
+    if (Asserted(t, action.data_attr)) {
+      if (d_.tuple(t).value(action.data_attr) != master_value) {
+        ++stats_.conflicts;
+      }
+      return;
+    }
+    Fix(t, action.data_attr, master_value);
+  }
+
+  Relation& d_;
+  const Relation& dm_;
+  const RuleSet& ruleset_;
+  const CRepairOptions& options_;
+  CRepairStats stats_;
+
+  std::vector<uint8_t> asserted_;    // per cell
+  std::vector<uint8_t> in_pending_;  // P[t] membership, per (t, rule)
+  std::vector<int> count_;           // count[t, ξ], per (t, rule)
+  std::vector<int> lhs_required_;    // |unique LHS(ξ)|
+  std::vector<std::vector<RuleId>> rules_by_lhs_attr_;
+  std::unordered_map<RuleId, std::unordered_map<std::string, GroupEntry>>
+      groups_;  // Hϕ per variable CFD
+  std::unordered_map<RuleId, std::unique_ptr<MdMatcher>> matchers_;
+  std::deque<std::pair<TupleId, RuleId>> worklist_;  // the queues Q[t]
+};
+
+}  // namespace
+
+CRepairStats CRepair(Relation* d, const Relation& dm, const RuleSet& ruleset,
+                     const CRepairOptions& options) {
+  UC_CHECK(d != nullptr);
+  CRepairRun run(d, dm, ruleset, options);
+  return run.Run();
+}
+
+}  // namespace core
+}  // namespace uniclean

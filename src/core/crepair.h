@@ -1,0 +1,55 @@
+// cRepair (§5, Figs. 4-5): deterministic fixes with data confidence. A
+// cleaning rule is applied to a tuple only when every premise attribute is
+// asserted (confidence >= η) and the target attribute is not; the written
+// cell is then itself asserted (cf := η, per Fig. 5 / Example 5.2) and the
+// change propagates recursively through the per-tuple queues.
+
+#ifndef UNICLEAN_CORE_CREPAIR_H_
+#define UNICLEAN_CORE_CREPAIR_H_
+
+#include <cstdint>
+#include <utility>
+#include <vector>
+
+#include "core/md_matcher.h"
+#include "data/relation.h"
+#include "rules/ruleset.h"
+
+namespace uniclean {
+namespace core {
+
+struct CRepairOptions {
+  /// Confidence threshold η: cells at or above are asserted correct.
+  double eta = 0.8;
+  /// Options for MD candidate retrieval (suffix-tree blocking, §5.2).
+  MdMatcherOptions matcher;
+};
+
+struct CRepairStats {
+  /// Cells whose value changed, marked FixMark::kDeterministic.
+  int deterministic_fixes = 0;
+  /// Cells whose value was confirmed by a rule and upgraded to cf = η
+  /// without changing (Fig. 5 assigns unconditionally; only real changes are
+  /// counted as fixes).
+  int confidence_upgrades = 0;
+  /// Rule pops from the per-tuple queues (diagnostics).
+  int64_t rule_applications = 0;
+  /// Asserted-vs-asserted disagreements encountered (the paper assumes
+  /// confidence is placed correctly, so these indicate bad confidence).
+  int conflicts = 0;
+  /// Record matches identified while cleaning: (data tuple, master tuple)
+  /// pairs whose MD premise held when an MD rule was applied. Used by the
+  /// Exp-2 evaluation ("repairing helps matching").
+  std::vector<std::pair<data::TupleId, data::TupleId>> md_matches;
+};
+
+/// Runs cRepair in place: fixes cells of `d`, upgrades their confidence and
+/// marks them deterministic. Returns statistics.
+CRepairStats CRepair(data::Relation* d, const data::Relation& dm,
+                     const rules::RuleSet& ruleset,
+                     const CRepairOptions& options = {});
+
+}  // namespace core
+}  // namespace uniclean
+
+#endif  // UNICLEAN_CORE_CREPAIR_H_

@@ -1,0 +1,261 @@
+#include "core/erepair.h"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.h"
+#include "core/avl_tree.h"
+#include "reasoning/dependency_graph.h"
+
+namespace uniclean {
+namespace core {
+
+namespace {
+
+using data::AttributeId;
+using data::FixMark;
+using data::Relation;
+using data::TupleId;
+using data::Value;
+using rules::Cfd;
+using rules::Md;
+using rules::RuleId;
+using rules::RuleSet;
+
+std::string LhsKey(const data::Tuple& t,
+                   const std::vector<AttributeId>& attrs) {
+  std::string key;
+  for (AttributeId a : attrs) {
+    key += t.value(a).str();
+    key.push_back('\x1f');
+  }
+  return key;
+}
+
+class ERepairRun {
+ public:
+  ERepairRun(Relation* d, const Relation& dm, const RuleSet& ruleset,
+             const ERepairOptions& options)
+      : d_(*d), dm_(dm), ruleset_(ruleset), options_(options) {
+    change_count_.assign(static_cast<size_t>(d_.size()) *
+                             static_cast<size_t>(d_.schema().arity()),
+                         0);
+    for (RuleId rule = 0; rule < ruleset_.num_rules(); ++rule) {
+      if (!ruleset_.IsCfd(rule)) {
+        matchers_.emplace(rule, std::make_unique<MdMatcher>(
+                                    ruleset_.md(rule), dm_, options_.matcher));
+      }
+    }
+  }
+
+  ERepairStats Run() {
+    // §6.2: sort the rules via the dependency graph (SCC condensation in
+    // topological order, out/in-degree ratio within SCCs).
+    reasoning::DependencyGraph graph(ruleset_);
+    std::vector<RuleId> order = graph.ApplicationOrder();
+    touched_prev_.assign(static_cast<size_t>(d_.size()), 1);  // pass 1: all
+    touched_cur_.assign(static_cast<size_t>(d_.size()), 0);
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      ++stats_.passes;
+      for (RuleId rule : order) {
+        int before = stats_.reliable_fixes;
+        switch (ruleset_.kind(rule)) {
+          case rules::RuleKind::kVariableCfd:
+            VCfdResolve(rule);
+            break;
+          case rules::RuleKind::kConstantCfd:
+            CCfdResolve(rule);
+            break;
+          case rules::RuleKind::kMd:
+            MdResolve(rule);
+            break;
+        }
+        if (stats_.reliable_fixes != before) changed = true;
+      }
+      std::swap(touched_prev_, touched_cur_);
+      touched_cur_.assign(touched_cur_.size(), 0);
+    }
+    return stats_;
+  }
+
+ private:
+  size_t CellIndex(TupleId t, AttributeId a) const {
+    return static_cast<size_t>(t) *
+               static_cast<size_t>(d_.schema().arity()) +
+           static_cast<size_t>(a);
+  }
+
+  /// A cell may be rewritten unless it is a deterministic fix, asserted by
+  /// confidence, or already rewritten δ1 times.
+  bool Changeable(TupleId t, AttributeId a) const {
+    const data::Tuple& tuple = d_.tuple(t);
+    if (tuple.mark(a) == FixMark::kDeterministic) return false;
+    if (tuple.confidence(a) >= options_.eta) return false;
+    return change_count_[CellIndex(t, a)] < options_.delta1;
+  }
+
+  void ApplyFix(TupleId t, AttributeId a, const Value& v) {
+    data::Tuple& tuple = d_.mutable_tuple(t);
+    UC_CHECK(tuple.value(a) != v);
+    tuple.set_value(a, v);
+    tuple.set_mark(a, FixMark::kReliable);
+    ++change_count_[CellIndex(t, a)];
+    ++stats_.reliable_fixes;
+    touched_cur_[static_cast<size_t>(t)] = 1;
+  }
+
+  /// Procedure vCFDReslove (§6.2) backed by the 2-in-1 structure of §6.3:
+  /// a hash table from group key to the group's member list and value
+  /// counts, plus an AVL tree keyed by entropy for the ascending walk.
+  void VCfdResolve(RuleId rule) {
+    const Cfd& cfd = ruleset_.cfd(rule);
+    const AttributeId b = cfd.rhs()[0];
+    struct Group {
+      std::vector<TupleId> members;
+      std::map<std::string, int> value_counts;
+    };
+    std::unordered_map<std::string, Group> table;  // HTab of Fig. 9
+    for (TupleId t = 0; t < d_.size(); ++t) {
+      const data::Tuple& tuple = d_.tuple(t);
+      if (!cfd.MatchesLhs(tuple)) continue;
+      if (tuple.value(b).is_null()) continue;  // satisfies trivially (§7)
+      Group& g = table[LhsKey(tuple, cfd.lhs())];
+      g.members.push_back(t);
+      ++g.value_counts[tuple.value(b).str()];
+    }
+    // AVL tree T of Fig. 9: only groups with nonzero entropy appear.
+    AvlTree<double, const Group*> tree;
+    for (const auto& [key, group] : table) {
+      if (group.value_counts.size() <= 1) continue;
+      std::vector<int> counts;
+      counts.reserve(group.value_counts.size());
+      for (const auto& [value, c] : group.value_counts) counts.push_back(c);
+      tree.Insert(GroupEntropy(counts), &group);
+    }
+    int skipped = tree.size();
+    tree.VisitBelow(
+        options_.delta2,
+        [this, b](double entropy, const Group* const& group) {
+          (void)entropy;
+          ResolveGroup(*group, b);
+          return true;
+        });
+    // Everything not visited had entropy >= δ2.
+    stats_.groups_skipped_high_entropy += skipped - resolved_this_call_;
+    stats_.groups_resolved += resolved_this_call_;
+    resolved_this_call_ = 0;
+  }
+
+  template <typename Group>
+  void ResolveGroup(const Group& group, AttributeId b) {
+    ++resolved_this_call_;
+    // Majority value; ties break to the lexicographically smallest so the
+    // outcome is deterministic.
+    const std::string* best = nullptr;
+    int best_count = -1;
+    for (const auto& [value, count] : group.value_counts) {
+      if (count > best_count) {
+        best = &value;
+        best_count = count;
+      }
+    }
+    UC_CHECK(best != nullptr);
+    Value target(*best);
+    for (TupleId t : group.members) {
+      if (d_.tuple(t).value(b) == target) continue;
+      if (!Changeable(t, b)) continue;
+      ApplyFix(t, b, target);
+    }
+  }
+
+  /// Procedure cCFDReslove (§6.2).
+  void CCfdResolve(RuleId rule) {
+    const Cfd& cfd = ruleset_.cfd(rule);
+    const AttributeId b = cfd.rhs()[0];
+    const Value target(cfd.rhs_pattern()[0].constant());
+    for (TupleId t = 0; t < d_.size(); ++t) {
+      const data::Tuple& tuple = d_.tuple(t);
+      if (!cfd.MatchesLhs(tuple)) continue;
+      if (cfd.RhsSatisfied(tuple)) continue;
+      if (!Changeable(t, b)) continue;
+      ApplyFix(t, b, target);
+    }
+  }
+
+  /// Procedure MDReslove (§6.2).
+  void MdResolve(RuleId rule) {
+    const Md& md = ruleset_.md(rule);
+    const rules::MdAction& action = md.actions()[0];
+    const MdMatcher& matcher = *matchers_.at(rule);
+    for (TupleId t = 0; t < d_.size(); ++t) {
+      // MD premises depend only on this tuple and the static master data:
+      // skip tuples untouched since the previous pass.
+      if (!touched_prev_[static_cast<size_t>(t)] &&
+          !touched_cur_[static_cast<size_t>(t)]) {
+        continue;
+      }
+      TupleId s = matcher.FindFirstMatch(d_.tuple(t));
+      if (s < 0) continue;
+      stats_.md_matches.emplace_back(t, s);
+      const Value& master_value = dm_.tuple(s).value(action.master_attr);
+      if (master_value.is_null()) continue;
+      if (Value::SqlEquals(d_.tuple(t).value(action.data_attr),
+                           master_value) &&
+          !d_.tuple(t).value(action.data_attr).is_null()) {
+        continue;
+      }
+      if (d_.tuple(t).value(action.data_attr) == master_value) continue;
+      if (!Changeable(t, action.data_attr)) continue;
+      ApplyFix(t, action.data_attr, master_value);
+    }
+  }
+
+  Relation& d_;
+  const Relation& dm_;
+  const RuleSet& ruleset_;
+  const ERepairOptions& options_;
+  ERepairStats stats_;
+  int resolved_this_call_ = 0;
+
+  std::vector<int> change_count_;  // per cell
+  std::unordered_map<RuleId, std::unique_ptr<MdMatcher>> matchers_;
+  std::vector<uint8_t> touched_prev_;  // tuples changed in the last pass
+  std::vector<uint8_t> touched_cur_;   // tuples changed in this pass
+};
+
+}  // namespace
+
+double GroupEntropy(const std::vector<int>& counts) {
+  UC_CHECK(!counts.empty());
+  const size_t k = counts.size();
+  if (k <= 1) return 0.0;
+  double n = 0;
+  for (int c : counts) {
+    UC_CHECK_GT(c, 0);
+    n += c;
+  }
+  double h = 0.0;
+  const double log_k = std::log(static_cast<double>(k));
+  for (int c : counts) {
+    double p = static_cast<double>(c) / n;
+    h += p * (std::log(1.0 / p) / log_k);
+  }
+  return h;
+}
+
+ERepairStats ERepair(Relation* d, const Relation& dm, const RuleSet& ruleset,
+                     const ERepairOptions& options) {
+  UC_CHECK(d != nullptr);
+  ERepairRun run(d, dm, ruleset, options);
+  return run.Run();
+}
+
+}  // namespace core
+}  // namespace uniclean

@@ -1,0 +1,57 @@
+// eRepair (§6, Fig. 6): reliable fixes with information entropy. Rules are
+// applied in the dependency-graph order of §6.2; conflicts among the tuples
+// of a variable-CFD group ∆(ȳ) are resolved to the majority value when the
+// group's entropy H(ϕ|Y=ȳ) is below the threshold δ2; each cell may be
+// rewritten at most δ1 times ("update threshold"), which bounds oscillation
+// and guarantees termination. Deterministic fixes from cRepair are never
+// overwritten, and neither are asserted cells (cf >= η).
+
+#ifndef UNICLEAN_CORE_EREPAIR_H_
+#define UNICLEAN_CORE_EREPAIR_H_
+
+#include "core/md_matcher.h"
+#include "data/relation.h"
+#include "rules/ruleset.h"
+
+namespace uniclean {
+namespace core {
+
+struct ERepairOptions {
+  /// Update threshold δ1: maximum rewrites per cell.
+  int delta1 = 5;
+  /// Entropy threshold δ2: groups with H(ϕ|Y=ȳ) < δ2 are resolved.
+  double delta2 = 0.8;
+  /// Cells with confidence >= eta are treated as asserted and not modified.
+  double eta = 0.8;
+  MdMatcherOptions matcher;
+};
+
+struct ERepairStats {
+  /// Record matches identified while cleaning (see CRepairStats).
+  std::vector<std::pair<data::TupleId, data::TupleId>> md_matches;
+  /// Cells rewritten and marked FixMark::kReliable.
+  int reliable_fixes = 0;
+  /// Variable-CFD groups resolved via entropy.
+  int groups_resolved = 0;
+  /// Groups left alone because their entropy was >= δ2.
+  int groups_skipped_high_entropy = 0;
+  /// Full passes over the rule order until fixpoint.
+  int passes = 0;
+};
+
+/// Entropy of a variable CFD for one group (§6.1):
+///   H = Σ_i (c_i/n) * log_k(n/c_i)
+/// where the c_i are the frequencies of the k distinct RHS values and
+/// n = Σ c_i. H is 0 when the group agrees (k = 1) and 1 when all values
+/// are equally frequent. `counts` must be non-empty with positive entries.
+double GroupEntropy(const std::vector<int>& counts);
+
+/// Runs eRepair in place; returns statistics.
+ERepairStats ERepair(data::Relation* d, const data::Relation& dm,
+                     const rules::RuleSet& ruleset,
+                     const ERepairOptions& options = {});
+
+}  // namespace core
+}  // namespace uniclean
+
+#endif  // UNICLEAN_CORE_EREPAIR_H_

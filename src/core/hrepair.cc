@@ -1,0 +1,440 @@
+#include "core/hrepair.h"
+
+#include <limits>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/check.h"
+#include "core/cost_model.h"
+#include "core/equivalence.h"
+
+namespace uniclean {
+namespace core {
+
+namespace {
+
+using data::AttributeId;
+using data::FixMark;
+using data::Relation;
+using data::TupleId;
+using data::Value;
+using rules::Cfd;
+using rules::Md;
+using rules::RuleId;
+using rules::RuleSet;
+
+constexpr double kInfeasible = std::numeric_limits<double>::infinity();
+
+std::string LhsKey(const data::Tuple& t,
+                   const std::vector<AttributeId>& attrs) {
+  std::string key;
+  for (AttributeId a : attrs) {
+    key += t.value(a).str();
+    key.push_back('\x1f');
+  }
+  return key;
+}
+
+class HRepairRun {
+ public:
+  HRepairRun(Relation* d, const Relation& dm, const RuleSet& ruleset,
+             const HRepairOptions& options)
+      : view_(*d),
+        original_(d->Clone()),
+        dm_(dm),
+        ruleset_(ruleset),
+        eq_(d->size(), d->schema().arity()) {
+    for (RuleId rule = 0; rule < ruleset_.num_rules(); ++rule) {
+      if (!ruleset_.IsCfd(rule)) {
+        matchers_.emplace(rule, std::make_unique<MdMatcher>(
+                                    ruleset_.md(rule), dm_, options.matcher));
+      }
+    }
+    // Corollary 7.1: deterministic fixes are preserved — freeze them.
+    for (TupleId t = 0; t < view_.size(); ++t) {
+      for (AttributeId a = 0; a < view_.schema().arity(); ++a) {
+        if (view_.tuple(t).mark(a) == FixMark::kDeterministic) {
+          eq_.Freeze(eq_.Cell(t, a), view_.tuple(t).value(a));
+        }
+      }
+    }
+  }
+
+  HRepairStats Run() {
+    touched_prev_.assign(static_cast<size_t>(view_.size()), 1);  // pass 1: all
+    touched_cur_.assign(static_cast<size_t>(view_.size()), 0);
+    bool changed = true;
+    while (changed) {
+      changed = false;
+      ++stats_.passes;
+      for (RuleId rule = 0; rule < ruleset_.num_rules(); ++rule) {
+        switch (ruleset_.kind(rule)) {
+          case rules::RuleKind::kConstantCfd:
+            changed |= ResolveConstantCfd(rule);
+            break;
+          case rules::RuleKind::kVariableCfd:
+            changed |= ResolveVariableCfd(rule);
+            break;
+          case rules::RuleKind::kMd:
+            changed |= ResolveMd(rule);
+            break;
+        }
+      }
+      std::swap(touched_prev_, touched_cur_);
+      touched_cur_.assign(touched_cur_.size(), 0);
+    }
+    // Mark every cell whose value changed in this phase as a possible fix.
+    for (TupleId t = 0; t < view_.size(); ++t) {
+      for (AttributeId a = 0; a < view_.schema().arity(); ++a) {
+        if (view_.tuple(t).value(a) != original_.tuple(t).value(a)) {
+          view_.mutable_tuple(t).set_mark(a, FixMark::kPossible);
+          ++stats_.possible_fixes;
+        }
+      }
+    }
+    return stats_;
+  }
+
+ private:
+  /// Pushes the class target of `cell`'s class into the view and marks the
+  /// affected tuples for re-probing in the next pass.
+  void SyncClass(CellId cell) {
+    CellId root = eq_.Find(cell);
+    TargetKind kind = eq_.target_kind(root);
+    if (kind == TargetKind::kUnfixed) return;  // singletons keep their value
+    Value v = kind == TargetKind::kNull ? Value::Null()
+                                        : eq_.target_constant(root);
+    for (CellId member : eq_.Members(root)) {
+      data::TupleId t = eq_.TupleOf(member);
+      view_.mutable_tuple(t).set_value(eq_.AttrOf(member), v);
+      touched_cur_[static_cast<size_t>(t)] = 1;
+    }
+  }
+
+  /// Cost of retargeting the class of `cell` to constant `v` (or to null
+  /// when `v` is the null value), measured against the original data.
+  double ClassRetargetCost(CellId cell, const Value& v) {
+    double cost = 0.0;
+    for (CellId member : eq_.Members(eq_.Find(cell))) {
+      TupleId t = eq_.TupleOf(member);
+      AttributeId a = eq_.AttrOf(member);
+      cost += CellCost(original_.tuple(t).value(a),
+                       original_.tuple(t).confidence(a), v);
+    }
+    return cost;
+  }
+
+  /// Cost of `SetConstant(cell, v)` accounting for the upgrade-to-null case;
+  /// kInfeasible when the class is frozen to a different constant.
+  double SetConstantCost(CellId cell, const Value& v) {
+    CellId root = eq_.Find(cell);
+    if (eq_.frozen(root)) {
+      return eq_.target_constant(root) == v ? 0.0 : kInfeasible;
+    }
+    if (eq_.target_kind(root) == TargetKind::kConstant &&
+        eq_.target_constant(root) != v) {
+      return ClassRetargetCost(root, Value::Null());  // will upgrade to null
+    }
+    if (eq_.target_kind(root) == TargetKind::kNull) return 0.0;
+    return ClassRetargetCost(root, v);
+  }
+
+  double SetNullCost(CellId cell) {
+    CellId root = eq_.Find(cell);
+    if (eq_.frozen(root)) return kInfeasible;
+    return ClassRetargetCost(root, Value::Null());
+  }
+
+  /// Cheapest non-frozen LHS cell of tuple `t` among `attrs`; -1 if all are
+  /// frozen. Cost output in *cost.
+  CellId CheapestNullableCell(TupleId t,
+                              const std::vector<AttributeId>& attrs,
+                              double* cost) {
+    CellId best = -1;
+    *cost = kInfeasible;
+    for (AttributeId a : attrs) {
+      CellId c = eq_.Cell(t, a);
+      double null_cost = SetNullCost(c);
+      if (null_cost < *cost) {
+        *cost = null_cost;
+        best = c;
+      }
+    }
+    return best;
+  }
+
+  void ApplySetConstant(CellId cell, const Value& v) {
+    bool ok = eq_.SetConstant(cell, v);
+    UC_CHECK(ok);
+    SyncClass(cell);
+  }
+
+  void ApplySetNull(CellId cell) {
+    bool ok = eq_.SetNull(cell);
+    UC_CHECK(ok);
+    ++stats_.nulls_introduced;
+    SyncClass(cell);
+  }
+
+  /// Resolves all current violations of a constant CFD; returns whether any
+  /// change was made.
+  bool ResolveConstantCfd(RuleId rule) {
+    const Cfd& cfd = ruleset_.cfd(rule);
+    const AttributeId b = cfd.rhs()[0];
+    const Value target(cfd.rhs_pattern()[0].constant());
+    bool changed = false;
+    for (TupleId t = 0; t < view_.size(); ++t) {
+      if (!cfd.MatchesLhs(view_.tuple(t))) continue;
+      if (cfd.RhsSatisfied(view_.tuple(t))) continue;
+      // Option 1: fix the RHS (to the constant, or upgrade to null).
+      CellId rhs_cell = eq_.Cell(t, b);
+      double fix_cost = SetConstantCost(rhs_cell, target);
+      // Option 2: break the pattern match by nulling an LHS cell.
+      double break_cost;
+      CellId break_cell = CheapestNullableCell(t, cfd.lhs(), &break_cost);
+      if (fix_cost == kInfeasible && break_cost == kInfeasible) {
+        ++stats_.anomalies;
+        continue;
+      }
+      if (fix_cost <= break_cost) {
+        ApplySetConstant(rhs_cell, target);
+      } else {
+        ApplySetNull(break_cell);
+      }
+      changed = true;
+    }
+    return changed;
+  }
+
+  /// Resolves all current violations of a variable CFD pairwise within each
+  /// conflicting group, then enriches original nulls from the group
+  /// consensus (Example 1.1 step (d): t4[St] is filled from t3 once the
+  /// group agrees).
+  bool ResolveVariableCfd(RuleId rule) {
+    const Cfd& cfd = ruleset_.cfd(rule);
+    const AttributeId b = cfd.rhs()[0];
+    std::unordered_map<std::string, std::vector<TupleId>> groups;
+    std::unordered_map<std::string, std::vector<TupleId>> null_members;
+    for (TupleId t = 0; t < view_.size(); ++t) {
+      const data::Tuple& tuple = view_.tuple(t);
+      if (!cfd.MatchesLhs(tuple)) continue;
+      if (tuple.value(b).is_null()) {
+        // Only cells that were null in the input are enrichable; nulls this
+        // phase introduced are final (lattice top).
+        if (eq_.target_kind(eq_.Cell(t, b)) == TargetKind::kUnfixed) {
+          null_members[LhsKey(tuple, cfd.lhs())].push_back(t);
+        }
+        continue;
+      }
+      groups[LhsKey(tuple, cfd.lhs())].push_back(t);
+    }
+    bool changed = false;
+    for (const auto& [key, members] : groups) {
+      if (members.size() < 2) continue;
+      // Frequency of each RHS value within the group: on cost ties the
+      // majority value wins (with zero-confidence cells every change is
+      // free, and majority is by far the better heuristic).
+      std::unordered_map<std::string, int> value_votes;
+      for (TupleId t : members) {
+        ++value_votes[view_.tuple(t).value(b).str()];
+      }
+      TupleId anchor = members[0];
+      for (size_t i = 1; i < members.size(); ++i) {
+        TupleId t = members[i];
+        // Re-validate on the live view: earlier resolutions may have fixed
+        // this pair or nulled its cells already.
+        if (!cfd.MatchesLhs(view_.tuple(anchor)) ||
+            !cfd.MatchesLhs(view_.tuple(t))) {
+          continue;
+        }
+        if (!view_.tuple(anchor).ProjectionEquals(view_.tuple(t),
+                                                  cfd.lhs())) {
+          continue;
+        }
+        if (Value::SqlEquals(view_.tuple(anchor).value(b),
+                             view_.tuple(t).value(b))) {
+          continue;
+        }
+        changed |= ResolveVariablePair(cfd, anchor, t, b, value_votes);
+      }
+    }
+    // Enrichment: a null cell joins its group's consensus value.
+    for (const auto& [key, nulls] : null_members) {
+      auto it = groups.find(key);
+      if (it == groups.end()) continue;
+      // The conflict resolution above ran first; use the (possibly updated)
+      // live value of the group's anchor and require group agreement.
+      const Value consensus = view_.tuple(it->second[0]).value(b);
+      if (consensus.is_null()) continue;
+      bool agrees = true;
+      for (TupleId t : it->second) {
+        if (!Value::SqlEquals(view_.tuple(t).value(b), consensus)) {
+          agrees = false;
+          break;
+        }
+      }
+      if (!agrees) continue;
+      for (TupleId t : nulls) {
+        CellId cell = eq_.Cell(t, b);
+        if (eq_.target_kind(cell) != TargetKind::kUnfixed) continue;
+        if (!view_.tuple(t).value(b).is_null()) continue;
+        ApplySetConstant(cell, consensus);
+        changed = true;
+      }
+    }
+    return changed;
+  }
+
+  bool ResolveVariablePair(
+      const Cfd& cfd, TupleId t1, TupleId t2, AttributeId b,
+      const std::unordered_map<std::string, int>& value_votes) {
+    CellId c1 = eq_.Cell(t1, b);
+    CellId c2 = eq_.Cell(t2, b);
+    const Value v1 = view_.tuple(t1).value(b);
+    const Value v2 = view_.tuple(t2).value(b);
+    // Option 1: merge the RHS classes, keeping the cheaper value (group
+    // majority breaks cost ties). Frozen classes force their constant.
+    double merge_cost = kInfeasible;
+    Value winner;
+    const bool f1 = eq_.frozen(c1);
+    const bool f2 = eq_.frozen(c2);
+    if (f1 && f2) {
+      // Different constants (we are at a violation): merge impossible.
+    } else if (f1 || f2) {
+      winner = f1 ? v1 : v2;
+      merge_cost = ClassRetargetCost(f1 ? c2 : c1, winner);
+    } else {
+      double cost1 = ClassRetargetCost(c2, v1) + ClassRetargetCost(c1, v1);
+      double cost2 = ClassRetargetCost(c1, v2) + ClassRetargetCost(c2, v2);
+      auto votes = [&value_votes](const Value& v) {
+        auto it = value_votes.find(v.str());
+        return it == value_votes.end() ? 0 : it->second;
+      };
+      if (cost1 < cost2) {
+        winner = v1;
+      } else if (cost2 < cost1) {
+        winner = v2;
+      } else {
+        winner = votes(v1) >= votes(v2) ? v1 : v2;
+      }
+      merge_cost = std::min(cost1, cost2);
+    }
+    // Option 2: detach t2 (or t1) from the group by nulling an LHS cell.
+    double break2_cost;
+    CellId break2 = CheapestNullableCell(t2, cfd.lhs(), &break2_cost);
+    double break1_cost;
+    CellId break1 = CheapestNullableCell(t1, cfd.lhs(), &break1_cost);
+    double break_cost = std::min(break1_cost, break2_cost);
+    CellId break_cell = break1_cost <= break2_cost ? break1 : break2;
+
+    if (merge_cost == kInfeasible && break_cost == kInfeasible) {
+      ++stats_.anomalies;
+      return false;
+    }
+    if (merge_cost <= break_cost) {
+      if (f1 || f2) {
+        // Equalize against a frozen class WITHOUT union: unioning would
+        // freeze the dirty cell forever, and a later rule constraining the
+        // same cell (e.g. a nation->region constant CFD whose LHS is also
+        // frozen) would have no resolution left. Setting the constant keeps
+        // the violation resolved while the cell can still upgrade to null.
+        ApplySetConstant(f1 ? c2 : c1, winner);
+      } else {
+        bool ok = eq_.Merge(c1, c2, winner);
+        UC_CHECK(ok);
+        ++stats_.merges;
+        SyncClass(c1);
+      }
+    } else {
+      ApplySetNull(break_cell);
+    }
+    return true;
+  }
+
+  /// Resolves all current violations of an MD. After a fix the tuple's
+  /// matches are re-derived on the live view (the written attribute may
+  /// itself appear in the premise, as in ψ's FN clause); each re-derivation
+  /// follows a lattice upgrade, so the inner loop is bounded.
+  bool ResolveMd(RuleId rule) {
+    const Md& md = ruleset_.md(rule);
+    const rules::MdAction& action = md.actions()[0];
+    const MdMatcher& matcher = *matchers_.at(rule);
+    bool changed = false;
+    for (TupleId t = 0; t < view_.size(); ++t) {
+      // MD premises depend only on this tuple's values and the (static)
+      // master data: skip tuples untouched since the last pass.
+      if (!touched_prev_[static_cast<size_t>(t)] &&
+          !touched_cur_[static_cast<size_t>(t)]) {
+        continue;
+      }
+      bool tuple_changed = true;
+      while (tuple_changed) {
+        tuple_changed = false;
+      for (TupleId s : matcher.FindMatches(view_.tuple(t))) {
+        stats_.md_matches.emplace_back(t, s);
+        const Value& master_value = dm_.tuple(s).value(action.master_attr);
+        if (Value::SqlEquals(view_.tuple(t).value(action.data_attr),
+                             master_value)) {
+          continue;
+        }
+        // Option 1: adopt the master value (or upgrade to null).
+        CellId e_cell = eq_.Cell(t, action.data_attr);
+        double fix_cost = master_value.is_null()
+                              ? SetNullCost(e_cell)
+                              : SetConstantCost(e_cell, master_value);
+        // Option 2: break the premise.
+        std::vector<AttributeId> premise_attrs;
+        premise_attrs.reserve(md.premise().size());
+        for (const rules::MdClause& c : md.premise()) {
+          premise_attrs.push_back(c.data_attr);
+        }
+        double break_cost;
+        CellId break_cell =
+            CheapestNullableCell(t, premise_attrs, &break_cost);
+        if (fix_cost == kInfeasible && break_cost == kInfeasible) {
+          ++stats_.anomalies;
+          continue;
+        }
+        if (fix_cost <= break_cost) {
+          if (master_value.is_null()) {
+            ApplySetNull(e_cell);
+          } else {
+            ApplySetConstant(e_cell, master_value);
+          }
+        } else {
+          ApplySetNull(break_cell);
+        }
+        changed = true;
+        tuple_changed = true;
+        break;  // re-derive this tuple's matches on the live view
+      }
+      }
+    }
+    return changed;
+  }
+
+  Relation& view_;
+  Relation original_;
+  const Relation& dm_;
+  const RuleSet& ruleset_;
+  EquivalenceClasses eq_;
+  HRepairStats stats_;
+  std::unordered_map<RuleId, std::unique_ptr<MdMatcher>> matchers_;
+  std::vector<uint8_t> touched_prev_;  // tuples changed in the last pass
+  std::vector<uint8_t> touched_cur_;   // tuples changed in this pass
+};
+
+}  // namespace
+
+HRepairStats HRepair(Relation* d, const Relation& dm, const RuleSet& ruleset,
+                     const HRepairOptions& options) {
+  UC_CHECK(d != nullptr);
+  HRepairRun run(d, dm, ruleset, options);
+  return run.Run();
+}
+
+}  // namespace core
+}  // namespace uniclean

@@ -1,0 +1,57 @@
+// hRepair (§7): heuristic "possible" fixes that make the database fully
+// consistent. Extends the equivalence-class method of [Cong et al. 2007]
+// with (a) matching against master data via MDs, (b) preservation of the
+// deterministic fixes from cRepair (frozen classes), and (c) retention of
+// reliable fixes whenever possible. Violations are resolved by the cheapest
+// option under the §3.1 cost model:
+//   * constant CFD:   write the pattern constant into the RHS class, or
+//                     break the pattern match by nulling an LHS cell;
+//   * variable CFD:   merge the two RHS classes (keeping the cheaper value),
+//                     or null an LHS cell of one side;
+//   * MD:             write the master value into the data class, or break
+//                     the premise by nulling a premise cell.
+// Targets only ever move up the lattice unfixed -> constant -> null and
+// merges reduce the class count, so the process terminates (§7), with
+// Dr |= Σ and (Dr, Dm) |= Γ under the §7 null semantics.
+
+#ifndef UNICLEAN_CORE_HREPAIR_H_
+#define UNICLEAN_CORE_HREPAIR_H_
+
+#include "core/md_matcher.h"
+#include "data/relation.h"
+#include "rules/ruleset.h"
+
+namespace uniclean {
+namespace core {
+
+struct HRepairOptions {
+  MdMatcherOptions matcher;
+};
+
+struct HRepairStats {
+  /// Record matches identified while cleaning (see CRepairStats).
+  std::vector<std::pair<data::TupleId, data::TupleId>> md_matches;
+  /// Cells whose final value differs from the phase input, marked
+  /// FixMark::kPossible.
+  int possible_fixes = 0;
+  /// Equivalence-class merges performed.
+  int merges = 0;
+  /// Cells set to null to break otherwise-unresolvable conflicts.
+  int nulls_introduced = 0;
+  /// Passes over the rule set until no violations remained.
+  int passes = 0;
+  /// Violations that could not be resolved (conflicting frozen classes —
+  /// indicates contradictory deterministic fixes; 0 for consistent input).
+  int anomalies = 0;
+};
+
+/// Runs hRepair in place; returns statistics. After the call (with zero
+/// anomalies), `*d` satisfies every CFD and MD of `ruleset` w.r.t. `dm`.
+HRepairStats HRepair(data::Relation* d, const data::Relation& dm,
+                     const rules::RuleSet& ruleset,
+                     const HRepairOptions& options = {});
+
+}  // namespace core
+}  // namespace uniclean
+
+#endif  // UNICLEAN_CORE_HREPAIR_H_

@@ -1,0 +1,135 @@
+#include "core/md_matcher.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace uniclean {
+namespace core {
+
+namespace {
+
+std::string EqualityKey(const std::vector<size_t>& clause_idx,
+                        const rules::Md& md, const data::Tuple& tuple,
+                        bool master_side) {
+  std::string key;
+  for (size_t i : clause_idx) {
+    const rules::MdClause& c = md.premise()[i];
+    const data::Value& v =
+        tuple.value(master_side ? c.master_attr : c.data_attr);
+    key += v.str();
+    key.push_back('\x1f');
+  }
+  return key;
+}
+
+}  // namespace
+
+MdMatcher::MdMatcher(const rules::Md& md, const data::Relation& dm,
+                     const MdMatcherOptions& options)
+    : md_(md), dm_(dm), options_(options) {
+  UC_CHECK(md_.normalized()) << "MdMatcher requires a normalized MD";
+  if (!options_.use_blocking) return;
+  for (size_t i = 0; i < md_.premise().size(); ++i) {
+    if (md_.premise()[i].predicate.is_equality()) {
+      equality_clauses_.push_back(i);
+    } else if (blocking_clause_ < 0) {
+      blocking_clause_ = static_cast<int>(i);
+    }
+  }
+  if (!equality_clauses_.empty()) {
+    for (data::TupleId s = 0; s < dm_.size(); ++s) {
+      bool has_null = false;
+      for (size_t i : equality_clauses_) {
+        if (dm_.tuple(s).value(md_.premise()[i].master_attr).is_null()) {
+          has_null = true;
+          break;
+        }
+      }
+      if (has_null) continue;  // null never satisfies a premise clause
+      equality_index_[EqualityKey(equality_clauses_, md_, dm_.tuple(s),
+                                  /*master_side=*/true)]
+          .push_back(s);
+    }
+    return;
+  }
+  if (blocking_clause_ >= 0) {
+    // Index the distinct master values of the blocking clause's attribute.
+    const data::AttributeId attr =
+        md_.premise()[static_cast<size_t>(blocking_clause_)].master_attr;
+    std::unordered_map<std::string, int> value_to_string_id;
+    for (data::TupleId s = 0; s < dm_.size(); ++s) {
+      const data::Value& v = dm_.tuple(s).value(attr);
+      if (v.is_null()) continue;
+      auto [it, inserted] = value_to_string_id.emplace(
+          v.str(), static_cast<int>(value_owners_.size()));
+      if (inserted) {
+        tree_.AddString(v.str());
+        value_owners_.emplace_back();
+      }
+      value_owners_[static_cast<size_t>(it->second)].push_back(s);
+    }
+    tree_.Build();
+  }
+}
+
+bool MdMatcher::Verify(const data::Tuple& t, data::TupleId s) const {
+  return md_.PremiseHolds(t, dm_.tuple(s));
+}
+
+std::vector<data::TupleId> MdMatcher::Candidates(const data::Tuple& t) const {
+  std::vector<data::TupleId> candidates;
+  if (!options_.use_blocking) {
+    candidates.resize(static_cast<size_t>(dm_.size()));
+    for (data::TupleId s = 0; s < dm_.size(); ++s) {
+      candidates[static_cast<size_t>(s)] = s;
+    }
+    return candidates;
+  }
+  if (!equality_clauses_.empty()) {
+    auto it = equality_index_.find(
+        EqualityKey(equality_clauses_, md_, t, /*master_side=*/false));
+    if (it != equality_index_.end()) candidates = it->second;
+    return candidates;
+  }
+  if (blocking_clause_ >= 0) {
+    const rules::MdClause& clause =
+        md_.premise()[static_cast<size_t>(blocking_clause_)];
+    const data::Value& v = t.value(clause.data_attr);
+    if (v.is_null()) return candidates;
+    for (const auto& cand : tree_.TopL(v.str(), options_.top_l)) {
+      for (data::TupleId s :
+           value_owners_[static_cast<size_t>(cand.string_id)]) {
+        candidates.push_back(s);
+      }
+    }
+    std::sort(candidates.begin(), candidates.end());
+    candidates.erase(std::unique(candidates.begin(), candidates.end()),
+                     candidates.end());
+    return candidates;
+  }
+  // Premise with no clauses at all: every master tuple is a candidate.
+  candidates.resize(static_cast<size_t>(dm_.size()));
+  for (data::TupleId s = 0; s < dm_.size(); ++s) {
+    candidates[static_cast<size_t>(s)] = s;
+  }
+  return candidates;
+}
+
+std::vector<data::TupleId> MdMatcher::FindMatches(const data::Tuple& t) const {
+  std::vector<data::TupleId> matches;
+  for (data::TupleId s : Candidates(t)) {
+    if (Verify(t, s)) matches.push_back(s);
+  }
+  return matches;
+}
+
+data::TupleId MdMatcher::FindFirstMatch(const data::Tuple& t) const {
+  for (data::TupleId s : Candidates(t)) {
+    if (Verify(t, s)) return s;
+  }
+  return -1;
+}
+
+}  // namespace core
+}  // namespace uniclean

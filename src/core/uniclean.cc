@@ -1,0 +1,52 @@
+#include "core/uniclean.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace uniclean {
+namespace core {
+
+std::vector<std::pair<data::TupleId, data::TupleId>>
+UniCleanReport::AllMatches() const {
+  std::vector<std::pair<data::TupleId, data::TupleId>> all;
+  all.insert(all.end(), crepair.md_matches.begin(),
+             crepair.md_matches.end());
+  all.insert(all.end(), erepair.md_matches.begin(),
+             erepair.md_matches.end());
+  all.insert(all.end(), hrepair.md_matches.begin(),
+             hrepair.md_matches.end());
+  std::sort(all.begin(), all.end());
+  all.erase(std::unique(all.begin(), all.end()), all.end());
+  return all;
+}
+
+UniCleanReport UniClean(data::Relation* d, const data::Relation& dm,
+                        const rules::RuleSet& ruleset,
+                        const UniCleanOptions& options) {
+  UC_CHECK(d != nullptr);
+  UniCleanReport report;
+  if (options.run_crepair) {
+    CRepairOptions copts;
+    copts.eta = options.eta;
+    copts.matcher = options.matcher;
+    report.crepair = CRepair(d, dm, ruleset, copts);
+  }
+  if (options.run_erepair) {
+    ERepairOptions eopts;
+    eopts.delta1 = options.delta1;
+    eopts.delta2 = options.delta2;
+    eopts.eta = options.eta;
+    eopts.matcher = options.matcher;
+    report.erepair = ERepair(d, dm, ruleset, eopts);
+  }
+  if (options.run_hrepair) {
+    HRepairOptions hopts;
+    hopts.matcher = options.matcher;
+    report.hrepair = HRepair(d, dm, ruleset, hopts);
+  }
+  return report;
+}
+
+}  // namespace core
+}  // namespace uniclean

@@ -1,0 +1,63 @@
+// UniClean (Fig. 2): the tri-level data cleaning pipeline. Runs
+//   1. cRepair  — deterministic fixes from confidence + master data (§5),
+//   2. eRepair  — reliable fixes from entropy (§6),
+//   3. hRepair  — possible fixes from heuristics, yielding a repair with
+//                 Dr |= Σ and (Dr, Dm) |= Γ (§7),
+// consecutively (no iteration between phases is needed — see the Remark at
+// the end of §3.2). Every modified cell carries a FixMark identifying the
+// phase that produced it.
+
+#ifndef UNICLEAN_CORE_UNICLEAN_H_
+#define UNICLEAN_CORE_UNICLEAN_H_
+
+#include "core/crepair.h"
+#include "core/erepair.h"
+#include "core/hrepair.h"
+#include "data/relation.h"
+#include "rules/ruleset.h"
+
+namespace uniclean {
+namespace core {
+
+struct UniCleanOptions {
+  /// Confidence threshold η (§5). The paper's experiments use 1.0 (only
+  /// cells explicitly asserted by the user count); the running example uses
+  /// 0.8.
+  double eta = 0.8;
+  /// Update threshold δ1 (§6).
+  int delta1 = 5;
+  /// Entropy threshold δ2 (§6). The paper's experiments use 0.8.
+  double delta2 = 0.8;
+  /// Suffix-tree blocking configuration (§5.2).
+  MdMatcherOptions matcher;
+  /// Phase switches (Uni(CFD) and the accuracy-per-phase experiments toggle
+  /// these).
+  bool run_crepair = true;
+  bool run_erepair = true;
+  bool run_hrepair = true;
+};
+
+struct UniCleanReport {
+  CRepairStats crepair;
+  ERepairStats erepair;
+  HRepairStats hrepair;
+
+  int total_fixes() const {
+    return crepair.deterministic_fixes + erepair.reliable_fixes +
+           hrepair.possible_fixes;
+  }
+
+  /// All record matches identified across the phases, deduplicated and
+  /// sorted — the paper's "matches found by Uni" (Exp-2).
+  std::vector<std::pair<data::TupleId, data::TupleId>> AllMatches() const;
+};
+
+/// Cleans `*d` in place against master data `dm` and the rules Θ.
+UniCleanReport UniClean(data::Relation* d, const data::Relation& dm,
+                        const rules::RuleSet& ruleset,
+                        const UniCleanOptions& options = {});
+
+}  // namespace core
+}  // namespace uniclean
+
+#endif  // UNICLEAN_CORE_UNICLEAN_H_

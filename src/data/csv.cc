@@ -1,0 +1,158 @@
+#include "data/csv.h"
+
+#include <fstream>
+#include <istream>
+#include <ostream>
+#include <sstream>
+#include <vector>
+
+namespace uniclean {
+namespace data {
+
+namespace {
+
+/// Splits one physical CSV record into fields, honoring double-quote
+/// escaping. Returns an error on unterminated quotes.
+Result<std::vector<std::string>> ParseRecord(const std::string& line,
+                                             char delim) {
+  std::vector<std::string> fields;
+  std::string field;
+  bool in_quotes = false;
+  size_t i = 0;
+  while (i < line.size()) {
+    char c = line[i];
+    if (in_quotes) {
+      if (c == '"') {
+        if (i + 1 < line.size() && line[i + 1] == '"') {
+          field.push_back('"');
+          i += 2;
+          continue;
+        }
+        in_quotes = false;
+        ++i;
+      } else {
+        field.push_back(c);
+        ++i;
+      }
+    } else if (c == '"' && field.empty()) {
+      in_quotes = true;
+      ++i;
+    } else if (c == delim) {
+      fields.push_back(std::move(field));
+      field.clear();
+      ++i;
+    } else {
+      field.push_back(c);
+      ++i;
+    }
+  }
+  if (in_quotes) {
+    return Status::Corruption("unterminated quote in CSV record: " + line);
+  }
+  fields.push_back(std::move(field));
+  return fields;
+}
+
+bool NeedsQuoting(const std::string& s, char delim) {
+  return s.find(delim) != std::string::npos ||
+         s.find('"') != std::string::npos ||
+         s.find('\n') != std::string::npos;
+}
+
+std::string QuoteField(const std::string& s, char delim) {
+  if (!NeedsQuoting(s, delim)) return s;
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"') out.push_back('"');
+    out.push_back(c);
+  }
+  out.push_back('"');
+  return out;
+}
+
+}  // namespace
+
+Result<Relation> ReadCsv(std::istream& in, SchemaPtr schema,
+                         const CsvOptions& options) {
+  Relation relation(schema);
+  std::string line;
+  bool saw_header = false;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    UC_ASSIGN_OR_RETURN(std::vector<std::string> fields,
+                        ParseRecord(line, options.delimiter));
+    if (options.header && !saw_header) {
+      saw_header = true;
+      if (static_cast<int>(fields.size()) != schema->arity()) {
+        return Status::Corruption("CSV header arity mismatch");
+      }
+      for (int a = 0; a < schema->arity(); ++a) {
+        if (fields[static_cast<size_t>(a)] != schema->attribute_name(a)) {
+          return Status::Corruption("CSV header mismatch at column " +
+                                    std::to_string(a) + ": expected '" +
+                                    schema->attribute_name(a) + "', got '" +
+                                    fields[static_cast<size_t>(a)] + "'");
+        }
+      }
+      continue;
+    }
+    if (static_cast<int>(fields.size()) != schema->arity()) {
+      return Status::Corruption("CSV record arity mismatch at line " +
+                                std::to_string(line_no));
+    }
+    Tuple t(schema->arity());
+    for (int a = 0; a < schema->arity(); ++a) {
+      const std::string& f = fields[static_cast<size_t>(a)];
+      t.set_value(a, f == options.null_token ? Value::Null() : Value(f));
+    }
+    relation.AddTuple(std::move(t));
+  }
+  return relation;
+}
+
+Result<Relation> ReadCsvFile(const std::string& path, SchemaPtr schema,
+                             const CsvOptions& options) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::NotFound("cannot open CSV file: " + path);
+  }
+  return ReadCsv(in, std::move(schema), options);
+}
+
+Status WriteCsv(std::ostream& out, const Relation& relation,
+                const CsvOptions& options) {
+  const Schema& schema = relation.schema();
+  if (options.header) {
+    for (int a = 0; a < schema.arity(); ++a) {
+      if (a > 0) out << options.delimiter;
+      out << QuoteField(schema.attribute_name(a), options.delimiter);
+    }
+    out << '\n';
+  }
+  for (const Tuple& t : relation.tuples()) {
+    for (int a = 0; a < schema.arity(); ++a) {
+      if (a > 0) out << options.delimiter;
+      const Value& v = t.value(a);
+      out << (v.is_null() ? options.null_token
+                          : QuoteField(v.str(), options.delimiter));
+    }
+    out << '\n';
+  }
+  if (!out.good()) return Status::Internal("CSV write failed");
+  return Status::OK();
+}
+
+Status WriteCsvFile(const std::string& path, const Relation& relation,
+                    const CsvOptions& options) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::Internal("cannot open CSV file for write: " + path);
+  }
+  return WriteCsv(out, relation, options);
+}
+
+}  // namespace data
+}  // namespace uniclean

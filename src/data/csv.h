@@ -1,0 +1,43 @@
+// CSV import/export for relations. Quoting follows RFC 4180; nulls are
+// round-tripped as the token `\N` (configurable).
+
+#ifndef UNICLEAN_DATA_CSV_H_
+#define UNICLEAN_DATA_CSV_H_
+
+#include <iosfwd>
+#include <string>
+
+#include "common/result.h"
+#include "data/relation.h"
+
+namespace uniclean {
+namespace data {
+
+struct CsvOptions {
+  char delimiter = ',';
+  std::string null_token = "\\N";
+  /// When true, the first row is the header; reading validates it against
+  /// the schema, writing emits it.
+  bool header = true;
+};
+
+/// Parses a relation with the given schema from a stream.
+Result<Relation> ReadCsv(std::istream& in, SchemaPtr schema,
+                         const CsvOptions& options = {});
+
+/// Parses a relation from a file path.
+Result<Relation> ReadCsvFile(const std::string& path, SchemaPtr schema,
+                             const CsvOptions& options = {});
+
+/// Writes a relation to a stream.
+Status WriteCsv(std::ostream& out, const Relation& relation,
+                const CsvOptions& options = {});
+
+/// Writes a relation to a file path.
+Status WriteCsvFile(const std::string& path, const Relation& relation,
+                    const CsvOptions& options = {});
+
+}  // namespace data
+}  // namespace uniclean
+
+#endif  // UNICLEAN_DATA_CSV_H_

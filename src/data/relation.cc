@@ -1,0 +1,58 @@
+#include "data/relation.h"
+
+namespace uniclean {
+namespace data {
+
+const char* FixMarkToString(FixMark mark) {
+  switch (mark) {
+    case FixMark::kNone:
+      return "none";
+    case FixMark::kDeterministic:
+      return "deterministic";
+    case FixMark::kReliable:
+      return "reliable";
+    case FixMark::kPossible:
+      return "possible";
+  }
+  return "unknown";
+}
+
+bool Tuple::ProjectionEquals(const Tuple& other,
+                             const std::vector<AttributeId>& attrs) const {
+  for (AttributeId a : attrs) {
+    if (value(a) != other.value(a)) return false;
+  }
+  return true;
+}
+
+TupleId Relation::AddTuple(Tuple tuple) {
+  UC_CHECK_EQ(tuple.arity(), schema_->arity());
+  tuples_.push_back(std::move(tuple));
+  return static_cast<TupleId>(tuples_.size() - 1);
+}
+
+TupleId Relation::AddRow(const std::vector<std::string>& values,
+                         double confidence) {
+  UC_CHECK_EQ(static_cast<int>(values.size()), schema_->arity());
+  Tuple t(schema_->arity());
+  for (int a = 0; a < schema_->arity(); ++a) {
+    t.set_value(a, Value(values[static_cast<size_t>(a)]));
+    t.set_confidence(a, confidence);
+  }
+  return AddTuple(std::move(t));
+}
+
+int Relation::CellDiffCount(const Relation& other) const {
+  UC_CHECK_EQ(size(), other.size());
+  UC_CHECK_EQ(schema().arity(), other.schema().arity());
+  int diff = 0;
+  for (int t = 0; t < size(); ++t) {
+    for (AttributeId a = 0; a < schema().arity(); ++a) {
+      if (tuple(t).value(a) != other.tuple(t).value(a)) ++diff;
+    }
+  }
+  return diff;
+}
+
+}  // namespace data
+}  // namespace uniclean

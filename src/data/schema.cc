@@ -1,0 +1,48 @@
+#include "data/schema.h"
+
+namespace uniclean {
+namespace data {
+
+Schema::Schema(std::string relation_name,
+               std::vector<std::string> attribute_names)
+    : relation_name_(std::move(relation_name)) {
+  attributes_.reserve(attribute_names.size());
+  for (auto& name : attribute_names) {
+    AttributeId id = static_cast<AttributeId>(attributes_.size());
+    auto [it, inserted] = by_name_.emplace(name, id);
+    (void)it;
+    UC_CHECK(inserted) << "duplicate attribute name: " << name;
+    attributes_.push_back(Attribute{std::move(name)});
+  }
+}
+
+Result<AttributeId> Schema::FindAttribute(const std::string& name) const {
+  auto it = by_name_.find(name);
+  if (it == by_name_.end()) {
+    return Status::NotFound("attribute '" + name + "' not in schema " +
+                            relation_name_);
+  }
+  return it->second;
+}
+
+AttributeId Schema::MustFindAttribute(const std::string& name) const {
+  auto result = FindAttribute(name);
+  UC_CHECK(result.ok()) << result.status().ToString();
+  return result.value();
+}
+
+std::vector<std::string> Schema::AttributeNames() const {
+  std::vector<std::string> names;
+  names.reserve(attributes_.size());
+  for (const auto& a : attributes_) names.push_back(a.name);
+  return names;
+}
+
+SchemaPtr MakeSchema(std::string relation_name,
+                     std::vector<std::string> attribute_names) {
+  return std::make_shared<const Schema>(std::move(relation_name),
+                                        std::move(attribute_names));
+}
+
+}  // namespace data
+}  // namespace uniclean

@@ -1,0 +1,68 @@
+// Schema: relation name + ordered attributes (Fig. 1: `card`, `tran`).
+
+#ifndef UNICLEAN_DATA_SCHEMA_H_
+#define UNICLEAN_DATA_SCHEMA_H_
+
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.h"
+#include "common/result.h"
+
+namespace uniclean {
+namespace data {
+
+/// Index of an attribute within a schema.
+using AttributeId = int;
+
+/// One attribute of a relation schema.
+struct Attribute {
+  std::string name;
+};
+
+/// An immutable relation schema. Shared by all instances of the relation.
+class Schema {
+ public:
+  Schema(std::string relation_name, std::vector<std::string> attribute_names);
+
+  const std::string& relation_name() const { return relation_name_; }
+  int arity() const { return static_cast<int>(attributes_.size()); }
+
+  const Attribute& attribute(AttributeId id) const {
+    UC_CHECK_GE(id, 0);
+    UC_CHECK_LT(id, arity());
+    return attributes_[static_cast<size_t>(id)];
+  }
+
+  const std::string& attribute_name(AttributeId id) const {
+    return attribute(id).name;
+  }
+
+  /// Looks up an attribute by name.
+  Result<AttributeId> FindAttribute(const std::string& name) const;
+
+  /// Looks up an attribute by name, aborting if absent. For code paths where
+  /// the name is a compile-time constant of a generator-owned schema.
+  AttributeId MustFindAttribute(const std::string& name) const;
+
+  /// All attribute names in order.
+  std::vector<std::string> AttributeNames() const;
+
+ private:
+  std::string relation_name_;
+  std::vector<Attribute> attributes_;
+  std::unordered_map<std::string, AttributeId> by_name_;
+};
+
+using SchemaPtr = std::shared_ptr<const Schema>;
+
+/// Convenience factory.
+SchemaPtr MakeSchema(std::string relation_name,
+                     std::vector<std::string> attribute_names);
+
+}  // namespace data
+}  // namespace uniclean
+
+#endif  // UNICLEAN_DATA_SCHEMA_H_

@@ -1,0 +1,80 @@
+// Value: one cell of a relation. The paper's data model is string-valued
+// attributes plus SQL null (§7); nulls are introduced only by the heuristic
+// repair phase to resolve otherwise-unresolvable conflicts.
+
+#ifndef UNICLEAN_DATA_VALUE_H_
+#define UNICLEAN_DATA_VALUE_H_
+
+#include <cstddef>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace uniclean {
+namespace data {
+
+/// A cell value: either a string constant or SQL null.
+class Value {
+ public:
+  /// Constructs a (non-null) empty string value.
+  Value() : null_(false) {}
+
+  /// Constructs a string constant.
+  explicit Value(std::string s) : null_(false), str_(std::move(s)) {}
+  explicit Value(const char* s) : null_(false), str_(s) {}
+
+  /// The SQL null value.
+  static Value Null() {
+    Value v;
+    v.null_ = true;
+    return v;
+  }
+
+  bool is_null() const { return null_; }
+
+  /// The string content; requires !is_null() for meaningful use (returns ""
+  /// for null so printing code stays simple).
+  const std::string& str() const { return str_; }
+
+  size_t size() const { return null_ ? 0 : str_.size(); }
+
+  /// Strict equality: null equals only null.
+  bool operator==(const Value& o) const {
+    return null_ == o.null_ && (null_ || str_ == o.str_);
+  }
+  bool operator!=(const Value& o) const { return !(*this == o); }
+  bool operator<(const Value& o) const {
+    if (null_ != o.null_) return null_;  // null sorts first
+    return !null_ && str_ < o.str_;
+  }
+
+  /// SQL simple semantics of §7: `v1 = v2` evaluates to true if either side
+  /// is null. Used when checking variable-CFD / MD satisfaction on repaired
+  /// data.
+  static bool SqlEquals(const Value& a, const Value& b) {
+    if (a.null_ || b.null_) return true;
+    return a.str_ == b.str_;
+  }
+
+  /// Rendering for CSV / debugging: nulls print as the given token.
+  std::string ToString(std::string_view null_token = "\\N") const {
+    return null_ ? std::string(null_token) : str_;
+  }
+
+ private:
+  bool null_;
+  std::string str_;
+};
+
+struct ValueHash {
+  size_t operator()(const Value& v) const {
+    return v.is_null() ? 0x9e3779b97f4a7c15ULL
+                       : std::hash<std::string>()(v.str());
+  }
+};
+
+}  // namespace data
+}  // namespace uniclean
+
+#endif  // UNICLEAN_DATA_VALUE_H_

@@ -1,0 +1,74 @@
+#include "discovery/cfd_discovery.h"
+
+#include <algorithm>
+#include <map>
+#include <unordered_map>
+
+namespace uniclean {
+namespace discovery {
+
+std::string DiscoveredConstantCfd::ToRuleLine(const data::Schema& schema,
+                                              const std::string& name) const {
+  return "CFD " + name + ": " + schema.attribute_name(lhs) + "='" +
+         lhs_value + "' -> " + schema.attribute_name(rhs) + "='" + rhs_value +
+         "'";
+}
+
+std::vector<DiscoveredConstantCfd> DiscoverConstantCfds(
+    const data::Relation& d, const CfdDiscoveryOptions& options) {
+  std::vector<DiscoveredConstantCfd> out;
+  const int arity = d.schema().arity();
+
+  // Distinct-value counts to skip key-like antecedents.
+  std::vector<int> distinct(static_cast<size_t>(arity), 0);
+  for (data::AttributeId a = 0; a < arity; ++a) {
+    std::unordered_map<std::string, int> seen;
+    for (const data::Tuple& t : d.tuples()) {
+      seen.emplace(t.value(a).ToString(), 0);
+    }
+    distinct[static_cast<size_t>(a)] = static_cast<int>(seen.size());
+  }
+
+  for (data::AttributeId lhs = 0; lhs < arity; ++lhs) {
+    if (distinct[static_cast<size_t>(lhs)] > options.max_lhs_distinct) {
+      continue;
+    }
+    for (data::AttributeId rhs = 0; rhs < arity; ++rhs) {
+      if (rhs == lhs) continue;
+      // value of lhs -> histogram of rhs values.
+      std::unordered_map<std::string, std::map<std::string, int>> hist;
+      for (const data::Tuple& t : d.tuples()) {
+        if (t.value(lhs).is_null() || t.value(rhs).is_null()) continue;
+        ++hist[t.value(lhs).str()][t.value(rhs).str()];
+      }
+      for (const auto& [a_value, counts] : hist) {
+        int support = 0;
+        int best = 0;
+        const std::string* best_value = nullptr;
+        for (const auto& [b_value, c] : counts) {
+          support += c;
+          if (c > best) {
+            best = c;
+            best_value = &b_value;
+          }
+        }
+        if (support < options.min_support || best_value == nullptr) continue;
+        double confidence =
+            static_cast<double>(best) / static_cast<double>(support);
+        if (confidence < options.min_confidence) continue;
+        out.push_back(DiscoveredConstantCfd{lhs, a_value, rhs, *best_value,
+                                            support, confidence});
+      }
+    }
+  }
+  std::sort(out.begin(), out.end(),
+            [](const DiscoveredConstantCfd& a, const DiscoveredConstantCfd& b) {
+              if (a.lhs != b.lhs) return a.lhs < b.lhs;
+              if (a.lhs_value != b.lhs_value) return a.lhs_value < b.lhs_value;
+              return a.rhs < b.rhs;
+            });
+  return out;
+}
+
+}  // namespace discovery
+}  // namespace uniclean

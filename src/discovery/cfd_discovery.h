@@ -1,0 +1,49 @@
+// Constant-CFD mining: finds pattern rules [A='a'] -> [B='b'] with enough
+// support — the "data standardization" and zip->city style rules of
+// Example 1.1 and the §8 rule sets.
+
+#ifndef UNICLEAN_DISCOVERY_CFD_DISCOVERY_H_
+#define UNICLEAN_DISCOVERY_CFD_DISCOVERY_H_
+
+#include <string>
+#include <vector>
+
+#include "data/relation.h"
+
+namespace uniclean {
+namespace discovery {
+
+struct CfdDiscoveryOptions {
+  /// Minimum number of tuples with A = a for the pattern to be considered.
+  int min_support = 10;
+  /// Minimum fraction of those tuples agreeing on the consequent value b.
+  double min_confidence = 0.95;
+  /// Skip antecedent attributes with more distinct values than this (keys
+  /// produce one rule per tuple — useless as constant CFDs).
+  int max_lhs_distinct = 100;
+};
+
+struct DiscoveredConstantCfd {
+  data::AttributeId lhs;
+  std::string lhs_value;
+  data::AttributeId rhs;
+  std::string rhs_value;
+  int support = 0;        ///< tuples matching the antecedent
+  double confidence = 0;  ///< fraction of those with the consequent value
+
+  /// Renders as a parseable CFD line.
+  std::string ToRuleLine(const data::Schema& schema,
+                         const std::string& name) const;
+};
+
+/// Mines constant CFDs over all attribute pairs. Results are sorted by
+/// (lhs, lhs_value, rhs). Patterns whose consequent is already implied by
+/// an exact FD lhs -> rhs are still reported (callers can prune with
+/// reasoning::MinimalCover).
+std::vector<DiscoveredConstantCfd> DiscoverConstantCfds(
+    const data::Relation& d, const CfdDiscoveryOptions& options = {});
+
+}  // namespace discovery
+}  // namespace uniclean
+
+#endif  // UNICLEAN_DISCOVERY_CFD_DISCOVERY_H_

@@ -1,0 +1,131 @@
+#include "discovery/fd_discovery.h"
+
+#include <algorithm>
+#include <string>
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace uniclean {
+namespace discovery {
+
+namespace {
+
+using data::AttributeId;
+using data::Relation;
+
+std::string Key(const data::Tuple& t, const std::vector<AttributeId>& attrs) {
+  std::string key;
+  for (AttributeId a : attrs) {
+    key += t.value(a).ToString();
+    key.push_back('\x1f');
+  }
+  return key;
+}
+
+/// g3 error of X -> A: the minimum fraction of tuples to delete so the FD
+/// holds = 1 - (Σ over X-groups of the majority-A count) / |D|.
+double FdError(const Relation& d, const std::vector<AttributeId>& lhs,
+               AttributeId rhs) {
+  std::unordered_map<std::string, std::unordered_map<std::string, int>>
+      groups;
+  for (const data::Tuple& t : d.tuples()) {
+    ++groups[Key(t, lhs)][t.value(rhs).ToString()];
+  }
+  long kept = 0;
+  for (const auto& [key, counts] : groups) {
+    int majority = 0;
+    for (const auto& [value, c] : counts) majority = std::max(majority, c);
+    kept += majority;
+  }
+  return 1.0 - static_cast<double>(kept) / static_cast<double>(d.size());
+}
+
+int DistinctCount(const Relation& d, const std::vector<AttributeId>& attrs) {
+  std::unordered_map<std::string, int> seen;
+  for (const data::Tuple& t : d.tuples()) {
+    seen.emplace(Key(t, attrs), 0);
+  }
+  return static_cast<int>(seen.size());
+}
+
+}  // namespace
+
+std::string DiscoveredFd::ToRuleLine(const data::Schema& schema,
+                                     const std::string& name) const {
+  std::string line = "CFD " + name + ": ";
+  for (size_t i = 0; i < lhs.size(); ++i) {
+    if (i > 0) line += ", ";
+    line += schema.attribute_name(lhs[i]);
+  }
+  line += " -> " + schema.attribute_name(rhs);
+  return line;
+}
+
+std::vector<DiscoveredFd> DiscoverFds(const Relation& d,
+                                      const FdDiscoveryOptions& options) {
+  std::vector<DiscoveredFd> out;
+  if (d.empty()) return out;
+  const int arity = d.schema().arity();
+
+  // Level 1: single-attribute LHS.
+  std::vector<std::vector<bool>> holds1(
+      static_cast<size_t>(arity), std::vector<bool>(static_cast<size_t>(arity), false));
+  std::vector<int> distinct1(static_cast<size_t>(arity));
+  for (AttributeId a = 0; a < arity; ++a) {
+    distinct1[static_cast<size_t>(a)] = DistinctCount(d, {a});
+  }
+  for (AttributeId x = 0; x < arity; ++x) {
+    if (distinct1[static_cast<size_t>(x)] < options.min_lhs_distinct) {
+      continue;
+    }
+    for (AttributeId a = 0; a < arity; ++a) {
+      if (a == x) continue;
+      double error = FdError(d, {x}, a);
+      if (error <= options.max_error) {
+        holds1[static_cast<size_t>(x)][static_cast<size_t>(a)] = true;
+        out.push_back(DiscoveredFd{{x}, a, error});
+      }
+    }
+  }
+
+  if (options.max_lhs_size >= 2) {
+    for (AttributeId x = 0; x < arity; ++x) {
+      if (distinct1[static_cast<size_t>(x)] < options.min_lhs_distinct) {
+        continue;
+      }
+      for (AttributeId y = x + 1; y < arity; ++y) {
+        if (distinct1[static_cast<size_t>(y)] < options.min_lhs_distinct) {
+          continue;
+        }
+        for (AttributeId a = 0; a < arity; ++a) {
+          if (a == x || a == y) continue;
+          // Minimality: skip if either single attribute already determines A.
+          if (holds1[static_cast<size_t>(x)][static_cast<size_t>(a)] ||
+              holds1[static_cast<size_t>(y)][static_cast<size_t>(a)]) {
+            continue;
+          }
+          double error = FdError(d, {x, y}, a);
+          if (error <= options.max_error) {
+            out.push_back(DiscoveredFd{{x, y}, a, error});
+          }
+        }
+      }
+    }
+  }
+  UC_CHECK_LE(options.max_lhs_size, 2)
+      << "DiscoverFds supports LHS sizes 1 and 2";
+
+  std::sort(out.begin(), out.end(),
+            [](const DiscoveredFd& a, const DiscoveredFd& b) {
+              if (a.lhs.size() != b.lhs.size()) {
+                return a.lhs.size() < b.lhs.size();
+              }
+              if (a.lhs != b.lhs) return a.lhs < b.lhs;
+              return a.rhs < b.rhs;
+            });
+  return out;
+}
+
+}  // namespace discovery
+}  // namespace uniclean

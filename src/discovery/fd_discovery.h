@@ -1,0 +1,51 @@
+// FD discovery by partition refinement (TANE-style), the profiling step §2
+// points to for obtaining data quality rules ("Both CFDs and MDs can be
+// automatically discovered from data via profiling algorithms"). Finds
+// minimal functional dependencies X -> A with |X| bounded, exactly or
+// approximately (tolerating a fraction of violating tuples, the g3 error).
+
+#ifndef UNICLEAN_DISCOVERY_FD_DISCOVERY_H_
+#define UNICLEAN_DISCOVERY_FD_DISCOVERY_H_
+
+#include <vector>
+
+#include "data/relation.h"
+#include "rules/cfd.h"
+
+namespace uniclean {
+namespace discovery {
+
+struct FdDiscoveryOptions {
+  /// Maximum number of LHS attributes considered (1 or 2 keeps discovery
+  /// polynomial and covers the lion's share of real rule sets, including
+  /// every FD the §8 datasets use).
+  int max_lhs_size = 2;
+  /// g3-style error tolerance: the FD is reported when removing at most
+  /// this fraction of tuples makes it hold exactly. 0 = exact discovery.
+  double max_error = 0.0;
+  /// LHS candidates with fewer distinct values than this are skipped as
+  /// trivially-keylike noise amplifiers (set to 0 to keep all).
+  int min_lhs_distinct = 2;
+};
+
+/// A discovered dependency with its support statistics.
+struct DiscoveredFd {
+  std::vector<data::AttributeId> lhs;
+  data::AttributeId rhs;
+  /// Fraction of tuples violating the FD (g3 error), in [0, max_error].
+  double error;
+
+  /// Renders as a parseable CFD line (all-wildcard pattern).
+  std::string ToRuleLine(const data::Schema& schema,
+                         const std::string& name) const;
+};
+
+/// Discovers minimal FDs on `d`. Results are sorted by (|lhs|, lhs, rhs).
+/// An FD is reported only if no discovered subset-LHS FD implies it.
+std::vector<DiscoveredFd> DiscoverFds(const data::Relation& d,
+                                      const FdDiscoveryOptions& options = {});
+
+}  // namespace discovery
+}  // namespace uniclean
+
+#endif  // UNICLEAN_DISCOVERY_FD_DISCOVERY_H_

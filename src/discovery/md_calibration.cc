@@ -1,0 +1,91 @@
+#include "discovery/md_calibration.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+#include "similarity/metrics.h"
+
+namespace uniclean {
+namespace discovery {
+
+namespace {
+
+double RateBelow(const std::vector<double>& sorted_scores, double threshold) {
+  // Fraction of scores >= threshold.
+  auto it = std::lower_bound(sorted_scores.begin(), sorted_scores.end(),
+                             threshold);
+  return static_cast<double>(sorted_scores.end() - it) /
+         static_cast<double>(sorted_scores.size());
+}
+
+}  // namespace
+
+CalibrationResult CalibrateJaroWinkler(
+    const std::vector<std::pair<std::string, std::string>>& matched,
+    const std::vector<std::pair<std::string, std::string>>& unmatched,
+    double target_recall) {
+  UC_CHECK(!matched.empty());
+  std::vector<double> match_scores;
+  match_scores.reserve(matched.size());
+  for (const auto& [a, b] : matched) {
+    match_scores.push_back(similarity::JaroWinklerSimilarity(a, b));
+  }
+  std::sort(match_scores.begin(), match_scores.end());
+  // The largest threshold keeping >= target_recall of matches: the score at
+  // the (1 - target_recall) quantile.
+  size_t cut = static_cast<size_t>(
+      (1.0 - target_recall) * static_cast<double>(match_scores.size()));
+  cut = std::min(cut, match_scores.size() - 1);
+  double threshold = match_scores[cut];
+
+  CalibrationResult result{
+      similarity::SimilarityPredicate::JaroWinkler(threshold), 0.0, 0.0};
+  result.recall = RateBelow(match_scores, threshold);
+  if (!unmatched.empty()) {
+    std::vector<double> other;
+    other.reserve(unmatched.size());
+    for (const auto& [a, b] : unmatched) {
+      other.push_back(similarity::JaroWinklerSimilarity(a, b));
+    }
+    std::sort(other.begin(), other.end());
+    result.false_accept_rate = RateBelow(other, threshold);
+  }
+  return result;
+}
+
+CalibrationResult CalibrateEditDistance(
+    const std::vector<std::pair<std::string, std::string>>& matched,
+    const std::vector<std::pair<std::string, std::string>>& unmatched,
+    double target_recall) {
+  UC_CHECK(!matched.empty());
+  std::vector<int> distances;
+  distances.reserve(matched.size());
+  for (const auto& [a, b] : matched) {
+    distances.push_back(similarity::EditDistance(a, b));
+  }
+  std::sort(distances.begin(), distances.end());
+  size_t cut = static_cast<size_t>(
+      target_recall * static_cast<double>(distances.size()));
+  if (cut > 0) --cut;
+  int k = distances[std::min(cut, distances.size() - 1)];
+
+  CalibrationResult result{similarity::SimilarityPredicate::Edit(k), 0.0,
+                           0.0};
+  double hits = 0;
+  for (int dist : distances) {
+    if (dist <= k) ++hits;
+  }
+  result.recall = hits / static_cast<double>(distances.size());
+  if (!unmatched.empty()) {
+    double accepts = 0;
+    for (const auto& [a, b] : unmatched) {
+      if (similarity::BoundedEditDistance(a, b, k) <= k) ++accepts;
+    }
+    result.false_accept_rate =
+        accepts / static_cast<double>(unmatched.size());
+  }
+  return result;
+}
+
+}  // namespace discovery
+}  // namespace uniclean

@@ -1,0 +1,47 @@
+// MD similarity-threshold calibration: given labeled (value, master value)
+// pairs — matched and unmatched — picks the similarity threshold for an MD
+// premise clause that reaches a target recall on the matches while
+// maximizing the margin to the non-matches. This is the practical half of
+// MD discovery [Song & Chen 2009] that the paper's §2 relies on: the
+// structure of an MD usually comes from the schema, the thresholds from
+// the data.
+
+#ifndef UNICLEAN_DISCOVERY_MD_CALIBRATION_H_
+#define UNICLEAN_DISCOVERY_MD_CALIBRATION_H_
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "similarity/predicate.h"
+
+namespace uniclean {
+namespace discovery {
+
+struct CalibrationResult {
+  similarity::SimilarityPredicate predicate;
+  /// Recall on the labeled matches at the chosen threshold.
+  double recall = 0.0;
+  /// False-accept rate on the labeled non-matches.
+  double false_accept_rate = 0.0;
+};
+
+/// Calibrates a Jaro-Winkler threshold: the largest threshold whose recall
+/// on `matched` is at least `target_recall`. `unmatched` is used to report
+/// the false-accept rate (and may be empty).
+CalibrationResult CalibrateJaroWinkler(
+    const std::vector<std::pair<std::string, std::string>>& matched,
+    const std::vector<std::pair<std::string, std::string>>& unmatched,
+    double target_recall = 0.95);
+
+/// Calibrates an edit-distance bound: the smallest k whose recall on
+/// `matched` is at least `target_recall`.
+CalibrationResult CalibrateEditDistance(
+    const std::vector<std::pair<std::string, std::string>>& matched,
+    const std::vector<std::pair<std::string, std::string>>& unmatched,
+    double target_recall = 0.95);
+
+}  // namespace discovery
+}  // namespace uniclean
+
+#endif  // UNICLEAN_DISCOVERY_MD_CALIBRATION_H_

@@ -1,0 +1,72 @@
+#include "eval/metrics.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace uniclean {
+namespace eval {
+
+PrecisionRecall RepairAccuracy(const data::Relation& dirty,
+                               const data::Relation& repaired,
+                               const data::Relation& truth) {
+  UC_CHECK_EQ(dirty.size(), repaired.size());
+  UC_CHECK_EQ(dirty.size(), truth.size());
+  UC_CHECK_EQ(dirty.schema().arity(), truth.schema().arity());
+  int updated = 0;
+  int correctly_updated = 0;
+  int erroneous = 0;
+  int corrected = 0;
+  for (data::TupleId t = 0; t < dirty.size(); ++t) {
+    for (data::AttributeId a = 0; a < dirty.schema().arity(); ++a) {
+      const data::Value& dv = dirty.tuple(t).value(a);
+      const data::Value& rv = repaired.tuple(t).value(a);
+      const data::Value& tv = truth.tuple(t).value(a);
+      const bool was_error = dv != tv;
+      const bool was_updated = rv != dv;
+      if (was_updated) {
+        ++updated;
+        if (rv == tv) ++correctly_updated;
+      }
+      if (was_error) {
+        ++erroneous;
+        if (rv == tv) ++corrected;
+      }
+    }
+  }
+  PrecisionRecall pr;
+  pr.precision = updated == 0 ? 1.0
+                              : static_cast<double>(correctly_updated) /
+                                    static_cast<double>(updated);
+  pr.recall = erroneous == 0 ? 1.0
+                             : static_cast<double>(corrected) /
+                                   static_cast<double>(erroneous);
+  return pr;
+}
+
+PrecisionRecall MatchAccuracy(
+    std::vector<std::pair<data::TupleId, data::TupleId>> found,
+    std::vector<std::pair<data::TupleId, data::TupleId>> truth) {
+  std::sort(found.begin(), found.end());
+  found.erase(std::unique(found.begin(), found.end()), found.end());
+  std::sort(truth.begin(), truth.end());
+  truth.erase(std::unique(truth.begin(), truth.end()), truth.end());
+  std::vector<std::pair<data::TupleId, data::TupleId>> inter;
+  std::set_intersection(found.begin(), found.end(), truth.begin(),
+                        truth.end(), std::back_inserter(inter));
+  PrecisionRecall pr;
+  pr.precision = found.empty() ? 1.0
+                               : static_cast<double>(inter.size()) /
+                                     static_cast<double>(found.size());
+  pr.recall = truth.empty() ? 1.0
+                            : static_cast<double>(inter.size()) /
+                                  static_cast<double>(truth.size());
+  return pr;
+}
+
+int ErrorCount(const data::Relation& d, const data::Relation& truth) {
+  return d.CellDiffCount(truth);
+}
+
+}  // namespace eval
+}  // namespace uniclean

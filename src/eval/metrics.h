@@ -1,0 +1,50 @@
+// Quality metrics of §8: precision / recall / F-measure for data repairing
+// (attribute level) and record matching (pair level).
+//
+// Repairing: precision = correctly-updated cells / all updated cells;
+//            recall    = corrected cells / all erroneous cells.
+// Matching:  precision = true matches found / all matches found;
+//            recall    = true matches found / all true matches.
+
+#ifndef UNICLEAN_EVAL_METRICS_H_
+#define UNICLEAN_EVAL_METRICS_H_
+
+#include <utility>
+#include <vector>
+
+#include "data/relation.h"
+
+namespace uniclean {
+namespace eval {
+
+struct PrecisionRecall {
+  double precision = 0.0;
+  double recall = 0.0;
+
+  /// Harmonic mean; 0 when both components are 0.
+  double F() const {
+    if (precision + recall == 0.0) return 0.0;
+    return 2.0 * precision * recall / (precision + recall);
+  }
+};
+
+/// Attribute-level repair accuracy: `dirty` is the input D, `repaired` the
+/// output Dr and `truth` the ground-truth clean relation. All three must
+/// share schema and size (tuple i corresponds across the three).
+PrecisionRecall RepairAccuracy(const data::Relation& dirty,
+                               const data::Relation& repaired,
+                               const data::Relation& truth);
+
+/// Pair-level match accuracy. Both vectors are (data tuple, master tuple)
+/// pairs; they need not be sorted.
+PrecisionRecall MatchAccuracy(
+    std::vector<std::pair<data::TupleId, data::TupleId>> found,
+    std::vector<std::pair<data::TupleId, data::TupleId>> truth);
+
+/// Number of cells of `d` differing from `truth` (the remaining errors).
+int ErrorCount(const data::Relation& d, const data::Relation& truth);
+
+}  // namespace eval
+}  // namespace uniclean
+
+#endif  // UNICLEAN_EVAL_METRICS_H_

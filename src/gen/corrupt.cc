@@ -1,0 +1,111 @@
+#include "gen/corrupt.h"
+
+#include <algorithm>
+#include <string>
+
+#include "common/check.h"
+
+namespace uniclean {
+namespace gen {
+
+namespace {
+
+std::string Typo(const std::string& v, Rng* rng) {
+  std::string out = v;
+  if (out.empty()) return "x";
+  size_t pos = rng->Index(out.size());
+  switch (rng->Uniform(0, 2)) {
+    case 0:  // substitute
+      out[pos] = static_cast<char>('a' + rng->Uniform(0, 25));
+      break;
+    case 1:  // insert
+      out.insert(out.begin() + static_cast<long>(pos),
+                 static_cast<char>('a' + rng->Uniform(0, 25)));
+      break;
+    default:  // delete
+      out.erase(out.begin() + static_cast<long>(pos));
+      break;
+  }
+  return out;
+}
+
+std::string Truncate(const std::string& v, Rng* rng) {
+  if (v.size() <= 1) return v + "x";
+  size_t keep = 1 + rng->Index(v.size() - 1);
+  return v.substr(0, keep);
+}
+
+}  // namespace
+
+int InjectNoise(data::Relation* d,
+                const std::vector<data::AttributeId>& noisy_attrs,
+                double noise_rate, Rng* rng,
+                const std::unordered_map<data::AttributeId, double>&
+                    rate_scale) {
+  UC_CHECK(d != nullptr);
+  int corrupted = 0;
+  for (data::TupleId t = 0; t < d->size(); ++t) {
+    for (data::AttributeId a : noisy_attrs) {
+      double rate = noise_rate;
+      auto scale_it = rate_scale.find(a);
+      if (scale_it != rate_scale.end()) {
+        rate = std::min(0.9, rate * scale_it->second);
+      }
+      if (!rng->Bernoulli(rate)) continue;
+      const data::Value& current = d->tuple(t).value(a);
+      if (current.is_null()) continue;
+      std::string replacement;
+      // Typos dominate (as in real dirty data); swaps and truncations are
+      // rarer. A swapped FD-key value relabels the tuple's entire dependent
+      // group, so overweighting swaps makes the workload artificially
+      // adversarial.
+      int kind = static_cast<int>(rng->Uniform(0, 9));
+      if (kind < 6) {
+        replacement = Typo(current.str(), rng);
+      } else if (kind < 8) {
+        replacement = Truncate(current.str(), rng);
+      } else {
+        // Swap in another tuple's value from the same column.
+        data::TupleId other = static_cast<data::TupleId>(
+            rng->Index(static_cast<size_t>(d->size())));
+        replacement = d->tuple(other).value(a).str();
+      }
+      if (replacement == current.str()) {
+        replacement = Typo(current.str(), rng);
+      }
+      if (replacement == current.str()) continue;  // 1-char edge cases
+      d->mutable_tuple(t).set_value(a, data::Value(replacement));
+      ++corrupted;
+    }
+  }
+  return corrupted;
+}
+
+std::unordered_map<data::AttributeId, double> PremiseNoiseScale(
+    const rules::RuleSet& ruleset, double boost) {
+  std::unordered_map<data::AttributeId, double> scale;
+  if (boost == 1.0) return scale;
+  for (const rules::Md& md : ruleset.mds()) {
+    for (const rules::MdClause& c : md.premise()) {
+      scale[c.data_attr] = boost;
+    }
+  }
+  return scale;
+}
+
+void AssignConfidence(data::Relation* d, const data::Relation& truth,
+                      double asserted_rate, Rng* rng) {
+  UC_CHECK(d != nullptr);
+  UC_CHECK_EQ(d->size(), truth.size());
+  for (data::TupleId t = 0; t < d->size(); ++t) {
+    for (data::AttributeId a = 0; a < d->schema().arity(); ++a) {
+      bool correct = d->tuple(t).value(a) == truth.tuple(t).value(a);
+      double cf =
+          (correct && rng->Bernoulli(asserted_rate)) ? 1.0 : 0.0;
+      d->mutable_tuple(t).set_confidence(a, cf);
+    }
+  }
+}
+
+}  // namespace gen
+}  // namespace uniclean

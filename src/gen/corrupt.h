@@ -1,0 +1,47 @@
+// Noise injection and confidence assignment shared by all generators (§8's
+// dirty-data protocol).
+
+#ifndef UNICLEAN_GEN_CORRUPT_H_
+#define UNICLEAN_GEN_CORRUPT_H_
+
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+#include "data/relation.h"
+#include "rules/ruleset.h"
+
+namespace uniclean {
+namespace gen {
+
+/// Corrupts cells of `d` restricted to `noisy_attrs` (the attributes the
+/// rules cover — errors elsewhere are unrepairable by construction and
+/// would only shift recall by a constant). Error kinds: character-level
+/// typos (60%), truncation to a prefix (20%, abbreviation-style errors
+/// such as "Yes" -> "Y") and value swaps within the column (20%, wrong but
+/// plausible values). Each attribute in `noisy_attrs` is corrupted at
+/// `noise_rate`, scaled by its entry in `rate_scale` if present (capped at
+/// 0.9). Returns the number of cells corrupted.
+int InjectNoise(data::Relation* d,
+                const std::vector<data::AttributeId>& noisy_attrs,
+                double noise_rate, Rng* rng,
+                const std::unordered_map<data::AttributeId, double>&
+                    rate_scale = {});
+
+/// Rate-scale map boosting every MD premise attribute by `boost` (identity
+/// map when boost == 1).
+std::unordered_map<data::AttributeId, double> PremiseNoiseScale(
+    const rules::RuleSet& ruleset, double boost);
+
+/// The asr% protocol: for each attribute, each tuple whose cell is still
+/// correct (equal to `truth`) is asserted with confidence 1.0 with
+/// probability `asserted_rate`; every other cell gets confidence 0.0. The
+/// paper assumes asserted confidence is placed correctly (§5.1), hence the
+/// restriction to correct cells.
+void AssignConfidence(data::Relation* d, const data::Relation& truth,
+                      double asserted_rate, Rng* rng);
+
+}  // namespace gen
+}  // namespace uniclean
+
+#endif  // UNICLEAN_GEN_CORRUPT_H_

@@ -1,0 +1,240 @@
+// HOSP generator: mirrors the US Dept. of Health & Human Services hospital
+// dataset used by §8 — 19 attributes, 23 CFDs (15 FDs, 2 standardization
+// rules, 6 zip-conditioned constant CFDs) and 3 MDs against a provider
+// master relation.
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "data/relation.h"
+#include "data/schema.h"
+#include "gen/corrupt.h"
+#include "gen/dataset.h"
+#include "gen/words.h"
+#include "rules/parser.h"
+
+namespace uniclean {
+namespace gen {
+
+namespace {
+
+struct City {
+  std::string name;
+  int state;
+  std::string county;
+};
+
+struct Provider {
+  std::string id;
+  std::string name;
+  std::string address;
+  std::string phone;
+  int zip;
+  std::string type;
+  std::string owner;
+  std::string emergency;
+};
+
+struct Measure {
+  std::string code;
+  std::string name;
+  std::string condition;
+};
+
+struct Universe {
+  std::vector<std::string> states;
+  std::vector<City> cities;
+  std::vector<std::pair<std::string, int>> zips;  // code -> city index
+  std::vector<Provider> providers;                // master ones first
+  std::vector<Measure> measures;
+  std::vector<std::string> words;
+  int num_master_providers = 0;
+};
+
+Universe BuildUniverse(const GeneratorConfig& config, Rng* rng) {
+  Universe u;
+  // A large vocabulary keeps distinct hospital names far apart under the
+  // fuzzy MD predicates, so clean data satisfies the rules.
+  u.words = BuildWordPool(400, rng);
+  auto title_word = [&u, rng]() {
+    std::string w = u.words[rng->Index(u.words.size())];
+    w[0] = static_cast<char>(w[0] - 'a' + 'A');
+    return w;
+  };
+  for (int i = 0; i < 20; ++i) {
+    u.states.push_back("ST" + std::to_string(i));
+  }
+  for (int i = 0; i < 150; ++i) {
+    City c;
+    c.name = title_word() + " City " + std::to_string(i);
+    c.state = static_cast<int>(rng->Index(u.states.size()));
+    c.county = title_word() + " County";
+    u.cities.push_back(std::move(c));
+  }
+  for (int i = 0; i < 300; ++i) {
+    char code[8];
+    std::snprintf(code, sizeof(code), "Z%05d", i * 37 % 100000);
+    u.zips.emplace_back(code, static_cast<int>(rng->Index(u.cities.size())));
+  }
+  static const char* kTypes[] = {"Acute Care", "Critical Access",
+                                 "Childrens"};
+  static const char* kOwners[] = {"Government", "Proprietary", "Voluntary",
+                                  "Church"};
+  const int extra_providers =
+      std::max(64, config.master_size / 2);  // providers without master rows
+  const int total = config.master_size + extra_providers;
+  std::unordered_set<std::string> used_names;
+  for (int i = 0; i < total; ++i) {
+    Provider p;
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "P%06d", i);
+    p.id = buf;
+    p.zip = static_cast<int>(rng->Index(u.zips.size()));
+    do {
+      p.name = title_word() + " " + title_word() + " Hospital";
+    } while (!used_names.insert(p.name).second);
+    p.address = std::to_string(1 + rng->Uniform(0, 9998)) + " " +
+                title_word() + " St";
+    std::snprintf(buf, sizeof(buf), "555%07d", i);
+    p.phone = buf;
+    p.type = kTypes[rng->Index(std::size(kTypes))];
+    p.owner = kOwners[rng->Index(std::size(kOwners))];
+    p.emergency = rng->Bernoulli(0.7) ? "Yes" : "No";
+    u.providers.push_back(std::move(p));
+  }
+  u.num_master_providers = config.master_size;
+  static const char* kConditions[] = {"Heart Attack", "Heart Failure",
+                                      "Pneumonia",    "Surgical Care",
+                                      "Asthma",       "Stroke"};
+  for (int i = 0; i < 60; ++i) {
+    Measure m;
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "MC%03d", i);
+    m.code = buf;
+    m.condition = kConditions[i % std::size(kConditions)];
+    m.name = m.condition + " measure " + std::to_string(i);
+    u.measures.push_back(std::move(m));
+  }
+  return u;
+}
+
+std::string StateAvg(const Universe& u, int state, const std::string& code) {
+  // Deterministic per (state, measure): satisfies State,MeasureCode->StateAvg.
+  size_t h = std::hash<std::string>()(u.states[static_cast<size_t>(state)] +
+                                      "|" + code);
+  return std::to_string(h % 1000) + "/1000";
+}
+
+std::string RuleText(const Universe& u) {
+  std::string text = R"(# HOSP rules: 23 CFDs + 3 MDs
+CFD f1: ZIP -> City
+CFD f2: ZIP -> State
+CFD f3: City -> County
+CFD f4: City -> State
+CFD f5: ProviderID -> HospitalName
+CFD f6: ProviderID -> Address
+CFD f7: ProviderID -> Phone
+CFD f8: ProviderID -> ZIP
+CFD f9: ProviderID -> HospitalType
+CFD f10: ProviderID -> Owner
+CFD f11: ProviderID -> EmergencyService
+CFD f12: Phone -> ProviderID
+CFD f13: MeasureCode -> MeasureName
+CFD f14: MeasureCode -> Condition
+CFD f15: State, MeasureCode -> StateAvg
+CFD s1: EmergencyService='Y' -> EmergencyService='Yes'
+CFD s2: EmergencyService='N' -> EmergencyService='No'
+)";
+  // Six zip-conditioned constant CFDs drawn from the generated universe.
+  for (int i = 0; i < 6; ++i) {
+    const auto& [code, city_idx] = u.zips[static_cast<size_t>(i * 11)];
+    const City& city = u.cities[static_cast<size_t>(city_idx)];
+    text += "CFD z" + std::to_string(i) + ": ZIP='" + code + "' -> City='" +
+            city.name + "'\n";
+  }
+  text += R"(MD md1: ProviderID=ProviderID & HospitalName ~jw:0.75 HospitalName -> HospitalName:=HospitalName, Address:=Address, Phone:=Phone
+MD md2: ZIP=ZIP & Phone=Phone & HospitalName ~jw:0.70 HospitalName -> HospitalName:=HospitalName, Address:=Address
+MD md3: HospitalName ~jw:0.95 HospitalName & Address ~edit:3 Address -> Phone:=Phone, ZIP:=ZIP
+)";
+  return text;
+}
+
+}  // namespace
+
+Dataset GenerateHosp(const GeneratorConfig& config) {
+  Rng rng(config.seed);
+  Universe u = BuildUniverse(config, &rng);
+
+  auto data_schema = data::MakeSchema(
+      "hosp",
+      {"ProviderID", "HospitalName", "Address", "City", "State", "ZIP",
+       "County", "Phone", "HospitalType", "Owner", "EmergencyService",
+       "Condition", "MeasureCode", "MeasureName", "Score", "Sample",
+       "StateAvg", "Rating", "FootNote"});
+  UC_CHECK_EQ(data_schema->arity(), 19);
+  auto master_schema = data::MakeSchema(
+      "hosp_master", {"ProviderID", "HospitalName", "Address", "City",
+                      "State", "ZIP", "County", "Phone"});
+
+  auto rules_result =
+      rules::ParseRuleSet(RuleText(u), data_schema, master_schema);
+  UC_CHECK(rules_result.ok()) << rules_result.status().ToString();
+
+  auto provider_row = [&u](const Provider& p) {
+    const auto& [zip_code, city_idx] = u.zips[static_cast<size_t>(p.zip)];
+    const City& city = u.cities[static_cast<size_t>(city_idx)];
+    return std::vector<std::string>{
+        p.id,      p.name, p.address, city.name,
+        u.states[static_cast<size_t>(city.state)], zip_code, city.county,
+        p.phone};
+  };
+
+  data::Relation master(master_schema);
+  for (int i = 0; i < u.num_master_providers; ++i) {
+    master.AddRow(provider_row(u.providers[static_cast<size_t>(i)]), 1.0);
+  }
+
+  data::Relation clean(data_schema);
+  std::vector<std::pair<data::TupleId, data::TupleId>> true_matches;
+  for (int i = 0; i < config.num_tuples; ++i) {
+    bool dup = rng.Bernoulli(config.dup_rate);
+    size_t provider_idx =
+        dup ? rng.Index(static_cast<size_t>(u.num_master_providers))
+            : static_cast<size_t>(u.num_master_providers) +
+                  rng.Index(u.providers.size() -
+                            static_cast<size_t>(u.num_master_providers));
+    const Provider& p = u.providers[provider_idx];
+    const Measure& m = u.measures[rng.Index(u.measures.size())];
+    const auto& [zip_code, city_idx] = u.zips[static_cast<size_t>(p.zip)];
+    const City& city = u.cities[static_cast<size_t>(city_idx)];
+    const std::string& state = u.states[static_cast<size_t>(city.state)];
+    clean.AddRow({p.id, p.name, p.address, city.name, state, zip_code,
+                  city.county, p.phone, p.type, p.owner, p.emergency,
+                  m.condition, m.code, m.name,
+                  std::to_string(rng.Uniform(0, 100)) + "%",
+                  std::to_string(rng.Uniform(10, 900)) + " patients",
+                  StateAvg(u, city.state, m.code),
+                  std::to_string(rng.Uniform(1, 5)),
+                  "note" + std::to_string(rng.Uniform(0, 9))});
+    if (dup) {
+      true_matches.emplace_back(i, static_cast<data::TupleId>(provider_idx));
+    }
+  }
+
+  Dataset dataset("HOSP", std::move(master), std::move(clean),
+                  std::move(rules_result).value());
+  dataset.true_matches = std::move(true_matches);
+  InjectNoise(&dataset.dirty, dataset.rules.RuleAttributes(),
+              config.noise_rate, &rng,
+              PremiseNoiseScale(dataset.rules,
+                                config.md_premise_noise_boost));
+  AssignConfidence(&dataset.dirty, dataset.clean, config.asserted_rate,
+                   &rng);
+  return dataset;
+}
+
+}  // namespace gen
+}  // namespace uniclean

@@ -1,0 +1,400 @@
+// TPC-H generator: the §8 synthetic workload — every benchmark table joined
+// into one 58-attribute relation, 55 CFDs derived from the schema's key /
+// foreign-key dependencies (plus optional extra pattern CFDs for the |Σ|
+// sweep of Fig. 14(g)) and 10 MDs against a customer master relation (plus
+// optional extras for the |Γ| sweep of Fig. 14(h)).
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/check.h"
+#include "common/rng.h"
+#include "data/relation.h"
+#include "data/schema.h"
+#include "gen/corrupt.h"
+#include "gen/dataset.h"
+#include "gen/words.h"
+#include "rules/parser.h"
+
+namespace uniclean {
+namespace gen {
+
+namespace {
+
+struct Nation {
+  std::string name;
+  int region;
+  std::string phonecc;
+};
+
+struct Customer {
+  std::string key;
+  std::string name;
+  std::string address;
+  std::string phone;
+  std::string acctbal;
+  std::string mktsegment;
+  int nation;
+  std::string comment;
+};
+
+struct Supplier {
+  std::string key;
+  std::string name;
+  std::string address;
+  std::string phone;
+  std::string acctbal;
+  int nation;
+  std::string comment;
+};
+
+struct Part {
+  std::string key;
+  std::string name;
+  std::string mfgr;
+  std::string brand;
+  std::string type;
+  std::string category;
+  std::string size;
+  std::string container;
+  std::string retailprice;
+  std::string comment;
+};
+
+struct Order {
+  std::string key;
+  int customer;
+  std::string status;
+  std::string totalprice;
+  std::string date;
+  std::string year;
+  std::string quarter;
+  std::string priority;
+  std::string clerk;
+  std::string clerkdept;
+  std::string shippriority;
+  std::string comment;
+};
+
+struct Universe {
+  std::vector<std::string> regions;
+  std::vector<Nation> nations;
+  std::vector<Customer> customers;  // master ones first
+  std::vector<Supplier> suppliers;
+  std::vector<Part> parts;
+  std::vector<Order> orders;
+  std::vector<std::string> words;
+  int num_master_customers = 0;
+};
+
+std::string Pick(const std::vector<std::string>& pool, Rng* rng) {
+  return pool[rng->Index(pool.size())];
+}
+
+Universe BuildUniverse(const GeneratorConfig& config, Rng* rng) {
+  Universe u;
+  u.words = BuildWordPool(500, rng);
+  for (int i = 0; i < 5; ++i) u.regions.push_back("REGION" + std::to_string(i));
+  for (int i = 0; i < 25; ++i) {
+    Nation n;
+    n.name = "NATION" + std::to_string(i);
+    n.region = i % 5;
+    n.phonecc = std::to_string(10 + i);
+    u.nations.push_back(std::move(n));
+  }
+  const int extra = std::max(64, config.master_size / 2);
+  const int total_customers = config.master_size + extra;
+  // Names are unique three-word phrases and phone bodies are unique random
+  // digit strings: distinct customers stay far apart under the fuzzy MD
+  // premises (jw / edit), as distinct entities do in real data.
+  std::unordered_set<std::string> used_names;
+  std::unordered_set<std::string> used_phones;
+  for (int i = 0; i < total_customers; ++i) {
+    Customer c;
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "C%07d", i);
+    c.key = buf;
+    do {
+      c.name = Pick(u.words, rng) + " " + Pick(u.words, rng) + " " +
+               Pick(u.words, rng);
+    } while (!used_names.insert(c.name).second);
+    c.address = std::to_string(rng->Uniform(1, 9999)) + " " +
+                Pick(u.words, rng) + " Ave";
+    c.nation = static_cast<int>(rng->Index(u.nations.size()));
+    std::string body;
+    do {
+      body = std::to_string(rng->Uniform(1000000, 9999999));
+    } while (!used_phones.insert(body).second);
+    c.phone = u.nations[static_cast<size_t>(c.nation)].phonecc + "-" + body;
+    c.acctbal = std::to_string(rng->Uniform(-999, 9999)) + ".00";
+    static const char* kSegments[] = {"AUTOMOBILE", "BUILDING", "FURNITURE",
+                                      "HOUSEHOLD", "MACHINERY"};
+    c.mktsegment = kSegments[rng->Index(std::size(kSegments))];
+    c.comment = Pick(u.words, rng);
+    u.customers.push_back(std::move(c));
+  }
+  u.num_master_customers = config.master_size;
+  for (int i = 0; i < 200; ++i) {
+    Supplier s;
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "S%06d", i);
+    s.key = buf;
+    s.name = Pick(u.words, rng) + " supply " + Pick(u.words, rng);
+    s.address = std::to_string(rng->Uniform(1, 9999)) + " " +
+                Pick(u.words, rng) + " Rd";
+    s.nation = static_cast<int>(rng->Index(u.nations.size()));
+    s.phone = u.nations[static_cast<size_t>(s.nation)].phonecc + "-" +
+              std::to_string(2000000 + i);
+    s.acctbal = std::to_string(rng->Uniform(-999, 9999)) + ".00";
+    s.comment = Pick(u.words, rng);
+    u.suppliers.push_back(std::move(s));
+  }
+  static const char* kContainers[] = {"SM BOX", "LG CASE", "MED DRUM",
+                                      "JUMBO JAR"};
+  for (int i = 0; i < 400; ++i) {
+    Part p;
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "PA%05d", i);
+    p.key = buf;
+    p.name = Pick(u.words, rng) + " " + Pick(u.words, rng);
+    int mfgr = static_cast<int>(rng->Index(static_cast<size_t>(5)));
+    p.mfgr = "Manufacturer#" + std::to_string(mfgr);
+    p.brand = "Brand#" + std::to_string(mfgr) + std::to_string(rng->Uniform(1, 5));
+    static const char* kTypes[] = {"ECONOMY BRASS", "STANDARD STEEL",
+                                   "PROMO COPPER", "SMALL NICKEL"};
+    p.type = kTypes[rng->Index(std::size(kTypes))];
+    p.category = p.type.substr(0, p.type.find(' '));
+    p.size = std::to_string(rng->Uniform(1, 50));
+    p.container = kContainers[rng->Index(std::size(kContainers))];
+    p.retailprice = std::to_string(rng->Uniform(900, 2000)) + ".00";
+    p.comment = Pick(u.words, rng);
+    u.parts.push_back(std::move(p));
+  }
+  const int num_orders = std::max(200, config.num_tuples / 3);
+  for (int i = 0; i < num_orders; ++i) {
+    Order o;
+    char buf[16];
+    std::snprintf(buf, sizeof(buf), "O%08d", i);
+    o.key = buf;
+    o.customer = static_cast<int>(rng->Index(u.customers.size()));
+    o.status = rng->Bernoulli(0.5) ? "O" : "F";
+    o.totalprice = std::to_string(rng->Uniform(1000, 400000)) + ".00";
+    int year = 1992 + static_cast<int>(rng->Index(7));
+    int month = 1 + static_cast<int>(rng->Index(12));
+    o.date = std::to_string(year) + "-" +
+             (month < 10 ? "0" : "") + std::to_string(month) + "-15";
+    o.year = std::to_string(year);
+    o.quarter = "Q" + std::to_string((month - 1) / 3 + 1);
+    static const char* kPriorities[] = {"1-URGENT", "2-HIGH", "3-MEDIUM",
+                                        "4-NOT SPECIFIED", "5-LOW"};
+    o.priority = kPriorities[rng->Index(std::size(kPriorities))];
+    int clerk = static_cast<int>(rng->Index(static_cast<size_t>(100)));
+    o.clerk = "Clerk#" + std::to_string(clerk);
+    o.clerkdept = "Dept" + std::to_string(clerk % 10);
+    o.shippriority = "0";
+    o.comment = Pick(u.words, rng);
+    u.orders.push_back(std::move(o));
+  }
+  return u;
+}
+
+std::string RuleText(const Universe& u, const GeneratorConfig& config) {
+  std::string text = R"(# TPC-H rules: 55 CFDs + 10 MDs (see generator)
+CFD o1: o_orderkey -> o_orderstatus
+CFD o2: o_orderkey -> o_totalprice
+CFD o3: o_orderkey -> o_orderdate
+CFD o4: o_orderkey -> o_orderpriority
+CFD o5: o_orderkey -> o_clerk
+CFD o6: o_orderkey -> o_shippriority
+CFD o7: o_orderkey -> o_comment
+CFD o8: o_orderkey -> c_custkey
+CFD o9: o_orderdate -> o_orderyear
+CFD o10: o_orderdate -> o_orderquarter
+CFD o11: o_clerk -> o_clerkdept
+CFD c1: c_custkey -> c_name
+CFD c2: c_custkey -> c_address
+CFD c3: c_custkey -> c_phone
+CFD c4: c_custkey -> c_acctbal
+CFD c5: c_custkey -> c_mktsegment
+CFD c6: c_custkey -> c_nationkey
+CFD c7: c_custkey -> c_comment
+CFD c8: c_nationkey -> c_nationname
+CFD c9: c_nationkey -> c_regionkey
+CFD c10: c_nationkey -> c_phonecc
+CFD c11: c_regionkey -> c_regionname
+CFD s1: s_suppkey -> s_name
+CFD s2: s_suppkey -> s_address
+CFD s3: s_suppkey -> s_phone
+CFD s4: s_suppkey -> s_acctbal
+CFD s5: s_suppkey -> s_nationkey
+CFD s6: s_suppkey -> s_comment
+CFD s7: s_nationkey -> s_nationname
+CFD s8: s_nationkey -> s_regionkey
+CFD s9: s_nationkey -> s_phonecc
+CFD s10: s_regionkey -> s_regionname
+CFD p1: p_partkey -> p_name
+CFD p2: p_partkey -> p_mfgr
+CFD p3: p_partkey -> p_brand
+CFD p4: p_partkey -> p_type
+CFD p5: p_partkey -> p_size
+CFD p6: p_partkey -> p_container
+CFD p7: p_partkey -> p_retailprice
+CFD p8: p_partkey -> p_comment
+CFD p9: p_brand -> p_mfgr
+CFD p10: p_type -> p_category
+CFD l1: l_shipdate -> l_shipyear
+CFD k1: l_returnflag='R' -> l_linestatus='F'
+CFD k2: l_shipmode='A' -> l_shipmode='AIR'
+)";
+  // Ten nation -> region constant CFDs from the generated universe.
+  for (int i = 0; i < 5; ++i) {
+    const Nation& n = u.nations[static_cast<size_t>(i * 3)];
+    text += "CFD kn" + std::to_string(i) + ": c_nationname='" + n.name +
+            "' -> c_regionname='" +
+            u.regions[static_cast<size_t>(n.region)] + "'\n";
+    text += "CFD ks" + std::to_string(i) + ": s_nationname='" + n.name +
+            "' -> s_regionname='" +
+            u.regions[static_cast<size_t>(n.region)] + "'\n";
+  }
+  // Extra pattern CFDs for the |Σ| scalability sweep: nation facts repeated
+  // over all 25 nations with distinct rule names (each is checked
+  // independently by the engines).
+  for (int i = 0; i < config.extra_cfds; ++i) {
+    const Nation& n = u.nations[static_cast<size_t>(i) % u.nations.size()];
+    text += "CFD x" + std::to_string(i) + ": c_nationname='" + n.name +
+            "' -> c_phonecc='" + n.phonecc + "'\n";
+  }
+  text += R"(MD m1: c_custkey=c_custkey -> c_name:=c_name, c_address:=c_address
+MD m2: c_name ~jw:0.85 c_name & c_phone=c_phone -> c_address:=c_address, c_acctbal:=c_acctbal
+MD m3: c_phone=c_phone -> c_custkey:=c_custkey
+MD m4: c_name ~jw:0.90 c_name & c_address ~edit:3 c_address -> c_phone:=c_phone
+MD m5: c_custkey=c_custkey & c_name ~jw:0.80 c_name -> c_mktsegment:=c_mktsegment
+MD m6: c_name ~edit:2 c_name & c_nationname=c_nationname -> c_phone:=c_phone
+MD m7: c_phone ~edit:1 c_phone & c_name ~jw:0.85 c_name -> c_name:=c_name
+MD m8: c_custkey=c_custkey -> c_nationname:=c_nationname
+MD m9: c_name ~jw:0.95 c_name -> c_custkey:=c_custkey
+MD m10: c_address ~edit:2 c_address & c_phone=c_phone -> c_name:=c_name
+)";
+  for (int i = 0; i < config.extra_mds; ++i) {
+    text += "MD mx" + std::to_string(i) + ": c_name ~jw:0." +
+            std::to_string(80 + (i % 15)) +
+            " c_name & c_phone=c_phone -> c_address:=c_address\n";
+  }
+  return text;
+}
+
+}  // namespace
+
+Dataset GenerateTpch(const GeneratorConfig& config) {
+  Rng rng(config.seed + 2);
+  Universe u = BuildUniverse(config, &rng);
+
+  auto data_schema = data::MakeSchema(
+      "tpch",
+      {// lineitem (14)
+       "l_linenumber", "l_quantity", "l_extendedprice", "l_discount",
+       "l_tax", "l_returnflag", "l_linestatus", "l_shipdate", "l_commitdate",
+       "l_receiptdate", "l_shipinstruct", "l_shipmode", "l_comment",
+       "l_shipyear",
+       // orders (12)
+       "o_orderkey", "o_orderstatus", "o_totalprice", "o_orderdate",
+       "o_orderyear", "o_orderquarter", "o_orderpriority", "o_clerk",
+       "o_clerkdept", "o_shippriority", "o_comment", "c_custkey",
+       // customer (10)
+       "c_name", "c_address", "c_phone", "c_phonecc", "c_acctbal",
+       "c_mktsegment", "c_nationkey", "c_nationname", "c_regionkey",
+       "c_regionname",
+       // supplier (11)
+       "s_suppkey", "s_name", "s_address", "s_phone", "s_phonecc",
+       "s_acctbal", "s_nationkey", "s_nationname", "s_regionkey",
+       "s_regionname", "s_comment",
+       // part (11)
+       "p_partkey", "p_name", "p_mfgr", "p_brand", "p_type", "p_category",
+       "p_size", "p_container", "p_retailprice", "p_comment", "c_comment"});
+  UC_CHECK_EQ(data_schema->arity(), 58);
+  auto master_schema = data::MakeSchema(
+      "tpch_master",
+      {"c_custkey", "c_name", "c_address", "c_phone", "c_phonecc",
+       "c_acctbal", "c_mktsegment", "c_nationname", "c_comment"});
+
+  auto rules_result =
+      rules::ParseRuleSet(RuleText(u, config), data_schema, master_schema);
+  UC_CHECK(rules_result.ok()) << rules_result.status().ToString();
+  UC_CHECK_GE(static_cast<int>(rules_result->cfds().size()), 55);
+
+  data::Relation master(master_schema);
+  for (int i = 0; i < u.num_master_customers; ++i) {
+    const Customer& c = u.customers[static_cast<size_t>(i)];
+    const Nation& n = u.nations[static_cast<size_t>(c.nation)];
+    master.AddRow({c.key, c.name, c.address, c.phone, n.phonecc, c.acctbal,
+                   c.mktsegment, n.name, c.comment},
+                  1.0);
+  }
+
+  // Orders on master customers produce a true match for their line items.
+  data::Relation clean(data_schema);
+  std::vector<std::pair<data::TupleId, data::TupleId>> true_matches;
+  static const char* kModes[] = {"AIR", "MAIL", "SHIP", "TRUCK", "RAIL"};
+  static const char* kInstr[] = {"DELIVER IN PERSON", "COLLECT COD",
+                                 "TAKE BACK RETURN", "NONE"};
+  for (int i = 0; i < config.num_tuples; ++i) {
+    // Respect dup%: pick an order whose customer is (or is not) in master.
+    bool want_dup = rng.Bernoulli(config.dup_rate);
+    const Order* order = nullptr;
+    for (int attempt = 0; attempt < 64 && order == nullptr; ++attempt) {
+      const Order& candidate = u.orders[rng.Index(u.orders.size())];
+      bool is_master = candidate.customer < u.num_master_customers;
+      if (is_master == want_dup) order = &candidate;
+    }
+    if (order == nullptr) order = &u.orders[rng.Index(u.orders.size())];
+    const Customer& c = u.customers[static_cast<size_t>(order->customer)];
+    const Nation& cn = u.nations[static_cast<size_t>(c.nation)];
+    const Supplier& s = u.suppliers[rng.Index(u.suppliers.size())];
+    const Nation& sn = u.nations[static_cast<size_t>(s.nation)];
+    const Part& p = u.parts[rng.Index(u.parts.size())];
+    std::string returnflag = rng.Bernoulli(0.3) ? "R" : "N";
+    std::string linestatus = returnflag == "R" ? "F" : "O";
+    std::string shipdate = order->year + "-0" +
+                           std::to_string(1 + rng.Uniform(0, 8)) + "-20";
+    clean.AddRow(
+        {std::to_string(1 + rng.Uniform(0, 6)),
+         std::to_string(1 + rng.Uniform(0, 49)),
+         std::to_string(rng.Uniform(1000, 90000)) + ".00",
+         "0.0" + std::to_string(rng.Uniform(0, 9)),
+         "0.0" + std::to_string(rng.Uniform(0, 8)), returnflag, linestatus,
+         shipdate, shipdate, shipdate, kInstr[rng.Index(std::size(kInstr))],
+         kModes[rng.Index(std::size(kModes))],
+         Pick(u.words, &rng), order->year,
+         order->key, order->status, order->totalprice, order->date,
+         order->year, order->quarter, order->priority, order->clerk,
+         order->clerkdept, order->shippriority, order->comment, c.key,
+         c.name, c.address, c.phone, cn.phonecc, c.acctbal, c.mktsegment,
+         "N" + std::to_string(c.nation), cn.name,
+         "R" + std::to_string(cn.region),
+         u.regions[static_cast<size_t>(cn.region)],
+         s.key, s.name, s.address, s.phone, sn.phonecc, s.acctbal,
+         "N" + std::to_string(s.nation), sn.name,
+         "R" + std::to_string(sn.region),
+         u.regions[static_cast<size_t>(sn.region)], s.comment,
+         p.key, p.name, p.mfgr, p.brand, p.type, p.category, p.size,
+         p.container, p.retailprice, p.comment, c.comment});
+    if (order->customer < u.num_master_customers) {
+      true_matches.emplace_back(i, order->customer);
+    }
+  }
+
+  Dataset dataset("TPCH", std::move(master), std::move(clean),
+                  std::move(rules_result).value());
+  dataset.true_matches = std::move(true_matches);
+  InjectNoise(&dataset.dirty, dataset.rules.RuleAttributes(),
+              config.noise_rate, &rng,
+              PremiseNoiseScale(dataset.rules,
+                                config.md_premise_noise_boost));
+  AssignConfidence(&dataset.dirty, dataset.clean, config.asserted_rate,
+                   &rng);
+  return dataset;
+}
+
+}  // namespace gen
+}  // namespace uniclean

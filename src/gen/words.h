@@ -1,0 +1,46 @@
+// Shared vocabulary builder for the dataset generators. Values built from a
+// large random word pool keep accidental fuzzy-predicate collisions between
+// distinct entities negligible, so the generated *clean* data satisfies the
+// generated rules — mirroring §8's property that the source datasets are
+// consistent with the designed CFDs and MDs.
+
+#ifndef UNICLEAN_GEN_WORDS_H_
+#define UNICLEAN_GEN_WORDS_H_
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace uniclean {
+namespace gen {
+
+/// A pool of `n` distinct pronounceable words.
+inline std::vector<std::string> BuildWordPool(int n, Rng* rng) {
+  static const char* kOnsets[] = {"b",  "br", "c",  "cl", "d",  "dr",
+                                  "f",  "g",  "gr", "h",  "k",  "l",
+                                  "m",  "n",  "p",  "pr", "r",  "s",
+                                  "st", "t",  "tr", "v",  "w",  "z"};
+  static const char* kVowels[] = {"a", "e", "i", "o", "u", "ai", "ou"};
+  static const char* kCodas[] = {"n", "r", "l", "s", "t", "m", "x", ""};
+  std::vector<std::string> pool;
+  pool.reserve(static_cast<size_t>(n));
+  std::unordered_set<std::string> seen;
+  while (static_cast<int>(pool.size()) < n) {
+    std::string w;
+    int syllables = 2 + static_cast<int>(rng->Index(2));
+    for (int s = 0; s < syllables; ++s) {
+      w += kOnsets[rng->Index(std::size(kOnsets))];
+      w += kVowels[rng->Index(std::size(kVowels))];
+      w += kCodas[rng->Index(std::size(kCodas))];
+    }
+    if (seen.insert(w).second) pool.push_back(std::move(w));
+  }
+  return pool;
+}
+
+}  // namespace gen
+}  // namespace uniclean
+
+#endif  // UNICLEAN_GEN_WORDS_H_

@@ -1,0 +1,156 @@
+#include "reasoning/chase.h"
+
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/rng.h"
+
+namespace uniclean {
+namespace reasoning {
+
+namespace {
+
+using data::Relation;
+using data::TupleId;
+using data::Value;
+using rules::Cfd;
+using rules::Md;
+using rules::RuleId;
+using rules::RuleSet;
+
+std::string GroupKey(const data::Tuple& t,
+                     const std::vector<data::AttributeId>& attrs) {
+  std::string key;
+  for (data::AttributeId a : attrs) {
+    key += t.value(a).str();
+    key.push_back('\x1f');
+  }
+  return key;
+}
+
+/// Applies one pass of a rule over the database; returns number of updates.
+int ApplyRuleOnce(Relation* d, const Relation& dm, const RuleSet& ruleset,
+                  RuleId rule, Rng* rng, int budget) {
+  int updates = 0;
+  if (ruleset.IsCfd(rule)) {
+    const Cfd& cfd = ruleset.cfd(rule);
+    if (cfd.IsConstantRule()) {
+      for (TupleId t = 0; t < d->size() && updates < budget; ++t) {
+        data::Tuple& tuple = d->mutable_tuple(t);
+        if (cfd.MatchesLhs(tuple) && !cfd.RhsSatisfied(tuple)) {
+          tuple.set_value(cfd.rhs()[0],
+                          Value(cfd.rhs_pattern()[0].constant()));
+          ++updates;
+        }
+      }
+      return updates;
+    }
+    // Variable CFD: group, then copy a randomly chosen donor's value to the
+    // rest of the group (the donor choice is the nondeterminism).
+    const data::AttributeId b = cfd.rhs()[0];
+    std::unordered_map<std::string, std::vector<TupleId>> groups;
+    for (TupleId t = 0; t < d->size(); ++t) {
+      if (cfd.MatchesLhs(d->tuple(t)) && !d->tuple(t).value(b).is_null()) {
+        groups[GroupKey(d->tuple(t), cfd.lhs())].push_back(t);
+      }
+    }
+    for (const auto& [key, members] : groups) {
+      if (updates >= budget) break;
+      bool conflict = false;
+      for (size_t i = 1; i < members.size(); ++i) {
+        if (d->tuple(members[i]).value(b) != d->tuple(members[0]).value(b)) {
+          conflict = true;
+          break;
+        }
+      }
+      if (!conflict) continue;
+      TupleId donor = members[rng->Index(members.size())];
+      Value v = d->tuple(donor).value(b);
+      for (TupleId t : members) {
+        if (updates >= budget) break;
+        if (d->tuple(t).value(b) != v) {
+          d->mutable_tuple(t).set_value(b, v);
+          ++updates;
+        }
+      }
+    }
+    return updates;
+  }
+  const Md& md = ruleset.md(rule);
+  const rules::MdAction& action = md.actions()[0];
+  for (TupleId t = 0; t < d->size() && updates < budget; ++t) {
+    for (TupleId s = 0; s < dm.size(); ++s) {
+      if (!md.PremiseHolds(d->tuple(t), dm.tuple(s))) continue;
+      if (!Value::SqlEquals(d->tuple(t).value(action.data_attr),
+                            dm.tuple(s).value(action.master_attr))) {
+        d->mutable_tuple(t).set_value(action.data_attr,
+                                      dm.tuple(s).value(action.master_attr));
+        ++updates;
+        break;  // re-evaluate t against masters on the next pass
+      }
+    }
+  }
+  return updates;
+}
+
+}  // namespace
+
+ChaseResult RunChase(const Relation& d, const Relation& dm,
+                     const RuleSet& ruleset, const ChaseOptions& options) {
+  ChaseResult result{false, 0, d.Clone()};
+  Rng rng(options.seed);
+  std::vector<RuleId> order(static_cast<size_t>(ruleset.num_rules()));
+  for (RuleId r = 0; r < ruleset.num_rules(); ++r) {
+    order[static_cast<size_t>(r)] = r;
+  }
+  while (result.steps < options.max_steps) {
+    rng.Shuffle(&order);
+    int pass_updates = 0;
+    for (RuleId r : order) {
+      int remaining = options.max_steps - result.steps;
+      if (remaining <= 0) break;
+      int u = ApplyRuleOnce(&result.fixpoint, dm, ruleset, r, &rng, remaining);
+      pass_updates += u;
+      result.steps += u;
+    }
+    if (pass_updates == 0) {
+      result.terminated = true;
+      return result;
+    }
+  }
+  return result;
+}
+
+DeterminismReport AnalyzeDeterminism(const Relation& d, const Relation& dm,
+                                     const RuleSet& ruleset, int num_orders,
+                                     const ChaseOptions& options) {
+  DeterminismReport report;
+  report.runs = num_orders;
+  report.all_terminated = true;
+  std::vector<Relation> fixpoints;
+  for (int i = 0; i < num_orders; ++i) {
+    ChaseOptions opts = options;
+    opts.seed = options.seed + static_cast<uint64_t>(i) * 7919;
+    ChaseResult r = RunChase(d, dm, ruleset, opts);
+    if (!r.terminated) {
+      report.all_terminated = false;
+      continue;
+    }
+    bool is_new = true;
+    for (const Relation& f : fixpoints) {
+      if (f.CellDiffCount(r.fixpoint) == 0) {
+        is_new = false;
+        break;
+      }
+    }
+    if (is_new) fixpoints.push_back(std::move(r.fixpoint));
+  }
+  report.distinct_fixpoints = static_cast<int>(fixpoints.size());
+  report.deterministic =
+      report.all_terminated && report.distinct_fixpoints <= 1;
+  return report;
+}
+
+}  // namespace reasoning
+}  // namespace uniclean

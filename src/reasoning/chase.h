@@ -1,0 +1,59 @@
+// Bounded termination / determinism analysis (§4.2). Both problems are
+// PSPACE-complete (Thms 4.7 / 4.8), so no general decision procedure exists
+// in practice; this module runs the rule-based cleaning process (the
+// "chase") under a step budget and, for determinism, compares the fixpoints
+// reached under different rule-application orders. Example 4.6's oscillating
+// pair of CFDs is detected as non-terminating within any reasonable budget.
+
+#ifndef UNICLEAN_REASONING_CHASE_H_
+#define UNICLEAN_REASONING_CHASE_H_
+
+#include <cstdint>
+
+#include "data/relation.h"
+#include "rules/ruleset.h"
+
+namespace uniclean {
+namespace reasoning {
+
+struct ChaseOptions {
+  /// Maximum number of cell updates before declaring divergence.
+  int max_steps = 100000;
+  /// Seed for the rule/tuple application order; different seeds explore
+  /// different nondeterministic schedules.
+  uint64_t seed = 0;
+};
+
+struct ChaseResult {
+  bool terminated = false;  ///< reached a fixpoint within the budget
+  int steps = 0;            ///< cell updates performed
+  data::Relation fixpoint;  ///< final database (meaningful if terminated)
+};
+
+/// Runs the naive rule-based cleaning process: repeatedly applies any
+/// applicable cleaning rule (constant CFD writes its constant; variable CFD
+/// copies the RHS from another tuple in the same LHS group; MD copies the
+/// master value) until no rule changes the database or the budget runs out.
+ChaseResult RunChase(const data::Relation& d, const data::Relation& dm,
+                     const rules::RuleSet& ruleset,
+                     const ChaseOptions& options = {});
+
+struct DeterminismReport {
+  bool all_terminated = false;
+  bool deterministic = false;  ///< all terminating runs reached one fixpoint
+  int runs = 0;
+  int distinct_fixpoints = 0;
+};
+
+/// Runs the chase under `num_orders` different schedules and compares the
+/// resulting fixpoints cell-by-cell.
+DeterminismReport AnalyzeDeterminism(const data::Relation& d,
+                                     const data::Relation& dm,
+                                     const rules::RuleSet& ruleset,
+                                     int num_orders,
+                                     const ChaseOptions& options = {});
+
+}  // namespace reasoning
+}  // namespace uniclean
+
+#endif  // UNICLEAN_REASONING_CHASE_H_

@@ -1,0 +1,345 @@
+#include "reasoning/consistency.h"
+
+#include <algorithm>
+#include <functional>
+#include <set>
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+
+namespace uniclean {
+namespace reasoning {
+
+namespace {
+
+using data::AttributeId;
+using data::Relation;
+using data::Tuple;
+using data::Value;
+using rules::Cfd;
+using rules::Md;
+using rules::MdClause;
+using rules::RuleId;
+using rules::RuleSet;
+
+/// A backtracking search for a model of bounded size. Tuples are assigned
+/// attribute-by-attribute over per-attribute candidate domains; constraints
+/// are re-checked incrementally on the assigned prefix.
+class SmallModelSearch {
+ public:
+  SmallModelSearch(const RuleSet& ruleset, const Relation& dm,
+                   int num_tuples, int64_t budget)
+      : ruleset_(ruleset),
+        dm_(dm),
+        num_tuples_(num_tuples),
+        budget_(budget) {
+    BuildDomains();
+  }
+
+  /// Attributes whose value is forced equal across the two tuples (used for
+  /// variable-CFD implication counterexamples: t1[X] = t2[X]).
+  void ForceEqualAcrossTuples(const std::vector<AttributeId>& attrs) {
+    for (AttributeId a : attrs) equal_across_.insert(a);
+  }
+
+  /// Additional constraint checked on fully assigned models.
+  void AddFinalConstraint(std::function<bool(const std::vector<Tuple>&)> f) {
+    final_constraints_.push_back(std::move(f));
+  }
+
+  /// Adds a candidate value to the domain of `attr` (used for the constants
+  /// of an implication target ξ, which may not appear in Θ or Dm).
+  void AddDomainValue(AttributeId attr, const std::string& value) {
+    domains_[static_cast<size_t>(attr)].insert(value);
+  }
+
+  /// Runs the search. Returns true if a model exists, false if none, or
+  /// OutOfRange if the node budget was exhausted.
+  Result<bool> FindModel() {
+    // Materialize domains as vectors.
+    domain_vec_.assign(domains_.size(), {});
+    for (size_t a = 0; a < domains_.size(); ++a) {
+      domain_vec_[a].assign(domains_[a].begin(), domains_[a].end());
+    }
+    // Variables: only attributes mentioned by rules or constraints matter;
+    // all others take the fresh value and never interact with any rule.
+    vars_.clear();
+    for (AttributeId a : ruleset_.RuleAttributes()) vars_.push_back(a);
+    for (AttributeId a : extra_attrs_) {
+      if (!std::binary_search(ruleset_.RuleAttributes().begin(),
+                              ruleset_.RuleAttributes().end(), a)) {
+        vars_.push_back(a);
+      }
+    }
+    std::sort(vars_.begin(), vars_.end());
+    vars_.erase(std::unique(vars_.begin(), vars_.end()), vars_.end());
+
+    tuples_.assign(static_cast<size_t>(num_tuples_),
+                   Tuple(ruleset_.data_schema().arity()));
+    for (Tuple& t : tuples_) {
+      for (AttributeId a = 0; a < ruleset_.data_schema().arity(); ++a) {
+        t.set_value(a, Value(FreshValue(a)));
+      }
+    }
+    nodes_ = 0;
+    bool found = false;
+    Status status = Assign(0, 0, &found);
+    if (!status.ok()) return status;
+    return found;
+  }
+
+  /// Ensures `attr` participates in the search even if no rule mentions it.
+  void AddSearchAttribute(AttributeId attr) { extra_attrs_.push_back(attr); }
+
+  /// The k-th fresh value for an attribute: guaranteed distinct from every
+  /// constant in Σ and Dm (it contains a NUL byte). A model of n tuples may
+  /// need up to n distinct values outside the active constants (e.g. a
+  /// two-tuple counterexample with t1[A] != t2[A] on an attribute no rule
+  /// constrains), so BuildDomains adds one fresh value per tuple slot.
+  static std::string FreshValue(AttributeId attr, int k = 0) {
+    std::string v("\x01\x00", 2);
+    v += "fresh" + std::to_string(attr) + "_" + std::to_string(k);
+    return v;
+  }
+
+ private:
+  void BuildDomains() {
+    domains_.assign(static_cast<size_t>(ruleset_.data_schema().arity()), {});
+    // Constants from CFD patterns.
+    for (const Cfd& cfd : ruleset_.cfds()) {
+      for (size_t i = 0; i < cfd.lhs().size(); ++i) {
+        if (!cfd.lhs_pattern()[i].is_wildcard()) {
+          domains_[static_cast<size_t>(cfd.lhs()[i])].insert(
+              cfd.lhs_pattern()[i].constant());
+        }
+      }
+      if (!cfd.rhs_pattern()[0].is_wildcard()) {
+        domains_[static_cast<size_t>(cfd.rhs()[0])].insert(
+            cfd.rhs_pattern()[0].constant());
+      }
+    }
+    // Constants from master data relevant to MD clauses and actions.
+    for (const Md& md : ruleset_.mds()) {
+      for (const MdClause& c : md.premise()) {
+        for (const Tuple& s : dm_.tuples()) {
+          if (!s.value(c.master_attr).is_null()) {
+            domains_[static_cast<size_t>(c.data_attr)].insert(
+                s.value(c.master_attr).str());
+          }
+        }
+      }
+      const rules::MdAction& a = md.actions()[0];
+      for (const Tuple& s : dm_.tuples()) {
+        if (!s.value(a.master_attr).is_null()) {
+          domains_[static_cast<size_t>(a.data_attr)].insert(
+              s.value(a.master_attr).str());
+        }
+      }
+    }
+    // One fresh value per attribute per tuple slot.
+    for (AttributeId a = 0; a < ruleset_.data_schema().arity(); ++a) {
+      for (int k = 0; k < num_tuples_; ++k) {
+        domains_[static_cast<size_t>(a)].insert(FreshValue(a, k));
+      }
+    }
+  }
+
+  /// Checks all rules restricted to the currently assigned variables
+  /// (prefix of vars_ up to var_count for every tuple up to tuple_count,
+  /// where tuple tuple_count is assigned up to var_count).
+  bool PrefixConsistent(size_t assigned) const {
+    // assigned = number of (tuple, var) assignments done, in tuple-major
+    // order per variable: iteration order is var-major (all tuples assigned
+    // var 0, then var 1, ...). A rule can be checked once all its attributes
+    // are assigned for the relevant tuples.
+    size_t full_vars = assigned / static_cast<size_t>(num_tuples_);
+    auto var_assigned = [&](AttributeId a) {
+      auto it = std::lower_bound(vars_.begin(), vars_.end(), a);
+      if (it == vars_.end() || *it != a) return true;  // non-var: fresh, fixed
+      size_t idx = static_cast<size_t>(it - vars_.begin());
+      return idx < full_vars;
+    };
+    for (const Cfd& cfd : ruleset_.cfds()) {
+      bool ready = var_assigned(cfd.rhs()[0]);
+      for (AttributeId a : cfd.lhs()) ready = ready && var_assigned(a);
+      if (!ready) continue;
+      if (cfd.IsConstantRule()) {
+        for (const Tuple& t : tuples_) {
+          if (cfd.MatchesLhs(t) && !cfd.RhsSatisfied(t)) return false;
+        }
+      } else {
+        for (int i = 0; i < num_tuples_; ++i) {
+          for (int j = i + 1; j < num_tuples_; ++j) {
+            const Tuple& t1 = tuples_[static_cast<size_t>(i)];
+            const Tuple& t2 = tuples_[static_cast<size_t>(j)];
+            if (!cfd.MatchesLhs(t1) || !cfd.MatchesLhs(t2)) continue;
+            if (!t1.ProjectionEquals(t2, cfd.lhs())) continue;
+            if (t1.value(cfd.rhs()[0]) != t2.value(cfd.rhs()[0])) return false;
+          }
+        }
+      }
+    }
+    for (const Md& md : ruleset_.mds()) {
+      bool ready = var_assigned(md.actions()[0].data_attr);
+      for (const MdClause& c : md.premise()) {
+        ready = ready && var_assigned(c.data_attr);
+      }
+      if (!ready) continue;
+      const rules::MdAction& action = md.actions()[0];
+      for (const Tuple& t : tuples_) {
+        for (const Tuple& s : dm_.tuples()) {
+          if (!md.PremiseHolds(t, s)) continue;
+          if (!Value::SqlEquals(t.value(action.data_attr),
+                                s.value(action.master_attr))) {
+            return false;
+          }
+        }
+      }
+    }
+    return true;
+  }
+
+  Status Assign(size_t var_idx, int tuple_idx, bool* found) {
+    if (*found) return Status::OK();
+    if (++nodes_ > budget_) {
+      return Status::OutOfRange("analysis node budget exhausted");
+    }
+    if (var_idx == vars_.size()) {
+      for (const auto& f : final_constraints_) {
+        if (!f(tuples_)) return Status::OK();
+      }
+      *found = true;
+      return Status::OK();
+    }
+    AttributeId attr = vars_[var_idx];
+    const auto& domain = domain_vec_[static_cast<size_t>(attr)];
+    const bool tie_to_first =
+        tuple_idx > 0 && equal_across_.count(attr) > 0;
+    size_t next_var = (tuple_idx + 1 == num_tuples_) ? var_idx + 1 : var_idx;
+    int next_tuple = (tuple_idx + 1 == num_tuples_) ? 0 : tuple_idx + 1;
+    size_t assigned_after =
+        (var_idx * static_cast<size_t>(num_tuples_)) +
+        static_cast<size_t>(tuple_idx) + 1;
+    if (tie_to_first) {
+      tuples_[static_cast<size_t>(tuple_idx)].set_value(
+          attr, tuples_[0].value(attr));
+      if (PrefixConsistentAt(assigned_after)) {
+        UC_RETURN_IF_ERROR(Assign(next_var, next_tuple, found));
+      }
+      return Status::OK();
+    }
+    for (const std::string& v : domain) {
+      if (*found) return Status::OK();
+      tuples_[static_cast<size_t>(tuple_idx)].set_value(attr, Value(v));
+      if (!PrefixConsistentAt(assigned_after)) continue;
+      UC_RETURN_IF_ERROR(Assign(next_var, next_tuple, found));
+    }
+    return Status::OK();
+  }
+
+  bool PrefixConsistentAt(size_t assigned) const {
+    return PrefixConsistent(assigned);
+  }
+
+  const RuleSet& ruleset_;
+  const Relation& dm_;
+  int num_tuples_;
+  int64_t budget_;
+  int64_t nodes_ = 0;
+
+  std::vector<std::set<std::string>> domains_;  // per attribute
+  std::vector<std::vector<std::string>> domain_vec_;
+  std::vector<AttributeId> vars_;
+  std::vector<AttributeId> extra_attrs_;
+  std::set<AttributeId> equal_across_;
+  std::vector<Tuple> tuples_;
+  std::vector<std::function<bool(const std::vector<Tuple>&)>>
+      final_constraints_;
+};
+
+}  // namespace
+
+Result<bool> IsConsistent(const RuleSet& ruleset, const Relation& dm,
+                          const AnalysisOptions& options) {
+  SmallModelSearch search(ruleset, dm, /*num_tuples=*/1,
+                          options.max_search_nodes);
+  return search.FindModel();
+}
+
+Result<bool> Implies(const RuleSet& ruleset, const Relation& dm,
+                     const Cfd& xi, const AnalysisOptions& options) {
+  UC_CHECK(xi.normalized()) << "implication target must be normalized";
+  // Θ |= ξ iff no model of Θ violates ξ. Constant ξ: a single-tuple
+  // counterexample suffices; variable ξ: two tuples agreeing on LHS(ξ).
+  if (xi.IsConstantRule()) {
+    SmallModelSearch search(ruleset, dm, /*num_tuples=*/1,
+                            options.max_search_nodes);
+    for (size_t i = 0; i < xi.lhs().size(); ++i) {
+      search.AddSearchAttribute(xi.lhs()[i]);
+      if (!xi.lhs_pattern()[i].is_wildcard()) {
+        search.AddDomainValue(xi.lhs()[i], xi.lhs_pattern()[i].constant());
+      }
+    }
+    search.AddSearchAttribute(xi.rhs()[0]);
+    search.AddDomainValue(xi.rhs()[0], xi.rhs_pattern()[0].constant());
+    search.AddFinalConstraint([&xi](const std::vector<Tuple>& ts) {
+      return xi.MatchesLhs(ts[0]) && !xi.RhsSatisfied(ts[0]);
+    });
+    UC_ASSIGN_OR_RETURN(bool counterexample, search.FindModel());
+    return !counterexample;
+  }
+  SmallModelSearch search(ruleset, dm, /*num_tuples=*/2,
+                          options.max_search_nodes);
+  for (size_t i = 0; i < xi.lhs().size(); ++i) {
+    search.AddSearchAttribute(xi.lhs()[i]);
+    if (!xi.lhs_pattern()[i].is_wildcard()) {
+      search.AddDomainValue(xi.lhs()[i], xi.lhs_pattern()[i].constant());
+    }
+  }
+  search.AddSearchAttribute(xi.rhs()[0]);
+  search.ForceEqualAcrossTuples(xi.lhs());
+  search.AddFinalConstraint([&xi](const std::vector<Tuple>& ts) {
+    const Tuple& t1 = ts[0];
+    const Tuple& t2 = ts[1];
+    if (!xi.MatchesLhs(t1) || !xi.MatchesLhs(t2)) return false;
+    if (!t1.ProjectionEquals(t2, xi.lhs())) return false;
+    return t1.value(xi.rhs()[0]) != t2.value(xi.rhs()[0]);
+  });
+  UC_ASSIGN_OR_RETURN(bool counterexample, search.FindModel());
+  return !counterexample;
+}
+
+Result<bool> Implies(const RuleSet& ruleset, const Relation& dm, const Md& xi,
+                     const AnalysisOptions& options) {
+  UC_CHECK(xi.normalized()) << "implication target must be normalized";
+  SmallModelSearch search(ruleset, dm, /*num_tuples=*/1,
+                          options.max_search_nodes);
+  for (const MdClause& c : xi.premise()) {
+    search.AddSearchAttribute(c.data_attr);
+    // The data values that can satisfy (or violate) the clause are master
+    // values; add them to the candidate domain.
+    for (const Tuple& s : dm.tuples()) {
+      if (!s.value(c.master_attr).is_null()) {
+        search.AddDomainValue(c.data_attr, s.value(c.master_attr).str());
+      }
+    }
+  }
+  search.AddSearchAttribute(xi.actions()[0].data_attr);
+  const rules::MdAction action = xi.actions()[0];
+  search.AddFinalConstraint([&xi, &dm, action](const std::vector<Tuple>& ts) {
+    for (const Tuple& s : dm.tuples()) {
+      if (!xi.PremiseHolds(ts[0], s)) continue;
+      if (!Value::SqlEquals(ts[0].value(action.data_attr),
+                            s.value(action.master_attr))) {
+        return true;  // ξ violated by (t, s)
+      }
+    }
+    return false;
+  });
+  UC_ASSIGN_OR_RETURN(bool counterexample, search.FindModel());
+  return !counterexample;
+}
+
+}  // namespace reasoning
+}  // namespace uniclean

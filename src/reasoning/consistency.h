@@ -1,0 +1,51 @@
+// Static analyses of Θ = Σ ∪ Γ (§4.1).
+//
+// Consistency (Thm 4.1, NP-complete): does a nonempty D exist with D |= Σ
+// and (D, Dm) |= Γ? By the small-model property it suffices to search for a
+// single tuple over the active domains (constants of Σ and Dm plus one fresh
+// value per attribute).
+//
+// Implication (Thm 4.2, coNP-complete): Θ |= ξ? By the proof's small-model
+// property a counterexample needs at most two tuples (CFD ξ) or one tuple
+// (MD ξ); we search for one.
+//
+// Both searches are worst-case exponential in the number of attributes
+// mentioned by rules — inherent to the problems — and accept a node budget,
+// returning OutOfRange when exceeded.
+
+#ifndef UNICLEAN_REASONING_CONSISTENCY_H_
+#define UNICLEAN_REASONING_CONSISTENCY_H_
+
+#include <cstdint>
+
+#include "common/result.h"
+#include "data/relation.h"
+#include "rules/ruleset.h"
+
+namespace uniclean {
+namespace reasoning {
+
+struct AnalysisOptions {
+  /// Maximum number of partial assignments explored before giving up.
+  int64_t max_search_nodes = 4'000'000;
+};
+
+/// True iff Θ is consistent w.r.t. master data `dm`: some nonempty instance
+/// satisfies all CFDs and MDs of `ruleset`.
+Result<bool> IsConsistent(const rules::RuleSet& ruleset,
+                          const data::Relation& dm,
+                          const AnalysisOptions& options = {});
+
+/// True iff Θ |= ξ for a CFD ξ (every instance satisfying Θ w.r.t. dm also
+/// satisfies ξ). ξ must be normalized.
+Result<bool> Implies(const rules::RuleSet& ruleset, const data::Relation& dm,
+                     const rules::Cfd& xi, const AnalysisOptions& options = {});
+
+/// True iff Θ |= ξ for an MD ξ. ξ must be normalized.
+Result<bool> Implies(const rules::RuleSet& ruleset, const data::Relation& dm,
+                     const rules::Md& xi, const AnalysisOptions& options = {});
+
+}  // namespace reasoning
+}  // namespace uniclean
+
+#endif  // UNICLEAN_REASONING_CONSISTENCY_H_

@@ -1,0 +1,124 @@
+#include "reasoning/dependency_graph.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace uniclean {
+namespace reasoning {
+
+DependencyGraph::DependencyGraph(const rules::RuleSet& ruleset) {
+  const int n = ruleset.num_rules();
+  adjacency_.assign(static_cast<size_t>(n), {});
+  in_degree_.assign(static_cast<size_t>(n), 0);
+  for (rules::RuleId u = 0; u < n; ++u) {
+    data::AttributeId rhs = ruleset.DataRhs(u);
+    for (rules::RuleId v = 0; v < n; ++v) {
+      const auto& lhs = ruleset.DataLhs(v);
+      if (std::find(lhs.begin(), lhs.end(), rhs) != lhs.end()) {
+        adjacency_[static_cast<size_t>(u)].push_back(v);
+        ++in_degree_[static_cast<size_t>(v)];
+      }
+    }
+  }
+}
+
+bool DependencyGraph::HasEdge(rules::RuleId from, rules::RuleId to) const {
+  const auto& succ = adjacency_[static_cast<size_t>(from)];
+  return std::find(succ.begin(), succ.end(), to) != succ.end();
+}
+
+std::vector<std::vector<rules::RuleId>>
+DependencyGraph::SccsInTopologicalOrder() const {
+  // Iterative Tarjan. Tarjan emits SCCs in reverse topological order of the
+  // condensation, so we reverse at the end.
+  const int n = num_nodes();
+  std::vector<int> index(static_cast<size_t>(n), -1);
+  std::vector<int> lowlink(static_cast<size_t>(n), 0);
+  std::vector<bool> on_stack(static_cast<size_t>(n), false);
+  std::vector<int> stack;
+  std::vector<std::vector<rules::RuleId>> sccs;
+  int next_index = 0;
+
+  struct Frame {
+    int node;
+    size_t child;
+  };
+  for (int start = 0; start < n; ++start) {
+    if (index[static_cast<size_t>(start)] != -1) continue;
+    std::vector<Frame> frames{{start, 0}};
+    index[static_cast<size_t>(start)] = lowlink[static_cast<size_t>(start)] =
+        next_index++;
+    stack.push_back(start);
+    on_stack[static_cast<size_t>(start)] = true;
+    while (!frames.empty()) {
+      Frame& f = frames.back();
+      const auto& succ = adjacency_[static_cast<size_t>(f.node)];
+      if (f.child < succ.size()) {
+        int w = succ[f.child++];
+        if (index[static_cast<size_t>(w)] == -1) {
+          index[static_cast<size_t>(w)] = lowlink[static_cast<size_t>(w)] =
+              next_index++;
+          stack.push_back(w);
+          on_stack[static_cast<size_t>(w)] = true;
+          frames.push_back(Frame{w, 0});
+        } else if (on_stack[static_cast<size_t>(w)]) {
+          lowlink[static_cast<size_t>(f.node)] =
+              std::min(lowlink[static_cast<size_t>(f.node)],
+                       index[static_cast<size_t>(w)]);
+        }
+      } else {
+        if (lowlink[static_cast<size_t>(f.node)] ==
+            index[static_cast<size_t>(f.node)]) {
+          std::vector<rules::RuleId> scc;
+          while (true) {
+            int w = stack.back();
+            stack.pop_back();
+            on_stack[static_cast<size_t>(w)] = false;
+            scc.push_back(w);
+            if (w == f.node) break;
+          }
+          std::sort(scc.begin(), scc.end());
+          sccs.push_back(std::move(scc));
+        }
+        int node = f.node;
+        frames.pop_back();
+        if (!frames.empty()) {
+          lowlink[static_cast<size_t>(frames.back().node)] =
+              std::min(lowlink[static_cast<size_t>(frames.back().node)],
+                       lowlink[static_cast<size_t>(node)]);
+        }
+      }
+    }
+  }
+  std::reverse(sccs.begin(), sccs.end());
+  return sccs;
+}
+
+std::vector<rules::RuleId> DependencyGraph::ApplicationOrder() const {
+  std::vector<rules::RuleId> order;
+  for (auto& scc : SccsInTopologicalOrder()) {
+    // Decreasing out/in ratio; compare a.out/a.in > b.out/b.in via cross
+    // multiplication to avoid division by zero (in-degree 0 sorts first).
+    std::stable_sort(scc.begin(), scc.end(),
+                     [this](rules::RuleId a, rules::RuleId b) {
+                       int64_t lhs = static_cast<int64_t>(OutDegree(a)) *
+                                     InDegree(b);
+                       int64_t rhs = static_cast<int64_t>(OutDegree(b)) *
+                                     InDegree(a);
+                       if (InDegree(a) == 0 && InDegree(b) == 0) {
+                         return OutDegree(a) > OutDegree(b);
+                       }
+                       if (InDegree(a) == 0) return true;
+                       if (InDegree(b) == 0) return false;
+                       if (lhs != rhs) return lhs > rhs;
+                       return a < b;
+                     });
+    for (rules::RuleId id : scc) order.push_back(id);
+  }
+  UC_CHECK_EQ(static_cast<int>(order.size()), num_nodes());
+  return order;
+}
+
+}  // namespace reasoning
+}  // namespace uniclean

@@ -1,0 +1,54 @@
+// The rule dependency graph of §6.2: one node per normalized rule, an edge
+// ξu -> ξv when RHS(ξu) ∩ LHS(ξv) ≠ ∅ (applying ξu can enable ξv). eRepair
+// applies rules in an order derived from this graph: Tarjan SCCs, condensed
+// DAG in topological order, and within each SCC decreasing out/in-degree
+// ratio (Example 6.1).
+
+#ifndef UNICLEAN_REASONING_DEPENDENCY_GRAPH_H_
+#define UNICLEAN_REASONING_DEPENDENCY_GRAPH_H_
+
+#include <vector>
+
+#include "rules/ruleset.h"
+
+namespace uniclean {
+namespace reasoning {
+
+class DependencyGraph {
+ public:
+  /// Builds the graph over all normalized rules of `ruleset`.
+  explicit DependencyGraph(const rules::RuleSet& ruleset);
+
+  int num_nodes() const { return static_cast<int>(adjacency_.size()); }
+
+  /// Successors of a rule (deduplicated, sorted).
+  const std::vector<rules::RuleId>& Successors(rules::RuleId id) const {
+    return adjacency_[static_cast<size_t>(id)];
+  }
+
+  bool HasEdge(rules::RuleId from, rules::RuleId to) const;
+
+  int OutDegree(rules::RuleId id) const {
+    return static_cast<int>(adjacency_[static_cast<size_t>(id)].size());
+  }
+  int InDegree(rules::RuleId id) const {
+    return in_degree_[static_cast<size_t>(id)];
+  }
+
+  /// Strongly connected components, in topological order of the condensation
+  /// (if any member of SCC i can reach SCC j with i != j, then i < j).
+  std::vector<std::vector<rules::RuleId>> SccsInTopologicalOrder() const;
+
+  /// The §6.2 application order: SCCs topologically, members of each SCC by
+  /// decreasing out/in-degree ratio, ties by rule id.
+  std::vector<rules::RuleId> ApplicationOrder() const;
+
+ private:
+  std::vector<std::vector<rules::RuleId>> adjacency_;
+  std::vector<int> in_degree_;
+};
+
+}  // namespace reasoning
+}  // namespace uniclean
+
+#endif  // UNICLEAN_REASONING_DEPENDENCY_GRAPH_H_

@@ -1,0 +1,64 @@
+#include "reasoning/minimal_cover.h"
+
+namespace uniclean {
+namespace reasoning {
+
+namespace {
+
+/// Rebuilds a RuleSet from kept rule flags.
+Result<rules::RuleSet> Subset(const rules::RuleSet& ruleset,
+                              const std::vector<bool>& keep_cfd,
+                              const std::vector<bool>& keep_md) {
+  std::vector<rules::Cfd> cfds;
+  for (size_t i = 0; i < ruleset.cfds().size(); ++i) {
+    if (keep_cfd[i]) cfds.push_back(ruleset.cfds()[i]);
+  }
+  std::vector<rules::Md> mds;
+  for (size_t i = 0; i < ruleset.mds().size(); ++i) {
+    if (keep_md[i]) mds.push_back(ruleset.mds()[i]);
+  }
+  return rules::RuleSet::Make(ruleset.data_schema_ptr(),
+                              ruleset.master_schema_ptr(), std::move(cfds),
+                              std::move(mds));
+}
+
+}  // namespace
+
+Result<MinimalCoverResult> MinimalCover(const rules::RuleSet& ruleset,
+                                        const data::Relation& dm,
+                                        const AnalysisOptions& options) {
+  std::vector<bool> keep_cfd(ruleset.cfds().size(), true);
+  std::vector<bool> keep_md(ruleset.mds().size(), true);
+  std::vector<std::string> removed;
+
+  for (size_t i = 0; i < ruleset.cfds().size(); ++i) {
+    keep_cfd[i] = false;
+    UC_ASSIGN_OR_RETURN(rules::RuleSet candidate,
+                        Subset(ruleset, keep_cfd, keep_md));
+    auto implied = Implies(candidate, dm, ruleset.cfds()[i], options);
+    if (implied.ok() && implied.value()) {
+      removed.push_back(ruleset.cfds()[i].name());
+      continue;  // stays removed
+    }
+    // Not implied — or budget exhausted: keep conservatively.
+    keep_cfd[i] = true;
+  }
+  for (size_t i = 0; i < ruleset.mds().size(); ++i) {
+    keep_md[i] = false;
+    UC_ASSIGN_OR_RETURN(rules::RuleSet candidate,
+                        Subset(ruleset, keep_cfd, keep_md));
+    auto implied = Implies(candidate, dm, ruleset.mds()[i], options);
+    if (implied.ok() && implied.value()) {
+      removed.push_back(ruleset.mds()[i].name());
+      continue;
+    }
+    keep_md[i] = true;
+  }
+
+  UC_ASSIGN_OR_RETURN(rules::RuleSet cover,
+                      Subset(ruleset, keep_cfd, keep_md));
+  return MinimalCoverResult{std::move(cover), std::move(removed)};
+}
+
+}  // namespace reasoning
+}  // namespace uniclean

@@ -1,0 +1,37 @@
+// Minimal cover of a rule set: §4.1 motivates the implication analysis as
+// the way to "find and remove redundant rules from Θ, i.e., those that are
+// a logical consequence of other rules in Θ, to improve performance". This
+// module applies it: a rule is dropped when the remaining rules imply it.
+
+#ifndef UNICLEAN_REASONING_MINIMAL_COVER_H_
+#define UNICLEAN_REASONING_MINIMAL_COVER_H_
+
+#include <vector>
+
+#include "common/result.h"
+#include "data/relation.h"
+#include "reasoning/consistency.h"
+#include "rules/ruleset.h"
+
+namespace uniclean {
+namespace reasoning {
+
+struct MinimalCoverResult {
+  rules::RuleSet cover;                 ///< the pruned rule set
+  std::vector<std::string> removed;     ///< names of dropped rules
+};
+
+/// Greedily removes rules implied by the rest (scanning CFDs then MDs, in
+/// order). The result is a cover: it implies every removed rule, hence any
+/// instance satisfying the cover satisfies the original Θ. Exponential in
+/// the worst case (implication is coNP-complete); bounded by
+/// `options.max_search_nodes` per implication check — a rule whose check
+/// exceeds the budget is conservatively kept.
+Result<MinimalCoverResult> MinimalCover(const rules::RuleSet& ruleset,
+                                        const data::Relation& dm,
+                                        const AnalysisOptions& options = {});
+
+}  // namespace reasoning
+}  // namespace uniclean
+
+#endif  // UNICLEAN_REASONING_MINIMAL_COVER_H_

@@ -1,0 +1,144 @@
+#include "rules/cfd.h"
+
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace uniclean {
+namespace rules {
+
+Cfd::Cfd(std::string name, std::vector<data::AttributeId> lhs,
+         std::vector<PatternValue> lhs_pattern,
+         std::vector<data::AttributeId> rhs,
+         std::vector<PatternValue> rhs_pattern)
+    : name_(std::move(name)),
+      lhs_(std::move(lhs)),
+      lhs_pattern_(std::move(lhs_pattern)),
+      rhs_(std::move(rhs)),
+      rhs_pattern_(std::move(rhs_pattern)) {}
+
+Cfd Cfd::Make(std::string name, std::vector<data::AttributeId> lhs,
+              std::vector<PatternValue> lhs_pattern,
+              std::vector<data::AttributeId> rhs,
+              std::vector<PatternValue> rhs_pattern) {
+  UC_CHECK_EQ(lhs.size(), lhs_pattern.size())
+      << "CFD " << name << ": LHS pattern arity mismatch";
+  UC_CHECK_EQ(rhs.size(), rhs_pattern.size())
+      << "CFD " << name << ": RHS pattern arity mismatch";
+  UC_CHECK(!rhs.empty()) << "CFD " << name << ": empty RHS";
+  return Cfd(std::move(name), std::move(lhs), std::move(lhs_pattern),
+             std::move(rhs), std::move(rhs_pattern));
+}
+
+std::vector<Cfd> Cfd::Normalize() const {
+  std::vector<Cfd> out;
+  if (normalized()) {
+    out.push_back(*this);
+    return out;
+  }
+  for (size_t i = 0; i < rhs_.size(); ++i) {
+    out.push_back(Cfd(name_ + "." + std::to_string(i), lhs_, lhs_pattern_,
+                      {rhs_[i]}, {rhs_pattern_[i]}));
+  }
+  return out;
+}
+
+bool Cfd::IsConstantRule() const {
+  UC_CHECK(normalized());
+  return !rhs_pattern_[0].is_wildcard();
+}
+
+bool Cfd::IsFd() const {
+  for (const auto& p : lhs_pattern_) {
+    if (!p.is_wildcard()) return false;
+  }
+  for (const auto& p : rhs_pattern_) {
+    if (!p.is_wildcard()) return false;
+  }
+  return true;
+}
+
+bool Cfd::MatchesLhs(const data::Tuple& t) const {
+  for (size_t i = 0; i < lhs_.size(); ++i) {
+    if (!lhs_pattern_[i].Matches(t.value(lhs_[i]))) return false;
+  }
+  return true;
+}
+
+bool Cfd::RhsSatisfied(const data::Tuple& t) const {
+  UC_CHECK(normalized());
+  UC_CHECK(IsConstantRule());
+  const data::Value& v = t.value(rhs_[0]);
+  if (v.is_null()) return true;  // SQL simple semantics (§7)
+  return v.str() == rhs_pattern_[0].constant();
+}
+
+std::string Cfd::ToString(const data::Schema& schema) const {
+  std::string out = name_ + ": " + schema.relation_name() + "([";
+  for (size_t i = 0; i < lhs_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += schema.attribute_name(lhs_[i]);
+    if (!lhs_pattern_[i].is_wildcard()) {
+      out += "=" + lhs_pattern_[i].ToString();
+    }
+  }
+  out += "] -> [";
+  for (size_t i = 0; i < rhs_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += schema.attribute_name(rhs_[i]);
+    if (!rhs_pattern_[i].is_wildcard()) {
+      out += "=" + rhs_pattern_[i].ToString();
+    }
+  }
+  out += "])";
+  return out;
+}
+
+namespace {
+
+/// Builds a grouping key from the LHS projection of a tuple. Only called for
+/// tuples that match the LHS pattern, so no nulls appear.
+std::string LhsKey(const data::Tuple& t,
+                   const std::vector<data::AttributeId>& attrs) {
+  std::string key;
+  for (data::AttributeId a : attrs) {
+    key += t.value(a).str();
+    key.push_back('\x1f');
+  }
+  return key;
+}
+
+}  // namespace
+
+bool Satisfies(const data::Relation& d, const Cfd& cfd) {
+  UC_CHECK(cfd.normalized());
+  if (cfd.IsConstantRule()) {
+    for (const data::Tuple& t : d.tuples()) {
+      if (cfd.MatchesLhs(t) && !cfd.RhsSatisfied(t)) return false;
+    }
+    return true;
+  }
+  // Variable CFD: within each LHS group, all non-null RHS values must agree.
+  const data::AttributeId b = cfd.rhs()[0];
+  std::unordered_map<std::string, data::Value> group_value;
+  for (const data::Tuple& t : d.tuples()) {
+    if (!cfd.MatchesLhs(t)) continue;
+    const data::Value& v = t.value(b);
+    if (v.is_null()) continue;  // null RHS satisfies equality (§7)
+    auto [it, inserted] = group_value.emplace(LhsKey(t, cfd.lhs()), v);
+    if (!inserted && it->second != v) return false;
+  }
+  return true;
+}
+
+bool SatisfiesAll(const data::Relation& d, const std::vector<Cfd>& sigma) {
+  for (const Cfd& cfd : sigma) {
+    for (const Cfd& n : cfd.Normalize()) {
+      if (!Satisfies(d, n)) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace rules
+}  // namespace uniclean

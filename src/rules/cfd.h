@@ -1,0 +1,83 @@
+// Conditional functional dependencies (§2.1): ϕ = R(X -> Y, tp) where tp is
+// a pattern tuple over X ∪ Y of constants and wildcards. FDs are the special
+// case where tp is all wildcards.
+
+#ifndef UNICLEAN_RULES_CFD_H_
+#define UNICLEAN_RULES_CFD_H_
+
+#include <string>
+#include <vector>
+
+#include "data/relation.h"
+#include "data/schema.h"
+#include "rules/pattern.h"
+
+namespace uniclean {
+namespace rules {
+
+/// A CFD over a single relation schema. Construct via Make() which validates
+/// shape, or through RuleParser.
+class Cfd {
+ public:
+  /// Builds a CFD; aborts on shape mismatches (sizes of ids vs patterns).
+  /// `name` is a diagnostic label, e.g. "phi1".
+  static Cfd Make(std::string name, std::vector<data::AttributeId> lhs,
+                  std::vector<PatternValue> lhs_pattern,
+                  std::vector<data::AttributeId> rhs,
+                  std::vector<PatternValue> rhs_pattern);
+
+  const std::string& name() const { return name_; }
+  const std::vector<data::AttributeId>& lhs() const { return lhs_; }
+  const std::vector<PatternValue>& lhs_pattern() const { return lhs_pattern_; }
+  const std::vector<data::AttributeId>& rhs() const { return rhs_; }
+  const std::vector<PatternValue>& rhs_pattern() const { return rhs_pattern_; }
+
+  /// True if |RHS| = 1 (§2.2 "Normalized CFDs and MDs").
+  bool normalized() const { return rhs_.size() == 1; }
+
+  /// Splits a CFD with an n-attribute RHS into n normalized CFDs, named
+  /// "<name>.<i>". A normalized CFD returns a singleton copy of itself.
+  std::vector<Cfd> Normalize() const;
+
+  /// For normalized CFDs: true if the RHS pattern is a constant — the rule is
+  /// then a "constant CFD" whose cleaning rule writes that constant (§3.1).
+  bool IsConstantRule() const;
+
+  /// True if every pattern component is a wildcard (a traditional FD).
+  bool IsFd() const;
+
+  /// t[X] ≍ tp[X]: the tuple matches the LHS pattern (§2.1; null never
+  /// matches, §7).
+  bool MatchesLhs(const data::Tuple& t) const;
+
+  /// For normalized constant rules: t[A] equals the RHS constant. A null
+  /// t[A] is treated as matching under the SQL simple semantics of §7.
+  bool RhsSatisfied(const data::Tuple& t) const;
+
+  /// Renders e.g. "phi1: tran([AC='131'] -> [city='Edi'])".
+  std::string ToString(const data::Schema& schema) const;
+
+ private:
+  Cfd(std::string name, std::vector<data::AttributeId> lhs,
+      std::vector<PatternValue> lhs_pattern,
+      std::vector<data::AttributeId> rhs,
+      std::vector<PatternValue> rhs_pattern);
+
+  std::string name_;
+  std::vector<data::AttributeId> lhs_;
+  std::vector<PatternValue> lhs_pattern_;
+  std::vector<data::AttributeId> rhs_;
+  std::vector<PatternValue> rhs_pattern_;
+};
+
+/// Whether D satisfies ϕ (D |= ϕ, §2.1) under the null semantics of §7.
+/// Requires ϕ normalized.
+bool Satisfies(const data::Relation& d, const Cfd& cfd);
+
+/// Whether D satisfies every CFD in Σ.
+bool SatisfiesAll(const data::Relation& d, const std::vector<Cfd>& sigma);
+
+}  // namespace rules
+}  // namespace uniclean
+
+#endif  // UNICLEAN_RULES_CFD_H_

@@ -1,0 +1,301 @@
+#include "rules/parser.h"
+
+#include <cstdlib>
+
+#include "common/string_util.h"
+
+namespace uniclean {
+namespace rules {
+
+namespace {
+
+Status SyntaxError(int line_no, const std::string& what) {
+  return Status::InvalidArgument("rule syntax error at line " +
+                                 std::to_string(line_no) + ": " + what);
+}
+
+/// Splits on `delim` at top level (outside single quotes).
+std::vector<std::string> SplitOutsideQuotes(std::string_view s, char delim) {
+  std::vector<std::string> out;
+  std::string cur;
+  bool quoted = false;
+  for (char c : s) {
+    if (c == '\'') quoted = !quoted;
+    if (c == delim && !quoted) {
+      out.push_back(cur);
+      cur.clear();
+    } else {
+      cur.push_back(c);
+    }
+  }
+  out.push_back(cur);
+  return out;
+}
+
+/// Finds "->" outside quotes; returns npos if absent.
+size_t FindArrow(std::string_view s) {
+  bool quoted = false;
+  for (size_t i = 0; i + 1 < s.size(); ++i) {
+    if (s[i] == '\'') quoted = !quoted;
+    if (!quoted && s[i] == '-' && s[i + 1] == '>') return i;
+  }
+  return std::string_view::npos;
+}
+
+/// Parses a CFD item: `Attr` or `Attr='const'` / `Attr=const`.
+Result<std::pair<data::AttributeId, PatternValue>> ParseCfdItem(
+    std::string_view item, const data::Schema& schema, int line_no) {
+  std::string_view trimmed = Trim(item);
+  if (trimmed.empty()) {
+    return SyntaxError(line_no, "empty CFD item");
+  }
+  size_t eq = std::string_view::npos;
+  bool quoted = false;
+  for (size_t i = 0; i < trimmed.size(); ++i) {
+    if (trimmed[i] == '\'') quoted = !quoted;
+    if (trimmed[i] == '=' && !quoted) {
+      eq = i;
+      break;
+    }
+  }
+  if (eq == std::string_view::npos) {
+    UC_ASSIGN_OR_RETURN(data::AttributeId id,
+                        schema.FindAttribute(std::string(Trim(trimmed))));
+    return std::make_pair(id, PatternValue::Wildcard());
+  }
+  std::string attr(Trim(trimmed.substr(0, eq)));
+  std::string_view value = Trim(trimmed.substr(eq + 1));
+  if (value.size() >= 2 && value.front() == '\'' && value.back() == '\'') {
+    value = value.substr(1, value.size() - 2);
+  }
+  if (attr == "_" || attr.empty()) {
+    return SyntaxError(line_no, "missing attribute name in CFD item");
+  }
+  UC_ASSIGN_OR_RETURN(data::AttributeId id, schema.FindAttribute(attr));
+  if (value == "_") {
+    return std::make_pair(id, PatternValue::Wildcard());
+  }
+  return std::make_pair(id, PatternValue::Constant(std::string(value)));
+}
+
+Result<Cfd> ParseCfdBody(const std::string& name, std::string_view body,
+                         const data::Schema& schema, int line_no) {
+  size_t arrow = FindArrow(body);
+  if (arrow == std::string_view::npos) {
+    return SyntaxError(line_no, "CFD missing '->'");
+  }
+  std::vector<data::AttributeId> lhs, rhs;
+  std::vector<PatternValue> lhs_pattern, rhs_pattern;
+  std::string_view lhs_text = Trim(body.substr(0, arrow));
+  if (!lhs_text.empty()) {  // empty LHS allowed: unconditional constant rule
+    for (const std::string& item : SplitOutsideQuotes(lhs_text, ',')) {
+      UC_ASSIGN_OR_RETURN(auto pair, ParseCfdItem(item, schema, line_no));
+      lhs.push_back(pair.first);
+      lhs_pattern.push_back(pair.second);
+    }
+  }
+  for (const std::string& item :
+       SplitOutsideQuotes(Trim(body.substr(arrow + 2)), ',')) {
+    UC_ASSIGN_OR_RETURN(auto pair, ParseCfdItem(item, schema, line_no));
+    rhs.push_back(pair.first);
+    rhs_pattern.push_back(pair.second);
+  }
+  if (rhs.empty()) {
+    return SyntaxError(line_no, "CFD has empty RHS");
+  }
+  return Cfd::Make(name, std::move(lhs), std::move(lhs_pattern),
+                   std::move(rhs), std::move(rhs_pattern));
+}
+
+/// Parses `A=B`, `A!=B` (negative) or `A ~kind:thr B`.
+struct ClausePair {
+  std::string data_attr;
+  std::string master_attr;
+  similarity::SimilarityPredicate predicate =
+      similarity::SimilarityPredicate::Equals();
+  bool negated = false;
+};
+
+Result<ClausePair> ParseMdClause(std::string_view clause, int line_no) {
+  ClausePair out;
+  std::string_view c = Trim(clause);
+  size_t tilde = c.find('~');
+  if (tilde != std::string_view::npos) {
+    out.data_attr = std::string(Trim(c.substr(0, tilde)));
+    std::string_view rest = Trim(c.substr(tilde + 1));
+    size_t colon = rest.find(':');
+    if (colon == std::string_view::npos) {
+      return SyntaxError(line_no, "similarity clause missing ':threshold'");
+    }
+    std::string kind(Trim(rest.substr(0, colon)));
+    std::string_view after = rest.substr(colon + 1);
+    size_t space = after.find(' ');
+    if (space == std::string_view::npos) {
+      return SyntaxError(line_no,
+                         "similarity clause missing master attribute");
+    }
+    std::string threshold_text(Trim(after.substr(0, space)));
+    out.master_attr = std::string(Trim(after.substr(space + 1)));
+    char* end = nullptr;
+    double threshold = std::strtod(threshold_text.c_str(), &end);
+    if (end == threshold_text.c_str()) {
+      return SyntaxError(line_no, "bad similarity threshold '" +
+                                      threshold_text + "'");
+    }
+    if (kind == "edit") {
+      out.predicate =
+          similarity::SimilarityPredicate::Edit(static_cast<int>(threshold));
+    } else if (kind == "jw") {
+      out.predicate = similarity::SimilarityPredicate::JaroWinkler(threshold);
+    } else if (kind == "qgram") {
+      out.predicate = similarity::SimilarityPredicate::QGram(threshold);
+    } else {
+      return SyntaxError(line_no, "unknown similarity kind '" + kind + "'");
+    }
+    return out;
+  }
+  size_t neq = c.find("!=");
+  if (neq != std::string_view::npos) {
+    out.negated = true;
+    out.data_attr = std::string(Trim(c.substr(0, neq)));
+    out.master_attr = std::string(Trim(c.substr(neq + 2)));
+    return out;
+  }
+  size_t eq = c.find('=');
+  if (eq == std::string_view::npos) {
+    return SyntaxError(line_no, "MD clause missing '=' or '~'");
+  }
+  out.data_attr = std::string(Trim(c.substr(0, eq)));
+  out.master_attr = std::string(Trim(c.substr(eq + 1)));
+  return out;
+}
+
+Result<MdAction> ParseMdAction(std::string_view action,
+                               const data::Schema& data_schema,
+                               const data::Schema& master_schema,
+                               int line_no) {
+  std::string_view a = Trim(action);
+  size_t assign = a.find(":=");
+  if (assign == std::string_view::npos) {
+    return SyntaxError(line_no, "MD action missing ':='");
+  }
+  UC_ASSIGN_OR_RETURN(
+      data::AttributeId e,
+      data_schema.FindAttribute(std::string(Trim(a.substr(0, assign)))));
+  UC_ASSIGN_OR_RETURN(
+      data::AttributeId f,
+      master_schema.FindAttribute(std::string(Trim(a.substr(assign + 2)))));
+  return MdAction{e, f};
+}
+
+}  // namespace
+
+Result<ParsedRules> ParseRules(const std::string& text,
+                               const data::SchemaPtr& data_schema,
+                               const data::SchemaPtr& master_schema) {
+  ParsedRules out;
+  int line_no = 0;
+  int auto_name = 0;
+  for (const std::string& raw_line : Split(text, '\n')) {
+    ++line_no;
+    std::string line = raw_line;
+    size_t hash = line.find('#');
+    if (hash != std::string::npos) line = line.substr(0, hash);
+    std::string_view body = Trim(line);
+    if (body.empty()) continue;
+
+    bool is_cfd = StartsWith(body, "CFD ");
+    bool is_md = StartsWith(body, "MD ");
+    bool is_negmd = StartsWith(body, "NEGMD ");
+    if (!is_cfd && !is_md && !is_negmd) {
+      return SyntaxError(line_no, "expected CFD / MD / NEGMD");
+    }
+    body = Trim(body.substr(is_cfd ? 4 : (is_md ? 3 : 6)));
+
+    // Optional "name:" prefix (the name may not contain '=' or '>').
+    std::string name = "rule" + std::to_string(auto_name++);
+    size_t colon = body.find(':');
+    if (colon != std::string_view::npos) {
+      std::string_view candidate = Trim(body.substr(0, colon));
+      if (!candidate.empty() &&
+          candidate.find('=') == std::string_view::npos &&
+          candidate.find('~') == std::string_view::npos &&
+          candidate.find(' ') == std::string_view::npos) {
+        name = std::string(candidate);
+        body = Trim(body.substr(colon + 1));
+      }
+    }
+
+    if (is_cfd) {
+      UC_ASSIGN_OR_RETURN(Cfd cfd,
+                          ParseCfdBody(name, body, *data_schema, line_no));
+      out.cfds.push_back(std::move(cfd));
+      continue;
+    }
+
+    size_t arrow = FindArrow(body);
+    if (arrow == std::string_view::npos) {
+      return SyntaxError(line_no, "MD missing '->'");
+    }
+    std::vector<ClausePair> clauses;
+    for (const std::string& clause_text :
+         SplitOutsideQuotes(Trim(body.substr(0, arrow)), '&')) {
+      UC_ASSIGN_OR_RETURN(ClausePair clause,
+                          ParseMdClause(clause_text, line_no));
+      clauses.push_back(std::move(clause));
+    }
+    std::vector<MdAction> actions;
+    for (const std::string& action_text :
+         SplitOutsideQuotes(Trim(body.substr(arrow + 2)), ',')) {
+      UC_ASSIGN_OR_RETURN(
+          MdAction action,
+          ParseMdAction(action_text, *data_schema, *master_schema, line_no));
+      actions.push_back(action);
+    }
+    if (actions.empty()) {
+      return SyntaxError(line_no, "MD has no actions");
+    }
+
+    if (is_md) {
+      std::vector<MdClause> premise;
+      for (const ClausePair& c : clauses) {
+        if (c.negated) {
+          return SyntaxError(line_no, "'!=' clause in a positive MD");
+        }
+        UC_ASSIGN_OR_RETURN(data::AttributeId da,
+                            data_schema->FindAttribute(c.data_attr));
+        UC_ASSIGN_OR_RETURN(data::AttributeId ma,
+                            master_schema->FindAttribute(c.master_attr));
+        premise.push_back(MdClause{da, ma, c.predicate});
+      }
+      out.mds.push_back(Md::Make(name, std::move(premise), std::move(actions)));
+    } else {
+      std::vector<std::pair<data::AttributeId, data::AttributeId>> ineqs;
+      for (const ClausePair& c : clauses) {
+        if (!c.negated) {
+          return SyntaxError(line_no, "NEGMD clause must use '!='");
+        }
+        UC_ASSIGN_OR_RETURN(data::AttributeId da,
+                            data_schema->FindAttribute(c.data_attr));
+        UC_ASSIGN_OR_RETURN(data::AttributeId ma,
+                            master_schema->FindAttribute(c.master_attr));
+        ineqs.emplace_back(da, ma);
+      }
+      out.negative_mds.push_back(
+          NegativeMd::Make(name, std::move(ineqs), std::move(actions)));
+    }
+  }
+  return out;
+}
+
+Result<RuleSet> ParseRuleSet(const std::string& text,
+                             const data::SchemaPtr& data_schema,
+                             const data::SchemaPtr& master_schema) {
+  UC_ASSIGN_OR_RETURN(ParsedRules parsed,
+                      ParseRules(text, data_schema, master_schema));
+  return RuleSet::Make(data_schema, master_schema, std::move(parsed.cfds),
+                       std::move(parsed.mds), std::move(parsed.negative_mds));
+}
+
+}  // namespace rules
+}  // namespace uniclean

@@ -1,0 +1,52 @@
+// Text syntax for data quality rules. One rule per line; '#' starts a
+// comment. Attribute names are resolved against the data / master schemas.
+//
+//   CFD phi1: AC='131' -> city='Edi'          # constant CFD
+//   CFD phi3: city, phn -> St, AC, post       # FD (all wildcards)
+//   CFD phi4: FN='Bob' -> FN='Robert'         # standardization rule
+//   MD  psi:  LN=LN & city=city & St=St & post=zip & FN ~jw:0.8 FN
+//             -> FN:=FN, phn:=tel
+//   NEGMD n1: gd!=gd -> FN:=FN, phn:=tel      # blocks those identifications
+//
+// CFD items: `Attr` (wildcard) or `Attr='const'` / `Attr=const`.
+// MD clauses: `A=B` (equality) or `A ~edit:K B`, `A ~jw:T B`, `A ~qgram:T B`
+// where A is a data attribute and B a master attribute.
+// MD actions: `E:=F` (write master F into data E).
+
+#ifndef UNICLEAN_RULES_PARSER_H_
+#define UNICLEAN_RULES_PARSER_H_
+
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "data/schema.h"
+#include "rules/cfd.h"
+#include "rules/md.h"
+#include "rules/ruleset.h"
+
+namespace uniclean {
+namespace rules {
+
+/// The raw (pre-normalization) rules of a parsed program.
+struct ParsedRules {
+  std::vector<Cfd> cfds;
+  std::vector<Md> mds;
+  std::vector<NegativeMd> negative_mds;
+};
+
+/// Parses a rule program. Returns InvalidArgument with a line number on
+/// syntax errors and NotFound on unknown attribute names.
+Result<ParsedRules> ParseRules(const std::string& text,
+                               const data::SchemaPtr& data_schema,
+                               const data::SchemaPtr& master_schema);
+
+/// Convenience: parse + RuleSet::Make in one step.
+Result<RuleSet> ParseRuleSet(const std::string& text,
+                             const data::SchemaPtr& data_schema,
+                             const data::SchemaPtr& master_schema);
+
+}  // namespace rules
+}  // namespace uniclean
+
+#endif  // UNICLEAN_RULES_PARSER_H_

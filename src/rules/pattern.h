@@ -1,0 +1,56 @@
+// PatternValue: one component of a CFD pattern tuple tp (§2.1) — either a
+// constant from the attribute's domain or the unnamed wildcard '_'.
+
+#ifndef UNICLEAN_RULES_PATTERN_H_
+#define UNICLEAN_RULES_PATTERN_H_
+
+#include <string>
+#include <utility>
+
+#include "data/value.h"
+
+namespace uniclean {
+namespace rules {
+
+/// A pattern-tuple component: wildcard or constant.
+class PatternValue {
+ public:
+  /// The unnamed variable '_' that draws values from the domain.
+  static PatternValue Wildcard() { return PatternValue(true, std::string()); }
+
+  /// A constant pattern.
+  static PatternValue Constant(std::string value) {
+    return PatternValue(false, std::move(value));
+  }
+
+  bool is_wildcard() const { return wildcard_; }
+  const std::string& constant() const { return constant_; }
+
+  /// The ≍ operator of §2.1 restricted to a data value vs. this pattern
+  /// component. Per §7, a null data value matches no pattern (not even '_').
+  bool Matches(const data::Value& v) const {
+    if (v.is_null()) return false;
+    return wildcard_ || v.str() == constant_;
+  }
+
+  /// "_" or the quoted constant.
+  std::string ToString() const {
+    return wildcard_ ? "_" : "'" + constant_ + "'";
+  }
+
+  bool operator==(const PatternValue& o) const {
+    return wildcard_ == o.wildcard_ && (wildcard_ || constant_ == o.constant_);
+  }
+
+ private:
+  PatternValue(bool wildcard, std::string constant)
+      : wildcard_(wildcard), constant_(std::move(constant)) {}
+
+  bool wildcard_;
+  std::string constant_;
+};
+
+}  // namespace rules
+}  // namespace uniclean
+
+#endif  // UNICLEAN_RULES_PATTERN_H_

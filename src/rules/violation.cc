@@ -1,0 +1,105 @@
+#include "rules/violation.h"
+
+#include <string>
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace uniclean {
+namespace rules {
+
+namespace {
+
+std::string LhsKey(const data::Tuple& t,
+                   const std::vector<data::AttributeId>& attrs) {
+  std::string key;
+  for (data::AttributeId a : attrs) {
+    key += t.value(a).str();
+    key.push_back('\x1f');
+  }
+  return key;
+}
+
+}  // namespace
+
+std::vector<CfdViolation> FindCfdViolations(const data::Relation& d,
+                                            const RuleSet& ruleset,
+                                            RuleId rule, size_t limit) {
+  const Cfd& cfd = ruleset.cfd(rule);
+  std::vector<CfdViolation> out;
+  if (cfd.IsConstantRule()) {
+    for (data::TupleId t = 0; t < d.size(); ++t) {
+      if (out.size() >= limit) break;
+      if (cfd.MatchesLhs(d.tuple(t)) && !cfd.RhsSatisfied(d.tuple(t))) {
+        out.push_back(CfdViolation{rule, t, CfdViolation::kNoTuple});
+      }
+    }
+    return out;
+  }
+  // Variable CFD: group tuples by LHS projection; within a group, anchor on
+  // the first tuple of each distinct RHS value.
+  const data::AttributeId b = cfd.rhs()[0];
+  std::unordered_map<std::string,
+                     std::unordered_map<std::string, data::TupleId>>
+      anchors;  // lhs key -> (rhs value -> first tuple)
+  std::unordered_map<std::string, std::vector<data::TupleId>> groups;
+  for (data::TupleId t = 0; t < d.size(); ++t) {
+    if (!cfd.MatchesLhs(d.tuple(t))) continue;
+    if (d.tuple(t).value(b).is_null()) continue;  // satisfies trivially (§7)
+    std::string key = LhsKey(d.tuple(t), cfd.lhs());
+    groups[key].push_back(t);
+    anchors[key].emplace(d.tuple(t).value(b).str(), t);
+  }
+  for (const auto& [key, members] : groups) {
+    const auto& value_anchor = anchors[key];
+    if (value_anchor.size() <= 1) continue;  // group agrees
+    for (data::TupleId t : members) {
+      if (out.size() >= limit) return out;
+      const std::string& v = d.tuple(t).value(b).str();
+      // Pair t against the anchor of some other value.
+      for (const auto& [other_value, anchor] : value_anchor) {
+        if (other_value == v) continue;
+        out.push_back(CfdViolation{rule, anchor, t});
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+std::vector<MdViolation> FindMdViolations(const data::Relation& d,
+                                          const data::Relation& dm,
+                                          const RuleSet& ruleset, RuleId rule,
+                                          size_t limit) {
+  const Md& md = ruleset.md(rule);
+  UC_CHECK(md.normalized());
+  const MdAction& action = md.actions()[0];
+  std::vector<MdViolation> out;
+  for (data::TupleId t = 0; t < d.size(); ++t) {
+    for (data::TupleId s = 0; s < dm.size(); ++s) {
+      if (out.size() >= limit) return out;
+      if (!md.PremiseHolds(d.tuple(t), dm.tuple(s))) continue;
+      if (!data::Value::SqlEquals(d.tuple(t).value(action.data_attr),
+                                  dm.tuple(s).value(action.master_attr))) {
+        out.push_back(MdViolation{rule, t, s});
+      }
+    }
+  }
+  return out;
+}
+
+size_t CountViolations(const data::Relation& d, const data::Relation& dm,
+                       const RuleSet& ruleset, size_t limit) {
+  size_t total = 0;
+  for (RuleId r = 0; r < ruleset.num_rules(); ++r) {
+    if (ruleset.IsCfd(r)) {
+      total += FindCfdViolations(d, ruleset, r, limit).size();
+    } else {
+      total += FindMdViolations(d, dm, ruleset, r, limit).size();
+    }
+  }
+  return total;
+}
+
+}  // namespace rules
+}  // namespace uniclean

@@ -1,0 +1,60 @@
+// Violation detection for CFDs and MDs. Used by tests, examples and the
+// heuristic repair phase; the phase-1/2 engines use incremental structures
+// instead of re-scanning.
+
+#ifndef UNICLEAN_RULES_VIOLATION_H_
+#define UNICLEAN_RULES_VIOLATION_H_
+
+#include <vector>
+
+#include "data/relation.h"
+#include "rules/cfd.h"
+#include "rules/md.h"
+#include "rules/ruleset.h"
+
+namespace uniclean {
+namespace rules {
+
+/// A CFD violation: for constant CFDs, `t2 == kNoTuple` and t1 alone matches
+/// the LHS pattern with a wrong RHS; for variable CFDs, (t1, t2) agree on
+/// the LHS but differ on the RHS.
+struct CfdViolation {
+  RuleId rule;
+  data::TupleId t1;
+  data::TupleId t2;
+
+  static constexpr data::TupleId kNoTuple = -1;
+};
+
+/// An MD violation: data tuple t matches master tuple s on the premise but
+/// disagrees on the action attribute.
+struct MdViolation {
+  RuleId rule;
+  data::TupleId t;
+  data::TupleId s;
+};
+
+/// Finds up to `limit` violations of the normalized CFD `ruleset.cfd(rule)`.
+/// For variable CFDs, each LHS group contributes pairs between the group's
+/// first tuple holding each distinct RHS value and every tuple disagreeing
+/// with it, so every offending tuple appears in at least one violation.
+std::vector<CfdViolation> FindCfdViolations(const data::Relation& d,
+                                            const RuleSet& ruleset,
+                                            RuleId rule,
+                                            size_t limit = SIZE_MAX);
+
+/// Finds up to `limit` violations of the normalized MD `ruleset.md(rule)`
+/// by nested-loop comparison (reference implementation).
+std::vector<MdViolation> FindMdViolations(const data::Relation& d,
+                                          const data::Relation& dm,
+                                          const RuleSet& ruleset, RuleId rule,
+                                          size_t limit = SIZE_MAX);
+
+/// Total number of violations across all rules (capped per rule by `limit`).
+size_t CountViolations(const data::Relation& d, const data::Relation& dm,
+                       const RuleSet& ruleset, size_t limit = SIZE_MAX);
+
+}  // namespace rules
+}  // namespace uniclean
+
+#endif  // UNICLEAN_RULES_VIOLATION_H_

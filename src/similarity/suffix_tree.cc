@@ -1,0 +1,260 @@
+#include "similarity/suffix_tree.h"
+
+#include <algorithm>
+
+#include "common/check.h"
+
+namespace uniclean {
+namespace similarity {
+
+namespace {
+// Separator symbols are negative and unique per string so no suffix of one
+// string can be confused with a suffix of another.
+int32_t SeparatorFor(int string_id) { return -1 - string_id; }
+int32_t SymbolFor(char c) { return static_cast<unsigned char>(c); }
+}  // namespace
+
+int GeneralizedSuffixTree::AddString(std::string_view s) {
+  UC_CHECK(!built_) << "AddString after Build";
+  int id = static_cast<int>(boundaries_.size());
+  boundaries_.push_back(static_cast<int>(text_.size()));
+  string_length_.push_back(static_cast<int>(s.size()));
+  for (char c : s) text_.push_back(SymbolFor(c));
+  text_.push_back(SeparatorFor(id));
+  return id;
+}
+
+int GeneralizedSuffixTree::NewNode(int start, int end) {
+  nodes_.push_back(Node{start, end, 0, {}});
+  return static_cast<int>(nodes_.size() - 1);
+}
+
+void GeneralizedSuffixTree::Extend(int pos) {
+  int last_new_node = -1;
+  ++remainder_;
+  const int32_t cur_symbol = text_[static_cast<size_t>(pos)];
+  while (remainder_ > 0) {
+    if (active_length_ == 0) active_edge_ = pos;
+    const int32_t edge_symbol = text_[static_cast<size_t>(active_edge_)];
+    auto it = nodes_[static_cast<size_t>(active_node_)].next.find(edge_symbol);
+    if (it == nodes_[static_cast<size_t>(active_node_)].next.end()) {
+      // No edge: create a leaf.
+      int leaf = NewNode(pos, kOpenEnd);
+      nodes_[static_cast<size_t>(active_node_)].next[edge_symbol] = leaf;
+      if (last_new_node != -1) {
+        nodes_[static_cast<size_t>(last_new_node)].link = active_node_;
+        last_new_node = -1;
+      }
+    } else {
+      int next_node = it->second;
+      int edge_len = EdgeLength(nodes_[static_cast<size_t>(next_node)]);
+      if (active_length_ >= edge_len) {
+        // Walk down (canonicalize).
+        active_edge_ += edge_len;
+        active_length_ -= edge_len;
+        active_node_ = next_node;
+        continue;
+      }
+      if (text_[static_cast<size_t>(
+              nodes_[static_cast<size_t>(next_node)].start + active_length_)] ==
+          cur_symbol) {
+        // Symbol already present on the edge: rule 3, stop.
+        if (last_new_node != -1 && active_node_ != 0) {
+          nodes_[static_cast<size_t>(last_new_node)].link = active_node_;
+          last_new_node = -1;
+        }
+        ++active_length_;
+        break;
+      }
+      // Split the edge.
+      int split_start = nodes_[static_cast<size_t>(next_node)].start;
+      int split = NewNode(split_start, split_start + active_length_);
+      nodes_[static_cast<size_t>(active_node_)].next[edge_symbol] = split;
+      int leaf = NewNode(pos, kOpenEnd);
+      nodes_[static_cast<size_t>(split)].next[cur_symbol] = leaf;
+      nodes_[static_cast<size_t>(next_node)].start += active_length_;
+      nodes_[static_cast<size_t>(split)]
+          .next[text_[static_cast<size_t>(
+              nodes_[static_cast<size_t>(next_node)].start)]] = next_node;
+      if (last_new_node != -1) {
+        nodes_[static_cast<size_t>(last_new_node)].link = split;
+      }
+      last_new_node = split;
+    }
+    --remainder_;
+    if (active_node_ == 0 && active_length_ > 0) {
+      --active_length_;
+      active_edge_ = pos - remainder_ + 1;
+    } else if (active_node_ != 0) {
+      active_node_ = nodes_[static_cast<size_t>(active_node_)].link;
+    }
+  }
+}
+
+void GeneralizedSuffixTree::Build() {
+  UC_CHECK(!built_) << "Build called twice";
+  built_ = true;
+  nodes_.clear();
+  NewNode(-1, -1);  // root
+  active_node_ = 0;
+  active_edge_ = 0;
+  active_length_ = 0;
+  remainder_ = 0;
+  for (int pos = 0; pos < static_cast<int>(text_.size()); ++pos) {
+    Extend(pos);
+  }
+  // All suffixes end in a unique separator, so remainder_ must have drained.
+  UC_CHECK_EQ(remainder_, 0) << "suffix tree build left pending suffixes";
+
+  // Compute suffix starts for leaves: suffix_start = |text| - depth(leaf).
+  suffix_start_.assign(nodes_.size(), -1);
+  std::vector<std::pair<int, int>> stack;  // (node, depth-so-far at node)
+  stack.emplace_back(0, 0);
+  while (!stack.empty()) {
+    auto [node, depth] = stack.back();
+    stack.pop_back();
+    const Node& n = nodes_[static_cast<size_t>(node)];
+    if (n.next.empty() && node != 0) {
+      suffix_start_[static_cast<size_t>(node)] =
+          static_cast<int>(text_.size()) - depth;
+      continue;
+    }
+    for (const auto& [sym, child] : n.next) {
+      (void)sym;
+      stack.emplace_back(child,
+                         depth + EdgeLength(nodes_[static_cast<size_t>(child)]));
+    }
+  }
+}
+
+std::vector<int> GeneralizedSuffixTree::AllSuffixStarts() const {
+  UC_CHECK(built_);
+  std::vector<int> starts;
+  for (size_t n = 1; n < nodes_.size(); ++n) {
+    if (nodes_[n].next.empty()) starts.push_back(suffix_start_[n]);
+  }
+  std::sort(starts.begin(), starts.end());
+  return starts;
+}
+
+int GeneralizedSuffixTree::StringIdAt(int text_pos) const {
+  UC_CHECK_GE(text_pos, 0);
+  UC_CHECK_LT(static_cast<size_t>(text_pos), text_.size());
+  if (text_[static_cast<size_t>(text_pos)] < 0) return -1;  // separator
+  // boundaries_ is sorted; find the last boundary <= text_pos.
+  auto it = std::upper_bound(boundaries_.begin(), boundaries_.end(), text_pos);
+  return static_cast<int>(it - boundaries_.begin()) - 1;
+}
+
+bool GeneralizedSuffixTree::ContainsSubstring(std::string_view q) const {
+  UC_CHECK(built_);
+  int node = 0;
+  size_t i = 0;
+  while (i < q.size()) {
+    auto it = nodes_[static_cast<size_t>(node)].next.find(SymbolFor(q[i]));
+    if (it == nodes_[static_cast<size_t>(node)].next.end()) return false;
+    const Node& child = nodes_[static_cast<size_t>(it->second)];
+    int len = EdgeLength(child);
+    for (int k = 0; k < len && i < q.size(); ++k, ++i) {
+      if (text_[static_cast<size_t>(child.start + k)] != SymbolFor(q[i])) {
+        return false;
+      }
+    }
+    node = it->second;
+  }
+  return true;
+}
+
+void GeneralizedSuffixTree::CollectLeaves(int node, int limit,
+                                          std::vector<int>* starts) const {
+  std::vector<int> stack{node};
+  while (!stack.empty() && static_cast<int>(starts->size()) < limit) {
+    int cur = stack.back();
+    stack.pop_back();
+    const Node& n = nodes_[static_cast<size_t>(cur)];
+    if (n.next.empty() && cur != 0) {
+      starts->push_back(suffix_start_[static_cast<size_t>(cur)]);
+      continue;
+    }
+    for (const auto& [sym, child] : n.next) {
+      (void)sym;
+      stack.push_back(child);
+    }
+  }
+}
+
+std::vector<BlockingCandidate> GeneralizedSuffixTree::TopL(
+    std::string_view q, int l, int max_leaves_per_probe) const {
+  UC_CHECK(built_);
+  std::vector<BlockingCandidate> result;
+  if (l <= 0 || q.empty()) return result;
+
+  // For each starting offset of q, descend from the root as far as possible.
+  // A string s whose longest common substring with q (starting at this
+  // offset) has length m diverges from the descent path either at a node of
+  // depth m (different child) or inside an edge (in which case its leaf lies
+  // below the edge's child node, recorded when the probe stops there). To
+  // credit both cases we record every node boundary visited with its depth,
+  // not just the final locus.
+  struct Probe {
+    int node;   // a node on the match path
+    int depth;  // matched length at (or within the edge entering) the node
+  };
+  std::vector<Probe> probes;
+  for (size_t start = 0; start < q.size(); ++start) {
+    int node = 0;
+    int depth = 0;
+    size_t i = start;
+    while (i < q.size()) {
+      auto it = nodes_[static_cast<size_t>(node)].next.find(SymbolFor(q[i]));
+      if (it == nodes_[static_cast<size_t>(node)].next.end()) break;
+      const Node& child = nodes_[static_cast<size_t>(it->second)];
+      int len = EdgeLength(child);
+      int advanced = 0;
+      bool mismatch = false;
+      for (int k = 0; k < len && i < q.size(); ++k, ++i) {
+        if (text_[static_cast<size_t>(child.start + k)] != SymbolFor(q[i])) {
+          mismatch = true;
+          break;
+        }
+        ++advanced;
+      }
+      depth += advanced;
+      node = it->second;  // even on partial edge match, subtree is correct
+      if (depth > 0) probes.push_back(Probe{node, depth});
+      if (mismatch || advanced < len) break;
+    }
+  }
+
+  // Deepest probes first, so each string's recorded score is its best.
+  std::sort(probes.begin(), probes.end(),
+            [](const Probe& a, const Probe& b) { return a.depth > b.depth; });
+
+  std::unordered_map<int, int> best_score;  // string id -> score
+  std::vector<int> starts;
+  for (const Probe& p : probes) {
+    starts.clear();
+    CollectLeaves(p.node, max_leaves_per_probe, &starts);
+    for (int s : starts) {
+      int sid = StringIdAt(s);
+      if (sid < 0) continue;
+      auto [it, inserted] = best_score.emplace(sid, p.depth);
+      if (!inserted && it->second < p.depth) it->second = p.depth;
+    }
+  }
+
+  result.reserve(best_score.size());
+  for (const auto& [sid, score] : best_score) {
+    result.push_back(BlockingCandidate{sid, score});
+  }
+  std::sort(result.begin(), result.end(),
+            [](const BlockingCandidate& a, const BlockingCandidate& b) {
+              if (a.score != b.score) return a.score > b.score;
+              return a.string_id < b.string_id;
+            });
+  if (static_cast<int>(result.size()) > l) result.resize(static_cast<size_t>(l));
+  return result;
+}
+
+}  // namespace similarity
+}  // namespace uniclean

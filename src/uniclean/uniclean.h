@@ -1,0 +1,50 @@
+// Umbrella header: the public API of the UniClean library.
+//
+// Quickstart:
+//
+//   #include "uniclean/uniclean.h"
+//   using namespace uniclean;
+//
+//   auto tran = data::MakeSchema("tran", {...});
+//   auto card = data::MakeSchema("card", {...});
+//   data::Relation d(tran), dm(card);
+//   ... load data, set per-cell confidences ...
+//   auto rs = rules::ParseRuleSet(rule_text, tran, card).value();
+//   core::UniCleanOptions options;
+//   auto report = core::UniClean(&d, dm, rs, options);
+//   // d is now consistent; each fixed cell is marked with the phase that
+//   // produced it (deterministic / reliable / possible).
+
+#ifndef UNICLEAN_UNICLEAN_UNICLEAN_H_
+#define UNICLEAN_UNICLEAN_UNICLEAN_H_
+
+#include "common/result.h"
+#include "common/rng.h"
+#include "common/status.h"
+#include "core/cost_model.h"
+#include "core/crepair.h"
+#include "core/erepair.h"
+#include "core/hrepair.h"
+#include "core/md_matcher.h"
+#include "core/uniclean.h"
+#include "data/csv.h"
+#include "data/relation.h"
+#include "data/schema.h"
+#include "data/value.h"
+#include "reasoning/chase.h"
+#include "reasoning/consistency.h"
+#include "reasoning/dependency_graph.h"
+#include "discovery/cfd_discovery.h"
+#include "discovery/fd_discovery.h"
+#include "discovery/md_calibration.h"
+#include "reasoning/minimal_cover.h"
+#include "rules/cfd.h"
+#include "rules/md.h"
+#include "rules/parser.h"
+#include "rules/ruleset.h"
+#include "rules/violation.h"
+#include "similarity/metrics.h"
+#include "similarity/predicate.h"
+#include "similarity/suffix_tree.h"
+
+#endif  // UNICLEAN_UNICLEAN_UNICLEAN_H_

@@ -1,0 +1,153 @@
+#include <algorithm>
+#include <map>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/avl_tree.h"
+
+namespace uniclean {
+namespace core {
+namespace {
+
+TEST(AvlTreeTest, EmptyTree) {
+  AvlTree<int, std::string> tree;
+  EXPECT_TRUE(tree.empty());
+  EXPECT_EQ(tree.size(), 0);
+  EXPECT_EQ(tree.Height(), 0);
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(AvlTreeTest, InsertAndVisitInOrder) {
+  AvlTree<int, std::string> tree;
+  tree.Insert(5, "e");
+  tree.Insert(3, "c");
+  tree.Insert(8, "h");
+  tree.Insert(1, "a");
+  EXPECT_EQ(tree.size(), 4);
+  EXPECT_TRUE(tree.CheckInvariants());
+  std::vector<int> keys;
+  tree.VisitAll([&keys](const int& k, const std::string&) {
+    keys.push_back(k);
+    return true;
+  });
+  EXPECT_EQ(keys, (std::vector<int>{1, 3, 5, 8}));
+  EXPECT_EQ(tree.MinKey(), 1);
+}
+
+TEST(AvlTreeTest, VisitBelowStopsAtBound) {
+  AvlTree<double, int> tree;
+  for (int i = 0; i < 10; ++i) tree.Insert(i * 0.1, i);
+  std::vector<int> visited;
+  tree.VisitBelow(0.45, [&visited](const double&, const int& v) {
+    visited.push_back(v);
+    return true;
+  });
+  EXPECT_EQ(visited, (std::vector<int>{0, 1, 2, 3, 4}));
+}
+
+TEST(AvlTreeTest, VisitorEarlyStop) {
+  AvlTree<int, int> tree;
+  for (int i = 0; i < 100; ++i) tree.Insert(i, i);
+  int count = 0;
+  tree.VisitAll([&count](const int&, const int&) {
+    ++count;
+    return count < 7;
+  });
+  EXPECT_EQ(count, 7);
+}
+
+TEST(AvlTreeTest, DuplicateKeysAllowed) {
+  AvlTree<int, std::string> tree;
+  tree.Insert(1, "first");
+  tree.Insert(1, "second");
+  tree.Insert(1, "third");
+  EXPECT_EQ(tree.size(), 3);
+  EXPECT_TRUE(tree.CheckInvariants());
+  int seen = 0;
+  tree.VisitAll([&seen](const int& k, const std::string&) {
+    EXPECT_EQ(k, 1);
+    ++seen;
+    return true;
+  });
+  EXPECT_EQ(seen, 3);
+}
+
+TEST(AvlTreeTest, EraseByKeyAndValue) {
+  AvlTree<int, std::string> tree;
+  tree.Insert(1, "a");
+  tree.Insert(2, "b");
+  tree.Insert(2, "c");
+  EXPECT_TRUE(tree.Erase(2, "b"));
+  EXPECT_EQ(tree.size(), 2);
+  EXPECT_FALSE(tree.Erase(2, "b"));  // already gone
+  EXPECT_TRUE(tree.Erase(2, "c"));
+  EXPECT_TRUE(tree.Erase(1, "a"));
+  EXPECT_TRUE(tree.empty());
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+TEST(AvlTreeTest, HeightStaysLogarithmicOnSortedInsert) {
+  AvlTree<int, int> tree;
+  for (int i = 0; i < 1024; ++i) tree.Insert(i, i);
+  // AVL height bound: ~1.44 log2(n+2); for 1024 nodes, <= 15.
+  EXPECT_LE(tree.Height(), 15);
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+class AvlRandomOps : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(AvlRandomOps, MatchesReferenceMultimap) {
+  Rng rng(GetParam());
+  AvlTree<int, int> tree;
+  std::multimap<int, int> reference;
+  int next_value = 0;
+  for (int op = 0; op < 2000; ++op) {
+    if (reference.empty() || rng.Bernoulli(0.6)) {
+      int key = static_cast<int>(rng.Uniform(0, 50));
+      tree.Insert(key, next_value);
+      reference.emplace(key, next_value);
+      ++next_value;
+    } else {
+      // Erase a random existing entry.
+      size_t idx = rng.Index(reference.size());
+      auto it = reference.begin();
+      std::advance(it, static_cast<long>(idx));
+      EXPECT_TRUE(tree.Erase(it->first, it->second));
+      reference.erase(it);
+    }
+    ASSERT_EQ(tree.size(), static_cast<int>(reference.size()));
+  }
+  ASSERT_TRUE(tree.CheckInvariants());
+  // Full in-order scan matches the reference (keys ascending; value
+  // multiset per key equal).
+  std::multimap<int, int> scanned;
+  int last_key = -1;
+  tree.VisitAll([&](const int& k, const int& v) {
+    EXPECT_GE(k, last_key);
+    last_key = k;
+    scanned.emplace(k, v);
+    return true;
+  });
+  EXPECT_EQ(scanned.size(), reference.size());
+  for (const auto& [k, v] : reference) {
+    auto range = scanned.equal_range(k);
+    bool found = false;
+    for (auto it = range.first; it != range.second; ++it) {
+      if (it->second == v) {
+        found = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(found) << "missing (" << k << ", " << v << ")";
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, AvlRandomOps,
+                         ::testing::Values(1, 2, 3, 4, 5, 11, 13));
+
+}  // namespace
+}  // namespace core
+}  // namespace uniclean

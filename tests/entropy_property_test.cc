@@ -1,0 +1,102 @@
+// Property suite for the §6.1 entropy measure used by eRepair.
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/erepair.h"
+
+namespace uniclean {
+namespace core {
+namespace {
+
+class EntropyProperties : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(EntropyProperties, BoundedInUnitInterval) {
+  Rng rng(GetParam());
+  for (int i = 0; i < 200; ++i) {
+    std::vector<int> counts;
+    int k = 1 + static_cast<int>(rng.Index(8));
+    for (int j = 0; j < k; ++j) {
+      counts.push_back(1 + static_cast<int>(rng.Index(20)));
+    }
+    double h = GroupEntropy(counts);
+    EXPECT_GE(h, 0.0);
+    EXPECT_LE(h, 1.0 + 1e-12);
+  }
+}
+
+TEST_P(EntropyProperties, PermutationInvariant) {
+  Rng rng(GetParam() + 1000);
+  for (int i = 0; i < 100; ++i) {
+    std::vector<int> counts;
+    int k = 2 + static_cast<int>(rng.Index(6));
+    for (int j = 0; j < k; ++j) {
+      counts.push_back(1 + static_cast<int>(rng.Index(15)));
+    }
+    std::vector<int> shuffled = counts;
+    rng.Shuffle(&shuffled);
+    EXPECT_DOUBLE_EQ(GroupEntropy(counts), GroupEntropy(shuffled));
+  }
+}
+
+TEST_P(EntropyProperties, ScaleInvariant) {
+  // H depends on the distribution, not the group size: doubling every
+  // count leaves it unchanged.
+  Rng rng(GetParam() + 2000);
+  for (int i = 0; i < 100; ++i) {
+    std::vector<int> counts;
+    int k = 2 + static_cast<int>(rng.Index(5));
+    for (int j = 0; j < k; ++j) {
+      counts.push_back(1 + static_cast<int>(rng.Index(10)));
+    }
+    std::vector<int> doubled = counts;
+    for (int& c : doubled) c *= 2;
+    EXPECT_NEAR(GroupEntropy(counts), GroupEntropy(doubled), 1e-12);
+  }
+}
+
+TEST_P(EntropyProperties, ConcentrationDecreasesEntropy) {
+  // Moving one unit of mass from a minority value to the majority value
+  // never increases the entropy.
+  Rng rng(GetParam() + 3000);
+  for (int i = 0; i < 100; ++i) {
+    int k = 2 + static_cast<int>(rng.Index(4));
+    std::vector<int> counts;
+    for (int j = 0; j < k; ++j) {
+      counts.push_back(2 + static_cast<int>(rng.Index(10)));
+    }
+    auto max_it = std::max_element(counts.begin(), counts.end());
+    auto min_it = std::min_element(counts.begin(), counts.end());
+    if (max_it == min_it || *min_it <= 1) continue;
+    std::vector<int> concentrated = counts;
+    concentrated[static_cast<size_t>(max_it - counts.begin())] += 1;
+    concentrated[static_cast<size_t>(min_it - counts.begin())] -= 1;
+    EXPECT_LE(GroupEntropy(concentrated), GroupEntropy(counts) + 1e-12);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, EntropyProperties,
+                         ::testing::Values<uint64_t>(1, 2, 3));
+
+TEST(EntropyEdgeCases, UniformIsExactlyOne) {
+  for (int k = 2; k <= 10; ++k) {
+    std::vector<int> counts(static_cast<size_t>(k), 7);
+    EXPECT_NEAR(GroupEntropy(counts), 1.0, 1e-12) << "k=" << k;
+  }
+}
+
+TEST(EntropyEdgeCases, SingletonIsZero) {
+  EXPECT_DOUBLE_EQ(GroupEntropy({1}), 0.0);
+  EXPECT_DOUBLE_EQ(GroupEntropy({1000}), 0.0);
+}
+
+TEST(EntropyEdgeCases, HeavySkewApproachesZero) {
+  EXPECT_LT(GroupEntropy({1000, 1}), 0.02);
+}
+
+}  // namespace
+}  // namespace core
+}  // namespace uniclean

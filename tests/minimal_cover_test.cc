@@ -1,0 +1,98 @@
+#include <algorithm>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "data/relation.h"
+#include "data/schema.h"
+#include "reasoning/minimal_cover.h"
+#include "rules/parser.h"
+
+namespace uniclean {
+namespace reasoning {
+namespace {
+
+using data::MakeSchema;
+using data::Relation;
+using data::SchemaPtr;
+
+rules::RuleSet MakeRules(const std::string& text, SchemaPtr schema,
+                         SchemaPtr master) {
+  auto rs = rules::ParseRuleSet(text, schema, master);
+  UC_CHECK(rs.ok()) << rs.status().ToString();
+  return std::move(rs).value();
+}
+
+class MinimalCoverTest : public ::testing::Test {
+ protected:
+  SchemaPtr schema_ = MakeSchema("r", {"A", "B", "C"});
+  SchemaPtr master_ = MakeSchema("m", {"X", "Y"});
+  Relation dm_{master_};
+};
+
+TEST_F(MinimalCoverTest, DropsTransitivelyImpliedFd) {
+  // A->C follows from A->B, B->C.
+  auto rs = MakeRules("CFD f1: A -> B\nCFD f2: B -> C\nCFD f3: A -> C\n",
+                      schema_, master_);
+  auto result = MinimalCover(rs, dm_);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->cover.cfds().size(), 2u);
+  ASSERT_EQ(result->removed.size(), 1u);
+  EXPECT_EQ(result->removed[0], "f3");
+}
+
+TEST_F(MinimalCoverTest, KeepsIndependentRules) {
+  auto rs = MakeRules("CFD f1: A -> B\nCFD f2: B -> C\n", schema_, master_);
+  auto result = MinimalCover(rs, dm_);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->cover.cfds().size(), 2u);
+  EXPECT_TRUE(result->removed.empty());
+}
+
+TEST_F(MinimalCoverTest, DropsDuplicateRule) {
+  auto rs = MakeRules("CFD f1: A -> B\nCFD f2: A -> B\n", schema_, master_);
+  auto result = MinimalCover(rs, dm_);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->cover.cfds().size(), 1u);
+  EXPECT_EQ(result->removed.size(), 1u);
+}
+
+TEST_F(MinimalCoverTest, DropsWeakerMd) {
+  dm_.AddRow({"x", "f"});
+  auto rs = MakeRules(
+      "MD m1: A=X -> B:=Y\nMD m2: A=X & C=Y -> B:=Y\n", schema_, master_);
+  auto result = MinimalCover(rs, dm_);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  // m2 (with the extra premise clause) is implied by m1.
+  EXPECT_EQ(result->cover.mds().size(), 1u);
+  ASSERT_EQ(result->removed.size(), 1u);
+  EXPECT_EQ(result->removed[0], "m2");
+}
+
+TEST_F(MinimalCoverTest, ConstantCfdSubsumption) {
+  // [A='1'] -> [B='2'] plus the unconditional -> [B='2'] : the conditional
+  // one is implied.
+  auto rs = MakeRules("CFD c1: -> B='2'\nCFD c2: A='1' -> B='2'\n", schema_,
+                      master_);
+  auto result = MinimalCover(rs, dm_);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->cover.cfds().size(), 1u);
+  ASSERT_EQ(result->removed.size(), 1u);
+  EXPECT_EQ(result->removed[0], "c2");
+}
+
+TEST_F(MinimalCoverTest, BudgetExhaustionKeepsRulesConservatively) {
+  auto rs = MakeRules("CFD f1: A -> B\nCFD f2: B -> C\nCFD f3: A -> C\n",
+                      schema_, master_);
+  AnalysisOptions options;
+  options.max_search_nodes = 1;
+  auto result = MinimalCover(rs, dm_, options);
+  ASSERT_TRUE(result.ok());
+  // Nothing can be proven implied within one node: everything is kept.
+  EXPECT_EQ(result->cover.cfds().size(), 3u);
+  EXPECT_TRUE(result->removed.empty());
+}
+
+}  // namespace
+}  // namespace reasoning
+}  // namespace uniclean

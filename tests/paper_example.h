@@ -1,0 +1,106 @@
+// Shared test fixture: the running example of the paper (Fig. 1 and
+// Example 1.1) — master relation `card`, transaction relation `tran` with
+// the published per-cell confidences, and the rules ϕ1–ϕ4 and ψ.
+
+#ifndef UNICLEAN_TESTS_PAPER_EXAMPLE_H_
+#define UNICLEAN_TESTS_PAPER_EXAMPLE_H_
+
+#include <string>
+#include <vector>
+
+#include "common/check.h"
+#include "data/relation.h"
+#include "data/schema.h"
+#include "rules/parser.h"
+#include "rules/ruleset.h"
+
+namespace uniclean {
+namespace testing {
+
+inline data::SchemaPtr CardSchema() {
+  return data::MakeSchema(
+      "card", {"FN", "LN", "St", "city", "AC", "zip", "tel", "dob", "gd"});
+}
+
+inline data::SchemaPtr TranSchema() {
+  return data::MakeSchema("tran", {"FN", "LN", "St", "city", "AC", "post",
+                                   "phn", "gd", "item", "when", "where"});
+}
+
+/// Master data Dm of Fig. 1(a).
+inline data::Relation CardMaster() {
+  data::Relation dm(CardSchema());
+  dm.AddRow({"Mark", "Smith", "10 Oak St", "Edi", "131", "EH8 9LE", "3256778",
+             "10/10/1987", "Male"},
+            1.0);
+  dm.AddRow({"Robert", "Brady", "5 Wren St", "Ldn", "020", "WC1H 9SE",
+             "3887644", "12/08/1975", "Male"},
+            1.0);
+  return dm;
+}
+
+/// Database D of Fig. 1(b), with the published confidence rows.
+inline data::Relation TranDirty() {
+  data::Relation d(TranSchema());
+  auto add = [&d](const std::vector<std::string>& values,
+                  const std::vector<double>& cf, int null_at = -1) {
+    UC_CHECK_EQ(values.size(), cf.size());
+    data::Tuple t(d.schema().arity());
+    for (int a = 0; a < d.schema().arity(); ++a) {
+      if (a == null_at) {
+        t.set_value(a, data::Value::Null());
+      } else {
+        t.set_value(a, data::Value(values[static_cast<size_t>(a)]));
+      }
+      t.set_confidence(a, cf[static_cast<size_t>(a)]);
+    }
+    d.AddTuple(std::move(t));
+  };
+  // t1
+  add({"M.", "Smith", "10 Oak St", "Ldn", "131", "EH8 9LE", "9999999", "Male",
+       "watch, 350 GBP", "11am 28/08/10", "UK"},
+      {0.9, 1.0, 0.9, 0.5, 0.9, 0.9, 0.0, 0.8, 1.0, 1.0, 1.0});
+  // t2
+  add({"Max", "Smith", "Po Box 25", "Edi", "131", "EH8 9AB", "3256778",
+       "Male", "DVD, 800 INR", "8pm 28/09/10", "India"},
+      {0.7, 1.0, 0.5, 0.9, 0.7, 0.6, 0.8, 0.8, 1.0, 1.0, 1.0});
+  // t3
+  add({"Bob", "Brady", "5 Wren St", "Edi", "020", "WC1H 9SE", "3887834",
+       "Male", "iPhone, 599 GBP", "6pm 06/11/09", "UK"},
+      {0.6, 1.0, 0.9, 0.2, 0.9, 0.8, 0.9, 0.8, 1.0, 1.0, 1.0});
+  // t4 (St is null in Fig. 1)
+  add({"Robert", "Brady", "", "Ldn", "020", "WC1E 7HX", "3887644", "Male",
+       "ring, 2,100 USD", "1pm 06/11/09", "USA"},
+      {0.7, 1.0, 0.0, 0.5, 0.7, 0.3, 0.7, 0.8, 1.0, 1.0, 1.0},
+      /*null_at=*/2);
+  return d;
+}
+
+/// The rule program of Example 1.1. The FN ≈ predicate is Jaro-Winkler at
+/// 0.6 so that "M." ≈ "Mark" (abbreviated first names), as the example's
+/// narrative requires.
+inline std::string PaperRuleText() {
+  return R"(# Example 1.1 rules
+CFD phi1: AC='131' -> city='Edi'
+CFD phi2: AC='020' -> city='Ldn'
+CFD phi3: city, phn -> St, AC, post
+CFD phi4: FN='Bob' -> FN='Robert'
+MD psi: LN=LN & city=city & St=St & post=zip & FN ~jw:0.6 FN -> FN:=FN, phn:=tel
+)";
+}
+
+/// Negative MD ψ−1 of Example 2.4 (genders must agree).
+inline std::string NegativeRuleText() {
+  return "NEGMD neg1: gd!=gd -> FN:=FN, phn:=tel\n";
+}
+
+inline rules::RuleSet PaperRuleSet() {
+  auto rs = rules::ParseRuleSet(PaperRuleText(), TranSchema(), CardSchema());
+  UC_CHECK(rs.ok()) << rs.status().ToString();
+  return std::move(rs).value();
+}
+
+}  // namespace testing
+}  // namespace uniclean
+
+#endif  // UNICLEAN_TESTS_PAPER_EXAMPLE_H_

@@ -1,0 +1,145 @@
+// Failure-injection / robustness suite: malformed rule programs, corrupt
+// CSV, and adversarial random inputs must produce Status errors (or clean
+// parses), never crashes or silent corruption.
+
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/csv.h"
+#include "data/schema.h"
+#include "rules/parser.h"
+#include "similarity/suffix_tree.h"
+
+#include <sstream>
+
+namespace uniclean {
+namespace {
+
+using data::MakeSchema;
+
+class ParserFuzz : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ParserFuzz, RandomGarbageNeverCrashes) {
+  Rng rng(GetParam());
+  auto schema = MakeSchema("r", {"A", "B"});
+  static const char kChars[] = "CFD MD NEGMD:->=~&,'#!_ abAB0.|";
+  for (int i = 0; i < 300; ++i) {
+    std::string text;
+    size_t len = rng.Index(80);
+    for (size_t j = 0; j < len; ++j) {
+      text.push_back(kChars[rng.Index(sizeof(kChars) - 1)]);
+    }
+    text.push_back('\n');
+    auto result = rules::ParseRules(text, schema, schema);
+    if (result.ok()) {
+      // A lucky parse must still produce structurally valid rules.
+      for (const auto& cfd : result->cfds) {
+        EXPECT_FALSE(cfd.rhs().empty());
+      }
+    } else {
+      EXPECT_FALSE(result.status().message().empty());
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ParserFuzz,
+                         ::testing::Values<uint64_t>(1, 2, 3, 4));
+
+TEST(ParserRobustness, TruncatedConstructsAreErrors) {
+  auto schema = MakeSchema("r", {"A", "B"});
+  for (const char* text : {
+           "CFD",                       // bare keyword (parsed as name?)
+           "CFD x: A ->",               // empty RHS
+           "CFD x: A='unterminated -> B",  // quote never closed
+           "MD m: A=B ->",              // no actions
+           "MD m: ~jw: A -> A:=B",      // malformed clause
+           "MD m: A ~jw:zz B -> A:=B",  // non-numeric threshold
+           "MD m: A=B -> A=B",          // action missing ':='
+           "NEGMD n: -> A:=B",          // empty premise
+       }) {
+    auto result = rules::ParseRules(std::string(text) + "\n", schema, schema);
+    EXPECT_FALSE(result.ok()) << text;
+  }
+}
+
+TEST(CsvRobustness, RandomBytesNeverCrashTheReader) {
+  Rng rng(11);
+  auto schema = MakeSchema("t", {"a", "b"});
+  for (int i = 0; i < 200; ++i) {
+    std::string text = "a,b\n";
+    size_t len = rng.Index(120);
+    for (size_t j = 0; j < len; ++j) {
+      text.push_back(static_cast<char>(rng.Uniform(1, 126)));
+    }
+    std::istringstream in(text);
+    auto result = data::ReadCsv(in, schema);
+    if (result.ok()) {
+      for (const auto& tuple : result->tuples()) {
+        EXPECT_EQ(tuple.arity(), 2);
+      }
+    }
+  }
+}
+
+TEST(CsvRobustness, EmbeddedDelimitersRoundTrip) {
+  auto schema = MakeSchema("t", {"x"});
+  data::Relation r(schema);
+  // Pathological values: quotes, delimiters, the null token itself as text.
+  for (const char* v :
+       {",,,", "\"\"\"", "a\"b,c\"d", "\\N-ish", "  spaces  "}) {
+    r.AddRow({v});
+  }
+  std::ostringstream out;
+  ASSERT_TRUE(data::WriteCsv(out, r).ok());
+  std::istringstream in(out.str());
+  auto back = data::ReadCsv(in, schema);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back->size(), r.size());
+  for (int t = 0; t < r.size(); ++t) {
+    EXPECT_EQ(back->tuple(t).value(0), r.tuple(t).value(0)) << t;
+  }
+}
+
+TEST(SuffixTreeRobustness, BinaryAlphabetStress) {
+  // High-repetition binary strings maximize suffix-link traffic.
+  Rng rng(13);
+  for (int round = 0; round < 5; ++round) {
+    similarity::GeneralizedSuffixTree tree;
+    int total = 0;
+    for (int i = 0; i < 12; ++i) {
+      std::string s;
+      size_t len = rng.Index(200);
+      for (size_t j = 0; j < len; ++j) {
+        s.push_back(rng.Bernoulli(0.5) ? '0' : '1');
+      }
+      tree.AddString(s);
+      total += static_cast<int>(s.size()) + 1;
+    }
+    tree.Build();
+    auto starts = tree.AllSuffixStarts();
+    ASSERT_EQ(static_cast<int>(starts.size()), total);
+    // Queries never crash, results bounded.
+    for (int q = 0; q < 20; ++q) {
+      std::string query;
+      size_t len = 1 + rng.Index(12);
+      for (size_t j = 0; j < len; ++j) {
+        query.push_back(rng.Bernoulli(0.5) ? '0' : '1');
+      }
+      auto top = tree.TopL(query, 5);
+      EXPECT_LE(top.size(), 5u);
+    }
+  }
+}
+
+TEST(SchemaRobustness, EmptyAndUnicodeNames) {
+  auto schema = MakeSchema("r", {"", "naïve", "名前"});
+  EXPECT_EQ(schema->arity(), 3);
+  EXPECT_TRUE(schema->FindAttribute("naïve").ok());
+  EXPECT_TRUE(schema->FindAttribute("名前").ok());
+  EXPECT_FALSE(schema->FindAttribute("missing").ok());
+}
+
+}  // namespace
+}  // namespace uniclean

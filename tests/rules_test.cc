@@ -1,0 +1,467 @@
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/relation.h"
+#include "data/schema.h"
+#include "paper_example.h"
+#include "rules/cfd.h"
+#include "rules/md.h"
+#include "rules/parser.h"
+#include "rules/pattern.h"
+#include "rules/ruleset.h"
+#include "rules/violation.h"
+
+namespace uniclean {
+namespace rules {
+namespace {
+
+using data::MakeSchema;
+using data::Relation;
+using data::Tuple;
+using data::Value;
+
+TEST(PatternValueTest, WildcardMatchesAnyConstantButNotNull) {
+  PatternValue w = PatternValue::Wildcard();
+  EXPECT_TRUE(w.is_wildcard());
+  EXPECT_TRUE(w.Matches(Value("anything")));
+  EXPECT_TRUE(w.Matches(Value("")));
+  EXPECT_FALSE(w.Matches(Value::Null()));  // §7: null matches no pattern
+  EXPECT_EQ(w.ToString(), "_");
+}
+
+TEST(PatternValueTest, ConstantMatchesOnlyItself) {
+  PatternValue c = PatternValue::Constant("Edi");
+  EXPECT_FALSE(c.is_wildcard());
+  EXPECT_TRUE(c.Matches(Value("Edi")));
+  EXPECT_FALSE(c.Matches(Value("Ldn")));
+  EXPECT_FALSE(c.Matches(Value::Null()));
+  EXPECT_EQ(c.ToString(), "'Edi'");
+}
+
+class CfdFixture : public ::testing::Test {
+ protected:
+  data::SchemaPtr schema_ = uniclean::testing::TranSchema();
+  data::AttributeId ac_ = schema_->MustFindAttribute("AC");
+  data::AttributeId city_ = schema_->MustFindAttribute("city");
+  data::AttributeId phn_ = schema_->MustFindAttribute("phn");
+  data::AttributeId st_ = schema_->MustFindAttribute("St");
+  data::AttributeId post_ = schema_->MustFindAttribute("post");
+  data::AttributeId fn_ = schema_->MustFindAttribute("FN");
+
+  Cfd Phi1() {
+    return Cfd::Make("phi1", {ac_}, {PatternValue::Constant("131")}, {city_},
+                     {PatternValue::Constant("Edi")});
+  }
+  Cfd Phi3() {
+    return Cfd::Make("phi3", {city_, phn_},
+                     {PatternValue::Wildcard(), PatternValue::Wildcard()},
+                     {st_, ac_, post_},
+                     {PatternValue::Wildcard(), PatternValue::Wildcard(),
+                      PatternValue::Wildcard()});
+  }
+  Cfd Phi4() {
+    return Cfd::Make("phi4", {fn_}, {PatternValue::Constant("Bob")}, {fn_},
+                     {PatternValue::Constant("Robert")});
+  }
+};
+
+TEST_F(CfdFixture, Classification) {
+  EXPECT_TRUE(Phi1().normalized());
+  EXPECT_TRUE(Phi1().IsConstantRule());
+  EXPECT_FALSE(Phi1().IsFd());
+  EXPECT_FALSE(Phi3().normalized());
+  EXPECT_TRUE(Phi3().IsFd());
+  EXPECT_TRUE(Phi4().IsConstantRule());
+}
+
+TEST_F(CfdFixture, NormalizeSplitsRhs) {
+  auto normalized = Phi3().Normalize();
+  ASSERT_EQ(normalized.size(), 3u);
+  for (const Cfd& n : normalized) {
+    EXPECT_TRUE(n.normalized());
+    EXPECT_FALSE(n.IsConstantRule());
+    EXPECT_EQ(n.lhs(), Phi3().lhs());
+  }
+  EXPECT_EQ(normalized[0].rhs()[0], st_);
+  EXPECT_EQ(normalized[1].rhs()[0], ac_);
+  EXPECT_EQ(normalized[2].rhs()[0], post_);
+  EXPECT_EQ(normalized[0].name(), "phi3.0");
+  // A normalized CFD normalizes to itself.
+  EXPECT_EQ(Phi1().Normalize().size(), 1u);
+}
+
+TEST_F(CfdFixture, MatchesLhsHonorsPatternAndNull) {
+  Relation d = uniclean::testing::TranDirty();
+  // t1 has AC=131 -> matches phi1's LHS; t3 has AC=020 -> does not.
+  EXPECT_TRUE(Phi1().MatchesLhs(d.tuple(0)));
+  EXPECT_FALSE(Phi1().MatchesLhs(d.tuple(2)));
+  // t4 has null St; phi3's LHS is (city, phn): still matches.
+  EXPECT_TRUE(Phi3().Normalize()[0].MatchesLhs(d.tuple(3)));
+  // Null on an LHS attribute fails the pattern.
+  Tuple t(schema_->arity());
+  t.set_value(ac_, Value::Null());
+  EXPECT_FALSE(Phi1().MatchesLhs(t));
+}
+
+TEST_F(CfdFixture, SatisfactionOnPaperData) {
+  // Example 2.2: D ⊭ ϕ1 (t1 violates), D ⊭ ϕ4 (t3), D |= ϕ3.
+  Relation d = uniclean::testing::TranDirty();
+  EXPECT_FALSE(Satisfies(d, Phi1()));
+  EXPECT_FALSE(Satisfies(d, Phi4()));
+  for (const Cfd& n : Phi3().Normalize()) {
+    EXPECT_TRUE(Satisfies(d, n));
+  }
+  EXPECT_FALSE(SatisfiesAll(d, {Phi1(), Phi3(), Phi4()}));
+}
+
+TEST_F(CfdFixture, VariableCfdViolationNeedsMatchingGroup) {
+  Relation d(schema_);
+  Cfd fd = Phi3().Normalize()[0];  // city, phn -> St
+  std::vector<std::string> base(
+      static_cast<size_t>(schema_->arity()), "x");
+  d.AddRow(base);
+  base[static_cast<size_t>(st_)] = "other st";
+  d.AddRow(base);  // same city/phn, different St -> violation
+  EXPECT_FALSE(Satisfies(d, fd));
+  // Null RHS satisfies trivially (§7).
+  d.mutable_tuple(1).set_value(st_, Value::Null());
+  EXPECT_TRUE(Satisfies(d, fd));
+}
+
+TEST(MdTest, PremiseAndSatisfactionOnPaperData) {
+  auto rs = uniclean::testing::PaperRuleSet();
+  Relation d = uniclean::testing::TranDirty();
+  Relation dm = uniclean::testing::CardMaster();
+  // psi normalizes into two MDs, appended after the CFDs.
+  ASSERT_EQ(rs.mds().size(), 2u);
+  const Md& psi_fn = rs.mds()[0];
+  // Example 2.3 (with the city value repaired to Edi so the premise holds —
+  // the example text's "Ldn" is a typo; s1[city] is Edi): after repairing
+  // t1[city] := Edi, t1 matches s1's premise and the phn disagreement is a
+  // violation.
+  EXPECT_TRUE(SatisfiesAll(d, dm, rs.mds()));  // premise fails on dirty D
+  Relation d1(uniclean::testing::TranSchema());
+  d1.AddTuple(d.tuple(0));
+  d1.mutable_tuple(0).set_value(
+      uniclean::testing::TranSchema()->MustFindAttribute("city"),
+      Value("Edi"));
+  EXPECT_FALSE(SatisfiesAll(d1, dm, rs.mds()));
+  EXPECT_TRUE(psi_fn.PremiseHolds(d1.tuple(0), dm.tuple(0)));
+  EXPECT_FALSE(psi_fn.PremiseHolds(d1.tuple(0), dm.tuple(1)));
+}
+
+TEST(MdTest, NullInPremiseFailsClause) {
+  auto rs = uniclean::testing::PaperRuleSet();
+  Relation dm = uniclean::testing::CardMaster();
+  Relation d1(uniclean::testing::TranSchema());
+  d1.AddTuple(uniclean::testing::TranDirty().tuple(0));
+  d1.mutable_tuple(0).set_value(
+      uniclean::testing::TranSchema()->MustFindAttribute("city"),
+      Value("Edi"));
+  d1.mutable_tuple(0).set_value(
+      uniclean::testing::TranSchema()->MustFindAttribute("St"),
+      Value::Null());
+  EXPECT_FALSE(rs.mds()[0].PremiseHolds(d1.tuple(0), dm.tuple(0)));
+}
+
+TEST(MdTest, NormalizeSplitsActions) {
+  auto parsed = ParseRules(uniclean::testing::PaperRuleText(),
+                           uniclean::testing::TranSchema(),
+                           uniclean::testing::CardSchema());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->mds.size(), 1u);
+  const Md& psi = parsed->mds[0];
+  EXPECT_FALSE(psi.normalized());
+  auto split = psi.Normalize();
+  ASSERT_EQ(split.size(), 2u);
+  EXPECT_TRUE(split[0].normalized());
+  EXPECT_EQ(split[0].premise().size(), psi.premise().size());
+}
+
+TEST(NegativeMdTest, EmbeddingAddsEqualityClauses) {
+  // Example 2.5: embedding ψ− (gd) into ψ adds gd = gd to the premise.
+  auto data_schema = uniclean::testing::TranSchema();
+  auto master_schema = uniclean::testing::CardSchema();
+  auto parsed = ParseRules(
+      uniclean::testing::PaperRuleText() +
+          uniclean::testing::NegativeRuleText(),
+      data_schema, master_schema);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->negative_mds.size(), 1u);
+  auto embedded = EmbedNegativeMds(parsed->mds, parsed->negative_mds);
+  ASSERT_EQ(embedded.size(), 2u);  // psi normalized into 2
+  const size_t base = parsed->mds[0].premise().size();
+  for (const Md& md : embedded) {
+    ASSERT_EQ(md.premise().size(), base + 1) << md.name();
+    const MdClause& extra = md.premise().back();
+    EXPECT_EQ(extra.data_attr, data_schema->MustFindAttribute("gd"));
+    EXPECT_EQ(extra.master_attr, master_schema->MustFindAttribute("gd"));
+    EXPECT_TRUE(extra.predicate.is_equality());
+  }
+}
+
+TEST(NegativeMdTest, NonBlockingNegativeLeavesPositiveUnchanged) {
+  auto data_schema = uniclean::testing::TranSchema();
+  auto master_schema = uniclean::testing::CardSchema();
+  auto parsed = ParseRules(uniclean::testing::PaperRuleText() +
+                               "NEGMD n2: gd!=gd -> when:=dob\n",
+                           data_schema, master_schema);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  auto embedded = EmbedNegativeMds(parsed->mds, parsed->negative_mds);
+  for (const Md& md : embedded) {
+    EXPECT_EQ(md.premise().size(), parsed->mds[0].premise().size());
+  }
+}
+
+TEST(NegativeMdTest, EmbeddedRuleBlocksCrossGenderMatch) {
+  // Behavioral check of Example 2.5: with the embedded rule, a tuple
+  // differing only in gender no longer triggers identification.
+  auto data_schema = uniclean::testing::TranSchema();
+  auto master_schema = uniclean::testing::CardSchema();
+  auto rs_result = ParseRuleSet(uniclean::testing::PaperRuleText() +
+                                    uniclean::testing::NegativeRuleText(),
+                                data_schema, master_schema);
+  ASSERT_TRUE(rs_result.ok());
+  const RuleSet& rs = rs_result.value();
+  Relation dm = uniclean::testing::CardMaster();
+  Relation d(data_schema);
+  d.AddTuple(uniclean::testing::TranDirty().tuple(0));
+  data::AttributeId city = data_schema->MustFindAttribute("city");
+  data::AttributeId gd = data_schema->MustFindAttribute("gd");
+  d.mutable_tuple(0).set_value(city, Value("Edi"));
+  d.mutable_tuple(0).set_value(gd, Value("Female"));
+  // Premise now fails on the embedded gd = gd clause.
+  EXPECT_TRUE(SatisfiesAll(d, dm, rs.mds()));
+  d.mutable_tuple(0).set_value(gd, Value("Male"));
+  EXPECT_FALSE(SatisfiesAll(d, dm, rs.mds()));
+}
+
+TEST(RuleSetTest, NormalizationCountsAndKinds) {
+  auto rs = uniclean::testing::PaperRuleSet();
+  // phi1, phi2, phi4 stay; phi3 -> 3 rules; psi -> 2 MDs.
+  EXPECT_EQ(rs.cfds().size(), 6u);
+  EXPECT_EQ(rs.mds().size(), 2u);
+  EXPECT_EQ(rs.num_rules(), 8);
+  int constant = 0, variable = 0, md = 0;
+  for (RuleId r = 0; r < rs.num_rules(); ++r) {
+    switch (rs.kind(r)) {
+      case RuleKind::kConstantCfd:
+        ++constant;
+        break;
+      case RuleKind::kVariableCfd:
+        ++variable;
+        break;
+      case RuleKind::kMd:
+        ++md;
+        break;
+    }
+  }
+  EXPECT_EQ(constant, 3);
+  EXPECT_EQ(variable, 3);
+  EXPECT_EQ(md, 2);
+}
+
+TEST(RuleSetTest, DataLhsAndRhs) {
+  auto rs = uniclean::testing::PaperRuleSet();
+  auto schema = uniclean::testing::TranSchema();
+  // Rule 0 is phi1: AC -> city.
+  EXPECT_EQ(rs.DataLhs(0),
+            std::vector<data::AttributeId>{schema->MustFindAttribute("AC")});
+  EXPECT_EQ(rs.DataRhs(0), schema->MustFindAttribute("city"));
+  // MDs' data-side LHS is the premise's data attributes.
+  RuleId md0 = static_cast<RuleId>(rs.cfds().size());
+  EXPECT_EQ(rs.kind(md0), RuleKind::kMd);
+  EXPECT_EQ(rs.DataLhs(md0).size(), rs.md(md0).premise().size());
+}
+
+TEST(RuleSetTest, RuleAttributesIsSortedUnion) {
+  auto rs = uniclean::testing::PaperRuleSet();
+  const auto& attrs = rs.RuleAttributes();
+  EXPECT_TRUE(std::is_sorted(attrs.begin(), attrs.end()));
+  auto schema = uniclean::testing::TranSchema();
+  // item/when/where are not mentioned by any rule.
+  for (const char* name : {"item", "when", "where"}) {
+    data::AttributeId a = schema->MustFindAttribute(name);
+    EXPECT_FALSE(std::binary_search(attrs.begin(), attrs.end(), a)) << name;
+  }
+  for (const char* name : {"AC", "city", "phn", "St", "post", "FN", "LN"}) {
+    data::AttributeId a = schema->MustFindAttribute(name);
+    EXPECT_TRUE(std::binary_search(attrs.begin(), attrs.end(), a)) << name;
+  }
+}
+
+TEST(RuleSetTest, RejectsOutOfRangeAttribute) {
+  auto schema = MakeSchema("r", {"A", "B"});
+  auto master = MakeSchema("m", {"X"});
+  Cfd bad = Cfd::Make("bad", {5}, {PatternValue::Wildcard()}, {1},
+                      {PatternValue::Wildcard()});
+  auto rs = RuleSet::Make(schema, master, {bad}, {});
+  EXPECT_FALSE(rs.ok());
+  EXPECT_EQ(rs.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ViolationTest, ConstantCfdViolationsOnPaperData) {
+  auto rs = uniclean::testing::PaperRuleSet();
+  Relation d = uniclean::testing::TranDirty();
+  // Rule 0 = phi1 (AC=131 -> city=Edi): t1 violates.
+  auto v = FindCfdViolations(d, rs, 0);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].t1, 0);
+  EXPECT_EQ(v[0].t2, CfdViolation::kNoTuple);
+  // Rule 1 = phi2 (AC=020 -> city=Ldn): t3 violates.
+  auto v2 = FindCfdViolations(d, rs, 1);
+  ASSERT_EQ(v2.size(), 1u);
+  EXPECT_EQ(v2[0].t1, 2);
+}
+
+TEST(ViolationTest, VariableCfdViolationPairs) {
+  auto schema = MakeSchema("r", {"A", "B"});
+  auto master = MakeSchema("m", {"X"});
+  Cfd fd = Cfd::Make("fd", {0}, {PatternValue::Wildcard()}, {1},
+                     {PatternValue::Wildcard()});
+  auto rs = RuleSet::Make(schema, master, {fd}, {}).value();
+  Relation d(schema);
+  d.AddRow({"k", "v1"});
+  d.AddRow({"k", "v2"});
+  d.AddRow({"k", "v1"});
+  d.AddRow({"other", "w"});
+  auto v = FindCfdViolations(d, rs, 0);
+  // Every tuple in the conflicting group appears in some violation.
+  std::vector<bool> seen(4, false);
+  for (const auto& viol : v) {
+    seen[static_cast<size_t>(viol.t1)] = true;
+    seen[static_cast<size_t>(viol.t2)] = true;
+  }
+  EXPECT_TRUE(seen[0]);
+  EXPECT_TRUE(seen[1]);
+  EXPECT_TRUE(seen[2]);
+  EXPECT_FALSE(seen[3]);
+}
+
+TEST(ViolationTest, MdViolationsAfterRepairStep) {
+  auto rs = uniclean::testing::PaperRuleSet();
+  Relation d = uniclean::testing::TranDirty();
+  Relation dm = uniclean::testing::CardMaster();
+  auto schema = uniclean::testing::TranSchema();
+  RuleId md_fn = static_cast<RuleId>(rs.cfds().size());
+  RuleId md_phn = md_fn + 1;
+  EXPECT_TRUE(FindMdViolations(d, dm, rs, md_phn).empty());
+  d.mutable_tuple(0).set_value(schema->MustFindAttribute("city"),
+                               Value("Edi"));
+  auto v = FindMdViolations(d, dm, rs, md_phn);
+  ASSERT_EQ(v.size(), 1u);
+  EXPECT_EQ(v[0].t, 0);
+  EXPECT_EQ(v[0].s, 0);
+}
+
+TEST(ViolationTest, CountViolationsAggregates) {
+  auto rs = uniclean::testing::PaperRuleSet();
+  Relation d = uniclean::testing::TranDirty();
+  Relation dm = uniclean::testing::CardMaster();
+  // phi1: t1; phi2: t3; phi4: t3. No variable-CFD or MD violations on the
+  // dirty data (premises fail).
+  EXPECT_EQ(CountViolations(d, dm, rs), 3u);
+}
+
+TEST(ParserTest, ParsesPaperRules) {
+  auto parsed = ParseRules(uniclean::testing::PaperRuleText(),
+                           uniclean::testing::TranSchema(),
+                           uniclean::testing::CardSchema());
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->cfds.size(), 4u);
+  EXPECT_EQ(parsed->mds.size(), 1u);
+  EXPECT_EQ(parsed->cfds[0].name(), "phi1");
+  EXPECT_TRUE(parsed->cfds[0].IsConstantRule());
+  EXPECT_TRUE(parsed->cfds[2].IsFd());
+  EXPECT_EQ(parsed->mds[0].premise().size(), 5u);
+  EXPECT_EQ(parsed->mds[0].actions().size(), 2u);
+}
+
+TEST(ParserTest, QuotedConstantsMayContainCommas) {
+  auto schema = MakeSchema("r", {"A", "B"});
+  auto parsed = ParseRules("CFD c: A='x, y' -> B='z'\n", schema, schema);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->cfds[0].lhs_pattern()[0].constant(), "x, y");
+}
+
+TEST(ParserTest, AutoNamesWhenMissing) {
+  auto schema = MakeSchema("r", {"A", "B"});
+  auto parsed = ParseRules("CFD A -> B\n", schema, schema);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->cfds[0].name(), "rule0");
+}
+
+TEST(ParserTest, ReportsLineNumbersOnErrors) {
+  auto schema = MakeSchema("r", {"A", "B"});
+  auto parsed = ParseRules("CFD ok: A -> B\nGARBAGE\n", schema, schema);
+  ASSERT_FALSE(parsed.ok());
+  EXPECT_NE(parsed.status().message().find("line 2"), std::string::npos);
+}
+
+TEST(ParserTest, UnknownAttributeIsError) {
+  auto schema = MakeSchema("r", {"A", "B"});
+  auto parsed = ParseRules("CFD c: NOPE -> B\n", schema, schema);
+  EXPECT_FALSE(parsed.ok());
+}
+
+TEST(ParserTest, MissingArrowIsError) {
+  auto schema = MakeSchema("r", {"A", "B"});
+  EXPECT_FALSE(ParseRules("CFD c: A, B\n", schema, schema).ok());
+  EXPECT_FALSE(ParseRules("MD m: A=B\n", schema, schema).ok());
+}
+
+TEST(ParserTest, NegatedClauseOnlyInNegMd) {
+  auto schema = MakeSchema("r", {"A", "B"});
+  EXPECT_FALSE(ParseRules("MD m: A!=B -> A:=B\n", schema, schema).ok());
+  EXPECT_FALSE(ParseRules("NEGMD n: A=B -> A:=B\n", schema, schema).ok());
+  EXPECT_TRUE(ParseRules("NEGMD n: A!=B -> A:=B\n", schema, schema).ok());
+}
+
+TEST(ParserTest, CommentsAndBlankLinesIgnored) {
+  auto schema = MakeSchema("r", {"A", "B"});
+  auto parsed = ParseRules("\n# hello\n  \nCFD c: A -> B  # tail comment\n",
+                           schema, schema);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->cfds.size(), 1u);
+}
+
+TEST(ParserTest, SimilarityKinds) {
+  auto schema = MakeSchema("r", {"A", "B"});
+  auto parsed = ParseRules(
+      "MD m: A ~edit:2 A & A ~jw:0.85 B & B ~qgram:0.5 B -> A:=A\n", schema,
+      schema);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  const auto& premise = parsed->mds[0].premise();
+  ASSERT_EQ(premise.size(), 3u);
+  EXPECT_EQ(premise[0].predicate.kind(),
+            similarity::PredicateKind::kEditDistance);
+  EXPECT_EQ(premise[1].predicate.kind(),
+            similarity::PredicateKind::kJaroWinkler);
+  EXPECT_EQ(premise[2].predicate.kind(),
+            similarity::PredicateKind::kQGramJaccard);
+  EXPECT_FALSE(
+      ParseRules("MD m: A ~huh:2 A -> A:=A\n", schema, schema).ok());
+}
+
+TEST(ParserTest, ToStringRoundTripsThroughParser) {
+  auto data_schema = uniclean::testing::TranSchema();
+  auto master_schema = uniclean::testing::CardSchema();
+  auto parsed = ParseRules(uniclean::testing::PaperRuleText(), data_schema,
+                           master_schema);
+  ASSERT_TRUE(parsed.ok());
+  // Rendered forms are human-readable and mention the schema names.
+  std::string cfd_text = parsed->cfds[0].ToString(*data_schema);
+  EXPECT_NE(cfd_text.find("phi1"), std::string::npos);
+  EXPECT_NE(cfd_text.find("AC"), std::string::npos);
+  std::string md_text =
+      parsed->mds[0].ToString(*data_schema, *master_schema);
+  EXPECT_NE(md_text.find("tran[LN]"), std::string::npos);
+  EXPECT_NE(md_text.find("card[tel]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace rules
+}  // namespace uniclean

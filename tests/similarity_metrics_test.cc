@@ -1,0 +1,205 @@
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "similarity/metrics.h"
+#include "similarity/predicate.h"
+
+namespace uniclean {
+namespace similarity {
+namespace {
+
+TEST(EditDistanceTest, KnownValues) {
+  EXPECT_EQ(EditDistance("", ""), 0);
+  EXPECT_EQ(EditDistance("abc", ""), 3);
+  EXPECT_EQ(EditDistance("", "abc"), 3);
+  EXPECT_EQ(EditDistance("kitten", "sitting"), 3);
+  EXPECT_EQ(EditDistance("flaw", "lawn"), 2);
+  EXPECT_EQ(EditDistance("same", "same"), 0);
+  EXPECT_EQ(EditDistance("Bob", "Robert"), 4);
+}
+
+TEST(EditDistanceTest, SymmetryOnRandomStrings) {
+  Rng rng(101);
+  for (int i = 0; i < 200; ++i) {
+    std::string a = rng.RandomWord(rng.Index(12));
+    std::string b = rng.RandomWord(rng.Index(12));
+    EXPECT_EQ(EditDistance(a, b), EditDistance(b, a));
+  }
+}
+
+TEST(EditDistanceTest, TriangleInequalityOnRandomStrings) {
+  Rng rng(102);
+  for (int i = 0; i < 200; ++i) {
+    std::string a = rng.RandomWord(rng.Index(10));
+    std::string b = rng.RandomWord(rng.Index(10));
+    std::string c = rng.RandomWord(rng.Index(10));
+    EXPECT_LE(EditDistance(a, c), EditDistance(a, b) + EditDistance(b, c));
+  }
+}
+
+TEST(EditDistanceTest, BoundedMatchesFullWhenWithinBound) {
+  Rng rng(103);
+  for (int i = 0; i < 500; ++i) {
+    std::string a = rng.RandomWord(1 + rng.Index(14));
+    std::string b = rng.RandomWord(1 + rng.Index(14));
+    int full = EditDistance(a, b);
+    for (int k : {0, 1, 2, 3, 8, 20}) {
+      int bounded = BoundedEditDistance(a, b, k);
+      if (full <= k) {
+        EXPECT_EQ(bounded, full) << a << " vs " << b << " k=" << k;
+      } else {
+        EXPECT_GT(bounded, k) << a << " vs " << b << " k=" << k;
+      }
+    }
+  }
+}
+
+TEST(EditDistanceTest, BoundedHandlesEmptyAndLengthGap) {
+  EXPECT_EQ(BoundedEditDistance("", "", 0), 0);
+  EXPECT_EQ(BoundedEditDistance("abc", "", 3), 3);
+  EXPECT_GT(BoundedEditDistance("abcdef", "", 3), 3);
+  EXPECT_GT(BoundedEditDistance("aaaaaaaa", "a", 2), 2);
+}
+
+TEST(HammingDistanceTest, KnownValues) {
+  EXPECT_EQ(HammingDistance("karolin", "kathrin"), 3);
+  EXPECT_EQ(HammingDistance("abc", "abc"), 0);
+  EXPECT_EQ(HammingDistance("abc", "abcd"), 1);
+  EXPECT_EQ(HammingDistance("", "xy"), 2);
+}
+
+TEST(JaroTest, KnownValues) {
+  EXPECT_DOUBLE_EQ(JaroSimilarity("", ""), 1.0);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("a", ""), 0.0);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("abc", "abc"), 1.0);
+  EXPECT_NEAR(JaroSimilarity("MARTHA", "MARHTA"), 0.944444, 1e-5);
+  EXPECT_NEAR(JaroSimilarity("DIXON", "DICKSONX"), 0.766667, 1e-5);
+}
+
+TEST(JaroWinklerTest, BoostsCommonPrefix) {
+  double jaro = JaroSimilarity("MARTHA", "MARHTA");
+  double jw = JaroWinklerSimilarity("MARTHA", "MARHTA");
+  EXPECT_GT(jw, jaro);
+  EXPECT_NEAR(jw, 0.961111, 1e-5);
+  EXPECT_DOUBLE_EQ(JaroWinklerSimilarity("abc", "abc"), 1.0);
+}
+
+TEST(JaroWinklerTest, BoundedInUnitInterval) {
+  Rng rng(104);
+  for (int i = 0; i < 300; ++i) {
+    std::string a = rng.RandomWord(rng.Index(10));
+    std::string b = rng.RandomWord(rng.Index(10));
+    double s = JaroWinklerSimilarity(a, b);
+    EXPECT_GE(s, 0.0);
+    EXPECT_LE(s, 1.0);
+    EXPECT_DOUBLE_EQ(JaroWinklerSimilarity(a, a), a.empty() ? 1.0 : 1.0);
+  }
+}
+
+TEST(QGramTest, ProfilePadsAndSorts) {
+  auto grams = QGramProfile("ab", 2);
+  // padded: #ab# -> {#a, ab, b#}
+  EXPECT_EQ(grams, (std::vector<std::string>{"#a", "ab", "b#"}));
+}
+
+TEST(QGramTest, JaccardBasics) {
+  EXPECT_DOUBLE_EQ(QGramJaccard("", "", 2), 1.0);
+  EXPECT_DOUBLE_EQ(QGramJaccard("abc", "abc", 2), 1.0);
+  double s = QGramJaccard("night", "nacht", 2);
+  EXPECT_GT(s, 0.0);
+  EXPECT_LT(s, 1.0);
+  EXPECT_DOUBLE_EQ(QGramJaccard("ab", "xy", 2), 0.0);
+}
+
+TEST(LcsTest, KnownValues) {
+  EXPECT_EQ(LongestCommonSubstring("", "abc"), 0);
+  EXPECT_EQ(LongestCommonSubstring("abc", "abc"), 3);
+  EXPECT_EQ(LongestCommonSubstring("xabcy", "zabcw"), 3);
+  EXPECT_EQ(LongestCommonSubstring("abcdef", "zcdemn"), 3);  // "cde"
+  EXPECT_EQ(LongestCommonSubstring("ab", "ba"), 1);
+}
+
+TEST(LcsTest, BoundedByShorterString) {
+  Rng rng(105);
+  for (int i = 0; i < 200; ++i) {
+    std::string a = rng.RandomWord(rng.Index(15));
+    std::string b = rng.RandomWord(rng.Index(15));
+    int lcs = LongestCommonSubstring(a, b);
+    EXPECT_LE(lcs, static_cast<int>(std::min(a.size(), b.size())));
+    EXPECT_GE(lcs, 0);
+    EXPECT_EQ(lcs, LongestCommonSubstring(b, a));
+  }
+}
+
+TEST(NormalizedEditDistanceTest, UnitIntervalAndLengthAware) {
+  EXPECT_DOUBLE_EQ(NormalizedEditDistance("", ""), 0.0);
+  EXPECT_DOUBLE_EQ(NormalizedEditDistance("abc", "abc"), 0.0);
+  EXPECT_DOUBLE_EQ(NormalizedEditDistance("a", "b"), 1.0);
+  // §3.1: longer strings with 1-char difference are closer than shorter ones.
+  double long_pair = NormalizedEditDistance("abcdefghij", "abcdefghiX");
+  double short_pair = NormalizedEditDistance("ab", "aX");
+  EXPECT_LT(long_pair, short_pair);
+}
+
+TEST(PredicateTest, EqualsPredicate) {
+  auto p = SimilarityPredicate::Equals();
+  EXPECT_TRUE(p.is_equality());
+  EXPECT_TRUE(p.Evaluate("x", "x"));
+  EXPECT_FALSE(p.Evaluate("x", "y"));
+  EXPECT_EQ(p.ToString(), "=");
+  EXPECT_EQ(p.BlockingEditBound(10), 0);
+}
+
+TEST(PredicateTest, EditPredicate) {
+  auto p = SimilarityPredicate::Edit(2);
+  EXPECT_FALSE(p.is_equality());
+  EXPECT_TRUE(p.Evaluate("Mark", "Marc"));
+  EXPECT_TRUE(p.Evaluate("Mark", "Mark"));
+  EXPECT_FALSE(p.Evaluate("Mark", "Robert"));
+  EXPECT_EQ(p.ToString(), "edit<=2");
+  EXPECT_EQ(p.BlockingEditBound(10), 2);
+}
+
+TEST(PredicateTest, JaroWinklerPredicate) {
+  auto p = SimilarityPredicate::JaroWinkler(0.90);
+  EXPECT_TRUE(p.Evaluate("MARTHA", "MARHTA"));
+  EXPECT_FALSE(p.Evaluate("MARTHA", "XQZRVW"));
+  EXPECT_GT(p.BlockingEditBound(10), 0);
+}
+
+TEST(PredicateTest, QGramPredicate) {
+  auto p = SimilarityPredicate::QGram(0.5, 2);
+  EXPECT_TRUE(p.Evaluate("abcde", "abcde"));
+  EXPECT_FALSE(p.Evaluate("abcde", "vwxyz"));
+}
+
+TEST(PredicateTest, EqualityOperator) {
+  EXPECT_EQ(SimilarityPredicate::Edit(2), SimilarityPredicate::Edit(2));
+  EXPECT_FALSE(SimilarityPredicate::Edit(2) == SimilarityPredicate::Edit(3));
+  EXPECT_FALSE(SimilarityPredicate::Edit(2) == SimilarityPredicate::Equals());
+}
+
+// Parameterized sweep: predicate evaluation agrees with the raw metric.
+class EditPredicateSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(EditPredicateSweep, AgreesWithBoundedDistance) {
+  int k = GetParam();
+  auto p = SimilarityPredicate::Edit(k);
+  Rng rng(200 + static_cast<uint64_t>(k));
+  for (int i = 0; i < 200; ++i) {
+    std::string a = rng.RandomWord(1 + rng.Index(10));
+    std::string b = rng.RandomWord(1 + rng.Index(10));
+    EXPECT_EQ(p.Evaluate(a, b), EditDistance(a, b) <= k);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, EditPredicateSweep,
+                         ::testing::Values(0, 1, 2, 4, 7));
+
+}  // namespace
+}  // namespace similarity
+}  // namespace uniclean

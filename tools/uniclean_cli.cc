@@ -1,0 +1,279 @@
+// uniclean: command-line front end for the library.
+//
+//   uniclean --data dirty.csv --master master.csv --rules rules.txt \
+//            [--confidence conf.csv] [--out repaired.csv] \
+//            [--report fixes.txt] [--eta 0.8] [--delta1 5] [--delta2 0.8] \
+//            [--phases c,e,h] [--check-consistency]
+//
+// The data / master CSV files must start with a header row naming the
+// attributes; the rule file uses the syntax of rules/parser.h. The optional
+// confidence CSV has the same shape as the data file with cells holding
+// numbers in [0, 1]. The fix report lists every repaired cell with its
+// provenance (deterministic / reliable / possible).
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/string_util.h"
+#include "uniclean/uniclean.h"
+
+using namespace uniclean;  // NOLINT
+
+namespace {
+
+struct CliOptions {
+  std::string data_path;
+  std::string master_path;
+  std::string rules_path;
+  std::string confidence_path;
+  std::string out_path = "repaired.csv";
+  std::string report_path;
+  double eta = 0.8;
+  int delta1 = 5;
+  double delta2 = 0.8;
+  bool run_c = true, run_e = true, run_h = true;
+  bool check_consistency = false;
+};
+
+void Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s --data D.csv --master M.csv --rules R.txt\n"
+      "  [--confidence C.csv]      per-cell confidences (same shape as D)\n"
+      "  [--out repaired.csv]      output path (default repaired.csv)\n"
+      "  [--report fixes.txt]      per-cell fix provenance report\n"
+      "  [--eta F] [--delta1 N] [--delta2 F]   thresholds (0.8 / 5 / 0.8)\n"
+      "  [--phases c,e,h]          subset of phases to run\n"
+      "  [--check-consistency]     verify the rules are consistent first\n",
+      argv0);
+}
+
+bool ParseArgs(int argc, char** argv, CliOptions* opts) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      return i + 1 < argc ? argv[++i] : nullptr;
+    };
+    if (arg == "--data") {
+      const char* v = next();
+      if (!v) return false;
+      opts->data_path = v;
+    } else if (arg == "--master") {
+      const char* v = next();
+      if (!v) return false;
+      opts->master_path = v;
+    } else if (arg == "--rules") {
+      const char* v = next();
+      if (!v) return false;
+      opts->rules_path = v;
+    } else if (arg == "--confidence") {
+      const char* v = next();
+      if (!v) return false;
+      opts->confidence_path = v;
+    } else if (arg == "--out") {
+      const char* v = next();
+      if (!v) return false;
+      opts->out_path = v;
+    } else if (arg == "--report") {
+      const char* v = next();
+      if (!v) return false;
+      opts->report_path = v;
+    } else if (arg == "--eta") {
+      const char* v = next();
+      if (!v) return false;
+      opts->eta = std::atof(v);
+    } else if (arg == "--delta1") {
+      const char* v = next();
+      if (!v) return false;
+      opts->delta1 = std::atoi(v);
+    } else if (arg == "--delta2") {
+      const char* v = next();
+      if (!v) return false;
+      opts->delta2 = std::atof(v);
+    } else if (arg == "--phases") {
+      const char* v = next();
+      if (!v) return false;
+      opts->run_c = std::strchr(v, 'c') != nullptr;
+      opts->run_e = std::strchr(v, 'e') != nullptr;
+      opts->run_h = std::strchr(v, 'h') != nullptr;
+    } else if (arg == "--check-consistency") {
+      opts->check_consistency = true;
+    } else {
+      std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
+      return false;
+    }
+  }
+  return !opts->data_path.empty() && !opts->master_path.empty() &&
+         !opts->rules_path.empty();
+}
+
+/// Reads a whole file; empty optional-style via Status.
+Result<std::string> ReadFileToString(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) return Status::NotFound("cannot open " + path);
+  std::ostringstream out;
+  out << in.rdbuf();
+  return out.str();
+}
+
+/// Infers a schema from a CSV header line.
+Result<data::SchemaPtr> SchemaFromCsvHeader(const std::string& path,
+                                            const std::string& name) {
+  std::ifstream in(path);
+  if (!in.is_open()) return Status::NotFound("cannot open " + path);
+  std::string header;
+  if (!std::getline(in, header)) {
+    return Status::Corruption("empty CSV: " + path);
+  }
+  if (!header.empty() && header.back() == '\r') header.pop_back();
+  std::vector<std::string> names = Split(header, ',');
+  for (auto& n : names) n = std::string(Trim(n));
+  return data::MakeSchema(name, names);
+}
+
+Status LoadConfidences(const std::string& path, data::Relation* d) {
+  UC_ASSIGN_OR_RETURN(data::SchemaPtr schema,
+                      SchemaFromCsvHeader(path, "confidence"));
+  if (schema->arity() != d->schema().arity()) {
+    return Status::InvalidArgument("confidence CSV arity mismatch");
+  }
+  UC_ASSIGN_OR_RETURN(data::Relation conf, data::ReadCsvFile(path, schema));
+  if (conf.size() != d->size()) {
+    return Status::InvalidArgument("confidence CSV row count mismatch");
+  }
+  for (data::TupleId t = 0; t < d->size(); ++t) {
+    for (data::AttributeId a = 0; a < d->schema().arity(); ++a) {
+      const data::Value& v = conf.tuple(t).value(a);
+      double cf = v.is_null() ? 0.0 : std::atof(v.str().c_str());
+      if (cf < 0.0 || cf > 1.0) {
+        return Status::InvalidArgument("confidence out of [0,1] at row " +
+                                       std::to_string(t));
+      }
+      d->mutable_tuple(t).set_confidence(a, cf);
+    }
+  }
+  return Status::OK();
+}
+
+int Run(const CliOptions& opts) {
+  auto data_schema = SchemaFromCsvHeader(opts.data_path, "data");
+  if (!data_schema.ok()) {
+    std::fprintf(stderr, "%s\n", data_schema.status().ToString().c_str());
+    return 2;
+  }
+  auto master_schema = SchemaFromCsvHeader(opts.master_path, "master");
+  if (!master_schema.ok()) {
+    std::fprintf(stderr, "%s\n", master_schema.status().ToString().c_str());
+    return 2;
+  }
+  auto d = data::ReadCsvFile(opts.data_path, data_schema.value());
+  auto dm = data::ReadCsvFile(opts.master_path, master_schema.value());
+  if (!d.ok() || !dm.ok()) {
+    std::fprintf(stderr, "failed to read CSV inputs\n");
+    return 2;
+  }
+  auto rule_text = ReadFileToString(opts.rules_path);
+  if (!rule_text.ok()) {
+    std::fprintf(stderr, "%s\n", rule_text.status().ToString().c_str());
+    return 2;
+  }
+  auto rules = rules::ParseRuleSet(rule_text.value(), data_schema.value(),
+                                   master_schema.value());
+  if (!rules.ok()) {
+    std::fprintf(stderr, "%s\n", rules.status().ToString().c_str());
+    return 2;
+  }
+  std::printf("loaded %d data tuples, %d master tuples, %zu CFDs, %zu MDs\n",
+              d->size(), dm->size(), rules->cfds().size(),
+              rules->mds().size());
+
+  if (!opts.confidence_path.empty()) {
+    Status s = LoadConfidences(opts.confidence_path, &d.value());
+    if (!s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 2;
+    }
+  }
+
+  if (opts.check_consistency) {
+    auto consistent = reasoning::IsConsistent(rules.value(), dm.value());
+    if (!consistent.ok()) {
+      std::fprintf(stderr, "consistency check: %s\n",
+                   consistent.status().ToString().c_str());
+      return 2;
+    }
+    if (!consistent.value()) {
+      std::fprintf(stderr,
+                   "the rule set is INCONSISTENT: no nonempty database can "
+                   "satisfy it; refusing to clean\n");
+      return 3;
+    }
+    std::printf("rules are consistent\n");
+  }
+
+  data::Relation original = d->Clone();
+  core::UniCleanOptions options;
+  options.eta = opts.eta;
+  options.delta1 = opts.delta1;
+  options.delta2 = opts.delta2;
+  options.run_crepair = opts.run_c;
+  options.run_erepair = opts.run_e;
+  options.run_hrepair = opts.run_h;
+  auto report = core::UniClean(&d.value(), dm.value(), rules.value(),
+                               options);
+  std::printf("fixes: %d deterministic, %d reliable, %d possible\n",
+              report.crepair.deterministic_fixes,
+              report.erepair.reliable_fixes, report.hrepair.possible_fixes);
+  std::printf("repair cost (Σ cf·dist): %.3f\n",
+              core::RepairCost(original, d.value()));
+  if (report.hrepair.anomalies > 0) {
+    std::fprintf(stderr,
+                 "warning: %d unresolvable conflicts (contradictory "
+                 "deterministic fixes or inconsistent rules)\n",
+                 report.hrepair.anomalies);
+  }
+
+  Status s = data::WriteCsvFile(opts.out_path, d.value());
+  if (!s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 2;
+  }
+  std::printf("wrote %s\n", opts.out_path.c_str());
+
+  if (!opts.report_path.empty()) {
+    FILE* f = std::fopen(opts.report_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", opts.report_path.c_str());
+      return 2;
+    }
+    for (data::TupleId t = 0; t < d->size(); ++t) {
+      for (data::AttributeId a = 0; a < d->schema().arity(); ++a) {
+        if (d->tuple(t).mark(a) == data::FixMark::kNone) continue;
+        std::fprintf(f, "row %d %s: '%s' -> '%s' [%s]\n", t,
+                     d->schema().attribute_name(a).c_str(),
+                     original.tuple(t).value(a).ToString().c_str(),
+                     d->tuple(t).value(a).ToString().c_str(),
+                     data::FixMarkToString(d->tuple(t).mark(a)));
+      }
+    }
+    std::fclose(f);
+    std::printf("wrote %s\n", opts.report_path.c_str());
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  CliOptions opts;
+  if (!ParseArgs(argc, argv, &opts)) {
+    Usage(argv[0]);
+    return 1;
+  }
+  return Run(opts);
+}
