@@ -1,0 +1,39 @@
+# Helpers shared by every layer's CMakeLists.txt.
+
+# Warning set applied to all first-party targets (never to FetchContent'd
+# third-party code, which is why this is not a global add_compile_options).
+set(UNICLEAN_WARNING_FLAGS -Wall -Wextra)
+if(UNICLEAN_WERROR)
+  list(APPEND UNICLEAN_WARNING_FLAGS -Werror)
+endif()
+
+# uniclean_add_library(<name> SOURCES <src>... [DEPS <target>...])
+#
+# Declares the static library `uniclean_<name>` with an alias
+# `uniclean::<name>`, rooted include paths at src/ (so all includes are
+# written as "layer/header.h"), and PUBLIC deps so transitive layers
+# propagate automatically.
+function(uniclean_add_library name)
+  cmake_parse_arguments(ARG "" "" "SOURCES;DEPS" ${ARGN})
+  set(target uniclean_${name})
+  add_library(${target} STATIC ${ARG_SOURCES})
+  add_library(uniclean::${name} ALIAS ${target})
+  target_include_directories(${target} PUBLIC
+    $<BUILD_INTERFACE:${uniclean_SOURCE_DIR}/src>)
+  if(ARG_DEPS)
+    target_link_libraries(${target} PUBLIC ${ARG_DEPS})
+  endif()
+  target_compile_options(${target} PRIVATE ${UNICLEAN_WARNING_FLAGS})
+endfunction()
+
+# uniclean_add_executable(<name> SOURCES <src>... [DEPS <target>...])
+#
+# Declares a first-party executable with the same warning set.
+function(uniclean_add_executable name)
+  cmake_parse_arguments(ARG "" "" "SOURCES;DEPS" ${ARGN})
+  add_executable(${name} ${ARG_SOURCES})
+  if(ARG_DEPS)
+    target_link_libraries(${name} PRIVATE ${ARG_DEPS})
+  endif()
+  target_compile_options(${name} PRIVATE ${UNICLEAN_WARNING_FLAGS})
+endfunction()

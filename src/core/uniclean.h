@@ -6,6 +6,10 @@
 // consecutively (no iteration between phases is needed — see the Remark at
 // the end of §3.2). Every modified cell carries a FixMark identifying the
 // phase that produced it.
+//
+// Not to be confused with "uniclean/uniclean.h": that is the library-wide
+// umbrella header (which includes this one); this header declares only the
+// core pipeline entry point.
 
 #ifndef UNICLEAN_CORE_UNICLEAN_H_
 #define UNICLEAN_CORE_UNICLEAN_H_

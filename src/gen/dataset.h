@@ -54,6 +54,9 @@ struct Dataset {
   data::Relation clean;   ///< ground truth, aligned with `dirty`
   data::Relation dirty;   ///< D
   rules::RuleSet rules;   ///< Θ = Σ ∪ Γ (normalized)
+  /// The rule program in rules/parser.h syntax (what `rules` was parsed
+  /// from); lets tools round-trip a dataset through files and the CLI.
+  std::string rule_text;
   /// True matches: (dirty tuple id, master tuple id).
   std::vector<std::pair<data::TupleId, data::TupleId>> true_matches;
 

@@ -164,6 +164,7 @@ Dataset GenerateDblp(const GeneratorConfig& config) {
 
   Dataset dataset("DBLP", std::move(master), std::move(clean),
                   std::move(rules_result).value());
+  dataset.rule_text = kRuleText;
   dataset.true_matches = std::move(true_matches);
   InjectNoise(&dataset.dirty, dataset.rules.RuleAttributes(),
               config.noise_rate, &rng,

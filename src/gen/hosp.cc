@@ -179,8 +179,9 @@ Dataset GenerateHosp(const GeneratorConfig& config) {
       "hosp_master", {"ProviderID", "HospitalName", "Address", "City",
                       "State", "ZIP", "County", "Phone"});
 
+  std::string rule_text = RuleText(u);
   auto rules_result =
-      rules::ParseRuleSet(RuleText(u), data_schema, master_schema);
+      rules::ParseRuleSet(rule_text, data_schema, master_schema);
   UC_CHECK(rules_result.ok()) << rules_result.status().ToString();
 
   auto provider_row = [&u](const Provider& p) {
@@ -226,6 +227,7 @@ Dataset GenerateHosp(const GeneratorConfig& config) {
 
   Dataset dataset("HOSP", std::move(master), std::move(clean),
                   std::move(rules_result).value());
+  dataset.rule_text = std::move(rule_text);
   dataset.true_matches = std::move(true_matches);
   InjectNoise(&dataset.dirty, dataset.rules.RuleAttributes(),
               config.noise_rate, &rng,

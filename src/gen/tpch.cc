@@ -318,8 +318,9 @@ Dataset GenerateTpch(const GeneratorConfig& config) {
       {"c_custkey", "c_name", "c_address", "c_phone", "c_phonecc",
        "c_acctbal", "c_mktsegment", "c_nationname", "c_comment"});
 
+  std::string rule_text = RuleText(u, config);
   auto rules_result =
-      rules::ParseRuleSet(RuleText(u, config), data_schema, master_schema);
+      rules::ParseRuleSet(rule_text, data_schema, master_schema);
   UC_CHECK(rules_result.ok()) << rules_result.status().ToString();
   UC_CHECK_GE(static_cast<int>(rules_result->cfds().size()), 55);
 
@@ -386,6 +387,7 @@ Dataset GenerateTpch(const GeneratorConfig& config) {
 
   Dataset dataset("TPCH", std::move(master), std::move(clean),
                   std::move(rules_result).value());
+  dataset.rule_text = std::move(rule_text);
   dataset.true_matches = std::move(true_matches);
   InjectNoise(&dataset.dirty, dataset.rules.RuleAttributes(),
               config.noise_rate, &rng,

@@ -1,4 +1,8 @@
-// Umbrella header: the public API of the UniClean library.
+// Umbrella header: the public API of the UniClean library. Includes every
+// layer's headers — applications (tools/, examples/, bench/) include this
+// one; library code includes the specific layer headers instead. The
+// similarly named "core/uniclean.h" is NOT a duplicate: it declares only
+// the tri-level pipeline entry point and is pulled in below.
 //
 // Quickstart:
 //
@@ -18,6 +22,8 @@
 #ifndef UNICLEAN_UNICLEAN_UNICLEAN_H_
 #define UNICLEAN_UNICLEAN_UNICLEAN_H_
 
+#include "baselines/quaid.h"
+#include "baselines/sortn.h"
 #include "common/result.h"
 #include "common/rng.h"
 #include "common/status.h"
@@ -31,12 +37,15 @@
 #include "data/relation.h"
 #include "data/schema.h"
 #include "data/value.h"
-#include "reasoning/chase.h"
-#include "reasoning/consistency.h"
-#include "reasoning/dependency_graph.h"
 #include "discovery/cfd_discovery.h"
 #include "discovery/fd_discovery.h"
 #include "discovery/md_calibration.h"
+#include "eval/metrics.h"
+#include "gen/corrupt.h"
+#include "gen/dataset.h"
+#include "reasoning/chase.h"
+#include "reasoning/consistency.h"
+#include "reasoning/dependency_graph.h"
 #include "reasoning/minimal_cover.h"
 #include "rules/cfd.h"
 #include "rules/md.h"

@@ -1,0 +1,49 @@
+# CTest script: run uniclean_cli end-to-end on a tiny generated HOSP sample.
+#
+# Inputs (passed with -D):
+#   CLI      — path to the uniclean_cli executable
+#   SAMPLER  — path to the make_hosp_sample executable
+#   WORK_DIR — scratch directory for the sample and outputs
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+execute_process(
+  COMMAND "${SAMPLER}" --out-dir "${WORK_DIR}" --tuples 60 --master 30
+  RESULT_VARIABLE sampler_rc
+  OUTPUT_VARIABLE sampler_out
+  ERROR_VARIABLE sampler_err
+)
+if(NOT sampler_rc EQUAL 0)
+  message(FATAL_ERROR "make_hosp_sample failed (rc=${sampler_rc}):\n${sampler_out}\n${sampler_err}")
+endif()
+
+execute_process(
+  COMMAND "${CLI}"
+    --data "${WORK_DIR}/dirty.csv"
+    --master "${WORK_DIR}/master.csv"
+    --rules "${WORK_DIR}/rules.txt"
+    --confidence "${WORK_DIR}/confidence.csv"
+    --out "${WORK_DIR}/repaired.csv"
+    --report "${WORK_DIR}/fixes.txt"
+    --check-consistency
+  RESULT_VARIABLE cli_rc
+  OUTPUT_VARIABLE cli_out
+  ERROR_VARIABLE cli_err
+)
+if(NOT cli_rc EQUAL 0)
+  message(FATAL_ERROR "uniclean_cli failed (rc=${cli_rc}):\n${cli_out}\n${cli_err}")
+endif()
+
+foreach(artifact repaired.csv fixes.txt)
+  if(NOT EXISTS "${WORK_DIR}/${artifact}")
+    message(FATAL_ERROR "uniclean_cli did not write ${artifact}:\n${cli_out}")
+  endif()
+endforeach()
+
+file(SIZE "${WORK_DIR}/fixes.txt" report_size)
+if(report_size EQUAL 0)
+  message(FATAL_ERROR "repair report fixes.txt is empty — the cleaner fixed nothing:\n${cli_out}")
+endif()
+
+message(STATUS "cli_smoke_test OK: report has ${report_size} bytes")

@@ -1,0 +1,125 @@
+// make_hosp_sample: writes a tiny generated HOSP dataset to disk in the
+// file formats uniclean_cli consumes — dirty.csv, master.csv, a rule
+// program rules.txt, and a per-cell confidence.csv. Used by the CTest
+// end-to-end smoke test and handy for quickstart experiments:
+//
+//   make_hosp_sample --out-dir sample --tuples 60 --master 30
+//   uniclean_cli --data sample/dirty.csv --master sample/master.csv
+//                --rules sample/rules.txt --confidence sample/confidence.csv
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <filesystem>
+#include <fstream>
+#include <string>
+
+#include "uniclean/uniclean.h"
+
+using namespace uniclean;  // NOLINT
+
+namespace {
+
+bool WriteTextFile(const std::string& path, const std::string& text) {
+  std::ofstream out(path);
+  if (!out.is_open()) return false;
+  out << text;
+  return out.good();
+}
+
+/// The confidence CSV mirrors the data file's shape with cells holding the
+/// per-cell confidences assigned by the generator (asserted cells are 1.0).
+bool WriteConfidenceCsv(const std::string& path, const data::Relation& d) {
+  std::ofstream out(path);
+  if (!out.is_open()) return false;
+  const data::Schema& schema = d.schema();
+  for (data::AttributeId a = 0; a < schema.arity(); ++a) {
+    if (a > 0) out << ',';
+    out << schema.attribute_name(a);
+  }
+  out << '\n';
+  for (data::TupleId t = 0; t < d.size(); ++t) {
+    for (data::AttributeId a = 0; a < schema.arity(); ++a) {
+      if (a > 0) out << ',';
+      char buf[16];
+      std::snprintf(buf, sizeof(buf), "%.2f", d.tuple(t).confidence(a));
+      out << buf;
+    }
+    out << '\n';
+  }
+  return out.good();
+}
+
+}  // namespace
+
+void Usage(const char* argv0) {
+  std::fprintf(stderr,
+               "usage: %s [--out-dir D] [--tuples N] [--master M] [--seed S]\n",
+               argv0);
+}
+
+int ParseCount(const char* flag, const char* v) {
+  char* end = nullptr;
+  long n = std::strtol(v, &end, 10);
+  if (end == v || *end != '\0' || n < 0) {
+    std::fprintf(stderr, "%s wants a non-negative integer, got '%s'\n", flag,
+                 v);
+    std::exit(1);
+  }
+  return static_cast<int>(n);
+}
+
+int main(int argc, char** argv) {
+  std::string out_dir = ".";
+  gen::GeneratorConfig config;
+  config.num_tuples = 60;
+  config.master_size = 30;
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    auto next = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "%s requires a value\n", arg.c_str());
+        Usage(argv[0]);
+        std::exit(1);
+      }
+      return argv[++i];
+    };
+    if (arg == "--out-dir") {
+      out_dir = next();
+    } else if (arg == "--tuples") {
+      config.num_tuples = ParseCount("--tuples", next());
+    } else if (arg == "--master") {
+      config.master_size = ParseCount("--master", next());
+    } else if (arg == "--seed") {
+      config.seed = static_cast<uint64_t>(std::atoll(next()));
+    } else {
+      Usage(argv[0]);
+      return 1;
+    }
+  }
+
+  std::error_code ec;
+  std::filesystem::create_directories(out_dir, ec);
+  if (ec) {
+    std::fprintf(stderr, "cannot create %s: %s\n", out_dir.c_str(),
+                 ec.message().c_str());
+    return 2;
+  }
+
+  gen::Dataset ds = gen::GenerateHosp(config);
+
+  Status s = data::WriteCsvFile(out_dir + "/dirty.csv", ds.dirty);
+  if (s.ok()) s = data::WriteCsvFile(out_dir + "/master.csv", ds.master);
+  if (!s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 2;
+  }
+  if (!WriteTextFile(out_dir + "/rules.txt", ds.rule_text) ||
+      !WriteConfidenceCsv(out_dir + "/confidence.csv", ds.dirty)) {
+    std::fprintf(stderr, "cannot write to %s\n", out_dir.c_str());
+    return 2;
+  }
+  std::printf("wrote HOSP sample (%d data, %d master tuples) to %s\n",
+              ds.dirty.size(), ds.master.size(), out_dir.c_str());
+  return 0;
+}

@@ -1,8 +1,8 @@
 // uniclean: command-line front end for the library.
 //
-//   uniclean --data dirty.csv --master master.csv --rules rules.txt \
-//            [--confidence conf.csv] [--out repaired.csv] \
-//            [--report fixes.txt] [--eta 0.8] [--delta1 5] [--delta2 0.8] \
+//   uniclean --data dirty.csv --master master.csv --rules rules.txt
+//            [--confidence conf.csv] [--out repaired.csv]
+//            [--report fixes.txt] [--eta 0.8] [--delta1 5] [--delta2 0.8]
 //            [--phases c,e,h] [--check-consistency]
 //
 // The data / master CSV files must start with a header row naming the
