@@ -1,7 +1,9 @@
-// End-to-end file pipeline: write a dirty dataset and its master data to
-// CSV, read them back, clean, and export the repaired relation with a
-// per-cell fix-provenance report — the shape of a production deployment of
-// the library (files in, files out).
+// End-to-end file pipeline: write a dirty dataset, its master data and its
+// per-cell confidences to CSV, then clean files-in / files-out through the
+// CleanerBuilder façade — the shape of a production deployment of the
+// library. The builder owns all loading: schemas are inferred from the CSV
+// headers, the rule program is parsed against them, and the confidence CSV
+// is validated cell-by-cell.
 
 #include <cstdio>
 #include <string>
@@ -21,61 +23,48 @@ int main() {
   config.seed = 99;
   gen::Dataset ds = gen::GenerateHosp(config);
 
-  // Export the inputs.
+  // Export the inputs (a deployment would receive these from upstream).
   Status s = data::WriteCsvFile(dir + "/dirty.csv", ds.dirty);
+  if (s.ok()) s = data::WriteCsvFile(dir + "/master.csv", ds.master);
+  if (s.ok()) s = data::WriteConfidenceCsvFile(dir + "/confidence.csv",
+                                               ds.dirty);
   if (!s.ok()) {
     std::printf("write failed: %s\n", s.ToString().c_str());
     return 1;
   }
-  s = data::WriteCsvFile(dir + "/master.csv", ds.master);
-  if (!s.ok()) return 1;
-  std::printf("wrote %s/dirty.csv and master.csv\n", dir.c_str());
+  std::printf("wrote %s/{dirty,master,confidence}.csv\n", dir.c_str());
 
-  // Read them back (as an external user would).
-  auto dirty = data::ReadCsvFile(dir + "/dirty.csv", ds.dirty.schema_ptr());
-  auto master =
-      data::ReadCsvFile(dir + "/master.csv", ds.master.schema_ptr());
-  if (!dirty.ok() || !master.ok()) {
-    std::printf("read failed\n");
+  // Clean files-in / files-out: every input is a path.
+  auto cleaner = CleanerBuilder()
+                     .WithDataCsv(dir + "/dirty.csv")
+                     .WithMasterCsv(dir + "/master.csv")
+                     .WithRuleText(ds.rule_text)
+                     .WithConfidenceCsv(dir + "/confidence.csv")
+                     .WithEta(1.0)  // §8: confidence threshold 1.0
+                     .Build();
+  if (!cleaner.ok()) {
+    std::printf("config error: %s\n", cleaner.status().ToString().c_str());
     return 1;
   }
-  // CSV does not carry confidences; restore the asserted cells from the
-  // original (a deployment would load them from provenance metadata).
-  data::Relation d = std::move(dirty).value();
-  for (data::TupleId t = 0; t < d.size(); ++t) {
-    for (data::AttributeId a = 0; a < d.schema().arity(); ++a) {
-      d.mutable_tuple(t).set_confidence(a, ds.dirty.tuple(t).confidence(a));
-    }
+  auto result = cleaner->Run();
+  if (!result.ok()) {
+    std::printf("run error: %s\n", result.status().ToString().c_str());
+    return 1;
   }
-
-  core::UniCleanOptions options;
-  options.eta = 1.0;
-  auto report = core::UniClean(&d, master.value(), ds.rules, options);
   std::printf("cleaned: %d deterministic, %d reliable, %d possible fixes\n",
-              report.crepair.deterministic_fixes,
-              report.erepair.reliable_fixes, report.hrepair.possible_fixes);
+              result->journal.CountForPhase(CRepairPhase::kName),
+              result->journal.CountForPhase(ERepairPhase::kName),
+              result->journal.CountForPhase(HRepairPhase::kName));
 
-  s = data::WriteCsvFile(dir + "/repaired.csv", d);
-  if (!s.ok()) return 1;
-
-  // Fix-provenance report: one line per modified cell.
-  std::string prov_path = dir + "/fixes.txt";
-  FILE* f = std::fopen(prov_path.c_str(), "w");
-  if (f == nullptr) return 1;
-  int listed = 0;
-  for (data::TupleId t = 0; t < d.size(); ++t) {
-    for (data::AttributeId a = 0; a < d.schema().arity(); ++a) {
-      if (d.tuple(t).mark(a) == data::FixMark::kNone) continue;
-      std::fprintf(f, "row %d %s: '%s' -> '%s' [%s]\n", t,
-                   d.schema().attribute_name(a).c_str(),
-                   ds.dirty.tuple(t).value(a).ToString().c_str(),
-                   d.tuple(t).value(a).ToString().c_str(),
-                   data::FixMarkToString(d.tuple(t).mark(a)));
-      ++listed;
-    }
+  // Export the repaired relation and the structured fix provenance.
+  s = data::WriteCsvFile(dir + "/repaired.csv", cleaner->data());
+  if (s.ok()) s = result->journal.WriteTextFile(dir + "/fixes.txt");
+  if (s.ok()) s = result->journal.WriteCsvFile(dir + "/fixes.csv");
+  if (!s.ok()) {
+    std::printf("write failed: %s\n", s.ToString().c_str());
+    return 1;
   }
-  std::fclose(f);
-  std::printf("wrote %s/repaired.csv and fixes.txt (%d entries)\n",
-              dir.c_str(), listed);
+  std::printf("wrote %s/repaired.csv, fixes.txt and fixes.csv (%zu entries)\n",
+              dir.c_str(), result->journal.size());
   return 0;
 }

@@ -1,7 +1,9 @@
 // Hospital data cleaning: the paper's HOSP scenario at a glance. Generates
 // a synthetic hospital quality dataset (19 attributes, 23 CFDs + 3 MDs),
-// dirties it, cleans it with UniClean and reports per-phase accuracy — the
-// miniature version of §8's Exp-1/Exp-3.
+// dirties it, and cleans it with a Cleaner whose progress callback reports
+// per-phase accuracy as the pipeline advances — the miniature version of
+// §8's Exp-1/Exp-3, built on the observer hook instead of running the
+// phases by hand.
 
 #include <cstdio>
 
@@ -28,41 +30,48 @@ int main() {
   std::printf("injected errors: %d cells\n\n",
               ds.dirty.CellDiffCount(ds.clean));
 
-  core::UniCleanOptions options;
-  options.eta = 1.0;  // §8: confidence threshold 1.0
-  options.delta2 = 0.8;
-
-  // Phase-by-phase accuracy (the paper's Exp-3).
-  data::Relation after_c = ds.dirty.Clone();
-  core::CRepairOptions copts;
-  copts.eta = options.eta;
-  auto cstats = core::CRepair(&after_c, ds.master, ds.rules, copts);
-  auto c_pr = eval::RepairAccuracy(ds.dirty, after_c, ds.clean);
-  std::printf("cRepair:           %5d fixes  precision %.3f  recall %.3f\n",
-              cstats.deterministic_fixes, c_pr.precision, c_pr.recall);
-
-  data::Relation after_e = after_c.Clone();
-  core::ERepairOptions eopts;
-  eopts.eta = options.eta;
-  auto estats = core::ERepair(&after_e, ds.master, ds.rules, eopts);
-  auto e_pr = eval::RepairAccuracy(ds.dirty, after_e, ds.clean);
-  std::printf("+ eRepair:         %5d fixes  precision %.3f  recall %.3f\n",
-              estats.reliable_fixes, e_pr.precision, e_pr.recall);
-
-  data::Relation after_h = after_e.Clone();
-  auto hstats = core::HRepair(&after_h, ds.master, ds.rules, {});
-  auto h_pr = eval::RepairAccuracy(ds.dirty, after_h, ds.clean);
-  std::printf("+ hRepair (Uni):   %5d fixes  precision %.3f  recall %.3f  F %.3f\n",
-              hstats.possible_fixes, h_pr.precision, h_pr.recall, h_pr.F());
+  // Phase-by-phase accuracy (the paper's Exp-3) from the progress observer:
+  // after every phase the callback scores the pipeline's current data
+  // against the ground truth.
+  eval::PrecisionRecall final_pr;
+  auto cleaner =
+      CleanerBuilder()
+          .WithData(ds.dirty.Clone())
+          .WithMaster(&ds.master)
+          .WithRules(&ds.rules)
+          .WithEta(1.0)  // §8: confidence threshold 1.0
+          .WithDelta2(0.8)
+          .WithProgressCallback([&](const PhaseEvent& event) {
+            if (event.kind != PhaseEvent::Kind::kPhaseFinished) return;
+            auto pr = eval::RepairAccuracy(ds.dirty, *event.data, ds.clean);
+            std::printf("[%d/%d] %-8.*s %5d fixes  precision %.3f  recall %.3f\n",
+                        event.index + 1, event.total,
+                        static_cast<int>(event.phase.size()),
+                        event.phase.data(), event.stats->fixes, pr.precision,
+                        pr.recall);
+            final_pr = pr;
+          })
+          .Build();
+  if (!cleaner.ok()) {
+    std::printf("config error: %s\n", cleaner.status().ToString().c_str());
+    return 1;
+  }
+  auto result = cleaner->Run();
+  if (!result.ok()) {
+    std::printf("run error: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("Uni: %d total fixes, F-measure %.3f\n\n",
+              result->total_fixes(), final_pr.F());
 
   // The CFD-only baseline for contrast (Exp-1).
   data::Relation quaid_out = ds.dirty.Clone();
   baselines::Quaid(&quaid_out, ds.rules);
   auto q_pr = eval::RepairAccuracy(ds.dirty, quaid_out, ds.clean);
-  std::printf("quaid (CFD-only):  %5s        precision %.3f  recall %.3f  F %.3f\n",
-              "-", q_pr.precision, q_pr.recall, q_pr.F());
+  std::printf("quaid (CFD-only): precision %.3f  recall %.3f  F %.3f\n",
+              q_pr.precision, q_pr.recall, q_pr.F());
 
   std::printf("\nUni F-measure %.3f vs quaid %.3f -> matching helps repairing\n",
-              h_pr.F(), q_pr.F());
-  return h_pr.F() > q_pr.F() ? 0 : 1;
+              final_pr.F(), q_pr.F());
+  return final_pr.F() > q_pr.F() ? 0 : 1;
 }

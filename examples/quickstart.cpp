@@ -102,38 +102,51 @@ CFD phi3: city, phn -> St, AC, post
 CFD phi4: FN='Bob' -> FN='Robert'
 MD psi: LN=LN & city=city & St=St & post=zip & FN ~jw:0.6 FN -> FN:=FN, phn:=tel
 )";
-  auto tran = TranSchema();
-  auto card = CardSchema();
-  auto ruleset = rules::ParseRuleSet(rule_text, tran, card);
-  if (!ruleset.ok()) {
-    std::printf("rule error: %s\n", ruleset.status().ToString().c_str());
-    return 1;
-  }
-
-  data::Relation dm = MasterData();
   data::Relation d = Transactions();
   PrintRelation("== Dirty transactions (Fig. 1(b)) ==", d);
 
-  // Sanity: the rules are consistent before we derive cleaning rules (§4.1).
-  auto consistent = reasoning::IsConsistent(ruleset.value(), dm);
-  std::printf("\nrules consistent: %s\n",
-              consistent.ok() && consistent.value() ? "yes" : "no");
+  // Build a cleaning session: the builder validates the thresholds, parses
+  // the rules against the relations' schemas and — with CheckConsistency —
+  // verifies the rules are consistent before cleaning (§4.1).
+  auto cleaner = CleanerBuilder()
+                     .WithData(&d)  // cleaned in place
+                     .WithMaster(MasterData())
+                     .WithRuleText(rule_text)
+                     .WithEta(0.8)
+                     .CheckConsistency()
+                     .Build();
+  if (!cleaner.ok()) {
+    std::printf("config error: %s\n", cleaner.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("\nrules consistent: yes\n");
 
-  core::UniCleanOptions options;
-  options.eta = 0.8;
-  core::UniCleanReport report =
-      core::UniClean(&d, dm, ruleset.value(), options);
+  auto result = cleaner->Run();
+  if (!result.ok()) {
+    std::printf("run error: %s\n", result.status().ToString().c_str());
+    return 1;
+  }
 
   std::printf(
       "\nfixes: %d deterministic (*), %d reliable (+), %d possible (?)\n\n",
-      report.crepair.deterministic_fixes, report.erepair.reliable_fixes,
-      report.hrepair.possible_fixes);
+      result->journal.CountForPhase(CRepairPhase::kName),
+      result->journal.CountForPhase(ERepairPhase::kName),
+      result->journal.CountForPhase(HRepairPhase::kName));
   PrintRelation("== Repaired transactions ==", d);
+
+  // The structured journal records every fix with its justifying rule.
+  std::printf("\n== Fix journal ==\n");
+  for (const FixEntry& fix : result->journal.entries()) {
+    std::printf("  t%d[%s]: '%s' -> '%s' (%s, rule %s)\n", fix.tuple + 1,
+                fix.attribute.c_str(), fix.old_value.ToString().c_str(),
+                fix.new_value.ToString().c_str(), fix.phase.c_str(),
+                fix.rule.empty() ? "-" : fix.rule.c_str());
+  }
 
   // The fraud check of Example 1.1: do t3 and t4 refer to the same person?
   bool same_person = true;
   for (const char* attr : {"FN", "LN", "city", "AC", "post", "phn"}) {
-    data::AttributeId a = tran->MustFindAttribute(attr);
+    data::AttributeId a = d.schema().MustFindAttribute(attr);
     if (!data::Value::SqlEquals(d.tuple(2).value(a), d.tuple(3).value(a))) {
       same_person = false;
     }

@@ -155,10 +155,11 @@ class CRepairRun {
   }
 
   /// Writes `v` into t[A] (confidence η), marking a deterministic fix when
-  /// the value actually changes, then propagates.
-  void Fix(TupleId t, AttributeId a, const Value& v) {
+  /// the value actually changes, then propagates. `rule` justifies the write.
+  void Fix(TupleId t, AttributeId a, const Value& v, RuleId rule) {
     data::Tuple& tuple = d_.mutable_tuple(t);
     if (tuple.value(a) != v) {
+      if (options_.on_fix) options_.on_fix(t, a, tuple.value(a), v, rule);
       tuple.set_value(a, v);
       tuple.set_mark(a, FixMark::kDeterministic);
       ++stats_.deterministic_fixes;
@@ -183,7 +184,7 @@ class CRepairRun {
         entry.val = d_.tuple(t).value(b);
         for (TupleId waiting : entry.list) {
           if (waiting == t || Asserted(waiting, b)) continue;
-          Fix(waiting, b, entry.val);
+          Fix(waiting, b, entry.val, rule);
         }
         entry.list.clear();
       } else if (entry.val != d_.tuple(t).value(b)) {
@@ -192,7 +193,7 @@ class CRepairRun {
       return;
     }
     if (entry.val_set) {
-      Fix(t, b, entry.val);
+      Fix(t, b, entry.val, rule);
     } else {
       entry.list.push_back(t);
       in_pending_[RuleIndex(t, rule)] = 1;  // P[t].add(ξ)
@@ -209,7 +210,7 @@ class CRepairRun {
       if (d_.tuple(t).value(b) != target) ++stats_.conflicts;
       return;
     }
-    Fix(t, b, target);
+    Fix(t, b, target, rule);
   }
 
   /// Procedure MDInfer (Fig. 5).
@@ -229,7 +230,7 @@ class CRepairRun {
       }
       return;
     }
-    Fix(t, action.data_attr, master_value);
+    Fix(t, action.data_attr, master_value, rule);
   }
 
   Relation& d_;

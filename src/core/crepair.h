@@ -11,6 +11,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/fix_observer.h"
 #include "core/md_matcher.h"
 #include "data/relation.h"
 #include "rules/ruleset.h"
@@ -23,6 +24,9 @@ struct CRepairOptions {
   double eta = 0.8;
   /// Options for MD candidate retrieval (suffix-tree blocking, §5.2).
   MdMatcherOptions matcher;
+  /// Optional per-fix callback (see fix_observer.h); called exactly once per
+  /// deterministic fix, with the rule that produced it.
+  FixObserver on_fix;
 };
 
 struct CRepairStats {

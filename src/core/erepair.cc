@@ -101,9 +101,10 @@ class ERepairRun {
     return change_count_[CellIndex(t, a)] < options_.delta1;
   }
 
-  void ApplyFix(TupleId t, AttributeId a, const Value& v) {
+  void ApplyFix(TupleId t, AttributeId a, const Value& v, RuleId rule) {
     data::Tuple& tuple = d_.mutable_tuple(t);
     UC_CHECK(tuple.value(a) != v);
+    if (options_.on_fix) options_.on_fix(t, a, tuple.value(a), v, rule);
     tuple.set_value(a, v);
     tuple.set_mark(a, FixMark::kReliable);
     ++change_count_[CellIndex(t, a)];
@@ -142,9 +143,9 @@ class ERepairRun {
     int skipped = tree.size();
     tree.VisitBelow(
         options_.delta2,
-        [this, b](double entropy, const Group* const& group) {
+        [this, b, rule](double entropy, const Group* const& group) {
           (void)entropy;
-          ResolveGroup(*group, b);
+          ResolveGroup(*group, b, rule);
           return true;
         });
     // Everything not visited had entropy >= δ2.
@@ -154,7 +155,7 @@ class ERepairRun {
   }
 
   template <typename Group>
-  void ResolveGroup(const Group& group, AttributeId b) {
+  void ResolveGroup(const Group& group, AttributeId b, RuleId rule) {
     ++resolved_this_call_;
     // Majority value; ties break to the lexicographically smallest so the
     // outcome is deterministic.
@@ -171,7 +172,7 @@ class ERepairRun {
     for (TupleId t : group.members) {
       if (d_.tuple(t).value(b) == target) continue;
       if (!Changeable(t, b)) continue;
-      ApplyFix(t, b, target);
+      ApplyFix(t, b, target, rule);
     }
   }
 
@@ -185,7 +186,7 @@ class ERepairRun {
       if (!cfd.MatchesLhs(tuple)) continue;
       if (cfd.RhsSatisfied(tuple)) continue;
       if (!Changeable(t, b)) continue;
-      ApplyFix(t, b, target);
+      ApplyFix(t, b, target, rule);
     }
   }
 
@@ -213,7 +214,7 @@ class ERepairRun {
       }
       if (d_.tuple(t).value(action.data_attr) == master_value) continue;
       if (!Changeable(t, action.data_attr)) continue;
-      ApplyFix(t, action.data_attr, master_value);
+      ApplyFix(t, action.data_attr, master_value, rule);
     }
   }
 

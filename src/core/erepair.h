@@ -9,6 +9,7 @@
 #ifndef UNICLEAN_CORE_EREPAIR_H_
 #define UNICLEAN_CORE_EREPAIR_H_
 
+#include "core/fix_observer.h"
 #include "core/md_matcher.h"
 #include "data/relation.h"
 #include "rules/ruleset.h"
@@ -24,6 +25,9 @@ struct ERepairOptions {
   /// Cells with confidence >= eta are treated as asserted and not modified.
   double eta = 0.8;
   MdMatcherOptions matcher;
+  /// Optional per-fix callback (see fix_observer.h); called once per reliable
+  /// fix — a cell rewritten twice produces two calls.
+  FixObserver on_fix;
 };
 
 struct ERepairStats {

@@ -1,0 +1,30 @@
+// FixObserver: an optional per-fix callback threaded through the three
+// repair phases. The cleaning engines invoke it once for every cell write
+// that changes a value, passing the justifying rule — this is how the
+// uniclean::FixJournal façade records structured provenance without the
+// phases knowing about journals.
+
+#ifndef UNICLEAN_CORE_FIX_OBSERVER_H_
+#define UNICLEAN_CORE_FIX_OBSERVER_H_
+
+#include <functional>
+
+#include "data/relation.h"
+#include "rules/ruleset.h"
+
+namespace uniclean {
+namespace core {
+
+/// Called once per value-changing cell write: (tuple, attribute, value
+/// before, value after, justifying rule). The rule id indexes into the
+/// RuleSet the phase was run with, or is -1 when no single rule can be
+/// attributed. Invoked before any later rewrite of the same cell, in
+/// application order.
+using FixObserver = std::function<void(
+    data::TupleId, data::AttributeId, const data::Value& old_value,
+    const data::Value& new_value, rules::RuleId)>;
+
+}  // namespace core
+}  // namespace uniclean
+
+#endif  // UNICLEAN_CORE_FIX_OBSERVER_H_

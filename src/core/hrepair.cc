@@ -46,7 +46,11 @@ class HRepairRun {
         original_(d->Clone()),
         dm_(dm),
         ruleset_(ruleset),
-        eq_(d->size(), d->schema().arity()) {
+        options_(options),
+        eq_(d->size(), d->schema().arity()),
+        last_rule_(static_cast<size_t>(d->size()) *
+                       static_cast<size_t>(d->schema().arity()),
+                   -1) {
     for (RuleId rule = 0; rule < ruleset_.num_rules(); ++rule) {
       if (!ruleset_.IsCfd(rule)) {
         matchers_.emplace(rule, std::make_unique<MdMatcher>(
@@ -71,6 +75,7 @@ class HRepairRun {
       changed = false;
       ++stats_.passes;
       for (RuleId rule = 0; rule < ruleset_.num_rules(); ++rule) {
+        current_rule_ = rule;
         switch (ruleset_.kind(rule)) {
           case rules::RuleKind::kConstantCfd:
             changed |= ResolveConstantCfd(rule);
@@ -90,6 +95,11 @@ class HRepairRun {
     for (TupleId t = 0; t < view_.size(); ++t) {
       for (AttributeId a = 0; a < view_.schema().arity(); ++a) {
         if (view_.tuple(t).value(a) != original_.tuple(t).value(a)) {
+          if (options_.on_fix) {
+            options_.on_fix(t, a, original_.tuple(t).value(a),
+                            view_.tuple(t).value(a),
+                            last_rule_[static_cast<size_t>(eq_.Cell(t, a))]);
+          }
           view_.mutable_tuple(t).set_mark(a, FixMark::kPossible);
           ++stats_.possible_fixes;
         }
@@ -110,6 +120,7 @@ class HRepairRun {
     for (CellId member : eq_.Members(root)) {
       data::TupleId t = eq_.TupleOf(member);
       view_.mutable_tuple(t).set_value(eq_.AttrOf(member), v);
+      last_rule_[static_cast<size_t>(member)] = current_rule_;
       touched_cur_[static_cast<size_t>(t)] = 1;
     }
   }
@@ -420,8 +431,11 @@ class HRepairRun {
   Relation original_;
   const Relation& dm_;
   const RuleSet& ruleset_;
+  const HRepairOptions& options_;
   EquivalenceClasses eq_;
   HRepairStats stats_;
+  RuleId current_rule_ = -1;         // rule whose violations are being fixed
+  std::vector<RuleId> last_rule_;    // per cell: last rule that rewrote it
   std::unordered_map<RuleId, std::unique_ptr<MdMatcher>> matchers_;
   std::vector<uint8_t> touched_prev_;  // tuples changed in the last pass
   std::vector<uint8_t> touched_cur_;   // tuples changed in this pass

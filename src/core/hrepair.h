@@ -17,6 +17,7 @@
 #ifndef UNICLEAN_CORE_HREPAIR_H_
 #define UNICLEAN_CORE_HREPAIR_H_
 
+#include "core/fix_observer.h"
 #include "core/md_matcher.h"
 #include "data/relation.h"
 #include "rules/ruleset.h"
@@ -26,6 +27,10 @@ namespace core {
 
 struct HRepairOptions {
   MdMatcherOptions matcher;
+  /// Optional per-fix callback (see fix_observer.h); called once per possible
+  /// fix — i.e. per cell whose final value differs from the phase input —
+  /// with the rule that last retargeted the cell's equivalence class.
+  FixObserver on_fix;
 };
 
 struct HRepairStats {

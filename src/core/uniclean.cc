@@ -21,32 +21,10 @@ UniCleanReport::AllMatches() const {
   return all;
 }
 
-UniCleanReport UniClean(data::Relation* d, const data::Relation& dm,
-                        const rules::RuleSet& ruleset,
-                        const UniCleanOptions& options) {
-  UC_CHECK(d != nullptr);
-  UniCleanReport report;
-  if (options.run_crepair) {
-    CRepairOptions copts;
-    copts.eta = options.eta;
-    copts.matcher = options.matcher;
-    report.crepair = CRepair(d, dm, ruleset, copts);
-  }
-  if (options.run_erepair) {
-    ERepairOptions eopts;
-    eopts.delta1 = options.delta1;
-    eopts.delta2 = options.delta2;
-    eopts.eta = options.eta;
-    eopts.matcher = options.matcher;
-    report.erepair = ERepair(d, dm, ruleset, eopts);
-  }
-  if (options.run_hrepair) {
-    HRepairOptions hopts;
-    hopts.matcher = options.matcher;
-    report.hrepair = HRepair(d, dm, ruleset, hopts);
-  }
-  return report;
-}
+// NOTE: UniClean() itself is defined in src/uniclean/legacy_shim.cc — it is
+// a compatibility shim over the uniclean::Cleaner façade, which the core
+// layer cannot depend on. Link uniclean::uniclean (or uniclean::api) to get
+// the symbol.
 
 }  // namespace core
 }  // namespace uniclean

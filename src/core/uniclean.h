@@ -57,6 +57,14 @@ struct UniCleanReport {
 };
 
 /// Cleans `*d` in place against master data `dm` and the rules Θ.
+///
+/// COMPATIBILITY SHIM: this free function predates the `uniclean::Cleaner`
+/// façade (uniclean/cleaner.h) and is now a thin wrapper over it — new code
+/// should use `CleanerBuilder`, which adds validated configuration,
+/// Status-based error propagation, pluggable phases, progress callbacks and
+/// a structured FixJournal. The shim is kept for source compatibility; its
+/// definition lives in the uniclean_api library (src/uniclean/), so callers
+/// must link uniclean::uniclean or uniclean::api.
 UniCleanReport UniClean(data::Relation* d, const data::Relation& dm,
                         const rules::RuleSet& ruleset,
                         const UniCleanOptions& options = {});

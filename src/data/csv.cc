@@ -1,10 +1,15 @@
 #include "data/csv.h"
 
+#include <cerrno>
+#include <charconv>
+#include <cstdlib>
 #include <fstream>
 #include <istream>
 #include <ostream>
 #include <sstream>
 #include <vector>
+
+#include "common/string_util.h"
 
 namespace uniclean {
 namespace data {
@@ -59,18 +64,18 @@ bool NeedsQuoting(const std::string& s, char delim) {
          s.find('\n') != std::string::npos;
 }
 
-std::string QuoteField(const std::string& s, char delim) {
-  if (!NeedsQuoting(s, delim)) return s;
+}  // namespace
+
+std::string CsvQuote(const std::string& field, char delimiter) {
+  if (!NeedsQuoting(field, delimiter)) return field;
   std::string out = "\"";
-  for (char c : s) {
+  for (char c : field) {
     if (c == '"') out.push_back('"');
     out.push_back(c);
   }
   out.push_back('"');
   return out;
 }
-
-}  // namespace
 
 Result<Relation> ReadCsv(std::istream& in, SchemaPtr schema,
                          const CsvOptions& options) {
@@ -128,7 +133,7 @@ Status WriteCsv(std::ostream& out, const Relation& relation,
   if (options.header) {
     for (int a = 0; a < schema.arity(); ++a) {
       if (a > 0) out << options.delimiter;
-      out << QuoteField(schema.attribute_name(a), options.delimiter);
+      out << CsvQuote(schema.attribute_name(a), options.delimiter);
     }
     out << '\n';
   }
@@ -137,7 +142,7 @@ Status WriteCsv(std::ostream& out, const Relation& relation,
       if (a > 0) out << options.delimiter;
       const Value& v = t.value(a);
       out << (v.is_null() ? options.null_token
-                          : QuoteField(v.str(), options.delimiter));
+                          : CsvQuote(v.str(), options.delimiter));
     }
     out << '\n';
   }
@@ -152,6 +157,128 @@ Status WriteCsvFile(const std::string& path, const Relation& relation,
     return Status::Internal("cannot open CSV file for write: " + path);
   }
   return WriteCsv(out, relation, options);
+}
+
+Result<SchemaPtr> InferCsvSchema(const std::string& path,
+                                 const std::string& relation_name,
+                                 const CsvOptions& options) {
+  if (!options.header) {
+    return Status::InvalidArgument(
+        "InferCsvSchema requires a CSV with a header row");
+  }
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::NotFound("cannot open CSV file: " + path);
+  }
+  std::string header;
+  if (!std::getline(in, header)) {
+    return Status::Corruption("empty CSV: " + path);
+  }
+  if (!header.empty() && header.back() == '\r') header.pop_back();
+  UC_ASSIGN_OR_RETURN(std::vector<std::string> names,
+                      ParseRecord(header, options.delimiter));
+  for (std::string& name : names) name = std::string(Trim(name));
+  return MakeSchema(relation_name, std::move(names));
+}
+
+Status ReadConfidenceCsvFile(const std::string& path, Relation* relation,
+                             const CsvOptions& options) {
+  UC_CHECK(relation != nullptr);
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::NotFound("cannot open confidence CSV: " + path);
+  }
+  const int arity = relation->schema().arity();
+  std::string line;
+  bool saw_header = !options.header;
+  TupleId row = 0;
+  int line_no = 0;
+  while (std::getline(in, line)) {
+    ++line_no;
+    if (!line.empty() && line.back() == '\r') line.pop_back();
+    if (line.empty()) continue;
+    UC_ASSIGN_OR_RETURN(std::vector<std::string> fields,
+                        ParseRecord(line, options.delimiter));
+    if (static_cast<int>(fields.size()) != arity) {
+      return Status::InvalidArgument(
+          "confidence CSV arity mismatch at line " + std::to_string(line_no) +
+          ": expected " + std::to_string(arity) + " fields, got " +
+          std::to_string(fields.size()));
+    }
+    if (!saw_header) {
+      saw_header = true;
+      continue;
+    }
+    if (row >= relation->size()) {
+      return Status::InvalidArgument(
+          "confidence CSV has more rows than the data relation (" +
+          std::to_string(relation->size()) + ")");
+    }
+    for (AttributeId a = 0; a < arity; ++a) {
+      const std::string& field = fields[static_cast<size_t>(a)];
+      double cf = 0.0;
+      if (!field.empty() && field != options.null_token) {
+        errno = 0;
+        char* end = nullptr;
+        cf = std::strtod(field.c_str(), &end);
+        if (end == field.c_str() || *end != '\0' || errno == ERANGE) {
+          return Status::InvalidArgument(
+              "confidence CSV cell is not a number at line " +
+              std::to_string(line_no) + ": '" + field + "'");
+        }
+      }
+      if (cf < 0.0 || cf > 1.0) {
+        return Status::InvalidArgument(
+            "confidence out of [0, 1] at line " + std::to_string(line_no) +
+            ": " + field);
+      }
+      relation->mutable_tuple(row).set_confidence(a, cf);
+    }
+    ++row;
+  }
+  if (row != relation->size()) {
+    return Status::InvalidArgument(
+        "confidence CSV row count mismatch: expected " +
+        std::to_string(relation->size()) + ", got " + std::to_string(row));
+  }
+  return Status::OK();
+}
+
+Status WriteConfidenceCsv(std::ostream& out, const Relation& relation,
+                          const CsvOptions& options) {
+  const Schema& schema = relation.schema();
+  if (options.header) {
+    for (AttributeId a = 0; a < schema.arity(); ++a) {
+      if (a > 0) out << options.delimiter;
+      out << CsvQuote(schema.attribute_name(a), options.delimiter);
+    }
+    out << '\n';
+  }
+  // Shortest round-trip formatting: re-reading the file restores the exact
+  // confidences, so cf >= η decisions survive a save/load cycle.
+  char buf[32];
+  for (TupleId t = 0; t < relation.size(); ++t) {
+    for (AttributeId a = 0; a < schema.arity(); ++a) {
+      if (a > 0) out << options.delimiter;
+      auto [ptr, ec] = std::to_chars(buf, buf + sizeof(buf),
+                                     relation.tuple(t).confidence(a));
+      UC_CHECK(ec == std::errc());
+      out.write(buf, static_cast<std::streamsize>(ptr - buf));
+    }
+    out << '\n';
+  }
+  if (!out.good()) return Status::Internal("confidence CSV write failed");
+  return Status::OK();
+}
+
+Status WriteConfidenceCsvFile(const std::string& path,
+                              const Relation& relation,
+                              const CsvOptions& options) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::Internal("cannot open confidence CSV for write: " + path);
+  }
+  return WriteConfidenceCsv(out, relation, options);
 }
 
 }  // namespace data

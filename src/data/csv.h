@@ -21,6 +21,12 @@ struct CsvOptions {
   bool header = true;
 };
 
+/// RFC-4180 field quoting: wraps `field` in double quotes (doubling embedded
+/// quotes) when it contains the delimiter, a quote, or a newline; returns it
+/// unchanged otherwise. Exposed so other CSV emitters (e.g. the FixJournal)
+/// quote identically to WriteCsv.
+std::string CsvQuote(const std::string& field, char delimiter = ',');
+
 /// Parses a relation with the given schema from a stream.
 Result<Relation> ReadCsv(std::istream& in, SchemaPtr schema,
                          const CsvOptions& options = {});
@@ -36,6 +42,27 @@ Status WriteCsv(std::ostream& out, const Relation& relation,
 /// Writes a relation to a file path.
 Status WriteCsvFile(const std::string& path, const Relation& relation,
                     const CsvOptions& options = {});
+
+/// Reads only the header row of a CSV file and builds a schema from it
+/// (attribute names are trimmed). Requires options.header.
+Result<SchemaPtr> InferCsvSchema(const std::string& path,
+                                 const std::string& relation_name,
+                                 const CsvOptions& options = {});
+
+/// Loads per-cell confidences into `*relation` from a CSV with the same
+/// shape as the relation (same arity and row count; the header row is
+/// skipped when options.header). Cells must parse as numbers in [0, 1];
+/// empty cells and nulls count as 0.
+Status ReadConfidenceCsvFile(const std::string& path, Relation* relation,
+                             const CsvOptions& options = {});
+
+/// Writes the per-cell confidences of `relation` in the shape
+/// ReadConfidenceCsvFile consumes.
+Status WriteConfidenceCsv(std::ostream& out, const Relation& relation,
+                          const CsvOptions& options = {});
+Status WriteConfidenceCsvFile(const std::string& path,
+                              const Relation& relation,
+                              const CsvOptions& options = {});
 
 }  // namespace data
 }  // namespace uniclean

@@ -1,0 +1,111 @@
+#include "uniclean/builtin_phases.h"
+
+#include <string>
+#include <utility>
+
+#include "common/check.h"
+
+namespace uniclean {
+
+namespace {
+
+/// A FixObserver that appends journal entries under the given phase name,
+/// resolving rule ids to names against the run's rule set.
+core::FixObserver JournalObserver(PipelineContext* ctx,
+                                  std::string_view phase) {
+  if (ctx->journal == nullptr) return nullptr;
+  FixJournal* journal = ctx->journal;
+  const rules::RuleSet* rules = ctx->rules;
+  const data::Relation* data = ctx->data;
+  return [journal, rules, data, phase](data::TupleId t, data::AttributeId a,
+                                       const data::Value& old_value,
+                                       const data::Value& new_value,
+                                       rules::RuleId rule) {
+    FixEntry entry;
+    entry.tuple = t;
+    entry.attr = a;
+    entry.attribute = data->schema().attribute_name(a);
+    entry.old_value = old_value;
+    entry.new_value = new_value;
+    entry.phase = std::string(phase);
+    if (rule >= 0 && rule < rules->num_rules()) {
+      entry.rule = rules->rule_name(rule);
+    }
+    journal->Append(std::move(entry));
+  };
+}
+
+void CheckContext(const PipelineContext* ctx) {
+  UC_CHECK(ctx != nullptr);
+  UC_CHECK(ctx->data != nullptr);
+  UC_CHECK(ctx->master != nullptr);
+  UC_CHECK(ctx->rules != nullptr);
+}
+
+}  // namespace
+
+Result<PhaseStats> CRepairPhase::Run(PipelineContext* ctx) {
+  CheckContext(ctx);
+  core::CRepairOptions opts;
+  opts.eta = ctx->config.eta;
+  opts.matcher = ctx->config.matcher;
+  opts.on_fix = JournalObserver(ctx, kName);
+  stats_ = core::CRepair(ctx->data, *ctx->master, *ctx->rules, opts);
+
+  PhaseStats out;
+  out.fixes = stats_.deterministic_fixes;
+  out.matches = stats_.md_matches;
+  out.counters = {{"confidence_upgrades", stats_.confidence_upgrades},
+                  {"rule_applications", stats_.rule_applications},
+                  {"conflicts", stats_.conflicts}};
+  return out;
+}
+
+Result<PhaseStats> ERepairPhase::Run(PipelineContext* ctx) {
+  CheckContext(ctx);
+  core::ERepairOptions opts;
+  opts.delta1 = ctx->config.delta1;
+  opts.delta2 = ctx->config.delta2;
+  opts.eta = ctx->config.eta;
+  opts.matcher = ctx->config.matcher;
+  opts.on_fix = JournalObserver(ctx, kName);
+  stats_ = core::ERepair(ctx->data, *ctx->master, *ctx->rules, opts);
+
+  PhaseStats out;
+  out.fixes = stats_.reliable_fixes;
+  out.matches = stats_.md_matches;
+  out.counters = {
+      {"groups_resolved", stats_.groups_resolved},
+      {"groups_skipped_high_entropy", stats_.groups_skipped_high_entropy},
+      {"passes", stats_.passes}};
+  return out;
+}
+
+Result<PhaseStats> HRepairPhase::Run(PipelineContext* ctx) {
+  CheckContext(ctx);
+  core::HRepairOptions opts;
+  opts.matcher = ctx->config.matcher;
+  opts.on_fix = JournalObserver(ctx, kName);
+  stats_ = core::HRepair(ctx->data, *ctx->master, *ctx->rules, opts);
+
+  PhaseStats out;
+  out.fixes = stats_.possible_fixes;
+  out.matches = stats_.md_matches;
+  out.counters = {{"merges", stats_.merges},
+                  {"nulls_introduced", stats_.nulls_introduced},
+                  {"passes", stats_.passes},
+                  {"anomalies", stats_.anomalies}};
+  return out;
+}
+
+std::vector<std::unique_ptr<Phase>> MakeDefaultPhases(bool crepair,
+                                                      bool erepair,
+                                                      bool hrepair) {
+  std::vector<std::unique_ptr<Phase>> phases;
+  if (crepair) phases.push_back(std::make_unique<CRepairPhase>());
+  if (erepair) phases.push_back(std::make_unique<ERepairPhase>());
+  if (hrepair) phases.push_back(std::make_unique<HRepairPhase>());
+  return phases;
+}
+
+}  // namespace uniclean

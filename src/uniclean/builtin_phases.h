@@ -1,0 +1,66 @@
+// The three built-in phases of the paper's Fig. 2 pipeline, wrapped as
+// Phase implementations. Each forwards the PipelineContext thresholds to
+// its core engine, journals every fix with the justifying rule, and keeps
+// the engine's typed statistics readable after the run (the legacy
+// core::UniClean shim assembles its UniCleanReport from them).
+
+#ifndef UNICLEAN_UNICLEAN_BUILTIN_PHASES_H_
+#define UNICLEAN_UNICLEAN_BUILTIN_PHASES_H_
+
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "core/crepair.h"
+#include "core/erepair.h"
+#include "core/hrepair.h"
+#include "uniclean/phase.h"
+
+namespace uniclean {
+
+/// Deterministic fixes with data confidence (§5).
+class CRepairPhase : public Phase {
+ public:
+  static constexpr std::string_view kName = "cRepair";
+  std::string_view name() const override { return kName; }
+  Result<PhaseStats> Run(PipelineContext* ctx) override;
+  /// Engine statistics of the most recent Run().
+  const core::CRepairStats& stats() const { return stats_; }
+
+ private:
+  core::CRepairStats stats_;
+};
+
+/// Reliable fixes with information entropy (§6).
+class ERepairPhase : public Phase {
+ public:
+  static constexpr std::string_view kName = "eRepair";
+  std::string_view name() const override { return kName; }
+  Result<PhaseStats> Run(PipelineContext* ctx) override;
+  const core::ERepairStats& stats() const { return stats_; }
+
+ private:
+  core::ERepairStats stats_;
+};
+
+/// Heuristic possible fixes yielding a consistent repair (§7).
+class HRepairPhase : public Phase {
+ public:
+  static constexpr std::string_view kName = "hRepair";
+  std::string_view name() const override { return kName; }
+  Result<PhaseStats> Run(PipelineContext* ctx) override;
+  const core::HRepairStats& stats() const { return stats_; }
+
+ private:
+  core::HRepairStats stats_;
+};
+
+/// The default pipeline: the selected subset of cRepair → eRepair → hRepair
+/// in paper order.
+std::vector<std::unique_ptr<Phase>> MakeDefaultPhases(bool crepair = true,
+                                                      bool erepair = true,
+                                                      bool hrepair = true);
+
+}  // namespace uniclean
+
+#endif  // UNICLEAN_UNICLEAN_BUILTIN_PHASES_H_

@@ -1,0 +1,198 @@
+// The uniclean::Cleaner façade: the library's top-level API. A
+// CleanerBuilder accepts data/master relations (in memory or as CSV paths),
+// rules (parsed or as text), per-cell confidences and thresholds, validates
+// everything, and produces a Cleaner — a session object that runs an
+// ordered, pluggable list of Phase objects over the data and reports a
+// structured CleanResult.
+//
+// Quickstart:
+//
+//   auto cleaner = CleanerBuilder()
+//                      .WithDataCsv("dirty.csv")
+//                      .WithMasterCsv("master.csv")
+//                      .WithRulesFile("rules.txt")
+//                      .WithEta(0.8)
+//                      .Build();
+//   if (!cleaner.ok()) { /* bad config: cleaner.status() says why */ }
+//   auto result = cleaner->Run();
+//   if (!result.ok()) { /* a phase failed */ }
+//   data::WriteCsvFile("repaired.csv", cleaner->data());
+//   result->journal.WriteCsvFile("fixes.csv");
+//
+// Configuration errors (η ∉ [0,1], schema mismatch between the rules and
+// the relations, inconsistent rules when CheckConsistency() is requested,
+// malformed confidence CSVs, …) surface as Status::InvalidArgument from
+// Build() instead of UC_CHECK aborts.
+
+#ifndef UNICLEAN_UNICLEAN_CLEANER_H_
+#define UNICLEAN_UNICLEAN_CLEANER_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "data/relation.h"
+#include "rules/ruleset.h"
+#include "uniclean/fix_journal.h"
+#include "uniclean/phase.h"
+
+namespace uniclean {
+
+/// The outcome of one Cleaner::Run(): per-phase statistics plus the full
+/// fix provenance journal.
+struct CleanResult {
+  FixJournal journal;
+  /// One entry per executed phase, in pipeline order.
+  std::vector<PhaseStats> phases;
+
+  /// Sum of all phases' fix counts.
+  int total_fixes() const;
+
+  /// Stats of the named phase, or null if it did not run.
+  const PhaseStats* phase(std::string_view name) const;
+
+  /// All record matches identified across the phases, deduplicated and
+  /// sorted — the paper's "matches found by Uni" (Exp-2).
+  std::vector<std::pair<data::TupleId, data::TupleId>> AllMatches() const;
+};
+
+/// A configured cleaning session. Obtained from CleanerBuilder::Build();
+/// move-only. Run() executes the phase pipeline over the session's data
+/// relation in place.
+class Cleaner {
+ public:
+  Cleaner(Cleaner&&) = default;
+  Cleaner& operator=(Cleaner&&) = default;
+
+  /// Executes the configured phases in order. Stops at the first phase that
+  /// fails and propagates its Status (annotated with the phase name). May be
+  /// called again to re-clean the (already repaired) data.
+  Result<CleanResult> Run();
+
+  /// The data relation in its current state (repaired after Run()). When the
+  /// builder was given a caller-owned `data::Relation*`, this aliases it.
+  const data::Relation& data() const { return *data_; }
+  data::Relation& mutable_data() { return *data_; }
+
+  const data::Relation& master() const { return *master_; }
+  const rules::RuleSet& rules() const { return *rules_; }
+  const PipelineConfig& config() const { return config_; }
+
+  /// Phase names in pipeline order.
+  std::vector<std::string> PhaseNames() const;
+
+ private:
+  friend class CleanerBuilder;
+  Cleaner() = default;
+
+  // Owned storage is held behind unique_ptr so the aliasing raw pointers
+  // stay valid when the Cleaner is moved (e.g. out of a Result<Cleaner>).
+  std::unique_ptr<data::Relation> owned_data_;
+  std::unique_ptr<data::Relation> owned_master_;
+  std::unique_ptr<rules::RuleSet> owned_rules_;
+  data::Relation* data_ = nullptr;
+  const data::Relation* master_ = nullptr;
+  const rules::RuleSet* rules_ = nullptr;
+  PipelineConfig config_;
+  std::vector<std::unique_ptr<Phase>> phases_;
+  ProgressCallback progress_;
+};
+
+/// Fluent single-use builder for Cleaner. Every setter overwrites earlier
+/// configuration of the same slot (e.g. WithData then WithDataCsv keeps the
+/// CSV path); Build() moves the configuration out.
+class CleanerBuilder {
+ public:
+  CleanerBuilder() = default;
+
+  // --- data relation D -----------------------------------------------------
+  /// Takes ownership of an in-memory relation.
+  CleanerBuilder& WithData(data::Relation data);
+  /// Cleans a caller-owned relation in place (must outlive the Cleaner).
+  CleanerBuilder& WithData(data::Relation* data);
+  /// Loads D from a CSV file at Build(); the schema is inferred from the
+  /// header row.
+  CleanerBuilder& WithDataCsv(std::string path);
+
+  // --- master relation Dm --------------------------------------------------
+  CleanerBuilder& WithMaster(data::Relation master);
+  /// Non-owning; the relation must outlive the Cleaner.
+  CleanerBuilder& WithMaster(const data::Relation* master);
+  CleanerBuilder& WithMasterCsv(std::string path);
+
+  // --- rules Θ = Σ ∪ Γ -----------------------------------------------------
+  CleanerBuilder& WithRules(rules::RuleSet rules);
+  /// Non-owning; the rule set must outlive the Cleaner.
+  CleanerBuilder& WithRules(const rules::RuleSet* rules);
+  /// Rule program text (rules/parser.h syntax), parsed at Build() against
+  /// the data/master schemas.
+  CleanerBuilder& WithRuleText(std::string text);
+  /// Like WithRuleText, reading the program from a file at Build().
+  CleanerBuilder& WithRulesFile(std::string path);
+
+  // --- per-cell confidences ------------------------------------------------
+  /// CSV with the same shape as D holding confidences in [0, 1]; applied to
+  /// the data relation at Build().
+  CleanerBuilder& WithConfidenceCsv(std::string path);
+
+  // --- thresholds ----------------------------------------------------------
+  CleanerBuilder& WithEta(double eta);
+  CleanerBuilder& WithDelta1(int delta1);
+  CleanerBuilder& WithDelta2(double delta2);
+  CleanerBuilder& WithMatcherOptions(core::MdMatcherOptions matcher);
+
+  // --- pipeline ------------------------------------------------------------
+  /// Selects which built-in phases the default pipeline runs (all three by
+  /// default, in paper order).
+  CleanerBuilder& WithDefaultPhases(bool crepair, bool erepair, bool hrepair);
+  /// Replaces the whole pipeline with a custom ordered phase list.
+  CleanerBuilder& WithPhases(std::vector<std::unique_ptr<Phase>> phases);
+  /// Appends a phase after the current pipeline (default or custom).
+  CleanerBuilder& AddPhase(std::unique_ptr<Phase> phase);
+
+  // --- diagnostics ---------------------------------------------------------
+  /// Verifies at Build() that the rules are consistent (§4.1); an
+  /// inconsistent Θ fails the build.
+  CleanerBuilder& CheckConsistency(bool check = true);
+  /// Observer invoked before and after every phase of Run().
+  CleanerBuilder& WithProgressCallback(ProgressCallback callback);
+
+  /// Validates the configuration and assembles the Cleaner. Returns
+  /// Status::InvalidArgument on bad configuration; I/O and parse failures
+  /// propagate their own codes (NotFound, Corruption, …).
+  Result<Cleaner> Build();
+
+ private:
+  std::unique_ptr<data::Relation> data_owned_;
+  data::Relation* data_ptr_ = nullptr;
+  std::string data_csv_;
+
+  std::unique_ptr<data::Relation> master_owned_;
+  const data::Relation* master_ptr_ = nullptr;
+  std::string master_csv_;
+
+  std::unique_ptr<rules::RuleSet> rules_owned_;
+  const rules::RuleSet* rules_ptr_ = nullptr;
+  std::string rule_text_;
+  std::string rules_file_;
+
+  std::string confidence_csv_;
+
+  PipelineConfig config_;
+  bool run_crepair_ = true;
+  bool run_erepair_ = true;
+  bool run_hrepair_ = true;
+  bool custom_pipeline_ = false;
+  std::vector<std::unique_ptr<Phase>> pipeline_;
+  std::vector<std::unique_ptr<Phase>> extra_phases_;
+  bool check_consistency_ = false;
+  ProgressCallback progress_;
+};
+
+}  // namespace uniclean
+
+#endif  // UNICLEAN_UNICLEAN_CLEANER_H_

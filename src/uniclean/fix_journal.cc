@@ -1,0 +1,84 @@
+#include "uniclean/fix_journal.h"
+
+#include <fstream>
+#include <ostream>
+
+#include "data/csv.h"
+
+namespace uniclean {
+
+namespace {
+
+/// Renders a value the way data/csv.cc's writer does (default options).
+std::string CsvValue(const data::Value& v) {
+  return v.is_null() ? data::CsvOptions{}.null_token
+                     : data::CsvQuote(v.str());
+}
+
+template <typename WriteFn>
+Status WriteToFile(const std::string& path, WriteFn write) {
+  std::ofstream out(path);
+  if (!out.is_open()) {
+    return Status::Internal("cannot open file for write: " + path);
+  }
+  return write(out);
+}
+
+}  // namespace
+
+int FixJournal::CountForPhase(std::string_view phase) const {
+  int count = 0;
+  for (const FixEntry& e : entries_) {
+    if (e.phase == phase) ++count;
+  }
+  return count;
+}
+
+std::vector<std::pair<std::string, int>> FixJournal::CountsByPhase() const {
+  std::vector<std::pair<std::string, int>> counts;
+  for (const FixEntry& e : entries_) {
+    bool found = false;
+    for (auto& [phase, count] : counts) {
+      if (phase == e.phase) {
+        ++count;
+        found = true;
+        break;
+      }
+    }
+    if (!found) counts.emplace_back(e.phase, 1);
+  }
+  return counts;
+}
+
+Status FixJournal::WriteText(std::ostream& out) const {
+  for (const FixEntry& e : entries_) {
+    out << "row " << e.tuple << ' ' << e.attribute << ": '"
+        << e.old_value.ToString() << "' -> '" << e.new_value.ToString()
+        << "' [" << e.phase;
+    if (!e.rule.empty()) out << ' ' << e.rule;
+    out << "]\n";
+  }
+  if (!out.good()) return Status::Internal("fix journal write failed");
+  return Status::OK();
+}
+
+Status FixJournal::WriteCsv(std::ostream& out) const {
+  out << "tuple,attribute,old,new,phase,rule\n";
+  for (const FixEntry& e : entries_) {
+    out << e.tuple << ',' << data::CsvQuote(e.attribute) << ','
+        << CsvValue(e.old_value) << ',' << CsvValue(e.new_value) << ','
+        << data::CsvQuote(e.phase) << ',' << data::CsvQuote(e.rule) << '\n';
+  }
+  if (!out.good()) return Status::Internal("fix journal write failed");
+  return Status::OK();
+}
+
+Status FixJournal::WriteTextFile(const std::string& path) const {
+  return WriteToFile(path, [this](std::ostream& out) { return WriteText(out); });
+}
+
+Status FixJournal::WriteCsvFile(const std::string& path) const {
+  return WriteToFile(path, [this](std::ostream& out) { return WriteCsv(out); });
+}
+
+}  // namespace uniclean

@@ -1,0 +1,68 @@
+// FixJournal: structured per-cell fix provenance. Every repaired cell is
+// recorded with its tuple id, attribute, old/new value, the phase that
+// produced the fix and the justifying rule — replacing the ad-hoc report
+// text the CLI used to assemble by scanning FixMarks. Phases append entries
+// in application order, so a cell rewritten twice (eRepair under δ1 > 1)
+// appears twice and the entries chain: the second entry's old value is the
+// first entry's new value.
+
+#ifndef UNICLEAN_UNICLEAN_FIX_JOURNAL_H_
+#define UNICLEAN_UNICLEAN_FIX_JOURNAL_H_
+
+#include <iosfwd>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/status.h"
+#include "data/relation.h"
+#include "data/value.h"
+
+namespace uniclean {
+
+/// One recorded fix event.
+struct FixEntry {
+  data::TupleId tuple = -1;
+  data::AttributeId attr = -1;
+  /// Attribute name (denormalized so the journal is self-describing).
+  std::string attribute;
+  data::Value old_value;
+  data::Value new_value;
+  /// Name of the phase that produced the fix, e.g. "cRepair".
+  std::string phase;
+  /// Name of the justifying rule; empty when no single rule is attributable.
+  std::string rule;
+};
+
+class FixJournal {
+ public:
+  void Append(FixEntry entry) { entries_.push_back(std::move(entry)); }
+
+  const std::vector<FixEntry>& entries() const { return entries_; }
+  size_t size() const { return entries_.size(); }
+  bool empty() const { return entries_.empty(); }
+
+  /// Number of entries recorded by the named phase.
+  int CountForPhase(std::string_view phase) const;
+
+  /// (phase, count) pairs in order of each phase's first appearance.
+  std::vector<std::pair<std::string, int>> CountsByPhase() const;
+
+  /// Human-readable report, one line per fix:
+  ///   row 3 city: 'Edii' -> 'Edi' [cRepair phi1]
+  Status WriteText(std::ostream& out) const;
+  Status WriteTextFile(const std::string& path) const;
+
+  /// RFC-4180 CSV with header `tuple,attribute,old,new,phase,rule`; nulls
+  /// are rendered as \N like data/csv.h.
+  Status WriteCsv(std::ostream& out) const;
+  Status WriteCsvFile(const std::string& path) const;
+
+ private:
+  std::vector<FixEntry> entries_;
+};
+
+}  // namespace uniclean
+
+#endif  // UNICLEAN_UNICLEAN_FIX_JOURNAL_H_

@@ -4,20 +4,24 @@
 // similarly named "core/uniclean.h" is NOT a duplicate: it declares only
 // the tri-level pipeline entry point and is pulled in below.
 //
-// Quickstart:
+// Quickstart (see uniclean/cleaner.h for the full builder surface):
 //
 //   #include "uniclean/uniclean.h"
 //   using namespace uniclean;
 //
-//   auto tran = data::MakeSchema("tran", {...});
-//   auto card = data::MakeSchema("card", {...});
-//   data::Relation d(tran), dm(card);
-//   ... load data, set per-cell confidences ...
-//   auto rs = rules::ParseRuleSet(rule_text, tran, card).value();
-//   core::UniCleanOptions options;
-//   auto report = core::UniClean(&d, dm, rs, options);
-//   // d is now consistent; each fixed cell is marked with the phase that
-//   // produced it (deterministic / reliable / possible).
+//   auto cleaner = CleanerBuilder()
+//                      .WithDataCsv("dirty.csv")
+//                      .WithMasterCsv("master.csv")
+//                      .WithRulesFile("rules.txt")
+//                      .WithConfidenceCsv("confidence.csv")
+//                      .WithEta(0.8)
+//                      .Build();               // Result<Cleaner>
+//   auto result = cleaner->Run();              // Result<CleanResult>
+//   // cleaner->data() is now consistent; result->journal records every
+//   // repaired cell with its phase and justifying rule.
+//
+// The historic entry point core::UniClean(...) (core/uniclean.h) remains
+// available as a compatibility shim over the façade.
 
 #ifndef UNICLEAN_UNICLEAN_UNICLEAN_H_
 #define UNICLEAN_UNICLEAN_UNICLEAN_H_
@@ -55,5 +59,9 @@
 #include "similarity/metrics.h"
 #include "similarity/predicate.h"
 #include "similarity/suffix_tree.h"
+#include "uniclean/builtin_phases.h"
+#include "uniclean/cleaner.h"
+#include "uniclean/fix_journal.h"
+#include "uniclean/phase.h"
 
 #endif  // UNICLEAN_UNICLEAN_UNICLEAN_H_

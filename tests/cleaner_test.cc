@@ -1,0 +1,475 @@
+// Tests for the uniclean::Cleaner façade: builder validation, phase
+// pipeline execution, progress observation, fix journaling, and parity with
+// the direct core-phase sequence.
+
+#include <cctype>
+#include <fstream>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/crepair.h"
+#include "core/erepair.h"
+#include "core/hrepair.h"
+#include "core/uniclean.h"
+#include "data/csv.h"
+#include "gen/dataset.h"
+#include "paper_example.h"
+#include "uniclean/builtin_phases.h"
+#include "uniclean/cleaner.h"
+
+namespace uniclean {
+namespace {
+
+using data::Relation;
+using data::Value;
+
+const char kPaperRules[] =
+    "CFD phi1: AC='131' -> city='Edi'\n"
+    "CFD phi2: AC='020' -> city='Ldn'\n"
+    "CFD phi3: city, phn -> St, AC, post\n"
+    "CFD phi4: FN='Bob' -> FN='Robert'\n"
+    "MD psi: LN=LN & city=city & St=St & post=zip & FN ~jw:0.6 FN "
+    "-> FN:=FN, phn:=tel\n";
+
+CleanerBuilder PaperBuilder() {
+  CleanerBuilder builder;
+  builder.WithData(uniclean::testing::TranDirty())
+      .WithMaster(uniclean::testing::CardMaster())
+      .WithRuleText(kPaperRules)
+      .WithEta(0.8);
+  return builder;
+}
+
+std::string WriteTempFile(const std::string& name, const std::string& text) {
+  std::string path = ::testing::TempDir() + "/" + name;
+  std::ofstream out(path);
+  out << text;
+  return path;
+}
+
+// ---------------------------------------------------------------------------
+// Builder validation
+// ---------------------------------------------------------------------------
+
+TEST(CleanerBuilderTest, RejectsEtaOutOfRange) {
+  for (double eta : {-0.1, 1.5}) {
+    auto cleaner = PaperBuilder().WithEta(eta).Build();
+    ASSERT_FALSE(cleaner.ok()) << "eta = " << eta;
+    EXPECT_EQ(cleaner.status().code(), StatusCode::kInvalidArgument);
+  }
+}
+
+TEST(CleanerBuilderTest, RejectsNegativeDelta1) {
+  auto cleaner = PaperBuilder().WithDelta1(-1).Build();
+  ASSERT_FALSE(cleaner.ok());
+  EXPECT_EQ(cleaner.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CleanerBuilderTest, RejectsDelta2OutOfRange) {
+  auto cleaner = PaperBuilder().WithDelta2(2.0).Build();
+  ASSERT_FALSE(cleaner.ok());
+  EXPECT_EQ(cleaner.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CleanerBuilderTest, RejectsMissingData) {
+  auto cleaner = CleanerBuilder()
+                     .WithMaster(uniclean::testing::CardMaster())
+                     .WithRuleText(kPaperRules)
+                     .Build();
+  ASSERT_FALSE(cleaner.ok());
+  EXPECT_EQ(cleaner.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CleanerBuilderTest, RejectsMissingMaster) {
+  auto cleaner = CleanerBuilder()
+                     .WithData(uniclean::testing::TranDirty())
+                     .WithRuleText(kPaperRules)
+                     .Build();
+  ASSERT_FALSE(cleaner.ok());
+  EXPECT_EQ(cleaner.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CleanerBuilderTest, RejectsMissingRules) {
+  auto cleaner = CleanerBuilder()
+                     .WithData(uniclean::testing::TranDirty())
+                     .WithMaster(uniclean::testing::CardMaster())
+                     .Build();
+  ASSERT_FALSE(cleaner.ok());
+  EXPECT_EQ(cleaner.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CleanerBuilderTest, RejectsSchemaMismatchBetweenRulesAndData) {
+  // Rules normalized against the tran/card schemas, data with a different
+  // schema: the builder must reject instead of cleaning garbage.
+  auto rules = rules::ParseRuleSet(kPaperRules, uniclean::testing::TranSchema(),
+                                   uniclean::testing::CardSchema());
+  ASSERT_TRUE(rules.ok());
+  Relation other(data::MakeSchema("other", {"X", "Y"}));
+  other.AddRow({"1", "2"});
+  auto cleaner = CleanerBuilder()
+                     .WithData(std::move(other))
+                     .WithMaster(uniclean::testing::CardMaster())
+                     .WithRules(std::move(rules).value())
+                     .Build();
+  ASSERT_FALSE(cleaner.ok());
+  EXPECT_EQ(cleaner.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CleanerBuilderTest, RejectsMasterSchemaMismatch) {
+  auto rules = rules::ParseRuleSet(kPaperRules, uniclean::testing::TranSchema(),
+                                   uniclean::testing::CardSchema());
+  ASSERT_TRUE(rules.ok());
+  auto cleaner = CleanerBuilder()
+                     .WithData(uniclean::testing::TranDirty())
+                     .WithMaster(uniclean::testing::TranDirty())  // wrong side
+                     .WithRules(std::move(rules).value())
+                     .Build();
+  ASSERT_FALSE(cleaner.ok());
+  EXPECT_EQ(cleaner.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CleanerBuilderTest, RejectsInconsistentRulesWhenCheckingRequested) {
+  const char kContradiction[] =
+      "CFD c1: AC -> city='Edi'\n"
+      "CFD c2: AC -> city='Ldn'\n";
+  auto unchecked = PaperBuilder().WithRuleText(kContradiction).Build();
+  EXPECT_TRUE(unchecked.ok()) << unchecked.status().ToString();
+
+  auto checked =
+      PaperBuilder().WithRuleText(kContradiction).CheckConsistency().Build();
+  ASSERT_FALSE(checked.ok());
+  EXPECT_EQ(checked.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CleanerBuilderTest, RejectsBadRuleSyntaxWithParserStatus) {
+  auto cleaner = PaperBuilder().WithRuleText("CFD broken").Build();
+  ASSERT_FALSE(cleaner.ok());
+  EXPECT_EQ(cleaner.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CleanerBuilderTest, MissingCsvInputsReportNotFound) {
+  auto cleaner = CleanerBuilder()
+                     .WithDataCsv(::testing::TempDir() + "/no_such_file.csv")
+                     .WithMaster(uniclean::testing::CardMaster())
+                     .WithRuleText(kPaperRules)
+                     .Build();
+  ASSERT_FALSE(cleaner.ok());
+  EXPECT_EQ(cleaner.status().code(), StatusCode::kNotFound);
+}
+
+TEST(CleanerBuilderTest, RejectsMalformedConfidenceCsv) {
+  std::string path = WriteTempFile(
+      "bad_conf.csv", "FN,LN,St,city,AC,post,phn,gd,item,when,where\n"
+                      "0.5,abc,0,0,0,0,0,0,0,0,0\n");
+  auto cleaner = PaperBuilder().WithConfidenceCsv(path).Build();
+  ASSERT_FALSE(cleaner.ok());
+  EXPECT_EQ(cleaner.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(CleanerBuilderTest, RejectsConfidenceOutOfRange) {
+  std::string row = "0,0,0,0,0,0,0,0,0,0,1.5";
+  std::string text = "FN,LN,St,city,AC,post,phn,gd,item,when,where\n";
+  for (int i = 0; i < 4; ++i) text += row + "\n";
+  std::string path = WriteTempFile("oob_conf.csv", text);
+  auto cleaner = PaperBuilder().WithConfidenceCsv(path).Build();
+  ASSERT_FALSE(cleaner.ok());
+  EXPECT_EQ(cleaner.status().code(), StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Running the pipeline
+// ---------------------------------------------------------------------------
+
+TEST(CleanerTest, RunsPaperExampleAndJournalsEveryFix) {
+  auto cleaner = PaperBuilder().Build();
+  ASSERT_TRUE(cleaner.ok()) << cleaner.status().ToString();
+  auto result = cleaner->Run();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  // The legacy reference: the same pipeline through the direct phase calls.
+  Relation reference = uniclean::testing::TranDirty();
+  auto rules =
+      rules::ParseRuleSet(kPaperRules, uniclean::testing::TranSchema(),
+                          uniclean::testing::CardSchema());
+  ASSERT_TRUE(rules.ok());
+  Relation master = uniclean::testing::CardMaster();
+  core::CRepairOptions copts;
+  copts.eta = 0.8;
+  auto cstats = core::CRepair(&reference, master, rules.value(), copts);
+  core::ERepairOptions eopts;
+  eopts.eta = 0.8;
+  auto estats = core::ERepair(&reference, master, rules.value(), eopts);
+  auto hstats = core::HRepair(&reference, master, rules.value(), {});
+
+  // Same repaired relation, and per-phase journal counts equal to the
+  // engines' fix counts.
+  EXPECT_EQ(cleaner->data().CellDiffCount(reference), 0);
+  EXPECT_EQ(result->journal.CountForPhase(CRepairPhase::kName),
+            cstats.deterministic_fixes);
+  EXPECT_EQ(result->journal.CountForPhase(ERepairPhase::kName),
+            estats.reliable_fixes);
+  EXPECT_EQ(result->journal.CountForPhase(HRepairPhase::kName),
+            hstats.possible_fixes);
+  EXPECT_EQ(result->total_fixes(), static_cast<int>(result->journal.size()));
+  EXPECT_GT(result->journal.size(), 0u);
+
+  // Every journal entry names an existing attribute, a phase, and records a
+  // real change.
+  for (const FixEntry& fix : result->journal.entries()) {
+    EXPECT_GE(fix.tuple, 0);
+    EXPECT_LT(fix.tuple, cleaner->data().size());
+    EXPECT_EQ(fix.attribute,
+              cleaner->data().schema().attribute_name(fix.attr));
+    EXPECT_FALSE(fix.phase.empty());
+    EXPECT_NE(fix.old_value, fix.new_value);
+  }
+}
+
+TEST(CleanerTest, JournalPhaseCountsMatchLegacyReportOnHospSample) {
+  // Acceptance: on the HOSP sample, the FixJournal's per-phase fix counts
+  // equal the legacy UniCleanReport counts for the same inputs.
+  gen::GeneratorConfig config;
+  config.num_tuples = 80;
+  config.master_size = 40;
+  config.seed = 7;
+  gen::Dataset ds = gen::GenerateHosp(config);
+
+  Relation legacy_data = ds.dirty.Clone();
+  core::UniCleanOptions options;
+  options.eta = 1.0;
+  auto report = core::UniClean(&legacy_data, ds.master, ds.rules, options);
+
+  auto cleaner = CleanerBuilder()
+                     .WithData(ds.dirty.Clone())
+                     .WithMaster(&ds.master)
+                     .WithRules(&ds.rules)
+                     .WithEta(1.0)
+                     .Build();
+  ASSERT_TRUE(cleaner.ok()) << cleaner.status().ToString();
+  auto result = cleaner->Run();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  EXPECT_EQ(result->journal.CountForPhase(CRepairPhase::kName),
+            report.crepair.deterministic_fixes);
+  EXPECT_EQ(result->journal.CountForPhase(ERepairPhase::kName),
+            report.erepair.reliable_fixes);
+  EXPECT_EQ(result->journal.CountForPhase(HRepairPhase::kName),
+            report.hrepair.possible_fixes);
+  EXPECT_EQ(cleaner->data().CellDiffCount(legacy_data), 0);
+  EXPECT_EQ(result->AllMatches(), report.AllMatches());
+}
+
+TEST(CleanerTest, InPlaceDataIsRepairedInTheCallersRelation) {
+  Relation d = uniclean::testing::TranDirty();
+  auto cleaner = PaperBuilder().WithData(&d).Build();
+  ASSERT_TRUE(cleaner.ok()) << cleaner.status().ToString();
+  ASSERT_TRUE(cleaner->Run().ok());
+  // Example 1.1's first deterministic fix lands in the caller's relation.
+  data::AttributeId city = d.schema().MustFindAttribute("city");
+  EXPECT_EQ(d.tuple(0).value(city), Value("Edi"));
+  EXPECT_EQ(&cleaner->data(), &d);
+}
+
+TEST(CleanerTest, PhaseSubsetRunsOnlySelectedPhases) {
+  auto cleaner = PaperBuilder().WithDefaultPhases(true, false, false).Build();
+  ASSERT_TRUE(cleaner.ok());
+  EXPECT_EQ(cleaner->PhaseNames(), std::vector<std::string>{"cRepair"});
+  auto result = cleaner->Run();
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->phases.size(), 1u);
+  EXPECT_EQ(result->phases[0].phase, "cRepair");
+  EXPECT_EQ(result->journal.CountForPhase(ERepairPhase::kName), 0);
+  EXPECT_EQ(result->journal.CountForPhase(HRepairPhase::kName), 0);
+}
+
+TEST(CleanerTest, ProgressCallbackSeesEveryPhaseInOrder) {
+  std::vector<std::string> events;
+  auto cleaner = PaperBuilder()
+                     .WithProgressCallback([&](const PhaseEvent& event) {
+                       std::string tag =
+                           event.kind == PhaseEvent::Kind::kPhaseStarted
+                               ? "start:"
+                               : "finish:";
+                       events.push_back(tag + std::string(event.phase));
+                       EXPECT_EQ(event.total, 3);
+                       EXPECT_NE(event.data, nullptr);
+                       if (event.kind == PhaseEvent::Kind::kPhaseFinished) {
+                         ASSERT_NE(event.stats, nullptr);
+                         EXPECT_EQ(event.stats->phase, event.phase);
+                       }
+                     })
+                     .Build();
+  ASSERT_TRUE(cleaner.ok());
+  ASSERT_TRUE(cleaner->Run().ok());
+  EXPECT_EQ(events,
+            (std::vector<std::string>{"start:cRepair", "finish:cRepair",
+                                      "start:eRepair", "finish:eRepair",
+                                      "start:hRepair", "finish:hRepair"}));
+}
+
+// ---------------------------------------------------------------------------
+// Pluggable phases
+// ---------------------------------------------------------------------------
+
+/// A custom phase that uppercases one attribute and journals its writes.
+class UppercaseCityPhase : public Phase {
+ public:
+  std::string_view name() const override { return "uppercaseCity"; }
+
+  Result<PhaseStats> Run(PipelineContext* ctx) override {
+    auto city = ctx->data->schema().FindAttribute("city");
+    if (!city.ok()) return city.status();
+    PhaseStats stats;
+    for (data::TupleId t = 0; t < ctx->data->size(); ++t) {
+      const Value& old_value = ctx->data->tuple(t).value(*city);
+      if (old_value.is_null()) continue;
+      std::string upper = old_value.str();
+      for (char& c : upper) c = static_cast<char>(std::toupper(c));
+      if (upper == old_value.str()) continue;
+      FixEntry fix;
+      fix.tuple = t;
+      fix.attr = *city;
+      fix.attribute = "city";
+      fix.old_value = old_value;
+      fix.new_value = Value(upper);
+      fix.phase = std::string(name());
+      ctx->journal->Append(fix);
+      ctx->data->mutable_tuple(t).set_value(*city, Value(upper));
+      ++stats.fixes;
+    }
+    return stats;
+  }
+};
+
+/// A phase that always fails, to exercise Status propagation.
+class FailingPhase : public Phase {
+ public:
+  std::string_view name() const override { return "failing"; }
+  Result<PhaseStats> Run(PipelineContext*) override {
+    return Status::Unimplemented("not today");
+  }
+};
+
+TEST(CleanerTest, CustomPhaseAppendsAfterDefaults) {
+  auto cleaner =
+      PaperBuilder().AddPhase(std::make_unique<UppercaseCityPhase>()).Build();
+  ASSERT_TRUE(cleaner.ok());
+  EXPECT_EQ(cleaner->PhaseNames(),
+            (std::vector<std::string>{"cRepair", "eRepair", "hRepair",
+                                      "uppercaseCity"}));
+  auto result = cleaner->Run();
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  const PhaseStats* custom = result->phase("uppercaseCity");
+  ASSERT_NE(custom, nullptr);
+  EXPECT_GT(custom->fixes, 0);
+  EXPECT_EQ(result->journal.CountForPhase("uppercaseCity"), custom->fixes);
+  data::AttributeId city =
+      cleaner->data().schema().MustFindAttribute("city");
+  EXPECT_EQ(cleaner->data().tuple(0).value(city), Value("EDI"));
+}
+
+TEST(CleanerTest, CustomPipelineReplacesDefaults) {
+  std::vector<std::unique_ptr<Phase>> phases;
+  phases.push_back(std::make_unique<UppercaseCityPhase>());
+  auto cleaner = PaperBuilder().WithPhases(std::move(phases)).Build();
+  ASSERT_TRUE(cleaner.ok());
+  EXPECT_EQ(cleaner->PhaseNames(),
+            std::vector<std::string>{"uppercaseCity"});
+  auto result = cleaner->Run();
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->phases.size(), 1u);
+}
+
+TEST(CleanerTest, FailingPhaseAbortsAndAnnotatesStatus) {
+  std::vector<std::unique_ptr<Phase>> phases;
+  phases.push_back(std::make_unique<CRepairPhase>());
+  phases.push_back(std::make_unique<FailingPhase>());
+  phases.push_back(std::make_unique<HRepairPhase>());
+  auto cleaner = PaperBuilder().WithPhases(std::move(phases)).Build();
+  ASSERT_TRUE(cleaner.ok());
+  auto result = cleaner->Run();
+  ASSERT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kUnimplemented);
+  EXPECT_NE(result.status().message().find("failing"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// FixJournal serialization
+// ---------------------------------------------------------------------------
+
+TEST(FixJournalTest, TextAndCsvSerialization) {
+  FixJournal journal;
+  FixEntry a;
+  a.tuple = 2;
+  a.attr = 3;
+  a.attribute = "city";
+  a.old_value = Value("Edi, UK");  // needs CSV quoting
+  a.new_value = Value("Ldn");
+  a.phase = "cRepair";
+  a.rule = "phi2";
+  journal.Append(a);
+  FixEntry b;
+  b.tuple = 4;
+  b.attr = 5;
+  b.attribute = "post";
+  b.old_value = Value("WC1E \"7HX\"");
+  b.new_value = Value::Null();
+  b.phase = "hRepair";
+  journal.Append(b);
+
+  std::ostringstream text;
+  ASSERT_TRUE(journal.WriteText(text).ok());
+  EXPECT_EQ(text.str(),
+            "row 2 city: 'Edi, UK' -> 'Ldn' [cRepair phi2]\n"
+            "row 4 post: 'WC1E \"7HX\"' -> '\\N' [hRepair]\n");
+
+  std::ostringstream csv;
+  ASSERT_TRUE(journal.WriteCsv(csv).ok());
+  EXPECT_EQ(csv.str(),
+            "tuple,attribute,old,new,phase,rule\n"
+            "2,city,\"Edi, UK\",Ldn,cRepair,phi2\n"
+            "4,post,\"WC1E \"\"7HX\"\"\",\\N,hRepair,\n");
+
+  EXPECT_EQ(journal.CountForPhase("cRepair"), 1);
+  EXPECT_EQ(journal.CountForPhase("eRepair"), 0);
+  auto counts = journal.CountsByPhase();
+  ASSERT_EQ(counts.size(), 2u);
+  EXPECT_EQ(counts[0], (std::pair<std::string, int>{"cRepair", 1}));
+  EXPECT_EQ(counts[1], (std::pair<std::string, int>{"hRepair", 1}));
+}
+
+TEST(FixJournalTest, JournalCsvRoundTripsThroughCsvReader) {
+  // The journal's CSV quoting must agree with the library's own reader.
+  FixJournal journal;
+  FixEntry fix;
+  fix.tuple = 0;
+  fix.attr = 0;
+  fix.attribute = "A";
+  fix.old_value = Value("x,\"y\",z");
+  fix.new_value = Value::Null();
+  fix.phase = "p";
+  fix.rule = "r";
+  journal.Append(fix);
+  std::string path = ::testing::TempDir() + "/journal_roundtrip.csv";
+  ASSERT_TRUE(journal.WriteCsvFile(path).ok());
+
+  auto schema =
+      data::MakeSchema("journal",
+                       {"tuple", "attribute", "old", "new", "phase", "rule"});
+  auto read = data::ReadCsvFile(path, schema);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  ASSERT_EQ(read->size(), 1);
+  EXPECT_EQ(read->tuple(0).value(1), Value("A"));
+  EXPECT_EQ(read->tuple(0).value(2), Value("x,\"y\",z"));
+  EXPECT_TRUE(read->tuple(0).value(3).is_null());
+  EXPECT_EQ(read->tuple(0).value(4), Value("p"));
+  EXPECT_EQ(read->tuple(0).value(5), Value("r"));
+}
+
+}  // namespace
+}  // namespace uniclean

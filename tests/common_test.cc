@@ -1,5 +1,7 @@
+#include <memory>
 #include <set>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -43,6 +45,43 @@ TEST(StatusTest, AllCodesHaveNames) {
   }
 }
 
+TEST(StatusTest, CodeNamesAreDistinct) {
+  std::set<std::string> names;
+  for (StatusCode code :
+       {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
+        StatusCode::kCorruption, StatusCode::kOutOfRange,
+        StatusCode::kFailedPrecondition, StatusCode::kUnimplemented,
+        StatusCode::kInternal}) {
+    EXPECT_TRUE(names.insert(StatusCodeToString(code)).second)
+        << "duplicate name " << StatusCodeToString(code);
+  }
+  EXPECT_EQ(names.size(), 8u);
+}
+
+TEST(StatusTest, EveryFactoryProducesItsCode) {
+  EXPECT_EQ(Status::InvalidArgument("m").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("m").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::Corruption("m").code(), StatusCode::kCorruption);
+  EXPECT_EQ(Status::OutOfRange("m").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::FailedPrecondition("m").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(Status::Unimplemented("m").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::Internal("m").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::OK().code(), StatusCode::kOk);
+}
+
+TEST(StatusTest, ToStringRoundTripsCodeName) {
+  EXPECT_EQ(Status::FailedPrecondition("x").ToString(),
+            "FailedPrecondition: x");
+  EXPECT_EQ(Status::Internal("").ToString(), "Internal: ");
+}
+
+TEST(StatusTest, MoveKeepsCodeAndMessage) {
+  Status s = Status::Corruption("bit rot");
+  Status moved = std::move(s);
+  EXPECT_EQ(moved, Status::Corruption("bit rot"));
+}
+
 Status FailingOperation() { return Status::Corruption("broken"); }
 
 Status PropagationSite() {
@@ -83,6 +122,65 @@ TEST(ResultTest, AssignOrReturnChains) {
   EXPECT_EQ(QuarterOf(8).value(), 2);
   EXPECT_FALSE(QuarterOf(6).ok());  // 6/2 = 3 is odd
   EXPECT_FALSE(QuarterOf(7).ok());
+}
+
+TEST(ResultTest, HoldsMoveOnlyValue) {
+  Result<std::unique_ptr<int>> r(std::make_unique<int>(7));
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(**r, 7);
+  // Rvalue value() transfers ownership out of the Result.
+  std::unique_ptr<int> owned = std::move(r).value();
+  ASSERT_NE(owned, nullptr);
+  EXPECT_EQ(*owned, 7);
+}
+
+TEST(ResultTest, MoveConstructionPreservesValue) {
+  Result<std::string> a(std::string("payload"));
+  Result<std::string> b = std::move(a);
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(b.value(), "payload");
+}
+
+TEST(ResultTest, MoveConstructionPreservesError) {
+  Result<std::string> a(Status::OutOfRange("past the end"));
+  Result<std::string> b = std::move(a);
+  ASSERT_FALSE(b.ok());
+  EXPECT_EQ(b.status(), Status::OutOfRange("past the end"));
+}
+
+TEST(ResultTest, ErrorConstructionFromEveryCode) {
+  for (const Status& status :
+       {Status::InvalidArgument("a"), Status::NotFound("b"),
+        Status::Corruption("c"), Status::OutOfRange("d"),
+        Status::FailedPrecondition("e"), Status::Unimplemented("f"),
+        Status::Internal("g")}) {
+    Result<int> r(status);
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(r.status(), status);
+  }
+}
+
+Result<std::unique_ptr<int>> MakeBox(int x) {
+  if (x < 0) return Status::InvalidArgument("negative");
+  return std::make_unique<int>(x);
+}
+
+Result<int> UnboxDoubled(int x) {
+  UC_ASSIGN_OR_RETURN(std::unique_ptr<int> box, MakeBox(x));
+  return *box * 2;
+}
+
+TEST(ResultTest, AssignOrReturnMovesMoveOnlyValues) {
+  ASSERT_TRUE(UnboxDoubled(21).ok());
+  EXPECT_EQ(UnboxDoubled(21).value(), 42);
+  EXPECT_EQ(UnboxDoubled(-1).status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ResultTest, MutableAccessWritesThrough) {
+  Result<std::vector<int>> r(std::vector<int>{1, 2});
+  r->push_back(3);
+  (*r)[0] = 9;
+  EXPECT_EQ(r.value(), (std::vector<int>{9, 2, 3}));
 }
 
 TEST(StringUtilTest, SplitKeepsEmptyFields) {

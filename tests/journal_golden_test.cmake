@@ -1,0 +1,67 @@
+# CTest script: golden-file check for the FixJournal serialization. Runs
+# make_hosp_sample with a pinned seed, cleans the sample with uniclean_cli,
+# and compares the emitted CSV journal and text report against checked-in
+# goldens. Lines are sorted before comparison so the check pins the fix
+# *content* (cells, values, phases, rules) without depending on hash-map
+# iteration order.
+#
+# Inputs (passed with -D):
+#   CLI        — path to the uniclean_cli executable
+#   SAMPLER    — path to the make_hosp_sample executable
+#   WORK_DIR   — scratch directory for the sample and outputs
+#   GOLDEN_DIR — directory holding hosp_fix_journal.csv / hosp_fixes.txt
+#
+# To regenerate the goldens after an intentional pipeline change, run the
+# test once and follow the `cp` command printed in the failure message.
+
+file(REMOVE_RECURSE "${WORK_DIR}")
+file(MAKE_DIRECTORY "${WORK_DIR}")
+
+execute_process(
+  COMMAND "${SAMPLER}" --out-dir "${WORK_DIR}" --tuples 60 --master 30 --seed 42
+  RESULT_VARIABLE sampler_rc
+  OUTPUT_VARIABLE sampler_out
+  ERROR_VARIABLE sampler_err
+)
+if(NOT sampler_rc EQUAL 0)
+  message(FATAL_ERROR "make_hosp_sample failed (rc=${sampler_rc}):\n${sampler_out}\n${sampler_err}")
+endif()
+
+execute_process(
+  COMMAND "${CLI}"
+    --data "${WORK_DIR}/dirty.csv"
+    --master "${WORK_DIR}/master.csv"
+    --rules "${WORK_DIR}/rules.txt"
+    --confidence "${WORK_DIR}/confidence.csv"
+    --out "${WORK_DIR}/repaired.csv"
+    --report "${WORK_DIR}/fixes.txt"
+    --journal "${WORK_DIR}/fixes.csv"
+  RESULT_VARIABLE cli_rc
+  OUTPUT_VARIABLE cli_out
+  ERROR_VARIABLE cli_err
+)
+if(NOT cli_rc EQUAL 0)
+  message(FATAL_ERROR "uniclean_cli failed (rc=${cli_rc}):\n${cli_out}\n${cli_err}")
+endif()
+
+# Compares two text files after sorting their lines.
+function(compare_sorted actual golden)
+  file(STRINGS "${actual}" actual_lines)
+  if(NOT EXISTS "${golden}")
+    message(FATAL_ERROR "missing golden file ${golden}; actual output is at ${actual}")
+  endif()
+  file(STRINGS "${golden}" golden_lines)
+  list(SORT actual_lines)
+  list(SORT golden_lines)
+  if(NOT actual_lines STREQUAL golden_lines)
+    message(FATAL_ERROR
+      "${actual} does not match golden ${golden}.\n"
+      "If the pipeline change is intentional, refresh the golden:\n"
+      "  cp ${actual} ${golden}")
+  endif()
+endfunction()
+
+compare_sorted("${WORK_DIR}/fixes.csv" "${GOLDEN_DIR}/hosp_fix_journal.csv")
+compare_sorted("${WORK_DIR}/fixes.txt" "${GOLDEN_DIR}/hosp_fixes.txt")
+
+message(STATUS "journal_golden_test OK")

@@ -27,29 +27,6 @@ bool WriteTextFile(const std::string& path, const std::string& text) {
   return out.good();
 }
 
-/// The confidence CSV mirrors the data file's shape with cells holding the
-/// per-cell confidences assigned by the generator (asserted cells are 1.0).
-bool WriteConfidenceCsv(const std::string& path, const data::Relation& d) {
-  std::ofstream out(path);
-  if (!out.is_open()) return false;
-  const data::Schema& schema = d.schema();
-  for (data::AttributeId a = 0; a < schema.arity(); ++a) {
-    if (a > 0) out << ',';
-    out << schema.attribute_name(a);
-  }
-  out << '\n';
-  for (data::TupleId t = 0; t < d.size(); ++t) {
-    for (data::AttributeId a = 0; a < schema.arity(); ++a) {
-      if (a > 0) out << ',';
-      char buf[16];
-      std::snprintf(buf, sizeof(buf), "%.2f", d.tuple(t).confidence(a));
-      out << buf;
-    }
-    out << '\n';
-  }
-  return out.good();
-}
-
 }  // namespace
 
 void Usage(const char* argv0) {
@@ -114,8 +91,14 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "%s\n", s.ToString().c_str());
     return 2;
   }
-  if (!WriteTextFile(out_dir + "/rules.txt", ds.rule_text) ||
-      !WriteConfidenceCsv(out_dir + "/confidence.csv", ds.dirty)) {
+  // The confidence CSV mirrors the data file's shape with cells holding the
+  // per-cell confidences assigned by the generator (asserted cells are 1.0).
+  s = data::WriteConfidenceCsvFile(out_dir + "/confidence.csv", ds.dirty);
+  if (!s.ok()) {
+    std::fprintf(stderr, "%s\n", s.ToString().c_str());
+    return 2;
+  }
+  if (!WriteTextFile(out_dir + "/rules.txt", ds.rule_text)) {
     std::fprintf(stderr, "cannot write to %s\n", out_dir.c_str());
     return 2;
   }

@@ -1,25 +1,25 @@
-// uniclean: command-line front end for the library.
+// uniclean: command-line front end for the library, built on the
+// uniclean::Cleaner façade.
 //
 //   uniclean --data dirty.csv --master master.csv --rules rules.txt
 //            [--confidence conf.csv] [--out repaired.csv]
-//            [--report fixes.txt] [--eta 0.8] [--delta1 5] [--delta2 0.8]
+//            [--report fixes.txt] [--journal fixes.csv]
+//            [--eta 0.8] [--delta1 5] [--delta2 0.8]
 //            [--phases c,e,h] [--check-consistency]
 //
 // The data / master CSV files must start with a header row naming the
 // attributes; the rule file uses the syntax of rules/parser.h. The optional
 // confidence CSV has the same shape as the data file with cells holding
-// numbers in [0, 1]. The fix report lists every repaired cell with its
-// provenance (deterministic / reliable / possible).
+// numbers in [0, 1]. The fix report (--report, text) and fix journal
+// (--journal, CSV) list every repaired cell with its old/new value, the
+// phase that produced the fix and the justifying rule.
 
+#include <cerrno>
+#include <climits>
 #include <cstdio>
 #include <cstdlib>
-#include <cstring>
-#include <fstream>
-#include <sstream>
 #include <string>
-#include <vector>
 
-#include "common/string_util.h"
 #include "uniclean/uniclean.h"
 
 using namespace uniclean;  // NOLINT
@@ -33,6 +33,7 @@ struct CliOptions {
   std::string confidence_path;
   std::string out_path = "repaired.csv";
   std::string report_path;
+  std::string journal_path;
   double eta = 0.8;
   int delta1 = 5;
   double delta2 = 0.8;
@@ -46,11 +47,79 @@ void Usage(const char* argv0) {
       "usage: %s --data D.csv --master M.csv --rules R.txt\n"
       "  [--confidence C.csv]      per-cell confidences (same shape as D)\n"
       "  [--out repaired.csv]      output path (default repaired.csv)\n"
-      "  [--report fixes.txt]      per-cell fix provenance report\n"
+      "  [--report fixes.txt]      per-cell fix provenance report (text)\n"
+      "  [--journal fixes.csv]     per-cell fix provenance journal (CSV)\n"
       "  [--eta F] [--delta1 N] [--delta2 F]   thresholds (0.8 / 5 / 0.8)\n"
       "  [--phases c,e,h]          subset of phases to run\n"
       "  [--check-consistency]     verify the rules are consistent first\n",
       argv0);
+}
+
+/// Strict double parse: the whole string must be consumed.
+bool ParseDouble(const char* flag, const char* v, double* out) {
+  errno = 0;
+  char* end = nullptr;
+  double parsed = std::strtod(v, &end);
+  if (end == v || *end != '\0' || errno == ERANGE) {
+    std::fprintf(stderr, "%s expects a number, got '%s'\n", flag, v);
+    return false;
+  }
+  *out = parsed;
+  return true;
+}
+
+/// Strict int parse: the whole string must be consumed.
+bool ParseInt(const char* flag, const char* v, int* out) {
+  errno = 0;
+  char* end = nullptr;
+  long parsed = std::strtol(v, &end, 10);
+  if (end == v || *end != '\0' || errno == ERANGE || parsed < INT_MIN ||
+      parsed > INT_MAX) {
+    std::fprintf(stderr, "%s expects an integer, got '%s'\n", flag, v);
+    return false;
+  }
+  *out = static_cast<int>(parsed);
+  return true;
+}
+
+/// Parses a --phases spec like "c,e,h" or "ce". Unknown characters are an
+/// error (they used to silently disable all phases).
+bool ParsePhases(const char* v, CliOptions* opts) {
+  opts->run_c = opts->run_e = opts->run_h = false;
+  for (const char* p = v; *p != '\0'; ++p) {
+    switch (*p) {
+      case 'c':
+        opts->run_c = true;
+        break;
+      case 'e':
+        opts->run_e = true;
+        break;
+      case 'h':
+        opts->run_h = true;
+        break;
+      case ',':
+        break;
+      default:
+        std::fprintf(stderr,
+                     "--phases: unknown phase character '%c' in '%s' "
+                     "(expected a subset of c,e,h)\n",
+                     *p, v);
+        return false;
+    }
+  }
+  return true;
+}
+
+std::string PhaseSetToString(const CliOptions& opts) {
+  std::string out;
+  auto add = [&out](const char* name) {
+    if (!out.empty()) out += ", ";
+    out += name;
+  };
+  if (opts.run_c) add("cRepair");
+  if (opts.run_e) add("eRepair");
+  if (opts.run_h) add("hRepair");
+  return out.empty() ? "(none)" : out;
 }
 
 bool ParseArgs(int argc, char** argv, CliOptions* opts) {
@@ -59,48 +128,40 @@ bool ParseArgs(int argc, char** argv, CliOptions* opts) {
     auto next = [&]() -> const char* {
       return i + 1 < argc ? argv[++i] : nullptr;
     };
+    const char* v = nullptr;
     if (arg == "--data") {
-      const char* v = next();
-      if (!v) return false;
+      if ((v = next()) == nullptr) return false;
       opts->data_path = v;
     } else if (arg == "--master") {
-      const char* v = next();
-      if (!v) return false;
+      if ((v = next()) == nullptr) return false;
       opts->master_path = v;
     } else if (arg == "--rules") {
-      const char* v = next();
-      if (!v) return false;
+      if ((v = next()) == nullptr) return false;
       opts->rules_path = v;
     } else if (arg == "--confidence") {
-      const char* v = next();
-      if (!v) return false;
+      if ((v = next()) == nullptr) return false;
       opts->confidence_path = v;
     } else if (arg == "--out") {
-      const char* v = next();
-      if (!v) return false;
+      if ((v = next()) == nullptr) return false;
       opts->out_path = v;
     } else if (arg == "--report") {
-      const char* v = next();
-      if (!v) return false;
+      if ((v = next()) == nullptr) return false;
       opts->report_path = v;
+    } else if (arg == "--journal") {
+      if ((v = next()) == nullptr) return false;
+      opts->journal_path = v;
     } else if (arg == "--eta") {
-      const char* v = next();
-      if (!v) return false;
-      opts->eta = std::atof(v);
+      if ((v = next()) == nullptr) return false;
+      if (!ParseDouble("--eta", v, &opts->eta)) return false;
     } else if (arg == "--delta1") {
-      const char* v = next();
-      if (!v) return false;
-      opts->delta1 = std::atoi(v);
+      if ((v = next()) == nullptr) return false;
+      if (!ParseInt("--delta1", v, &opts->delta1)) return false;
     } else if (arg == "--delta2") {
-      const char* v = next();
-      if (!v) return false;
-      opts->delta2 = std::atof(v);
+      if ((v = next()) == nullptr) return false;
+      if (!ParseDouble("--delta2", v, &opts->delta2)) return false;
     } else if (arg == "--phases") {
-      const char* v = next();
-      if (!v) return false;
-      opts->run_c = std::strchr(v, 'c') != nullptr;
-      opts->run_e = std::strchr(v, 'e') != nullptr;
-      opts->run_h = std::strchr(v, 'h') != nullptr;
+      if ((v = next()) == nullptr) return false;
+      if (!ParsePhases(v, opts)) return false;
     } else if (arg == "--check-consistency") {
       opts->check_consistency = true;
     } else {
@@ -112,133 +173,88 @@ bool ParseArgs(int argc, char** argv, CliOptions* opts) {
          !opts->rules_path.empty();
 }
 
-/// Reads a whole file; empty optional-style via Status.
-Result<std::string> ReadFileToString(const std::string& path) {
-  std::ifstream in(path);
-  if (!in.is_open()) return Status::NotFound("cannot open " + path);
-  std::ostringstream out;
-  out << in.rdbuf();
-  return out.str();
-}
-
-/// Infers a schema from a CSV header line.
-Result<data::SchemaPtr> SchemaFromCsvHeader(const std::string& path,
-                                            const std::string& name) {
-  std::ifstream in(path);
-  if (!in.is_open()) return Status::NotFound("cannot open " + path);
-  std::string header;
-  if (!std::getline(in, header)) {
-    return Status::Corruption("empty CSV: " + path);
-  }
-  if (!header.empty() && header.back() == '\r') header.pop_back();
-  std::vector<std::string> names = Split(header, ',');
-  for (auto& n : names) n = std::string(Trim(n));
-  return data::MakeSchema(name, names);
-}
-
-Status LoadConfidences(const std::string& path, data::Relation* d) {
-  UC_ASSIGN_OR_RETURN(data::SchemaPtr schema,
-                      SchemaFromCsvHeader(path, "confidence"));
-  if (schema->arity() != d->schema().arity()) {
-    return Status::InvalidArgument("confidence CSV arity mismatch");
-  }
-  UC_ASSIGN_OR_RETURN(data::Relation conf, data::ReadCsvFile(path, schema));
-  if (conf.size() != d->size()) {
-    return Status::InvalidArgument("confidence CSV row count mismatch");
-  }
-  for (data::TupleId t = 0; t < d->size(); ++t) {
-    for (data::AttributeId a = 0; a < d->schema().arity(); ++a) {
-      const data::Value& v = conf.tuple(t).value(a);
-      double cf = v.is_null() ? 0.0 : std::atof(v.str().c_str());
-      if (cf < 0.0 || cf > 1.0) {
-        return Status::InvalidArgument("confidence out of [0,1] at row " +
-                                       std::to_string(t));
-      }
-      d->mutable_tuple(t).set_confidence(a, cf);
-    }
-  }
-  return Status::OK();
-}
-
 int Run(const CliOptions& opts) {
-  auto data_schema = SchemaFromCsvHeader(opts.data_path, "data");
-  if (!data_schema.ok()) {
-    std::fprintf(stderr, "%s\n", data_schema.status().ToString().c_str());
+  // Load the data relation here (not via WithDataCsv) so the original is
+  // available for the repair-cost summary.
+  auto schema = data::InferCsvSchema(opts.data_path, "data");
+  if (!schema.ok()) {
+    std::fprintf(stderr, "%s\n", schema.status().ToString().c_str());
     return 2;
   }
-  auto master_schema = SchemaFromCsvHeader(opts.master_path, "master");
-  if (!master_schema.ok()) {
-    std::fprintf(stderr, "%s\n", master_schema.status().ToString().c_str());
+  auto d = data::ReadCsvFile(opts.data_path, schema.value());
+  if (!d.ok()) {
+    std::fprintf(stderr, "%s\n", d.status().ToString().c_str());
     return 2;
   }
-  auto d = data::ReadCsvFile(opts.data_path, data_schema.value());
-  auto dm = data::ReadCsvFile(opts.master_path, master_schema.value());
-  if (!d.ok() || !dm.ok()) {
-    std::fprintf(stderr, "failed to read CSV inputs\n");
-    return 2;
+  data::Relation original = d->Clone();
+
+  CleanerBuilder builder;
+  builder.WithData(&d.value())
+      .WithMasterCsv(opts.master_path)
+      .WithRulesFile(opts.rules_path)
+      .WithEta(opts.eta)
+      .WithDelta1(opts.delta1)
+      .WithDelta2(opts.delta2)
+      .WithDefaultPhases(opts.run_c, opts.run_e, opts.run_h)
+      .CheckConsistency(opts.check_consistency);
+  if (!opts.confidence_path.empty()) {
+    builder.WithConfidenceCsv(opts.confidence_path);
   }
-  auto rule_text = ReadFileToString(opts.rules_path);
-  if (!rule_text.ok()) {
-    std::fprintf(stderr, "%s\n", rule_text.status().ToString().c_str());
-    return 2;
-  }
-  auto rules = rules::ParseRuleSet(rule_text.value(), data_schema.value(),
-                                   master_schema.value());
-  if (!rules.ok()) {
-    std::fprintf(stderr, "%s\n", rules.status().ToString().c_str());
-    return 2;
+  builder.WithProgressCallback([](const PhaseEvent& event) {
+    if (event.kind == PhaseEvent::Kind::kPhaseFinished) {
+      std::printf("  [%d/%d] %.*s: %d fixes\n", event.index + 1, event.total,
+                  static_cast<int>(event.phase.size()), event.phase.data(),
+                  event.stats->fixes);
+    }
+  });
+
+  auto cleaner = builder.Build();
+  if (!cleaner.ok()) {
+    std::fprintf(stderr, "%s\n", cleaner.status().ToString().c_str());
+    // Exit 3 distinguishes "the rules themselves are bad" for scripts;
+    // anchored on the builder's exact inconsistency diagnostic so e.g. a
+    // NotFound for a file *named* "inconsistent.txt" still exits 2.
+    bool rules_inconsistent =
+        cleaner.status().code() == StatusCode::kInvalidArgument &&
+        cleaner.status().message().rfind("the rule set is inconsistent", 0) ==
+            0;
+    return rules_inconsistent ? 3 : 2;
   }
   std::printf("loaded %d data tuples, %d master tuples, %zu CFDs, %zu MDs\n",
-              d->size(), dm->size(), rules->cfds().size(),
-              rules->mds().size());
+              cleaner->data().size(), cleaner->master().size(),
+              cleaner->rules().cfds().size(), cleaner->rules().mds().size());
+  if (opts.check_consistency) std::printf("rules are consistent\n");
+  std::printf("phases: %s\n", PhaseSetToString(opts).c_str());
 
-  if (!opts.confidence_path.empty()) {
-    Status s = LoadConfidences(opts.confidence_path, &d.value());
-    if (!s.ok()) {
-      std::fprintf(stderr, "%s\n", s.ToString().c_str());
-      return 2;
-    }
+  auto result = cleaner->Run();
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
+    return 2;
   }
 
-  if (opts.check_consistency) {
-    auto consistent = reasoning::IsConsistent(rules.value(), dm.value());
-    if (!consistent.ok()) {
-      std::fprintf(stderr, "consistency check: %s\n",
-                   consistent.status().ToString().c_str());
-      return 2;
+  for (const PhaseStats& stats : result->phases) {
+    std::string counters;
+    for (const auto& [name, value] : stats.counters) {
+      counters += "  " + name + "=" + std::to_string(value);
     }
-    if (!consistent.value()) {
-      std::fprintf(stderr,
-                   "the rule set is INCONSISTENT: no nonempty database can "
-                   "satisfy it; refusing to clean\n");
-      return 3;
-    }
-    std::printf("rules are consistent\n");
+    std::printf("%s: %d fixes, %zu matches%s\n", stats.phase.c_str(),
+                stats.fixes, stats.matches.size(), counters.c_str());
   }
-
-  data::Relation original = d->Clone();
-  core::UniCleanOptions options;
-  options.eta = opts.eta;
-  options.delta1 = opts.delta1;
-  options.delta2 = opts.delta2;
-  options.run_crepair = opts.run_c;
-  options.run_erepair = opts.run_e;
-  options.run_hrepair = opts.run_h;
-  auto report = core::UniClean(&d.value(), dm.value(), rules.value(),
-                               options);
-  std::printf("fixes: %d deterministic, %d reliable, %d possible\n",
-              report.crepair.deterministic_fixes,
-              report.erepair.reliable_fixes, report.hrepair.possible_fixes);
+  std::printf("total fixes: %d (journal entries: %zu)\n",
+              result->total_fixes(), result->journal.size());
   std::printf("repair cost (Σ cf·dist): %.3f\n",
-              core::RepairCost(original, d.value()));
-  if (report.hrepair.anomalies > 0) {
-    std::fprintf(stderr,
-                 "warning: %d unresolvable conflicts (contradictory "
-                 "deterministic fixes or inconsistent rules)\n",
-                 report.hrepair.anomalies);
+              core::RepairCost(original, cleaner->data()));
+  if (const PhaseStats* h = result->phase(HRepairPhase::kName)) {
+    int64_t anomalies = h->counter("anomalies");
+    if (anomalies > 0) {
+      std::fprintf(stderr,
+                   "warning: %lld unresolvable conflicts (contradictory "
+                   "deterministic fixes or inconsistent rules)\n",
+                   static_cast<long long>(anomalies));
+    }
   }
 
-  Status s = data::WriteCsvFile(opts.out_path, d.value());
+  Status s = data::WriteCsvFile(opts.out_path, cleaner->data());
   if (!s.ok()) {
     std::fprintf(stderr, "%s\n", s.ToString().c_str());
     return 2;
@@ -246,23 +262,20 @@ int Run(const CliOptions& opts) {
   std::printf("wrote %s\n", opts.out_path.c_str());
 
   if (!opts.report_path.empty()) {
-    FILE* f = std::fopen(opts.report_path.c_str(), "w");
-    if (f == nullptr) {
-      std::fprintf(stderr, "cannot open %s\n", opts.report_path.c_str());
+    s = result->journal.WriteTextFile(opts.report_path);
+    if (!s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
       return 2;
     }
-    for (data::TupleId t = 0; t < d->size(); ++t) {
-      for (data::AttributeId a = 0; a < d->schema().arity(); ++a) {
-        if (d->tuple(t).mark(a) == data::FixMark::kNone) continue;
-        std::fprintf(f, "row %d %s: '%s' -> '%s' [%s]\n", t,
-                     d->schema().attribute_name(a).c_str(),
-                     original.tuple(t).value(a).ToString().c_str(),
-                     d->tuple(t).value(a).ToString().c_str(),
-                     data::FixMarkToString(d->tuple(t).mark(a)));
-      }
-    }
-    std::fclose(f);
     std::printf("wrote %s\n", opts.report_path.c_str());
+  }
+  if (!opts.journal_path.empty()) {
+    s = result->journal.WriteCsvFile(opts.journal_path);
+    if (!s.ok()) {
+      std::fprintf(stderr, "%s\n", s.ToString().c_str());
+      return 2;
+    }
+    std::printf("wrote %s\n", opts.journal_path.c_str());
   }
   return 0;
 }
