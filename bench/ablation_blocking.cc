@@ -30,6 +30,10 @@ int main() {
     core::MdMatcherOptions with;
     core::MdMatcherOptions without;
     without.use_blocking = false;
+    // Compare per-probe candidate-generation cost; the memo caches would
+    // otherwise turn repeated (duplicated) probes into hash hits.
+    with.use_memos = false;
+    without.use_memos = false;
 
     // The index is built once per cleaning run; time the queries, which is
     // where the pipeline spends its MD effort (every tuple, every pass).

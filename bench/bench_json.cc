@@ -1,0 +1,300 @@
+// bench_json: the machine-readable perf harness. Executes the fig14-style
+// pipeline points (full Uni plus the cumulative cRepair / cRepair+eRepair
+// stages on HOSP, full Uni on DBLP and TPC-H) and the §5.2 blocking
+// ablation, and writes every measurement to a JSON file so each PR records
+// a comparable perf trajectory (BENCH_pipeline.json at the repo root).
+//
+// Per point it records wall time, items/sec, peak RSS and the number/volume
+// of heap allocations (via a counting operator new hook local to this
+// binary).
+//
+// Usage:
+//   bench_json [--out FILE] [--quick] [--smoke SECONDS]
+//     --out FILE       where to write the JSON (default BENCH_pipeline.json)
+//     --quick          CI sizes only (caps |D| at 1000, skips the 4000-tuple
+//                      point and the large ablation sweep)
+//     --smoke SECONDS  exit non-zero if the 1k-tuple HOSP full-pipeline
+//                      point exceeds this wall-clock budget (perf smoke)
+
+#include <sys/resource.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <new>
+#include <string>
+#include <vector>
+
+#include "core/md_matcher.h"
+#include "gen/dataset.h"
+#include "uniclean/uniclean.h"
+
+// ---------------------------------------------------------------------------
+// Allocation counting hook. Only linked into this binary; counts every
+// global operator new so a point's `allocs` / `alloc_bytes` expose how much
+// the hot paths churn the heap.
+// ---------------------------------------------------------------------------
+
+namespace {
+std::atomic<unsigned long long> g_alloc_count{0};
+std::atomic<unsigned long long> g_alloc_bytes{0};
+}  // namespace
+
+void* operator new(std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
+  void* p = std::malloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void* operator new[](std::size_t size) {
+  g_alloc_count.fetch_add(1, std::memory_order_relaxed);
+  g_alloc_bytes.fetch_add(size, std::memory_order_relaxed);
+  void* p = std::malloc(size);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+void operator delete(void* p) noexcept { std::free(p); }
+void operator delete[](void* p) noexcept { std::free(p); }
+void operator delete(void* p, std::size_t) noexcept { std::free(p); }
+void operator delete[](void* p, std::size_t) noexcept { std::free(p); }
+
+namespace {
+
+using namespace uniclean;  // NOLINT
+
+double Now() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+long PeakRssKb() {
+  struct rusage ru;
+  if (getrusage(RUSAGE_SELF, &ru) != 0) return -1;
+  return ru.ru_maxrss;  // Linux: kilobytes
+}
+
+/// Current resident set size from /proc/self/statm, in KB. Unlike the
+/// getrusage high-water mark (which is process-cumulative and never
+/// decreases), this is a genuine per-point figure.
+long CurrentRssKb() {
+  std::FILE* f = std::fopen("/proc/self/statm", "r");
+  if (f == nullptr) return -1;
+  long pages_total = 0;
+  long pages_resident = 0;
+  int n = std::fscanf(f, "%ld %ld", &pages_total, &pages_resident);
+  std::fclose(f);
+  if (n != 2) return -1;
+  return pages_resident * (sysconf(_SC_PAGESIZE) / 1024);
+}
+
+struct Measurement {
+  std::string name;
+  std::string dataset;
+  int num_tuples = 0;
+  int master_size = 0;
+  std::string phases;  // "c", "ce", "ceh", or "probe"/"scan" for ablation
+  double wall_s = 0.0;
+  double items_per_sec = 0.0;
+  long rss_kb = 0;       // resident set right after the point (per-point)
+  long peak_rss_kb = 0;  // process high-water mark (cumulative)
+  unsigned long long allocs = 0;
+  unsigned long long alloc_bytes = 0;
+  long long extra = -1;  // total_fixes for pipeline points, matches for
+                         // ablation points; -1 when not applicable
+};
+
+std::vector<Measurement>& Results() {
+  static std::vector<Measurement> r;
+  return r;
+}
+
+/// Runs `fn` once, recording wall time, allocation deltas and peak RSS.
+template <typename F>
+Measurement Measure(const std::string& name, const std::string& dataset,
+                    int num_tuples, int master_size,
+                    const std::string& phases, int items, F&& fn) {
+  Measurement m;
+  m.name = name;
+  m.dataset = dataset;
+  m.num_tuples = num_tuples;
+  m.master_size = master_size;
+  m.phases = phases;
+  unsigned long long a0 = g_alloc_count.load(std::memory_order_relaxed);
+  unsigned long long b0 = g_alloc_bytes.load(std::memory_order_relaxed);
+  double t0 = Now();
+  m.extra = fn();
+  m.wall_s = Now() - t0;
+  m.allocs = g_alloc_count.load(std::memory_order_relaxed) - a0;
+  m.alloc_bytes = g_alloc_bytes.load(std::memory_order_relaxed) - b0;
+  m.rss_kb = CurrentRssKb();
+  m.peak_rss_kb = PeakRssKb();
+  m.items_per_sec =
+      m.wall_s > 0 ? static_cast<double>(items) / m.wall_s : 0.0;
+  std::printf("%-34s %10.3fs %12.0f items/s %10lluk allocs %8ld KB rss\n",
+              m.name.c_str(), m.wall_s, m.items_per_sec, m.allocs / 1000,
+              m.rss_kb);
+  std::fflush(stdout);
+  Results().push_back(m);
+  return m;
+}
+
+gen::Dataset Generate(const std::string& dataset,
+                      const gen::GeneratorConfig& config) {
+  if (dataset == "hosp") return gen::GenerateHosp(config);
+  if (dataset == "dblp") return gen::GenerateDblp(config);
+  return gen::GenerateTpch(config);
+}
+
+/// One fig14-style pipeline point: |D| data tuples, full or partial stage
+/// set ("c" = cRepair, "ce" = +eRepair, "ceh" = full Uni).
+Measurement PipelinePoint(const std::string& dataset, int num_tuples,
+                          int master_size, const std::string& phases) {
+  gen::GeneratorConfig config;
+  config.num_tuples = num_tuples;
+  config.master_size = master_size;
+  config.noise_rate = 0.06;
+  config.dup_rate = 0.4;
+  config.seed = 1;
+  gen::Dataset ds = Generate(dataset, config);
+
+  core::UniCleanOptions options;
+  options.eta = 1.0;
+  options.run_erepair = phases.find('e') != std::string::npos;
+  options.run_hrepair = phases.find('h') != std::string::npos;
+
+  data::Relation d = ds.dirty.Clone();
+  std::string name = "fig14_" + dataset + "_" + phases + "_n" +
+                     std::to_string(num_tuples);
+  return Measure(name, dataset, num_tuples, master_size, phases, num_tuples,
+                 [&]() -> long long {
+                   auto report = core::UniClean(&d, ds.master, ds.rules,
+                                                options);
+                   return report.total_fixes();
+                 });
+}
+
+/// The §5.2 blocking ablation: per-probe match cost with the suffix-tree
+/// index vs a brute-force master scan.
+void AblationPoint(int master_size, bool use_blocking) {
+  gen::GeneratorConfig config;
+  config.num_tuples = 300;
+  config.master_size = master_size;
+  config.seed = 600 + static_cast<uint64_t>(master_size);
+  gen::Dataset ds = gen::GenerateHosp(config);
+  const rules::Md& md = ds.rules.mds().back();  // similarity-only MD
+
+  core::MdMatcherOptions options;
+  options.use_blocking = use_blocking;
+  // Measure per-probe match cost, not memo hits: duplicates (dup_rate)
+  // would otherwise resolve from the match cache in both arms.
+  options.use_memos = false;
+  core::MdMatcher matcher(md, ds.master, options);
+
+  std::string name = std::string("ablation_blocking_") +
+                     (use_blocking ? "on" : "off") + "_m" +
+                     std::to_string(master_size);
+  Measure(name, "hosp", config.num_tuples, master_size,
+          use_blocking ? "probe" : "scan", config.num_tuples,
+          [&]() -> long long {
+            long long found = 0;
+            for (data::TupleId t = 0; t < ds.dirty.size(); ++t) {
+              found += matcher.FindMatches(ds.dirty.tuple(t)).empty() ? 0 : 1;
+            }
+            return found;
+          });
+}
+
+void WriteJson(const std::string& path) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    std::fprintf(stderr, "bench_json: cannot write %s\n", path.c_str());
+    std::exit(2);
+  }
+  std::fprintf(f, "{\n  \"schema\": \"uniclean-bench-v1\",\n  \"results\": [\n");
+  const std::vector<Measurement>& rs = Results();
+  for (size_t i = 0; i < rs.size(); ++i) {
+    const Measurement& m = rs[i];
+    std::fprintf(
+        f,
+        "    {\"name\": \"%s\", \"dataset\": \"%s\", \"num_tuples\": %d, "
+        "\"master_size\": %d, \"phases\": \"%s\", \"wall_s\": %.6f, "
+        "\"items_per_sec\": %.1f, \"rss_kb\": %ld, "
+        "\"cumulative_peak_rss_kb\": %ld, \"allocs\": %llu, "
+        "\"alloc_bytes\": %llu, \"result\": %lld}%s\n",
+        m.name.c_str(), m.dataset.c_str(), m.num_tuples, m.master_size,
+        m.phases.c_str(), m.wall_s, m.items_per_sec, m.rss_kb, m.peak_rss_kb,
+        m.allocs, m.alloc_bytes, m.extra, i + 1 < rs.size() ? "," : "");
+  }
+  std::fprintf(f, "  ]\n}\n");
+  std::fclose(f);
+  std::printf("wrote %s (%zu points)\n", path.c_str(), rs.size());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string out = "BENCH_pipeline.json";
+  bool quick = false;
+  double smoke_budget_s = -1.0;
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--out") == 0 && i + 1 < argc) {
+      out = argv[++i];
+    } else if (std::strcmp(argv[i], "--quick") == 0) {
+      quick = true;
+    } else if (std::strcmp(argv[i], "--smoke") == 0 && i + 1 < argc) {
+      char* end = nullptr;
+      smoke_budget_s = std::strtod(argv[++i], &end);
+      if (end == argv[i] || *end != '\0' || smoke_budget_s <= 0) {
+        std::fprintf(stderr, "bench_json: bad --smoke budget '%s'\n",
+                     argv[i]);
+        return 2;
+      }
+    } else {
+      std::fprintf(stderr,
+                   "usage: bench_json [--out FILE] [--quick] "
+                   "[--smoke SECONDS]\n");
+      return 2;
+    }
+  }
+
+  // HOSP: the paper's primary scalability subject — cumulative stages like
+  // Fig. 14(a), plus the 4000-tuple acceptance point (full runs only).
+  for (int n : quick ? std::vector<int>{250, 1000}
+                     : std::vector<int>{250, 1000, 4000}) {
+    PipelinePoint("hosp", n, 500, "c");
+    PipelinePoint("hosp", n, 500, "ce");
+    PipelinePoint("hosp", n, 500, "ceh");
+  }
+  // DBLP / TPC-H: full pipeline shape.
+  for (int n : quick ? std::vector<int>{250} : std::vector<int>{250, 1000}) {
+    PipelinePoint("dblp", n, 500, "ceh");
+    PipelinePoint("tpch", n, 300, "ceh");
+  }
+  // Blocking ablation (§5.2).
+  for (int m : quick ? std::vector<int>{500} : std::vector<int>{500, 2000}) {
+    AblationPoint(m, /*use_blocking=*/true);
+    AblationPoint(m, /*use_blocking=*/false);
+  }
+
+  WriteJson(out);
+
+  if (smoke_budget_s > 0) {
+    for (const Measurement& m : Results()) {
+      if (m.name == "fig14_hosp_ceh_n1000" && m.wall_s > smoke_budget_s) {
+        std::fprintf(stderr,
+                     "PERF SMOKE FAILED: 1k-tuple HOSP pipeline took %.2fs "
+                     "(budget %.2fs)\n",
+                     m.wall_s, smoke_budget_s);
+        return 1;
+      }
+    }
+  }
+  return 0;
+}

@@ -12,7 +12,7 @@ double CellCost(const data::Value& from, double cf, const data::Value& to) {
     // Treat null as maximally distant: dis/max = 1.
     return cf;
   }
-  return cf * similarity::NormalizedEditDistance(from.str(), to.str());
+  return cf * similarity::NormalizedEditDistance(from.view(), to.view());
 }
 
 double RepairCost(const data::Relation& original,

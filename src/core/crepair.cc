@@ -1,13 +1,14 @@
 #include "core/crepair.h"
 
+#include <algorithm>
 #include <deque>
 #include <memory>
-#include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
 
 #include "common/check.h"
+#include "data/group_key.h"
 
 namespace uniclean {
 namespace core {
@@ -16,6 +17,8 @@ namespace {
 
 using data::AttributeId;
 using data::FixMark;
+using data::GroupKey;
+using data::GroupKeyHash;
 using data::Relation;
 using data::TupleId;
 using data::Value;
@@ -23,16 +26,6 @@ using rules::Cfd;
 using rules::Md;
 using rules::RuleId;
 using rules::RuleSet;
-
-std::string LhsKey(const data::Tuple& t,
-                   const std::vector<AttributeId>& attrs) {
-  std::string key;
-  for (AttributeId a : attrs) {
-    key += t.value(a).str();
-    key.push_back('\x1f');
-  }
-  return key;
-}
 
 /// One entry of the per-variable-CFD hash table Hϕ (§5.2): the pending
 /// tuples of a group ∆(ȳ) and the group's asserted RHS value once known.
@@ -56,7 +49,10 @@ class CRepairRun {
     count_.assign(n * r, 0);
 
     rules_by_lhs_attr_.assign(arity, {});
+    vcfds_by_rhs_attr_.assign(arity, {});
     lhs_required_.assign(r, 0);
+    groups_.resize(r);
+    matchers_.resize(r);
     for (RuleId rule = 0; rule < ruleset_.num_rules(); ++rule) {
       std::vector<AttributeId> unique_lhs = ruleset_.DataLhs(rule);
       std::sort(unique_lhs.begin(), unique_lhs.end());
@@ -68,11 +64,14 @@ class CRepairRun {
         rules_by_lhs_attr_[static_cast<size_t>(a)].push_back(rule);
       }
       if (ruleset_.kind(rule) == rules::RuleKind::kVariableCfd) {
-        groups_[rule];  // create the hash table Hϕ
+        // Update() only needs the variable CFDs whose RHS is the asserted
+        // attribute; index them once instead of scanning all vCFDs per call.
+        vcfds_by_rhs_attr_[static_cast<size_t>(ruleset_.DataRhs(rule))]
+            .push_back(rule);
       }
       if (!ruleset_.IsCfd(rule)) {
-        matchers_.emplace(rule, std::make_unique<MdMatcher>(
-                                    ruleset_.md(rule), dm_, options_.matcher));
+        matchers_[static_cast<size_t>(rule)] = std::make_unique<MdMatcher>(
+            ruleset_.md(rule), dm_, options_.matcher);
       }
     }
   }
@@ -140,12 +139,13 @@ class CRepairRun {
       }
     }
     // Variable CFDs waiting in P[t] whose RHS is A: t may now be the donor.
-    for (auto& [rule, table] : groups_) {
-      if (ruleset_.DataRhs(rule) != a) continue;
+    for (RuleId rule : vcfds_by_rhs_attr_[static_cast<size_t>(a)]) {
       size_t idx = RuleIndex(t, rule);
       if (!in_pending_[idx]) continue;
       in_pending_[idx] = 0;
-      auto it = table.find(LhsKey(d_.tuple(t), ruleset_.cfd(rule).lhs()));
+      auto& table = groups_[static_cast<size_t>(rule)];
+      auto it =
+          table.find(GroupKey::Project(d_.tuple(t), ruleset_.cfd(rule).lhs()));
       if (it == table.end() || !it->second.val_set) {
         worklist_.emplace_back(t, rule);
       } else if (it->second.val != d_.tuple(t).value(a)) {
@@ -175,8 +175,8 @@ class CRepairRun {
     const Cfd& cfd = ruleset_.cfd(rule);
     if (!cfd.MatchesLhs(d_.tuple(t))) return;
     const AttributeId b = cfd.rhs()[0];
-    GroupEntry& entry =
-        groups_[rule][LhsKey(d_.tuple(t), cfd.lhs())];
+    GroupEntry& entry = groups_[static_cast<size_t>(
+        rule)][GroupKey::Project(d_.tuple(t), cfd.lhs())];
     if (Asserted(t, b)) {
       if (!entry.val_set) {
         // t supplies the group's asserted value; fix everyone waiting.
@@ -205,7 +205,7 @@ class CRepairRun {
     const Cfd& cfd = ruleset_.cfd(rule);
     if (!cfd.MatchesLhs(d_.tuple(t))) return;
     const AttributeId b = cfd.rhs()[0];
-    const Value target(cfd.rhs_pattern()[0].constant());
+    const Value& target = cfd.rhs_pattern()[0].value();
     if (Asserted(t, b)) {
       if (d_.tuple(t).value(b) != target) ++stats_.conflicts;
       return;
@@ -216,9 +216,9 @@ class CRepairRun {
   /// Procedure MDInfer (Fig. 5).
   void MdInfer(TupleId t, RuleId rule) {
     const Md& md = ruleset_.md(rule);
-    auto it = matchers_.find(rule);
-    UC_CHECK(it != matchers_.end());
-    TupleId s = it->second->FindFirstMatch(d_.tuple(t));
+    MdMatcher* matcher = matchers_[static_cast<size_t>(rule)].get();
+    UC_CHECK(matcher != nullptr);
+    TupleId s = matcher->FindFirstMatch(d_.tuple(t));
     if (s < 0) return;
     stats_.md_matches.emplace_back(t, s);
     const rules::MdAction& action = md.actions()[0];
@@ -244,9 +244,10 @@ class CRepairRun {
   std::vector<int> count_;           // count[t, ξ], per (t, rule)
   std::vector<int> lhs_required_;    // |unique LHS(ξ)|
   std::vector<std::vector<RuleId>> rules_by_lhs_attr_;
-  std::unordered_map<RuleId, std::unordered_map<std::string, GroupEntry>>
-      groups_;  // Hϕ per variable CFD
-  std::unordered_map<RuleId, std::unique_ptr<MdMatcher>> matchers_;
+  std::vector<std::vector<RuleId>> vcfds_by_rhs_attr_;  // variable CFDs only
+  // Hϕ per rule id (populated for variable CFDs, empty otherwise).
+  std::vector<std::unordered_map<GroupKey, GroupEntry, GroupKeyHash>> groups_;
+  std::vector<std::unique_ptr<MdMatcher>> matchers_;  // per rule id (MDs)
   std::deque<std::pair<TupleId, RuleId>> worklist_;  // the queues Q[t]
 };
 

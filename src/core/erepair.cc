@@ -2,14 +2,14 @@
 
 #include <algorithm>
 #include <cmath>
-#include <map>
 #include <memory>
-#include <string>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/check.h"
 #include "core/avl_tree.h"
+#include "data/group_key.h"
 #include "reasoning/dependency_graph.h"
 
 namespace uniclean {
@@ -19,6 +19,8 @@ namespace {
 
 using data::AttributeId;
 using data::FixMark;
+using data::GroupKey;
+using data::GroupKeyHash;
 using data::Relation;
 using data::TupleId;
 using data::Value;
@@ -26,16 +28,6 @@ using rules::Cfd;
 using rules::Md;
 using rules::RuleId;
 using rules::RuleSet;
-
-std::string LhsKey(const data::Tuple& t,
-                   const std::vector<AttributeId>& attrs) {
-  std::string key;
-  for (AttributeId a : attrs) {
-    key += t.value(a).str();
-    key.push_back('\x1f');
-  }
-  return key;
-}
 
 class ERepairRun {
  public:
@@ -45,10 +37,11 @@ class ERepairRun {
     change_count_.assign(static_cast<size_t>(d_.size()) *
                              static_cast<size_t>(d_.schema().arity()),
                          0);
+    matchers_.resize(static_cast<size_t>(ruleset_.num_rules()));
     for (RuleId rule = 0; rule < ruleset_.num_rules(); ++rule) {
       if (!ruleset_.IsCfd(rule)) {
-        matchers_.emplace(rule, std::make_unique<MdMatcher>(
-                                    ruleset_.md(rule), dm_, options_.matcher));
+        matchers_[static_cast<size_t>(rule)] = std::make_unique<MdMatcher>(
+            ruleset_.md(rule), dm_, options_.matcher);
       }
     }
   }
@@ -120,32 +113,61 @@ class ERepairRun {
     const AttributeId b = cfd.rhs()[0];
     struct Group {
       std::vector<TupleId> members;
-      std::map<std::string, int> value_counts;
+      std::unordered_map<data::ValueId, int> value_counts;
     };
-    std::unordered_map<std::string, Group> table;  // HTab of Fig. 9
+    std::unordered_map<GroupKey, Group, GroupKeyHash> table;  // HTab (Fig. 9)
+    // First-encounter group order: iteration must not depend on the hash of
+    // the (id-valued) keys, or fix order would vary with id assignment.
+    std::vector<const Group*> group_order;
     for (TupleId t = 0; t < d_.size(); ++t) {
       const data::Tuple& tuple = d_.tuple(t);
       if (!cfd.MatchesLhs(tuple)) continue;
       if (tuple.value(b).is_null()) continue;  // satisfies trivially (§7)
-      Group& g = table[LhsKey(tuple, cfd.lhs())];
+      auto [it, inserted] =
+          table.try_emplace(GroupKey::Project(tuple, cfd.lhs()));
+      Group& g = it->second;
+      if (inserted) group_order.push_back(&g);
       g.members.push_back(t);
-      ++g.value_counts[tuple.value(b).str()];
+      ++g.value_counts[tuple.value(b).id()];
     }
-    // AVL tree T of Fig. 9: only groups with nonzero entropy appear.
-    AvlTree<double, const Group*> tree;
-    for (const auto& [key, group] : table) {
+    // AVL tree T of Fig. 9: only groups with nonzero entropy appear. The
+    // majority target is picked here, while the counts are already sorted,
+    // so resolution does not re-sort.
+    struct Resolvable {
+      const Group* group;
+      data::ValueId target;
+    };
+    AvlTree<double, Resolvable> tree;
+    for (const Group* group_ptr : group_order) {
+      const Group& group = *group_ptr;
       if (group.value_counts.size() <= 1) continue;
+      // Accumulate in lexicographic value order: keeps the floating-point
+      // sum (and thus the entropy threshold decision) identical to the
+      // pre-interning std::map<std::string> iteration. The same order makes
+      // the first strict maximum the lexicographically-smallest majority
+      // value (deterministic tie-break).
+      std::vector<std::pair<data::ValueId, int>> items =
+          SortedValueCounts(group.value_counts);
       std::vector<int> counts;
-      counts.reserve(group.value_counts.size());
-      for (const auto& [value, c] : group.value_counts) counts.push_back(c);
-      tree.Insert(GroupEntropy(counts), &group);
+      counts.reserve(items.size());
+      for (const auto& [id, c] : items) counts.push_back(c);
+      data::ValueId best = items[0].first;
+      int best_count = items[0].second;
+      for (const auto& [id, count] : items) {
+        if (count > best_count) {
+          best = id;
+          best_count = count;
+        }
+      }
+      tree.Insert(GroupEntropy(counts), Resolvable{&group, best});
     }
     int skipped = tree.size();
     tree.VisitBelow(
         options_.delta2,
-        [this, b, rule](double entropy, const Group* const& group) {
+        [this, b, rule](double entropy, const Resolvable& entry) {
           (void)entropy;
-          ResolveGroup(*group, b, rule);
+          ResolveGroup(entry.group->members, Value::FromId(entry.target), b,
+                       rule);
           return true;
         });
     // Everything not visited had entropy >= δ2.
@@ -154,22 +176,28 @@ class ERepairRun {
     resolved_this_call_ = 0;
   }
 
-  template <typename Group>
-  void ResolveGroup(const Group& group, AttributeId b, RuleId rule) {
+  /// The group's (value id, count) pairs sorted lexicographically by the
+  /// resolved strings — the iteration order the pre-interning
+  /// std::map<std::string, int> provided for free.
+  static std::vector<std::pair<data::ValueId, int>> SortedValueCounts(
+      const std::unordered_map<data::ValueId, int>& value_counts) {
+    std::vector<std::pair<data::ValueId, int>> items(value_counts.begin(),
+                                                     value_counts.end());
+    std::sort(items.begin(), items.end(),
+              [](const std::pair<data::ValueId, int>& a,
+                 const std::pair<data::ValueId, int>& b) {
+                return Value::FromId(a.first).view() <
+                       Value::FromId(b.first).view();
+              });
+    return items;
+  }
+
+  /// Rewrites every changeable member that disagrees with the group's
+  /// (pre-computed) majority value.
+  void ResolveGroup(const std::vector<TupleId>& members, const Value& target,
+                    AttributeId b, RuleId rule) {
     ++resolved_this_call_;
-    // Majority value; ties break to the lexicographically smallest so the
-    // outcome is deterministic.
-    const std::string* best = nullptr;
-    int best_count = -1;
-    for (const auto& [value, count] : group.value_counts) {
-      if (count > best_count) {
-        best = &value;
-        best_count = count;
-      }
-    }
-    UC_CHECK(best != nullptr);
-    Value target(*best);
-    for (TupleId t : group.members) {
+    for (TupleId t : members) {
       if (d_.tuple(t).value(b) == target) continue;
       if (!Changeable(t, b)) continue;
       ApplyFix(t, b, target, rule);
@@ -180,7 +208,7 @@ class ERepairRun {
   void CCfdResolve(RuleId rule) {
     const Cfd& cfd = ruleset_.cfd(rule);
     const AttributeId b = cfd.rhs()[0];
-    const Value target(cfd.rhs_pattern()[0].constant());
+    const Value& target = cfd.rhs_pattern()[0].value();
     for (TupleId t = 0; t < d_.size(); ++t) {
       const data::Tuple& tuple = d_.tuple(t);
       if (!cfd.MatchesLhs(tuple)) continue;
@@ -194,7 +222,7 @@ class ERepairRun {
   void MdResolve(RuleId rule) {
     const Md& md = ruleset_.md(rule);
     const rules::MdAction& action = md.actions()[0];
-    const MdMatcher& matcher = *matchers_.at(rule);
+    const MdMatcher& matcher = *matchers_[static_cast<size_t>(rule)];
     for (TupleId t = 0; t < d_.size(); ++t) {
       // MD premises depend only on this tuple and the static master data:
       // skip tuples untouched since the previous pass.
@@ -226,7 +254,7 @@ class ERepairRun {
   int resolved_this_call_ = 0;
 
   std::vector<int> change_count_;  // per cell
-  std::unordered_map<RuleId, std::unique_ptr<MdMatcher>> matchers_;
+  std::vector<std::unique_ptr<MdMatcher>> matchers_;  // per rule id (MDs)
   std::vector<uint8_t> touched_prev_;  // tuples changed in the last pass
   std::vector<uint8_t> touched_cur_;   // tuples changed in this pass
 };

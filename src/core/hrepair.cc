@@ -2,7 +2,6 @@
 
 #include <limits>
 #include <memory>
-#include <string>
 #include <unordered_map>
 #include <utility>
 #include <vector>
@@ -10,6 +9,7 @@
 #include "common/check.h"
 #include "core/cost_model.h"
 #include "core/equivalence.h"
+#include "data/group_key.h"
 
 namespace uniclean {
 namespace core {
@@ -28,15 +28,8 @@ using rules::RuleSet;
 
 constexpr double kInfeasible = std::numeric_limits<double>::infinity();
 
-std::string LhsKey(const data::Tuple& t,
-                   const std::vector<AttributeId>& attrs) {
-  std::string key;
-  for (AttributeId a : attrs) {
-    key += t.value(a).str();
-    key.push_back('\x1f');
-  }
-  return key;
-}
+using data::GroupKey;
+using data::GroupKeyHash;
 
 class HRepairRun {
  public:
@@ -51,10 +44,11 @@ class HRepairRun {
         last_rule_(static_cast<size_t>(d->size()) *
                        static_cast<size_t>(d->schema().arity()),
                    -1) {
+    matchers_.resize(static_cast<size_t>(ruleset_.num_rules()));
     for (RuleId rule = 0; rule < ruleset_.num_rules(); ++rule) {
       if (!ruleset_.IsCfd(rule)) {
-        matchers_.emplace(rule, std::make_unique<MdMatcher>(
-                                    ruleset_.md(rule), dm_, options.matcher));
+        matchers_[static_cast<size_t>(rule)] = std::make_unique<MdMatcher>(
+            ruleset_.md(rule), dm_, options.matcher);
       }
     }
     // Corollary 7.1: deterministic fixes are preserved — freeze them.
@@ -195,7 +189,7 @@ class HRepairRun {
   bool ResolveConstantCfd(RuleId rule) {
     const Cfd& cfd = ruleset_.cfd(rule);
     const AttributeId b = cfd.rhs()[0];
-    const Value target(cfd.rhs_pattern()[0].constant());
+    const Value& target = cfd.rhs_pattern()[0].value();
     bool changed = false;
     for (TupleId t = 0; t < view_.size(); ++t) {
       if (!cfd.MatchesLhs(view_.tuple(t))) continue;
@@ -227,8 +221,15 @@ class HRepairRun {
   bool ResolveVariableCfd(RuleId rule) {
     const Cfd& cfd = ruleset_.cfd(rule);
     const AttributeId b = cfd.rhs()[0];
-    std::unordered_map<std::string, std::vector<TupleId>> groups;
-    std::unordered_map<std::string, std::vector<TupleId>> null_members;
+    std::unordered_map<GroupKey, std::vector<TupleId>, GroupKeyHash> groups;
+    std::unordered_map<GroupKey, std::vector<TupleId>, GroupKeyHash>
+        null_members;
+    // First-encounter iteration order: resolution and enrichment order must
+    // not depend on the hash of the (id-valued) group keys, or the repair
+    // trace would vary with id assignment. Pointers into the node-stable
+    // maps avoid re-hashing the keys at iteration time.
+    std::vector<const std::vector<TupleId>*> group_order;
+    std::vector<std::pair<GroupKey, const std::vector<TupleId>*>> null_order;
     for (TupleId t = 0; t < view_.size(); ++t) {
       const data::Tuple& tuple = view_.tuple(t);
       if (!cfd.MatchesLhs(tuple)) continue;
@@ -236,21 +237,28 @@ class HRepairRun {
         // Only cells that were null in the input are enrichable; nulls this
         // phase introduced are final (lattice top).
         if (eq_.target_kind(eq_.Cell(t, b)) == TargetKind::kUnfixed) {
-          null_members[LhsKey(tuple, cfd.lhs())].push_back(t);
+          auto [it, inserted] = null_members.try_emplace(
+              GroupKey::Project(tuple, cfd.lhs()));
+          if (inserted) null_order.emplace_back(it->first, &it->second);
+          it->second.push_back(t);
         }
         continue;
       }
-      groups[LhsKey(tuple, cfd.lhs())].push_back(t);
+      auto [it, inserted] =
+          groups.try_emplace(GroupKey::Project(tuple, cfd.lhs()));
+      if (inserted) group_order.push_back(&it->second);
+      it->second.push_back(t);
     }
     bool changed = false;
-    for (const auto& [key, members] : groups) {
+    for (const std::vector<TupleId>* members_ptr : group_order) {
+      const std::vector<TupleId>& members = *members_ptr;
       if (members.size() < 2) continue;
       // Frequency of each RHS value within the group: on cost ties the
       // majority value wins (with zero-confidence cells every change is
       // free, and majority is by far the better heuristic).
-      std::unordered_map<std::string, int> value_votes;
+      std::unordered_map<data::ValueId, int> value_votes;
       for (TupleId t : members) {
-        ++value_votes[view_.tuple(t).value(b).str()];
+        ++value_votes[view_.tuple(t).value(b).id()];
       }
       TupleId anchor = members[0];
       for (size_t i = 1; i < members.size(); ++i) {
@@ -273,7 +281,8 @@ class HRepairRun {
       }
     }
     // Enrichment: a null cell joins its group's consensus value.
-    for (const auto& [key, nulls] : null_members) {
+    for (const auto& [key, nulls_ptr] : null_order) {
+      const std::vector<TupleId>& nulls = *nulls_ptr;
       auto it = groups.find(key);
       if (it == groups.end()) continue;
       // The conflict resolution above ran first; use the (possibly updated)
@@ -301,7 +310,7 @@ class HRepairRun {
 
   bool ResolveVariablePair(
       const Cfd& cfd, TupleId t1, TupleId t2, AttributeId b,
-      const std::unordered_map<std::string, int>& value_votes) {
+      const std::unordered_map<data::ValueId, int>& value_votes) {
     CellId c1 = eq_.Cell(t1, b);
     CellId c2 = eq_.Cell(t2, b);
     const Value v1 = view_.tuple(t1).value(b);
@@ -321,7 +330,7 @@ class HRepairRun {
       double cost1 = ClassRetargetCost(c2, v1) + ClassRetargetCost(c1, v1);
       double cost2 = ClassRetargetCost(c1, v2) + ClassRetargetCost(c2, v2);
       auto votes = [&value_votes](const Value& v) {
-        auto it = value_votes.find(v.str());
+        auto it = value_votes.find(v.id());
         return it == value_votes.end() ? 0 : it->second;
       };
       if (cost1 < cost2) {
@@ -372,7 +381,12 @@ class HRepairRun {
   bool ResolveMd(RuleId rule) {
     const Md& md = ruleset_.md(rule);
     const rules::MdAction& action = md.actions()[0];
-    const MdMatcher& matcher = *matchers_.at(rule);
+    const MdMatcher& matcher = *matchers_[static_cast<size_t>(rule)];
+    std::vector<AttributeId> premise_attrs;
+    premise_attrs.reserve(md.premise().size());
+    for (const rules::MdClause& c : md.premise()) {
+      premise_attrs.push_back(c.data_attr);
+    }
     bool changed = false;
     for (TupleId t = 0; t < view_.size(); ++t) {
       // MD premises depend only on this tuple's values and the (static)
@@ -384,7 +398,7 @@ class HRepairRun {
       bool tuple_changed = true;
       while (tuple_changed) {
         tuple_changed = false;
-      for (TupleId s : matcher.FindMatches(view_.tuple(t))) {
+      for (TupleId s : matcher.Matches(view_.tuple(t))) {
         stats_.md_matches.emplace_back(t, s);
         const Value& master_value = dm_.tuple(s).value(action.master_attr);
         if (Value::SqlEquals(view_.tuple(t).value(action.data_attr),
@@ -397,11 +411,6 @@ class HRepairRun {
                               ? SetNullCost(e_cell)
                               : SetConstantCost(e_cell, master_value);
         // Option 2: break the premise.
-        std::vector<AttributeId> premise_attrs;
-        premise_attrs.reserve(md.premise().size());
-        for (const rules::MdClause& c : md.premise()) {
-          premise_attrs.push_back(c.data_attr);
-        }
         double break_cost;
         CellId break_cell =
             CheapestNullableCell(t, premise_attrs, &break_cost);
@@ -436,7 +445,7 @@ class HRepairRun {
   HRepairStats stats_;
   RuleId current_rule_ = -1;         // rule whose violations are being fixed
   std::vector<RuleId> last_rule_;    // per cell: last rule that rewrote it
-  std::unordered_map<RuleId, std::unique_ptr<MdMatcher>> matchers_;
+  std::vector<std::unique_ptr<MdMatcher>> matchers_;  // per rule id (MDs)
   std::vector<uint8_t> touched_prev_;  // tuples changed in the last pass
   std::vector<uint8_t> touched_cur_;   // tuples changed in this pass
 };

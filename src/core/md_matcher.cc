@@ -9,16 +9,14 @@ namespace core {
 
 namespace {
 
-std::string EqualityKey(const std::vector<size_t>& clause_idx,
-                        const rules::Md& md, const data::Tuple& tuple,
-                        bool master_side) {
-  std::string key;
+data::GroupKey EqualityKey(const std::vector<size_t>& clause_idx,
+                           const rules::Md& md, const data::Tuple& tuple,
+                           bool master_side) {
+  data::GroupKey key;
   for (size_t i : clause_idx) {
     const rules::MdClause& c = md.premise()[i];
-    const data::Value& v =
-        tuple.value(master_side ? c.master_attr : c.data_attr);
-    key += v.str();
-    key.push_back('\x1f');
+    key.Append(
+        tuple.value(master_side ? c.master_attr : c.data_attr).id());
   }
   return key;
 }
@@ -29,6 +27,11 @@ MdMatcher::MdMatcher(const rules::Md& md, const data::Relation& dm,
                      const MdMatcherOptions& options)
     : md_(md), dm_(dm), options_(options) {
   UC_CHECK(md_.normalized()) << "MdMatcher requires a normalized MD";
+  // Matches() keys its memo on the full premise projection; enforce the
+  // GroupKey width limit here for matchers built outside RuleSet::Make.
+  UC_CHECK_LE(md_.premise().size(), data::GroupKey::kMaxParts)
+      << "MdMatcher: MD " << md_.name() << " premise too wide";
+  sim_cache_.resize(md_.premise().size());
   if (!options_.use_blocking) return;
   for (size_t i = 0; i < md_.premise().size(); ++i) {
     if (md_.premise()[i].predicate.is_equality()) {
@@ -57,14 +60,14 @@ MdMatcher::MdMatcher(const rules::Md& md, const data::Relation& dm,
     // Index the distinct master values of the blocking clause's attribute.
     const data::AttributeId attr =
         md_.premise()[static_cast<size_t>(blocking_clause_)].master_attr;
-    std::unordered_map<std::string, int> value_to_string_id;
+    std::unordered_map<data::ValueId, int> value_to_string_id;
     for (data::TupleId s = 0; s < dm_.size(); ++s) {
       const data::Value& v = dm_.tuple(s).value(attr);
       if (v.is_null()) continue;
       auto [it, inserted] = value_to_string_id.emplace(
-          v.str(), static_cast<int>(value_owners_.size()));
+          v.id(), static_cast<int>(value_owners_.size()));
       if (inserted) {
-        tree_.AddString(v.str());
+        tree_.AddString(v.view());
         value_owners_.emplace_back();
       }
       value_owners_[static_cast<size_t>(it->second)].push_back(s);
@@ -74,30 +77,40 @@ MdMatcher::MdMatcher(const rules::Md& md, const data::Relation& dm,
 }
 
 bool MdMatcher::Verify(const data::Tuple& t, data::TupleId s) const {
-  return md_.PremiseHolds(t, dm_.tuple(s));
+  return md_.PremiseHolds(t, dm_.tuple(s),
+                          options_.use_memos ? &sim_cache_ : nullptr);
 }
 
-std::vector<data::TupleId> MdMatcher::Candidates(const data::Tuple& t) const {
-  std::vector<data::TupleId> candidates;
-  if (!options_.use_blocking) {
-    candidates.resize(static_cast<size_t>(dm_.size()));
+const std::vector<data::TupleId>& MdMatcher::AllMasters() const {
+  if (all_masters_.empty() && dm_.size() > 0) {
+    all_masters_.resize(static_cast<size_t>(dm_.size()));
     for (data::TupleId s = 0; s < dm_.size(); ++s) {
-      candidates[static_cast<size_t>(s)] = s;
+      all_masters_[static_cast<size_t>(s)] = s;
     }
-    return candidates;
   }
+  return all_masters_;
+}
+
+const std::vector<data::TupleId>& MdMatcher::Candidates(
+    const data::Tuple& t) const {
+  static const std::vector<data::TupleId> kNoCandidates;
+  if (!options_.use_blocking) return AllMasters();
   if (!equality_clauses_.empty()) {
     auto it = equality_index_.find(
         EqualityKey(equality_clauses_, md_, t, /*master_side=*/false));
-    if (it != equality_index_.end()) candidates = it->second;
-    return candidates;
+    return it != equality_index_.end() ? it->second : kNoCandidates;
   }
   if (blocking_clause_ >= 0) {
     const rules::MdClause& clause =
         md_.premise()[static_cast<size_t>(blocking_clause_)];
     const data::Value& v = t.value(clause.data_attr);
-    if (v.is_null()) return candidates;
-    for (const auto& cand : tree_.TopL(v.str(), options_.top_l)) {
+    if (v.is_null()) return kNoCandidates;
+    if (options_.use_memos) {
+      auto cached = blocking_cache_.find(v.id());
+      if (cached != blocking_cache_.end()) return cached->second;
+    }
+    std::vector<data::TupleId> candidates;
+    for (const auto& cand : tree_.TopL(v.view(), options_.top_l)) {
       for (data::TupleId s :
            value_owners_[static_cast<size_t>(cand.string_id)]) {
         candidates.push_back(s);
@@ -106,29 +119,54 @@ std::vector<data::TupleId> MdMatcher::Candidates(const data::Tuple& t) const {
     std::sort(candidates.begin(), candidates.end());
     candidates.erase(std::unique(candidates.begin(), candidates.end()),
                      candidates.end());
-    return candidates;
+    if (!options_.use_memos) {
+      scratch_candidates_ = std::move(candidates);
+      return scratch_candidates_;
+    }
+    return blocking_cache_.emplace(v.id(), std::move(candidates))
+        .first->second;
   }
   // Premise with no clauses at all: every master tuple is a candidate.
-  candidates.resize(static_cast<size_t>(dm_.size()));
-  for (data::TupleId s = 0; s < dm_.size(); ++s) {
-    candidates[static_cast<size_t>(s)] = s;
-  }
-  return candidates;
+  return AllMasters();
 }
 
-std::vector<data::TupleId> MdMatcher::FindMatches(const data::Tuple& t) const {
+const std::vector<data::TupleId>& MdMatcher::Matches(
+    const data::Tuple& t) const {
+  if (!options_.use_memos) {
+    const std::vector<data::TupleId>& candidates = Candidates(t);
+    scratch_matches_.clear();
+    for (data::TupleId s : candidates) {
+      if (Verify(t, s)) scratch_matches_.push_back(s);
+    }
+    return scratch_matches_;
+  }
+  data::GroupKey key;
+  for (const rules::MdClause& c : md_.premise()) {
+    key.Append(t.value(c.data_attr).id());
+  }
+  auto it = match_cache_.find(key);
+  if (it != match_cache_.end()) return it->second;
   std::vector<data::TupleId> matches;
   for (data::TupleId s : Candidates(t)) {
     if (Verify(t, s)) matches.push_back(s);
   }
-  return matches;
+  return match_cache_.emplace(key, std::move(matches)).first->second;
+}
+
+std::vector<data::TupleId> MdMatcher::FindMatches(const data::Tuple& t) const {
+  return Matches(t);
 }
 
 data::TupleId MdMatcher::FindFirstMatch(const data::Tuple& t) const {
-  for (data::TupleId s : Candidates(t)) {
-    if (Verify(t, s)) return s;
+  if (!options_.use_memos) {
+    // No cache to amortize a full match list: keep the early exit.
+    for (data::TupleId s : Candidates(t)) {
+      if (Verify(t, s)) return s;
+    }
+    return -1;
   }
-  return -1;
+  const std::vector<data::TupleId>& matches = Matches(t);
+  return matches.empty() ? -1 : matches.front();
 }
 
 }  // namespace core

@@ -1,18 +1,23 @@
 // MdMatcher: finds the master tuples whose MD premise holds with a data
-// tuple. Equality clauses use a hash index on the master projection; when an
-// MD has only similarity clauses, the §5.2 suffix-tree blocking retrieves
-// the top-l master values by longest common substring and only those
-// candidates are verified — reducing the per-tuple cost from O(|Dm|) to
-// O(l). A brute-force mode exists for the blocking ablation bench.
+// tuple. Equality clauses use a hash index on the master projection (keyed
+// on interned value ids); when an MD has only similarity clauses, the §5.2
+// suffix-tree blocking retrieves the top-l master values by longest common
+// substring and only those candidates are verified — reducing the per-tuple
+// cost from O(|Dm|) to O(l). Similarity clause outcomes are memoized per
+// (data id, master id) pair, so a value pair is scored at most once per
+// clause over the whole cleaning run. A brute-force mode exists for the
+// blocking ablation bench.
 
 #ifndef UNICLEAN_CORE_MD_MATCHER_H_
 #define UNICLEAN_CORE_MD_MATCHER_H_
 
-#include <string>
+#include <cstdint>
 #include <unordered_map>
 #include <vector>
 
+#include "data/group_key.h"
 #include "data/relation.h"
+#include "data/string_pool.h"
 #include "rules/md.h"
 #include "similarity/suffix_tree.h"
 
@@ -25,6 +30,10 @@ struct MdMatcherOptions {
   int top_l = 20;
   /// When false, every master tuple is verified (ablation baseline).
   bool use_blocking = true;
+  /// When false, the blocking / similarity / match memos are bypassed and
+  /// every probe pays its full cost. Only the ablation benches turn this
+  /// off, so they measure per-probe match cost rather than cache hits.
+  bool use_memos = true;
 };
 
 class MdMatcher {
@@ -33,7 +42,16 @@ class MdMatcher {
   MdMatcher(const rules::Md& md, const data::Relation& dm,
             const MdMatcherOptions& options = {});
 
-  /// Master tuple ids whose premise holds with `t`, ascending.
+  /// Master tuple ids whose premise holds with `t`, ascending. Matching is
+  /// a pure function of the premise projection's interned ids (the master
+  /// data is static), so results are cached per projection: re-probing an
+  /// unchanged tuple is a hash lookup. The returned reference is owned by
+  /// the matcher's memo and stays valid until the matcher is destroyed —
+  /// except with use_memos = false, where it points at scratch overwritten
+  /// by the next call.
+  const std::vector<data::TupleId>& Matches(const data::Tuple& t) const;
+
+  /// Copying wrapper around Matches() (compatibility).
   std::vector<data::TupleId> FindMatches(const data::Tuple& t) const;
 
   /// First matching master tuple id, or -1.
@@ -42,7 +60,8 @@ class MdMatcher {
   const rules::Md& md() const { return md_; }
 
  private:
-  std::vector<data::TupleId> Candidates(const data::Tuple& t) const;
+  const std::vector<data::TupleId>& Candidates(const data::Tuple& t) const;
+  const std::vector<data::TupleId>& AllMasters() const;
   bool Verify(const data::Tuple& t, data::TupleId s) const;
 
   const rules::Md& md_;
@@ -51,13 +70,39 @@ class MdMatcher {
 
   // Equality-clause blocking: key over all equality clauses' master values.
   std::vector<size_t> equality_clauses_;
-  std::unordered_map<std::string, std::vector<data::TupleId>> equality_index_;
+  std::unordered_map<data::GroupKey, std::vector<data::TupleId>,
+                     data::GroupKeyHash>
+      equality_index_;
 
   // Similarity blocking (used when no equality clause exists): suffix tree
   // over the distinct master values of the first similarity clause.
   int blocking_clause_ = -1;
   similarity::GeneralizedSuffixTree tree_;
   std::vector<std::vector<data::TupleId>> value_owners_;  // per string id
+
+  // Per-premise-clause memo of similarity outcomes (see rules::ClauseMemo),
+  // lazily filled by PremiseHolds during Verify.
+  mutable rules::ClauseMemo sim_cache_;
+
+  // Memo of suffix-tree blocking results per probed value id: TopL over the
+  // static master index is a pure function of the probe string, and dirty
+  // data re-probes the same (often duplicated) values constantly.
+  mutable std::unordered_map<data::ValueId, std::vector<data::TupleId>>
+      blocking_cache_;
+
+  // Memo of full match lists keyed by the premise projection of the data
+  // tuple. References handed out by Matches() point into this map (node
+  // stability; entries are never erased).
+  mutable std::unordered_map<data::GroupKey, std::vector<data::TupleId>,
+                             data::GroupKeyHash>
+      match_cache_;
+
+  // Lazily materialized 0..|Dm|-1 (brute force / empty premise paths).
+  mutable std::vector<data::TupleId> all_masters_;
+
+  // Scratch results when use_memos is off (overwritten per call).
+  mutable std::vector<data::TupleId> scratch_candidates_;
+  mutable std::vector<data::TupleId> scratch_matches_;
 };
 
 }  // namespace core

@@ -1,0 +1,67 @@
+// GroupKey: a small fixed-size integer key over a tuple projection. The
+// repair engines group tuples by their LHS / equality-clause values
+// (cRepair's Hϕ tables, eRepair's HTab, hRepair's violation groups, the
+// MdMatcher equality index); with interned values the key is the sequence of
+// value ids — no string concatenation, no allocation, and hashing is a few
+// integer mixes instead of re-hashing the characters on every probe.
+
+#ifndef UNICLEAN_DATA_GROUP_KEY_H_
+#define UNICLEAN_DATA_GROUP_KEY_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "common/check.h"
+#include "data/relation.h"
+#include "data/string_pool.h"
+
+namespace uniclean {
+namespace data {
+
+struct GroupKey {
+  /// Normalized rules have a single RHS and small LHS sets; 12 parts covers
+  /// every generator/parser rule with a wide margin (checked at Append).
+  static constexpr size_t kMaxParts = 12;
+
+  ValueId parts[kMaxParts];
+  uint32_t size = 0;
+
+  void Append(ValueId id) {
+    UC_CHECK_LT(size, kMaxParts) << "GroupKey: projection too wide";
+    parts[size++] = id;
+  }
+
+  /// The key of `t`'s projection on `attrs`.
+  template <typename AttrList>
+  static GroupKey Project(const Tuple& t, const AttrList& attrs) {
+    GroupKey key;
+    for (AttributeId a : attrs) key.Append(t.value(a).id());
+    return key;
+  }
+
+  bool operator==(const GroupKey& o) const {
+    if (size != o.size) return false;
+    for (uint32_t i = 0; i < size; ++i) {
+      if (parts[i] != o.parts[i]) return false;
+    }
+    return true;
+  }
+  bool operator!=(const GroupKey& o) const { return !(*this == o); }
+};
+
+struct GroupKeyHash {
+  size_t operator()(const GroupKey& k) const {
+    uint64_t h = 0x9e3779b97f4a7c15ULL ^ k.size;
+    for (uint32_t i = 0; i < k.size; ++i) {
+      // One MixU64 round per part, chained through h.
+      h = MixU64(h ^ (static_cast<uint64_t>(k.parts[i]) +
+                      0x9e3779b97f4a7c15ULL));
+    }
+    return static_cast<size_t>(h);
+  }
+};
+
+}  // namespace data
+}  // namespace uniclean
+
+#endif  // UNICLEAN_DATA_GROUP_KEY_H_

@@ -1,0 +1,15 @@
+#include "data/string_pool.h"
+
+namespace uniclean {
+namespace data {
+
+StringPool* StringPool::global_ = nullptr;
+
+StringPool& StringPool::DefaultInstance() {
+  static StringPool pool;
+  global_ = &pool;
+  return pool;
+}
+
+}  // namespace data
+}  // namespace uniclean

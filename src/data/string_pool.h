@@ -1,0 +1,128 @@
+// StringPool: the dictionary encoding behind data::Value. Every distinct
+// cell string is interned exactly once and identified by a dense 32-bit id,
+// so value equality and hashing across the cleaning engines are integer
+// operations and tuples are flat arrays of ids instead of vectors of
+// heap-allocated strings (the move HoloClean makes when compiling values
+// into integer domains before inference). Strings are resolved back only
+// where an actual similarity computation needs the characters.
+//
+// Ids are never recycled: the pool only grows over a process lifetime, and
+// interned ids stay valid (and keep resolving to the same characters) for as
+// long as the pool that produced them is installed. Like the rest of the
+// library, the pool is not thread-safe.
+
+#ifndef UNICLEAN_DATA_STRING_POOL_H_
+#define UNICLEAN_DATA_STRING_POOL_H_
+
+#include <cstdint>
+#include <deque>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+
+#include "common/check.h"
+
+namespace uniclean {
+namespace data {
+
+/// Id of an interned string; kNullValueId marks SQL null.
+using ValueId = uint32_t;
+
+/// splitmix64 finalizer: the shared integer mixer behind ValueHash and
+/// GroupKeyHash.
+inline uint64_t MixU64(uint64_t x) {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+class StringPool {
+ public:
+  /// Sentinel id for SQL null (never a valid interned id).
+  static constexpr ValueId kNullId = 0xFFFFFFFFu;
+  /// The empty string is pre-interned at id 0 so default-constructed Values
+  /// need no lookup.
+  static constexpr ValueId kEmptyId = 0;
+
+  StringPool() { Intern(std::string_view()); }
+
+  StringPool(const StringPool&) = delete;
+  StringPool& operator=(const StringPool&) = delete;
+
+  /// Returns the id of `s`, interning it on first sight.
+  ValueId Intern(std::string_view s) {
+    auto it = index_.find(s);
+    if (it != index_.end()) return it->second;
+    // Never mint kNullId (or wrap): abort instead of silently aliasing.
+    UC_CHECK_LT(strings_.size(), static_cast<size_t>(kNullId))
+        << "StringPool: id space exhausted";
+    strings_.emplace_back(s);
+    const ValueId id = static_cast<ValueId>(strings_.size() - 1);
+    // The key views the deque-owned string; deque growth never moves it.
+    index_.emplace(std::string_view(strings_.back()), id);
+    return id;
+  }
+
+  /// The interned string for a valid id; kNullId resolves to "". Aborts on
+  /// out-of-range ids (e.g. an id issued by a larger pool); an in-range id
+  /// issued by a *different* pool is indistinguishable from a valid one and
+  /// resolves to this pool's string — never mix ids across pools (see
+  /// ScopedStringPool).
+  const std::string& str(ValueId id) const {
+    if (id == kNullId) return empty_;
+    UC_CHECK_LT(id, strings_.size()) << "StringPool: unknown value id";
+    return strings_[id];
+  }
+
+  std::string_view view(ValueId id) const { return str(id); }
+
+  /// Number of distinct interned strings.
+  size_t size() const { return strings_.size(); }
+
+  /// The process-wide pool used by data::Value. All relations, rules and
+  /// engines in a process share it, so ids from different relations are
+  /// directly comparable.
+  static StringPool& Global() {
+    StringPool* p = global_;
+    return p != nullptr ? *p : DefaultInstance();
+  }
+
+ private:
+  friend class ScopedStringPool;
+
+  /// Lazily creates the process default pool (safe under any static
+  /// initialization order) and installs it as the global.
+  static StringPool& DefaultInstance();
+
+  std::deque<std::string> strings_;  // stable addresses; id = index
+  std::unordered_map<std::string_view, ValueId> index_;
+  std::string empty_;
+
+  static StringPool* global_;
+};
+
+/// Test-only RAII override: installs a fresh global pool for its lifetime.
+/// Every Value, Relation and RuleSet created inside the scope holds ids of
+/// the scoped pool and must not outlive it. Used by the interning parity
+/// tests to re-run a pipeline under a permuted id assignment.
+class ScopedStringPool {
+ public:
+  ScopedStringPool() : previous_(StringPool::global_) {
+    StringPool::global_ = &pool_;
+  }
+  ~ScopedStringPool() { StringPool::global_ = previous_; }
+
+  ScopedStringPool(const ScopedStringPool&) = delete;
+  ScopedStringPool& operator=(const ScopedStringPool&) = delete;
+
+  StringPool& pool() { return pool_; }
+
+ private:
+  StringPool pool_;
+  StringPool* previous_;
+};
+
+}  // namespace data
+}  // namespace uniclean
+
+#endif  // UNICLEAN_DATA_STRING_POOL_H_

@@ -1,76 +1,91 @@
 // Value: one cell of a relation. The paper's data model is string-valued
 // attributes plus SQL null (§7); nulls are introduced only by the heuristic
 // repair phase to resolve otherwise-unresolvable conflicts.
+//
+// Representation: a Value is a 32-bit id into the process StringPool (null
+// is a sentinel id), so copies are trivial, equality and hashing are integer
+// operations, and a Tuple's values are a flat array of ids. The characters
+// are resolved from the pool only where a computation genuinely needs them
+// (similarity metrics, lexicographic ordering, rendering).
 
 #ifndef UNICLEAN_DATA_VALUE_H_
 #define UNICLEAN_DATA_VALUE_H_
 
 #include <cstddef>
+#include <cstdint>
 #include <functional>
 #include <string>
 #include <string_view>
 #include <utility>
 
+#include "data/string_pool.h"
+
 namespace uniclean {
 namespace data {
 
-/// A cell value: either a string constant or SQL null.
+/// A cell value: either a string constant (interned) or SQL null.
 class Value {
  public:
   /// Constructs a (non-null) empty string value.
-  Value() : null_(false) {}
+  Value() : id_(StringPool::kEmptyId) {}
 
-  /// Constructs a string constant.
-  explicit Value(std::string s) : null_(false), str_(std::move(s)) {}
-  explicit Value(const char* s) : null_(false), str_(s) {}
+  /// Constructs a string constant, interning it in the global pool.
+  /// Accepts std::string, std::string_view and const char*.
+  explicit Value(std::string_view s) : id_(StringPool::Global().Intern(s)) {}
 
   /// The SQL null value.
-  static Value Null() {
-    Value v;
-    v.null_ = true;
-    return v;
-  }
+  static Value Null() { return Value(StringPool::kNullId); }
 
-  bool is_null() const { return null_; }
+  /// Wraps an id previously obtained from id() / StringPool::Intern.
+  static Value FromId(ValueId id) { return Value(id); }
+
+  /// The interned id; StringPool::kNullId for null.
+  ValueId id() const { return id_; }
+
+  bool is_null() const { return id_ == StringPool::kNullId; }
 
   /// The string content; requires !is_null() for meaningful use (returns ""
   /// for null so printing code stays simple).
-  const std::string& str() const { return str_; }
+  const std::string& str() const { return StringPool::Global().str(id_); }
 
-  size_t size() const { return null_ ? 0 : str_.size(); }
+  /// The string content as a view (same contract as str()).
+  std::string_view view() const { return StringPool::Global().view(id_); }
 
-  /// Strict equality: null equals only null.
-  bool operator==(const Value& o) const {
-    return null_ == o.null_ && (null_ || str_ == o.str_);
-  }
-  bool operator!=(const Value& o) const { return !(*this == o); }
+  size_t size() const { return view().size(); }
+
+  /// Strict equality: null equals only null. Interning makes this a single
+  /// integer comparison.
+  bool operator==(const Value& o) const { return id_ == o.id_; }
+  bool operator!=(const Value& o) const { return id_ != o.id_; }
+
+  /// Lexicographic order on the resolved strings; null sorts first.
   bool operator<(const Value& o) const {
-    if (null_ != o.null_) return null_;  // null sorts first
-    return !null_ && str_ < o.str_;
+    if (is_null() != o.is_null()) return is_null();  // null sorts first
+    return !is_null() && id_ != o.id_ && view() < o.view();
   }
 
   /// SQL simple semantics of §7: `v1 = v2` evaluates to true if either side
   /// is null. Used when checking variable-CFD / MD satisfaction on repaired
   /// data.
   static bool SqlEquals(const Value& a, const Value& b) {
-    if (a.null_ || b.null_) return true;
-    return a.str_ == b.str_;
+    return a.is_null() || b.is_null() || a.id_ == b.id_;
   }
 
   /// Rendering for CSV / debugging: nulls print as the given token.
   std::string ToString(std::string_view null_token = "\\N") const {
-    return null_ ? std::string(null_token) : str_;
+    return is_null() ? std::string(null_token) : str();
   }
 
  private:
-  bool null_;
-  std::string str_;
+  explicit Value(ValueId id) : id_(id) {}
+
+  ValueId id_;
 };
 
 struct ValueHash {
   size_t operator()(const Value& v) const {
-    return v.is_null() ? 0x9e3779b97f4a7c15ULL
-                       : std::hash<std::string>()(v.str());
+    return static_cast<size_t>(
+        MixU64(static_cast<uint64_t>(v.id()) + 0x9e3779b97f4a7c15ULL));
   }
 };
 

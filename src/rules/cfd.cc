@@ -3,6 +3,7 @@
 #include <unordered_map>
 
 #include "common/check.h"
+#include "data/group_key.h"
 
 namespace uniclean {
 namespace rules {
@@ -70,7 +71,7 @@ bool Cfd::RhsSatisfied(const data::Tuple& t) const {
   UC_CHECK(IsConstantRule());
   const data::Value& v = t.value(rhs_[0]);
   if (v.is_null()) return true;  // SQL simple semantics (§7)
-  return v.str() == rhs_pattern_[0].constant();
+  return v == rhs_pattern_[0].value();
 }
 
 std::string Cfd::ToString(const data::Schema& schema) const {
@@ -94,22 +95,6 @@ std::string Cfd::ToString(const data::Schema& schema) const {
   return out;
 }
 
-namespace {
-
-/// Builds a grouping key from the LHS projection of a tuple. Only called for
-/// tuples that match the LHS pattern, so no nulls appear.
-std::string LhsKey(const data::Tuple& t,
-                   const std::vector<data::AttributeId>& attrs) {
-  std::string key;
-  for (data::AttributeId a : attrs) {
-    key += t.value(a).str();
-    key.push_back('\x1f');
-  }
-  return key;
-}
-
-}  // namespace
-
 bool Satisfies(const data::Relation& d, const Cfd& cfd) {
   UC_CHECK(cfd.normalized());
   if (cfd.IsConstantRule()) {
@@ -120,12 +105,14 @@ bool Satisfies(const data::Relation& d, const Cfd& cfd) {
   }
   // Variable CFD: within each LHS group, all non-null RHS values must agree.
   const data::AttributeId b = cfd.rhs()[0];
-  std::unordered_map<std::string, data::Value> group_value;
+  std::unordered_map<data::GroupKey, data::Value, data::GroupKeyHash>
+      group_value;
   for (const data::Tuple& t : d.tuples()) {
     if (!cfd.MatchesLhs(t)) continue;
     const data::Value& v = t.value(b);
     if (v.is_null()) continue;  // null RHS satisfies equality (§7)
-    auto [it, inserted] = group_value.emplace(LhsKey(t, cfd.lhs()), v);
+    auto [it, inserted] =
+        group_value.emplace(data::GroupKey::Project(t, cfd.lhs()), v);
     if (!inserted && it->second != v) return false;
   }
   return true;

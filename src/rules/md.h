@@ -5,7 +5,9 @@
 #ifndef UNICLEAN_RULES_MD_H_
 #define UNICLEAN_RULES_MD_H_
 
+#include <cstdint>
 #include <string>
+#include <unordered_map>
 #include <vector>
 
 #include "data/relation.h"
@@ -21,6 +23,12 @@ struct MdClause {
   data::AttributeId master_attr;
   similarity::SimilarityPredicate predicate;
 };
+
+/// Per-premise-clause memo of fuzzy predicate outcomes, keyed by
+/// (data value id << 32 | master value id). Equality clauses and identical
+/// ids never consult it. Owned by callers that probe the same value pairs
+/// repeatedly (MdMatcher); size() must equal the premise size.
+using ClauseMemo = std::vector<std::unordered_map<uint64_t, bool>>;
 
 /// One identification action R[E] ⇋ Rm[F]: the cleaning rule writes the
 /// master value s[F] into t[E] (§3.1).
@@ -52,8 +60,12 @@ class Md {
 
   /// Whether the premise holds between data tuple t and master tuple s.
   /// A null on either side fails the clause (§7 semantics: rules only apply
-  /// to tuples that precisely match).
-  bool PremiseHolds(const data::Tuple& t, const data::Tuple& s) const;
+  /// to tuples that precisely match). When `memo` is non-null (one map per
+  /// premise clause), fuzzy-predicate outcomes are looked up / recorded
+  /// there — the single premise-evaluation code path shared by the
+  /// reference checkers and the memoizing MdMatcher.
+  bool PremiseHolds(const data::Tuple& t, const data::Tuple& s,
+                    ClauseMemo* memo = nullptr) const;
 
   /// Returns a copy with extra equality clauses prepended (used by the
   /// negative-MD embedding of Prop. 2.6).

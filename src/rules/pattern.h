@@ -1,10 +1,12 @@
 // PatternValue: one component of a CFD pattern tuple tp (§2.1) — either a
-// constant from the attribute's domain or the unnamed wildcard '_'.
+// constant from the attribute's domain or the unnamed wildcard '_'. The
+// constant is interned, so matching a data value is an integer comparison.
 
 #ifndef UNICLEAN_RULES_PATTERN_H_
 #define UNICLEAN_RULES_PATTERN_H_
 
 #include <string>
+#include <string_view>
 #include <utility>
 
 #include "data/value.h"
@@ -16,38 +18,41 @@ namespace rules {
 class PatternValue {
  public:
   /// The unnamed variable '_' that draws values from the domain.
-  static PatternValue Wildcard() { return PatternValue(true, std::string()); }
+  static PatternValue Wildcard() { return PatternValue(true, data::Value()); }
 
   /// A constant pattern.
-  static PatternValue Constant(std::string value) {
-    return PatternValue(false, std::move(value));
+  static PatternValue Constant(std::string_view value) {
+    return PatternValue(false, data::Value(value));
   }
 
   bool is_wildcard() const { return wildcard_; }
-  const std::string& constant() const { return constant_; }
+  const std::string& constant() const { return value_.str(); }
+
+  /// The constant as an interned value (empty for wildcards).
+  const data::Value& value() const { return value_; }
 
   /// The ≍ operator of §2.1 restricted to a data value vs. this pattern
   /// component. Per §7, a null data value matches no pattern (not even '_').
   bool Matches(const data::Value& v) const {
     if (v.is_null()) return false;
-    return wildcard_ || v.str() == constant_;
+    return wildcard_ || v == value_;
   }
 
   /// "_" or the quoted constant.
   std::string ToString() const {
-    return wildcard_ ? "_" : "'" + constant_ + "'";
+    return wildcard_ ? "_" : "'" + value_.str() + "'";
   }
 
   bool operator==(const PatternValue& o) const {
-    return wildcard_ == o.wildcard_ && (wildcard_ || constant_ == o.constant_);
+    return wildcard_ == o.wildcard_ && (wildcard_ || value_ == o.value_);
   }
 
  private:
-  PatternValue(bool wildcard, std::string constant)
-      : wildcard_(wildcard), constant_(std::move(constant)) {}
+  PatternValue(bool wildcard, data::Value value)
+      : wildcard_(wildcard), value_(value) {}
 
   bool wildcard_;
-  std::string constant_;
+  data::Value value_;
 };
 
 }  // namespace rules

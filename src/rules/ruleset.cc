@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <set>
 
+#include "data/group_key.h"
+
 namespace uniclean {
 namespace rules {
 
@@ -44,6 +46,15 @@ Result<RuleSet> RuleSet::Make(data::SchemaPtr data_schema,
 
   for (const Cfd& cfd : cfds) {
     for (Cfd& n : cfd.Normalize()) {
+      // The engines key their grouping tables on fixed-size GroupKey
+      // projections of the LHS; reject wider rules here with a clean error
+      // instead of aborting mid-pipeline.
+      if (n.lhs().size() > data::GroupKey::kMaxParts) {
+        return Status::InvalidArgument(
+            "rule " + n.name() + ": LHS has " + std::to_string(n.lhs().size()) +
+            " attributes; at most " + std::to_string(data::GroupKey::kMaxParts) +
+            " are supported");
+      }
       for (data::AttributeId a : n.lhs()) {
         UC_RETURN_IF_ERROR(ValidateAttr(*rs.data_schema_, a, n.name()));
       }
@@ -53,6 +64,12 @@ Result<RuleSet> RuleSet::Make(data::SchemaPtr data_schema,
   }
   std::vector<Md> embedded = EmbedNegativeMds(mds, negative_mds);
   for (Md& md : embedded) {
+    if (md.premise().size() > data::GroupKey::kMaxParts) {
+      return Status::InvalidArgument(
+          "rule " + md.name() + ": premise has " +
+          std::to_string(md.premise().size()) + " clauses; at most " +
+          std::to_string(data::GroupKey::kMaxParts) + " are supported");
+    }
     for (const MdClause& c : md.premise()) {
       UC_RETURN_IF_ERROR(ValidateAttr(*rs.data_schema_, c.data_attr,
                                       md.name()));

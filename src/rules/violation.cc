@@ -1,26 +1,12 @@
 #include "rules/violation.h"
 
-#include <string>
 #include <unordered_map>
 
 #include "common/check.h"
+#include "data/group_key.h"
 
 namespace uniclean {
 namespace rules {
-
-namespace {
-
-std::string LhsKey(const data::Tuple& t,
-                   const std::vector<data::AttributeId>& attrs) {
-  std::string key;
-  for (data::AttributeId a : attrs) {
-    key += t.value(a).str();
-    key.push_back('\x1f');
-  }
-  return key;
-}
-
-}  // namespace
 
 std::vector<CfdViolation> FindCfdViolations(const data::Relation& d,
                                             const RuleSet& ruleset,
@@ -39,25 +25,36 @@ std::vector<CfdViolation> FindCfdViolations(const data::Relation& d,
   // Variable CFD: group tuples by LHS projection; within a group, anchor on
   // the first tuple of each distinct RHS value.
   const data::AttributeId b = cfd.rhs()[0];
-  std::unordered_map<std::string,
-                     std::unordered_map<std::string, data::TupleId>>
-      anchors;  // lhs key -> (rhs value -> first tuple)
-  std::unordered_map<std::string, std::vector<data::TupleId>> groups;
+  // Groups and per-group value anchors in first-encounter order, so the
+  // reported violations (and the subset chosen under `limit`) are a function
+  // of the data only, never of the interned-id assignment.
+  struct Group {
+    std::vector<data::TupleId> members;
+    std::unordered_map<data::ValueId, data::TupleId> anchor_of;
+    std::vector<std::pair<data::ValueId, data::TupleId>> anchor_order;
+  };
+  std::unordered_map<data::GroupKey, Group, data::GroupKeyHash> groups;
+  std::vector<Group*> group_order;
   for (data::TupleId t = 0; t < d.size(); ++t) {
     if (!cfd.MatchesLhs(d.tuple(t))) continue;
-    if (d.tuple(t).value(b).is_null()) continue;  // satisfies trivially (§7)
-    std::string key = LhsKey(d.tuple(t), cfd.lhs());
-    groups[key].push_back(t);
-    anchors[key].emplace(d.tuple(t).value(b).str(), t);
+    const data::Value& v = d.tuple(t).value(b);
+    if (v.is_null()) continue;  // satisfies trivially (§7)
+    auto [it, inserted] =
+        groups.try_emplace(data::GroupKey::Project(d.tuple(t), cfd.lhs()));
+    Group& g = it->second;
+    if (inserted) group_order.push_back(&g);
+    g.members.push_back(t);
+    if (g.anchor_of.emplace(v.id(), t).second) {
+      g.anchor_order.emplace_back(v.id(), t);
+    }
   }
-  for (const auto& [key, members] : groups) {
-    const auto& value_anchor = anchors[key];
-    if (value_anchor.size() <= 1) continue;  // group agrees
-    for (data::TupleId t : members) {
+  for (const Group* group : group_order) {
+    if (group->anchor_order.size() <= 1) continue;  // group agrees
+    for (data::TupleId t : group->members) {
       if (out.size() >= limit) return out;
-      const std::string& v = d.tuple(t).value(b).str();
-      // Pair t against the anchor of some other value.
-      for (const auto& [other_value, anchor] : value_anchor) {
+      const data::ValueId v = d.tuple(t).value(b).id();
+      // Pair t against the anchor of the first other value seen.
+      for (const auto& [other_value, anchor] : group->anchor_order) {
         if (other_value == v) continue;
         out.push_back(CfdViolation{rule, anchor, t});
         break;

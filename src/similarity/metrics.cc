@@ -28,6 +28,22 @@ int EditDistance(std::string_view a, std::string_view b) {
 
 int BoundedEditDistance(std::string_view a, std::string_view b, int k) {
   UC_CHECK_GE(k, 0);
+  // Strip the common prefix and suffix: they contribute 0 to the distance,
+  // and most near-matches differ in a short middle section, so the banded DP
+  // then runs on a fraction of the characters.
+  size_t prefix = 0;
+  const size_t max_common = std::min(a.size(), b.size());
+  while (prefix < max_common && a[prefix] == b[prefix]) ++prefix;
+  a.remove_prefix(prefix);
+  b.remove_prefix(prefix);
+  size_t suffix = 0;
+  const size_t max_suffix = std::min(a.size(), b.size());
+  while (suffix < max_suffix &&
+         a[a.size() - 1 - suffix] == b[b.size() - 1 - suffix]) {
+    ++suffix;
+  }
+  a.remove_suffix(suffix);
+  b.remove_suffix(suffix);
   if (a.size() < b.size()) std::swap(a, b);
   const int n = static_cast<int>(a.size());
   const int m = static_cast<int>(b.size());

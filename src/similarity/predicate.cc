@@ -46,10 +46,28 @@ bool SimilarityPredicate::Evaluate(std::string_view a,
       return a == b;
     case PredicateKind::kEditDistance: {
       int k = static_cast<int>(threshold_);
+      // Length pre-filter: the distance is at least the length gap, so
+      // obviously-distant pairs never reach the banded DP.
+      size_t lo = std::min(a.size(), b.size());
+      size_t hi = std::max(a.size(), b.size());
+      if (hi - lo > static_cast<size_t>(k)) return false;
       return BoundedEditDistance(a, b, k) <= k;
     }
-    case PredicateKind::kJaroWinkler:
+    case PredicateKind::kJaroWinkler: {
+      // Length pre-filter: with m <= min(|a|,|b|) matches, Jaro is at most
+      // (m/|a| + m/|b| + 1) / 3, and the Winkler prefix bonus can lift a
+      // score j to at most j + 0.4 * (1 - j). Reject when even that upper
+      // bound misses the threshold.
+      if (!a.empty() && !b.empty()) {
+        double lo = static_cast<double>(std::min(a.size(), b.size()));
+        double ub_jaro = (lo / static_cast<double>(a.size()) +
+                          lo / static_cast<double>(b.size()) + 1.0) /
+                         3.0;
+        double ub = ub_jaro + 0.4 * (1.0 - ub_jaro);
+        if (ub < threshold_) return false;
+      }
       return JaroWinklerSimilarity(a, b) >= threshold_;
+    }
     case PredicateKind::kQGramJaccard:
       return QGramJaccard(a, b, qgram_size_) >= threshold_;
   }

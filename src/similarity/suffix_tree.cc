@@ -106,23 +106,62 @@ void GeneralizedSuffixTree::Build() {
   // All suffixes end in a unique separator, so remainder_ must have drained.
   UC_CHECK_EQ(remainder_, 0) << "suffix tree build left pending suffixes";
 
-  // Compute suffix starts for leaves: suffix_start = |text| - depth(leaf).
+  // Compute suffix starts for leaves (suffix_start = |text| - depth(leaf))
+  // and, per node, the contiguous slice of leaf_starts_ covering its
+  // subtree, so leaf collection at query time is an array read instead of a
+  // subtree walk. The DFS visits children in reverse map-iteration order —
+  // the exact order the old per-query stack walk produced — so truncated
+  // collections pick the same leaves.
   suffix_start_.assign(nodes_.size(), -1);
-  std::vector<std::pair<int, int>> stack;  // (node, depth-so-far at node)
-  stack.emplace_back(0, 0);
+  leaf_range_.assign(nodes_.size(), {0, 0});
+  leaf_starts_.clear();
+  leaf_starts_.reserve(text_.size());
+  struct Frame {
+    int node;
+    int depth;
+    bool entered;
+  };
+  std::vector<Frame> stack;
+  stack.push_back(Frame{0, 0, false});
   while (!stack.empty()) {
-    auto [node, depth] = stack.back();
-    stack.pop_back();
+    Frame& f = stack.back();
+    const int node = f.node;
     const Node& n = nodes_[static_cast<size_t>(node)];
-    if (n.next.empty() && node != 0) {
-      suffix_start_[static_cast<size_t>(node)] =
-          static_cast<int>(text_.size()) - depth;
-      continue;
+    if (!f.entered) {
+      f.entered = true;
+      leaf_range_[static_cast<size_t>(node)].first =
+          static_cast<int>(leaf_starts_.size());
+      if (n.next.empty() && node != 0) {
+        suffix_start_[static_cast<size_t>(node)] =
+            static_cast<int>(text_.size()) - f.depth;
+        leaf_starts_.push_back(suffix_start_[static_cast<size_t>(node)]);
+      } else {
+        // Push children in map order; LIFO popping visits them in reverse,
+        // matching the old CollectLeaves stack discipline.
+        const int depth = f.depth;
+        for (const auto& [sym, child] : n.next) {
+          (void)sym;
+          stack.push_back(Frame{
+              child,
+              depth + EdgeLength(nodes_[static_cast<size_t>(child)]), false});
+        }
+        continue;
+      }
     }
-    for (const auto& [sym, child] : n.next) {
-      (void)sym;
-      stack.emplace_back(child,
-                         depth + EdgeLength(nodes_[static_cast<size_t>(child)]));
+    // Post-order: close the node's slice. Children appear below this frame
+    // on the stack, so the node's frame resurfaces after its subtree.
+    leaf_range_[static_cast<size_t>(node)].second =
+        static_cast<int>(leaf_starts_.size());
+    stack.pop_back();
+  }
+
+  // O(1) suffix-position -> string-id map (replaces the per-leaf binary
+  // search over boundaries_).
+  pos_string_id_.assign(text_.size(), -1);
+  for (size_t id = 0; id < boundaries_.size(); ++id) {
+    const int begin = boundaries_[id];
+    for (int k = 0; k < string_length_[id]; ++k) {
+      pos_string_id_[static_cast<size_t>(begin + k)] = static_cast<int>(id);
     }
   }
 }
@@ -140,8 +179,12 @@ std::vector<int> GeneralizedSuffixTree::AllSuffixStarts() const {
 int GeneralizedSuffixTree::StringIdAt(int text_pos) const {
   UC_CHECK_GE(text_pos, 0);
   UC_CHECK_LT(static_cast<size_t>(text_pos), text_.size());
+  // Precomputed at Build(); separators map to -1. Before Build(), fall back
+  // to the binary search over boundaries_.
+  if (!pos_string_id_.empty()) {
+    return pos_string_id_[static_cast<size_t>(text_pos)];
+  }
   if (text_[static_cast<size_t>(text_pos)] < 0) return -1;  // separator
-  // boundaries_ is sorted; find the last boundary <= text_pos.
   auto it = std::upper_bound(boundaries_.begin(), boundaries_.end(), text_pos);
   return static_cast<int>(it - boundaries_.begin()) - 1;
 }
@@ -167,20 +210,14 @@ bool GeneralizedSuffixTree::ContainsSubstring(std::string_view q) const {
 
 void GeneralizedSuffixTree::CollectLeaves(int node, int limit,
                                           std::vector<int>* starts) const {
-  std::vector<int> stack{node};
-  while (!stack.empty() && static_cast<int>(starts->size()) < limit) {
-    int cur = stack.back();
-    stack.pop_back();
-    const Node& n = nodes_[static_cast<size_t>(cur)];
-    if (n.next.empty() && cur != 0) {
-      starts->push_back(suffix_start_[static_cast<size_t>(cur)]);
-      continue;
-    }
-    for (const auto& [sym, child] : n.next) {
-      (void)sym;
-      stack.push_back(child);
-    }
-  }
+  // The node's leaves are a precomputed contiguous slice (see Build()), in
+  // the same order the old per-query subtree walk produced them.
+  const auto [begin, end] = leaf_range_[static_cast<size_t>(node)];
+  const int room = limit - static_cast<int>(starts->size());
+  if (room <= 0) return;
+  const int take = std::min(room, end - begin);
+  starts->insert(starts->end(), leaf_starts_.begin() + begin,
+                 leaf_starts_.begin() + begin + take);
 }
 
 std::vector<BlockingCandidate> GeneralizedSuffixTree::TopL(

@@ -93,6 +93,12 @@ class GeneralizedSuffixTree {
   std::vector<int> string_length_;  // length of each indexed string
   std::vector<Node> nodes_;
   std::vector<int> suffix_start_;   // per node: suffix start if leaf, else -1
+  // Query-time acceleration, precomputed at Build(): the leaves of every
+  // subtree as a contiguous slice of a preorder leaf array, and an O(1)
+  // text-position -> string-id map.
+  std::vector<int> leaf_starts_;                 // leaf suffix starts, preorder
+  std::vector<std::pair<int, int>> leaf_range_;  // per node: [begin, end)
+  std::vector<int> pos_string_id_;               // per text position
   bool built_ = false;
 
   // Ukkonen build state.

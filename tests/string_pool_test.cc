@@ -1,0 +1,176 @@
+// Tests for the interning layer: StringPool round-trip / dedup / null
+// sentinel, the interned data::Value semantics, and the GroupKey integer
+// keys the repair engines hash on.
+
+#include <string>
+#include <unordered_set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "data/group_key.h"
+#include "data/relation.h"
+#include "data/string_pool.h"
+#include "data/value.h"
+
+namespace uniclean {
+namespace data {
+namespace {
+
+TEST(StringPoolTest, RoundTripsInternedStrings) {
+  StringPool pool;
+  ValueId a = pool.Intern("Edinburgh");
+  ValueId b = pool.Intern("London");
+  EXPECT_EQ(pool.str(a), "Edinburgh");
+  EXPECT_EQ(pool.str(b), "London");
+  EXPECT_EQ(pool.view(a), "Edinburgh");
+}
+
+TEST(StringPoolTest, DedupsIdenticalStrings) {
+  StringPool pool;
+  size_t before = pool.size();
+  ValueId a = pool.Intern("10 Oak St");
+  ValueId b = pool.Intern(std::string("10 Oak St"));
+  ValueId c = pool.Intern("10 Oak Street");
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(pool.size(), before + 2);
+}
+
+TEST(StringPoolTest, EmptyStringIsPreInternedAtIdZero) {
+  StringPool pool;
+  EXPECT_EQ(pool.Intern(""), StringPool::kEmptyId);
+  EXPECT_EQ(pool.str(StringPool::kEmptyId), "");
+  EXPECT_GE(pool.size(), 1u);
+}
+
+TEST(StringPoolTest, NullSentinelIsNeverAValidId) {
+  StringPool pool;
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_NE(pool.Intern("s" + std::to_string(i)), StringPool::kNullId);
+  }
+  // The sentinel still resolves to "" so printing code stays simple.
+  EXPECT_EQ(pool.str(StringPool::kNullId), "");
+}
+
+TEST(StringPoolTest, ScopedPoolInstallsAndRestores) {
+  Value outer("outer-value");
+  {
+    ScopedStringPool scoped;
+    EXPECT_EQ(&StringPool::Global(), &scoped.pool());
+    // The scoped pool starts fresh: only "" is interned.
+    EXPECT_EQ(scoped.pool().size(), 1u);
+    Value inner("inner-value");
+    EXPECT_EQ(inner.str(), "inner-value");
+  }
+  // Outer values resolve again after the scope exits.
+  EXPECT_EQ(outer.str(), "outer-value");
+}
+
+TEST(ValueInterningTest, EqualityIsIdEquality) {
+  Value a("Edi");
+  Value b("Edi");
+  Value c("Ldn");
+  EXPECT_EQ(a.id(), b.id());
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_EQ(Value::FromId(a.id()), a);
+}
+
+TEST(ValueInterningTest, NullSemantics) {
+  Value null = Value::Null();
+  Value empty;
+  EXPECT_TRUE(null.is_null());
+  EXPECT_FALSE(empty.is_null());
+  EXPECT_NE(null, empty);
+  EXPECT_EQ(null.str(), "");
+  EXPECT_EQ(null.ToString(), "\\N");
+  EXPECT_EQ(null.size(), 0u);
+  // SQL simple semantics: null equals anything under SqlEquals.
+  EXPECT_TRUE(Value::SqlEquals(null, Value("x")));
+  EXPECT_TRUE(Value::SqlEquals(Value("x"), null));
+  EXPECT_FALSE(Value::SqlEquals(Value("x"), Value("y")));
+  // Strict ordering: null sorts first.
+  EXPECT_TRUE(null < empty);
+  EXPECT_FALSE(empty < null);
+  // Hash separates null from the empty string.
+  EXPECT_NE(ValueHash()(null), ValueHash()(empty));
+}
+
+TEST(ValueInterningTest, OrderingIsLexicographicOnStrings) {
+  // Intern in reverse order so ids and lexicographic order disagree.
+  Value z("zebra");
+  Value a("apple");
+  EXPECT_LT(z.id(), a.id());
+  EXPECT_TRUE(a < z);
+  EXPECT_FALSE(z < a);
+}
+
+// Randomized bijection property: id equality must coincide with string
+// equality — this is the invariant that lets every engine compare ids where
+// it used to compare characters.
+TEST(ValueInterningTest, IdEqualityMatchesStringEquality) {
+  Rng rng(7);
+  std::vector<std::string> strings;
+  for (int i = 0; i < 200; ++i) {
+    std::string s;
+    for (int k = static_cast<int>(rng.Uniform(0, 12)); k > 0; --k) {
+      s.push_back(static_cast<char>('a' + rng.Uniform(0, 5)));
+    }
+    strings.push_back(s);
+  }
+  for (const std::string& s : strings) {
+    for (const std::string& t : strings) {
+      Value vs(s);
+      Value vt(t);
+      EXPECT_EQ(vs.id() == vt.id(), s == t) << "'" << s << "' vs '" << t
+                                            << "'";
+      EXPECT_EQ(vs == vt, s == t);
+    }
+  }
+}
+
+TEST(GroupKeyTest, ProjectsTupleValues) {
+  Tuple t(3);
+  t.set_value(0, Value("a"));
+  t.set_value(1, Value("b"));
+  t.set_value(2, Value("c"));
+  std::vector<AttributeId> attrs{0, 2};
+  GroupKey key = GroupKey::Project(t, attrs);
+  EXPECT_EQ(key.size, 2u);
+  EXPECT_EQ(key.parts[0], Value("a").id());
+  EXPECT_EQ(key.parts[1], Value("c").id());
+}
+
+TEST(GroupKeyTest, EqualityAndHashAgree) {
+  GroupKey a;
+  a.Append(1);
+  a.Append(2);
+  GroupKey b;
+  b.Append(1);
+  b.Append(2);
+  GroupKey c;
+  c.Append(2);
+  c.Append(1);
+  GroupKey d;
+  d.Append(1);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);
+  EXPECT_NE(a, d);  // different length
+  GroupKeyHash h;
+  EXPECT_EQ(h(a), h(b));
+}
+
+TEST(GroupKeyTest, DistinguishesNullFromEmptyString) {
+  Tuple t1(1);
+  t1.set_value(0, Value::Null());
+  Tuple t2(1);
+  t2.set_value(0, Value(""));
+  std::vector<AttributeId> attrs{0};
+  EXPECT_NE(GroupKey::Project(t1, attrs), GroupKey::Project(t2, attrs));
+}
+
+}  // namespace
+}  // namespace data
+}  // namespace uniclean
