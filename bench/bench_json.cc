@@ -1,8 +1,11 @@
 // bench_json: the machine-readable perf harness. Executes the fig14-style
 // pipeline points (full Uni plus the cumulative cRepair / cRepair+eRepair
-// stages on HOSP, full Uni on DBLP and TPC-H) and the §5.2 blocking
-// ablation, and writes every measurement to a JSON file so each PR records
-// a comparable perf trajectory (BENCH_pipeline.json at the repo root).
+// stages on HOSP, full Uni on DBLP and TPC-H), the cold-vs-warm session
+// points (MatchEnvironment index build reported separately from repair
+// time, then a cold and a warm Cleaner::Run over identical dirty copies)
+// and the §5.2 blocking ablation, and writes every measurement to a JSON
+// file so each PR records a comparable perf trajectory (BENCH_pipeline.json
+// at the repo root).
 //
 // Per point it records wall time, items/sec, peak RSS and the number/volume
 // of heap allocations (via a counting operator new hook local to this
@@ -180,6 +183,60 @@ Measurement PipelinePoint(const std::string& dataset, int num_tuples,
                  });
 }
 
+/// One cold-vs-warm session triple: a single Cleaner (one shared
+/// MatchEnvironment) cleans two identical dirty copies in succession. The
+/// "build" point is Warmup() — pure MD index construction; "cold" is the
+/// first run, which fills the similarity / blocking / match memos; "warm" is
+/// the second run, where every probe hits the warm memos — the serving
+/// scenario's steady state.
+void SessionPoint(const std::string& dataset, int num_tuples,
+                  int master_size) {
+  gen::GeneratorConfig config;
+  config.num_tuples = num_tuples;
+  config.master_size = master_size;
+  config.noise_rate = 0.06;
+  config.dup_rate = 0.4;
+  config.seed = 1;
+  gen::Dataset ds = Generate(dataset, config);
+
+  auto cleaner = CleanerBuilder()
+                     .WithData(ds.dirty.Clone())
+                     .WithMaster(&ds.master)
+                     .WithRules(&ds.rules)
+                     .WithEta(1.0)
+                     .Build();
+  if (!cleaner.ok()) {
+    std::fprintf(stderr, "bench_json: session build failed: %s\n",
+                 cleaner.status().ToString().c_str());
+    std::exit(2);
+  }
+
+  const std::string suffix = "_n" + std::to_string(num_tuples);
+  // The build point indexes the *master* relation, so its rate is per
+  // master tuple (the dirty data plays no part in Warmup).
+  Measure("session_" + dataset + "_build" + suffix, dataset, num_tuples,
+          master_size, "build", master_size, [&]() -> long long {
+            cleaner->Warmup();
+            return 0;
+          });
+  data::Relation cold_copy = ds.dirty.Clone();
+  data::Relation warm_copy = ds.dirty.Clone();
+  for (const char* stage : {"cold", "warm"}) {
+    data::Relation* copy =
+        std::strcmp(stage, "cold") == 0 ? &cold_copy : &warm_copy;
+    Measure("session_" + dataset + "_" + stage + suffix, dataset, num_tuples,
+            master_size, stage, num_tuples, [&]() -> long long {
+              auto result = cleaner->Run(copy);
+              if (!result.ok()) {
+                std::fprintf(stderr, "bench_json: session run failed: %s\n",
+                             result.status().ToString().c_str());
+                std::exit(2);
+              }
+              return result->total_fixes();
+            });
+  }
+}
+
 /// The §5.2 blocking ablation: per-probe match cost with the suffix-tree
 /// index vs a brute-force master scan.
 void AblationPoint(int master_size, bool use_blocking) {
@@ -277,6 +334,12 @@ int main(int argc, char** argv) {
     PipelinePoint("dblp", n, 500, "ceh");
     PipelinePoint("tpch", n, 300, "ceh");
   }
+  // Cold-vs-warm sessions: index build, memo-cold first run and memo-warm
+  // second run over identical dirty copies (warm reuse acceptance: the warm
+  // DBLP run must beat the cold one).
+  SessionPoint("hosp", 1000, 500);
+  SessionPoint("dblp", 1000, 500);
+  SessionPoint("tpch", 1000, 300);
   // Blocking ablation (§5.2).
   for (int m : quick ? std::vector<int>{500} : std::vector<int>{500, 2000}) {
     AblationPoint(m, /*use_blocking=*/true);

@@ -38,9 +38,13 @@ struct GroupEntry {
 /// The full state of one cRepair run (Fig. 4's indexing structures).
 class CRepairRun {
  public:
-  CRepairRun(Relation* d, const Relation& dm, const RuleSet& ruleset,
+  CRepairRun(Relation* d, const MatchEnvironment& env,
              const CRepairOptions& options)
-      : d_(*d), dm_(dm), ruleset_(ruleset), options_(options) {
+      : d_(*d),
+        env_(env),
+        dm_(env.master()),
+        ruleset_(env.rules()),
+        options_(options) {
     const size_t n = static_cast<size_t>(d_.size());
     const size_t r = static_cast<size_t>(ruleset_.num_rules());
     const size_t arity = static_cast<size_t>(d_.schema().arity());
@@ -52,7 +56,6 @@ class CRepairRun {
     vcfds_by_rhs_attr_.assign(arity, {});
     lhs_required_.assign(r, 0);
     groups_.resize(r);
-    matchers_.resize(r);
     for (RuleId rule = 0; rule < ruleset_.num_rules(); ++rule) {
       std::vector<AttributeId> unique_lhs = ruleset_.DataLhs(rule);
       std::sort(unique_lhs.begin(), unique_lhs.end());
@@ -68,10 +71,6 @@ class CRepairRun {
         // attribute; index them once instead of scanning all vCFDs per call.
         vcfds_by_rhs_attr_[static_cast<size_t>(ruleset_.DataRhs(rule))]
             .push_back(rule);
-      }
-      if (!ruleset_.IsCfd(rule)) {
-        matchers_[static_cast<size_t>(rule)] = std::make_unique<MdMatcher>(
-            ruleset_.md(rule), dm_, options_.matcher);
       }
     }
   }
@@ -216,7 +215,7 @@ class CRepairRun {
   /// Procedure MDInfer (Fig. 5).
   void MdInfer(TupleId t, RuleId rule) {
     const Md& md = ruleset_.md(rule);
-    MdMatcher* matcher = matchers_[static_cast<size_t>(rule)].get();
+    const MdMatcher* matcher = env_.matcher(rule);
     UC_CHECK(matcher != nullptr);
     TupleId s = matcher->FindFirstMatch(d_.tuple(t));
     if (s < 0) return;
@@ -234,6 +233,7 @@ class CRepairRun {
   }
 
   Relation& d_;
+  const MatchEnvironment& env_;
   const Relation& dm_;
   const RuleSet& ruleset_;
   const CRepairOptions& options_;
@@ -247,17 +247,22 @@ class CRepairRun {
   std::vector<std::vector<RuleId>> vcfds_by_rhs_attr_;  // variable CFDs only
   // Hϕ per rule id (populated for variable CFDs, empty otherwise).
   std::vector<std::unordered_map<GroupKey, GroupEntry, GroupKeyHash>> groups_;
-  std::vector<std::unique_ptr<MdMatcher>> matchers_;  // per rule id (MDs)
   std::deque<std::pair<TupleId, RuleId>> worklist_;  // the queues Q[t]
 };
 
 }  // namespace
 
-CRepairStats CRepair(Relation* d, const Relation& dm, const RuleSet& ruleset,
+CRepairStats CRepair(Relation* d, const MatchEnvironment& env,
                      const CRepairOptions& options) {
   UC_CHECK(d != nullptr);
-  CRepairRun run(d, dm, ruleset, options);
+  CRepairRun run(d, env, options);
   return run.Run();
+}
+
+CRepairStats CRepair(Relation* d, const Relation& dm, const RuleSet& ruleset,
+                     const CRepairOptions& options) {
+  MatchEnvironment env(ruleset, dm, options.matcher);
+  return CRepair(d, env, options);
 }
 
 }  // namespace core

@@ -12,6 +12,7 @@
 #include <vector>
 
 #include "core/fix_observer.h"
+#include "core/match_environment.h"
 #include "core/md_matcher.h"
 #include "data/relation.h"
 #include "rules/ruleset.h"
@@ -22,7 +23,9 @@ namespace core {
 struct CRepairOptions {
   /// Confidence threshold η: cells at or above are asserted correct.
   double eta = 0.8;
-  /// Options for MD candidate retrieval (suffix-tree blocking, §5.2).
+  /// Options for MD candidate retrieval (suffix-tree blocking, §5.2). Only
+  /// consulted by the deprecated environment-less entry point; when a
+  /// MatchEnvironment is borrowed, its own options govern retrieval.
   MdMatcherOptions matcher;
   /// Optional per-fix callback (see fix_observer.h); called exactly once per
   /// deterministic fix, with the rule that produced it.
@@ -48,7 +51,18 @@ struct CRepairStats {
 };
 
 /// Runs cRepair in place: fixes cells of `d`, upgrades their confidence and
-/// marks them deterministic. Returns statistics.
+/// marks them deterministic. Returns statistics. Borrows the shared match
+/// environment (master relation, rules, warm MD indexes and memos) instead
+/// of building per-run matchers; `options.matcher` is ignored on this path.
+CRepairStats CRepair(data::Relation* d, const MatchEnvironment& env,
+                     const CRepairOptions& options = {});
+
+/// DEPRECATED: environment-less entry point, kept as a source-compatibility
+/// shim for one release. Builds a throwaway MatchEnvironment from
+/// `options.matcher` on every call — every MD index and memo is rebuilt and
+/// re-warmed, which is exactly the cost the shared environment removes. New
+/// code should construct a core::MatchEnvironment (or use uniclean::Cleaner,
+/// which owns one per session) and call the overload above.
 CRepairStats CRepair(data::Relation* d, const data::Relation& dm,
                      const rules::RuleSet& ruleset,
                      const CRepairOptions& options = {});

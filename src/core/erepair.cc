@@ -31,19 +31,16 @@ using rules::RuleSet;
 
 class ERepairRun {
  public:
-  ERepairRun(Relation* d, const Relation& dm, const RuleSet& ruleset,
+  ERepairRun(Relation* d, const MatchEnvironment& env,
              const ERepairOptions& options)
-      : d_(*d), dm_(dm), ruleset_(ruleset), options_(options) {
+      : d_(*d),
+        env_(env),
+        dm_(env.master()),
+        ruleset_(env.rules()),
+        options_(options) {
     change_count_.assign(static_cast<size_t>(d_.size()) *
                              static_cast<size_t>(d_.schema().arity()),
                          0);
-    matchers_.resize(static_cast<size_t>(ruleset_.num_rules()));
-    for (RuleId rule = 0; rule < ruleset_.num_rules(); ++rule) {
-      if (!ruleset_.IsCfd(rule)) {
-        matchers_[static_cast<size_t>(rule)] = std::make_unique<MdMatcher>(
-            ruleset_.md(rule), dm_, options_.matcher);
-      }
-    }
   }
 
   ERepairStats Run() {
@@ -222,7 +219,7 @@ class ERepairRun {
   void MdResolve(RuleId rule) {
     const Md& md = ruleset_.md(rule);
     const rules::MdAction& action = md.actions()[0];
-    const MdMatcher& matcher = *matchers_[static_cast<size_t>(rule)];
+    const MdMatcher& matcher = *env_.matcher(rule);
     for (TupleId t = 0; t < d_.size(); ++t) {
       // MD premises depend only on this tuple and the static master data:
       // skip tuples untouched since the previous pass.
@@ -247,6 +244,7 @@ class ERepairRun {
   }
 
   Relation& d_;
+  const MatchEnvironment& env_;
   const Relation& dm_;
   const RuleSet& ruleset_;
   const ERepairOptions& options_;
@@ -254,7 +252,6 @@ class ERepairRun {
   int resolved_this_call_ = 0;
 
   std::vector<int> change_count_;  // per cell
-  std::vector<std::unique_ptr<MdMatcher>> matchers_;  // per rule id (MDs)
   std::vector<uint8_t> touched_prev_;  // tuples changed in the last pass
   std::vector<uint8_t> touched_cur_;   // tuples changed in this pass
 };
@@ -279,11 +276,17 @@ double GroupEntropy(const std::vector<int>& counts) {
   return h;
 }
 
-ERepairStats ERepair(Relation* d, const Relation& dm, const RuleSet& ruleset,
+ERepairStats ERepair(Relation* d, const MatchEnvironment& env,
                      const ERepairOptions& options) {
   UC_CHECK(d != nullptr);
-  ERepairRun run(d, dm, ruleset, options);
+  ERepairRun run(d, env, options);
   return run.Run();
+}
+
+ERepairStats ERepair(Relation* d, const Relation& dm, const RuleSet& ruleset,
+                     const ERepairOptions& options) {
+  MatchEnvironment env(ruleset, dm, options.matcher);
+  return ERepair(d, env, options);
 }
 
 }  // namespace core

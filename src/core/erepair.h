@@ -10,6 +10,7 @@
 #define UNICLEAN_CORE_EREPAIR_H_
 
 #include "core/fix_observer.h"
+#include "core/match_environment.h"
 #include "core/md_matcher.h"
 #include "data/relation.h"
 #include "rules/ruleset.h"
@@ -24,6 +25,8 @@ struct ERepairOptions {
   double delta2 = 0.8;
   /// Cells with confidence >= eta are treated as asserted and not modified.
   double eta = 0.8;
+  /// Only consulted by the deprecated environment-less entry point; when a
+  /// MatchEnvironment is borrowed, its own options govern retrieval.
   MdMatcherOptions matcher;
   /// Optional per-fix callback (see fix_observer.h); called once per reliable
   /// fix — a cell rewritten twice produces two calls.
@@ -50,7 +53,15 @@ struct ERepairStats {
 /// are equally frequent. `counts` must be non-empty with positive entries.
 double GroupEntropy(const std::vector<int>& counts);
 
-/// Runs eRepair in place; returns statistics.
+/// Runs eRepair in place; returns statistics. Borrows the shared match
+/// environment (master relation, rules, warm MD indexes and memos) instead
+/// of building per-run matchers; `options.matcher` is ignored on this path.
+ERepairStats ERepair(data::Relation* d, const MatchEnvironment& env,
+                     const ERepairOptions& options = {});
+
+/// DEPRECATED: environment-less entry point, kept as a source-compatibility
+/// shim for one release. Rebuilds every MD index and memo per call; new code
+/// should share a core::MatchEnvironment (or use uniclean::Cleaner).
 ERepairStats ERepair(data::Relation* d, const data::Relation& dm,
                      const rules::RuleSet& ruleset,
                      const ERepairOptions& options = {});

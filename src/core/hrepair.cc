@@ -33,24 +33,18 @@ using data::GroupKeyHash;
 
 class HRepairRun {
  public:
-  HRepairRun(Relation* d, const Relation& dm, const RuleSet& ruleset,
+  HRepairRun(Relation* d, const MatchEnvironment& env,
              const HRepairOptions& options)
       : view_(*d),
         original_(d->Clone()),
-        dm_(dm),
-        ruleset_(ruleset),
+        env_(env),
+        dm_(env.master()),
+        ruleset_(env.rules()),
         options_(options),
         eq_(d->size(), d->schema().arity()),
         last_rule_(static_cast<size_t>(d->size()) *
                        static_cast<size_t>(d->schema().arity()),
                    -1) {
-    matchers_.resize(static_cast<size_t>(ruleset_.num_rules()));
-    for (RuleId rule = 0; rule < ruleset_.num_rules(); ++rule) {
-      if (!ruleset_.IsCfd(rule)) {
-        matchers_[static_cast<size_t>(rule)] = std::make_unique<MdMatcher>(
-            ruleset_.md(rule), dm_, options.matcher);
-      }
-    }
     // Corollary 7.1: deterministic fixes are preserved — freeze them.
     for (TupleId t = 0; t < view_.size(); ++t) {
       for (AttributeId a = 0; a < view_.schema().arity(); ++a) {
@@ -381,7 +375,7 @@ class HRepairRun {
   bool ResolveMd(RuleId rule) {
     const Md& md = ruleset_.md(rule);
     const rules::MdAction& action = md.actions()[0];
-    const MdMatcher& matcher = *matchers_[static_cast<size_t>(rule)];
+    const MdMatcher& matcher = *env_.matcher(rule);
     std::vector<AttributeId> premise_attrs;
     premise_attrs.reserve(md.premise().size());
     for (const rules::MdClause& c : md.premise()) {
@@ -438,6 +432,7 @@ class HRepairRun {
 
   Relation& view_;
   Relation original_;
+  const MatchEnvironment& env_;
   const Relation& dm_;
   const RuleSet& ruleset_;
   const HRepairOptions& options_;
@@ -445,18 +440,23 @@ class HRepairRun {
   HRepairStats stats_;
   RuleId current_rule_ = -1;         // rule whose violations are being fixed
   std::vector<RuleId> last_rule_;    // per cell: last rule that rewrote it
-  std::vector<std::unique_ptr<MdMatcher>> matchers_;  // per rule id (MDs)
   std::vector<uint8_t> touched_prev_;  // tuples changed in the last pass
   std::vector<uint8_t> touched_cur_;   // tuples changed in this pass
 };
 
 }  // namespace
 
-HRepairStats HRepair(Relation* d, const Relation& dm, const RuleSet& ruleset,
+HRepairStats HRepair(Relation* d, const MatchEnvironment& env,
                      const HRepairOptions& options) {
   UC_CHECK(d != nullptr);
-  HRepairRun run(d, dm, ruleset, options);
+  HRepairRun run(d, env, options);
   return run.Run();
+}
+
+HRepairStats HRepair(Relation* d, const Relation& dm, const RuleSet& ruleset,
+                     const HRepairOptions& options) {
+  MatchEnvironment env(ruleset, dm, options.matcher);
+  return HRepair(d, env, options);
 }
 
 }  // namespace core

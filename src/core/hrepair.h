@@ -18,6 +18,7 @@
 #define UNICLEAN_CORE_HREPAIR_H_
 
 #include "core/fix_observer.h"
+#include "core/match_environment.h"
 #include "core/md_matcher.h"
 #include "data/relation.h"
 #include "rules/ruleset.h"
@@ -26,6 +27,8 @@ namespace uniclean {
 namespace core {
 
 struct HRepairOptions {
+  /// Only consulted by the deprecated environment-less entry point; when a
+  /// MatchEnvironment is borrowed, its own options govern retrieval.
   MdMatcherOptions matcher;
   /// Optional per-fix callback (see fix_observer.h); called once per possible
   /// fix — i.e. per cell whose final value differs from the phase input —
@@ -51,7 +54,15 @@ struct HRepairStats {
 };
 
 /// Runs hRepair in place; returns statistics. After the call (with zero
-/// anomalies), `*d` satisfies every CFD and MD of `ruleset` w.r.t. `dm`.
+/// anomalies), `*d` satisfies every CFD and MD of the environment's rules
+/// w.r.t. its master relation. Borrows the shared match environment instead
+/// of building per-run matchers; `options.matcher` is ignored on this path.
+HRepairStats HRepair(data::Relation* d, const MatchEnvironment& env,
+                     const HRepairOptions& options = {});
+
+/// DEPRECATED: environment-less entry point, kept as a source-compatibility
+/// shim for one release. Rebuilds every MD index and memo per call; new code
+/// should share a core::MatchEnvironment (or use uniclean::Cleaner).
 HRepairStats HRepair(data::Relation* d, const data::Relation& dm,
                      const rules::RuleSet& ruleset,
                      const HRepairOptions& options = {});

@@ -1,6 +1,7 @@
 #include "core/md_matcher.h"
 
 #include <algorithm>
+#include <atomic>
 
 #include "common/check.h"
 
@@ -8,6 +9,8 @@ namespace uniclean {
 namespace core {
 
 namespace {
+
+std::atomic<uint64_t> g_constructed_count{0};
 
 data::GroupKey EqualityKey(const std::vector<size_t>& clause_idx,
                            const rules::Md& md, const data::Tuple& tuple,
@@ -23,9 +26,14 @@ data::GroupKey EqualityKey(const std::vector<size_t>& clause_idx,
 
 }  // namespace
 
+uint64_t MdMatcher::ConstructedCount() {
+  return g_constructed_count.load(std::memory_order_relaxed);
+}
+
 MdMatcher::MdMatcher(const rules::Md& md, const data::Relation& dm,
                      const MdMatcherOptions& options)
     : md_(md), dm_(dm), options_(options) {
+  g_constructed_count.fetch_add(1, std::memory_order_relaxed);
   UC_CHECK(md_.normalized()) << "MdMatcher requires a normalized MD";
   // Matches() keys its memo on the full premise projection; enforce the
   // GroupKey width limit here for matchers built outside RuleSet::Make.

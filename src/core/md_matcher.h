@@ -59,6 +59,11 @@ class MdMatcher {
 
   const rules::Md& md() const { return md_; }
 
+  /// Process-wide count of MdMatcher constructions (each construction pays
+  /// the full index-build cost). Tests assert index sharing with it: a warm
+  /// Cleaner re-run must not move this counter.
+  static uint64_t ConstructedCount();
+
  private:
   const std::vector<data::TupleId>& Candidates(const data::Tuple& t) const;
   const std::vector<data::TupleId>& AllMasters() const;

@@ -58,13 +58,19 @@ struct UniCleanReport {
 
 /// Cleans `*d` in place against master data `dm` and the rules Θ.
 ///
-/// COMPATIBILITY SHIM: this free function predates the `uniclean::Cleaner`
-/// façade (uniclean/cleaner.h) and is now a thin wrapper over it — new code
-/// should use `CleanerBuilder`, which adds validated configuration,
-/// Status-based error propagation, pluggable phases, progress callbacks and
-/// a structured FixJournal. The shim is kept for source compatibility; its
-/// definition lives in the uniclean_api library (src/uniclean/), so callers
-/// must link uniclean::uniclean or uniclean::api.
+/// DEPRECATED COMPATIBILITY SHIM (kept for one release): this free function
+/// predates the `uniclean::Cleaner` façade (uniclean/cleaner.h) and is now a
+/// thin wrapper over it — new code should use `CleanerBuilder`, which adds
+/// validated configuration, Status-based error propagation, pluggable
+/// phases, progress callbacks, a structured FixJournal, and — since the
+/// session-scoped core::MatchEnvironment — warm reuse of the MD indexes and
+/// memos across runs and datasets, which a one-shot free-function call can
+/// never amortize. The same applies to the environment-less
+/// `core::CRepair/ERepair/HRepair(d, dm, ruleset, ...)` overloads: each call
+/// builds and discards a full MatchEnvironment. The shim is kept for source
+/// compatibility; its definition lives in the uniclean_api library
+/// (src/uniclean/), so callers must link uniclean::uniclean or
+/// uniclean::api.
 UniCleanReport UniClean(data::Relation* d, const data::Relation& dm,
                         const rules::RuleSet& ruleset,
                         const UniCleanOptions& options = {});

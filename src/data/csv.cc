@@ -16,55 +16,147 @@ namespace data {
 
 namespace {
 
-/// Splits one physical CSV record into fields, honoring double-quote
-/// escaping. Returns an error on unterminated quotes.
-Result<std::vector<std::string>> ParseRecord(const std::string& line,
-                                             char delim) {
-  std::vector<std::string> fields;
-  std::string field;
-  bool in_quotes = false;
-  size_t i = 0;
-  while (i < line.size()) {
-    char c = line[i];
-    if (in_quotes) {
+bool NeedsQuoting(const std::string& s, char delim) {
+  return s.find(delim) != std::string::npos ||
+         s.find('"') != std::string::npos ||
+         s.find('\n') != std::string::npos ||
+         s.find('\r') != std::string::npos;
+}
+
+/// How the shared scanner classified one step of input.
+enum class CsvStep {
+  kContent,       ///< a literal character of the current field
+  kEscapedQuote,  ///< "" inside a quoted field: one literal '"'
+  kQuoteOpen,     ///< opening quote (no field content)
+  kQuoteClose,    ///< closing quote (no field content)
+  kDelimiter,     ///< field separator
+};
+
+/// The single RFC-4180 quote state machine behind both ParseCsvRecord and
+/// ReadCsvRecord, so the two can never disagree on where a quoted field (and
+/// hence a logical record) ends. Lenient rule: a quote opens a quoted field
+/// only at field *start*; mid-field quotes are literal content.
+class CsvScanner {
+ public:
+  explicit CsvScanner(char delimiter) : delim_(delimiter) {}
+
+  bool in_quotes() const { return in_quotes_; }
+
+  /// Classifies s[i] (peeking s[i+1] for escaped quotes) and advances the
+  /// state. Returns the number of characters consumed: 1, or 2 for "".
+  size_t Step(const std::string& s, size_t i, CsvStep* step) {
+    const char c = s[i];
+    if (in_quotes_) {
       if (c == '"') {
-        if (i + 1 < line.size() && line[i + 1] == '"') {
-          field.push_back('"');
-          i += 2;
-          continue;
+        if (i + 1 < s.size() && s[i + 1] == '"') {
+          field_empty_ = false;
+          *step = CsvStep::kEscapedQuote;
+          return 2;
         }
-        in_quotes = false;
-        ++i;
-      } else {
-        field.push_back(c);
-        ++i;
+        in_quotes_ = false;
+        *step = CsvStep::kQuoteClose;
+        return 1;
       }
-    } else if (c == '"' && field.empty()) {
-      in_quotes = true;
-      ++i;
-    } else if (c == delim) {
-      fields.push_back(std::move(field));
-      field.clear();
-      ++i;
-    } else {
-      field.push_back(c);
-      ++i;
+      field_empty_ = false;
+      *step = CsvStep::kContent;
+      return 1;
+    }
+    if (c == '"' && field_empty_) {
+      in_quotes_ = true;
+      *step = CsvStep::kQuoteOpen;
+      return 1;
+    }
+    if (c == delim_) {
+      field_empty_ = true;
+      *step = CsvStep::kDelimiter;
+      return 1;
+    }
+    field_empty_ = false;
+    *step = CsvStep::kContent;
+    return 1;
+  }
+
+  /// Advances the state over a whole string, ignoring the content.
+  void Scan(const std::string& s) {
+    CsvStep step;
+    for (size_t i = 0; i < s.size(); i += Step(s, i, &step)) {
     }
   }
-  if (in_quotes) {
-    return Status::Corruption("unterminated quote in CSV record: " + line);
+
+ private:
+  char delim_;
+  bool in_quotes_ = false;
+  bool field_empty_ = true;
+};
+
+}  // namespace
+
+bool ReadCsvRecord(std::istream& in, std::string* record, int* lines_read,
+                   char delimiter) {
+  record->clear();
+  int lines = 0;
+  std::string line;
+  CsvScanner scanner(delimiter);
+  while (std::getline(in, line)) {
+    ++lines;
+    if (lines > 1) {
+      scanner.Scan("\n");  // the joined newline is content of the open field
+      record->push_back('\n');
+    }
+    scanner.Scan(line);
+    // Strip a CRLF's '\r' only outside an open quoted field — inside one it
+    // is field *content* (a value holding "\r\n" must round-trip exactly).
+    if (!scanner.in_quotes() && !line.empty() && line.back() == '\r') {
+      line.pop_back();
+    }
+    record->append(line);
+    if (!scanner.in_quotes()) break;
+  }
+  if (lines_read != nullptr) *lines_read = lines;
+  return lines > 0;
+}
+
+Result<std::vector<std::string>> ParseCsvRecord(const std::string& line,
+                                                char delim) {
+  std::vector<std::string> fields;
+  std::string field;
+  CsvScanner scanner(delim);
+  size_t i = 0;
+  while (i < line.size()) {
+    CsvStep step;
+    const size_t at = i;
+    i += scanner.Step(line, i, &step);
+    switch (step) {
+      case CsvStep::kContent:
+        field.push_back(line[at]);
+        break;
+      case CsvStep::kEscapedQuote:
+        field.push_back('"');
+        break;
+      case CsvStep::kDelimiter:
+        fields.push_back(std::move(field));
+        field.clear();
+        break;
+      case CsvStep::kQuoteOpen:
+      case CsvStep::kQuoteClose:
+        break;
+    }
+  }
+  if (scanner.in_quotes()) {
+    // An unterminated quote makes ReadCsvRecord slurp physical lines to EOF,
+    // so the offending "record" can be the whole rest of the file — echo
+    // only its head in the diagnostic.
+    constexpr size_t kMaxEcho = 160;
+    return Status::Corruption(
+        "unterminated quote in CSV record: " +
+        (line.size() <= kMaxEcho ? line
+                                 : line.substr(0, kMaxEcho) + "... (" +
+                                       std::to_string(line.size()) +
+                                       " bytes)"));
   }
   fields.push_back(std::move(field));
   return fields;
 }
-
-bool NeedsQuoting(const std::string& s, char delim) {
-  return s.find(delim) != std::string::npos ||
-         s.find('"') != std::string::npos ||
-         s.find('\n') != std::string::npos;
-}
-
-}  // namespace
 
 std::string CsvQuote(const std::string& field, char delimiter) {
   if (!NeedsQuoting(field, delimiter)) return field;
@@ -83,12 +175,14 @@ Result<Relation> ReadCsv(std::istream& in, SchemaPtr schema,
   std::string line;
   bool saw_header = false;
   int line_no = 0;
-  while (std::getline(in, line)) {
-    ++line_no;
-    if (!line.empty() && line.back() == '\r') line.pop_back();
+  int lines_read = 0;
+  // Logical records: ReadCsvRecord joins physical lines while a quoted field
+  // is open, so values containing newlines round-trip through Write/Read.
+  while (ReadCsvRecord(in, &line, &lines_read, options.delimiter)) {
+    line_no += lines_read;
     if (line.empty()) continue;
     UC_ASSIGN_OR_RETURN(std::vector<std::string> fields,
-                        ParseRecord(line, options.delimiter));
+                        ParseCsvRecord(line, options.delimiter));
     if (options.header && !saw_header) {
       saw_header = true;
       if (static_cast<int>(fields.size()) != schema->arity()) {
@@ -171,12 +265,11 @@ Result<SchemaPtr> InferCsvSchema(const std::string& path,
     return Status::NotFound("cannot open CSV file: " + path);
   }
   std::string header;
-  if (!std::getline(in, header)) {
+  if (!ReadCsvRecord(in, &header, nullptr, options.delimiter)) {
     return Status::Corruption("empty CSV: " + path);
   }
-  if (!header.empty() && header.back() == '\r') header.pop_back();
   UC_ASSIGN_OR_RETURN(std::vector<std::string> names,
-                      ParseRecord(header, options.delimiter));
+                      ParseCsvRecord(header, options.delimiter));
   for (std::string& name : names) name = std::string(Trim(name));
   return MakeSchema(relation_name, std::move(names));
 }
@@ -193,12 +286,12 @@ Status ReadConfidenceCsvFile(const std::string& path, Relation* relation,
   bool saw_header = !options.header;
   TupleId row = 0;
   int line_no = 0;
-  while (std::getline(in, line)) {
-    ++line_no;
-    if (!line.empty() && line.back() == '\r') line.pop_back();
+  int lines_read = 0;
+  while (ReadCsvRecord(in, &line, &lines_read, options.delimiter)) {
+    line_no += lines_read;
     if (line.empty()) continue;
     UC_ASSIGN_OR_RETURN(std::vector<std::string> fields,
-                        ParseRecord(line, options.delimiter));
+                        ParseCsvRecord(line, options.delimiter));
     if (static_cast<int>(fields.size()) != arity) {
       return Status::InvalidArgument(
           "confidence CSV arity mismatch at line " + std::to_string(line_no) +

@@ -6,6 +6,7 @@
 
 #include <iosfwd>
 #include <string>
+#include <vector>
 
 #include "common/result.h"
 #include "data/relation.h"
@@ -22,10 +23,27 @@ struct CsvOptions {
 };
 
 /// RFC-4180 field quoting: wraps `field` in double quotes (doubling embedded
-/// quotes) when it contains the delimiter, a quote, or a newline; returns it
-/// unchanged otherwise. Exposed so other CSV emitters (e.g. the FixJournal)
-/// quote identically to WriteCsv.
+/// quotes) when it contains the delimiter, a quote, a newline, or a carriage
+/// return; returns it unchanged otherwise. Exposed so other CSV emitters
+/// (e.g. the FixJournal) quote identically to WriteCsv.
 std::string CsvQuote(const std::string& field, char delimiter = ',');
+
+/// Reads one *logical* CSV record from the stream into `*record`: physical
+/// lines are joined with '\n' while an RFC-4180 quoted field is still open,
+/// so values containing newlines round-trip. Quote state is tracked with the
+/// same lenient rules as ParseCsvRecord (mid-field quotes are literal). A
+/// trailing '\r' is stripped per physical line outside quoted fields only.
+/// Returns false at end of stream with nothing read; `*lines_read`
+/// (optional) receives the number of physical lines consumed. Exposed so
+/// other CSV consumers (e.g. the FixJournal reader) parse identically to
+/// ReadCsv.
+bool ReadCsvRecord(std::istream& in, std::string* record,
+                   int* lines_read = nullptr, char delimiter = ',');
+
+/// Splits one logical CSV record into its fields, honoring RFC-4180
+/// double-quote escaping. Fails with Corruption on an unterminated quote.
+Result<std::vector<std::string>> ParseCsvRecord(const std::string& record,
+                                                char delimiter = ',');
 
 /// Parses a relation with the given schema from a stream.
 Result<Relation> ReadCsv(std::istream& in, SchemaPtr schema,

@@ -50,7 +50,12 @@ Result<PhaseStats> CRepairPhase::Run(PipelineContext* ctx) {
   opts.eta = ctx->config.eta;
   opts.matcher = ctx->config.matcher;
   opts.on_fix = JournalObserver(ctx, kName);
-  stats_ = core::CRepair(ctx->data, *ctx->master, *ctx->rules, opts);
+  // Borrow the session's shared match environment when the pipeline provides
+  // one; a context assembled by hand (no Cleaner) falls back to the
+  // deprecated per-phase index build.
+  stats_ = ctx->match_env != nullptr
+               ? core::CRepair(ctx->data, *ctx->match_env, opts)
+               : core::CRepair(ctx->data, *ctx->master, *ctx->rules, opts);
 
   PhaseStats out;
   out.fixes = stats_.deterministic_fixes;
@@ -69,7 +74,9 @@ Result<PhaseStats> ERepairPhase::Run(PipelineContext* ctx) {
   opts.eta = ctx->config.eta;
   opts.matcher = ctx->config.matcher;
   opts.on_fix = JournalObserver(ctx, kName);
-  stats_ = core::ERepair(ctx->data, *ctx->master, *ctx->rules, opts);
+  stats_ = ctx->match_env != nullptr
+               ? core::ERepair(ctx->data, *ctx->match_env, opts)
+               : core::ERepair(ctx->data, *ctx->master, *ctx->rules, opts);
 
   PhaseStats out;
   out.fixes = stats_.reliable_fixes;
@@ -86,7 +93,9 @@ Result<PhaseStats> HRepairPhase::Run(PipelineContext* ctx) {
   core::HRepairOptions opts;
   opts.matcher = ctx->config.matcher;
   opts.on_fix = JournalObserver(ctx, kName);
-  stats_ = core::HRepair(ctx->data, *ctx->master, *ctx->rules, opts);
+  stats_ = ctx->match_env != nullptr
+               ? core::HRepair(ctx->data, *ctx->match_env, opts)
+               : core::HRepair(ctx->data, *ctx->master, *ctx->rules, opts);
 
   PhaseStats out;
   out.fixes = stats_.possible_fixes;

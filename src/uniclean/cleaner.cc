@@ -98,14 +98,40 @@ std::vector<std::pair<data::TupleId, data::TupleId>> CleanResult::AllMatches()
 // Cleaner
 // ---------------------------------------------------------------------------
 
-Result<CleanResult> Cleaner::Run() {
+const core::MatchEnvironment& Cleaner::environment() {
+  if (env_ == nullptr) {
+    env_ = std::make_unique<core::MatchEnvironment>(*rules_, *master_,
+                                                    config_.matcher);
+  }
+  return *env_;
+}
+
+void Cleaner::Warmup() { environment(); }
+
+Result<CleanResult> Cleaner::Run() { return RunPipeline(data_); }
+
+Result<CleanResult> Cleaner::Run(data::Relation* data) {
+  if (data == nullptr) {
+    return Status::InvalidArgument("Run(data): relation must not be null");
+  }
+  if (!SchemaMatches(rules_->data_schema(), data->schema())) {
+    return Status::InvalidArgument(
+        "Run(data): relation schema " + DescribeSchema(data->schema()) +
+        " does not match the rule set's data schema " +
+        DescribeSchema(rules_->data_schema()));
+  }
+  return RunPipeline(data);
+}
+
+Result<CleanResult> Cleaner::RunPipeline(data::Relation* data) {
   CleanResult result;
   PipelineContext ctx;
-  ctx.data = data_;
+  ctx.data = data;
   ctx.master = master_;
   ctx.rules = rules_;
   ctx.config = config_;
   ctx.journal = &result.journal;
+  ctx.match_env = &environment();
 
   const int total = static_cast<int>(phases_.size());
   for (int i = 0; i < total; ++i) {
@@ -116,7 +142,7 @@ Result<CleanResult> Cleaner::Run() {
       event.index = i;
       event.total = total;
       event.phase = phase.name();
-      event.data = data_;
+      event.data = data;
       progress_(event);
     }
     Result<PhaseStats> stats = phase.Run(&ctx);
@@ -134,7 +160,7 @@ Result<CleanResult> Cleaner::Run() {
       event.total = total;
       event.phase = phase.name();
       event.stats = &result.phases.back();
-      event.data = data_;
+      event.data = data;
       progress_(event);
     }
   }

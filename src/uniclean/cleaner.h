@@ -19,6 +19,23 @@
 //   data::WriteCsvFile("repaired.csv", cleaner->data());
 //   result->journal.WriteCsvFile("fixes.csv");
 //
+// A Cleaner is a *session*: it owns a core::MatchEnvironment scoped to its
+// (rules, master) pair, built at most once per Cleaner lifetime. The first
+// Run() pays the MD index build (or call Warmup() up front to separate that
+// cost); every later run — including Run(data::Relation*) over successive
+// dirty relations sharing the master — reuses the warm indexes and memos,
+// the serving scenario:
+//
+//   cleaner->Warmup();                 // build indexes once
+//   for (data::Relation* batch : incoming) {
+//     auto r = cleaner->Run(batch);    // warm: no index rebuild
+//   }
+//
+// The environment's memos (and the process-wide StringPool) are append-only:
+// a session probing an unbounded stream of distinct values grows memory
+// without limit, so very long-lived servers should recycle the Cleaner
+// periodically until memo eviction lands (see ROADMAP).
+//
 // Configuration errors (η ∉ [0,1], schema mismatch between the rules and
 // the relations, inconsistent rules when CheckConsistency() is requested,
 // malformed confidence CSVs, …) surface as Status::InvalidArgument from
@@ -70,8 +87,27 @@ class Cleaner {
 
   /// Executes the configured phases in order. Stops at the first phase that
   /// fails and propagates its Status (annotated with the phase name). May be
-  /// called again to re-clean the (already repaired) data.
+  /// called again to re-clean the (already repaired) data; repeat runs reuse
+  /// the session's warm match environment.
   Result<CleanResult> Run();
+
+  /// Cleans a caller-owned relation in place against this session's master,
+  /// rules and warm match environment, leaving the session's own data
+  /// relation untouched — the serving entry point for successive datasets.
+  /// The relation's schema must match the rule set's data schema; its cell
+  /// values must be interned in the same StringPool as the session's master
+  /// (always true outside ScopedStringPool test scopes), or the shared memos
+  /// would confuse ids across pools.
+  Result<CleanResult> Run(data::Relation* data);
+
+  /// Builds the session's match environment (MD suffix-tree / equality
+  /// indexes) now instead of lazily on the first Run(). Idempotent; lets
+  /// servers front-load the index cost and benches report it separately.
+  void Warmup();
+
+  /// The session's shared match environment, built on first use. Valid until
+  /// the Cleaner is destroyed.
+  const core::MatchEnvironment& environment();
 
   /// The data relation in its current state (repaired after Run()). When the
   /// builder was given a caller-owned `data::Relation*`, this aliases it.
@@ -89,6 +125,8 @@ class Cleaner {
   friend class CleanerBuilder;
   Cleaner() = default;
 
+  Result<CleanResult> RunPipeline(data::Relation* data);
+
   // Owned storage is held behind unique_ptr so the aliasing raw pointers
   // stay valid when the Cleaner is moved (e.g. out of a Result<Cleaner>).
   std::unique_ptr<data::Relation> owned_data_;
@@ -100,6 +138,11 @@ class Cleaner {
   PipelineConfig config_;
   std::vector<std::unique_ptr<Phase>> phases_;
   ProgressCallback progress_;
+  // Session-scoped match environment: built lazily (environment()/Warmup()/
+  // first Run) from (rules_, master_, config_.matcher), then shared by all
+  // phases of all runs. unique_ptr keeps matcher references stable across
+  // Cleaner moves.
+  std::unique_ptr<core::MatchEnvironment> env_;
 };
 
 /// Fluent single-use builder for Cleaner. Every setter overwrites earlier

@@ -1,6 +1,10 @@
 #include "uniclean/fix_journal.h"
 
+#include <cerrno>
+#include <climits>
+#include <cstdlib>
 #include <fstream>
+#include <istream>
 #include <ostream>
 
 #include "data/csv.h"
@@ -71,6 +75,62 @@ Status FixJournal::WriteCsv(std::ostream& out) const {
   }
   if (!out.good()) return Status::Internal("fix journal write failed");
   return Status::OK();
+}
+
+Result<FixJournal> FixJournal::ReadCsv(std::istream& in) {
+  constexpr char kExpectedHeader[] = "tuple,attribute,old,new,phase,rule";
+  const std::string null_token = data::CsvOptions{}.null_token;
+  FixJournal journal;
+  std::string record;
+  bool saw_header = false;
+  while (data::ReadCsvRecord(in, &record)) {
+    if (record.empty()) continue;
+    if (!saw_header) {
+      saw_header = true;
+      if (record != kExpectedHeader) {
+        return Status::Corruption("fix journal CSV header mismatch: got '" +
+                                  record + "'");
+      }
+      continue;
+    }
+    UC_ASSIGN_OR_RETURN(std::vector<std::string> fields,
+                        data::ParseCsvRecord(record));
+    if (fields.size() != 6) {
+      return Status::Corruption(
+          "fix journal CSV record must have 6 fields, got " +
+          std::to_string(fields.size()) + ": " + record);
+    }
+    FixEntry entry;
+    errno = 0;
+    char* end = nullptr;
+    long tuple = std::strtol(fields[0].c_str(), &end, 10);
+    if (end == fields[0].c_str() || *end != '\0' || errno == ERANGE ||
+        tuple < 0 || tuple > INT_MAX) {
+      return Status::Corruption("fix journal CSV: bad tuple id '" +
+                                fields[0] + "'");
+    }
+    entry.tuple = static_cast<data::TupleId>(tuple);
+    entry.attribute = std::move(fields[1]);
+    entry.old_value = fields[2] == null_token ? data::Value::Null()
+                                              : data::Value(fields[2]);
+    entry.new_value = fields[3] == null_token ? data::Value::Null()
+                                              : data::Value(fields[3]);
+    entry.phase = std::move(fields[4]);
+    entry.rule = std::move(fields[5]);
+    journal.Append(std::move(entry));
+  }
+  if (!saw_header) {
+    return Status::Corruption("fix journal CSV is empty (missing header)");
+  }
+  return journal;
+}
+
+Result<FixJournal> FixJournal::ReadCsvFile(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.is_open()) {
+    return Status::NotFound("cannot open fix journal CSV: " + path);
+  }
+  return ReadCsv(in);
 }
 
 Status FixJournal::WriteTextFile(const std::string& path) const {

@@ -15,6 +15,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/result.h"
 #include "common/status.h"
 #include "data/relation.h"
 #include "data/value.h"
@@ -55,9 +56,20 @@ class FixJournal {
   Status WriteTextFile(const std::string& path) const;
 
   /// RFC-4180 CSV with header `tuple,attribute,old,new,phase,rule`; nulls
-  /// are rendered as \N like data/csv.h.
+  /// are rendered as \N like data/csv.h. Values containing commas, quotes or
+  /// newlines are quoted and round-trip exactly through ReadCsv.
   Status WriteCsv(std::ostream& out) const;
   Status WriteCsvFile(const std::string& path) const;
+
+  /// Parses a journal previously serialized by WriteCsv. The CSV stores the
+  /// attribute by *name* only, so `attr` is -1 on every parsed entry (resolve
+  /// it against a schema if needed). Fails with Corruption on a malformed
+  /// header, arity mismatch, or non-integer tuple id. Caveat shared with
+  /// data/csv.h's relation format: a value whose *text* equals the null
+  /// token (the two characters `\N`) is indistinguishable from null in the
+  /// serialization and reads back as null.
+  static Result<FixJournal> ReadCsv(std::istream& in);
+  static Result<FixJournal> ReadCsvFile(const std::string& path);
 
  private:
   std::vector<FixEntry> entries_;

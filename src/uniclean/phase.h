@@ -15,6 +15,7 @@
 #include <vector>
 
 #include "common/result.h"
+#include "core/match_environment.h"
 #include "core/md_matcher.h"
 #include "data/relation.h"
 #include "rules/ruleset.h"
@@ -44,6 +45,12 @@ struct PipelineContext {
   /// Fix provenance sink; phases append one entry per fix. Never null
   /// during a Cleaner::Run().
   FixJournal* journal = nullptr;
+  /// The session's shared match environment: one warm MdMatcher (index +
+  /// memos) per MD rule, scoped to (rules, master). Never null during a
+  /// Cleaner::Run() — built once per Cleaner lifetime and reused by every
+  /// phase of every run, so user phases should probe MDs through
+  /// `match_env->matcher(rule)` rather than constructing their own matcher.
+  const core::MatchEnvironment* match_env = nullptr;
 };
 
 /// What one phase did. Cleaner::Run() collects one per executed phase.

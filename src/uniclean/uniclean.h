@@ -35,6 +35,7 @@
 #include "core/crepair.h"
 #include "core/erepair.h"
 #include "core/hrepair.h"
+#include "core/match_environment.h"
 #include "core/md_matcher.h"
 #include "core/uniclean.h"
 #include "data/csv.h"

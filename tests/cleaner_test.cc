@@ -471,5 +471,85 @@ TEST(FixJournalTest, JournalCsvRoundTripsThroughCsvReader) {
   EXPECT_EQ(read->tuple(0).value(5), Value("r"));
 }
 
+TEST(FixJournalTest, ReadCsvRoundTripsCommasQuotesAndNewlines) {
+  FixJournal journal;
+  FixEntry fix;
+  fix.tuple = 7;
+  fix.attr = 1;
+  fix.attribute = "name";
+  fix.old_value = Value("a,\"b\"");  // the RFC-4180 acid test
+  fix.new_value = Value("line1\nline2");
+  fix.phase = "eRepair";
+  fix.rule = "md,1";
+  journal.Append(fix);
+  FixEntry null_fix;
+  null_fix.tuple = 8;
+  null_fix.attr = 2;
+  null_fix.attribute = "city";
+  null_fix.old_value = Value("Edi");
+  null_fix.new_value = Value::Null();
+  null_fix.phase = "hRepair";
+  journal.Append(null_fix);
+
+  std::ostringstream out;
+  ASSERT_TRUE(journal.WriteCsv(out).ok());
+  std::istringstream in(out.str());
+  auto parsed = FixJournal::ReadCsv(in);
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  ASSERT_EQ(parsed->size(), 2u);
+  const FixEntry& e0 = parsed->entries()[0];
+  EXPECT_EQ(e0.tuple, 7);
+  EXPECT_EQ(e0.attribute, "name");
+  EXPECT_EQ(e0.old_value, Value("a,\"b\""));
+  EXPECT_EQ(e0.new_value, Value("line1\nline2"));
+  EXPECT_EQ(e0.phase, "eRepair");
+  EXPECT_EQ(e0.rule, "md,1");
+  const FixEntry& e1 = parsed->entries()[1];
+  EXPECT_EQ(e1.tuple, 8);
+  EXPECT_TRUE(e1.new_value.is_null());
+  EXPECT_TRUE(e1.rule.empty());
+
+  // Serializing the parsed journal reproduces the original bytes.
+  std::ostringstream again;
+  ASSERT_TRUE(parsed->WriteCsv(again).ok());
+  EXPECT_EQ(again.str(), out.str());
+}
+
+TEST(FixJournalTest, ReadCsvRejectsMalformedInput) {
+  {
+    std::istringstream in("");
+    EXPECT_EQ(FixJournal::ReadCsv(in).status().code(),
+              StatusCode::kCorruption);
+  }
+  {
+    std::istringstream in("not,the,journal,header\n");
+    EXPECT_EQ(FixJournal::ReadCsv(in).status().code(),
+              StatusCode::kCorruption);
+  }
+  {
+    std::istringstream in(
+        "tuple,attribute,old,new,phase,rule\nx,A,o,n,p,r\n");
+    EXPECT_EQ(FixJournal::ReadCsv(in).status().code(),
+              StatusCode::kCorruption);
+  }
+  {
+    std::istringstream in("tuple,attribute,old,new,phase,rule\n1,A,o,n\n");
+    EXPECT_EQ(FixJournal::ReadCsv(in).status().code(),
+              StatusCode::kCorruption);
+  }
+  {
+    // Negative and int-overflowing tuple ids are rejected, not truncated.
+    std::istringstream in("tuple,attribute,old,new,phase,rule\n-3,A,o,n,p,r\n");
+    EXPECT_EQ(FixJournal::ReadCsv(in).status().code(),
+              StatusCode::kCorruption);
+  }
+  {
+    std::istringstream in(
+        "tuple,attribute,old,new,phase,rule\n4294967303,A,o,n,p,r\n");
+    EXPECT_EQ(FixJournal::ReadCsv(in).status().code(),
+              StatusCode::kCorruption);
+  }
+}
+
 }  // namespace
 }  // namespace uniclean

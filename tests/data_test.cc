@@ -1,3 +1,4 @@
+#include <fstream>
 #include <sstream>
 
 #include <gtest/gtest.h>
@@ -138,6 +139,81 @@ TEST(CsvTest, RoundTripWithHeaderQuotesAndNulls) {
   EXPECT_TRUE(back->tuple(1).value(1).is_null());
   EXPECT_EQ(back->tuple(2).value(0), Value("has \"quote\""));
   EXPECT_EQ(back->tuple(2).value(1), Value(""));
+}
+
+TEST(CsvTest, RoundTripWithEmbeddedNewlines) {
+  // Quoted fields may span physical lines (RFC 4180 §2.6); the reader joins
+  // them back into one logical record.
+  SchemaPtr schema = MakeSchema("t", {"name", "note"});
+  Relation r(schema);
+  Tuple t(2);
+  t.set_value(0, Value("line1\nline2"));
+  t.set_value(1, Value("a,\"b\"\nc"));
+  r.AddTuple(std::move(t));
+  Tuple t2(2);
+  // A '\r' inside a quoted field is content, not a CRLF line ending: the
+  // value must round-trip byte-exactly.
+  t2.set_value(0, Value("x\r\ny"));
+  t2.set_value(1, Value("plain"));
+  r.AddTuple(std::move(t2));
+  r.AddRow({"after", "plain"});
+
+  std::ostringstream out;
+  ASSERT_TRUE(WriteCsv(out, r).ok());
+  std::istringstream in(out.str());
+  auto back = ReadCsv(in, schema);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back->size(), 3);
+  EXPECT_EQ(back->tuple(0).value(0), Value("line1\nline2"));
+  EXPECT_EQ(back->tuple(0).value(1), Value("a,\"b\"\nc"));
+  EXPECT_EQ(back->tuple(1).value(0), Value("x\r\ny"));
+  EXPECT_EQ(back->tuple(2).value(0), Value("after"));
+}
+
+TEST(CsvTest, StrayMidFieldQuoteStaysLiteral) {
+  // ParseCsvRecord treats a quote that is not at field start as literal
+  // content; the logical-record reader must agree and not join lines.
+  SchemaPtr schema = MakeSchema("t", {"a", "b"});
+  std::istringstream in("a,b\nx\"y,2\np,q\n");
+  auto r = ReadCsv(in, schema);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  ASSERT_EQ(r->size(), 2);
+  EXPECT_EQ(r->tuple(0).value(0), Value("x\"y"));
+  EXPECT_EQ(r->tuple(0).value(1), Value("2"));
+  EXPECT_EQ(r->tuple(1).value(0), Value("p"));
+}
+
+TEST(CsvTest, BareCarriageReturnValueIsQuotedAndRoundTrips) {
+  // A value ending in '\r' must be quoted on write, or the reader would
+  // strip it as a CRLF line-ending artifact.
+  SchemaPtr schema = MakeSchema("t", {"a"});
+  Relation r(schema);
+  Tuple t(1);
+  t.set_value(0, Value("x\r"));
+  r.AddTuple(std::move(t));
+  std::ostringstream out;
+  ASSERT_TRUE(WriteCsv(out, r).ok());
+  EXPECT_NE(out.str().find("\"x\r\""), std::string::npos);
+  std::istringstream in(out.str());
+  auto back = ReadCsv(in, schema);
+  ASSERT_TRUE(back.ok()) << back.status().ToString();
+  ASSERT_EQ(back->size(), 1);
+  EXPECT_EQ(back->tuple(0).value(0), Value("x\r"));
+}
+
+TEST(CsvTest, InferCsvSchemaReadsLogicalHeaderRecord) {
+  // Schema inference must consume the same logical record ReadCsv would,
+  // even when a header name contains a quoted newline.
+  std::string path = ::testing::TempDir() + "/schema_nl.csv";
+  {
+    std::ofstream out(path);
+    out << "\"first\nname\",city\nv1,v2\n";
+  }
+  auto schema = InferCsvSchema(path, "t");
+  ASSERT_TRUE(schema.ok()) << schema.status().ToString();
+  ASSERT_EQ((*schema)->arity(), 2);
+  EXPECT_EQ((*schema)->attribute_name(0), "first\nname");
+  EXPECT_EQ((*schema)->attribute_name(1), "city");
 }
 
 TEST(CsvTest, HeaderMismatchIsCorruption) {

@@ -80,6 +80,66 @@ TEST(JaroTest, KnownValues) {
   EXPECT_NEAR(JaroSimilarity("DIXON", "DICKSONX"), 0.766667, 1e-5);
 }
 
+/// Textbook Jaro with per-call allocations — the reference the scratch-buffer
+/// implementation must match exactly.
+double ReferenceJaro(const std::string& a, const std::string& b) {
+  const int n = static_cast<int>(a.size());
+  const int m = static_cast<int>(b.size());
+  if (n == 0 && m == 0) return 1.0;
+  if (n == 0 || m == 0) return 0.0;
+  const int window = std::max(0, std::max(n, m) / 2 - 1);
+  std::vector<bool> am(static_cast<size_t>(n)), bm(static_cast<size_t>(m));
+  int matches = 0;
+  for (int i = 0; i < n; ++i) {
+    for (int j = std::max(0, i - window); j <= std::min(m - 1, i + window);
+         ++j) {
+      if (bm[static_cast<size_t>(j)] ||
+          a[static_cast<size_t>(i)] != b[static_cast<size_t>(j)]) {
+        continue;
+      }
+      am[static_cast<size_t>(i)] = bm[static_cast<size_t>(j)] = true;
+      ++matches;
+      break;
+    }
+  }
+  if (matches == 0) return 0.0;
+  int transpositions = 0;
+  int j = 0;
+  for (int i = 0; i < n; ++i) {
+    if (!am[static_cast<size_t>(i)]) continue;
+    while (!bm[static_cast<size_t>(j)]) ++j;
+    if (a[static_cast<size_t>(i)] != b[static_cast<size_t>(j)]) {
+      ++transpositions;
+    }
+    ++j;
+  }
+  double md = matches;
+  return (md / n + md / m + (md - transpositions / 2.0) / md) / 3.0;
+}
+
+TEST(JaroTest, DisjointAlphabetsScoreZero) {
+  // The common-character pre-reject path must agree with the full scan.
+  EXPECT_DOUBLE_EQ(JaroSimilarity("abc", "xyz"), 0.0);
+  EXPECT_DOUBLE_EQ(JaroSimilarity("aaaa", "bbbbbbbb"), 0.0);
+  // Strings that share characters bypass the pre-reject and must agree with
+  // the reference — including when the only unique shared character ('a')
+  // sits outside the match window.
+  EXPECT_DOUBLE_EQ(JaroSimilarity("a_______", "_______a"),
+                   ReferenceJaro("a_______", "_______a"));
+  EXPECT_DOUBLE_EQ(JaroSimilarity("abcdefgh", "hgfedcba"),
+                   ReferenceJaro("abcdefgh", "hgfedcba"));
+}
+
+TEST(JaroTest, MatchesReferenceOnRandomStrings) {
+  Rng rng(77);
+  for (int i = 0; i < 2000; ++i) {
+    std::string a = rng.RandomWord(rng.Index(12));
+    std::string b = rng.RandomWord(rng.Index(12));
+    EXPECT_DOUBLE_EQ(JaroSimilarity(a, b), ReferenceJaro(a, b))
+        << "a='" << a << "' b='" << b << "'";
+  }
+}
+
 TEST(JaroWinklerTest, BoostsCommonPrefix) {
   double jaro = JaroSimilarity("MARTHA", "MARHTA");
   double jw = JaroWinklerSimilarity("MARTHA", "MARHTA");
