@@ -2,10 +2,12 @@
 // pipeline points (full Uni plus the cumulative cRepair / cRepair+eRepair
 // stages on HOSP, full Uni on DBLP and TPC-H), the cold-vs-warm session
 // points (MatchEnvironment index build reported separately from repair
-// time, then a cold and a warm Cleaner::Run over identical dirty copies)
-// and the §5.2 blocking ablation, and writes every measurement to a JSON
-// file so each PR records a comparable perf trajectory (BENCH_pipeline.json
-// at the repo root).
+// time, then a cold and a warm Session::Run over identical dirty copies),
+// the concurrent-session points (one shared CleanEngine, a batch of
+// relations through Engine::RunBatch at 1/2/4 threads, journals asserted
+// byte-identical to the serial arm) and the §5.2 blocking ablation, and
+// writes every measurement to a JSON file so each PR records a comparable
+// perf trajectory (BENCH_pipeline.json at the repo root).
 //
 // Per point it records wall time, items/sec, peak RSS and the number/volume
 // of heap allocations (via a counting operator new hook local to this
@@ -27,8 +29,11 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <new>
+#include <sstream>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "core/md_matcher.h"
@@ -183,12 +188,28 @@ Measurement PipelinePoint(const std::string& dataset, int num_tuples,
                  });
 }
 
-/// One cold-vs-warm session triple: a single Cleaner (one shared
-/// MatchEnvironment) cleans two identical dirty copies in succession. The
-/// "build" point is Warmup() — pure MD index construction; "cold" is the
-/// first run, which fills the similarity / blocking / match memos; "warm" is
-/// the second run, where every probe hits the warm memos — the serving
-/// scenario's steady state.
+/// Builds the shared engine the session/concurrency points run against.
+std::shared_ptr<CleanEngine> BuildEngineFor(const gen::Dataset& ds) {
+  auto engine = EngineBuilder()
+                    .WithDataSchema(ds.dirty.schema_ptr())
+                    .WithMaster(&ds.master)
+                    .WithRules(&ds.rules)
+                    .WithEta(1.0)
+                    .BuildEngine();
+  if (!engine.ok()) {
+    std::fprintf(stderr, "bench_json: engine build failed: %s\n",
+                 engine.status().ToString().c_str());
+    std::exit(2);
+  }
+  return std::move(engine).value();
+}
+
+/// One cold-vs-warm session triple: a single CleanEngine (one shared
+/// MatchEnvironment) cleans two identical dirty copies in successive
+/// sessions. The "build" point is Warmup() — pure MD index construction;
+/// "cold" is the first run, which fills the similarity / blocking / match
+/// memos; "warm" is the second run, where every probe hits the warm memos —
+/// the serving scenario's steady state.
 void SessionPoint(const std::string& dataset, int num_tuples,
                   int master_size) {
   gen::GeneratorConfig config;
@@ -198,25 +219,14 @@ void SessionPoint(const std::string& dataset, int num_tuples,
   config.dup_rate = 0.4;
   config.seed = 1;
   gen::Dataset ds = Generate(dataset, config);
-
-  auto cleaner = CleanerBuilder()
-                     .WithData(ds.dirty.Clone())
-                     .WithMaster(&ds.master)
-                     .WithRules(&ds.rules)
-                     .WithEta(1.0)
-                     .Build();
-  if (!cleaner.ok()) {
-    std::fprintf(stderr, "bench_json: session build failed: %s\n",
-                 cleaner.status().ToString().c_str());
-    std::exit(2);
-  }
+  std::shared_ptr<CleanEngine> engine = BuildEngineFor(ds);
 
   const std::string suffix = "_n" + std::to_string(num_tuples);
   // The build point indexes the *master* relation, so its rate is per
   // master tuple (the dirty data plays no part in Warmup).
   Measure("session_" + dataset + "_build" + suffix, dataset, num_tuples,
           master_size, "build", master_size, [&]() -> long long {
-            cleaner->Warmup();
+            engine->Warmup();
             return 0;
           });
   data::Relation cold_copy = ds.dirty.Clone();
@@ -226,7 +236,8 @@ void SessionPoint(const std::string& dataset, int num_tuples,
         std::strcmp(stage, "cold") == 0 ? &cold_copy : &warm_copy;
     Measure("session_" + dataset + "_" + stage + suffix, dataset, num_tuples,
             master_size, stage, num_tuples, [&]() -> long long {
-              auto result = cleaner->Run(copy);
+              Session session = engine->NewSession();
+              auto result = session.Run(copy);
               if (!result.ok()) {
                 std::fprintf(stderr, "bench_json: session run failed: %s\n",
                              result.status().ToString().c_str());
@@ -234,6 +245,104 @@ void SessionPoint(const std::string& dataset, int num_tuples,
               }
               return result->total_fixes();
             });
+  }
+}
+
+/// Concurrent-session throughput: one shared warm engine, a batch of
+/// kRelations identical dirty copies, Engine::RunBatch at 1 / 2 / 4
+/// threads. The memos are pre-warmed by a throwaway run so every arm
+/// measures the steady serving state rather than crediting later arms with
+/// the earlier arms' cache fills; the t1 arm is the serial reference and
+/// every other arm's journals must be byte-identical to it.
+void ConcurrentPoint(const std::string& dataset, int num_tuples,
+                     int master_size) {
+  constexpr int kRelations = 12;  // divisible by every thread count
+  gen::GeneratorConfig config;
+  config.num_tuples = num_tuples;
+  config.master_size = master_size;
+  config.noise_rate = 0.06;
+  config.dup_rate = 0.4;
+  config.seed = 1;
+  gen::Dataset ds = Generate(dataset, config);
+  std::shared_ptr<CleanEngine> engine = BuildEngineFor(ds);
+  engine->Warmup();
+  {
+    data::Relation scratch = ds.dirty.Clone();
+    Session session = engine->NewSession();
+    auto warm = session.Run(&scratch);
+    if (!warm.ok()) {
+      std::fprintf(stderr, "bench_json: memo pre-warm failed: %s\n",
+                   warm.status().ToString().c_str());
+      std::exit(2);
+    }
+  }
+
+  std::vector<std::string> serial_journals;  // t1 reference, CSV-serialized
+  double t1_wall = 0.0;
+  for (int threads : {1, 2, 4}) {
+    std::vector<data::Relation> storage;
+    storage.reserve(kRelations);
+    std::vector<data::Relation*> batch;
+    for (int i = 0; i < kRelations; ++i) {
+      storage.push_back(ds.dirty.Clone());
+      batch.push_back(&storage.back());
+    }
+    const std::string name = "concurrent_" + dataset + "_n" +
+                             std::to_string(num_tuples) + "_t" +
+                             std::to_string(threads);
+    std::vector<Result<CleanResult>> results;
+    Measurement m = Measure(
+        name, dataset, num_tuples, master_size, "t" + std::to_string(threads),
+        kRelations * num_tuples, [&]() -> long long {
+              results = engine->RunBatch(batch, threads);
+              long long fixes = 0;
+              for (const auto& r : results) {
+                if (!r.ok()) {
+                  std::fprintf(stderr, "bench_json: %s failed: %s\n",
+                               name.c_str(), r.status().ToString().c_str());
+                  std::exit(2);
+                }
+                fixes += r->total_fixes();
+              }
+              return fixes;
+            });
+    // Byte-identical journals across arms: serialize each relation's
+    // journal and pin the concurrent arms to the serial reference.
+    for (int i = 0; i < kRelations; ++i) {
+      std::ostringstream csv;
+      Status s = results[static_cast<size_t>(i)]->journal.WriteCsv(csv);
+      if (!s.ok()) {
+        std::fprintf(stderr, "bench_json: journal serialize failed\n");
+        std::exit(2);
+      }
+      if (threads == 1) {
+        serial_journals.push_back(csv.str());
+      } else if (csv.str() != serial_journals[static_cast<size_t>(i)]) {
+        std::fprintf(stderr,
+                     "bench_json: %s journal %d differs from the serial "
+                     "reference — concurrent runs are not deterministic\n",
+                     name.c_str(), i);
+        std::exit(2);
+      }
+    }
+    if (threads == 1) {
+      t1_wall = m.wall_s;
+    } else if (t1_wall > 0.0) {
+      const double speedup = t1_wall / m.wall_s;
+      std::printf("    %s speedup over t1: %.2fx\n", name.c_str(), speedup);
+      // Scaling only exists where cores do; on a multi-core box a t4 arm
+      // that fails to clear 1.5x means RunBatch serialized somewhere
+      // (coarse lock, contended shard) — flag it loudly so the CI bench
+      // log catches the regression even though the run still succeeds.
+      const unsigned cores = std::thread::hardware_concurrency();
+      if (threads == 4 && cores >= 4 && speedup < 1.5) {
+        std::fprintf(stderr,
+                     "bench_json: WARNING: %s is only %.2fx over t1 on a "
+                     "%u-core machine — concurrent sessions are not "
+                     "scaling\n",
+                     name.c_str(), speedup, cores);
+      }
+    }
   }
 }
 
@@ -340,6 +449,12 @@ int main(int argc, char** argv) {
   SessionPoint("hosp", 1000, 500);
   SessionPoint("dblp", 1000, 500);
   SessionPoint("tpch", 1000, 300);
+  // Concurrent sessions: a shared warm engine cleans a 12-relation batch
+  // through RunBatch at 1 / 2 / 4 threads (journals pinned byte-identical
+  // to the serial arm). Scaling needs real cores; a 1-core runner measures
+  // the locking overhead instead.
+  ConcurrentPoint("hosp", 1000, 500);
+  ConcurrentPoint("dblp", 1000, 500);
   // Blocking ablation (§5.2).
   for (int m : quick ? std::vector<int>{500} : std::vector<int>{500, 2000}) {
     AblationPoint(m, /*use_blocking=*/true);

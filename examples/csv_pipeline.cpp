@@ -1,9 +1,11 @@
 // End-to-end file pipeline: write a dirty dataset, its master data and its
 // per-cell confidences to CSV, then clean files-in / files-out through the
-// CleanerBuilder façade — the shape of a production deployment of the
-// library. The builder owns all loading: schemas are inferred from the CSV
+// single-session Cleaner shim (CleanerBuilder::Build() — now a thin wrapper
+// over CleanEngine + Session; see serving_engine.cpp for the shared-engine
+// form). The builder owns all loading: schemas are inferred from the CSV
 // headers, the rule program is parsed against them, and the confidence CSV
-// is validated cell-by-cell.
+// is validated cell-by-cell — the Build()-only conveniences that keep the
+// shim the right tool for one-shot file jobs.
 
 #include <cstdio>
 #include <string>

@@ -38,23 +38,24 @@ int main() {
               sortn.size(), sortn_pr.precision, sortn_pr.recall,
               sortn_pr.F());
 
-  auto cleaner = CleanerBuilder()
-                     .WithData(ds.dirty.Clone())
-                     .WithMaster(&ds.master)
-                     .WithRules(&ds.rules)
-                     .WithEta(1.0)
-                     .Build();
-  if (!cleaner.ok()) {
-    std::printf("config error: %s\n", cleaner.status().ToString().c_str());
+  auto engine = EngineBuilder()
+                    .WithDataSchema(ds.dirty.schema_ptr())
+                    .WithMaster(&ds.master)
+                    .WithRules(&ds.rules)
+                    .WithEta(1.0)
+                    .BuildEngine();
+  if (!engine.ok()) {
+    std::printf("config error: %s\n", engine.status().ToString().c_str());
     return 1;
   }
-  auto run = cleaner->Run();
+  data::Relation repaired = ds.dirty.Clone();
+  Session session = (*engine)->NewSession();
+  auto run = session.Run(&repaired);
   if (!run.ok()) {
     std::printf("run error: %s\n", run.status().ToString().c_str());
     return 1;
   }
-  auto uni = baselines::FindAllMatches(cleaner->data(), ds.master,
-                                       ds.rules.mds());
+  auto uni = baselines::FindAllMatches(repaired, ds.master, ds.rules.mds());
   auto uni_pr = eval::MatchAccuracy(uni, ds.true_matches);
   std::printf("Uni (repair, then match):  %4zu matches  P %.3f  R %.3f  F %.3f\n",
               uni.size(), uni_pr.precision, uni_pr.recall, uni_pr.F());

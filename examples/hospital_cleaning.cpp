@@ -32,31 +32,32 @@ int main() {
 
   // Phase-by-phase accuracy (the paper's Exp-3) from the progress observer:
   // after every phase the callback scores the pipeline's current data
-  // against the ground truth.
+  // against the ground truth. The observer is per-session state, so it is
+  // installed on the Session rather than the shared engine.
   eval::PrecisionRecall final_pr;
-  auto cleaner =
-      CleanerBuilder()
-          .WithData(ds.dirty.Clone())
-          .WithMaster(&ds.master)
-          .WithRules(&ds.rules)
-          .WithEta(1.0)  // §8: confidence threshold 1.0
-          .WithDelta2(0.8)
-          .WithProgressCallback([&](const PhaseEvent& event) {
-            if (event.kind != PhaseEvent::Kind::kPhaseFinished) return;
-            auto pr = eval::RepairAccuracy(ds.dirty, *event.data, ds.clean);
-            std::printf("[%d/%d] %-8.*s %5d fixes  precision %.3f  recall %.3f\n",
-                        event.index + 1, event.total,
-                        static_cast<int>(event.phase.size()),
-                        event.phase.data(), event.stats->fixes, pr.precision,
-                        pr.recall);
-            final_pr = pr;
-          })
-          .Build();
-  if (!cleaner.ok()) {
-    std::printf("config error: %s\n", cleaner.status().ToString().c_str());
+  auto engine = EngineBuilder()
+                    .WithDataSchema(ds.dirty.schema_ptr())
+                    .WithMaster(&ds.master)
+                    .WithRules(&ds.rules)
+                    .WithEta(1.0)  // §8: confidence threshold 1.0
+                    .WithDelta2(0.8)
+                    .BuildEngine();
+  if (!engine.ok()) {
+    std::printf("config error: %s\n", engine.status().ToString().c_str());
     return 1;
   }
-  auto result = cleaner->Run();
+  data::Relation repaired = ds.dirty.Clone();
+  Session session = (*engine)->NewSession();
+  session.set_progress_callback([&](const PhaseEvent& event) {
+    if (event.kind != PhaseEvent::Kind::kPhaseFinished) return;
+    auto pr = eval::RepairAccuracy(ds.dirty, *event.data, ds.clean);
+    std::printf("[%d/%d] %-8.*s %5d fixes  precision %.3f  recall %.3f\n",
+                event.index + 1, event.total,
+                static_cast<int>(event.phase.size()), event.phase.data(),
+                event.stats->fixes, pr.precision, pr.recall);
+    final_pr = pr;
+  });
+  auto result = session.Run(&repaired);
   if (!result.ok()) {
     std::printf("run error: %s\n", result.status().ToString().c_str());
     return 1;

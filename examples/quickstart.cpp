@@ -105,23 +105,25 @@ MD psi: LN=LN & city=city & St=St & post=zip & FN ~jw:0.6 FN -> FN:=FN, phn:=tel
   data::Relation d = Transactions();
   PrintRelation("== Dirty transactions (Fig. 1(b)) ==", d);
 
-  // Build a cleaning session: the builder validates the thresholds, parses
-  // the rules against the relations' schemas and — with CheckConsistency —
-  // verifies the rules are consistent before cleaning (§4.1).
-  auto cleaner = CleanerBuilder()
-                     .WithData(&d)  // cleaned in place
-                     .WithMaster(MasterData())
-                     .WithRuleText(rule_text)
-                     .WithEta(0.8)
-                     .CheckConsistency()
-                     .Build();
-  if (!cleaner.ok()) {
-    std::printf("config error: %s\n", cleaner.status().ToString().c_str());
+  // Build the shared engine: the builder validates the thresholds, parses
+  // the rules against the declared schemas and — with CheckConsistency —
+  // verifies the rules are consistent before cleaning (§4.1). The engine is
+  // immutable and thread-safe; each run is a cheap Session against it.
+  auto engine = EngineBuilder()
+                    .WithDataSchema(d.schema_ptr())
+                    .WithMaster(MasterData())
+                    .WithRuleText(rule_text)
+                    .WithEta(0.8)
+                    .CheckConsistency()
+                    .BuildEngine();
+  if (!engine.ok()) {
+    std::printf("config error: %s\n", engine.status().ToString().c_str());
     return 1;
   }
   std::printf("\nrules consistent: yes\n");
 
-  auto result = cleaner->Run();
+  Session session = (*engine)->NewSession();
+  auto result = session.Run(&d);  // cleaned in place
   if (!result.ok()) {
     std::printf("run error: %s\n", result.status().ToString().c_str());
     return 1;

@@ -16,5 +16,13 @@ MatchEnvironment::MatchEnvironment(const rules::RuleSet& rules,
   }
 }
 
+core::MemoStats MatchEnvironment::MemoStats() const {
+  core::MemoStats total;
+  for (const auto& matcher : matchers_) {
+    if (matcher != nullptr) total += matcher->memo_stats();
+  }
+  return total;
+}
+
 }  // namespace core
 }  // namespace uniclean

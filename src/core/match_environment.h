@@ -14,6 +14,12 @@
 // Lifetime: the environment borrows `rules` and `master`; both must outlive
 // it and must not be mutated while it exists (the indexes and memos assume
 // the master projection and the MD premises are frozen).
+//
+// Thread safety: after construction the environment is an immutable
+// artifact plus internally synchronized memos — matcher() and every
+// MdMatcher probe are safe from any number of threads, which is what lets
+// one warm environment serve concurrent uniclean::Session runs (see
+// uniclean::CleanEngine).
 
 #ifndef UNICLEAN_CORE_MATCH_ENVIRONMENT_H_
 #define UNICLEAN_CORE_MATCH_ENVIRONMENT_H_
@@ -56,6 +62,13 @@ class MatchEnvironment {
 
   /// Number of matchers this environment built (== number of MD rules).
   int num_matchers() const { return num_matchers_; }
+
+  /// Aggregated memo statistics across every matcher of the environment:
+  /// resident entries, a bytes estimate, hit/miss counters and the number
+  /// of results refused admission past MdMatcherOptions::memo_capacity.
+  /// Safe to call while sessions are running (counters are atomics; the
+  /// entry walk briefly locks each memo shard).
+  core::MemoStats MemoStats() const;
 
  private:
   const rules::RuleSet* rules_;

@@ -30,24 +30,69 @@ uint64_t MdMatcher::ConstructedCount() {
   return g_constructed_count.load(std::memory_order_relaxed);
 }
 
+namespace {
+
+/// Per-(thread, matcher) scratch for results that bypass the memos
+/// (use_memos = false, or admission refused past memo_capacity). Keyed by
+/// matcher so a reference handed out by one matcher survives the same
+/// thread probing *another* matcher — the guarantee user phases iterating
+/// several MD rules rely on (a plain shared thread_local would alias them).
+/// Entries for destroyed matchers linger (the key is never dereferenced);
+/// so a long-lived worker thread in a server that keeps rebuilding engines
+/// does not accumulate them forever, the map is emptied whenever it
+/// exceeds kScratchMapLimit — far above any live rule set's matcher count,
+/// so in practice only dead matchers' entries are dropped.
+constexpr size_t kScratchMapLimit = 1024;
+
+std::vector<data::TupleId>& ScratchFor(
+    const void* matcher,
+    std::unordered_map<const void*, std::vector<data::TupleId>>& map) {
+  if (map.size() > kScratchMapLimit && map.count(matcher) == 0) map.clear();
+  return map[matcher];
+}
+
+thread_local std::unordered_map<const void*, std::vector<data::TupleId>>
+    t_candidate_scratch;
+thread_local std::unordered_map<const void*, std::vector<data::TupleId>>
+    t_match_scratch;
+
+}  // namespace
+
 MdMatcher::MdMatcher(const rules::Md& md, const data::Relation& dm,
                      const MdMatcherOptions& options)
-    : md_(md), dm_(dm), options_(options) {
+    : md_(md),
+      dm_(dm),
+      options_(options),
+      blocking_cache_(options.memo_capacity),
+      match_cache_(options.memo_capacity) {
   g_constructed_count.fetch_add(1, std::memory_order_relaxed);
   UC_CHECK(md_.normalized()) << "MdMatcher requires a normalized MD";
   // Matches() keys its memo on the full premise projection; enforce the
   // GroupKey width limit here for matchers built outside RuleSet::Make.
   UC_CHECK_LE(md_.premise().size(), data::GroupKey::kMaxParts)
       << "MdMatcher: MD " << md_.name() << " premise too wide";
-  sim_cache_.resize(md_.premise().size());
-  if (!options_.use_blocking) return;
   for (size_t i = 0; i < md_.premise().size(); ++i) {
-    if (md_.premise()[i].predicate.is_equality()) {
-      equality_clauses_.push_back(i);
-    } else if (blocking_clause_ < 0) {
-      blocking_clause_ = static_cast<int>(i);
+    sim_cache_.emplace_back(options.memo_capacity);
+  }
+  if (options_.use_blocking) {
+    for (size_t i = 0; i < md_.premise().size(); ++i) {
+      if (md_.premise()[i].predicate.is_equality()) {
+        equality_clauses_.push_back(i);
+      } else if (blocking_clause_ < 0) {
+        blocking_clause_ = static_cast<int>(i);
+      }
     }
   }
+  // The brute-force and empty-premise paths scan every master tuple; the
+  // list is materialized here so probes share it without synchronization.
+  if (!options_.use_blocking ||
+      (equality_clauses_.empty() && blocking_clause_ < 0)) {
+    all_masters_.resize(static_cast<size_t>(dm_.size()));
+    for (data::TupleId s = 0; s < dm_.size(); ++s) {
+      all_masters_[static_cast<size_t>(s)] = s;
+    }
+  }
+  if (!options_.use_blocking) return;
   if (!equality_clauses_.empty()) {
     for (data::TupleId s = 0; s < dm_.size(); ++s) {
       bool has_null = false;
@@ -85,24 +130,33 @@ MdMatcher::MdMatcher(const rules::Md& md, const data::Relation& dm,
 }
 
 bool MdMatcher::Verify(const data::Tuple& t, data::TupleId s) const {
-  return md_.PremiseHolds(t, dm_.tuple(s),
-                          options_.use_memos ? &sim_cache_ : nullptr);
-}
-
-const std::vector<data::TupleId>& MdMatcher::AllMasters() const {
-  if (all_masters_.empty() && dm_.size() > 0) {
-    all_masters_.resize(static_cast<size_t>(dm_.size()));
-    for (data::TupleId s = 0; s < dm_.size(); ++s) {
-      all_masters_[static_cast<size_t>(s)] = s;
-    }
+  const data::Tuple& m = dm_.tuple(s);
+  if (!options_.use_memos) {
+    return md_.PremiseHoldsWith(
+        t, m,
+        [](size_t, const rules::MdClause& c, const data::Value& dv,
+           const data::Value& mv) {
+          return c.predicate.Evaluate(dv.view(), mv.view());
+        });
   }
-  return all_masters_;
+  return md_.PremiseHoldsWith(
+      t, m,
+      [this](size_t i, const rules::MdClause& c, const data::Value& dv,
+             const data::Value& mv) {
+        const uint64_t pair_key =
+            (static_cast<uint64_t>(dv.id()) << 32) | mv.id();
+        const ShardedMemo<uint64_t, bool>& cache = sim_cache_[i];
+        if (const bool* hit = cache.Find(pair_key)) return *hit;
+        bool holds = c.predicate.Evaluate(dv.view(), mv.view());
+        cache.Insert(pair_key, std::move(holds));
+        return holds;
+      });
 }
 
 const std::vector<data::TupleId>& MdMatcher::Candidates(
     const data::Tuple& t) const {
   static const std::vector<data::TupleId> kNoCandidates;
-  if (!options_.use_blocking) return AllMasters();
+  if (!options_.use_blocking) return all_masters_;
   if (!equality_clauses_.empty()) {
     auto it = equality_index_.find(
         EqualityKey(equality_clauses_, md_, t, /*master_side=*/false));
@@ -114,11 +168,18 @@ const std::vector<data::TupleId>& MdMatcher::Candidates(
     const data::Value& v = t.value(clause.data_attr);
     if (v.is_null()) return kNoCandidates;
     if (options_.use_memos) {
-      auto cached = blocking_cache_.find(v.id());
-      if (cached != blocking_cache_.end()) return cached->second;
+      if (const auto* hit = blocking_cache_.Find(v.id())) return *hit;
     }
-    std::vector<data::TupleId> candidates;
-    for (const auto& cand : tree_.TopL(v.view(), options_.top_l)) {
+    // Per-probe scratch reuses capacity across probes instead of allocating
+    // fresh vectors per miss. `top` never escapes this call, so it can be a
+    // plain thread_local; `candidates` may be returned (memos off / cap
+    // refusal), so it is per-(thread, matcher).
+    static thread_local std::vector<similarity::BlockingCandidate> top;
+    std::vector<data::TupleId>& candidates =
+        ScratchFor(this, t_candidate_scratch);
+    tree_.TopL(v.view(), options_.top_l, /*max_leaves_per_probe=*/64, &top);
+    candidates.clear();
+    for (const similarity::BlockingCandidate& cand : top) {
       for (data::TupleId s :
            value_owners_[static_cast<size_t>(cand.string_id)]) {
         candidates.push_back(s);
@@ -127,38 +188,59 @@ const std::vector<data::TupleId>& MdMatcher::Candidates(
     std::sort(candidates.begin(), candidates.end());
     candidates.erase(std::unique(candidates.begin(), candidates.end()),
                      candidates.end());
-    if (!options_.use_memos) {
-      scratch_candidates_ = std::move(candidates);
-      return scratch_candidates_;
+    if (options_.use_memos) {
+      // InsertWith: the move happens only if admission succeeds (the memo
+      // entry is what gets returned then), so a capped memo in steady state
+      // pays no per-miss allocation and an admitted miss pays no copy; on
+      // refusal or a lost race the scratch is left intact and served below.
+      if (const auto* inserted = blocking_cache_.InsertWith(
+              v.id(), [&]() { return std::move(candidates); })) {
+        return *inserted;
+      }
     }
-    return blocking_cache_.emplace(v.id(), std::move(candidates))
-        .first->second;
+    // Memos off or admission refused past the cap: serve from scratch,
+    // valid until this thread's next probe.
+    return candidates;
   }
   // Premise with no clauses at all: every master tuple is a candidate.
-  return AllMasters();
+  return all_masters_;
 }
 
 const std::vector<data::TupleId>& MdMatcher::Matches(
     const data::Tuple& t) const {
+  // ScratchFor is resolved only on the paths that hand scratch out — the
+  // dominant memo-hit path must not pay its map lookup.
   if (!options_.use_memos) {
+    std::vector<data::TupleId>& scratch_matches =
+        ScratchFor(this, t_match_scratch);
     const std::vector<data::TupleId>& candidates = Candidates(t);
-    scratch_matches_.clear();
+    scratch_matches.clear();
     for (data::TupleId s : candidates) {
-      if (Verify(t, s)) scratch_matches_.push_back(s);
+      if (Verify(t, s)) scratch_matches.push_back(s);
     }
-    return scratch_matches_;
+    return scratch_matches;
   }
   data::GroupKey key;
   for (const rules::MdClause& c : md_.premise()) {
     key.Append(t.value(c.data_attr).id());
   }
-  auto it = match_cache_.find(key);
-  if (it != match_cache_.end()) return it->second;
+  if (const auto* hit = match_cache_.Find(key)) return *hit;
+  // Compute outside any shard lock; a concurrent probe of the same
+  // projection recomputes the identical list and the insert below keeps
+  // whichever landed first.
   std::vector<data::TupleId> matches;
   for (data::TupleId s : Candidates(t)) {
     if (Verify(t, s)) matches.push_back(s);
   }
-  return match_cache_.emplace(key, std::move(matches)).first->second;
+  if (const auto* resident = match_cache_.Insert(key, std::move(matches))) {
+    return *resident;
+  }
+  // Admission refused past the cap. `matches` was not consumed (Insert only
+  // moves on success); hand it out via per-(thread, matcher) scratch.
+  std::vector<data::TupleId>& scratch_matches =
+      ScratchFor(this, t_match_scratch);
+  scratch_matches = std::move(matches);
+  return scratch_matches;
 }
 
 std::vector<data::TupleId> MdMatcher::FindMatches(const data::Tuple& t) const {
@@ -175,6 +257,21 @@ data::TupleId MdMatcher::FindFirstMatch(const data::Tuple& t) const {
   }
   const std::vector<data::TupleId>& matches = Matches(t);
   return matches.empty() ? -1 : matches.front();
+}
+
+MemoStats MdMatcher::memo_stats() const {
+  MemoStats total;
+  const auto list_bytes = [](const auto& k,
+                             const std::vector<data::TupleId>& v) {
+    return sizeof(k) + sizeof(v) + v.capacity() * sizeof(data::TupleId);
+  };
+  total += match_cache_.Stats(list_bytes);
+  total += blocking_cache_.Stats(list_bytes);
+  for (const ShardedMemo<uint64_t, bool>& clause_cache : sim_cache_) {
+    total += clause_cache.Stats(
+        [](uint64_t, bool) { return sizeof(uint64_t) + sizeof(bool); });
+  }
+  return total;
 }
 
 }  // namespace core

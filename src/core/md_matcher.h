@@ -7,14 +7,26 @@
 // (data id, master id) pair, so a value pair is scored at most once per
 // clause over the whole cleaning run. A brute-force mode exists for the
 // blocking ablation bench.
+//
+// Thread safety: after construction the indexes are immutable and the memos
+// are sharded behind striped locks (see core/sharded_memo.h), so any number
+// of threads may call Matches / FindMatches / FindFirstMatch concurrently —
+// the engine entry point concurrent uniclean::Session runs rely on. Every
+// memoized result is a pure function of its key over the static master
+// data, so cache sharing across threads cannot change outcomes. References
+// returned by Matches() stay valid for the matcher's lifetime when they
+// point into a memo; results that were refused admission (capacity cap, or
+// use_memos = false) live in per-(thread, matcher) scratch valid until the
+// same thread's next probe of the same matcher.
 
 #ifndef UNICLEAN_CORE_MD_MATCHER_H_
 #define UNICLEAN_CORE_MD_MATCHER_H_
 
 #include <cstdint>
-#include <unordered_map>
+#include <deque>
 #include <vector>
 
+#include "core/sharded_memo.h"
 #include "data/group_key.h"
 #include "data/relation.h"
 #include "data/string_pool.h"
@@ -34,6 +46,13 @@ struct MdMatcherOptions {
   /// every probe pays its full cost. Only the ablation benches turn this
   /// off, so they measure per-probe match cost rather than cache hits.
   bool use_memos = true;
+  /// Caps the resident entries of each memo map (the match-list memo, the
+  /// blocking memo, and each premise clause's similarity memo are capped
+  /// independently); 0 = unbounded. Past the cap new results are still
+  /// computed but refused admission (counted as MemoStats::evictions), so
+  /// handed-out references never dangle and a long-lived serving session's
+  /// memory stops growing. See ROADMAP "memo growth in long-lived sessions".
+  size_t memo_capacity = 0;
 };
 
 class MdMatcher {
@@ -42,13 +61,18 @@ class MdMatcher {
   MdMatcher(const rules::Md& md, const data::Relation& dm,
             const MdMatcherOptions& options = {});
 
+  MdMatcher(const MdMatcher&) = delete;
+  MdMatcher& operator=(const MdMatcher&) = delete;
+
   /// Master tuple ids whose premise holds with `t`, ascending. Matching is
   /// a pure function of the premise projection's interned ids (the master
   /// data is static), so results are cached per projection: re-probing an
   /// unchanged tuple is a hash lookup. The returned reference is owned by
   /// the matcher's memo and stays valid until the matcher is destroyed —
-  /// except with use_memos = false, where it points at scratch overwritten
-  /// by the next call.
+  /// except with use_memos = false or past the memo capacity cap, where it
+  /// points at per-(thread, matcher) scratch overwritten by the calling
+  /// thread's next probe of *this* matcher (probing other matchers leaves
+  /// it intact). Safe to call from any number of threads concurrently.
   const std::vector<data::TupleId>& Matches(const data::Tuple& t) const;
 
   /// Copying wrapper around Matches() (compatibility).
@@ -59,6 +83,11 @@ class MdMatcher {
 
   const rules::Md& md() const { return md_; }
 
+  /// Aggregated statistics of this matcher's memos (match lists, blocking
+  /// candidates, per-clause similarity outcomes). Counters are live atomics;
+  /// the entry/byte figures briefly lock each memo shard in turn.
+  MemoStats memo_stats() const;
+
   /// Process-wide count of MdMatcher constructions (each construction pays
   /// the full index-build cost). Tests assert index sharing with it: a warm
   /// Cleaner re-run must not move this counter.
@@ -66,7 +95,6 @@ class MdMatcher {
 
  private:
   const std::vector<data::TupleId>& Candidates(const data::Tuple& t) const;
-  const std::vector<data::TupleId>& AllMasters() const;
   bool Verify(const data::Tuple& t, data::TupleId s) const;
 
   const rules::Md& md_;
@@ -74,6 +102,7 @@ class MdMatcher {
   MdMatcherOptions options_;
 
   // Equality-clause blocking: key over all equality clauses' master values.
+  // Immutable after construction.
   std::vector<size_t> equality_clauses_;
   std::unordered_map<data::GroupKey, std::vector<data::TupleId>,
                      data::GroupKeyHash>
@@ -81,33 +110,30 @@ class MdMatcher {
 
   // Similarity blocking (used when no equality clause exists): suffix tree
   // over the distinct master values of the first similarity clause.
+  // Immutable after construction.
   int blocking_clause_ = -1;
   similarity::GeneralizedSuffixTree tree_;
   std::vector<std::vector<data::TupleId>> value_owners_;  // per string id
 
-  // Per-premise-clause memo of similarity outcomes (see rules::ClauseMemo),
-  // lazily filled by PremiseHolds during Verify.
-  mutable rules::ClauseMemo sim_cache_;
+  // Per-premise-clause memo of similarity outcomes keyed on
+  // (data id << 32 | master id), lazily filled during Verify. deque: the
+  // sharded memos own mutexes and never move.
+  std::deque<ShardedMemo<uint64_t, bool>> sim_cache_;
 
   // Memo of suffix-tree blocking results per probed value id: TopL over the
   // static master index is a pure function of the probe string, and dirty
   // data re-probes the same (often duplicated) values constantly.
-  mutable std::unordered_map<data::ValueId, std::vector<data::TupleId>>
-      blocking_cache_;
+  ShardedMemo<data::ValueId, std::vector<data::TupleId>> blocking_cache_;
 
   // Memo of full match lists keyed by the premise projection of the data
   // tuple. References handed out by Matches() point into this map (node
   // stability; entries are never erased).
-  mutable std::unordered_map<data::GroupKey, std::vector<data::TupleId>,
-                             data::GroupKeyHash>
+  ShardedMemo<data::GroupKey, std::vector<data::TupleId>, data::GroupKeyHash>
       match_cache_;
 
-  // Lazily materialized 0..|Dm|-1 (brute force / empty premise paths).
-  mutable std::vector<data::TupleId> all_masters_;
-
-  // Scratch results when use_memos is off (overwritten per call).
-  mutable std::vector<data::TupleId> scratch_candidates_;
-  mutable std::vector<data::TupleId> scratch_matches_;
+  // Materialized 0..|Dm|-1 (brute force / empty premise paths); built in
+  // the constructor when one of those paths is configured, immutable after.
+  std::vector<data::TupleId> all_masters_;
 };
 
 }  // namespace core

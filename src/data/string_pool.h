@@ -8,14 +8,25 @@
 //
 // Ids are never recycled: the pool only grows over a process lifetime, and
 // interned ids stay valid (and keep resolving to the same characters) for as
-// long as the pool that produced them is installed. Like the rest of the
-// library, the pool is not thread-safe.
+// long as the pool that produced them is installed.
+//
+// Thread safety: the pool is safe for concurrent use. Resolving an id back
+// to its characters (str/view/size) is lock-free — storage is a two-level
+// chunk table whose chunks are published with release/acquire ordering and
+// never move — while Intern() serializes writers behind a mutex. This is
+// what lets concurrent uniclean::Session runs share one pool: cleaning is
+// read-mostly (repairs copy already-interned master ids), and the rare
+// intern (e.g. a user phase constructing a fresh Value) is correct, just
+// not contention-free. Installing a different global pool (ScopedStringPool)
+// is NOT thread-safe and must happen while no other thread touches values.
 
 #ifndef UNICLEAN_DATA_STRING_POOL_H_
 #define UNICLEAN_DATA_STRING_POOL_H_
 
+#include <atomic>
 #include <cstdint>
-#include <deque>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <string_view>
 #include <unordered_map>
@@ -44,40 +55,65 @@ class StringPool {
   /// need no lookup.
   static constexpr ValueId kEmptyId = 0;
 
-  StringPool() { Intern(std::string_view()); }
+  StringPool()
+      : chunks_(new std::atomic<std::string*>[kMaxChunks]) {
+    for (size_t c = 0; c < kMaxChunks; ++c) {
+      chunks_[c].store(nullptr, std::memory_order_relaxed);
+    }
+    Intern(std::string_view());
+  }
+
+  ~StringPool() {
+    for (size_t c = 0; c < kMaxChunks; ++c) {
+      delete[] chunks_[c].load(std::memory_order_relaxed);
+    }
+  }
 
   StringPool(const StringPool&) = delete;
   StringPool& operator=(const StringPool&) = delete;
 
-  /// Returns the id of `s`, interning it on first sight.
+  /// Returns the id of `s`, interning it on first sight. Thread-safe;
+  /// concurrent callers serialize on an internal mutex.
   ValueId Intern(std::string_view s) {
+    std::lock_guard<std::mutex> lock(mutex_);
     auto it = index_.find(s);
     if (it != index_.end()) return it->second;
+    const ValueId id = size_.load(std::memory_order_relaxed);
     // Never mint kNullId (or wrap): abort instead of silently aliasing.
-    UC_CHECK_LT(strings_.size(), static_cast<size_t>(kNullId))
-        << "StringPool: id space exhausted";
-    strings_.emplace_back(s);
-    const ValueId id = static_cast<ValueId>(strings_.size() - 1);
-    // The key views the deque-owned string; deque growth never moves it.
-    index_.emplace(std::string_view(strings_.back()), id);
+    UC_CHECK_LT(id, kCapacity) << "StringPool: id space exhausted";
+    const size_t chunk = id >> kChunkBits;
+    std::string* slots = chunks_[chunk].load(std::memory_order_relaxed);
+    if (slots == nullptr) {
+      slots = new std::string[kChunkSize];
+      chunks_[chunk].store(slots, std::memory_order_release);
+    }
+    std::string& slot = slots[id & (kChunkSize - 1)];
+    slot.assign(s.data(), s.size());
+    // Publish: a reader that acquire-loads size() > id is guaranteed to see
+    // the chunk pointer and the slot's characters.
+    size_.store(id + 1, std::memory_order_release);
+    // The key views the chunk-owned string; chunks never move or shrink.
+    index_.emplace(std::string_view(slot), id);
     return id;
   }
 
-  /// The interned string for a valid id; kNullId resolves to "". Aborts on
-  /// out-of-range ids (e.g. an id issued by a larger pool); an in-range id
-  /// issued by a *different* pool is indistinguishable from a valid one and
-  /// resolves to this pool's string — never mix ids across pools (see
-  /// ScopedStringPool).
+  /// The interned string for a valid id; kNullId resolves to "". Lock-free.
+  /// Aborts on out-of-range ids (e.g. an id issued by a larger pool); an
+  /// in-range id issued by a *different* pool is indistinguishable from a
+  /// valid one and resolves to this pool's string — never mix ids across
+  /// pools (see ScopedStringPool).
   const std::string& str(ValueId id) const {
     if (id == kNullId) return empty_;
-    UC_CHECK_LT(id, strings_.size()) << "StringPool: unknown value id";
-    return strings_[id];
+    UC_CHECK_LT(id, size_.load(std::memory_order_acquire))
+        << "StringPool: unknown value id";
+    return chunks_[id >> kChunkBits].load(std::memory_order_acquire)
+        [id & (kChunkSize - 1)];
   }
 
   std::string_view view(ValueId id) const { return str(id); }
 
   /// Number of distinct interned strings.
-  size_t size() const { return strings_.size(); }
+  size_t size() const { return size_.load(std::memory_order_acquire); }
 
   /// The process-wide pool used by data::Value. All relations, rules and
   /// engines in a process share it, so ids from different relations are
@@ -90,11 +126,27 @@ class StringPool {
  private:
   friend class ScopedStringPool;
 
+  // Two-level storage: chunks of kChunkSize strings, allocated on demand and
+  // never moved, so readers resolve ids without taking the writer mutex.
+  // Cost of the lock-free read path: a fixed 256KB pointer table per pool
+  // plus ~256KB for the first chunk's default-constructed strings (~0.5MB
+  // per instance — negligible for the process-wide pool, deliberate for
+  // test-scoped ScopedStringPools), and an id capacity of 2^28 instead of
+  // the old deque's ~2^32 (observed pools hold well under 2^24; exhaustion
+  // aborts loudly via UC_CHECK).
+  static constexpr size_t kChunkBits = 13;
+  static constexpr size_t kChunkSize = size_t{1} << kChunkBits;  // 8192
+  static constexpr size_t kMaxChunks = size_t{1} << 15;
+  static constexpr ValueId kCapacity =
+      static_cast<ValueId>(kChunkSize * kMaxChunks);  // 2^28 ids
+
   /// Lazily creates the process default pool (safe under any static
   /// initialization order) and installs it as the global.
   static StringPool& DefaultInstance();
 
-  std::deque<std::string> strings_;  // stable addresses; id = index
+  std::unique_ptr<std::atomic<std::string*>[]> chunks_;
+  std::atomic<ValueId> size_{0};
+  mutable std::mutex mutex_;  // guards index_ and all writes
   std::unordered_map<std::string_view, ValueId> index_;
   std::string empty_;
 
@@ -104,7 +156,9 @@ class StringPool {
 /// Test-only RAII override: installs a fresh global pool for its lifetime.
 /// Every Value, Relation and RuleSet created inside the scope holds ids of
 /// the scoped pool and must not outlive it. Used by the interning parity
-/// tests to re-run a pipeline under a permuted id assignment.
+/// tests to re-run a pipeline under a permuted id assignment. Swapping the
+/// global pool is not synchronized: install/uninstall only while no other
+/// thread is running pipeline code.
 class ScopedStringPool {
  public:
   ScopedStringPool() : previous_(StringPool::global_) {

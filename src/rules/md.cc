@@ -31,33 +31,27 @@ std::vector<Md> Md::Normalize() const {
 
 bool Md::PremiseHolds(const data::Tuple& t, const data::Tuple& s,
                       ClauseMemo* memo) const {
-  for (size_t i = 0; i < premise_.size(); ++i) {
-    const MdClause& c = premise_[i];
-    const data::Value& dv = t.value(c.data_attr);
-    const data::Value& mv = s.value(c.master_attr);
-    if (dv.is_null() || mv.is_null()) return false;
-    // Identical interned ids satisfy any similarity predicate (distance 0 /
-    // similarity 1); only distinct strings need the metric.
-    if (dv == mv) continue;
-    if (c.predicate.is_equality()) return false;
-    if (memo != nullptr) {
-      const uint64_t pair_key =
-          (static_cast<uint64_t>(dv.id()) << 32) | mv.id();
-      std::unordered_map<uint64_t, bool>& cache = (*memo)[i];
-      auto it = cache.find(pair_key);
-      bool holds;
-      if (it != cache.end()) {
-        holds = it->second;
-      } else {
-        holds = c.predicate.Evaluate(dv.view(), mv.view());
-        cache.emplace(pair_key, holds);
-      }
-      if (!holds) return false;
-    } else if (!c.predicate.Evaluate(dv.view(), mv.view())) {
-      return false;
-    }
+  if (memo == nullptr) {
+    return PremiseHoldsWith(
+        t, s,
+        [](size_t, const MdClause& c, const data::Value& dv,
+           const data::Value& mv) {
+          return c.predicate.Evaluate(dv.view(), mv.view());
+        });
   }
-  return true;
+  return PremiseHoldsWith(
+      t, s,
+      [memo](size_t i, const MdClause& c, const data::Value& dv,
+             const data::Value& mv) {
+        const uint64_t pair_key =
+            (static_cast<uint64_t>(dv.id()) << 32) | mv.id();
+        std::unordered_map<uint64_t, bool>& cache = (*memo)[i];
+        auto it = cache.find(pair_key);
+        if (it != cache.end()) return it->second;
+        const bool holds = c.predicate.Evaluate(dv.view(), mv.view());
+        cache.emplace(pair_key, holds);
+        return holds;
+      });
 }
 
 Md Md::WithExtraEqualities(const std::vector<MdClause>& extra,

@@ -176,9 +176,39 @@ std::vector<std::string> QGramProfile(std::string_view s, int q) {
   return grams;
 }
 
-double QGramJaccard(std::string_view a, std::string_view b, int q) {
-  std::vector<std::string> ga = QGramProfile(a, q);
-  std::vector<std::string> gb = QGramProfile(b, q);
+void QGramIdProfile(std::string_view s, int q, std::vector<uint64_t>* grams) {
+  UC_CHECK_GE(q, 1);
+  UC_CHECK_LE(q, 8) << "QGramIdProfile: gram does not fit a uint64 id";
+  grams->clear();
+  // A profile of the '#'-padded string has |s| + q - 1 grams; walk a sliding
+  // window over the virtual padded text instead of materializing it. Bytes
+  // pack big-endian, so uint64 comparison of same-q ids is exactly the
+  // lexicographic byte comparison QGramProfile's std::string sort performs.
+  const size_t pad = static_cast<size_t>(q - 1);
+  const size_t padded_len = s.size() + 2 * pad;
+  if (padded_len < static_cast<size_t>(q)) return;
+  grams->reserve(padded_len - static_cast<size_t>(q) + 1);
+  auto padded_at = [&](size_t i) -> unsigned char {
+    return i < pad || i >= pad + s.size()
+               ? static_cast<unsigned char>('#')
+               : static_cast<unsigned char>(s[i - pad]);
+  };
+  uint64_t id = 0;
+  const uint64_t mask = q == 8 ? ~uint64_t{0}
+                               : ((uint64_t{1} << (8 * q)) - 1);
+  for (size_t i = 0; i < padded_len; ++i) {
+    id = ((id << 8) | padded_at(i)) & mask;
+    if (i + 1 >= static_cast<size_t>(q)) grams->push_back(id);
+  }
+  std::sort(grams->begin(), grams->end());
+}
+
+namespace {
+
+/// Shared Jaccard tail: dedup both sorted profiles, then a sorted-merge
+/// intersection count.
+template <typename T>
+double SortedProfileJaccard(std::vector<T>& ga, std::vector<T>& gb) {
   ga.erase(std::unique(ga.begin(), ga.end()), ga.end());
   gb.erase(std::unique(gb.begin(), gb.end()), gb.end());
   if (ga.empty() && gb.empty()) return 1.0;
@@ -198,6 +228,26 @@ double QGramJaccard(std::string_view a, std::string_view b, int q) {
   }
   size_t uni = ga.size() + gb.size() - inter;
   return uni == 0 ? 1.0 : static_cast<double>(inter) / static_cast<double>(uni);
+}
+
+}  // namespace
+
+double QGramJaccard(std::string_view a, std::string_view b, int q) {
+  UC_CHECK_GE(q, 1);
+  if (q <= 8) {
+    // Integer-id profiles in thread-local scratch: no per-evaluation
+    // vector<std::string> of substrings (this was the pipeline's top
+    // allocation-churn item). thread_local keeps concurrent Session runs
+    // independent.
+    static thread_local std::vector<uint64_t> ga;
+    static thread_local std::vector<uint64_t> gb;
+    QGramIdProfile(a, q, &ga);
+    QGramIdProfile(b, q, &gb);
+    return SortedProfileJaccard(ga, gb);
+  }
+  std::vector<std::string> ga = QGramProfile(a, q);
+  std::vector<std::string> gb = QGramProfile(b, q);
+  return SortedProfileJaccard(ga, gb);
 }
 
 int LongestCommonSubstring(std::string_view a, std::string_view b) {

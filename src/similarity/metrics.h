@@ -31,9 +31,23 @@ double JaroSimilarity(std::string_view a, std::string_view b);
 double JaroWinklerSimilarity(std::string_view a, std::string_view b);
 
 /// The sorted multiset of padded q-grams of `s` ('#' padding on both sides).
+/// Reference implementation: allocates one std::string per gram. The hot
+/// path (QGramJaccard) uses QGramIdProfile instead; this form is kept for
+/// callers that need the gram text and as the parity oracle in tests.
 std::vector<std::string> QGramProfile(std::string_view s, int q);
 
+/// The same profile with every q-gram interned as an integer id: the gram's
+/// q bytes packed big-endian into a uint64, so for a fixed q the sort order
+/// and equalities match QGramProfile exactly while building the profile
+/// allocates nothing beyond `grams` capacity growth. Requires 1 <= q <= 8
+/// (larger grams do not fit an id; QGramJaccard falls back to the string
+/// profile there). `grams` is cleared first, so scratch buffers can be
+/// reused across calls.
+void QGramIdProfile(std::string_view s, int q, std::vector<uint64_t>* grams);
+
 /// Jaccard similarity of the q-gram sets of two strings, in [0, 1].
+/// Thread-safe and allocation-free in steady state for q <= 8 (interned
+/// gram ids in thread-local scratch).
 double QGramJaccard(std::string_view a, std::string_view b, int q = 2);
 
 /// Length of the longest common substring (contiguous). O(|a|*|b|); used as

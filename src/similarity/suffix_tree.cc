@@ -222,9 +222,18 @@ void GeneralizedSuffixTree::CollectLeaves(int node, int limit,
 
 std::vector<BlockingCandidate> GeneralizedSuffixTree::TopL(
     std::string_view q, int l, int max_leaves_per_probe) const {
-  UC_CHECK(built_);
   std::vector<BlockingCandidate> result;
-  if (l <= 0 || q.empty()) return result;
+  TopL(q, l, max_leaves_per_probe, &result);
+  return result;
+}
+
+void GeneralizedSuffixTree::TopL(std::string_view q, int l,
+                                 int max_leaves_per_probe,
+                                 std::vector<BlockingCandidate>* out) const {
+  UC_CHECK(built_);
+  std::vector<BlockingCandidate>& result = *out;
+  result.clear();
+  if (l <= 0 || q.empty()) return;
 
   // For each starting offset of q, descend from the root as far as possible.
   // A string s whose longest common substring with q (starting at this
@@ -233,11 +242,16 @@ std::vector<BlockingCandidate> GeneralizedSuffixTree::TopL(
   // below the edge's child node, recorded when the probe stops there). To
   // credit both cases we record every node boundary visited with its depth,
   // not just the final locus.
+  //
+  // All probe-internal scratch is thread-local: TopL runs once per distinct
+  // probed value (blocking-memo misses and the memo-off ablation), and the
+  // per-call vector/map churn was a measured top allocation item.
   struct Probe {
     int node;   // a node on the match path
     int depth;  // matched length at (or within the edge entering) the node
   };
-  std::vector<Probe> probes;
+  static thread_local std::vector<Probe> probes;
+  probes.clear();
   for (size_t start = 0; start < q.size(); ++start) {
     int node = 0;
     int depth = 0;
@@ -267,8 +281,9 @@ std::vector<BlockingCandidate> GeneralizedSuffixTree::TopL(
   std::sort(probes.begin(), probes.end(),
             [](const Probe& a, const Probe& b) { return a.depth > b.depth; });
 
-  std::unordered_map<int, int> best_score;  // string id -> score
-  std::vector<int> starts;
+  static thread_local std::unordered_map<int, int> best_score;  // sid -> score
+  static thread_local std::vector<int> starts;
+  best_score.clear();
   for (const Probe& p : probes) {
     starts.clear();
     CollectLeaves(p.node, max_leaves_per_probe, &starts);
@@ -290,7 +305,6 @@ std::vector<BlockingCandidate> GeneralizedSuffixTree::TopL(
               return a.string_id < b.string_id;
             });
   if (static_cast<int>(result.size()) > l) result.resize(static_cast<size_t>(l));
-  return result;
 }
 
 }  // namespace similarity

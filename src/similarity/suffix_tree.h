@@ -55,6 +55,15 @@ class GeneralizedSuffixTree {
   std::vector<BlockingCandidate> TopL(std::string_view q, int l,
                                       int max_leaves_per_probe = 64) const;
 
+  /// Allocation-free form: writes the candidates into `*out` (cleared
+  /// first), reusing caller-owned capacity across probes — the hot entry
+  /// point for MdMatcher, whose per-probe scratch otherwise dominated the
+  /// allocation profile. Probe-internal scratch is thread-local, so
+  /// concurrent queries against one built tree are safe (the tree itself is
+  /// immutable after Build()).
+  void TopL(std::string_view q, int l, int max_leaves_per_probe,
+            std::vector<BlockingCandidate>* out) const;
+
   /// Total number of tree nodes (diagnostics / tests).
   int num_nodes() const { return static_cast<int>(nodes_.size()); }
 

@@ -117,4 +117,19 @@ std::vector<std::unique_ptr<Phase>> MakeDefaultPhases(bool crepair,
   return phases;
 }
 
+std::vector<PhaseFactory> MakeDefaultPhaseFactories(bool crepair, bool erepair,
+                                                    bool hrepair) {
+  std::vector<PhaseFactory> factories;
+  if (crepair) {
+    factories.push_back([] { return std::make_unique<CRepairPhase>(); });
+  }
+  if (erepair) {
+    factories.push_back([] { return std::make_unique<ERepairPhase>(); });
+  }
+  if (hrepair) {
+    factories.push_back([] { return std::make_unique<HRepairPhase>(); });
+  }
+  return factories;
+}
+
 }  // namespace uniclean

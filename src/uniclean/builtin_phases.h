@@ -61,6 +61,12 @@ std::vector<std::unique_ptr<Phase>> MakeDefaultPhases(bool crepair = true,
                                                       bool erepair = true,
                                                       bool hrepair = true);
 
+/// The same default pipeline as per-session factories — what a CleanEngine
+/// stores so every NewSession() gets fresh phase instances.
+std::vector<PhaseFactory> MakeDefaultPhaseFactories(bool crepair = true,
+                                                    bool erepair = true,
+                                                    bool hrepair = true);
+
 }  // namespace uniclean
 
 #endif  // UNICLEAN_UNICLEAN_BUILTIN_PHASES_H_

@@ -1,336 +1,29 @@
 #include "uniclean/cleaner.h"
 
-#include <algorithm>
-#include <fstream>
-#include <sstream>
+#include <utility>
 
 #include "data/csv.h"
-#include "data/schema.h"
-#include "reasoning/consistency.h"
-#include "rules/parser.h"
-#include "uniclean/builtin_phases.h"
+#include "uniclean/detail.h"
 
 namespace uniclean {
 
-namespace {
-
-Result<std::string> ReadFileToString(const std::string& path) {
-  std::ifstream in(path);
-  if (!in.is_open()) return Status::NotFound("cannot open " + path);
-  std::ostringstream out;
-  out << in.rdbuf();
-  return out.str();
-}
-
-bool SchemaMatches(const data::Schema& a, const data::Schema& b) {
-  if (a.arity() != b.arity()) return false;
-  for (data::AttributeId i = 0; i < a.arity(); ++i) {
-    if (a.attribute_name(i) != b.attribute_name(i)) return false;
-  }
-  return true;
-}
-
-std::string DescribeSchema(const data::Schema& schema) {
-  std::string out = schema.relation_name() + "(";
-  for (data::AttributeId i = 0; i < schema.arity(); ++i) {
-    if (i > 0) out += ", ";
-    out += schema.attribute_name(i);
-  }
-  out += ")";
-  return out;
-}
-
-/// Rebuilds `status` with its message prefixed — Status is immutable.
-Status Annotate(const Status& status, const std::string& prefix) {
-  const std::string message = prefix + status.message();
-  switch (status.code()) {
-    case StatusCode::kOk:
-      return status;
-    case StatusCode::kInvalidArgument:
-      return Status::InvalidArgument(message);
-    case StatusCode::kNotFound:
-      return Status::NotFound(message);
-    case StatusCode::kCorruption:
-      return Status::Corruption(message);
-    case StatusCode::kOutOfRange:
-      return Status::OutOfRange(message);
-    case StatusCode::kFailedPrecondition:
-      return Status::FailedPrecondition(message);
-    case StatusCode::kUnimplemented:
-      return Status::Unimplemented(message);
-    case StatusCode::kInternal:
-      return Status::Internal(message);
-  }
-  return Status::Internal(message);
-}
-
-}  // namespace
-
-// ---------------------------------------------------------------------------
-// CleanResult
-// ---------------------------------------------------------------------------
-
-int CleanResult::total_fixes() const {
-  int total = 0;
-  for (const PhaseStats& stats : phases) total += stats.fixes;
-  return total;
-}
-
-const PhaseStats* CleanResult::phase(std::string_view name) const {
-  for (const PhaseStats& stats : phases) {
-    if (stats.phase == name) return &stats;
-  }
-  return nullptr;
-}
-
-std::vector<std::pair<data::TupleId, data::TupleId>> CleanResult::AllMatches()
-    const {
-  std::vector<std::pair<data::TupleId, data::TupleId>> all;
-  for (const PhaseStats& stats : phases) {
-    all.insert(all.end(), stats.matches.begin(), stats.matches.end());
-  }
-  std::sort(all.begin(), all.end());
-  all.erase(std::unique(all.begin(), all.end()), all.end());
-  return all;
-}
-
-// ---------------------------------------------------------------------------
-// Cleaner
-// ---------------------------------------------------------------------------
-
-const core::MatchEnvironment& Cleaner::environment() {
-  if (env_ == nullptr) {
-    env_ = std::make_unique<core::MatchEnvironment>(*rules_, *master_,
-                                                    config_.matcher);
-  }
-  return *env_;
-}
-
-void Cleaner::Warmup() { environment(); }
-
-Result<CleanResult> Cleaner::Run() { return RunPipeline(data_); }
-
-Result<CleanResult> Cleaner::Run(data::Relation* data) {
-  if (data == nullptr) {
-    return Status::InvalidArgument("Run(data): relation must not be null");
-  }
-  if (!SchemaMatches(rules_->data_schema(), data->schema())) {
+// EngineBuilder::Build() is defined here (not engine.cc) because it needs
+// the complete Cleaner type: it assembles the single-session shim — the
+// shared engine, one session carrying the configured phases and progress
+// callback, and the bound data relation.
+Result<Cleaner> EngineBuilder::Build() {
+  UC_RETURN_IF_ERROR(ValidateThresholds());
+  // Instance phases bind to the shim's session, factories to the engine;
+  // mixing them would silently drop one side (the session stamps only the
+  // instance list), so reject the combination outright.
+  if ((custom_pipeline_ || !extra_phases_.empty()) &&
+      (factory_pipeline_ || !extra_factories_.empty())) {
     return Status::InvalidArgument(
-        "Run(data): relation schema " + DescribeSchema(data->schema()) +
-        " does not match the rule set's data schema " +
-        DescribeSchema(rules_->data_schema()));
-  }
-  return RunPipeline(data);
-}
-
-Result<CleanResult> Cleaner::RunPipeline(data::Relation* data) {
-  CleanResult result;
-  PipelineContext ctx;
-  ctx.data = data;
-  ctx.master = master_;
-  ctx.rules = rules_;
-  ctx.config = config_;
-  ctx.journal = &result.journal;
-  ctx.match_env = &environment();
-
-  const int total = static_cast<int>(phases_.size());
-  for (int i = 0; i < total; ++i) {
-    Phase& phase = *phases_[static_cast<size_t>(i)];
-    if (progress_) {
-      PhaseEvent event;
-      event.kind = PhaseEvent::Kind::kPhaseStarted;
-      event.index = i;
-      event.total = total;
-      event.phase = phase.name();
-      event.data = data;
-      progress_(event);
-    }
-    Result<PhaseStats> stats = phase.Run(&ctx);
-    if (!stats.ok()) {
-      return Annotate(stats.status(),
-                      "phase '" + std::string(phase.name()) + "': ");
-    }
-    PhaseStats phase_stats = std::move(stats).value();
-    phase_stats.phase = std::string(phase.name());
-    result.phases.push_back(std::move(phase_stats));
-    if (progress_) {
-      PhaseEvent event;
-      event.kind = PhaseEvent::Kind::kPhaseFinished;
-      event.index = i;
-      event.total = total;
-      event.phase = phase.name();
-      event.stats = &result.phases.back();
-      event.data = data;
-      progress_(event);
-    }
-  }
-  return result;
-}
-
-std::vector<std::string> Cleaner::PhaseNames() const {
-  std::vector<std::string> names;
-  names.reserve(phases_.size());
-  for (const auto& phase : phases_) names.emplace_back(phase->name());
-  return names;
-}
-
-// ---------------------------------------------------------------------------
-// CleanerBuilder
-// ---------------------------------------------------------------------------
-
-CleanerBuilder& CleanerBuilder::WithData(data::Relation data) {
-  data_owned_ = std::make_unique<data::Relation>(std::move(data));
-  data_ptr_ = nullptr;
-  data_csv_.clear();
-  return *this;
-}
-
-CleanerBuilder& CleanerBuilder::WithData(data::Relation* data) {
-  data_ptr_ = data;
-  data_owned_.reset();
-  data_csv_.clear();
-  return *this;
-}
-
-CleanerBuilder& CleanerBuilder::WithDataCsv(std::string path) {
-  data_csv_ = std::move(path);
-  data_owned_.reset();
-  data_ptr_ = nullptr;
-  return *this;
-}
-
-CleanerBuilder& CleanerBuilder::WithMaster(data::Relation master) {
-  master_owned_ = std::make_unique<data::Relation>(std::move(master));
-  master_ptr_ = nullptr;
-  master_csv_.clear();
-  return *this;
-}
-
-CleanerBuilder& CleanerBuilder::WithMaster(const data::Relation* master) {
-  master_ptr_ = master;
-  master_owned_.reset();
-  master_csv_.clear();
-  return *this;
-}
-
-CleanerBuilder& CleanerBuilder::WithMasterCsv(std::string path) {
-  master_csv_ = std::move(path);
-  master_owned_.reset();
-  master_ptr_ = nullptr;
-  return *this;
-}
-
-CleanerBuilder& CleanerBuilder::WithRules(rules::RuleSet rules) {
-  rules_owned_ = std::make_unique<rules::RuleSet>(std::move(rules));
-  rules_ptr_ = nullptr;
-  rule_text_.clear();
-  rules_file_.clear();
-  return *this;
-}
-
-CleanerBuilder& CleanerBuilder::WithRules(const rules::RuleSet* rules) {
-  rules_ptr_ = rules;
-  rules_owned_.reset();
-  rule_text_.clear();
-  rules_file_.clear();
-  return *this;
-}
-
-CleanerBuilder& CleanerBuilder::WithRuleText(std::string text) {
-  rule_text_ = std::move(text);
-  rules_owned_.reset();
-  rules_ptr_ = nullptr;
-  rules_file_.clear();
-  return *this;
-}
-
-CleanerBuilder& CleanerBuilder::WithRulesFile(std::string path) {
-  rules_file_ = std::move(path);
-  rules_owned_.reset();
-  rules_ptr_ = nullptr;
-  rule_text_.clear();
-  return *this;
-}
-
-CleanerBuilder& CleanerBuilder::WithConfidenceCsv(std::string path) {
-  confidence_csv_ = std::move(path);
-  return *this;
-}
-
-CleanerBuilder& CleanerBuilder::WithEta(double eta) {
-  config_.eta = eta;
-  return *this;
-}
-
-CleanerBuilder& CleanerBuilder::WithDelta1(int delta1) {
-  config_.delta1 = delta1;
-  return *this;
-}
-
-CleanerBuilder& CleanerBuilder::WithDelta2(double delta2) {
-  config_.delta2 = delta2;
-  return *this;
-}
-
-CleanerBuilder& CleanerBuilder::WithMatcherOptions(
-    core::MdMatcherOptions matcher) {
-  config_.matcher = matcher;
-  return *this;
-}
-
-CleanerBuilder& CleanerBuilder::WithDefaultPhases(bool crepair, bool erepair,
-                                                  bool hrepair) {
-  run_crepair_ = crepair;
-  run_erepair_ = erepair;
-  run_hrepair_ = hrepair;
-  custom_pipeline_ = false;
-  pipeline_.clear();
-  return *this;
-}
-
-CleanerBuilder& CleanerBuilder::WithPhases(
-    std::vector<std::unique_ptr<Phase>> phases) {
-  pipeline_ = std::move(phases);
-  custom_pipeline_ = true;
-  return *this;
-}
-
-CleanerBuilder& CleanerBuilder::AddPhase(std::unique_ptr<Phase> phase) {
-  extra_phases_.push_back(std::move(phase));
-  return *this;
-}
-
-CleanerBuilder& CleanerBuilder::CheckConsistency(bool check) {
-  check_consistency_ = check;
-  return *this;
-}
-
-CleanerBuilder& CleanerBuilder::WithProgressCallback(
-    ProgressCallback callback) {
-  progress_ = std::move(callback);
-  return *this;
-}
-
-Result<Cleaner> CleanerBuilder::Build() {
-  // Thresholds. The negated comparisons also reject NaN.
-  if (!(config_.eta >= 0.0 && config_.eta <= 1.0)) {
-    return Status::InvalidArgument(
-        "confidence threshold eta must be in [0, 1], got " +
-        std::to_string(config_.eta));
-  }
-  if (config_.delta1 < 0) {
-    return Status::InvalidArgument(
-        "update threshold delta1 must be >= 0, got " +
-        std::to_string(config_.delta1));
-  }
-  if (!(config_.delta2 >= 0.0 && config_.delta2 <= 1.0)) {
-    return Status::InvalidArgument(
-        "entropy threshold delta2 must be in [0, 1], got " +
-        std::to_string(config_.delta2));
+        "cannot mix instance phases (WithPhases/AddPhase) with phase "
+        "factories (WithPhaseFactories/AddPhaseFactory) in one build");
   }
 
   Cleaner cleaner;
-  cleaner.config_ = config_;
 
   // Data relation D.
   if (!data_csv_.empty()) {
@@ -350,63 +43,10 @@ Result<Cleaner> CleanerBuilder::Build() {
         "no data relation configured (use WithData or WithDataCsv)");
   }
 
-  // Master relation Dm.
-  if (!master_csv_.empty()) {
-    UC_ASSIGN_OR_RETURN(data::SchemaPtr schema,
-                        data::InferCsvSchema(master_csv_, "master"));
-    UC_ASSIGN_OR_RETURN(data::Relation dm,
-                        data::ReadCsvFile(master_csv_, schema));
-    cleaner.owned_master_ = std::make_unique<data::Relation>(std::move(dm));
-    cleaner.master_ = cleaner.owned_master_.get();
-  } else if (master_ptr_ != nullptr) {
-    cleaner.master_ = master_ptr_;
-  } else if (master_owned_ != nullptr) {
-    cleaner.owned_master_ = std::move(master_owned_);
-    cleaner.master_ = cleaner.owned_master_.get();
-  } else {
-    return Status::InvalidArgument(
-        "no master relation configured (use WithMaster or WithMasterCsv)");
-  }
-
-  // Rules Θ.
-  std::string rule_text = rule_text_;
-  if (!rules_file_.empty()) {
-    UC_ASSIGN_OR_RETURN(rule_text, ReadFileToString(rules_file_));
-  }
-  if (!rule_text.empty()) {
-    UC_ASSIGN_OR_RETURN(
-        rules::RuleSet parsed,
-        rules::ParseRuleSet(rule_text, cleaner.data_->schema_ptr(),
-                            cleaner.master_->schema_ptr()));
-    cleaner.owned_rules_ = std::make_unique<rules::RuleSet>(std::move(parsed));
-    cleaner.rules_ = cleaner.owned_rules_.get();
-  } else if (rules_ptr_ != nullptr) {
-    cleaner.rules_ = rules_ptr_;
-  } else if (rules_owned_ != nullptr) {
-    cleaner.owned_rules_ = std::move(rules_owned_);
-    cleaner.rules_ = cleaner.owned_rules_.get();
-  } else {
-    return Status::InvalidArgument(
-        "no rules configured (use WithRules, WithRuleText or WithRulesFile)");
-  }
-
-  // Schema conformance: the rules were normalized against specific schemas;
-  // the relations must match them attribute-for-attribute.
-  if (!SchemaMatches(cleaner.rules_->data_schema(),
-                     cleaner.data_->schema())) {
-    return Status::InvalidArgument(
-        "data relation schema " + DescribeSchema(cleaner.data_->schema()) +
-        " does not match the rule set's data schema " +
-        DescribeSchema(cleaner.rules_->data_schema()));
-  }
-  if (!SchemaMatches(cleaner.rules_->master_schema(),
-                     cleaner.master_->schema())) {
-    return Status::InvalidArgument(
-        "master relation schema " +
-        DescribeSchema(cleaner.master_->schema()) +
-        " does not match the rule set's master schema " +
-        DescribeSchema(cleaner.rules_->master_schema()));
-  }
+  // Shared immutable state — master, rules, schema conformance (including
+  // the data relation's schema), consistency, phase factories.
+  UC_ASSIGN_OR_RETURN(std::shared_ptr<CleanEngine> engine,
+                      BuildEngineInternal(cleaner.data_->schema_ptr()));
 
   // Per-cell confidences.
   if (!confidence_csv_.empty()) {
@@ -414,28 +54,27 @@ Result<Cleaner> CleanerBuilder::Build() {
         data::ReadConfidenceCsvFile(confidence_csv_, cleaner.data_));
   }
 
-  // Rule consistency (§4.1), on request.
-  if (check_consistency_) {
-    UC_ASSIGN_OR_RETURN(bool consistent, reasoning::IsConsistent(
-                                             *cleaner.rules_,
-                                             *cleaner.master_));
-    if (!consistent) {
-      return Status::InvalidArgument(
-          "the rule set is inconsistent: no nonempty database can satisfy "
-          "it");
+  // The shim's single session: custom phase instances bind here; otherwise
+  // the engine's factories stamp the (default or factory) pipeline. A
+  // session carrying instance phases is not reproducible from the engine's
+  // factories, so the Cleaner then refuses to hand the engine out.
+  cleaner.engine_matches_session_ = !custom_pipeline_ && extra_phases_.empty();
+  std::vector<std::unique_ptr<Phase>> phases;
+  if (custom_pipeline_) {
+    phases = std::move(pipeline_);
+  } else {
+    for (const PhaseFactory& factory : engine->phase_factories_) {
+      phases.push_back(factory());
     }
   }
-
-  // Pipeline.
-  cleaner.phases_ = custom_pipeline_
-                        ? std::move(pipeline_)
-                        : MakeDefaultPhases(run_crepair_, run_erepair_,
-                                            run_hrepair_);
   for (auto& phase : extra_phases_) {
-    cleaner.phases_.push_back(std::move(phase));
+    phases.push_back(std::move(phase));
   }
   extra_phases_.clear();
-  cleaner.progress_ = std::move(progress_);
+
+  cleaner.engine_ = engine;
+  cleaner.session_ = Session(std::move(engine), std::move(phases));
+  cleaner.session_.set_progress_callback(std::move(progress_));
   return cleaner;
 }
 

@@ -1,11 +1,17 @@
-// The uniclean::Cleaner façade: the library's top-level API. A
-// CleanerBuilder accepts data/master relations (in memory or as CSV paths),
-// rules (parsed or as text), per-cell confidences and thresholds, validates
-// everything, and produces a Cleaner — a session object that runs an
-// ordered, pluggable list of Phase objects over the data and reports a
-// structured CleanResult.
+// The uniclean::Cleaner façade — now a thin shim over the engine/session
+// split (engine.h / session.h): a Cleaner is one CleanEngine plus one
+// Session plus the bound data relation, packaged as the convenient
+// single-session API. It remains fully supported for one-shot cleaning and
+// scripts; services that clean many relations — especially concurrently —
+// should hold the shared engine directly:
 //
-// Quickstart:
+//   auto engine = EngineBuilder()...BuildEngine();   // shared, thread-safe
+//   auto session = (*engine)->NewSession();           // cheap, per request
+//   session.Run(&batch);
+//
+// CleanerBuilder is an alias of EngineBuilder; Build() produces the shim.
+//
+// Quickstart (unchanged):
 //
 //   auto cleaner = CleanerBuilder()
 //                      .WithDataCsv("dirty.csv")
@@ -19,8 +25,8 @@
 //   data::WriteCsvFile("repaired.csv", cleaner->data());
 //   result->journal.WriteCsvFile("fixes.csv");
 //
-// A Cleaner is a *session*: it owns a core::MatchEnvironment scoped to its
-// (rules, master) pair, built at most once per Cleaner lifetime. The first
+// A Cleaner is a *session*: its engine owns a core::MatchEnvironment scoped
+// to the (rules, master) pair, built at most once per lifetime. The first
 // Run() pays the MD index build (or call Warmup() up front to separate that
 // cost); every later run — including Run(data::Relation*) over successive
 // dirty relations sharing the master — reuses the warm indexes and memos,
@@ -31,10 +37,10 @@
 //     auto r = cleaner->Run(batch);    // warm: no index rebuild
 //   }
 //
-// The environment's memos (and the process-wide StringPool) are append-only:
-// a session probing an unbounded stream of distinct values grows memory
-// without limit, so very long-lived servers should recycle the Cleaner
-// periodically until memo eviction lands (see ROADMAP).
+// The environment's memos (and the process-wide StringPool) grow with the
+// stream of distinct probed values; cap them for days-long serving with
+// MdMatcherOptions::memo_capacity (see WithMatcherOptions), which bounds
+// residency by refusing admission past the cap.
 //
 // Configuration errors (η ∉ [0,1], schema mismatch between the rules and
 // the relations, inconsistent rules when CheckConsistency() is requested,
@@ -45,41 +51,26 @@
 #define UNICLEAN_UNICLEAN_CLEANER_H_
 
 #include <memory>
-#include <optional>
 #include <string>
-#include <string_view>
-#include <utility>
 #include <vector>
 
 #include "common/result.h"
 #include "data/relation.h"
 #include "rules/ruleset.h"
+#include "uniclean/engine.h"
 #include "uniclean/fix_journal.h"
 #include "uniclean/phase.h"
+#include "uniclean/session.h"
 
 namespace uniclean {
 
-/// The outcome of one Cleaner::Run(): per-phase statistics plus the full
-/// fix provenance journal.
-struct CleanResult {
-  FixJournal journal;
-  /// One entry per executed phase, in pipeline order.
-  std::vector<PhaseStats> phases;
-
-  /// Sum of all phases' fix counts.
-  int total_fixes() const;
-
-  /// Stats of the named phase, or null if it did not run.
-  const PhaseStats* phase(std::string_view name) const;
-
-  /// All record matches identified across the phases, deduplicated and
-  /// sorted — the paper's "matches found by Uni" (Exp-2).
-  std::vector<std::pair<data::TupleId, data::TupleId>> AllMatches() const;
-};
-
-/// A configured cleaning session. Obtained from CleanerBuilder::Build();
-/// move-only. Run() executes the phase pipeline over the session's data
-/// relation in place.
+/// A configured single-session cleaner: shared engine + one session + the
+/// bound data relation. Obtained from CleanerBuilder::Build(); move-only.
+/// Run() executes the phase pipeline over the session's data relation in
+/// place. Deprecated only in the soft sense: new services should use
+/// CleanEngine/Session directly for shared warm state and concurrency; the
+/// shim stays byte-identical in behavior (parity-pinned by cleaner_test and
+/// engine_concurrency_test).
 class Cleaner {
  public:
   Cleaner(Cleaner&&) = default;
@@ -88,8 +79,8 @@ class Cleaner {
   /// Executes the configured phases in order. Stops at the first phase that
   /// fails and propagates its Status (annotated with the phase name). May be
   /// called again to re-clean the (already repaired) data; repeat runs reuse
-  /// the session's warm match environment.
-  Result<CleanResult> Run();
+  /// the engine's warm match environment.
+  Result<CleanResult> Run() { return session_.Run(data_); }
 
   /// Cleans a caller-owned relation in place against this session's master,
   /// rules and warm match environment, leaving the session's own data
@@ -98,143 +89,59 @@ class Cleaner {
   /// values must be interned in the same StringPool as the session's master
   /// (always true outside ScopedStringPool test scopes), or the shared memos
   /// would confuse ids across pools.
-  Result<CleanResult> Run(data::Relation* data);
+  Result<CleanResult> Run(data::Relation* data) { return session_.Run(data); }
 
-  /// Builds the session's match environment (MD suffix-tree / equality
+  /// Builds the engine's match environment (MD suffix-tree / equality
   /// indexes) now instead of lazily on the first Run(). Idempotent; lets
   /// servers front-load the index cost and benches report it separately.
-  void Warmup();
+  void Warmup() { engine_->Warmup(); }
 
-  /// The session's shared match environment, built on first use. Valid until
-  /// the Cleaner is destroyed.
-  const core::MatchEnvironment& environment();
+  /// The engine's shared match environment, built on first use. Valid until
+  /// the engine dies (at least as long as this Cleaner).
+  const core::MatchEnvironment& environment() { return engine_->environment(); }
+
+  /// The underlying shared engine — the migration path: callers can lift it
+  /// out (it is shared_ptr-shared) and open further concurrent sessions
+  /// against the same warm state. Returns null when this Cleaner was built
+  /// with instance phases (WithPhases/AddPhase): those bind only to the
+  /// shim's session, so an engine handed out here would stamp *default*
+  /// pipelines — silently different repairs. Rebuild with
+  /// WithPhaseFactories to share such a pipeline.
+  std::shared_ptr<const CleanEngine> engine() const {
+    return engine_matches_session_ ? engine_ : nullptr;
+  }
 
   /// The data relation in its current state (repaired after Run()). When the
   /// builder was given a caller-owned `data::Relation*`, this aliases it.
   const data::Relation& data() const { return *data_; }
   data::Relation& mutable_data() { return *data_; }
 
-  const data::Relation& master() const { return *master_; }
-  const rules::RuleSet& rules() const { return *rules_; }
-  const PipelineConfig& config() const { return config_; }
+  const data::Relation& master() const { return engine_->master(); }
+  const rules::RuleSet& rules() const { return engine_->rules(); }
+  const PipelineConfig& config() const { return engine_->config(); }
 
   /// Phase names in pipeline order.
-  std::vector<std::string> PhaseNames() const;
+  std::vector<std::string> PhaseNames() const { return session_.PhaseNames(); }
 
  private:
-  friend class CleanerBuilder;
+  friend class EngineBuilder;
   Cleaner() = default;
 
-  Result<CleanResult> RunPipeline(data::Relation* data);
-
-  // Owned storage is held behind unique_ptr so the aliasing raw pointers
-  // stay valid when the Cleaner is moved (e.g. out of a Result<Cleaner>).
+  std::shared_ptr<const CleanEngine> engine_;
+  Session session_;
+  // False when the session runs instance phases the engine's factories do
+  // not represent; engine() then refuses to hand the engine out.
+  bool engine_matches_session_ = true;
+  // Owned storage is held behind unique_ptr so the aliasing raw pointer
+  // stays valid when the Cleaner is moved (e.g. out of a Result<Cleaner>).
   std::unique_ptr<data::Relation> owned_data_;
-  std::unique_ptr<data::Relation> owned_master_;
-  std::unique_ptr<rules::RuleSet> owned_rules_;
   data::Relation* data_ = nullptr;
-  const data::Relation* master_ = nullptr;
-  const rules::RuleSet* rules_ = nullptr;
-  PipelineConfig config_;
-  std::vector<std::unique_ptr<Phase>> phases_;
-  ProgressCallback progress_;
-  // Session-scoped match environment: built lazily (environment()/Warmup()/
-  // first Run) from (rules_, master_, config_.matcher), then shared by all
-  // phases of all runs. unique_ptr keeps matcher references stable across
-  // Cleaner moves.
-  std::unique_ptr<core::MatchEnvironment> env_;
 };
 
-/// Fluent single-use builder for Cleaner. Every setter overwrites earlier
-/// configuration of the same slot (e.g. WithData then WithDataCsv keeps the
-/// CSV path); Build() moves the configuration out.
-class CleanerBuilder {
- public:
-  CleanerBuilder() = default;
-
-  // --- data relation D -----------------------------------------------------
-  /// Takes ownership of an in-memory relation.
-  CleanerBuilder& WithData(data::Relation data);
-  /// Cleans a caller-owned relation in place (must outlive the Cleaner).
-  CleanerBuilder& WithData(data::Relation* data);
-  /// Loads D from a CSV file at Build(); the schema is inferred from the
-  /// header row.
-  CleanerBuilder& WithDataCsv(std::string path);
-
-  // --- master relation Dm --------------------------------------------------
-  CleanerBuilder& WithMaster(data::Relation master);
-  /// Non-owning; the relation must outlive the Cleaner.
-  CleanerBuilder& WithMaster(const data::Relation* master);
-  CleanerBuilder& WithMasterCsv(std::string path);
-
-  // --- rules Θ = Σ ∪ Γ -----------------------------------------------------
-  CleanerBuilder& WithRules(rules::RuleSet rules);
-  /// Non-owning; the rule set must outlive the Cleaner.
-  CleanerBuilder& WithRules(const rules::RuleSet* rules);
-  /// Rule program text (rules/parser.h syntax), parsed at Build() against
-  /// the data/master schemas.
-  CleanerBuilder& WithRuleText(std::string text);
-  /// Like WithRuleText, reading the program from a file at Build().
-  CleanerBuilder& WithRulesFile(std::string path);
-
-  // --- per-cell confidences ------------------------------------------------
-  /// CSV with the same shape as D holding confidences in [0, 1]; applied to
-  /// the data relation at Build().
-  CleanerBuilder& WithConfidenceCsv(std::string path);
-
-  // --- thresholds ----------------------------------------------------------
-  CleanerBuilder& WithEta(double eta);
-  CleanerBuilder& WithDelta1(int delta1);
-  CleanerBuilder& WithDelta2(double delta2);
-  CleanerBuilder& WithMatcherOptions(core::MdMatcherOptions matcher);
-
-  // --- pipeline ------------------------------------------------------------
-  /// Selects which built-in phases the default pipeline runs (all three by
-  /// default, in paper order).
-  CleanerBuilder& WithDefaultPhases(bool crepair, bool erepair, bool hrepair);
-  /// Replaces the whole pipeline with a custom ordered phase list.
-  CleanerBuilder& WithPhases(std::vector<std::unique_ptr<Phase>> phases);
-  /// Appends a phase after the current pipeline (default or custom).
-  CleanerBuilder& AddPhase(std::unique_ptr<Phase> phase);
-
-  // --- diagnostics ---------------------------------------------------------
-  /// Verifies at Build() that the rules are consistent (§4.1); an
-  /// inconsistent Θ fails the build.
-  CleanerBuilder& CheckConsistency(bool check = true);
-  /// Observer invoked before and after every phase of Run().
-  CleanerBuilder& WithProgressCallback(ProgressCallback callback);
-
-  /// Validates the configuration and assembles the Cleaner. Returns
-  /// Status::InvalidArgument on bad configuration; I/O and parse failures
-  /// propagate their own codes (NotFound, Corruption, …).
-  Result<Cleaner> Build();
-
- private:
-  std::unique_ptr<data::Relation> data_owned_;
-  data::Relation* data_ptr_ = nullptr;
-  std::string data_csv_;
-
-  std::unique_ptr<data::Relation> master_owned_;
-  const data::Relation* master_ptr_ = nullptr;
-  std::string master_csv_;
-
-  std::unique_ptr<rules::RuleSet> rules_owned_;
-  const rules::RuleSet* rules_ptr_ = nullptr;
-  std::string rule_text_;
-  std::string rules_file_;
-
-  std::string confidence_csv_;
-
-  PipelineConfig config_;
-  bool run_crepair_ = true;
-  bool run_erepair_ = true;
-  bool run_hrepair_ = true;
-  bool custom_pipeline_ = false;
-  std::vector<std::unique_ptr<Phase>> pipeline_;
-  std::vector<std::unique_ptr<Phase>> extra_phases_;
-  bool check_consistency_ = false;
-  ProgressCallback progress_;
-};
+/// The builder's historic name; Build() → Result<Cleaner> is its
+/// single-session product, BuildEngine() → shared CleanEngine the shared
+/// one. See engine.h for the full surface.
+using CleanerBuilder = EngineBuilder;
 
 }  // namespace uniclean
 

@@ -1,0 +1,397 @@
+#include "uniclean/engine.h"
+
+#include <atomic>
+#include <thread>
+#include <utility>
+
+#include "data/csv.h"
+#include "data/schema.h"
+#include "reasoning/consistency.h"
+#include "rules/parser.h"
+#include "uniclean/builtin_phases.h"
+#include "uniclean/detail.h"
+
+namespace uniclean {
+
+// ---------------------------------------------------------------------------
+// CleanEngine
+// ---------------------------------------------------------------------------
+
+const core::MatchEnvironment& CleanEngine::environment() const {
+  std::call_once(env_once_, [this] {
+    env_ = std::make_unique<core::MatchEnvironment>(*rules_, *master_,
+                                                    config_.matcher);
+  });
+  return *env_;
+}
+
+Session CleanEngine::NewSession() const {
+  std::vector<std::unique_ptr<Phase>> phases;
+  phases.reserve(phase_factories_.size());
+  for (const PhaseFactory& factory : phase_factories_) {
+    phases.push_back(factory());
+  }
+  return Session(shared_from_this(), std::move(phases));
+}
+
+std::vector<std::string> CleanEngine::PhaseNames() const {
+  // Factories are the source of truth; instantiate transiently for names.
+  std::vector<std::string> names;
+  names.reserve(phase_factories_.size());
+  for (const PhaseFactory& factory : phase_factories_) {
+    names.emplace_back(factory()->name());
+  }
+  return names;
+}
+
+std::vector<Result<CleanResult>> CleanEngine::RunBatch(
+    data::Relation* const* relations, size_t count, int n_threads) const {
+  std::vector<Result<CleanResult>> results;
+  results.reserve(count);
+  for (size_t i = 0; i < count; ++i) {
+    results.emplace_back(Status::Internal("RunBatch: relation not processed"));
+  }
+  if (count == 0) return results;
+  // Build the indexes once up front rather than racing the first probes
+  // through call_once on N workers.
+  Warmup();
+  if (n_threads < 2 || count == 1) {
+    for (size_t i = 0; i < count; ++i) {
+      Session session = NewSession();
+      results[i] = session.Run(relations[i]);
+    }
+    return results;
+  }
+  const size_t workers =
+      std::min<size_t>(static_cast<size_t>(n_threads), count);
+  std::atomic<size_t> next{0};
+  std::vector<std::thread> pool;
+  pool.reserve(workers);
+  for (size_t w = 0; w < workers; ++w) {
+    pool.emplace_back([this, relations, count, &next, &results] {
+      for (size_t i = next.fetch_add(1, std::memory_order_relaxed); i < count;
+           i = next.fetch_add(1, std::memory_order_relaxed)) {
+        Session session = NewSession();
+        // Distinct indexes: each worker writes only its own slots.
+        results[i] = session.Run(relations[i]);
+      }
+    });
+  }
+  for (std::thread& t : pool) t.join();
+  return results;
+}
+
+// ---------------------------------------------------------------------------
+// EngineBuilder
+// ---------------------------------------------------------------------------
+
+EngineBuilder& EngineBuilder::WithData(data::Relation data) {
+  data_owned_ = std::make_unique<data::Relation>(std::move(data));
+  data_ptr_ = nullptr;
+  data_csv_.clear();
+  return *this;
+}
+
+EngineBuilder& EngineBuilder::WithData(data::Relation* data) {
+  data_ptr_ = data;
+  data_owned_.reset();
+  data_csv_.clear();
+  return *this;
+}
+
+EngineBuilder& EngineBuilder::WithDataCsv(std::string path) {
+  data_csv_ = std::move(path);
+  data_owned_.reset();
+  data_ptr_ = nullptr;
+  return *this;
+}
+
+EngineBuilder& EngineBuilder::WithDataSchema(data::SchemaPtr schema) {
+  data_schema_ = std::move(schema);
+  return *this;
+}
+
+EngineBuilder& EngineBuilder::WithMaster(data::Relation master) {
+  master_owned_ = std::make_unique<data::Relation>(std::move(master));
+  master_ptr_ = nullptr;
+  master_csv_.clear();
+  return *this;
+}
+
+EngineBuilder& EngineBuilder::WithMaster(const data::Relation* master) {
+  master_ptr_ = master;
+  master_owned_.reset();
+  master_csv_.clear();
+  return *this;
+}
+
+EngineBuilder& EngineBuilder::WithMasterCsv(std::string path) {
+  master_csv_ = std::move(path);
+  master_owned_.reset();
+  master_ptr_ = nullptr;
+  return *this;
+}
+
+EngineBuilder& EngineBuilder::WithRules(rules::RuleSet rules) {
+  rules_owned_ = std::make_unique<rules::RuleSet>(std::move(rules));
+  rules_ptr_ = nullptr;
+  rule_text_.clear();
+  rules_file_.clear();
+  return *this;
+}
+
+EngineBuilder& EngineBuilder::WithRules(const rules::RuleSet* rules) {
+  rules_ptr_ = rules;
+  rules_owned_.reset();
+  rule_text_.clear();
+  rules_file_.clear();
+  return *this;
+}
+
+EngineBuilder& EngineBuilder::WithRuleText(std::string text) {
+  rule_text_ = std::move(text);
+  rules_owned_.reset();
+  rules_ptr_ = nullptr;
+  rules_file_.clear();
+  return *this;
+}
+
+EngineBuilder& EngineBuilder::WithRulesFile(std::string path) {
+  rules_file_ = std::move(path);
+  rules_owned_.reset();
+  rules_ptr_ = nullptr;
+  rule_text_.clear();
+  return *this;
+}
+
+EngineBuilder& EngineBuilder::WithConfidenceCsv(std::string path) {
+  confidence_csv_ = std::move(path);
+  return *this;
+}
+
+EngineBuilder& EngineBuilder::WithEta(double eta) {
+  config_.eta = eta;
+  return *this;
+}
+
+EngineBuilder& EngineBuilder::WithDelta1(int delta1) {
+  config_.delta1 = delta1;
+  return *this;
+}
+
+EngineBuilder& EngineBuilder::WithDelta2(double delta2) {
+  config_.delta2 = delta2;
+  return *this;
+}
+
+EngineBuilder& EngineBuilder::WithMatcherOptions(
+    core::MdMatcherOptions matcher) {
+  config_.matcher = matcher;
+  return *this;
+}
+
+EngineBuilder& EngineBuilder::WithDefaultPhases(bool crepair, bool erepair,
+                                                bool hrepair) {
+  run_crepair_ = crepair;
+  run_erepair_ = erepair;
+  run_hrepair_ = hrepair;
+  custom_pipeline_ = false;
+  factory_pipeline_ = false;
+  pipeline_.clear();
+  factories_.clear();
+  return *this;
+}
+
+EngineBuilder& EngineBuilder::WithPhaseFactories(
+    std::vector<PhaseFactory> factories) {
+  factories_ = std::move(factories);
+  factory_pipeline_ = true;
+  custom_pipeline_ = false;
+  pipeline_.clear();
+  return *this;
+}
+
+EngineBuilder& EngineBuilder::AddPhaseFactory(PhaseFactory factory) {
+  extra_factories_.push_back(std::move(factory));
+  return *this;
+}
+
+EngineBuilder& EngineBuilder::WithPhases(
+    std::vector<std::unique_ptr<Phase>> phases) {
+  pipeline_ = std::move(phases);
+  custom_pipeline_ = true;
+  factory_pipeline_ = false;
+  factories_.clear();
+  return *this;
+}
+
+EngineBuilder& EngineBuilder::AddPhase(std::unique_ptr<Phase> phase) {
+  extra_phases_.push_back(std::move(phase));
+  return *this;
+}
+
+EngineBuilder& EngineBuilder::CheckConsistency(bool check) {
+  check_consistency_ = check;
+  return *this;
+}
+
+EngineBuilder& EngineBuilder::WithProgressCallback(ProgressCallback callback) {
+  progress_ = std::move(callback);
+  return *this;
+}
+
+Status EngineBuilder::ValidateThresholds() const {
+  // The negated comparisons also reject NaN.
+  if (!(config_.eta >= 0.0 && config_.eta <= 1.0)) {
+    return Status::InvalidArgument(
+        "confidence threshold eta must be in [0, 1], got " +
+        std::to_string(config_.eta));
+  }
+  if (config_.delta1 < 0) {
+    return Status::InvalidArgument(
+        "update threshold delta1 must be >= 0, got " +
+        std::to_string(config_.delta1));
+  }
+  if (!(config_.delta2 >= 0.0 && config_.delta2 <= 1.0)) {
+    return Status::InvalidArgument(
+        "entropy threshold delta2 must be in [0, 1], got " +
+        std::to_string(config_.delta2));
+  }
+  return Status::OK();
+}
+
+Result<std::shared_ptr<CleanEngine>> EngineBuilder::BuildEngineInternal(
+    data::SchemaPtr data_schema) {
+  UC_RETURN_IF_ERROR(ValidateThresholds());
+
+  // shared_ptr with a private ctor: wrap the raw allocation.
+  std::shared_ptr<CleanEngine> engine(new CleanEngine());
+  engine->config_ = config_;
+
+  // Master relation Dm.
+  if (!master_csv_.empty()) {
+    UC_ASSIGN_OR_RETURN(data::SchemaPtr schema,
+                        data::InferCsvSchema(master_csv_, "master"));
+    UC_ASSIGN_OR_RETURN(data::Relation dm,
+                        data::ReadCsvFile(master_csv_, schema));
+    engine->owned_master_ = std::make_unique<data::Relation>(std::move(dm));
+    engine->master_ = engine->owned_master_.get();
+  } else if (master_ptr_ != nullptr) {
+    engine->master_ = master_ptr_;
+  } else if (master_owned_ != nullptr) {
+    engine->owned_master_ = std::move(master_owned_);
+    engine->master_ = engine->owned_master_.get();
+  } else {
+    return Status::InvalidArgument(
+        "no master relation configured (use WithMaster or WithMasterCsv)");
+  }
+
+  // Rules Θ.
+  std::string rule_text = rule_text_;
+  if (!rules_file_.empty()) {
+    UC_ASSIGN_OR_RETURN(rule_text, internal::ReadFileToString(rules_file_));
+  }
+  if (!rule_text.empty()) {
+    if (data_schema == nullptr) {
+      return Status::InvalidArgument(
+          "rule text needs a data schema to parse against: configure the "
+          "data relation (WithData/WithDataCsv) or declare it with "
+          "WithDataSchema");
+    }
+    UC_ASSIGN_OR_RETURN(
+        rules::RuleSet parsed,
+        rules::ParseRuleSet(rule_text, data_schema,
+                            engine->master_->schema_ptr()));
+    engine->owned_rules_ = std::make_unique<rules::RuleSet>(std::move(parsed));
+    engine->rules_ = engine->owned_rules_.get();
+  } else if (rules_ptr_ != nullptr) {
+    engine->rules_ = rules_ptr_;
+  } else if (rules_owned_ != nullptr) {
+    engine->owned_rules_ = std::move(rules_owned_);
+    engine->rules_ = engine->owned_rules_.get();
+  } else {
+    return Status::InvalidArgument(
+        "no rules configured (use WithRules, WithRuleText or WithRulesFile)");
+  }
+
+  // Schema conformance: the rules were normalized against specific schemas;
+  // the relations (and the declared data schema, when present) must match
+  // them attribute-for-attribute. The data check precedes the master check,
+  // matching the historic Build() diagnostic order.
+  if (data_schema != nullptr &&
+      !internal::SchemaMatches(engine->rules_->data_schema(), *data_schema)) {
+    return Status::InvalidArgument(
+        "data relation schema " + internal::DescribeSchema(*data_schema) +
+        " does not match the rule set's data schema " +
+        internal::DescribeSchema(engine->rules_->data_schema()));
+  }
+  if (!internal::SchemaMatches(engine->rules_->master_schema(),
+                               engine->master_->schema())) {
+    return Status::InvalidArgument(
+        "master relation schema " +
+        internal::DescribeSchema(engine->master_->schema()) +
+        " does not match the rule set's master schema " +
+        internal::DescribeSchema(engine->rules_->master_schema()));
+  }
+
+  // Rule consistency (§4.1), on request.
+  if (check_consistency_) {
+    UC_ASSIGN_OR_RETURN(bool consistent, reasoning::IsConsistent(
+                                             *engine->rules_,
+                                             *engine->master_));
+    if (!consistent) {
+      return Status::InvalidArgument(
+          "the rule set is inconsistent: no nonempty database can satisfy "
+          "it");
+    }
+  }
+
+  // Pipeline factories. Instance phases (WithPhases/AddPhase) are handled by
+  // Build() — they bind to its single session; the engine keeps factories so
+  // NewSession() can stamp out fresh instances forever.
+  engine->phase_factories_ =
+      factory_pipeline_ ? std::move(factories_)
+                        : MakeDefaultPhaseFactories(run_crepair_, run_erepair_,
+                                                    run_hrepair_);
+  for (PhaseFactory& factory : extra_factories_) {
+    engine->phase_factories_.push_back(std::move(factory));
+  }
+  extra_factories_.clear();
+  return engine;
+}
+
+Result<std::shared_ptr<CleanEngine>> EngineBuilder::BuildEngine() {
+  if (custom_pipeline_ || !extra_phases_.empty()) {
+    return Status::InvalidArgument(
+        "WithPhases/AddPhase instances are single-session and cannot seed a "
+        "shared engine; register per-session factories with "
+        "WithPhaseFactories/AddPhaseFactory instead");
+  }
+  if (progress_) {
+    return Status::InvalidArgument(
+        "WithProgressCallback is per-session state and cannot live on a "
+        "shared engine; call Session::set_progress_callback on each "
+        "NewSession() instead");
+  }
+  if (!confidence_csv_.empty()) {
+    return Status::InvalidArgument(
+        "WithConfidenceCsv rides on the data relation and an engine binds "
+        "none; apply confidences to each relation before Session::Run "
+        "(data::ReadConfidenceCsvFile), or use Build()");
+  }
+  // Resolve the data schema the rule text parses against (not needed when
+  // the rules arrive pre-parsed).
+  data::SchemaPtr schema = data_schema_;
+  if (schema == nullptr) {
+    if (!data_csv_.empty()) {
+      UC_ASSIGN_OR_RETURN(schema, data::InferCsvSchema(data_csv_, "data"));
+    } else if (data_ptr_ != nullptr) {
+      schema = data_ptr_->schema_ptr();
+    } else if (data_owned_ != nullptr) {
+      schema = data_owned_->schema_ptr();
+    }
+  }
+  return BuildEngineInternal(std::move(schema));
+}
+
+}  // namespace uniclean

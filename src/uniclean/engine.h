@@ -1,0 +1,250 @@
+// CleanEngine: the shared, immutable, thread-safe half of the library's
+// top-level API. An engine owns everything expensive and read-only — the
+// rule set, the master relation, the warm core::MatchEnvironment (MD
+// indexes + sharded memos) and the validated pipeline configuration — and
+// stamps out cheap per-run Session handles (session.h) that carry only
+// mutable run state. This is the engine/session split HoloClean makes
+// between its compiled signal model and per-cell scoring, applied to the
+// paper's unified cleaning framework: pay the §5.2 index build once, then
+// answer many cheap repair runs, concurrently.
+//
+//   auto engine = EngineBuilder()
+//                     .WithMasterCsv("master.csv")
+//                     .WithRulesFile("rules.txt")
+//                     .WithDataSchema(schema)       // rules parse against it
+//                     .BuildEngine();               // shared_ptr<CleanEngine>
+//   if (!engine.ok()) { /* bad config */ }
+//   (*engine)->Warmup();                            // optional: front-load
+//   // serve: one cheap session per request, any number in flight
+//   uniclean::Session session = (*engine)->NewSession();
+//   auto result = session.Run(&batch);
+//
+// Thread-safety contract: after BuildEngine() returns, every const method
+// of CleanEngine is safe from any number of threads. Concurrent
+// Session::Run() calls over *independent* data relations are data-race-free
+// and byte-identical to serial execution — the shared memos cache pure
+// functions of the static master data, so interleaving cannot change
+// results. RunBatch() packages that: a worker pool of sessions over a batch
+// of relations.
+//
+// The historic single-session façade, uniclean::Cleaner (cleaner.h), is now
+// a thin shim over CleanEngine + Session and remains the convenient choice
+// for one-shot cleaning; CleanerBuilder is an alias of EngineBuilder.
+
+#ifndef UNICLEAN_UNICLEAN_ENGINE_H_
+#define UNICLEAN_UNICLEAN_ENGINE_H_
+
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "core/match_environment.h"
+#include "data/relation.h"
+#include "data/schema.h"
+#include "rules/ruleset.h"
+#include "uniclean/phase.h"
+#include "uniclean/session.h"
+
+namespace uniclean {
+
+class Cleaner;
+
+/// The shared, immutable cleaning engine. Created only via
+/// EngineBuilder::BuildEngine() (always behind a shared_ptr — sessions keep
+/// their engine alive through it). All const methods are thread-safe.
+class CleanEngine : public std::enable_shared_from_this<CleanEngine> {
+ public:
+  CleanEngine(const CleanEngine&) = delete;
+  CleanEngine& operator=(const CleanEngine&) = delete;
+
+  /// A fresh per-run handle: new phase instances, no data bound yet. Cheap
+  /// (a few small allocations); call per request in a serving loop.
+  Session NewSession() const;
+
+  /// Cleans every relation of the batch, each in its own Session, using a
+  /// worker pool of `n_threads` threads (values < 2 run the batch serially
+  /// on the calling thread — the reference arm). Returns one Result per
+  /// relation, index-matched to the input; per-relation failures (e.g. a
+  /// schema mismatch) do not abort the rest of the batch. The relations
+  /// must be pairwise distinct and not otherwise touched during the call.
+  std::vector<Result<CleanResult>> RunBatch(data::Relation* const* relations,
+                                            size_t count,
+                                            int n_threads) const;
+  std::vector<Result<CleanResult>> RunBatch(
+      const std::vector<data::Relation*>& relations, int n_threads) const {
+    return RunBatch(relations.data(), relations.size(), n_threads);
+  }
+
+  /// The engine's match environment (MD suffix-tree / equality indexes +
+  /// sharded memos), built on first use — by the first Run, or by Warmup().
+  /// Valid for the engine's lifetime.
+  const core::MatchEnvironment& environment() const;
+
+  /// Builds the match environment now instead of lazily. Idempotent and
+  /// thread-safe; lets servers front-load the index cost and benches report
+  /// it separately.
+  void Warmup() const { environment(); }
+
+  /// Aggregated memo statistics across the environment's matchers (builds
+  /// the environment if it does not exist yet). Live counters; safe while
+  /// sessions are running.
+  core::MemoStats MemoStats() const { return environment().MemoStats(); }
+
+  const data::Relation& master() const { return *master_; }
+  const rules::RuleSet& rules() const { return *rules_; }
+  const PipelineConfig& config() const { return config_; }
+
+  /// Phase names a NewSession() pipeline will run, in order.
+  std::vector<std::string> PhaseNames() const;
+
+ private:
+  friend class EngineBuilder;
+  CleanEngine() = default;
+
+  // Owned storage is held behind unique_ptr so the aliasing raw pointers
+  // stay valid regardless of how the shared_ptr<CleanEngine> travels.
+  std::unique_ptr<data::Relation> owned_master_;
+  std::unique_ptr<rules::RuleSet> owned_rules_;
+  const data::Relation* master_ = nullptr;
+  const rules::RuleSet* rules_ = nullptr;
+  PipelineConfig config_;
+  std::vector<PhaseFactory> phase_factories_;
+  // Lazily built, then immutable; call_once makes the build thread-safe
+  // (two racing first Runs construct it exactly once).
+  mutable std::once_flag env_once_;
+  mutable std::unique_ptr<core::MatchEnvironment> env_;
+};
+
+/// Fluent single-use builder for CleanEngine (and the Cleaner shim — the
+/// historic name CleanerBuilder aliases this class). Every setter
+/// overwrites earlier configuration of the same slot; BuildEngine()/Build()
+/// move the configuration out.
+class EngineBuilder {
+ public:
+  EngineBuilder() = default;
+
+  // --- data relation D -----------------------------------------------------
+  // Engine builds need the data relation only to resolve the rule text's
+  // data schema (or not at all — see WithDataSchema); Build() additionally
+  // loads it as the Cleaner's session data.
+  /// Takes ownership of an in-memory relation.
+  EngineBuilder& WithData(data::Relation data);
+  /// Cleans a caller-owned relation in place (must outlive the Cleaner).
+  EngineBuilder& WithData(data::Relation* data);
+  /// Loads D from a CSV file at Build(); the schema is inferred from the
+  /// header row.
+  EngineBuilder& WithDataCsv(std::string path);
+  /// Declares the data schema without binding any data — the engine-only
+  /// path for parsing WithRuleText/WithRulesFile programs when the dirty
+  /// relations only arrive later, per Session::Run.
+  EngineBuilder& WithDataSchema(data::SchemaPtr schema);
+
+  // --- master relation Dm --------------------------------------------------
+  EngineBuilder& WithMaster(data::Relation master);
+  /// Non-owning; the relation must outlive the engine.
+  EngineBuilder& WithMaster(const data::Relation* master);
+  EngineBuilder& WithMasterCsv(std::string path);
+
+  // --- rules Θ = Σ ∪ Γ -----------------------------------------------------
+  EngineBuilder& WithRules(rules::RuleSet rules);
+  /// Non-owning; the rule set must outlive the engine.
+  EngineBuilder& WithRules(const rules::RuleSet* rules);
+  /// Rule program text (rules/parser.h syntax), parsed at build against
+  /// the data/master schemas.
+  EngineBuilder& WithRuleText(std::string text);
+  /// Like WithRuleText, reading the program from a file at build.
+  EngineBuilder& WithRulesFile(std::string path);
+
+  // --- per-cell confidences ------------------------------------------------
+  /// CSV with the same shape as D holding confidences in [0, 1]; applied to
+  /// the data relation at Build(). Build()-only — an engine binds no data,
+  /// so BuildEngine() rejects it; apply confidences per relation with
+  /// data::ReadConfidenceCsvFile before Session::Run.
+  EngineBuilder& WithConfidenceCsv(std::string path);
+
+  // --- thresholds ----------------------------------------------------------
+  EngineBuilder& WithEta(double eta);
+  EngineBuilder& WithDelta1(int delta1);
+  EngineBuilder& WithDelta2(double delta2);
+  EngineBuilder& WithMatcherOptions(core::MdMatcherOptions matcher);
+
+  // --- pipeline ------------------------------------------------------------
+  /// Selects which built-in phases sessions run (all three by default, in
+  /// paper order).
+  EngineBuilder& WithDefaultPhases(bool crepair, bool erepair, bool hrepair);
+  /// Replaces the whole pipeline with per-session phase factories — each
+  /// NewSession() invokes every factory once, so phase state never crosses
+  /// sessions.
+  EngineBuilder& WithPhaseFactories(std::vector<PhaseFactory> factories);
+  /// Appends a per-session phase factory after the current pipeline.
+  EngineBuilder& AddPhaseFactory(PhaseFactory factory);
+  /// Replaces the pipeline with concrete single-session phase instances.
+  /// Build()-only: BuildEngine() rejects instance phases (an engine must be
+  /// able to stamp out any number of sessions) — use WithPhaseFactories.
+  EngineBuilder& WithPhases(std::vector<std::unique_ptr<Phase>> phases);
+  /// Appends a concrete phase (Build()-only, like WithPhases).
+  EngineBuilder& AddPhase(std::unique_ptr<Phase> phase);
+
+  // --- diagnostics ---------------------------------------------------------
+  /// Verifies at build that the rules are consistent (§4.1); an
+  /// inconsistent Θ fails the build.
+  EngineBuilder& CheckConsistency(bool check = true);
+  /// Observer installed on the Cleaner's session by Build(). Per-session
+  /// state: BuildEngine() rejects it — engine sessions set their own via
+  /// Session::set_progress_callback.
+  EngineBuilder& WithProgressCallback(ProgressCallback callback);
+
+  /// Validates the configuration and assembles the shared engine. Returns
+  /// Status::InvalidArgument on bad configuration; I/O and parse failures
+  /// propagate their own codes (NotFound, Corruption, …).
+  Result<std::shared_ptr<CleanEngine>> BuildEngine();
+
+  /// Validates the configuration and assembles the single-session Cleaner
+  /// shim (engine + one session + the bound data relation). Defined with
+  /// Cleaner in cleaner.h/.cc.
+  Result<Cleaner> Build();
+
+ private:
+  Status ValidateThresholds() const;
+
+  /// Shared validation: thresholds, master, rules, consistency, factories.
+  /// `data_schema` is the resolved data schema when the caller already
+  /// loaded data, or null to resolve from WithDataSchema / the rules.
+  Result<std::shared_ptr<CleanEngine>> BuildEngineInternal(
+      data::SchemaPtr data_schema);
+
+  std::unique_ptr<data::Relation> data_owned_;
+  data::Relation* data_ptr_ = nullptr;
+  std::string data_csv_;
+  data::SchemaPtr data_schema_;
+
+  std::unique_ptr<data::Relation> master_owned_;
+  const data::Relation* master_ptr_ = nullptr;
+  std::string master_csv_;
+
+  std::unique_ptr<rules::RuleSet> rules_owned_;
+  const rules::RuleSet* rules_ptr_ = nullptr;
+  std::string rule_text_;
+  std::string rules_file_;
+
+  std::string confidence_csv_;
+
+  PipelineConfig config_;
+  bool run_crepair_ = true;
+  bool run_erepair_ = true;
+  bool run_hrepair_ = true;
+  bool custom_pipeline_ = false;
+  bool factory_pipeline_ = false;
+  std::vector<std::unique_ptr<Phase>> pipeline_;
+  std::vector<std::unique_ptr<Phase>> extra_phases_;
+  std::vector<PhaseFactory> factories_;
+  std::vector<PhaseFactory> extra_factories_;
+  bool check_consistency_ = false;
+  ProgressCallback progress_;
+};
+
+}  // namespace uniclean
+
+#endif  // UNICLEAN_UNICLEAN_ENGINE_H_

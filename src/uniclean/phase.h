@@ -9,6 +9,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <string>
 #include <string_view>
 #include <utility>
@@ -105,6 +106,13 @@ struct PhaseEvent {
 };
 
 using ProgressCallback = std::function<void(const PhaseEvent&)>;
+
+/// Creates one fresh Phase instance. A CleanEngine stores factories rather
+/// than phase objects so every NewSession() gets its own instances and
+/// stateful phases never race across concurrent sessions. Factories must be
+/// callable from any thread (NewSession is thread-safe) and must not share
+/// mutable state between the phases they create.
+using PhaseFactory = std::function<std::unique_ptr<Phase>()>;
 
 }  // namespace uniclean
 

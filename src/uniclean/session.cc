@@ -1,0 +1,110 @@
+#include "uniclean/session.h"
+
+#include <algorithm>
+
+#include "uniclean/detail.h"
+#include "uniclean/engine.h"
+
+namespace uniclean {
+
+// ---------------------------------------------------------------------------
+// CleanResult
+// ---------------------------------------------------------------------------
+
+int CleanResult::total_fixes() const {
+  int total = 0;
+  for (const PhaseStats& stats : phases) total += stats.fixes;
+  return total;
+}
+
+const PhaseStats* CleanResult::phase(std::string_view name) const {
+  for (const PhaseStats& stats : phases) {
+    if (stats.phase == name) return &stats;
+  }
+  return nullptr;
+}
+
+std::vector<std::pair<data::TupleId, data::TupleId>> CleanResult::AllMatches()
+    const {
+  std::vector<std::pair<data::TupleId, data::TupleId>> all;
+  for (const PhaseStats& stats : phases) {
+    all.insert(all.end(), stats.matches.begin(), stats.matches.end());
+  }
+  std::sort(all.begin(), all.end());
+  all.erase(std::unique(all.begin(), all.end()), all.end());
+  return all;
+}
+
+// ---------------------------------------------------------------------------
+// Session
+// ---------------------------------------------------------------------------
+
+Result<CleanResult> Session::Run(data::Relation* data) {
+  if (engine_ == nullptr) {
+    return Status::FailedPrecondition(
+        "Session::Run: empty session (obtain one from "
+        "CleanEngine::NewSession)");
+  }
+  if (data == nullptr) {
+    return Status::InvalidArgument("Run(data): relation must not be null");
+  }
+  if (!internal::SchemaMatches(engine_->rules().data_schema(),
+                               data->schema())) {
+    return Status::InvalidArgument(
+        "Run(data): relation schema " +
+        internal::DescribeSchema(data->schema()) +
+        " does not match the rule set's data schema " +
+        internal::DescribeSchema(engine_->rules().data_schema()));
+  }
+
+  CleanResult result;
+  PipelineContext ctx;
+  ctx.data = data;
+  ctx.master = &engine_->master();
+  ctx.rules = &engine_->rules();
+  ctx.config = engine_->config();
+  ctx.journal = &result.journal;
+  ctx.match_env = &engine_->environment();
+
+  const int total = static_cast<int>(phases_.size());
+  for (int i = 0; i < total; ++i) {
+    Phase& phase = *phases_[static_cast<size_t>(i)];
+    if (progress_) {
+      PhaseEvent event;
+      event.kind = PhaseEvent::Kind::kPhaseStarted;
+      event.index = i;
+      event.total = total;
+      event.phase = phase.name();
+      event.data = data;
+      progress_(event);
+    }
+    Result<PhaseStats> stats = phase.Run(&ctx);
+    if (!stats.ok()) {
+      return internal::Annotate(stats.status(),
+                                "phase '" + std::string(phase.name()) + "': ");
+    }
+    PhaseStats phase_stats = std::move(stats).value();
+    phase_stats.phase = std::string(phase.name());
+    result.phases.push_back(std::move(phase_stats));
+    if (progress_) {
+      PhaseEvent event;
+      event.kind = PhaseEvent::Kind::kPhaseFinished;
+      event.index = i;
+      event.total = total;
+      event.phase = phase.name();
+      event.stats = &result.phases.back();
+      event.data = data;
+      progress_(event);
+    }
+  }
+  return result;
+}
+
+std::vector<std::string> Session::PhaseNames() const {
+  std::vector<std::string> names;
+  names.reserve(phases_.size());
+  for (const auto& phase : phases_) names.emplace_back(phase->name());
+  return names;
+}
+
+}  // namespace uniclean

@@ -1,0 +1,102 @@
+// Session: the cheap, per-run handle of the engine/session split. A
+// CleanEngine (engine.h) owns everything immutable and expensive — rules,
+// master data, the warm core::MatchEnvironment and its memos — while a
+// Session carries only the per-run mutable state: the phase instances, the
+// progress callback, and (per Run call) the data relation being cleaned and
+// the journal being written. Sessions are move-only, cost a few phase
+// allocations to create, and hold their engine alive through a shared_ptr,
+// so the serving loop is:
+//
+//   uniclean::Session session = engine->NewSession();
+//   auto result = session.Run(&batch);   // warm indexes, shared memos
+//
+// Any number of sessions may Run() concurrently over *independent* data
+// relations; results are byte-identical to running the same relations
+// serially (the engine's shared memos cache pure functions of the static
+// master data). One Session must not be used from two threads at once, and
+// two concurrent Runs must not clean the same relation.
+
+#ifndef UNICLEAN_UNICLEAN_SESSION_H_
+#define UNICLEAN_UNICLEAN_SESSION_H_
+
+#include <memory>
+#include <string>
+#include <string_view>
+#include <utility>
+#include <vector>
+
+#include "common/result.h"
+#include "data/relation.h"
+#include "uniclean/fix_journal.h"
+#include "uniclean/phase.h"
+
+namespace uniclean {
+
+class CleanEngine;
+
+/// The outcome of one Session::Run(): per-phase statistics plus the full
+/// fix provenance journal.
+struct CleanResult {
+  FixJournal journal;
+  /// One entry per executed phase, in pipeline order.
+  std::vector<PhaseStats> phases;
+
+  /// Sum of all phases' fix counts.
+  int total_fixes() const;
+
+  /// Stats of the named phase, or null if it did not run.
+  const PhaseStats* phase(std::string_view name) const;
+
+  /// All record matches identified across the phases, deduplicated and
+  /// sorted — the paper's "matches found by Uni" (Exp-2).
+  std::vector<std::pair<data::TupleId, data::TupleId>> AllMatches() const;
+};
+
+/// A per-run cleaning handle obtained from CleanEngine::NewSession().
+/// Move-only. Holds its engine alive; owns its phase instances (created
+/// fresh per session, so stateful phases never race across sessions).
+class Session {
+ public:
+  /// An empty session; Run() fails with FailedPrecondition until a real
+  /// session is move-assigned in. Exists so sessions can be class members.
+  Session() = default;
+
+  Session(Session&&) = default;
+  Session& operator=(Session&&) = default;
+
+  /// Cleans `data` in place against the engine's master, rules and warm
+  /// match environment. The relation's schema must match the rule set's
+  /// data schema; its cell values must be interned in the same StringPool
+  /// as the engine's master (always true outside ScopedStringPool test
+  /// scopes), or the shared memos would confuse ids across pools. May be
+  /// called repeatedly, over the same or different relations; every call
+  /// reuses the engine's warm indexes and memos.
+  Result<CleanResult> Run(data::Relation* data);
+
+  /// Observer invoked before and after every phase of Run().
+  void set_progress_callback(ProgressCallback callback) {
+    progress_ = std::move(callback);
+  }
+
+  /// Phase names in pipeline order.
+  std::vector<std::string> PhaseNames() const;
+
+  /// The engine this session runs against; null for an empty session.
+  const CleanEngine* engine() const { return engine_.get(); }
+
+ private:
+  friend class CleanEngine;
+  friend class EngineBuilder;
+
+  Session(std::shared_ptr<const CleanEngine> engine,
+          std::vector<std::unique_ptr<Phase>> phases)
+      : engine_(std::move(engine)), phases_(std::move(phases)) {}
+
+  std::shared_ptr<const CleanEngine> engine_;
+  std::vector<std::unique_ptr<Phase>> phases_;
+  ProgressCallback progress_;
+};
+
+}  // namespace uniclean
+
+#endif  // UNICLEAN_UNICLEAN_SESSION_H_

@@ -62,7 +62,9 @@
 #include "similarity/suffix_tree.h"
 #include "uniclean/builtin_phases.h"
 #include "uniclean/cleaner.h"
+#include "uniclean/engine.h"
 #include "uniclean/fix_journal.h"
 #include "uniclean/phase.h"
+#include "uniclean/session.h"
 
 #endif  // UNICLEAN_UNICLEAN_UNICLEAN_H_

@@ -1,4 +1,6 @@
 #include <algorithm>
+#include <cstdint>
+#include <iterator>
 #include <string>
 #include <vector>
 
@@ -173,6 +175,56 @@ TEST(QGramTest, JaccardBasics) {
   EXPECT_GT(s, 0.0);
   EXPECT_LT(s, 1.0);
   EXPECT_DOUBLE_EQ(QGramJaccard("ab", "xy", 2), 0.0);
+}
+
+TEST(QGramTest, IdProfileMatchesStringProfile) {
+  // The interned-id profile must be the string profile, gram for gram:
+  // same multiset, same (lexicographic == big-endian-packed) order.
+  Rng rng(301);
+  std::vector<uint64_t> ids;
+  for (int q : {1, 2, 3, 5, 8}) {
+    for (int i = 0; i < 100; ++i) {
+      std::string s = rng.RandomWord(rng.Index(15));
+      std::vector<std::string> strings = QGramProfile(s, q);
+      QGramIdProfile(s, q, &ids);
+      ASSERT_EQ(ids.size(), strings.size()) << "q=" << q << " s=" << s;
+      for (size_t g = 0; g < ids.size(); ++g) {
+        uint64_t packed = 0;
+        for (char c : strings[g]) {
+          packed = (packed << 8) | static_cast<unsigned char>(c);
+        }
+        EXPECT_EQ(ids[g], packed) << "q=" << q << " s=" << s << " gram " << g;
+      }
+    }
+  }
+}
+
+TEST(QGramTest, JaccardParityWithStringReference) {
+  // QGramJaccard runs on interned integer grams for q <= 8; pin it to a
+  // from-scratch string-profile reference implementation.
+  auto reference = [](std::string_view a, std::string_view b, int q) {
+    std::vector<std::string> ga = QGramProfile(a, q);
+    std::vector<std::string> gb = QGramProfile(b, q);
+    ga.erase(std::unique(ga.begin(), ga.end()), ga.end());
+    gb.erase(std::unique(gb.begin(), gb.end()), gb.end());
+    if (ga.empty() && gb.empty()) return 1.0;
+    std::vector<std::string> inter;
+    std::set_intersection(ga.begin(), ga.end(), gb.begin(), gb.end(),
+                          std::back_inserter(inter));
+    size_t uni = ga.size() + gb.size() - inter.size();
+    return uni == 0 ? 1.0
+                    : static_cast<double>(inter.size()) /
+                          static_cast<double>(uni);
+  };
+  Rng rng(302);
+  for (int q : {1, 2, 3, 4, 8}) {
+    for (int i = 0; i < 200; ++i) {
+      std::string a = rng.RandomWord(rng.Index(12));
+      std::string b = rng.RandomWord(rng.Index(12));
+      EXPECT_DOUBLE_EQ(QGramJaccard(a, b, q), reference(a, b, q))
+          << "q=" << q << " a=" << a << " b=" << b;
+    }
+  }
 }
 
 TEST(LcsTest, KnownValues) {

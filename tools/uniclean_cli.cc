@@ -1,18 +1,21 @@
 // uniclean: command-line front end for the library, built on the
-// uniclean::Cleaner façade.
+// uniclean::CleanEngine / Session API.
 //
 //   uniclean --data dirty.csv --master master.csv --rules rules.txt
 //            [--confidence conf.csv] [--out repaired.csv]
 //            [--report fixes.txt] [--journal fixes.csv]
 //            [--eta 0.8] [--delta1 5] [--delta2 0.8]
 //            [--phases c,e,h] [--check-consistency]
+//            [--memo-stats] [--memo-cap N]
 //
 // The data / master CSV files must start with a header row naming the
 // attributes; the rule file uses the syntax of rules/parser.h. The optional
 // confidence CSV has the same shape as the data file with cells holding
 // numbers in [0, 1]. The fix report (--report, text) and fix journal
 // (--journal, CSV) list every repaired cell with its old/new value, the
-// phase that produced the fix and the justifying rule.
+// phase that produced the fix and the justifying rule. --memo-stats prints
+// the engine's match-memo statistics after the run; --memo-cap bounds each
+// memo map's resident entries (0 = unbounded), the long-lived-serving knob.
 
 #include <cerrno>
 #include <chrono>
@@ -40,6 +43,8 @@ struct CliOptions {
   double delta2 = 0.8;
   bool run_c = true, run_e = true, run_h = true;
   bool check_consistency = false;
+  bool memo_stats = false;
+  int memo_cap = 0;
 };
 
 void Usage(const char* argv0) {
@@ -52,7 +57,10 @@ void Usage(const char* argv0) {
       "  [--journal fixes.csv]     per-cell fix provenance journal (CSV)\n"
       "  [--eta F] [--delta1 N] [--delta2 F]   thresholds (0.8 / 5 / 0.8)\n"
       "  [--phases c,e,h]          subset of phases to run\n"
-      "  [--check-consistency]     verify the rules are consistent first\n",
+      "  [--check-consistency]     verify the rules are consistent first\n"
+      "  [--memo-stats]            print match-memo statistics after the run\n"
+      "  [--memo-cap N]            cap resident entries per memo map (0 = "
+      "unbounded)\n",
       argv0);
 }
 
@@ -165,6 +173,16 @@ bool ParseArgs(int argc, char** argv, CliOptions* opts) {
       if (!ParsePhases(v, opts)) return false;
     } else if (arg == "--check-consistency") {
       opts->check_consistency = true;
+    } else if (arg == "--memo-stats") {
+      opts->memo_stats = true;
+    } else if (arg == "--memo-cap") {
+      if ((v = next()) == nullptr) return false;
+      if (!ParseInt("--memo-cap", v, &opts->memo_cap)) return false;
+      if (opts->memo_cap < 0) {
+        std::fprintf(stderr, "--memo-cap must be >= 0, got %d\n",
+                     opts->memo_cap);
+        return false;
+      }
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       return false;
@@ -189,52 +207,64 @@ int Run(const CliOptions& opts) {
   }
   data::Relation original = d->Clone();
 
-  CleanerBuilder builder;
-  builder.WithData(&d.value())
-      .WithMasterCsv(opts.master_path)
-      .WithRulesFile(opts.rules_path)
-      .WithEta(opts.eta)
-      .WithDelta1(opts.delta1)
-      .WithDelta2(opts.delta2)
-      .WithDefaultPhases(opts.run_c, opts.run_e, opts.run_h)
-      .CheckConsistency(opts.check_consistency);
+  // Per-cell confidences ride on the data relation before the run.
   if (!opts.confidence_path.empty()) {
-    builder.WithConfidenceCsv(opts.confidence_path);
+    Status cs = data::ReadConfidenceCsvFile(opts.confidence_path, &d.value());
+    if (!cs.ok()) {
+      std::fprintf(stderr, "%s\n", cs.ToString().c_str());
+      return 2;
+    }
   }
-  builder.WithProgressCallback([](const PhaseEvent& event) {
+
+  // The engine owns everything immutable (master, rules, indexes, memos);
+  // the CLI's single run is one session against it.
+  core::MdMatcherOptions matcher;
+  matcher.memo_capacity = static_cast<size_t>(opts.memo_cap);
+  auto engine = EngineBuilder()
+                    .WithDataSchema(d->schema_ptr())
+                    .WithMasterCsv(opts.master_path)
+                    .WithRulesFile(opts.rules_path)
+                    .WithEta(opts.eta)
+                    .WithDelta1(opts.delta1)
+                    .WithDelta2(opts.delta2)
+                    .WithMatcherOptions(matcher)
+                    .WithDefaultPhases(opts.run_c, opts.run_e, opts.run_h)
+                    .CheckConsistency(opts.check_consistency)
+                    .BuildEngine();
+  if (!engine.ok()) {
+    std::fprintf(stderr, "%s\n", engine.status().ToString().c_str());
+    // Exit 3 distinguishes "the rules themselves are bad" for scripts;
+    // anchored on the builder's exact inconsistency diagnostic so e.g. a
+    // NotFound for a file *named* "inconsistent.txt" still exits 2.
+    bool rules_inconsistent =
+        engine.status().code() == StatusCode::kInvalidArgument &&
+        engine.status().message().rfind("the rule set is inconsistent", 0) ==
+            0;
+    return rules_inconsistent ? 3 : 2;
+  }
+  std::printf("loaded %d data tuples, %d master tuples, %zu CFDs, %zu MDs\n",
+              d->size(), (*engine)->master().size(),
+              (*engine)->rules().cfds().size(),
+              (*engine)->rules().mds().size());
+  if (opts.check_consistency) std::printf("rules are consistent\n");
+  std::printf("phases: %s\n", PhaseSetToString(opts).c_str());
+
+  // Warm the engine's match environment up front so the index-build cost
+  // is reported separately from the repair itself (the same split the
+  // serving scenario sees: build once, then clean many batches warm).
+  using Clock = std::chrono::steady_clock;
+  auto t0 = Clock::now();
+  (*engine)->Warmup();
+  auto t1 = Clock::now();
+  Session session = (*engine)->NewSession();
+  session.set_progress_callback([](const PhaseEvent& event) {
     if (event.kind == PhaseEvent::Kind::kPhaseFinished) {
       std::printf("  [%d/%d] %.*s: %d fixes\n", event.index + 1, event.total,
                   static_cast<int>(event.phase.size()), event.phase.data(),
                   event.stats->fixes);
     }
   });
-
-  auto cleaner = builder.Build();
-  if (!cleaner.ok()) {
-    std::fprintf(stderr, "%s\n", cleaner.status().ToString().c_str());
-    // Exit 3 distinguishes "the rules themselves are bad" for scripts;
-    // anchored on the builder's exact inconsistency diagnostic so e.g. a
-    // NotFound for a file *named* "inconsistent.txt" still exits 2.
-    bool rules_inconsistent =
-        cleaner.status().code() == StatusCode::kInvalidArgument &&
-        cleaner.status().message().rfind("the rule set is inconsistent", 0) ==
-            0;
-    return rules_inconsistent ? 3 : 2;
-  }
-  std::printf("loaded %d data tuples, %d master tuples, %zu CFDs, %zu MDs\n",
-              cleaner->data().size(), cleaner->master().size(),
-              cleaner->rules().cfds().size(), cleaner->rules().mds().size());
-  if (opts.check_consistency) std::printf("rules are consistent\n");
-  std::printf("phases: %s\n", PhaseSetToString(opts).c_str());
-
-  // Warm the session's match environment up front so the index-build cost
-  // is reported separately from the repair itself (the same split the
-  // serving scenario sees: build once, then clean many batches warm).
-  using Clock = std::chrono::steady_clock;
-  auto t0 = Clock::now();
-  cleaner->Warmup();
-  auto t1 = Clock::now();
-  auto result = cleaner->Run();
+  auto result = session.Run(&d.value());
   auto t2 = Clock::now();
   if (!result.ok()) {
     std::fprintf(stderr, "%s\n", result.status().ToString().c_str());
@@ -255,7 +285,19 @@ int Run(const CliOptions& opts) {
   std::printf("total fixes: %d (journal entries: %zu)\n",
               result->total_fixes(), result->journal.size());
   std::printf("repair cost (Σ cf·dist): %.3f\n",
-              core::RepairCost(original, cleaner->data()));
+              core::RepairCost(original, d.value()));
+  if (opts.memo_stats) {
+    const core::MemoStats stats = (*engine)->MemoStats();
+    std::printf(
+        "memo stats: %llu entries, ~%llu KB, %llu hits, %llu misses, "
+        "%llu evictions%s\n",
+        static_cast<unsigned long long>(stats.entries),
+        static_cast<unsigned long long>(stats.bytes / 1024),
+        static_cast<unsigned long long>(stats.hits),
+        static_cast<unsigned long long>(stats.misses),
+        static_cast<unsigned long long>(stats.evictions),
+        opts.memo_cap > 0 ? " (capped)" : "");
+  }
   if (const PhaseStats* h = result->phase(HRepairPhase::kName)) {
     int64_t anomalies = h->counter("anomalies");
     if (anomalies > 0) {
@@ -266,7 +308,7 @@ int Run(const CliOptions& opts) {
     }
   }
 
-  Status s = data::WriteCsvFile(opts.out_path, cleaner->data());
+  Status s = data::WriteCsvFile(opts.out_path, d.value());
   if (!s.ok()) {
     std::fprintf(stderr, "%s\n", s.ToString().c_str());
     return 2;
