@@ -61,12 +61,13 @@ int main() {
                    double* f) {
       rules::RuleSet rs = Reorder(ds.rules, order);
       data::Relation d = ds.dirty.Clone();
+      core::MatchEnvironment env(rs, ds.master);
       core::CRepairOptions copts;
       copts.eta = 1.0;
-      core::CRepair(&d, ds.master, rs, copts);
+      core::CRepair(&d, env, copts);
       core::ERepairOptions eopts;
       eopts.eta = 1.0;
-      auto stats = core::ERepair(&d, ds.master, rs, eopts);
+      auto stats = core::ERepair(&d, env, eopts);
       *passes = stats.passes;
       *f = eval::RepairAccuracy(ds.dirty, d, ds.clean).F();
     };

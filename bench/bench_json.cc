@@ -346,6 +346,79 @@ void ConcurrentPoint(const std::string& dataset, int num_tuples,
   }
 }
 
+/// Incremental cleaning: a tracked session batch-cleans all but k tuples
+/// (unmeasured setup), then one ApplyDelta folds the k held-out tuples in.
+/// The reference arm is a full memo-warm Session::Run over the complete
+/// relation — what a caller without ApplyDelta would pay per edit batch.
+/// The k=1 point is the acceptance criterion: single-tuple maintenance must
+/// beat the full warm re-run by an order of magnitude.
+void DeltaPoint(const std::string& dataset, int num_tuples, int master_size) {
+  gen::GeneratorConfig config;
+  config.num_tuples = num_tuples;
+  config.master_size = master_size;
+  config.noise_rate = 0.06;
+  config.dup_rate = 0.4;
+  config.seed = 1;
+  gen::Dataset ds = Generate(dataset, config);
+  std::shared_ptr<CleanEngine> engine = BuildEngineFor(ds);
+  engine->Warmup();
+  {
+    // Pre-warm the memos so both arms measure the steady serving state.
+    data::Relation scratch = ds.dirty.Clone();
+    Session session = engine->NewSession();
+    auto warm = session.Run(&scratch);
+    if (!warm.ok()) {
+      std::fprintf(stderr, "bench_json: delta pre-warm failed: %s\n",
+                   warm.status().ToString().c_str());
+      std::exit(2);
+    }
+  }
+
+  const std::string suffix = "_n" + std::to_string(num_tuples);
+  data::Relation full = ds.dirty.Clone();
+  Measure("delta_" + dataset + suffix + "_full_rerun", dataset, num_tuples,
+          master_size, "warm", num_tuples, [&]() -> long long {
+            Session session = engine->NewSession();
+            auto result = session.Run(&full);
+            if (!result.ok()) {
+              std::fprintf(stderr, "bench_json: full re-run failed: %s\n",
+                           result.status().ToString().c_str());
+              std::exit(2);
+            }
+            return result->total_fixes();
+          });
+
+  for (int k : {1, 16, 64}) {
+    data::Relation initial(ds.dirty.schema_ptr());
+    for (data::TupleId t = 0; t < ds.dirty.size() - k; ++t) {
+      initial.AddTuple(ds.dirty.tuple(t));
+    }
+    Session session = engine->NewTrackedSession();
+    auto batch = session.Run(&initial);  // unmeasured: the standing state
+    if (!batch.ok()) {
+      std::fprintf(stderr, "bench_json: tracked batch run failed: %s\n",
+                   batch.status().ToString().c_str());
+      std::exit(2);
+    }
+    Delta delta;
+    for (int i = 0; i < k; ++i) {
+      delta.inserts.push_back(ds.dirty.tuple(ds.dirty.size() - k + i));
+    }
+    // `result` reports the closure size (tuples re-cleaned), the
+    // incremental cost driver.
+    Measure("delta_" + dataset + suffix + "_k" + std::to_string(k), dataset,
+            num_tuples, master_size, "delta", k, [&]() -> long long {
+              auto dr = session.ApplyDelta(delta);
+              if (!dr.ok()) {
+                std::fprintf(stderr, "bench_json: ApplyDelta failed: %s\n",
+                             dr.status().ToString().c_str());
+                std::exit(2);
+              }
+              return dr->affected;
+            });
+  }
+}
+
 /// The §5.2 blocking ablation: per-probe match cost with the suffix-tree
 /// index vs a brute-force master scan.
 void AblationPoint(int master_size, bool use_blocking) {
@@ -455,6 +528,10 @@ int main(int argc, char** argv) {
   // the locking overhead instead.
   ConcurrentPoint("hosp", 1000, 500);
   ConcurrentPoint("dblp", 1000, 500);
+  // Incremental cleaning: one ApplyDelta of k held-out tuples against a
+  // tracked session, vs a full memo-warm re-run of the whole relation.
+  DeltaPoint("hosp", 1000, 500);
+  DeltaPoint("dblp", 1000, 500);
   // Blocking ablation (§5.2).
   for (int m : quick ? std::vector<int>{500} : std::vector<int>{500, 2000}) {
     AblationPoint(m, /*use_blocking=*/true);

@@ -34,20 +34,22 @@ void RunSeries(const char* name,
     config.seed = 300 + static_cast<uint64_t>(noi);
     gen::Dataset ds = generate(config);
 
+    core::MatchEnvironment env(ds.rules, ds.master);
+
     core::CRepairOptions copts;
     copts.eta = 1.0;
     data::Relation after_c = ds.dirty.Clone();
-    core::CRepair(&after_c, ds.master, ds.rules, copts);
+    core::CRepair(&after_c, env, copts);
     auto c_pr = eval::RepairAccuracy(ds.dirty, after_c, ds.clean);
 
     core::ERepairOptions eopts;
     eopts.eta = 1.0;
     data::Relation after_e = after_c.Clone();
-    core::ERepair(&after_e, ds.master, ds.rules, eopts);
+    core::ERepair(&after_e, env, eopts);
     auto e_pr = eval::RepairAccuracy(ds.dirty, after_e, ds.clean);
 
     data::Relation after_h = after_e.Clone();
-    core::HRepair(&after_h, ds.master, ds.rules, {});
+    core::HRepair(&after_h, env, {});
     auto h_pr = eval::RepairAccuracy(ds.dirty, after_h, ds.clean);
 
     std::printf("%6d | %9.3f %9.3f | %9.3f %9.3f | %9.3f %9.3f\n", noi,

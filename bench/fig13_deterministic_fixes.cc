@@ -20,8 +20,8 @@ double DeterministicFixPercentage(gen::Dataset& ds) {
   if (errors == 0) return 100.0;
   core::CRepairOptions copts;
   copts.eta = 1.0;
-  core::CRepairStats stats =
-      core::CRepair(&ds.dirty, ds.master, ds.rules, copts);
+  core::MatchEnvironment env(ds.rules, ds.master);
+  core::CRepairStats stats = core::CRepair(&ds.dirty, env, copts);
   return 100.0 * stats.deterministic_fixes / errors;
 }
 

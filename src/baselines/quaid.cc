@@ -19,8 +19,8 @@ QuaidStats Quaid(data::Relation* d, const rules::RuleSet& ruleset) {
     }
   }
   data::Relation empty_master(ruleset.master_schema_ptr());
-  core::HRepairStats stats =
-      core::HRepair(d, empty_master, cfd_only.value(), {});
+  core::MatchEnvironment env(cfd_only.value(), empty_master);
+  core::HRepairStats stats = core::HRepair(d, env, {});
   QuaidStats out;
   out.fixes = stats.possible_fixes;
   out.passes = stats.passes;

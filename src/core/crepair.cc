@@ -77,7 +77,10 @@ class CRepairRun {
 
   CRepairStats Run() {
     // Initialization (Fig. 4 lines 1-6): assert every cell with cf >= η.
+    // Tombstoned tuples never enter the worklist here, so they stay out of
+    // every group table and queue downstream.
     for (TupleId t = 0; t < d_.size(); ++t) {
+      if (!d_.live(t)) continue;
       // Rules with an empty premise apply unconditionally.
       for (RuleId rule = 0; rule < ruleset_.num_rules(); ++rule) {
         if (lhs_required_[static_cast<size_t>(rule)] == 0) {

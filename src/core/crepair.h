@@ -51,18 +51,23 @@ struct CRepairStats {
 };
 
 /// Runs cRepair in place: fixes cells of `d`, upgrades their confidence and
-/// marks them deterministic. Returns statistics. Borrows the shared match
+/// marks them deterministic. Returns statistics. Tombstoned tuples
+/// (data::Relation::EraseTuple) are skipped. Borrows the shared match
 /// environment (master relation, rules, warm MD indexes and memos) instead
 /// of building per-run matchers; `options.matcher` is ignored on this path.
 CRepairStats CRepair(data::Relation* d, const MatchEnvironment& env,
                      const CRepairOptions& options = {});
 
-/// DEPRECATED: environment-less entry point, kept as a source-compatibility
-/// shim for one release. Builds a throwaway MatchEnvironment from
-/// `options.matcher` on every call — every MD index and memo is rebuilt and
-/// re-warmed, which is exactly the cost the shared environment removes. New
-/// code should construct a core::MatchEnvironment (or use uniclean::Cleaner,
-/// which owns one per session) and call the overload above.
+/// DEPRECATED: environment-less entry point. Builds a throwaway
+/// MatchEnvironment from `options.matcher` on every call — every MD index
+/// and memo is rebuilt and re-warmed, which is exactly the cost the shared
+/// environment removes. Construct a core::MatchEnvironment (or use
+/// uniclean::CleanEngine, which owns one) and call the overload above; this
+/// shim remains only to pin env/env-less parity in match_environment_test
+/// and will be removed next release.
+[[deprecated(
+    "build a core::MatchEnvironment once and call "
+    "CRepair(d, env, options)")]]
 CRepairStats CRepair(data::Relation* d, const data::Relation& dm,
                      const rules::RuleSet& ruleset,
                      const CRepairOptions& options = {});

@@ -117,6 +117,7 @@ class ERepairRun {
     // the (id-valued) keys, or fix order would vary with id assignment.
     std::vector<const Group*> group_order;
     for (TupleId t = 0; t < d_.size(); ++t) {
+      if (!d_.live(t)) continue;
       const data::Tuple& tuple = d_.tuple(t);
       if (!cfd.MatchesLhs(tuple)) continue;
       if (tuple.value(b).is_null()) continue;  // satisfies trivially (§7)
@@ -207,6 +208,7 @@ class ERepairRun {
     const AttributeId b = cfd.rhs()[0];
     const Value& target = cfd.rhs_pattern()[0].value();
     for (TupleId t = 0; t < d_.size(); ++t) {
+      if (!d_.live(t)) continue;
       const data::Tuple& tuple = d_.tuple(t);
       if (!cfd.MatchesLhs(tuple)) continue;
       if (cfd.RhsSatisfied(tuple)) continue;
@@ -221,6 +223,7 @@ class ERepairRun {
     const rules::MdAction& action = md.actions()[0];
     const MdMatcher& matcher = *env_.matcher(rule);
     for (TupleId t = 0; t < d_.size(); ++t) {
+      if (!d_.live(t)) continue;
       // MD premises depend only on this tuple and the static master data:
       // skip tuples untouched since the previous pass.
       if (!touched_prev_[static_cast<size_t>(t)] &&

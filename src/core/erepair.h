@@ -53,15 +53,21 @@ struct ERepairStats {
 /// are equally frequent. `counts` must be non-empty with positive entries.
 double GroupEntropy(const std::vector<int>& counts);
 
-/// Runs eRepair in place; returns statistics. Borrows the shared match
-/// environment (master relation, rules, warm MD indexes and memos) instead
-/// of building per-run matchers; `options.matcher` is ignored on this path.
+/// Runs eRepair in place; returns statistics. Tombstoned tuples
+/// (data::Relation::EraseTuple) are skipped — they join no group and are
+/// never rewritten. Borrows the shared match environment (master relation,
+/// rules, warm MD indexes and memos) instead of building per-run matchers;
+/// `options.matcher` is ignored on this path.
 ERepairStats ERepair(data::Relation* d, const MatchEnvironment& env,
                      const ERepairOptions& options = {});
 
-/// DEPRECATED: environment-less entry point, kept as a source-compatibility
-/// shim for one release. Rebuilds every MD index and memo per call; new code
-/// should share a core::MatchEnvironment (or use uniclean::Cleaner).
+/// DEPRECATED: environment-less entry point. Rebuilds every MD index and
+/// memo per call; share a core::MatchEnvironment (or use
+/// uniclean::CleanEngine) and call the overload above. Kept only for the
+/// parity pins in match_environment_test; removed next release.
+[[deprecated(
+    "build a core::MatchEnvironment once and call "
+    "ERepair(d, env, options)")]]
 ERepairStats ERepair(data::Relation* d, const data::Relation& dm,
                      const rules::RuleSet& ruleset,
                      const ERepairOptions& options = {});

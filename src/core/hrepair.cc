@@ -46,7 +46,10 @@ class HRepairRun {
                        static_cast<size_t>(d->schema().arity()),
                    -1) {
     // Corollary 7.1: deterministic fixes are preserved — freeze them.
+    // Tombstoned tuples stay out of the class structure entirely: their
+    // cells are never frozen, probed or retargeted.
     for (TupleId t = 0; t < view_.size(); ++t) {
+      if (!view_.live(t)) continue;
       for (AttributeId a = 0; a < view_.schema().arity(); ++a) {
         if (view_.tuple(t).mark(a) == FixMark::kDeterministic) {
           eq_.Freeze(eq_.Cell(t, a), view_.tuple(t).value(a));
@@ -81,6 +84,7 @@ class HRepairRun {
     }
     // Mark every cell whose value changed in this phase as a possible fix.
     for (TupleId t = 0; t < view_.size(); ++t) {
+      if (!view_.live(t)) continue;
       for (AttributeId a = 0; a < view_.schema().arity(); ++a) {
         if (view_.tuple(t).value(a) != original_.tuple(t).value(a)) {
           if (options_.on_fix) {
@@ -186,6 +190,7 @@ class HRepairRun {
     const Value& target = cfd.rhs_pattern()[0].value();
     bool changed = false;
     for (TupleId t = 0; t < view_.size(); ++t) {
+      if (!view_.live(t)) continue;
       if (!cfd.MatchesLhs(view_.tuple(t))) continue;
       if (cfd.RhsSatisfied(view_.tuple(t))) continue;
       // Option 1: fix the RHS (to the constant, or upgrade to null).
@@ -225,6 +230,7 @@ class HRepairRun {
     std::vector<const std::vector<TupleId>*> group_order;
     std::vector<std::pair<GroupKey, const std::vector<TupleId>*>> null_order;
     for (TupleId t = 0; t < view_.size(); ++t) {
+      if (!view_.live(t)) continue;
       const data::Tuple& tuple = view_.tuple(t);
       if (!cfd.MatchesLhs(tuple)) continue;
       if (tuple.value(b).is_null()) {
@@ -383,6 +389,7 @@ class HRepairRun {
     }
     bool changed = false;
     for (TupleId t = 0; t < view_.size(); ++t) {
+      if (!view_.live(t)) continue;
       // MD premises depend only on this tuple's values and the (static)
       // master data: skip tuples untouched since the last pass.
       if (!touched_prev_[static_cast<size_t>(t)] &&

@@ -54,15 +54,20 @@ struct HRepairStats {
 };
 
 /// Runs hRepair in place; returns statistics. After the call (with zero
-/// anomalies), `*d` satisfies every CFD and MD of the environment's rules
-/// w.r.t. its master relation. Borrows the shared match environment instead
-/// of building per-run matchers; `options.matcher` is ignored on this path.
+/// anomalies), the live tuples of `*d` satisfy every CFD and MD of the
+/// environment's rules w.r.t. its master relation (tombstoned tuples are
+/// skipped). Borrows the shared match environment instead of building
+/// per-run matchers; `options.matcher` is ignored on this path.
 HRepairStats HRepair(data::Relation* d, const MatchEnvironment& env,
                      const HRepairOptions& options = {});
 
-/// DEPRECATED: environment-less entry point, kept as a source-compatibility
-/// shim for one release. Rebuilds every MD index and memo per call; new code
-/// should share a core::MatchEnvironment (or use uniclean::Cleaner).
+/// DEPRECATED: environment-less entry point. Rebuilds every MD index and
+/// memo per call; share a core::MatchEnvironment (or use
+/// uniclean::CleanEngine) and call the overload above. Kept only for the
+/// parity pins in match_environment_test; removed next release.
+[[deprecated(
+    "build a core::MatchEnvironment once and call "
+    "HRepair(d, env, options)")]]
 HRepairStats HRepair(data::Relation* d, const data::Relation& dm,
                      const rules::RuleSet& ruleset,
                      const HRepairOptions& options = {});

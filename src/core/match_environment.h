@@ -12,8 +12,10 @@
 // (the warm serving scenario; see uniclean::Cleaner::Run(data::Relation*)).
 //
 // Lifetime: the environment borrows `rules` and `master`; both must outlive
-// it and must not be mutated while it exists (the indexes and memos assume
-// the master projection and the MD premises are frozen).
+// it. The rules must never be mutated; the master may only grow by appends,
+// and only while no session runs — after appending, call
+// RefreshMasterAppend() (with exclusive access) to fold the new tuples into
+// the indexes. Until then probes see the master as of the last refresh.
 //
 // Thread safety: after construction the environment is an immutable
 // artifact plus internally synchronized memos — matcher() and every
@@ -63,6 +65,21 @@ class MatchEnvironment {
   /// Number of matchers this environment built (== number of MD rules).
   int num_matchers() const { return num_matchers_; }
 
+  /// Master tuples covered by the matchers' indexes: master().size() at
+  /// construction, catching up on RefreshMasterAppend(). Falls behind when
+  /// the caller appends tuples to the (caller-owned) master relation.
+  int indexed_master_size() const { return indexed_master_size_; }
+
+  /// Folds master tuples appended since construction (or the previous
+  /// refresh) into every matcher's indexes (see MdMatcher::AppendMaster):
+  /// equality indexes and all-master lists grow incrementally, suffix trees
+  /// are rebuilt, match/blocking memos are dropped, similarity memos
+  /// survive. Requires exclusive access — no Session may be running against
+  /// this environment and no references into its memos may be live. The
+  /// master must only have grown by appends; indexed tuples must be
+  /// unchanged. Returns the number of newly indexed master tuples.
+  int RefreshMasterAppend();
+
   /// Aggregated memo statistics across every matcher of the environment:
   /// resident entries, a bytes estimate, hit/miss counters and the number
   /// of results refused admission past MdMatcherOptions::memo_capacity.
@@ -76,6 +93,7 @@ class MatchEnvironment {
   MdMatcherOptions options_;
   std::vector<std::unique_ptr<MdMatcher>> matchers_;  // indexed by rule id
   int num_matchers_ = 0;
+  int indexed_master_size_ = 0;  // see RefreshMasterAppend()
 };
 
 }  // namespace core

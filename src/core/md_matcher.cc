@@ -64,7 +64,8 @@ MdMatcher::MdMatcher(const rules::Md& md, const data::Relation& dm,
       dm_(dm),
       options_(options),
       blocking_cache_(options.memo_capacity),
-      match_cache_(options.memo_capacity) {
+      match_cache_(options.memo_capacity),
+      indexed_masters_(dm.size()) {
   g_constructed_count.fetch_add(1, std::memory_order_relaxed);
   UC_CHECK(md_.normalized()) << "MdMatcher requires a normalized MD";
   // Matches() keys its memo on the full premise projection; enforce the
@@ -94,39 +95,78 @@ MdMatcher::MdMatcher(const rules::Md& md, const data::Relation& dm,
   }
   if (!options_.use_blocking) return;
   if (!equality_clauses_.empty()) {
-    for (data::TupleId s = 0; s < dm_.size(); ++s) {
-      bool has_null = false;
-      for (size_t i : equality_clauses_) {
-        if (dm_.tuple(s).value(md_.premise()[i].master_attr).is_null()) {
-          has_null = true;
-          break;
-        }
-      }
-      if (has_null) continue;  // null never satisfies a premise clause
-      equality_index_[EqualityKey(equality_clauses_, md_, dm_.tuple(s),
-                                  /*master_side=*/true)]
-          .push_back(s);
-    }
+    IndexEqualityRange(0, dm_.size());
     return;
   }
-  if (blocking_clause_ >= 0) {
-    // Index the distinct master values of the blocking clause's attribute.
-    const data::AttributeId attr =
-        md_.premise()[static_cast<size_t>(blocking_clause_)].master_attr;
-    std::unordered_map<data::ValueId, int> value_to_string_id;
-    for (data::TupleId s = 0; s < dm_.size(); ++s) {
-      const data::Value& v = dm_.tuple(s).value(attr);
-      if (v.is_null()) continue;
-      auto [it, inserted] = value_to_string_id.emplace(
-          v.id(), static_cast<int>(value_owners_.size()));
-      if (inserted) {
-        tree_.AddString(v.view());
-        value_owners_.emplace_back();
+  if (blocking_clause_ >= 0) RebuildSuffixTree();
+}
+
+void MdMatcher::IndexEqualityRange(data::TupleId begin, data::TupleId end) {
+  for (data::TupleId s = begin; s < end; ++s) {
+    bool has_null = false;
+    for (size_t i : equality_clauses_) {
+      if (dm_.tuple(s).value(md_.premise()[i].master_attr).is_null()) {
+        has_null = true;
+        break;
       }
-      value_owners_[static_cast<size_t>(it->second)].push_back(s);
     }
-    tree_.Build();
+    if (has_null) continue;  // null never satisfies a premise clause
+    equality_index_[EqualityKey(equality_clauses_, md_, dm_.tuple(s),
+                                /*master_side=*/true)]
+        .push_back(s);
   }
+}
+
+void MdMatcher::RebuildSuffixTree() {
+  // Index the distinct master values of the blocking clause's attribute.
+  // Ukkonen's build is one-shot (AddString then a single Build), so a
+  // master append rebuilds the tree from scratch.
+  tree_ = similarity::GeneralizedSuffixTree();
+  value_owners_.clear();
+  const data::AttributeId attr =
+      md_.premise()[static_cast<size_t>(blocking_clause_)].master_attr;
+  std::unordered_map<data::ValueId, int> value_to_string_id;
+  for (data::TupleId s = 0; s < dm_.size(); ++s) {
+    const data::Value& v = dm_.tuple(s).value(attr);
+    if (v.is_null()) continue;
+    auto [it, inserted] = value_to_string_id.emplace(
+        v.id(), static_cast<int>(value_owners_.size()));
+    if (inserted) {
+      tree_.AddString(v.view());
+      value_owners_.emplace_back();
+    }
+    value_owners_[static_cast<size_t>(it->second)].push_back(s);
+  }
+  tree_.Build();
+}
+
+int MdMatcher::AppendMaster() {
+  const data::TupleId old_size = indexed_masters_;
+  if (dm_.size() == old_size) return 0;
+  UC_CHECK_GT(dm_.size(), old_size)
+      << "MdMatcher::AppendMaster: master relation shrank (append-only "
+         "growth is required)";
+  // Paths that materialize every master id extend incrementally.
+  if (!options_.use_blocking ||
+      (equality_clauses_.empty() && blocking_clause_ < 0)) {
+    for (data::TupleId s = old_size; s < dm_.size(); ++s) {
+      all_masters_.push_back(s);
+    }
+  }
+  if (options_.use_blocking) {
+    if (!equality_clauses_.empty()) {
+      IndexEqualityRange(old_size, dm_.size());
+    } else if (blocking_clause_ >= 0) {
+      RebuildSuffixTree();
+    }
+  }
+  // Match lists and blocking candidates were computed against the smaller
+  // master and may be missing the new tuples; drop them. Similarity
+  // outcomes are per (data value, master value) pair and stay valid.
+  match_cache_.Clear();
+  blocking_cache_.Clear();
+  indexed_masters_ = dm_.size();
+  return dm_.size() - old_size;
 }
 
 bool MdMatcher::Verify(const data::Tuple& t, data::TupleId s) const {

@@ -13,7 +13,9 @@
 // of threads may call Matches / FindMatches / FindFirstMatch concurrently —
 // the engine entry point concurrent uniclean::Session runs rely on. Every
 // memoized result is a pure function of its key over the static master
-// data, so cache sharing across threads cannot change outcomes. References
+// data, so cache sharing across threads cannot change outcomes. The one
+// mutating operation is AppendMaster() (master-data growth), which
+// requires exclusive access. References
 // returned by Matches() stay valid for the matcher's lifetime when they
 // point into a memo; results that were refused admission (capacity cap, or
 // use_memos = false) live in per-(thread, matcher) scratch valid until the
@@ -93,9 +95,31 @@ class MdMatcher {
   /// Cleaner re-run must not move this counter.
   static uint64_t ConstructedCount();
 
+  /// Master tuples covered by the indexes: dm.size() at construction and
+  /// after every AppendMaster() call; falls behind when the caller appends
+  /// tuples to the master relation.
+  int indexed_masters() const { return indexed_masters_; }
+
+  /// Folds master tuples appended since construction (or the previous call)
+  /// into the indexes: the equality index and the materialized all-masters
+  /// list grow incrementally; the suffix tree is rebuilt (Ukkonen's build is
+  /// one-shot). The match-list and blocking memos are dropped — their
+  /// entries were computed against the smaller master — while the
+  /// per-clause similarity memos survive: a similarity outcome is a pure
+  /// function of the two value ids, independent of the master's extent.
+  /// Returns the number of newly indexed master tuples.
+  ///
+  /// NOT thread-safe: requires exclusive access to the matcher (no
+  /// concurrent probes, no live references into the dropped memos). The
+  /// master relation must only have grown by appends since the last index;
+  /// already-indexed tuples must be unchanged.
+  int AppendMaster();
+
  private:
   const std::vector<data::TupleId>& Candidates(const data::Tuple& t) const;
   bool Verify(const data::Tuple& t, data::TupleId s) const;
+  void IndexEqualityRange(data::TupleId begin, data::TupleId end);
+  void RebuildSuffixTree();
 
   const rules::Md& md_;
   const data::Relation& dm_;
@@ -134,6 +158,9 @@ class MdMatcher {
   // Materialized 0..|Dm|-1 (brute force / empty premise paths); built in
   // the constructor when one of those paths is configured, immutable after.
   std::vector<data::TupleId> all_masters_;
+
+  // Master tuples covered by the indexes above; see AppendMaster().
+  int indexed_masters_ = 0;
 };
 
 }  // namespace core

@@ -118,6 +118,19 @@ class ShardedMemo {
   }
   size_t capacity() const { return capacity_; }
 
+  /// Drops every resident entry and resets the entry count, invalidating
+  /// all pointers ever handed out by Find/Insert/InsertWith. The caller
+  /// must guarantee exclusive access: no concurrent probes and no live
+  /// references (e.g. a master-data refresh performed while no Session is
+  /// running). Hit/miss/eviction counters are preserved.
+  void Clear() {
+    for (Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      shard.map.clear();
+    }
+    entries_.store(0, std::memory_order_relaxed);
+  }
+
   /// Counter snapshot plus a footprint estimate:
   /// `entry_bytes(key, mapped)` returns the payload size of one entry.
   template <typename EntryBytesFn>

@@ -28,6 +28,7 @@ bool Tuple::ProjectionEquals(const Tuple& other,
 TupleId Relation::AddTuple(Tuple tuple) {
   UC_CHECK_EQ(tuple.arity(), schema_->arity());
   tuples_.push_back(std::move(tuple));
+  if (!dead_.empty()) dead_.push_back(0);
   return static_cast<TupleId>(tuples_.size() - 1);
 }
 
@@ -40,6 +41,13 @@ TupleId Relation::AddRow(const std::vector<std::string>& values,
     t.set_confidence(a, confidence);
   }
   return AddTuple(std::move(t));
+}
+
+int Relation::live_size() const {
+  if (dead_.empty()) return size();
+  int live = 0;
+  for (uint8_t d : dead_) live += d == 0 ? 1 : 0;
+  return live;
 }
 
 int Relation::CellDiffCount(const Relation& other) const {

@@ -6,6 +6,7 @@
 #ifndef UNICLEAN_DATA_RELATION_H_
 #define UNICLEAN_DATA_RELATION_H_
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -95,6 +96,27 @@ class Relation {
   TupleId AddRow(const std::vector<std::string>& values,
                  double confidence = 0.0);
 
+  /// Tombstones a tuple: the slot stays (ids never shift — journal entries
+  /// and incremental-delta bookkeeping key on them) but live(t) turns false
+  /// and every cleaning engine skips the tuple. Re-inserting content after a
+  /// deletion is an AddTuple, which mints a fresh id; tombstoned ids are
+  /// never reused. Idempotent.
+  void EraseTuple(TupleId t) {
+    CheckId(t);
+    if (dead_.empty()) dead_.assign(tuples_.size(), 0);
+    dead_[static_cast<size_t>(t)] = 1;
+  }
+
+  /// False once EraseTuple(t) was called. The common all-live case costs one
+  /// emptiness check (the tombstone vector is allocated lazily).
+  bool live(TupleId t) const {
+    return dead_.empty() || dead_[CheckId(t)] == 0;
+  }
+
+  /// Number of live (non-tombstoned) tuples; == size() when nothing was
+  /// erased.
+  int live_size() const;
+
   const std::vector<Tuple>& tuples() const { return tuples_; }
 
   /// Deep copy (used to produce candidate repairs without touching D).
@@ -113,6 +135,10 @@ class Relation {
 
   SchemaPtr schema_;
   std::vector<Tuple> tuples_;
+  // Tombstone marks, parallel to tuples_ once any EraseTuple happened;
+  // empty (no allocation) for the common all-live relation. Clone() copies
+  // it, so a cloned relation preserves liveness.
+  std::vector<uint8_t> dead_;
 };
 
 }  // namespace data

@@ -32,6 +32,7 @@
 #include <unordered_map>
 
 #include "common/check.h"
+#include "common/result.h"
 
 namespace uniclean {
 namespace data {
@@ -46,6 +47,22 @@ inline uint64_t MixU64(uint64_t x) {
   x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
   return x ^ (x >> 31);
 }
+
+/// Occupancy snapshot of a StringPool (see StringPool::Stats) — the
+/// observable baseline for the ROADMAP id-recycling work: long-lived delta
+/// sessions keep interning fresh values, and ids are never recycled, so
+/// `remaining` is the budget a serving deployment burns down.
+struct StringPoolStats {
+  /// Distinct strings interned so far (== the next id to be minted).
+  size_t interned = 0;
+  /// Total id capacity of the pool (2^28; kNullId is outside it).
+  size_t capacity = 0;
+  /// Ids left before Intern aborts / TryIntern fails: capacity - interned.
+  size_t remaining = 0;
+  /// Characters resident across all interned strings (payload only; chunk
+  /// table and hash-index overhead not included).
+  uint64_t string_bytes = 0;
+};
 
 class StringPool {
  public:
@@ -73,14 +90,22 @@ class StringPool {
   StringPool& operator=(const StringPool&) = delete;
 
   /// Returns the id of `s`, interning it on first sight. Thread-safe;
-  /// concurrent callers serialize on an internal mutex.
-  ValueId Intern(std::string_view s) {
+  /// concurrent callers serialize on an internal mutex. Fails with
+  /// Status::OutOfRange — instead of minting an aliased id — when the 2^28
+  /// id space is exhausted; a caller that cannot recover should use Intern,
+  /// which aborts. Watch Stats().remaining to see exhaustion coming.
+  Result<ValueId> TryIntern(std::string_view s) {
     std::lock_guard<std::mutex> lock(mutex_);
     auto it = index_.find(s);
     if (it != index_.end()) return it->second;
     const ValueId id = size_.load(std::memory_order_relaxed);
-    // Never mint kNullId (or wrap): abort instead of silently aliasing.
-    UC_CHECK_LT(id, kCapacity) << "StringPool: id space exhausted";
+    // Never mint kNullId (or wrap): fail loudly instead of silently aliasing.
+    if (id >= kCapacity) {
+      return Status::OutOfRange(
+          "StringPool: id space exhausted (" + std::to_string(kCapacity) +
+          " ids interned; ids are never recycled — see ROADMAP 'StringPool "
+          "growth')");
+    }
     const size_t chunk = id >> kChunkBits;
     std::string* slots = chunks_[chunk].load(std::memory_order_relaxed);
     if (slots == nullptr) {
@@ -89,12 +114,21 @@ class StringPool {
     }
     std::string& slot = slots[id & (kChunkSize - 1)];
     slot.assign(s.data(), s.size());
+    string_bytes_.fetch_add(s.size(), std::memory_order_relaxed);
     // Publish: a reader that acquire-loads size() > id is guaranteed to see
     // the chunk pointer and the slot's characters.
     size_.store(id + 1, std::memory_order_release);
     // The key views the chunk-owned string; chunks never move or shrink.
     index_.emplace(std::string_view(slot), id);
     return id;
+  }
+
+  /// Like TryIntern but aborts on id-space exhaustion — the convenient form
+  /// for the hot paths, where exhaustion is unrecoverable anyway.
+  ValueId Intern(std::string_view s) {
+    Result<ValueId> id = TryIntern(s);
+    UC_CHECK(id.ok()) << id.status().ToString();
+    return id.value();
   }
 
   /// The interned string for a valid id; kNullId resolves to "". Lock-free.
@@ -114,6 +148,19 @@ class StringPool {
 
   /// Number of distinct interned strings.
   size_t size() const { return size_.load(std::memory_order_acquire); }
+
+  /// Occupancy counters (MemoStats-style): interned count, id capacity,
+  /// remaining ids, resident character bytes. Live atomics — safe to call
+  /// while other threads intern; the snapshot is approximate under
+  /// concurrent writers.
+  StringPoolStats Stats() const {
+    StringPoolStats stats;
+    stats.interned = size();
+    stats.capacity = static_cast<size_t>(kCapacity);
+    stats.remaining = stats.capacity - stats.interned;
+    stats.string_bytes = string_bytes_.load(std::memory_order_relaxed);
+    return stats;
+  }
 
   /// The process-wide pool used by data::Value. All relations, rules and
   /// engines in a process share it, so ids from different relations are
@@ -146,6 +193,7 @@ class StringPool {
 
   std::unique_ptr<std::atomic<std::string*>[]> chunks_;
   std::atomic<ValueId> size_{0};
+  std::atomic<uint64_t> string_bytes_{0};
   mutable std::mutex mutex_;  // guards index_ and all writes
   std::unordered_map<std::string_view, ValueId> index_;
   std::string empty_;

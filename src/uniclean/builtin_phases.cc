@@ -40,6 +40,12 @@ void CheckContext(const PipelineContext* ctx) {
   UC_CHECK(ctx->data != nullptr);
   UC_CHECK(ctx->master != nullptr);
   UC_CHECK(ctx->rules != nullptr);
+  // Session::Run always provides the engine's warm environment; the
+  // per-phase index-build fallback rode on the deprecated env-less repair
+  // entry points and is gone with them.
+  UC_CHECK(ctx->match_env != nullptr)
+      << "builtin phases require PipelineContext::match_env (run them "
+         "through a Session, or build a core::MatchEnvironment)";
 }
 
 }  // namespace
@@ -48,14 +54,8 @@ Result<PhaseStats> CRepairPhase::Run(PipelineContext* ctx) {
   CheckContext(ctx);
   core::CRepairOptions opts;
   opts.eta = ctx->config.eta;
-  opts.matcher = ctx->config.matcher;
   opts.on_fix = JournalObserver(ctx, kName);
-  // Borrow the session's shared match environment when the pipeline provides
-  // one; a context assembled by hand (no Cleaner) falls back to the
-  // deprecated per-phase index build.
-  stats_ = ctx->match_env != nullptr
-               ? core::CRepair(ctx->data, *ctx->match_env, opts)
-               : core::CRepair(ctx->data, *ctx->master, *ctx->rules, opts);
+  stats_ = core::CRepair(ctx->data, *ctx->match_env, opts);
 
   PhaseStats out;
   out.fixes = stats_.deterministic_fixes;
@@ -72,11 +72,8 @@ Result<PhaseStats> ERepairPhase::Run(PipelineContext* ctx) {
   opts.delta1 = ctx->config.delta1;
   opts.delta2 = ctx->config.delta2;
   opts.eta = ctx->config.eta;
-  opts.matcher = ctx->config.matcher;
   opts.on_fix = JournalObserver(ctx, kName);
-  stats_ = ctx->match_env != nullptr
-               ? core::ERepair(ctx->data, *ctx->match_env, opts)
-               : core::ERepair(ctx->data, *ctx->master, *ctx->rules, opts);
+  stats_ = core::ERepair(ctx->data, *ctx->match_env, opts);
 
   PhaseStats out;
   out.fixes = stats_.reliable_fixes;
@@ -91,11 +88,8 @@ Result<PhaseStats> ERepairPhase::Run(PipelineContext* ctx) {
 Result<PhaseStats> HRepairPhase::Run(PipelineContext* ctx) {
   CheckContext(ctx);
   core::HRepairOptions opts;
-  opts.matcher = ctx->config.matcher;
   opts.on_fix = JournalObserver(ctx, kName);
-  stats_ = ctx->match_env != nullptr
-               ? core::HRepair(ctx->data, *ctx->match_env, opts)
-               : core::HRepair(ctx->data, *ctx->master, *ctx->rules, opts);
+  stats_ = core::HRepair(ctx->data, *ctx->match_env, opts);
 
   PhaseStats out;
   out.fixes = stats_.possible_fixes;

@@ -9,6 +9,11 @@
 //   auto session = (*engine)->NewSession();           // cheap, per request
 //   session.Run(&batch);
 //
+// Session::Run / Session::ApplyDelta are the canonical run surface; the
+// shim has no incremental story — for edits after a clean (inserts,
+// updates, deletes re-cleaned in sub-linear time) use
+// CleanEngine::NewTrackedSession and Session::ApplyDelta (session.h).
+//
 // CleanerBuilder is an alias of EngineBuilder; Build() produces the shim.
 //
 // Quickstart (unchanged):

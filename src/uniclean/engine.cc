@@ -34,6 +34,17 @@ Session CleanEngine::NewSession() const {
   return Session(shared_from_this(), std::move(phases));
 }
 
+Session CleanEngine::NewTrackedSession() const {
+  Session session = NewSession();
+  session.EnableDeltaTracking();
+  return session;
+}
+
+int CleanEngine::RefreshMasterIndexes() const {
+  environment();  // ensure built; past the call_once, env_ is stable
+  return env_->RefreshMasterAppend();
+}
+
 std::vector<std::string> CleanEngine::PhaseNames() const {
   // Factories are the source of truth; instantiate transiently for names.
   std::vector<std::string> names;

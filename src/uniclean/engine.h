@@ -63,6 +63,13 @@ class CleanEngine : public std::enable_shared_from_this<CleanEngine> {
   /// (a few small allocations); call per request in a serving loop.
   Session NewSession() const;
 
+  /// Like NewSession(), but with delta tracking armed: the session's one
+  /// Run() snapshots pristine state and builds violation-group indexes, and
+  /// Session::ApplyDelta then folds incremental inserts/updates/deletes in
+  /// without re-cleaning the whole relation (see session.h). Tracking costs
+  /// a clone of the cleaned relation plus O(|D|) index ids.
+  Session NewTrackedSession() const;
+
   /// Cleans every relation of the batch, each in its own Session, using a
   /// worker pool of `n_threads` threads (values < 2 run the batch serially
   /// on the calling thread — the reference arm). Returns one Result per
@@ -91,6 +98,17 @@ class CleanEngine : public std::enable_shared_from_this<CleanEngine> {
   /// the environment if it does not exist yet). Live counters; safe while
   /// sessions are running.
   core::MemoStats MemoStats() const { return environment().MemoStats(); }
+
+  /// Folds master tuples the caller appended (only possible with a
+  /// caller-owned master: WithMaster(const data::Relation*)) into the warm
+  /// match environment — equality indexes and suffix trees catch up, stale
+  /// match/blocking memos are dropped, similarity memos survive (see
+  /// core::MatchEnvironment::RefreshMasterAppend). Returns the number of
+  /// newly indexed master tuples. NOT safe while any Session is running:
+  /// callers must quiesce sessions first (the refresh invalidates memo
+  /// references and rewrites the indexes in place). Tracked sessions pick
+  /// the growth up on their next ApplyDelta.
+  int RefreshMasterIndexes() const;
 
   const data::Relation& master() const { return *master_; }
   const rules::RuleSet& rules() const { return *rules_; }

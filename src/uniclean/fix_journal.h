@@ -34,6 +34,12 @@ struct FixEntry {
   std::string phase;
   /// Name of the justifying rule; empty when no single rule is attributable.
   std::string rule;
+  /// Delta generation that produced this entry: 0 for the initial
+  /// Session::Run, g for the g-th Session::ApplyDelta. A tuple re-repaired
+  /// by a delta gets a fresh full set of generation-g entries; the entries
+  /// of earlier generations stay in the journal as history (see
+  /// Session::CanonicalJournal for the covering view).
+  int generation = 0;
 };
 
 class FixJournal {
@@ -47,6 +53,32 @@ class FixJournal {
   /// Number of entries recorded by the named phase.
   int CountForPhase(std::string_view phase) const;
 
+  /// Number of entries carrying the given delta generation.
+  int CountForGeneration(int generation) const;
+
+  /// The canonical fix set: the NET repair per cell, sorted by (tuple,
+  /// attr) with the generation normalized to 0. A cell rewritten several
+  /// times collapses to one entry from its first old value to its last new
+  /// value, attributed to the phase/rule that wrote the final value; a cell
+  /// whose chain nets to no change (churn a later entry undid) drops out
+  /// entirely. The (tuple, attribute, old, new) columns are evaluation-order
+  /// independent; phase/rule are *derivation* provenance and may legitimately
+  /// differ between two runs that net the same fixes (see
+  /// CanonicalFixSetCsv).
+  FixJournal Canonicalized() const;
+
+  /// The canonical fix set rendered as CSV WITHOUT the provenance columns:
+  /// header `tuple,attribute,old,new`, one row per Canonicalized() entry.
+  /// Which pipeline phase lands the final write for a cell depends on the
+  /// evaluation trajectory — e.g. a fix eRepair derives in a batch run may
+  /// fall through to hRepair in an incremental re-run whose sibling cells
+  /// took a different intermediate path — so provenance is not comparable
+  /// across runs. This rendering is the trajectory-independent invariant:
+  /// two journals that repaired the same cells to the same values produce
+  /// byte-identical strings, and it is what Session::ApplyDelta's
+  /// convergence guarantee pins.
+  std::string CanonicalFixSetCsv() const;
+
   /// (phase, count) pairs in order of each phase's first appearance.
   std::vector<std::pair<std::string, int>> CountsByPhase() const;
 
@@ -57,17 +89,22 @@ class FixJournal {
 
   /// RFC-4180 CSV with header `tuple,attribute,old,new,phase,rule`; nulls
   /// are rendered as \N like data/csv.h. Values containing commas, quotes or
-  /// newlines are quoted and round-trip exactly through ReadCsv.
+  /// newlines are quoted and round-trip exactly through ReadCsv. When any
+  /// entry carries a nonzero delta generation, a seventh `generation` column
+  /// is emitted (header `tuple,attribute,old,new,phase,rule,generation`);
+  /// journals from plain batch runs keep the historic 6-column format, so
+  /// existing golden files and downstream parsers are unaffected.
   Status WriteCsv(std::ostream& out) const;
   Status WriteCsvFile(const std::string& path) const;
 
-  /// Parses a journal previously serialized by WriteCsv. The CSV stores the
-  /// attribute by *name* only, so `attr` is -1 on every parsed entry (resolve
-  /// it against a schema if needed). Fails with Corruption on a malformed
-  /// header, arity mismatch, or non-integer tuple id. Caveat shared with
-  /// data/csv.h's relation format: a value whose *text* equals the null
-  /// token (the two characters `\N`) is indistinguishable from null in the
-  /// serialization and reads back as null.
+  /// Parses a journal previously serialized by WriteCsv (either header
+  /// variant; generation reads back as 0 for 6-column journals). The CSV
+  /// stores the attribute by *name* only, so `attr` is -1 on every parsed
+  /// entry (resolve it against a schema if needed). Fails with Corruption on
+  /// a malformed header, arity mismatch, or non-integer tuple id. Caveat
+  /// shared with data/csv.h's relation format: a value whose *text* equals
+  /// the null token (the two characters `\N`) is indistinguishable from null
+  /// in the serialization and reads back as null.
   static Result<FixJournal> ReadCsv(std::istream& in);
   static Result<FixJournal> ReadCsvFile(const std::string& path);
 

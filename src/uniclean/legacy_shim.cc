@@ -1,11 +1,11 @@
-// core::UniClean as a thin compatibility shim over the Cleaner façade. The
-// definition lives here (not in src/core/) because the shim depends on the
-// façade, which layers above core. Same phase order, same options plumbing,
-// same statistics as the historic free function — with one deliberate
-// difference: configuration the builder rejects (e.g. η outside [0, 1],
-// which historically just meant "no cell is asserted") now aborts via
-// UC_CHECK, since this API has no error channel. Callers needing validated
-// configuration should use CleanerBuilder directly.
+// core::UniClean as a thin compatibility shim over CleanEngine + Session.
+// The definition lives here (not in src/core/) because the shim depends on
+// the façade, which layers above core. Same phase order, same options
+// plumbing, same statistics as the historic free function — with one
+// deliberate difference: configuration the builder rejects (e.g. η outside
+// [0, 1], which historically just meant "no cell is asserted") now aborts
+// via UC_CHECK, since this API has no error channel. Callers needing
+// validated configuration should use EngineBuilder directly.
 
 #include <memory>
 #include <utility>
@@ -14,7 +14,7 @@
 #include "common/check.h"
 #include "core/uniclean.h"
 #include "uniclean/builtin_phases.h"
-#include "uniclean/cleaner.h"
+#include "uniclean/engine.h"
 
 namespace uniclean {
 namespace core {
@@ -24,49 +24,57 @@ UniCleanReport UniClean(data::Relation* d, const data::Relation& dm,
                         const UniCleanOptions& options) {
   UC_CHECK(d != nullptr);
 
-  // Assemble the phase list by hand (rather than WithDefaultPhases) to keep
-  // handles on the concrete phases: the legacy report exposes their typed
-  // engine statistics.
-  std::vector<std::unique_ptr<Phase>> phases;
-  CRepairPhase* crepair = nullptr;
-  ERepairPhase* erepair = nullptr;
-  HRepairPhase* hrepair = nullptr;
+  // The engine stamps phases out of factories; keep handles on the single
+  // session's concrete instances through shared holders, because the legacy
+  // report exposes their typed engine statistics.
+  auto crepair = std::make_shared<CRepairPhase*>(nullptr);
+  auto erepair = std::make_shared<ERepairPhase*>(nullptr);
+  auto hrepair = std::make_shared<HRepairPhase*>(nullptr);
+  std::vector<PhaseFactory> factories;
   if (options.run_crepair) {
-    auto phase = std::make_unique<CRepairPhase>();
-    crepair = phase.get();
-    phases.push_back(std::move(phase));
+    factories.push_back([crepair] {
+      auto phase = std::make_unique<CRepairPhase>();
+      *crepair = phase.get();
+      return phase;
+    });
   }
   if (options.run_erepair) {
-    auto phase = std::make_unique<ERepairPhase>();
-    erepair = phase.get();
-    phases.push_back(std::move(phase));
+    factories.push_back([erepair] {
+      auto phase = std::make_unique<ERepairPhase>();
+      *erepair = phase.get();
+      return phase;
+    });
   }
   if (options.run_hrepair) {
-    auto phase = std::make_unique<HRepairPhase>();
-    hrepair = phase.get();
-    phases.push_back(std::move(phase));
+    factories.push_back([hrepair] {
+      auto phase = std::make_unique<HRepairPhase>();
+      *hrepair = phase.get();
+      return phase;
+    });
   }
 
-  Result<Cleaner> cleaner = CleanerBuilder()
-                                .WithData(d)
-                                .WithMaster(&dm)
-                                .WithRules(&ruleset)
-                                .WithEta(options.eta)
-                                .WithDelta1(options.delta1)
-                                .WithDelta2(options.delta2)
-                                .WithMatcherOptions(options.matcher)
-                                .WithPhases(std::move(phases))
-                                .Build();
+  Result<std::shared_ptr<CleanEngine>> engine =
+      EngineBuilder()
+          .WithDataSchema(d->schema_ptr())
+          .WithMaster(&dm)
+          .WithRules(&ruleset)
+          .WithEta(options.eta)
+          .WithDelta1(options.delta1)
+          .WithDelta2(options.delta2)
+          .WithMatcherOptions(options.matcher)
+          .WithPhaseFactories(std::move(factories))
+          .BuildEngine();
   // The legacy API has no error channel; configuration errors remain
   // programming errors here, as they were before the façade existed.
-  UC_CHECK(cleaner.ok()) << cleaner.status().ToString();
-  Result<CleanResult> result = cleaner->Run();
+  UC_CHECK(engine.ok()) << engine.status().ToString();
+  Session session = (*engine)->NewSession();
+  Result<CleanResult> result = session.Run(d);
   UC_CHECK(result.ok()) << result.status().ToString();
 
   UniCleanReport report;
-  if (crepair != nullptr) report.crepair = crepair->stats();
-  if (erepair != nullptr) report.erepair = erepair->stats();
-  if (hrepair != nullptr) report.hrepair = hrepair->stats();
+  if (*crepair != nullptr) report.crepair = (*crepair)->stats();
+  if (*erepair != nullptr) report.erepair = (*erepair)->stats();
+  if (*hrepair != nullptr) report.hrepair = (*hrepair)->stats();
   return report;
 }
 

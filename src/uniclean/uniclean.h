@@ -20,8 +20,22 @@
 //   // cleaner->data() is now consistent; result->journal records every
 //   // repaired cell with its phase and justifying rule.
 //
+// For long-lived or concurrent use the canonical surface is CleanEngine +
+// Session (uniclean/engine.h, uniclean/session.h): build the engine once,
+// stamp out a Session per run. Incremental cleaning rides on the same pair —
+// a tracked session re-cleans only the tuples an edit can affect:
+//
+//   auto engine = EngineBuilder()... .BuildEngine();  // shared, immutable
+//   Session session = (*engine)->NewTrackedSession();
+//   session.Run(&d);                           // batch clean + group indexes
+//   Delta delta;
+//   delta.updates.emplace_back(tuple_id, edited_tuple);
+//   auto dr = session.ApplyDelta(delta);       // Result<DeltaResult>
+//   FixJournal canon = session.CanonicalJournal();
+//
 // The historic entry point core::UniClean(...) (core/uniclean.h) remains
-// available as a compatibility shim over the façade.
+// available as a compatibility shim over the façade; Cleaner::Run is
+// likewise a shim over a single engine + session.
 
 #ifndef UNICLEAN_UNICLEAN_UNICLEAN_H_
 #define UNICLEAN_UNICLEAN_UNICLEAN_H_

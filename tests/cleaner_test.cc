@@ -198,13 +198,14 @@ TEST(CleanerTest, RunsPaperExampleAndJournalsEveryFix) {
                           uniclean::testing::CardSchema());
   ASSERT_TRUE(rules.ok());
   Relation master = uniclean::testing::CardMaster();
+  core::MatchEnvironment env(rules.value(), master);
   core::CRepairOptions copts;
   copts.eta = 0.8;
-  auto cstats = core::CRepair(&reference, master, rules.value(), copts);
+  auto cstats = core::CRepair(&reference, env, copts);
   core::ERepairOptions eopts;
   eopts.eta = 0.8;
-  auto estats = core::ERepair(&reference, master, rules.value(), eopts);
-  auto hstats = core::HRepair(&reference, master, rules.value(), {});
+  auto estats = core::ERepair(&reference, env, eopts);
+  auto hstats = core::HRepair(&reference, env, {});
 
   // Same repaired relation, and per-phase journal counts equal to the
   // engines' fix counts.

@@ -46,4 +46,33 @@ if(report_size EQUAL 0)
   message(FATAL_ERROR "repair report fixes.txt is empty — the cleaner fixed nothing:\n${cli_out}")
 endif()
 
+# Incremental path: replay a few dirty rows as a post-batch insert stream.
+file(STRINGS "${WORK_DIR}/dirty.csv" dirty_lines)
+list(GET dirty_lines 0 header)
+list(GET dirty_lines 1 row1)
+list(GET dirty_lines 2 row2)
+file(WRITE "${WORK_DIR}/edits.csv" "${header}\n${row1}\n${row2}\n")
+
+execute_process(
+  COMMAND "${CLI}"
+    --data "${WORK_DIR}/dirty.csv"
+    --master "${WORK_DIR}/master.csv"
+    --rules "${WORK_DIR}/rules.txt"
+    --confidence "${WORK_DIR}/confidence.csv"
+    --out "${WORK_DIR}/repaired_delta.csv"
+    --delta "${WORK_DIR}/edits.csv"
+  RESULT_VARIABLE delta_rc
+  OUTPUT_VARIABLE delta_out
+  ERROR_VARIABLE delta_err
+)
+if(NOT delta_rc EQUAL 0)
+  message(FATAL_ERROR "uniclean_cli --delta failed (rc=${delta_rc}):\n${delta_out}\n${delta_err}")
+endif()
+if(NOT delta_out MATCHES "delta: 2 inserts")
+  message(FATAL_ERROR "uniclean_cli --delta did not report the insert stream:\n${delta_out}")
+endif()
+if(NOT EXISTS "${WORK_DIR}/repaired_delta.csv")
+  message(FATAL_ERROR "uniclean_cli --delta did not write repaired_delta.csv:\n${delta_out}")
+endif()
+
 message(STATUS "cli_smoke_test OK: report has ${report_size} bytes")

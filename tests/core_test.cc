@@ -34,6 +34,29 @@ RuleSet MakeRules(const std::string& text, SchemaPtr schema,
   return std::move(rs).value();
 }
 
+// Test-local shims with the historic (d, dm, ruleset, options) signature.
+// They build a throwaway MatchEnvironment per call (honoring
+// options.matcher), standing in for the retired env-less free functions so
+// the single-phase tests below stay terse. Production code should build one
+// environment and reuse it — see core/match_environment.h.
+CRepairStats TestCRepair(Relation* d, const Relation& dm, const RuleSet& ruleset,
+                     const CRepairOptions& options = {}) {
+  MatchEnvironment env(ruleset, dm, options.matcher);
+  return core::CRepair(d, env, options);
+}
+
+ERepairStats TestERepair(Relation* d, const Relation& dm, const RuleSet& ruleset,
+                     const ERepairOptions& options = {}) {
+  MatchEnvironment env(ruleset, dm, options.matcher);
+  return core::ERepair(d, env, options);
+}
+
+HRepairStats TestHRepair(Relation* d, const Relation& dm, const RuleSet& ruleset,
+                     const HRepairOptions& options = {}) {
+  MatchEnvironment env(ruleset, dm, options.matcher);
+  return core::HRepair(d, env, options);
+}
+
 // ---------------------------------------------------------------------------
 // MdMatcher
 // ---------------------------------------------------------------------------
@@ -148,7 +171,7 @@ TEST_F(CRepairPaperTest, Example52RestrictedRules) {
       schema_, uniclean::testing::CardSchema());
   CRepairOptions opts;
   opts.eta = 0.8;
-  CRepairStats stats = CRepair(&d_, dm_, rs, opts);
+  CRepairStats stats = TestCRepair(&d_, dm_, rs, opts);
 
   // Step (3): deterministic fix t1[city] := Edi, confidence upgraded to η.
   EXPECT_EQ(d_.tuple(0).value(A("city")), Value("Edi"));
@@ -170,7 +193,7 @@ TEST_F(CRepairPaperTest, FullPaperRules) {
   auto rs = uniclean::testing::PaperRuleSet();
   CRepairOptions opts;
   opts.eta = 0.8;
-  CRepairStats stats = CRepair(&d_, dm_, rs, opts);
+  CRepairStats stats = TestCRepair(&d_, dm_, rs, opts);
   // t1: city and phn fixed; FN stays "M." (asserted at 0.9).
   EXPECT_EQ(d_.tuple(0).value(A("city")), Value("Edi"));
   EXPECT_EQ(d_.tuple(0).value(A("phn")), Value("3256778"));
@@ -198,7 +221,7 @@ TEST_F(CRepairPaperTest, NoAssertionsNoFixes) {
   CRepairOptions opts;
   opts.eta = 1.5;
   Relation before = d_.Clone();
-  CRepairStats stats = CRepair(&d_, dm_, rs, opts);
+  CRepairStats stats = TestCRepair(&d_, dm_, rs, opts);
   EXPECT_EQ(stats.deterministic_fixes, 0);
   EXPECT_EQ(d_.CellDiffCount(before), 0);
 }
@@ -209,8 +232,8 @@ TEST_F(CRepairPaperTest, BlockingAndBruteForceAgree) {
   CRepairOptions fast;
   CRepairOptions brute;
   brute.matcher.use_blocking = false;
-  CRepair(&d_, dm_, rs, fast);
-  CRepair(&d2, dm_, rs, brute);
+  TestCRepair(&d_, dm_, rs, fast);
+  TestCRepair(&d2, dm_, rs, brute);
   EXPECT_EQ(d_.CellDiffCount(d2), 0);
 }
 
@@ -244,7 +267,7 @@ TEST(ERepairTest, Example62) {
   Relation dm(master);
   ERepairOptions opts;
   opts.delta2 = 0.9;  // group (a1,b1,c1) has H ≈ 0.81 < 0.9 <= H = 1 of (a2,b2,c2)
-  ERepairStats stats = ERepair(&d, dm, rs, opts);
+  ERepairStats stats = TestERepair(&d, dm, rs, opts);
   // Only t4[E] is changed (to e1), marked reliable.
   EXPECT_EQ(d.tuple(3).value(3), Value("e1"));
   EXPECT_EQ(d.tuple(3).mark(3), FixMark::kReliable);
@@ -270,7 +293,7 @@ TEST(ERepairTest, RespectsDeterministicFixesAndAssertedCells) {
   Relation dm(master);
   ERepairOptions opts;
   opts.delta2 = 0.95;
-  ERepair(&d, dm, rs, opts);
+  TestERepair(&d, dm, rs, opts);
   EXPECT_EQ(d.tuple(2).value(1), Value("bad1"));  // untouched
   EXPECT_EQ(d.tuple(3).value(1), Value("bad2"));  // untouched
 }
@@ -286,7 +309,7 @@ TEST(ERepairTest, UpdateThresholdBoundsRewrites) {
   Relation dm(master);
   ERepairOptions opts;
   opts.delta1 = 4;
-  ERepairStats stats = ERepair(&d, dm, rs, opts);
+  ERepairStats stats = TestERepair(&d, dm, rs, opts);
   EXPECT_EQ(stats.reliable_fixes, 4);  // exactly δ1 rewrites
 }
 
@@ -296,8 +319,8 @@ TEST(ERepairTest, StandardizesUnassertedCellsButProtectsAssertedOnes) {
   Relation dm = uniclean::testing::CardMaster();
   auto schema = uniclean::testing::TranSchema();
   // Run after cRepair so premises (e.g. t3's city) are repaired.
-  CRepair(&d, dm, rs, {});
-  ERepairStats stats = ERepair(&d, dm, rs, {});
+  TestCRepair(&d, dm, rs, {});
+  ERepairStats stats = TestERepair(&d, dm, rs, {});
   // eRepair standardizes t3[FN] via the constant CFD ϕ4 (cf 0.6 < η).
   EXPECT_EQ(d.tuple(2).value(schema->MustFindAttribute("FN")),
             Value("Robert"));
@@ -319,8 +342,8 @@ TEST(ERepairTest, MdResolveFixesUnassertedCellsFromMaster) {
   Relation dm = uniclean::testing::CardMaster();
   auto schema = uniclean::testing::TranSchema();
   d.mutable_tuple(2).set_confidence(schema->MustFindAttribute("phn"), 0.5);
-  CRepair(&d, dm, rs, {});
-  ERepair(&d, dm, rs, {});
+  TestCRepair(&d, dm, rs, {});
+  TestERepair(&d, dm, rs, {});
   EXPECT_EQ(d.tuple(2).value(schema->MustFindAttribute("phn")),
             Value("3887644"));
   EXPECT_EQ(d.tuple(2).mark(schema->MustFindAttribute("phn")),
@@ -335,7 +358,7 @@ TEST(HRepairTest, ProducesConsistentRepairOnPaperData) {
   auto rs = uniclean::testing::PaperRuleSet();
   Relation d = uniclean::testing::TranDirty();
   Relation dm = uniclean::testing::CardMaster();
-  HRepairStats stats = HRepair(&d, dm, rs, {});
+  HRepairStats stats = TestHRepair(&d, dm, rs, {});
   EXPECT_EQ(stats.anomalies, 0);
   EXPECT_EQ(rules::CountViolations(d, dm, rs), 0u);
 }
@@ -345,9 +368,9 @@ TEST(HRepairTest, Example72AfterFirstTwoPhases) {
   auto schema = uniclean::testing::TranSchema();
   Relation d = uniclean::testing::TranDirty();
   Relation dm = uniclean::testing::CardMaster();
-  CRepair(&d, dm, rs, {});
-  ERepair(&d, dm, rs, {});
-  HRepairStats stats = HRepair(&d, dm, rs, {});
+  TestCRepair(&d, dm, rs, {});
+  TestERepair(&d, dm, rs, {});
+  HRepairStats stats = TestHRepair(&d, dm, rs, {});
   EXPECT_EQ(stats.anomalies, 0);
   EXPECT_EQ(rules::CountViolations(d, dm, rs), 0u);
   // Example 7.2 outcomes: t3[FN] = Robert, t3[phn] = master tel, and
@@ -366,7 +389,7 @@ TEST(HRepairTest, PreservesDeterministicFixes) {
   auto rs = uniclean::testing::PaperRuleSet();
   Relation d = uniclean::testing::TranDirty();
   Relation dm = uniclean::testing::CardMaster();
-  CRepair(&d, dm, rs, {});
+  TestCRepair(&d, dm, rs, {});
   // Record the deterministic cells.
   std::vector<std::pair<int, int>> det_cells;
   std::vector<Value> det_values;
@@ -379,7 +402,7 @@ TEST(HRepairTest, PreservesDeterministicFixes) {
     }
   }
   ASSERT_FALSE(det_cells.empty());
-  HRepair(&d, dm, rs, {});
+  TestHRepair(&d, dm, rs, {});
   for (size_t i = 0; i < det_cells.size(); ++i) {
     auto [t, a] = det_cells[i];
     EXPECT_EQ(d.tuple(t).value(a), det_values[i]) << "cell " << t << "," << a;
@@ -448,7 +471,7 @@ TEST(UniCleanTest, PhaseTogglesMatchIndividualRuns) {
   only_c.run_erepair = false;
   only_c.run_hrepair = false;
   UniClean(&a, dm, rs, only_c);
-  CRepair(&b, dm, rs, {});
+  TestCRepair(&b, dm, rs, {});
   EXPECT_EQ(a.CellDiffCount(b), 0);
 }
 

@@ -26,6 +26,16 @@ rules::RuleSet MakeRules(const std::string& text, SchemaPtr schema,
   return std::move(rs).value();
 }
 
+// Test-local shim with the historic (d, dm, ruleset, options) signature: a
+// throwaway MatchEnvironment per call, replacing the retired env-less entry
+// point.
+CRepairStats TestCRepair(Relation* d, const Relation& dm,
+                     const rules::RuleSet& ruleset,
+                     const CRepairOptions& options = {}) {
+  MatchEnvironment env(ruleset, dm, options.matcher);
+  return core::CRepair(d, env, options);
+}
+
 /// Builds a tuple with given values and confidences.
 void AddRow(Relation* d, const std::vector<std::string>& values,
             const std::vector<double>& cf) {
@@ -51,7 +61,7 @@ TEST_F(CRepairUnit, UnconditionalConstantRuleFiresWithoutPremise) {
   auto rs = MakeRules("CFD c: -> B='std'\n", schema_, master_);
   Relation d(schema_);
   AddRow(&d, {"a", "other", "c"}, {0.0, 0.0, 0.0});
-  CRepairStats stats = CRepair(&d, dm_, rs, opts_);
+  CRepairStats stats = TestCRepair(&d, dm_, rs, opts_);
   EXPECT_EQ(stats.deterministic_fixes, 1);
   EXPECT_EQ(d.tuple(0).value(1), Value("std"));
   EXPECT_EQ(d.tuple(0).mark(1), FixMark::kDeterministic);
@@ -62,7 +72,7 @@ TEST_F(CRepairUnit, ConstantRuleRequiresAssertedPremise) {
   auto rs = MakeRules("CFD c: A='1' -> B='x'\n", schema_, master_);
   Relation d(schema_);
   AddRow(&d, {"1", "wrong", "c"}, {0.5, 0.0, 0.0});  // premise below η
-  CRepairStats stats = CRepair(&d, dm_, rs, opts_);
+  CRepairStats stats = TestCRepair(&d, dm_, rs, opts_);
   EXPECT_EQ(stats.deterministic_fixes, 0);
   EXPECT_EQ(d.tuple(0).value(1), Value("wrong"));
 }
@@ -71,7 +81,7 @@ TEST_F(CRepairUnit, AssertedTargetIsNeverOverwritten) {
   auto rs = MakeRules("CFD c: A='1' -> B='x'\n", schema_, master_);
   Relation d(schema_);
   AddRow(&d, {"1", "wrong", "c"}, {0.9, 0.9, 0.0});  // target asserted
-  CRepairStats stats = CRepair(&d, dm_, rs, opts_);
+  CRepairStats stats = TestCRepair(&d, dm_, rs, opts_);
   EXPECT_EQ(stats.deterministic_fixes, 0);
   EXPECT_EQ(stats.conflicts, 1);  // asserted value contradicts the rule
   EXPECT_EQ(d.tuple(0).value(1), Value("wrong"));
@@ -89,7 +99,7 @@ TEST_F(CRepairUnit, DonorArrivingLateStillFixesWaitingTuples) {
   Relation d(schema_);
   AddRow(&d, {"g", "junk", "x"}, {0.9, 0.0, 0.0});      // t0: waits
   AddRow(&d, {"g", "stale", "seed"}, {0.9, 0.0, 0.9});  // t1: donor via k
-  CRepairStats stats = CRepair(&d, dm_, rs, opts_);
+  CRepairStats stats = TestCRepair(&d, dm_, rs, opts_);
   EXPECT_EQ(d.tuple(1).value(1), Value("donor-value"));
   EXPECT_EQ(d.tuple(0).value(1), Value("donor-value"));
   EXPECT_EQ(d.tuple(0).mark(1), FixMark::kDeterministic);
@@ -101,7 +111,7 @@ TEST_F(CRepairUnit, TwoAssertedDonorsWithDifferentValuesCountConflict) {
   Relation d(schema_);
   AddRow(&d, {"g", "v1", "c"}, {0.9, 0.9, 0.0});
   AddRow(&d, {"g", "v2", "c"}, {0.9, 0.9, 0.0});  // asserted disagreement
-  CRepairStats stats = CRepair(&d, dm_, rs, opts_);
+  CRepairStats stats = TestCRepair(&d, dm_, rs, opts_);
   EXPECT_GE(stats.conflicts, 1);
   // Neither asserted cell is modified.
   EXPECT_EQ(d.tuple(0).value(1), Value("v1"));
@@ -114,7 +124,7 @@ TEST_F(CRepairUnit, ConfidenceUpgradeWithoutValueChange) {
   auto rs = MakeRules("CFD c: A='1' -> B='x'\n", schema_, master_);
   Relation d(schema_);
   AddRow(&d, {"1", "x", "c"}, {0.9, 0.3, 0.0});
-  CRepairStats stats = CRepair(&d, dm_, rs, opts_);
+  CRepairStats stats = TestCRepair(&d, dm_, rs, opts_);
   EXPECT_EQ(stats.deterministic_fixes, 0);
   EXPECT_EQ(stats.confidence_upgrades, 1);
   EXPECT_DOUBLE_EQ(d.tuple(0).confidence(1), opts_.eta);
@@ -128,7 +138,7 @@ TEST_F(CRepairUnit, UpgradeCascadesThroughRuleChain) {
                       schema_, master_);
   Relation d(schema_);
   AddRow(&d, {"1", "junk", "junk"}, {0.9, 0.0, 0.0});
-  CRepairStats stats = CRepair(&d, dm_, rs, opts_);
+  CRepairStats stats = TestCRepair(&d, dm_, rs, opts_);
   EXPECT_EQ(stats.deterministic_fixes, 2);
   EXPECT_EQ(d.tuple(0).value(1), Value("2"));
   EXPECT_EQ(d.tuple(0).value(2), Value("3"));
@@ -139,12 +149,12 @@ TEST_F(CRepairUnit, MdPremiseMustBeFullyAsserted) {
   dm_.AddRow({"key", "master-b"}, 1.0);
   Relation d(schema_);
   AddRow(&d, {"key", "junk", "c"}, {0.5, 0.0, 0.0});  // A below η
-  CRepairStats stats = CRepair(&d, dm_, rs, opts_);
+  CRepairStats stats = TestCRepair(&d, dm_, rs, opts_);
   EXPECT_EQ(stats.deterministic_fixes, 0);
   AddRow(&d, {"key", "junk", "c"}, {0.9, 0.0, 0.0});  // A asserted
   Relation d2(schema_);
   AddRow(&d2, {"key", "junk", "c"}, {0.9, 0.0, 0.0});
-  CRepairStats stats2 = CRepair(&d2, dm_, rs, opts_);
+  CRepairStats stats2 = TestCRepair(&d2, dm_, rs, opts_);
   EXPECT_EQ(stats2.deterministic_fixes, 1);
   EXPECT_EQ(d2.tuple(0).value(1), Value("master-b"));
   ASSERT_EQ(stats2.md_matches.size(), 1u);
@@ -159,7 +169,7 @@ TEST_F(CRepairUnit, EachCellFixedAtMostOnce) {
                       schema_, master_);
   Relation d(schema_);
   AddRow(&d, {"1", "junk", "1"}, {0.9, 0.0, 0.9});
-  CRepairStats stats = CRepair(&d, dm_, rs, opts_);
+  CRepairStats stats = TestCRepair(&d, dm_, rs, opts_);
   EXPECT_EQ(stats.deterministic_fixes, 1);
   EXPECT_EQ(stats.conflicts, 1);
   const Value& b = d.tuple(0).value(1);
@@ -170,7 +180,7 @@ TEST_F(CRepairUnit, PatternMismatchDespiteAssertedPremiseIsNoOp) {
   auto rs = MakeRules("CFD c: A='1' -> B='x'\n", schema_, master_);
   Relation d(schema_);
   AddRow(&d, {"2", "junk", "c"}, {0.9, 0.0, 0.0});  // asserted but A != '1'
-  CRepairStats stats = CRepair(&d, dm_, rs, opts_);
+  CRepairStats stats = TestCRepair(&d, dm_, rs, opts_);
   EXPECT_EQ(stats.deterministic_fixes, 0);
   EXPECT_EQ(stats.conflicts, 0);
 }

@@ -1,0 +1,462 @@
+// Incremental cleaning (Session::ApplyDelta): the convergence contract —
+// streaming edits through a tracked session yields the same repaired cells
+// and the same canonical fix set as one cold batch run over the final
+// relation — plus the edge cases around it: batched edits, updates,
+// deletes/tombstones, fresh violation groups, master growth, no-op deltas,
+// validation atomicity, and concurrent tracked sessions (the TSan target).
+
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/relation.h"
+#include "data/value.h"
+#include "gen/dataset.h"
+#include "uniclean/engine.h"
+#include "uniclean/session.h"
+
+namespace uniclean {
+namespace {
+
+gen::Dataset MakeDataset(const std::string& name, uint64_t seed,
+                         int num_tuples = 220) {
+  gen::GeneratorConfig config;
+  config.num_tuples = num_tuples;
+  config.master_size = 120;
+  config.noise_rate = 0.06;
+  config.dup_rate = 0.4;
+  config.asserted_rate = 0.4;
+  config.seed = seed;
+  if (name == "HOSP") return gen::GenerateHosp(config);
+  if (name == "DBLP") return gen::GenerateDblp(config);
+  return gen::GenerateTpch(config);
+}
+
+std::shared_ptr<CleanEngine> MakeEngine(const gen::Dataset& ds,
+                                        const data::Relation* master =
+                                            nullptr) {
+  auto engine = EngineBuilder()
+                    .WithDataSchema(ds.dirty.schema_ptr())
+                    .WithMaster(master != nullptr ? master : &ds.master)
+                    .WithRules(&ds.rules)
+                    .WithEta(1.0)
+                    .BuildEngine();
+  EXPECT_TRUE(engine.ok()) << engine.status().ToString();
+  return std::move(engine).value();
+}
+
+/// Full canonical CSV including phase/rule provenance. Only comparable
+/// between journals that took the SAME derivation path (no-op deltas,
+/// replayed streams); cross-run convergence pins use CanonicalFixSetCsv,
+/// because which phase lands the final write is trajectory-dependent.
+std::string CanonicalCsv(const FixJournal& journal) {
+  std::ostringstream out;
+  EXPECT_TRUE(journal.Canonicalized().WriteCsv(out).ok());
+  return out.str();
+}
+
+/// Cell diff over live tuples only (tombstoned slots retain whatever bytes
+/// they died with, which legitimately differs between an incremental and a
+/// batch history).
+int LiveCellDiff(const data::Relation& a, const data::Relation& b) {
+  EXPECT_EQ(a.size(), b.size());
+  int diff = 0;
+  for (data::TupleId t = 0; t < a.size(); ++t) {
+    EXPECT_EQ(a.live(t), b.live(t)) << "tombstones disagree at " << t;
+    if (!a.live(t) || !b.live(t)) continue;
+    for (data::AttributeId at = 0; at < a.schema().arity(); ++at) {
+      if (a.tuple(t).value(at) != b.tuple(t).value(at)) ++diff;
+    }
+  }
+  return diff;
+}
+
+/// Batch-cleans `relation` in place with a fresh tracked session and
+/// returns the canonical fix-set CSV (the convergence invariant).
+std::string BatchFixSetCsv(const std::shared_ptr<CleanEngine>& engine,
+                           data::Relation* relation) {
+  Session session = engine->NewTrackedSession();
+  auto run = session.Run(relation);
+  EXPECT_TRUE(run.ok()) << run.status().ToString();
+  return session.CanonicalJournal().CanonicalFixSetCsv();
+}
+
+// --- The convergence pin: N single-tuple inserts == one batch run. --------
+
+class DeltaConvergenceTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(DeltaConvergenceTest, StreamedInsertsConvergeToBatch) {
+  gen::Dataset ds = MakeDataset(GetParam(), /*seed=*/42);
+  auto engine = MakeEngine(ds);
+
+  constexpr int kHeld = 5;
+  data::Relation incremental(ds.dirty.schema_ptr());
+  for (data::TupleId t = 0; t < ds.dirty.size() - kHeld; ++t) {
+    incremental.AddTuple(ds.dirty.tuple(t));
+  }
+
+  Session session = engine->NewTrackedSession();
+  auto initial = session.Run(&incremental);
+  ASSERT_TRUE(initial.ok()) << initial.status().ToString();
+  EXPECT_EQ(session.generation(), 0);
+
+  for (int k = 0; k < kHeld; ++k) {
+    Delta delta;
+    delta.inserts.push_back(ds.dirty.tuple(ds.dirty.size() - kHeld + k));
+    auto dr = session.ApplyDelta(delta);
+    ASSERT_TRUE(dr.ok()) << dr.status().ToString();
+    EXPECT_EQ(dr->generation, k + 1);
+    ASSERT_EQ(dr->inserted_ids.size(), 1u);
+    EXPECT_EQ(dr->inserted_ids[0], ds.dirty.size() - kHeld + k);
+    EXPECT_GE(dr->affected, 1);
+    EXPECT_GE(dr->refinement_rounds, 1);
+  }
+  EXPECT_EQ(session.generation(), kHeld);
+
+  data::Relation batch = ds.dirty.Clone();
+  const std::string batch_csv = BatchFixSetCsv(engine, &batch);
+  EXPECT_EQ(LiveCellDiff(incremental, batch), 0);
+  EXPECT_EQ(session.CanonicalJournal().CanonicalFixSetCsv(), batch_csv);
+}
+
+TEST_P(DeltaConvergenceTest, OneBatchedDeltaConvergesToBatch) {
+  gen::Dataset ds = MakeDataset(GetParam(), /*seed=*/7);
+  auto engine = MakeEngine(ds);
+
+  constexpr int kHeld = 5;
+  data::Relation incremental(ds.dirty.schema_ptr());
+  for (data::TupleId t = 0; t < ds.dirty.size() - kHeld; ++t) {
+    incremental.AddTuple(ds.dirty.tuple(t));
+  }
+
+  Session session = engine->NewTrackedSession();
+  ASSERT_TRUE(session.Run(&incremental).ok());
+
+  Delta delta;
+  for (int k = 0; k < kHeld; ++k) {
+    delta.inserts.push_back(ds.dirty.tuple(ds.dirty.size() - kHeld + k));
+  }
+  auto dr = session.ApplyDelta(delta);
+  ASSERT_TRUE(dr.ok()) << dr.status().ToString();
+  EXPECT_EQ(dr->generation, 1);
+  EXPECT_EQ(dr->inserted_ids.size(), static_cast<size_t>(kHeld));
+
+  data::Relation batch = ds.dirty.Clone();
+  const std::string batch_csv = BatchFixSetCsv(engine, &batch);
+  EXPECT_EQ(LiveCellDiff(incremental, batch), 0);
+  EXPECT_EQ(session.CanonicalJournal().CanonicalFixSetCsv(), batch_csv);
+}
+
+INSTANTIATE_TEST_SUITE_P(Datasets, DeltaConvergenceTest,
+                         ::testing::Values("HOSP", "DBLP", "TPCH"));
+
+// --- Updates --------------------------------------------------------------
+
+TEST(DeltaTest, ResolvingUpdateConvergesToBatch) {
+  gen::Dataset ds = MakeDataset("HOSP", /*seed=*/11);
+  auto engine = MakeEngine(ds);
+
+  data::Relation incremental = ds.dirty.Clone();
+  Session session = engine->NewTrackedSession();
+  ASSERT_TRUE(session.Run(&incremental).ok());
+
+  // A curator hand-corrects tuple 3 to its ground-truth content.
+  const data::TupleId target = 3;
+  Delta delta;
+  delta.updates.emplace_back(target, ds.clean.tuple(target));
+  auto dr = session.ApplyDelta(delta);
+  ASSERT_TRUE(dr.ok()) << dr.status().ToString();
+  EXPECT_GE(dr->affected, 1);
+
+  data::Relation batch = ds.dirty.Clone();
+  batch.mutable_tuple(target) = ds.clean.tuple(target);
+  const std::string batch_csv = BatchFixSetCsv(engine, &batch);
+  EXPECT_EQ(LiveCellDiff(incremental, batch), 0);
+  EXPECT_EQ(session.CanonicalJournal().CanonicalFixSetCsv(), batch_csv);
+}
+
+// --- Deletes and tombstones ----------------------------------------------
+
+TEST(DeltaTest, DeleteThenReinsertConvergesToBatch) {
+  gen::Dataset ds = MakeDataset("HOSP", /*seed=*/23);
+  auto engine = MakeEngine(ds);
+
+  data::Relation incremental = ds.dirty.Clone();
+  Session session = engine->NewTrackedSession();
+  ASSERT_TRUE(session.Run(&incremental).ok());
+
+  const data::TupleId victim = 2;
+  {
+    Delta delta;
+    delta.deletes.push_back(victim);
+    auto dr = session.ApplyDelta(delta);
+    ASSERT_TRUE(dr.ok()) << dr.status().ToString();
+    EXPECT_FALSE(incremental.live(victim));
+  }
+  {
+    // The same content comes back as a fresh row: ids are never recycled,
+    // so it must land under a new id and re-clean like any insert.
+    Delta delta;
+    delta.inserts.push_back(ds.dirty.tuple(victim));
+    auto dr = session.ApplyDelta(delta);
+    ASSERT_TRUE(dr.ok()) << dr.status().ToString();
+    ASSERT_EQ(dr->inserted_ids.size(), 1u);
+    EXPECT_EQ(dr->inserted_ids[0], ds.dirty.size());
+  }
+
+  data::Relation batch = ds.dirty.Clone();
+  batch.EraseTuple(victim);
+  batch.AddTuple(ds.dirty.tuple(victim));
+  const std::string batch_csv = BatchFixSetCsv(engine, &batch);
+  EXPECT_EQ(LiveCellDiff(incremental, batch), 0);
+  EXPECT_EQ(session.CanonicalJournal().CanonicalFixSetCsv(), batch_csv);
+}
+
+// --- Fresh violation group ------------------------------------------------
+
+TEST(DeltaTest, InsertIntoFreshViolationGroupStaysScoped) {
+  gen::Dataset ds = MakeDataset("HOSP", /*seed=*/31);
+  auto engine = MakeEngine(ds);
+
+  data::Relation incremental = ds.dirty.Clone();
+  Session session = engine->NewTrackedSession();
+  ASSERT_TRUE(session.Run(&incremental).ok());
+
+  // A tuple whose every cell is a brand-new string shares no violation
+  // group (and matches no master record), so the re-clean must not spread.
+  data::Tuple alien = ds.dirty.tuple(0);
+  for (data::AttributeId a = 0; a < alien.arity(); ++a) {
+    alien.set_value(a, data::Value("zz-unique-" + std::to_string(a)));
+    alien.set_confidence(a, 0.0);
+    alien.set_mark(a, data::FixMark::kNone);
+  }
+  Delta delta;
+  delta.inserts.push_back(alien);
+  auto dr = session.ApplyDelta(delta);
+  ASSERT_TRUE(dr.ok()) << dr.status().ToString();
+  EXPECT_GE(dr->affected, 1);
+  EXPECT_LT(dr->affected, incremental.size() / 4);
+
+  data::Relation batch = ds.dirty.Clone();
+  batch.AddTuple(alien);
+  const std::string batch_csv = BatchFixSetCsv(engine, &batch);
+  EXPECT_EQ(LiveCellDiff(incremental, batch), 0);
+  EXPECT_EQ(session.CanonicalJournal().CanonicalFixSetCsv(), batch_csv);
+}
+
+// --- Master growth --------------------------------------------------------
+
+TEST(DeltaTest, MasterGrowthRecleansMatchingTuples) {
+  gen::Dataset ds = MakeDataset("HOSP", /*seed=*/5);
+
+  // Start the engine on a prefix of the master; the held-out rows arrive
+  // later through the append-only growth path.
+  constexpr int kHeldMaster = 15;
+  data::Relation growing_master(ds.master.schema_ptr());
+  for (data::TupleId t = 0; t < ds.master.size() - kHeldMaster; ++t) {
+    growing_master.AddTuple(ds.master.tuple(t));
+  }
+  auto engine = MakeEngine(ds, &growing_master);
+
+  data::Relation incremental = ds.dirty.Clone();
+  Session session = engine->NewTrackedSession();
+  ASSERT_TRUE(session.Run(&incremental).ok());
+
+  for (data::TupleId t = ds.master.size() - kHeldMaster;
+       t < ds.master.size(); ++t) {
+    growing_master.AddTuple(ds.master.tuple(t));
+  }
+  const int appended = engine->RefreshMasterIndexes();
+  EXPECT_EQ(appended, kHeldMaster);
+
+  // An empty delta after master growth re-cleans exactly the tuples the
+  // new master rows can reach.
+  auto dr = session.ApplyDelta(Delta{});
+  ASSERT_TRUE(dr.ok()) << dr.status().ToString();
+  EXPECT_EQ(dr->generation, 1);
+
+  // Convergence reference: a fresh engine built over the grown master.
+  auto full_engine = MakeEngine(ds, &growing_master);
+  data::Relation batch = ds.dirty.Clone();
+  const std::string batch_csv = BatchFixSetCsv(full_engine, &batch);
+  EXPECT_EQ(LiveCellDiff(incremental, batch), 0);
+  EXPECT_EQ(session.CanonicalJournal().CanonicalFixSetCsv(), batch_csv);
+}
+
+// --- No-op and validation -------------------------------------------------
+
+TEST(DeltaTest, EmptyDeltaIsANoOp) {
+  gen::Dataset ds = MakeDataset("HOSP", /*seed=*/3, /*num_tuples=*/120);
+  auto engine = MakeEngine(ds);
+
+  data::Relation incremental = ds.dirty.Clone();
+  Session session = engine->NewTrackedSession();
+  ASSERT_TRUE(session.Run(&incremental).ok());
+  const std::string before = CanonicalCsv(session.CanonicalJournal());
+
+  auto dr = session.ApplyDelta(Delta{});
+  ASSERT_TRUE(dr.ok()) << dr.status().ToString();
+  EXPECT_EQ(dr->generation, 0);
+  EXPECT_EQ(dr->affected, 0);
+  EXPECT_EQ(dr->refinement_rounds, 0);
+  EXPECT_EQ(session.generation(), 0);
+  EXPECT_EQ(CanonicalCsv(session.CanonicalJournal()), before);
+}
+
+TEST(DeltaTest, InvalidEditsAreRejectedAtomically) {
+  gen::Dataset ds = MakeDataset("HOSP", /*seed=*/3, /*num_tuples=*/120);
+  auto engine = MakeEngine(ds);
+
+  data::Relation incremental = ds.dirty.Clone();
+  Session session = engine->NewTrackedSession();
+  ASSERT_TRUE(session.Run(&incremental).ok());
+  const int size_before = incremental.size();
+  const std::string journal_before = CanonicalCsv(session.CanonicalJournal());
+
+  {
+    Delta delta;
+    delta.updates.emplace_back(incremental.size() + 5,
+                               ds.dirty.tuple(0));
+    auto dr = session.ApplyDelta(delta);
+    EXPECT_EQ(dr.status().code(), StatusCode::kInvalidArgument);
+  }
+  {
+    Delta delta;
+    delta.inserts.push_back(data::Tuple(incremental.schema().arity() + 1));
+    auto dr = session.ApplyDelta(delta);
+    EXPECT_EQ(dr.status().code(), StatusCode::kInvalidArgument);
+  }
+  {
+    Delta delta;
+    delta.deletes.push_back(incremental.size());
+    auto dr = session.ApplyDelta(delta);
+    EXPECT_EQ(dr.status().code(), StatusCode::kInvalidArgument);
+  }
+  {
+    // A delta that mixes a valid insert with a bad delete must apply
+    // nothing at all.
+    Delta delta;
+    delta.inserts.push_back(ds.dirty.tuple(0));
+    delta.deletes.push_back(incremental.size() + 1);
+    auto dr = session.ApplyDelta(delta);
+    EXPECT_EQ(dr.status().code(), StatusCode::kInvalidArgument);
+  }
+  {
+    // Deleting a tombstone is an error too (double delete).
+    Delta ok_delta;
+    ok_delta.deletes.push_back(1);
+    ASSERT_TRUE(session.ApplyDelta(ok_delta).ok());
+    Delta again;
+    again.deletes.push_back(1);
+    auto dr = session.ApplyDelta(again);
+    EXPECT_EQ(dr.status().code(), StatusCode::kInvalidArgument);
+    Delta update_dead;
+    update_dead.updates.emplace_back(1, ds.dirty.tuple(0));
+    dr = session.ApplyDelta(update_dead);
+    EXPECT_EQ(dr.status().code(), StatusCode::kInvalidArgument);
+  }
+
+  EXPECT_EQ(incremental.size(), size_before);  // failed edits applied nothing
+  EXPECT_EQ(session.generation(), 1);          // only the valid delete landed
+  // The journal shrank only by the deleted tuple's covering entries.
+  EXPECT_LE(CanonicalCsv(session.CanonicalJournal()).size(),
+            journal_before.size());
+}
+
+TEST(DeltaTest, ApplyDeltaRequiresATrackedRun) {
+  gen::Dataset ds = MakeDataset("HOSP", /*seed=*/3, /*num_tuples=*/120);
+  auto engine = MakeEngine(ds);
+
+  {
+    // Untracked session: Run succeeds, ApplyDelta refuses.
+    data::Relation d = ds.dirty.Clone();
+    Session session = engine->NewSession();
+    ASSERT_TRUE(session.Run(&d).ok());
+    auto dr = session.ApplyDelta(Delta{});
+    EXPECT_EQ(dr.status().code(), StatusCode::kFailedPrecondition);
+  }
+  {
+    // Tracked session before its Run.
+    Session session = engine->NewTrackedSession();
+    Delta delta;
+    delta.inserts.push_back(ds.dirty.tuple(0));
+    auto dr = session.ApplyDelta(delta);
+    EXPECT_EQ(dr.status().code(), StatusCode::kFailedPrecondition);
+  }
+  {
+    // Empty session.
+    Session session;
+    auto dr = session.ApplyDelta(Delta{});
+    EXPECT_EQ(dr.status().code(), StatusCode::kFailedPrecondition);
+  }
+}
+
+// --- Concurrency (the TSan target) ---------------------------------------
+
+TEST(DeltaTest, ConcurrentTrackedSessionsMatchSerial) {
+  gen::Dataset ds = MakeDataset("HOSP", /*seed=*/42, /*num_tuples=*/150);
+  auto engine = MakeEngine(ds);
+
+  constexpr int kHeld = 3;
+  auto build_initial = [&] {
+    data::Relation initial(ds.dirty.schema_ptr());
+    for (data::TupleId t = 0; t < ds.dirty.size() - kHeld; ++t) {
+      initial.AddTuple(ds.dirty.tuple(t));
+    }
+    return initial;
+  };
+
+  // Serial reference.
+  data::Relation serial = build_initial();
+  std::string serial_csv;
+  {
+    Session session = engine->NewTrackedSession();
+    ASSERT_TRUE(session.Run(&serial).ok());
+    for (int k = 0; k < kHeld; ++k) {
+      Delta delta;
+      delta.inserts.push_back(ds.dirty.tuple(ds.dirty.size() - kHeld + k));
+      ASSERT_TRUE(session.ApplyDelta(delta).ok());
+    }
+    serial_csv = CanonicalCsv(session.CanonicalJournal());
+  }
+
+  // The same stream, in several tracked sessions at once on the shared
+  // engine: each owns an independent relation, all hit the same warm match
+  // environment and memos.
+  constexpr int kThreads = 4;
+  std::vector<data::Relation> relations;
+  relations.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) relations.push_back(build_initial());
+  std::vector<std::string> csvs(kThreads);
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int i = 0; i < kThreads; ++i) {
+    threads.emplace_back([&, i] {
+      Session session = engine->NewTrackedSession();
+      auto run = session.Run(&relations[static_cast<size_t>(i)]);
+      EXPECT_TRUE(run.ok()) << run.status().ToString();
+      for (int k = 0; k < kHeld; ++k) {
+        Delta delta;
+        delta.inserts.push_back(ds.dirty.tuple(ds.dirty.size() - kHeld + k));
+        auto dr = session.ApplyDelta(delta);
+        EXPECT_TRUE(dr.ok()) << dr.status().ToString();
+      }
+      csvs[static_cast<size_t>(i)] = CanonicalCsv(session.CanonicalJournal());
+    });
+  }
+  for (std::thread& t : threads) t.join();
+
+  for (int i = 0; i < kThreads; ++i) {
+    EXPECT_EQ(csvs[static_cast<size_t>(i)], serial_csv) << "thread " << i;
+    EXPECT_EQ(LiveCellDiff(relations[static_cast<size_t>(i)], serial), 0)
+        << "thread " << i;
+  }
+}
+
+}  // namespace
+}  // namespace uniclean

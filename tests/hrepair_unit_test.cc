@@ -38,6 +38,16 @@ void AddRow(Relation* d, const std::vector<std::string>& values,
   d->AddTuple(std::move(t));
 }
 
+// Test-local shim with the historic (d, dm, ruleset, options) signature: a
+// throwaway MatchEnvironment per call, replacing the retired env-less entry
+// point.
+HRepairStats TestHRepair(Relation* d, const Relation& dm,
+                     const rules::RuleSet& ruleset,
+                     const HRepairOptions& options = {}) {
+  MatchEnvironment env(ruleset, dm, options.matcher);
+  return core::HRepair(d, env, options);
+}
+
 class HRepairUnit : public ::testing::Test {
  protected:
   SchemaPtr schema_ = MakeSchema("r", {"A", "B", "C"});
@@ -49,7 +59,7 @@ TEST_F(HRepairUnit, ConstantCfdFixesRhsWhenCheap) {
   auto rs = MakeRules("CFD c: A='1' -> B='x'\n", schema_, master_);
   Relation d(schema_);
   AddRow(&d, {"1", "wrong", "c"}, {0.0, 0.0, 0.0});
-  HRepairStats stats = HRepair(&d, dm_, rs, {});
+  HRepairStats stats = TestHRepair(&d, dm_, rs, {});
   EXPECT_EQ(d.tuple(0).value(1), Value("x"));
   EXPECT_EQ(d.tuple(0).mark(1), FixMark::kPossible);
   EXPECT_EQ(stats.nulls_introduced, 0);
@@ -62,7 +72,7 @@ TEST_F(HRepairUnit, HighConfidenceRhsPrefersBreakingTheLhs) {
   auto rs = MakeRules("CFD c: A='1' -> B='x'\n", schema_, master_);
   Relation d(schema_);
   AddRow(&d, {"1", "keep-me", "c"}, {0.0, 1.0, 0.0});
-  HRepairStats stats = HRepair(&d, dm_, rs, {});
+  HRepairStats stats = TestHRepair(&d, dm_, rs, {});
   EXPECT_EQ(d.tuple(0).value(1), Value("keep-me"));
   EXPECT_TRUE(d.tuple(0).value(0).is_null());
   EXPECT_EQ(stats.nulls_introduced, 1);
@@ -75,7 +85,7 @@ TEST_F(HRepairUnit, VariableCfdMajorityWinsOnCostTies) {
   AddRow(&d, {"g", "common", "c"}, {0.0, 0.0, 0.0});
   AddRow(&d, {"g", "common", "c"}, {0.0, 0.0, 0.0});
   AddRow(&d, {"g", "rare", "c"}, {0.0, 0.0, 0.0});
-  HRepair(&d, dm_, rs, {});
+  TestHRepair(&d, dm_, rs, {});
   EXPECT_EQ(d.tuple(2).value(1), Value("common"));
   EXPECT_EQ(d.tuple(0).value(1), Value("common"));
   EXPECT_EQ(rules::CountViolations(d, dm_, rs), 0u);
@@ -90,7 +100,7 @@ TEST_F(HRepairUnit, CostBeatsMajorityWhenConfidencesDiffer) {
   AddRow(&d, {"g", "common", "c"}, {0.0, 0.0, 0.0});
   AddRow(&d, {"g", "common", "c"}, {0.0, 0.0, 0.0});
   AddRow(&d, {"g", "rare", "c"}, {0.0, 1.0, 0.0});
-  HRepair(&d, dm_, rs, {});
+  TestHRepair(&d, dm_, rs, {});
   EXPECT_EQ(d.tuple(0).value(1), Value("rare"));
   EXPECT_EQ(d.tuple(1).value(1), Value("rare"));
   EXPECT_EQ(d.tuple(2).value(1), Value("rare"));
@@ -106,7 +116,7 @@ TEST_F(HRepairUnit, NullEnrichmentFromGroupConsensus) {
   t.set_value(1, Value::Null());
   t.set_value(2, Value("c"));
   d.AddTuple(std::move(t));
-  HRepair(&d, dm_, rs, {});
+  TestHRepair(&d, dm_, rs, {});
   EXPECT_EQ(d.tuple(1).value(1), Value("value"));
   EXPECT_EQ(d.tuple(1).mark(1), FixMark::kPossible);
 }
@@ -122,7 +132,7 @@ TEST_F(HRepairUnit, IntroducedNullsAreNotEnriched) {
   // would otherwise re-fill it.
   AddRow(&d, {"1", "z", "g"}, {0.0, 0.0, 0.0});
   AddRow(&d, {"2", "w", "g"}, {0.0, 0.0, 0.0});
-  HRepairStats stats = HRepair(&d, dm_, rs, {});
+  HRepairStats stats = TestHRepair(&d, dm_, rs, {});
   EXPECT_EQ(stats.anomalies, 0);
   EXPECT_TRUE(d.tuple(0).value(1).is_null());
   EXPECT_EQ(rules::CountViolations(d, dm_, rs), 0u);
@@ -133,7 +143,7 @@ TEST_F(HRepairUnit, MdAdoptsMasterValue) {
   dm_.AddRow({"key", "master"}, 1.0);
   Relation d(schema_);
   AddRow(&d, {"key", "junk", "c"}, {0.0, 0.0, 0.0});
-  HRepairStats stats = HRepair(&d, dm_, rs, {});
+  HRepairStats stats = TestHRepair(&d, dm_, rs, {});
   EXPECT_EQ(d.tuple(0).value(1), Value("master"));
   ASSERT_GE(stats.md_matches.size(), 1u);
   EXPECT_EQ(rules::CountViolations(d, dm_, rs), 0u);
@@ -147,7 +157,7 @@ TEST_F(HRepairUnit, FrozenTargetForcesPremiseBreak) {
   Relation d(schema_);
   AddRow(&d, {"key", "det-value", "c"}, {0.0, 0.0, 0.0});
   d.mutable_tuple(0).set_mark(1, FixMark::kDeterministic);
-  HRepairStats stats = HRepair(&d, dm_, rs, {});
+  HRepairStats stats = TestHRepair(&d, dm_, rs, {});
   EXPECT_EQ(stats.anomalies, 0);
   EXPECT_EQ(d.tuple(0).value(1), Value("det-value"));  // preserved
   EXPECT_TRUE(d.tuple(0).value(0).is_null());          // premise broken
@@ -165,7 +175,7 @@ TEST_F(HRepairUnit, MergingWithFrozenClassDoesNotFreezeTheOtherCell) {
   d.mutable_tuple(0).set_mark(1, FixMark::kDeterministic);
   AddRow(&d, {"g", "junk", "trigger"}, {0.0, 0.0, 1.0});
   d.mutable_tuple(1).set_mark(2, FixMark::kDeterministic);
-  HRepairStats stats = HRepair(&d, dm_, rs, {});
+  HRepairStats stats = TestHRepair(&d, dm_, rs, {});
   EXPECT_EQ(stats.anomalies, 0);
   EXPECT_EQ(d.tuple(0).value(1), Value("det-value"));
   EXPECT_EQ(rules::CountViolations(d, dm_, rs), 0u);

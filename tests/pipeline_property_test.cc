@@ -63,9 +63,10 @@ TEST_P(PipelineProperties, DeterministicFixesAreAlwaysCorrect) {
   // correct cells), every deterministic fix equals the ground truth.
   gen::Dataset ds = Generate();
   Relation d = ds.dirty.Clone();
+  core::MatchEnvironment env(ds.rules, ds.master);
   core::CRepairOptions copts;
   copts.eta = 1.0;
-  auto stats = core::CRepair(&d, ds.master, ds.rules, copts);
+  auto stats = core::CRepair(&d, env, copts);
   EXPECT_GT(stats.deterministic_fixes, 0);
   int checked = 0;
   for (data::TupleId t = 0; t < d.size(); ++t) {
@@ -82,14 +83,15 @@ TEST_P(PipelineProperties, DeterministicFixesAreAlwaysCorrect) {
 TEST_P(PipelineProperties, DeterministicFixesSurviveLaterPhases) {
   gen::Dataset ds = Generate();
   Relation d = ds.dirty.Clone();
+  core::MatchEnvironment env(ds.rules, ds.master);
   core::CRepairOptions copts;
   copts.eta = 1.0;
-  core::CRepair(&d, ds.master, ds.rules, copts);
+  core::CRepair(&d, env, copts);
   Relation after_c = d.Clone();
   core::ERepairOptions eopts;
   eopts.eta = 1.0;
-  core::ERepair(&d, ds.master, ds.rules, eopts);
-  core::HRepair(&d, ds.master, ds.rules, {});
+  core::ERepair(&d, env, eopts);
+  core::HRepair(&d, env, {});
   for (data::TupleId t = 0; t < d.size(); ++t) {
     for (data::AttributeId a = 0; a < d.schema().arity(); ++a) {
       if (after_c.tuple(t).mark(a) != FixMark::kDeterministic) continue;
@@ -129,8 +131,10 @@ TEST_P(PipelineProperties, CRepairIsRuleOrderInvariant) {
   copts.eta = 1.0;
   Relation a = ds.dirty.Clone();
   Relation b = ds.dirty.Clone();
-  core::CRepair(&a, ds.master, ds.rules, copts);
-  core::CRepair(&b, ds.master, shuffled.value(), copts);
+  core::MatchEnvironment listed_env(ds.rules, ds.master);
+  core::MatchEnvironment shuffled_env(shuffled.value(), ds.master);
+  core::CRepair(&a, listed_env, copts);
+  core::CRepair(&b, shuffled_env, copts);
   EXPECT_EQ(a.CellDiffCount(b), 0);
 }
 
