@@ -29,6 +29,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <fstream>
 #include <memory>
 #include <new>
 #include <sstream>
@@ -39,6 +40,11 @@
 #include "core/md_matcher.h"
 #include "gen/dataset.h"
 #include "uniclean/uniclean.h"
+
+#ifdef UNICLEAN_HAVE_SERVE
+#include "serve/client.h"
+#include "serve/server.h"
+#endif
 
 // ---------------------------------------------------------------------------
 // Allocation counting hook. Only linked into this binary; counts every
@@ -419,6 +425,86 @@ void DeltaPoint(const std::string& dataset, int num_tuples, int master_size) {
   }
 }
 
+#ifdef UNICLEAN_HAVE_SERVE
+/// Full wire round-trips through an in-process unicleand: the generated
+/// sample goes to disk (the daemon builds engines from files), a Daemon
+/// starts on an ephemeral port, and one Client measures a complete CLEAN
+/// round trip — CSV out, journal streamed back — twice. "cold" is the
+/// first request (it fills the engine's match memos); "warm" is the second,
+/// the steady serving state. The gap between a serve point and its
+/// session_* sibling is the protocol + framing + threading overhead.
+void ServePoint(const std::string& dataset, int num_tuples, int master_size) {
+  gen::GeneratorConfig config;
+  config.num_tuples = num_tuples;
+  config.master_size = master_size;
+  config.noise_rate = 0.06;
+  config.dup_rate = 0.4;
+  config.seed = 1;
+  gen::Dataset ds = Generate(dataset, config);
+
+  char dir_template[] = "/tmp/uniclean_bench_serve.XXXXXX";
+  if (::mkdtemp(dir_template) == nullptr) {
+    std::fprintf(stderr, "bench_json: mkdtemp failed\n");
+    std::exit(2);
+  }
+  const std::string dir = dir_template;
+  if (!data::WriteCsvFile(dir + "/dirty.csv", ds.dirty).ok() ||
+      !data::WriteCsvFile(dir + "/master.csv", ds.master).ok()) {
+    std::fprintf(stderr, "bench_json: cannot write the serve dataset\n");
+    std::exit(2);
+  }
+  {
+    std::ofstream rules(dir + "/rules.txt");
+    rules << ds.rule_text;
+  }
+  std::ostringstream dirty_csv;
+  if (!data::WriteCsv(dirty_csv, ds.dirty).ok()) std::exit(2);
+
+  serve::RulesetConfig ruleset;
+  ruleset.name = dataset;
+  ruleset.master_csv = dir + "/master.csv";
+  ruleset.rules_file = dir + "/rules.txt";
+  ruleset.schema_csv = dir + "/dirty.csv";
+  ruleset.eta = 1.0;
+  serve::DaemonOptions options;
+  options.port = 0;
+  options.n_workers = 2;
+  serve::Daemon daemon(options, {ruleset});
+  Status started = daemon.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "bench_json: daemon start failed: %s\n",
+                 started.ToString().c_str());
+    std::exit(2);
+  }
+  auto connected = serve::Client::Connect("127.0.0.1", daemon.port());
+  if (!connected.ok()) {
+    std::fprintf(stderr, "bench_json: connect failed: %s\n",
+                 connected.status().ToString().c_str());
+    std::exit(2);
+  }
+  serve::Client client = std::move(connected).value();
+
+  const std::string prefix =
+      "serve_" + dataset + "_n" + std::to_string(num_tuples) + "_";
+  for (const char* stage : {"cold", "warm"}) {
+    Measure(prefix + stage, dataset, num_tuples, master_size, stage,
+            num_tuples, [&]() -> long long {
+              serve::CleanRequest request;
+              request.data_csv = dirty_csv.str();
+              auto reply = client.Clean(request);
+              if (!reply.ok()) {
+                std::fprintf(stderr, "bench_json: wire clean failed: %s\n",
+                             reply.status().ToString().c_str());
+                std::exit(2);
+              }
+              return reply->total_fixes;
+            });
+  }
+  client.Close();
+  daemon.Shutdown();
+}
+#endif  // UNICLEAN_HAVE_SERVE
+
 /// The §5.2 blocking ablation: per-probe match cost with the suffix-tree
 /// index vs a brute-force master scan.
 void AblationPoint(int master_size, bool use_blocking) {
@@ -522,6 +608,11 @@ int main(int argc, char** argv) {
   SessionPoint("hosp", 1000, 500);
   SessionPoint("dblp", 1000, 500);
   SessionPoint("tpch", 1000, 300);
+#ifdef UNICLEAN_HAVE_SERVE
+  // Serving round trips: the same cold/warm pair measured end-to-end
+  // through unicleand's wire protocol (in-process daemon + client).
+  ServePoint("hosp", 1000, 500);
+#endif
   // Concurrent sessions: a shared warm engine cleans a 12-relation batch
   // through RunBatch at 1 / 2 / 4 threads (journals pinned byte-identical
   // to the serial arm). Scaling needs real cores; a 1-core runner measures

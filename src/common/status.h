@@ -21,6 +21,7 @@ enum class StatusCode {
   kFailedPrecondition,
   kUnimplemented,
   kInternal,
+  kResourceExhausted,
 };
 
 /// Returns a short human-readable name, e.g. "InvalidArgument".
@@ -53,6 +54,13 @@ class Status {
   }
   static Status Internal(std::string msg) {
     return Status(StatusCode::kInternal, std::move(msg));
+  }
+  /// A bounded resource (id space, frame budget, session slots) ran out.
+  /// Unlike kOutOfRange — a value outside its domain — this is load-induced
+  /// and retryable after the pressure clears; servers surface it to clients
+  /// instead of aborting (see serve/wire.h).
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -1,0 +1,191 @@
+#include "serve/client.h"
+
+#include <utility>
+
+namespace uniclean {
+namespace serve {
+
+namespace {
+
+std::string IdListText(const std::vector<data::TupleId>& ids) {
+  std::string out;
+  for (data::TupleId t : ids) {
+    out += std::to_string(t);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace
+
+Result<Client> Client::Connect(const std::string& host, int port) {
+  UC_ASSIGN_OR_RETURN(int fd, ConnectTcp(host, port));
+  return Client(std::make_unique<FrameChannel>(fd));
+}
+
+Status Client::Send(uint32_t tag, Op op, std::string_view body) {
+  if (!channel_) return Status::FailedPrecondition("client is not connected");
+  return channel_->WriteFrame(tag, op, body);
+}
+
+Result<Frame> Client::ReadFor(uint32_t tag) {
+  auto it = pending_.find(tag);
+  if (it != pending_.end() && !it->second.empty()) {
+    Frame frame = std::move(it->second.front());
+    it->second.erase(it->second.begin());
+    if (it->second.empty()) pending_.erase(it);
+    return frame;
+  }
+  if (!channel_) return Status::FailedPrecondition("client is not connected");
+  for (;;) {
+    UC_ASSIGN_OR_RETURN(Frame frame, channel_->ReadFrame());
+    if (frame.tag == tag) return frame;
+    pending_[frame.tag].push_back(std::move(frame));
+  }
+}
+
+Result<Frame> Client::ReadTerminal(uint32_t tag, Op expect,
+                                   std::string* journal, std::string* data) {
+  for (;;) {
+    UC_ASSIGN_OR_RETURN(Frame frame, ReadFor(tag));
+    switch (frame.op) {
+      case Op::kJournalChunk:
+        if (journal) *journal += frame.body;
+        continue;
+      case Op::kDataChunk:
+        if (data) *data += frame.body;
+        continue;
+      case Op::kError: {
+        BodyReader body(frame.body);
+        UC_ASSIGN_OR_RETURN(uint8_t code, body.U8());
+        UC_ASSIGN_OR_RETURN(std::string message, body.Lp());
+        return StatusFromWire(code, std::move(message));
+      }
+      default:
+        if (frame.op != expect) {
+          return Status::Corruption(
+              "unexpected reply opcode " + std::string(OpName(frame.op)) +
+              " (wanted " + std::string(OpName(expect)) + ")");
+        }
+        return frame;
+    }
+  }
+}
+
+Status Client::Ping() {
+  const uint32_t tag = next_tag_++;
+  UC_RETURN_IF_ERROR(Send(tag, Op::kPing, "unicleand?"));
+  UC_ASSIGN_OR_RETURN(Frame frame,
+                      ReadTerminal(tag, Op::kPong, nullptr, nullptr));
+  (void)frame;
+  return Status::OK();
+}
+
+Result<uint32_t> Client::SendClean(const CleanRequest& request) {
+  std::string body;
+  uint8_t flags = 0;
+  if (request.track) flags |= kCleanTrack;
+  if (request.want_data) flags |= kCleanWantData;
+  PutU8(&body, flags);
+  PutLp(&body, request.ruleset);
+  PutLp(&body, request.data_csv);
+  PutLp(&body, request.confidence_csv);
+  const uint32_t tag = next_tag_++;
+  UC_RETURN_IF_ERROR(Send(tag, Op::kClean, body));
+  return tag;
+}
+
+Result<CleanReply> Client::AwaitClean(uint32_t tag) {
+  CleanReply reply;
+  UC_ASSIGN_OR_RETURN(Frame frame,
+                      ReadTerminal(tag, Op::kCleanDone, &reply.journal_csv,
+                                   &reply.data_csv));
+  BodyReader body(frame.body);
+  UC_ASSIGN_OR_RETURN(reply.session_id, body.U64());
+  UC_ASSIGN_OR_RETURN(reply.total_fixes, body.U32());
+  UC_ASSIGN_OR_RETURN(reply.journal_entries, body.U32());
+  UC_ASSIGN_OR_RETURN(reply.phase_summary, body.Lp());
+  return reply;
+}
+
+Result<CleanReply> Client::Clean(const CleanRequest& request) {
+  UC_ASSIGN_OR_RETURN(uint32_t tag, SendClean(request));
+  return AwaitClean(tag);
+}
+
+Result<DeltaReply> Client::Delta(const DeltaRequest& request) {
+  std::string body;
+  PutU64(&body, request.session_id);
+  PutLp(&body, request.inserts_csv);
+  PutLp(&body, IdListText(request.update_ids));
+  PutLp(&body, request.updates_csv);
+  PutLp(&body, IdListText(request.delete_ids));
+  const uint32_t tag = next_tag_++;
+  UC_RETURN_IF_ERROR(Send(tag, Op::kDelta, body));
+
+  DeltaReply reply;
+  UC_ASSIGN_OR_RETURN(Frame frame,
+                      ReadTerminal(tag, Op::kDeltaDone, &reply.journal_csv,
+                                   nullptr));
+  BodyReader done(frame.body);
+  UC_ASSIGN_OR_RETURN(reply.generation, done.U32());
+  UC_ASSIGN_OR_RETURN(reply.affected, done.U32());
+  UC_ASSIGN_OR_RETURN(reply.refinement_rounds, done.U32());
+  UC_ASSIGN_OR_RETURN(reply.total_fixes, done.U32());
+  UC_ASSIGN_OR_RETURN(std::string inserted, done.Lp());
+  std::string line;
+  for (char c : inserted) {
+    if (c == '\n') {
+      if (!line.empty()) {
+        reply.inserted_ids.push_back(
+            static_cast<data::TupleId>(std::stoul(line)));
+      }
+      line.clear();
+    } else {
+      line.push_back(c);
+    }
+  }
+  return reply;
+}
+
+Result<std::string> Client::Stats() {
+  const uint32_t tag = next_tag_++;
+  UC_RETURN_IF_ERROR(Send(tag, Op::kStats, ""));
+  UC_ASSIGN_OR_RETURN(Frame frame,
+                      ReadTerminal(tag, Op::kStatsReply, nullptr, nullptr));
+  return frame.body;
+}
+
+Result<uint32_t> Client::SendReload(const std::string& ruleset) {
+  std::string body;
+  PutLp(&body, ruleset);
+  const uint32_t tag = next_tag_++;
+  UC_RETURN_IF_ERROR(Send(tag, Op::kReload, body));
+  return tag;
+}
+
+Result<std::string> Client::AwaitReload(uint32_t tag) {
+  UC_ASSIGN_OR_RETURN(Frame frame,
+                      ReadTerminal(tag, Op::kOk, nullptr, nullptr));
+  BodyReader body(frame.body);
+  return body.Lp();
+}
+
+Result<std::string> Client::Reload(const std::string& ruleset) {
+  UC_ASSIGN_OR_RETURN(uint32_t tag, SendReload(ruleset));
+  return AwaitReload(tag);
+}
+
+Status Client::CloseSession(uint64_t session_id) {
+  std::string body;
+  PutU64(&body, session_id);
+  const uint32_t tag = next_tag_++;
+  UC_RETURN_IF_ERROR(Send(tag, Op::kCloseSession, body));
+  UC_ASSIGN_OR_RETURN(Frame frame,
+                      ReadTerminal(tag, Op::kOk, nullptr, nullptr));
+  (void)frame;
+  return Status::OK();
+}
+
+}  // namespace serve
+}  // namespace uniclean

@@ -1,0 +1,138 @@
+// Synchronous client for the unicleand wire protocol (serve/wire.h), the
+// clnt.c counterpart to serve/server.h. One Client wraps one connection.
+//
+// Two usage styles:
+//
+//  * Blocking calls — Ping/Clean/Delta/Stats/Reload/CloseSession each send
+//    a request and read frames until its terminal reply, collecting
+//    streamed journal/data chunks along the way.
+//
+//  * Pipelined calls — SendClean/SendReload return immediately with the
+//    request's tag; AwaitClean/AwaitReload later read to that tag's
+//    terminal frame. Replies for other outstanding tags that arrive in
+//    between are buffered, so requests can overlap on one connection (how
+//    serve_test exercises RELOAD against in-flight CLEANs).
+//
+// A Client is NOT thread-safe: one thread drives it. For concurrent
+// traffic, open one Client per thread (connections are cheap; tracked
+// sessions are per-connection server-side).
+
+#ifndef UNICLEAN_SERVE_CLIENT_H_
+#define UNICLEAN_SERVE_CLIENT_H_
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/result.h"
+#include "data/relation.h"
+#include "serve/wire.h"
+
+namespace uniclean {
+namespace serve {
+
+/// A batch-clean request. `data_csv` / `confidence_csv` are full CSV
+/// documents (header row included); an empty confidence CSV means uniform
+/// 0.0 confidence.
+struct CleanRequest {
+  std::string ruleset;  // "" = the daemon's sole ruleset
+  std::string data_csv;
+  std::string confidence_csv;
+  /// Keep the session alive server-side for follow-up DELTAs.
+  bool track = false;
+  /// Also stream back the repaired relation as CSV.
+  bool want_data = false;
+};
+
+struct CleanReply {
+  /// Tracked session id (0 if track was false).
+  uint64_t session_id = 0;
+  uint32_t total_fixes = 0;
+  uint32_t journal_entries = 0;
+  /// "cRepair=12 eRepair=3 hRepair=0"-style per-phase fix counts.
+  std::string phase_summary;
+  /// The fix journal CSV — byte-identical to FixJournal::WriteCsv of an
+  /// in-process Session::Run on the same inputs.
+  std::string journal_csv;
+  /// The repaired relation CSV (empty unless want_data).
+  std::string data_csv;
+};
+
+/// An incremental edit batch against a tracked session. `updates_csv`
+/// holds header-less rows index-aligned with `update_ids`.
+struct DeltaRequest {
+  uint64_t session_id = 0;
+  std::string inserts_csv;  // header row + inserted tuples ("" = none)
+  std::vector<data::TupleId> update_ids;
+  std::string updates_csv;  // header-less rows, one per update id
+  std::vector<data::TupleId> delete_ids;
+};
+
+struct DeltaReply {
+  uint32_t generation = 0;
+  uint32_t affected = 0;
+  uint32_t refinement_rounds = 0;
+  uint32_t total_fixes = 0;
+  /// Ids minted for the inserts, index-matched to the request.
+  std::vector<data::TupleId> inserted_ids;
+  /// The covering canonical journal CSV — byte-identical to
+  /// Session::CanonicalJournal().WriteCsv after the same in-process edits.
+  std::string journal_csv;
+};
+
+class Client {
+ public:
+  static Result<Client> Connect(const std::string& host, int port);
+
+  /// An unconnected client; every call fails until one is move-assigned.
+  Client() = default;
+  Client(Client&&) = default;
+  Client& operator=(Client&&) = default;
+
+  /// Round-trips an opaque payload through kPing/kPong.
+  Status Ping();
+  Result<CleanReply> Clean(const CleanRequest& request);
+  Result<DeltaReply> Delta(const DeltaRequest& request);
+  /// The daemon's STATS JSON document.
+  Result<std::string> Stats();
+  /// Hot-reloads the named ruleset ("" = all). Returns the daemon's
+  /// per-ruleset fingerprint report.
+  Result<std::string> Reload(const std::string& ruleset = "");
+  Status CloseSession(uint64_t session_id);
+
+  // --- pipelined variants ---------------------------------------------------
+  /// Sends without waiting; pass the returned tag to the Await call.
+  Result<uint32_t> SendClean(const CleanRequest& request);
+  Result<uint32_t> SendReload(const std::string& ruleset);
+  Result<CleanReply> AwaitClean(uint32_t tag);
+  Result<std::string> AwaitReload(uint32_t tag);
+
+  bool connected() const { return channel_ != nullptr; }
+  /// The raw socket (tests use it to simulate abrupt disconnects and
+  /// hand-craft malformed frames).
+  int fd() const { return channel_ ? channel_->fd() : -1; }
+  /// Drops the connection (server reclaims any tracked sessions).
+  void Close() { channel_.reset(); }
+
+ private:
+  explicit Client(std::unique_ptr<FrameChannel> channel)
+      : channel_(std::move(channel)) {}
+
+  Status Send(uint32_t tag, Op op, std::string_view body);
+  /// Reads until a frame for `tag` arrives, buffering other tags' frames.
+  Result<Frame> ReadFor(uint32_t tag);
+  Result<Frame> ReadTerminal(uint32_t tag, Op expect, std::string* journal,
+                             std::string* data);
+
+  std::unique_ptr<FrameChannel> channel_;
+  uint32_t next_tag_ = 1;
+  /// Frames received for tags other than the one currently awaited.
+  std::map<uint32_t, std::vector<Frame>> pending_;
+};
+
+}  // namespace serve
+}  // namespace uniclean
+
+#endif  // UNICLEAN_SERVE_CLIENT_H_

@@ -1,0 +1,716 @@
+#include "serve/server.h"
+
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+#include <utility>
+
+#include "data/csv.h"
+#include "data/string_pool.h"
+#include "serve/safe_csv.h"
+
+namespace uniclean {
+namespace serve {
+
+namespace {
+
+uint64_t NowUs() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::microseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+double NowS() {
+  return std::chrono::duration<double>(
+             std::chrono::steady_clock::now().time_since_epoch())
+      .count();
+}
+
+std::string JsonEscape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+std::string HistogramJson(const LatencyHistogram& h) {
+  return "{\"mean\": " + std::to_string(h.mean()) +
+         ", \"p50\": " + std::to_string(h.p50()) +
+         ", \"p95\": " + std::to_string(h.p95()) +
+         ", \"p99\": " + std::to_string(h.p99()) +
+         ", \"max\": " + std::to_string(h.max()) + "}";
+}
+
+std::string FingerprintHex(uint64_t fp) {
+  char buf[20];
+  std::snprintf(buf, sizeof(buf), "%016" PRIx64, fp);
+  return buf;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Internal structures
+// ---------------------------------------------------------------------------
+
+/// One tracked session and the relation it cleans (the Session borrows the
+/// relation, so the daemon owns both with the same lifetime). `mu`
+/// serializes DELTA requests — a Session must not run from two threads.
+struct Daemon::ServeSession {
+  std::unique_ptr<data::Relation> relation;
+  Session session;
+  std::mutex mu;
+};
+
+/// One client connection: the framed channel, a write lock serializing
+/// response frames from concurrent workers, and the tracked sessions this
+/// connection opened (reclaimed with the connection — see ~Conn).
+struct Daemon::Conn {
+  Conn(Daemon* daemon, int fd, uint64_t id)
+      : daemon(daemon), channel(fd), id(id) {}
+  ~Conn() {
+    daemon->sessions_open_.fetch_sub(sessions.size(),
+                                     std::memory_order_relaxed);
+    daemon->conns_open_.fetch_sub(1, std::memory_order_relaxed);
+  }
+
+  Daemon* daemon;
+  FrameChannel channel;
+  uint64_t id;
+  std::mutex write_mu;
+  std::mutex sessions_mu;
+  std::unordered_map<uint64_t, std::shared_ptr<ServeSession>> sessions;
+  std::atomic<bool> closing{false};
+};
+
+/// One served ruleset: the rebuild recipe plus the hot-swappable engine.
+/// Requests copy the shared_ptr under `mu`; RELOAD builds a replacement
+/// from `cfg` and swaps it in — in-flight sessions finish on the old
+/// engine, which they keep alive through their own shared_ptr.
+struct Daemon::EngineEntry {
+  RulesetConfig cfg;
+  mutable std::mutex mu;
+  std::shared_ptr<CleanEngine> engine;
+  std::atomic<uint64_t> reloads{0};
+
+  std::shared_ptr<CleanEngine> Get() const {
+    std::lock_guard<std::mutex> lock(mu);
+    return engine;
+  }
+};
+
+struct Daemon::Work {
+  std::shared_ptr<Conn> conn;
+  Frame frame;
+  uint64_t enqueue_us = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Lifecycle
+// ---------------------------------------------------------------------------
+
+Daemon::Daemon(DaemonOptions options, std::vector<RulesetConfig> rulesets)
+    : options_(std::move(options)) {
+  engines_.reserve(rulesets.size());
+  for (RulesetConfig& cfg : rulesets) {
+    auto entry = std::make_unique<EngineEntry>();
+    entry->cfg = std::move(cfg);
+    engines_.push_back(std::move(entry));
+  }
+}
+
+Daemon::~Daemon() { Shutdown(); }
+
+Result<std::shared_ptr<CleanEngine>> Daemon::BuildEngine(
+    const RulesetConfig& cfg, bool warmup) {
+  if (cfg.master_csv.empty() || cfg.rules_file.empty() ||
+      cfg.schema_csv.empty()) {
+    return Status::InvalidArgument(
+        "ruleset '" + cfg.name +
+        "' needs master CSV, rules file and data-schema CSV paths");
+  }
+  UC_ASSIGN_OR_RETURN(data::SchemaPtr schema,
+                      data::InferCsvSchema(cfg.schema_csv, "data"));
+  core::MdMatcherOptions matcher;
+  matcher.memo_capacity = static_cast<size_t>(cfg.memo_cap);
+  UC_ASSIGN_OR_RETURN(
+      std::shared_ptr<CleanEngine> engine,
+      EngineBuilder()
+          .WithDataSchema(schema)
+          .WithMasterCsv(cfg.master_csv)
+          .WithRulesFile(cfg.rules_file)
+          .WithEta(cfg.eta)
+          .WithDelta1(cfg.delta1)
+          .WithDelta2(cfg.delta2)
+          .WithMatcherOptions(matcher)
+          .WithDefaultPhases(cfg.run_crepair, cfg.run_erepair, cfg.run_hrepair)
+          .BuildEngine());
+  // Reload path: warm the replacement BEFORE the swap, so a hot-reloaded
+  // engine never serves its first requests through a cold index build.
+  if (warmup) engine->Warmup();
+  return engine;
+}
+
+Status Daemon::Start() {
+  if (engines_.empty()) {
+    return Status::InvalidArgument("unicleand needs at least one ruleset");
+  }
+  for (size_t i = 0; i < engines_.size(); ++i) {
+    for (size_t j = i + 1; j < engines_.size(); ++j) {
+      if (engines_[i]->cfg.name == engines_[j]->cfg.name) {
+        return Status::InvalidArgument("duplicate ruleset name '" +
+                                       engines_[i]->cfg.name + "'");
+      }
+    }
+    UC_ASSIGN_OR_RETURN(engines_[i]->engine,
+                        BuildEngine(engines_[i]->cfg, options_.warmup));
+  }
+  UC_ASSIGN_OR_RETURN(listen_fd_,
+                      ListenTcp(options_.host, options_.port, &port_));
+  start_time_s_ = NowS();
+  running_.store(true);
+  stop_workers_ = false;
+  acceptor_ = std::thread(&Daemon::AcceptLoop, this);
+  const int n = std::max(1, options_.n_workers);
+  workers_.reserve(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    workers_.emplace_back(&Daemon::WorkerLoop, this);
+  }
+  return Status::OK();
+}
+
+void Daemon::Shutdown() {
+  if (!running_.exchange(false)) return;
+  // 1. Stop accepting (the poll loop sees running_ == false).
+  if (acceptor_.joinable()) acceptor_.join();
+  // 2. EOF every connection's read side so readers stop enqueuing, then
+  //    join them. In-flight and queued requests are untouched.
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    for (auto& [id, weak] : conns_) {
+      if (std::shared_ptr<Conn> conn = weak.lock()) {
+        ::shutdown(conn->channel.fd(), SHUT_RD);
+      }
+    }
+  }
+  std::vector<std::thread> readers;
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    readers.swap(readers_);
+  }
+  for (std::thread& t : readers) t.join();
+  // 3. Drain: every queued request is served before the workers stop.
+  {
+    std::unique_lock<std::mutex> lock(queue_mu_);
+    drained_cv_.wait(lock, [&] { return queue_.empty() && in_flight_ == 0; });
+    stop_workers_ = true;
+  }
+  queue_cv_.notify_all();
+  for (std::thread& t : workers_) {
+    if (t.joinable()) t.join();
+  }
+  workers_.clear();
+  // 4. Release connection handles; sessions die with their Conn.
+  {
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    conns_.clear();
+  }
+  if (listen_fd_ >= 0) {
+    ::close(listen_fd_);
+    listen_fd_ = -1;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Threads
+// ---------------------------------------------------------------------------
+
+void Daemon::AcceptLoop() {
+  while (running_.load()) {
+    pollfd pfd{};
+    pfd.fd = listen_fd_;
+    pfd.events = POLLIN;
+    const int r = ::poll(&pfd, 1, 200);
+    if (r <= 0) continue;  // timeout (re-check running_) or EINTR
+    const int fd = ::accept(listen_fd_, nullptr, nullptr);
+    if (fd < 0) continue;
+    int one = 1;
+    ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+    // A peer that stops reading must not wedge a worker in send() forever:
+    // bound the write side, then treat a timeout as a dead connection.
+    timeval tv{};
+    tv.tv_sec = 30;
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv));
+    conns_accepted_.fetch_add(1, std::memory_order_relaxed);
+    conns_open_.fetch_add(1, std::memory_order_relaxed);
+    std::lock_guard<std::mutex> lock(conns_mu_);
+    const uint64_t id = next_conn_id_++;
+    auto conn = std::make_shared<Conn>(this, fd, id);
+    conns_.emplace(id, conn);
+    readers_.emplace_back(&Daemon::ReadLoop, this, std::move(conn));
+  }
+}
+
+void Daemon::ReadLoop(std::shared_ptr<Conn> conn) {
+  for (;;) {
+    Result<Frame> frame = conn->channel.ReadFrame();
+    if (!frame.ok()) {
+      // NotFound = clean EOF at a frame boundary; anything else (truncated
+      // frame, oversized declared length, transport error) is a protocol
+      // error — notify best-effort under tag 0, then drop the connection.
+      if (frame.status().code() != StatusCode::kNotFound) {
+        protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+        WriteError(*conn, 0, frame.status());
+      }
+      break;
+    }
+    if (!IsRequestOp(static_cast<uint8_t>(frame->op))) {
+      // Garbage opcode inside a well-formed frame: framing is still intact,
+      // so answer the tag and keep the connection.
+      protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      WriteError(*conn, frame->tag,
+                 Status::InvalidArgument(
+                     "unknown request opcode " +
+                     std::to_string(static_cast<uint8_t>(frame->op))));
+      continue;
+    }
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      queue_.push_back(Work{conn, std::move(frame).value(), NowUs()});
+    }
+    queue_cv_.notify_one();
+  }
+  conn->closing.store(true);
+  std::lock_guard<std::mutex> lock(conns_mu_);
+  conns_.erase(conn->id);
+}
+
+void Daemon::WorkerLoop() {
+  for (;;) {
+    Work work;
+    {
+      std::unique_lock<std::mutex> lock(queue_mu_);
+      queue_cv_.wait(lock, [&] { return stop_workers_ || !queue_.empty(); });
+      if (queue_.empty()) {
+        if (stop_workers_) return;
+        continue;
+      }
+      work = std::move(queue_.front());
+      queue_.pop_front();
+      ++in_flight_;
+    }
+    Dispatch(work);
+    {
+      std::lock_guard<std::mutex> lock(queue_mu_);
+      --in_flight_;
+      if (queue_.empty() && in_flight_ == 0) drained_cv_.notify_all();
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch & handlers
+// ---------------------------------------------------------------------------
+
+void Daemon::Dispatch(Work& work) {
+  Conn& conn = *work.conn;
+  const int op_index = static_cast<int>(work.frame.op);
+  OpMetrics& metrics = op_metrics_[op_index];
+  metrics.requests.fetch_add(1, std::memory_order_relaxed);
+  Status status = Status::OK();
+  if (conn.closing.load()) {
+    // The client is gone; don't spend a clean on a response nobody reads.
+    metrics.errors.fetch_add(1, std::memory_order_relaxed);
+  } else {
+    switch (work.frame.op) {
+      case Op::kPing: {
+        std::lock_guard<std::mutex> lock(conn.write_mu);
+        status =
+            conn.channel.WriteFrame(work.frame.tag, Op::kPong,
+                                    work.frame.body);
+        break;
+      }
+      case Op::kClean:
+        status = HandleClean(conn, work.frame);
+        break;
+      case Op::kDelta:
+        status = HandleDelta(conn, work.frame);
+        break;
+      case Op::kStats:
+        status = HandleStats(conn, work.frame);
+        break;
+      case Op::kReload:
+        status = HandleReload(conn, work.frame);
+        break;
+      case Op::kCloseSession:
+        status = HandleCloseSession(conn, work.frame);
+        break;
+      default:
+        status = Status::Internal("unreachable: non-request op dispatched");
+    }
+    if (!status.ok()) {
+      metrics.errors.fetch_add(1, std::memory_order_relaxed);
+      WriteError(conn, work.frame.tag, status);
+    }
+  }
+  metrics.latency_us.Record(NowUs() - work.enqueue_us);
+}
+
+Result<Daemon::EngineEntry*> Daemon::FindRuleset(const std::string& name) {
+  if (name.empty()) {
+    if (engines_.size() == 1) return engines_.front().get();
+    return Status::InvalidArgument(
+        "ruleset name required: " + std::to_string(engines_.size()) +
+        " rulesets are configured");
+  }
+  for (const auto& entry : engines_) {
+    if (entry->cfg.name == name) return entry.get();
+  }
+  return Status::NotFound("unknown ruleset '" + name + "'");
+}
+
+Status Daemon::StreamChunks(Conn& conn, uint32_t tag, Op op,
+                            const std::string& text) {
+  const size_t chunk = std::max<size_t>(1, options_.chunk_size);
+  for (size_t at = 0; at < text.size(); at += chunk) {
+    std::string_view piece(text.data() + at,
+                           std::min(chunk, text.size() - at));
+    std::lock_guard<std::mutex> lock(conn.write_mu);
+    UC_RETURN_IF_ERROR(conn.channel.WriteFrame(tag, op, piece));
+  }
+  return Status::OK();
+}
+
+Status Daemon::WriteError(Conn& conn, uint32_t tag, const Status& error) {
+  std::string body;
+  PutU8(&body, WireErrorCode(error));
+  PutLp(&body, error.message());
+  std::lock_guard<std::mutex> lock(conn.write_mu);
+  return conn.channel.WriteFrame(tag, Op::kError, body);
+}
+
+Status Daemon::HandleClean(Conn& conn, const Frame& frame) {
+  BodyReader body(frame.body);
+  UC_ASSIGN_OR_RETURN(uint8_t flags, body.U8());
+  UC_ASSIGN_OR_RETURN(std::string ruleset, body.Lp());
+  UC_ASSIGN_OR_RETURN(std::string data_csv, body.Lp());
+  UC_ASSIGN_OR_RETURN(std::string confidence_csv, body.Lp());
+
+  UC_ASSIGN_OR_RETURN(EngineEntry * entry, FindRuleset(ruleset));
+  std::shared_ptr<CleanEngine> engine = entry->Get();
+
+  auto session = std::make_shared<ServeSession>();
+  {
+    UC_ASSIGN_OR_RETURN(
+        data::Relation relation,
+        ParseRelationCsv(data_csv, engine->rules().data_schema_ptr()));
+    session->relation =
+        std::make_unique<data::Relation>(std::move(relation));
+  }
+  if (!confidence_csv.empty()) {
+    UC_RETURN_IF_ERROR(
+        ApplyConfidenceCsv(confidence_csv, session->relation.get()));
+  }
+
+  const bool track = (flags & kCleanTrack) != 0;
+  session->session =
+      track ? engine->NewTrackedSession() : engine->NewSession();
+  Result<CleanResult> result = session->session.Run(session->relation.get());
+  if (!result.ok()) return result.status();
+
+  std::ostringstream journal_csv;
+  UC_RETURN_IF_ERROR(result->journal.WriteCsv(journal_csv));
+  UC_RETURN_IF_ERROR(
+      StreamChunks(conn, frame.tag, Op::kJournalChunk, journal_csv.str()));
+  if ((flags & kCleanWantData) != 0) {
+    std::ostringstream data_out;
+    UC_RETURN_IF_ERROR(data::WriteCsv(data_out, *session->relation));
+    UC_RETURN_IF_ERROR(
+        StreamChunks(conn, frame.tag, Op::kDataChunk, data_out.str()));
+  }
+
+  uint64_t session_id = 0;
+  if (track) {
+    std::lock_guard<std::mutex> lock(conn.sessions_mu);
+    if (!conn.closing.load()) {
+      session_id = next_session_id_.fetch_add(1, std::memory_order_relaxed);
+      conn.sessions.emplace(session_id, std::move(session));
+      sessions_open_.fetch_add(1, std::memory_order_relaxed);
+      sessions_opened_total_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+
+  std::string summary;
+  for (const PhaseStats& stats : result->phases) {
+    if (!summary.empty()) summary += ' ';
+    summary += stats.phase + "=" + std::to_string(stats.fixes);
+  }
+  std::string done;
+  PutU64(&done, session_id);
+  PutU32(&done, static_cast<uint32_t>(result->total_fixes()));
+  PutU32(&done, static_cast<uint32_t>(result->journal.size()));
+  PutLp(&done, summary);
+  std::lock_guard<std::mutex> lock(conn.write_mu);
+  return conn.channel.WriteFrame(frame.tag, Op::kCleanDone, done);
+}
+
+Status Daemon::HandleDelta(Conn& conn, const Frame& frame) {
+  BodyReader body(frame.body);
+  UC_ASSIGN_OR_RETURN(uint64_t session_id, body.U64());
+  UC_ASSIGN_OR_RETURN(std::string inserts_csv, body.Lp());
+  UC_ASSIGN_OR_RETURN(std::string update_ids_text, body.Lp());
+  UC_ASSIGN_OR_RETURN(std::string updates_csv, body.Lp());
+  UC_ASSIGN_OR_RETURN(std::string delete_ids_text, body.Lp());
+
+  std::shared_ptr<ServeSession> session;
+  {
+    std::lock_guard<std::mutex> lock(conn.sessions_mu);
+    auto it = conn.sessions.find(session_id);
+    if (it == conn.sessions.end()) {
+      return Status::NotFound("unknown session id " +
+                              std::to_string(session_id) +
+                              " (tracked sessions live with their "
+                              "connection; CLEAN with the track flag first)");
+    }
+    session = it->second;
+  }
+  const data::SchemaPtr& schema = session->relation->schema_ptr();
+
+  Delta delta;
+  if (!inserts_csv.empty()) {
+    UC_ASSIGN_OR_RETURN(delta.inserts,
+                        ParseTupleRows(inserts_csv, schema,
+                                       /*expect_header=*/true));
+  }
+  UC_ASSIGN_OR_RETURN(std::vector<data::TupleId> update_ids,
+                      ParseIdList(update_ids_text));
+  std::vector<data::Tuple> update_rows;
+  if (!updates_csv.empty()) {
+    UC_ASSIGN_OR_RETURN(update_rows,
+                        ParseTupleRows(updates_csv, schema,
+                                       /*expect_header=*/false));
+  }
+  if (update_ids.size() != update_rows.size()) {
+    return Status::InvalidArgument(
+        "DELTA: " + std::to_string(update_ids.size()) + " update ids but " +
+        std::to_string(update_rows.size()) + " update rows");
+  }
+  for (size_t i = 0; i < update_ids.size(); ++i) {
+    delta.updates.emplace_back(update_ids[i], std::move(update_rows[i]));
+  }
+  UC_ASSIGN_OR_RETURN(delta.deletes, ParseIdList(delete_ids_text));
+
+  // One DELTA at a time per session (Session is single-threaded); DELTAs to
+  // different sessions proceed in parallel on other workers.
+  std::lock_guard<std::mutex> session_lock(session->mu);
+  Result<DeltaResult> dr = session->session.ApplyDelta(delta);
+  if (!dr.ok()) return dr.status();
+
+  // The canonical journal is the covering, batch-equivalent view — what the
+  // CLI writes after --delta, and the byte-identity anchor for clients.
+  std::ostringstream journal_csv;
+  UC_RETURN_IF_ERROR(
+      session->session.CanonicalJournal().WriteCsv(journal_csv));
+  UC_RETURN_IF_ERROR(
+      StreamChunks(conn, frame.tag, Op::kJournalChunk, journal_csv.str()));
+
+  std::string inserted_ids;
+  for (data::TupleId t : dr->inserted_ids) {
+    inserted_ids += std::to_string(t);
+    inserted_ids += '\n';
+  }
+  std::string done;
+  PutU32(&done, static_cast<uint32_t>(dr->generation));
+  PutU32(&done, static_cast<uint32_t>(dr->affected));
+  PutU32(&done, static_cast<uint32_t>(dr->refinement_rounds));
+  PutU32(&done, static_cast<uint32_t>(dr->total_fixes()));
+  PutLp(&done, inserted_ids);
+  std::lock_guard<std::mutex> lock(conn.write_mu);
+  return conn.channel.WriteFrame(frame.tag, Op::kDeltaDone, done);
+}
+
+Status Daemon::HandleStats(Conn& conn, const Frame& frame) {
+  const std::string json = StatsJson();
+  std::lock_guard<std::mutex> lock(conn.write_mu);
+  return conn.channel.WriteFrame(frame.tag, Op::kStatsReply, json);
+}
+
+Status Daemon::HandleReload(Conn& conn, const Frame& frame) {
+  BodyReader body(frame.body);
+  UC_ASSIGN_OR_RETURN(std::string name, body.Lp());
+  std::vector<EngineEntry*> targets;
+  if (name.empty()) {
+    for (const auto& entry : engines_) targets.push_back(entry.get());
+  } else {
+    UC_ASSIGN_OR_RETURN(EngineEntry * entry, FindRuleset(name));
+    targets.push_back(entry);
+  }
+  std::string message;
+  for (EngineEntry* entry : targets) {
+    // Build + warm the replacement before touching the served pointer: a
+    // failed rebuild (missing file, bad rules) leaves the old engine up.
+    UC_ASSIGN_OR_RETURN(std::shared_ptr<CleanEngine> rebuilt,
+                        BuildEngine(entry->cfg, /*warmup=*/true));
+    const uint64_t new_fp = rebuilt->Fingerprint();
+    uint64_t old_fp = 0;
+    {
+      std::lock_guard<std::mutex> lock(entry->mu);
+      old_fp = entry->engine->Fingerprint();
+      entry->engine = std::move(rebuilt);
+    }
+    entry->reloads.fetch_add(1, std::memory_order_relaxed);
+    if (!message.empty()) message += '\n';
+    message += entry->cfg.name + ": fingerprint " + FingerprintHex(old_fp) +
+               " -> " + FingerprintHex(new_fp) +
+               (old_fp == new_fp ? " (unchanged)" : " (changed)");
+  }
+  std::string ok_body;
+  PutLp(&ok_body, message);
+  std::lock_guard<std::mutex> lock(conn.write_mu);
+  return conn.channel.WriteFrame(frame.tag, Op::kOk, ok_body);
+}
+
+Status Daemon::HandleCloseSession(Conn& conn, const Frame& frame) {
+  BodyReader body(frame.body);
+  UC_ASSIGN_OR_RETURN(uint64_t session_id, body.U64());
+  {
+    std::lock_guard<std::mutex> lock(conn.sessions_mu);
+    if (conn.sessions.erase(session_id) == 0) {
+      return Status::NotFound("unknown session id " +
+                              std::to_string(session_id));
+    }
+  }
+  sessions_open_.fetch_sub(1, std::memory_order_relaxed);
+  std::string ok_body;
+  PutLp(&ok_body, "session " + std::to_string(session_id) + " closed");
+  std::lock_guard<std::mutex> lock(conn.write_mu);
+  return conn.channel.WriteFrame(frame.tag, Op::kOk, ok_body);
+}
+
+// ---------------------------------------------------------------------------
+// Observability
+// ---------------------------------------------------------------------------
+
+std::string Daemon::StatsJson() const {
+  std::string out = "{\n";
+  out += "  \"uptime_s\": " +
+         std::to_string(running_.load() ? NowS() - start_time_s_ : 0.0) +
+         ",\n";
+  out += "  \"connections\": {\"live\": " +
+         std::to_string(conns_open_.load()) + ", \"accepted\": " +
+         std::to_string(conns_accepted_.load()) + "},\n";
+  out += "  \"sessions\": {\"live\": " + std::to_string(sessions_open_.load()) +
+         ", \"opened\": " + std::to_string(sessions_opened_total_.load()) +
+         "},\n";
+  out += "  \"protocol_errors\": " + std::to_string(protocol_errors_.load()) +
+         ",\n";
+  out += "  \"requests\": {";
+  bool first = true;
+  for (int op = static_cast<int>(Op::kPing);
+       op <= static_cast<int>(Op::kCloseSession); ++op) {
+    const OpMetrics& m = op_metrics_[op];
+    if (!first) out += ',';
+    first = false;
+    out += "\n    \"" + std::string(OpName(static_cast<Op>(op))) +
+           "\": {\"count\": " + std::to_string(m.requests.load()) +
+           ", \"errors\": " + std::to_string(m.errors.load()) +
+           ", \"latency_us\": " + HistogramJson(m.latency_us) + "}";
+  }
+  out += "\n  },\n";
+  out += "  \"rulesets\": [";
+  for (size_t i = 0; i < engines_.size(); ++i) {
+    const EngineEntry& entry = *engines_[i];
+    std::shared_ptr<CleanEngine> engine = entry.Get();
+    if (i > 0) out += ',';
+    const core::MemoStats memo = engine->MemoStats();
+    out += "\n    {\"name\": \"" + JsonEscape(entry.cfg.name) +
+           "\", \"fingerprint\": \"" + FingerprintHex(engine->Fingerprint()) +
+           "\", \"reloads\": " + std::to_string(entry.reloads.load()) +
+           ", \"master_tuples\": " + std::to_string(engine->master().size()) +
+           ", \"cfds\": " + std::to_string(engine->rules().cfds().size()) +
+           ", \"mds\": " + std::to_string(engine->rules().mds().size()) +
+           ", \"memo\": {\"entries\": " + std::to_string(memo.entries) +
+           ", \"bytes\": " + std::to_string(memo.bytes) +
+           ", \"hits\": " + std::to_string(memo.hits) +
+           ", \"misses\": " + std::to_string(memo.misses) +
+           ", \"evictions\": " + std::to_string(memo.evictions) + "}}";
+  }
+  out += "\n  ],\n";
+  const data::StringPoolStats pool = data::StringPool::Global().Stats();
+  out += "  \"string_pool\": {\"interned\": " + std::to_string(pool.interned) +
+         ", \"remaining\": " + std::to_string(pool.remaining) +
+         ", \"string_bytes\": " + std::to_string(pool.string_bytes) + "}\n";
+  out += "}\n";
+  return out;
+}
+
+std::string Daemon::SummaryText() const {
+  std::string out = "unicleand summary: " +
+                    std::to_string(conns_accepted_.load()) +
+                    " connection(s), " +
+                    std::to_string(sessions_opened_total_.load()) +
+                    " tracked session(s), " +
+                    std::to_string(protocol_errors_.load()) +
+                    " protocol error(s)\n";
+  for (int op = static_cast<int>(Op::kPing);
+       op <= static_cast<int>(Op::kCloseSession); ++op) {
+    const OpMetrics& m = op_metrics_[op];
+    if (m.requests.load() == 0) continue;
+    out += "  " + std::string(OpName(static_cast<Op>(op))) + ": " +
+           std::to_string(m.requests.load()) + " request(s), " +
+           std::to_string(m.errors.load()) + " error(s), latency_us " +
+           m.latency_us.Summary() + "\n";
+  }
+  for (const auto& entry : engines_) {
+    std::shared_ptr<CleanEngine> engine = entry->Get();
+    const core::MemoStats memo = engine->MemoStats();
+    const uint64_t lookups = memo.hits + memo.misses;
+    out += "  ruleset " + entry->cfg.name + ": " +
+           std::to_string(entry->reloads.load()) + " reload(s), memo hit "
+           "rate " +
+           std::to_string(lookups == 0 ? 0.0
+                                       : 100.0 * static_cast<double>(memo.hits) /
+                                             static_cast<double>(lookups)) +
+           "% (" + std::to_string(memo.hits) + "/" + std::to_string(lookups) +
+           ")\n";
+  }
+  return out;
+}
+
+}  // namespace serve
+}  // namespace uniclean

@@ -1,0 +1,204 @@
+// unicleand's serving core: a long-lived daemon holding one warm
+// shared_ptr<CleanEngine> per configured ruleset, a TCP acceptor, one
+// frame-reader thread per connection and a shared worker pool the decoded
+// requests fan out over (the bazil/tra srv.c + work.c shape). Highlights:
+//
+//  * Engine registry & hot reload — every request resolves its ruleset to a
+//    shared_ptr<CleanEngine> copy, so a RELOAD (which rebuilds the engine
+//    from the configured CSV/rule files, warms it up, then atomically swaps
+//    the pointer) never disturbs in-flight requests: they finish on the old
+//    engine, which dies with its last reference. A failed rebuild leaves
+//    the old engine serving.
+//
+//  * Tracked sessions — a CLEAN with the kCleanTrack flag keeps the
+//    Session (and the cleaned relation it borrows) alive in a
+//    per-connection registry and returns its id; DELTA requests stream
+//    edits into it via Session::ApplyDelta. Sessions die with an explicit
+//    CLOSE_SESSION or with their connection — a client that disconnects
+//    mid-stream leaks nothing.
+//
+//  * Hardened ingestion — wire bodies decode through BodyReader and
+//    client CSV through serve/safe_csv.h (StringPool::TryIntern), so a
+//    malformed, oversized or pool-exhausting request yields a kError
+//    response (or a connection close for unframeable garbage), never a
+//    CHECK-abort of the daemon.
+//
+//  * Observability — per-opcode request/error counters and microsecond
+//    LatencyHistograms (common/latency_histogram.h), engine MemoStats,
+//    fingerprints and reload counts, StringPool occupancy; all exposed as
+//    the STATS JSON document and rendered once more as the shutdown
+//    summary.
+//
+// Shutdown() is a graceful drain: stop accepting, EOF every reader, finish
+// the queued work, then join. The unicleand binary wires SIGTERM to it.
+
+#ifndef UNICLEAN_SERVE_SERVER_H_
+#define UNICLEAN_SERVE_SERVER_H_
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "common/latency_histogram.h"
+#include "common/result.h"
+#include "serve/wire.h"
+#include "uniclean/engine.h"
+
+namespace uniclean {
+namespace serve {
+
+/// One served ruleset: the file inputs and thresholds an engine is built
+/// (and rebuilt, on RELOAD) from.
+struct RulesetConfig {
+  std::string name = "default";
+  /// Master relation CSV (header row names the attributes).
+  std::string master_csv;
+  /// Rule program file (rules/parser.h syntax).
+  std::string rules_file;
+  /// CSV whose header row declares the data schema the rules parse against
+  /// (the dirty data itself, or a header-only file).
+  std::string schema_csv;
+  double eta = 0.8;
+  int delta1 = 5;
+  double delta2 = 0.8;
+  /// Per-memo-map resident entry cap (0 = unbounded) — the long-lived
+  /// serving knob.
+  int memo_cap = 0;
+  bool run_crepair = true;
+  bool run_erepair = true;
+  bool run_hrepair = true;
+};
+
+struct DaemonOptions {
+  std::string host = "127.0.0.1";
+  /// 0 = ephemeral; the bound port is Daemon::port() after Start().
+  int port = 0;
+  int n_workers = 4;
+  /// Byte size of streamed kJournalChunk / kDataChunk frames.
+  size_t chunk_size = 64 * 1024;
+  /// Build the match environments at Start() instead of on first request.
+  bool warmup = true;
+};
+
+class Daemon {
+ public:
+  Daemon(DaemonOptions options, std::vector<RulesetConfig> rulesets);
+  /// Joins every thread; equivalent to Shutdown() if still running.
+  ~Daemon();
+
+  Daemon(const Daemon&) = delete;
+  Daemon& operator=(const Daemon&) = delete;
+
+  /// Builds every ruleset's engine, binds the listen socket and spawns the
+  /// acceptor + worker threads. Fails (InvalidArgument / NotFound / ...)
+  /// without leaving threads behind.
+  Status Start();
+
+  /// The bound TCP port (valid after a successful Start()).
+  int port() const { return port_; }
+
+  /// Graceful drain: stop accepting, EOF every connection's reader, finish
+  /// all queued and in-flight requests, join every thread, release every
+  /// session. Idempotent; also invoked by the destructor.
+  void Shutdown();
+
+  /// The STATS JSON document (also served over the wire). Safe while
+  /// requests are running.
+  std::string StatsJson() const;
+
+  /// Human-readable per-opcode latency/error summary for the shutdown log.
+  std::string SummaryText() const;
+
+  // --- test / metrics accessors -------------------------------------------
+  /// Tracked sessions currently alive across all connections.
+  uint64_t live_sessions() const { return sessions_open_.load(); }
+  /// Connections currently alive.
+  uint64_t live_connections() const { return conns_open_.load(); }
+  /// Frames that failed protocol decoding (bad header, garbage opcode,
+  /// malformed body).
+  uint64_t protocol_errors() const { return protocol_errors_.load(); }
+
+ private:
+  struct ServeSession;
+  struct Conn;
+  struct EngineEntry;
+  struct Work;
+
+  // Acceptor / reader / worker loops.
+  void AcceptLoop();
+  void ReadLoop(std::shared_ptr<Conn> conn);
+  void WorkerLoop();
+
+  // Request handlers (run on worker threads).
+  void Dispatch(Work& work);
+  Status HandleClean(Conn& conn, const Frame& frame);
+  Status HandleDelta(Conn& conn, const Frame& frame);
+  Status HandleStats(Conn& conn, const Frame& frame);
+  Status HandleReload(Conn& conn, const Frame& frame);
+  Status HandleCloseSession(Conn& conn, const Frame& frame);
+
+  /// Streams `text` as chunked frames of `op` under the request's tag.
+  Status StreamChunks(Conn& conn, uint32_t tag, Op op,
+                      const std::string& text);
+  Status WriteError(Conn& conn, uint32_t tag, const Status& error);
+
+  /// Resolves a ruleset by name ("" = the sole configured one).
+  Result<EngineEntry*> FindRuleset(const std::string& name);
+  /// Builds a fresh engine from `cfg` (reload path re-reads the files).
+  static Result<std::shared_ptr<CleanEngine>> BuildEngine(
+      const RulesetConfig& cfg, bool warmup);
+
+  DaemonOptions options_;
+  std::vector<std::unique_ptr<EngineEntry>> engines_;
+
+  int listen_fd_ = -1;
+  int port_ = 0;
+  std::atomic<bool> running_{false};
+
+  std::thread acceptor_;
+  std::vector<std::thread> workers_;
+
+  // Reader bookkeeping: readers register themselves so Shutdown can EOF
+  // them, and their threads are joined on the way out.
+  std::mutex conns_mu_;
+  std::unordered_map<uint64_t, std::weak_ptr<Conn>> conns_;
+  std::vector<std::thread> readers_;
+  uint64_t next_conn_id_ = 1;
+
+  // Work queue (readers produce, workers consume).
+  std::mutex queue_mu_;
+  std::condition_variable queue_cv_;
+  std::condition_variable drained_cv_;
+  std::deque<Work> queue_;
+  int in_flight_ = 0;
+  bool stop_workers_ = false;  // guarded by queue_mu_
+
+  // Metrics.
+  struct OpMetrics {
+    std::atomic<uint64_t> requests{0};
+    std::atomic<uint64_t> errors{0};
+    LatencyHistogram latency_us;
+  };
+  static constexpr int kNumRequestOps =
+      static_cast<int>(Op::kCloseSession) + 1;
+  OpMetrics op_metrics_[kNumRequestOps];
+  std::atomic<uint64_t> conns_accepted_{0};
+  std::atomic<uint64_t> conns_open_{0};
+  std::atomic<uint64_t> sessions_open_{0};
+  std::atomic<uint64_t> sessions_opened_total_{0};
+  std::atomic<uint64_t> protocol_errors_{0};
+  std::atomic<uint64_t> next_session_id_{1};
+  double start_time_s_ = 0.0;
+};
+
+}  // namespace serve
+}  // namespace uniclean
+
+#endif  // UNICLEAN_SERVE_SERVER_H_

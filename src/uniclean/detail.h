@@ -61,6 +61,8 @@ inline Status Annotate(const Status& status, const std::string& prefix) {
       return Status::Unimplemented(message);
     case StatusCode::kInternal:
       return Status::Internal(message);
+    case StatusCode::kResourceExhausted:
+      return Status::ResourceExhausted(message);
   }
   return Status::Internal(message);
 }

@@ -40,6 +40,30 @@ Session CleanEngine::NewTrackedSession() const {
   return session;
 }
 
+uint64_t CleanEngine::Fingerprint() const {
+  uint64_t h = 0x9e3779b97f4a7c15ULL;
+  auto fold = [&h](uint64_t v) { h = data::MixU64(h ^ v); };
+  auto fold_str = [&](const std::string& s) {
+    fold(s.size());
+    for (char c : s) fold(static_cast<uint64_t>(static_cast<uint8_t>(c)));
+  };
+  for (const rules::Cfd& cfd : rules_->cfds()) fold_str(cfd.name());
+  for (const rules::Md& md : rules_->mds()) fold_str(md.name());
+  fold(static_cast<uint64_t>(master_->live_size()));
+  for (data::TupleId t = 0; t < master_->size(); ++t) {
+    if (!master_->live(t)) continue;
+    for (const data::Value& v : master_->tuple(t).values()) {
+      // Hash the characters, not the pool id: ids depend on interning order,
+      // and the fingerprint must survive a daemon restart.
+      fold_str(v.is_null() ? std::string("\\N") : v.str());
+    }
+  }
+  fold(static_cast<uint64_t>(config_.eta * 1e9));
+  fold(static_cast<uint64_t>(config_.delta1));
+  fold(static_cast<uint64_t>(config_.delta2 * 1e9));
+  return h;
+}
+
 int CleanEngine::RefreshMasterIndexes() const {
   environment();  // ensure built; past the call_once, env_ is stable
   return env_->RefreshMasterAppend();

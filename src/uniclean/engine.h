@@ -114,6 +114,17 @@ class CleanEngine : public std::enable_shared_from_this<CleanEngine> {
   const rules::RuleSet& rules() const { return *rules_; }
   const PipelineConfig& config() const { return config_; }
 
+  /// A cheap content fingerprint of the engine's static inputs: rule names,
+  /// master cell ids (live tuples only) and the pipeline thresholds, folded
+  /// through the splitmix64 mixer. Two engines built from the same rules,
+  /// master contents and thresholds report the same fingerprint; serving
+  /// deployments (unicleand RELOAD) compare fingerprints across an engine
+  /// swap to tell a no-op reload from a real one. O(master cells) per call;
+  /// safe while sessions run (master data is immutable post-build — a
+  /// caller-owned master grown for RefreshMasterIndexes changes the
+  /// fingerprint, which is the point).
+  uint64_t Fingerprint() const;
+
   /// Phase names a NewSession() pipeline will run, in order.
   std::vector<std::string> PhaseNames() const;
 

@@ -1,0 +1,128 @@
+// common/latency_histogram.h: bucketing accuracy (<= 12.5% relative error),
+// exactness for small values / max / mean, merge semantics, reset, and
+// concurrent recording (the TSan target for the serving metrics path).
+
+#include <algorithm>
+#include <cstdint>
+#include <random>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/latency_histogram.h"
+
+namespace uniclean {
+namespace {
+
+/// Exact p-quantile with the histogram's own rank convention (1-based,
+/// rank = max(1, floor(p * n))).
+uint64_t ExactPercentile(std::vector<uint64_t> values, double p) {
+  std::sort(values.begin(), values.end());
+  uint64_t rank = static_cast<uint64_t>(p * static_cast<double>(values.size()));
+  if (rank == 0) rank = 1;
+  return values[rank - 1];
+}
+
+TEST(LatencyHistogram, EmptyReportsZero) {
+  LatencyHistogram h;
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.mean(), 0u);
+  EXPECT_EQ(h.p50(), 0u);
+  EXPECT_EQ(h.p99(), 0u);
+  EXPECT_EQ(h.Summary(), "count=0 mean=0 p50=0 p95=0 p99=0 max=0");
+}
+
+TEST(LatencyHistogram, SmallValuesAreExact) {
+  // Values 0..15 get a dedicated bucket each: quantiles are exact.
+  LatencyHistogram h;
+  for (uint64_t v = 0; v <= 15; ++v) h.Record(v);
+  EXPECT_EQ(h.count(), 16u);
+  EXPECT_EQ(h.p50(), 7u);   // rank 8 of 16 -> value 7
+  EXPECT_EQ(h.max(), 15u);
+  EXPECT_EQ(h.Percentile(1.0), 15u);
+  EXPECT_EQ(h.Percentile(0.0), 0u);  // clamps to rank 1
+}
+
+TEST(LatencyHistogram, MaxAndMeanAreExact) {
+  LatencyHistogram h;
+  h.Record(1000);
+  h.Record(3000);
+  h.Record(1234567);
+  EXPECT_EQ(h.max(), 1234567u);
+  EXPECT_EQ(h.mean(), (1000u + 3000u + 1234567u) / 3);
+  // The top quantile clamps to the exact max instead of over-reporting the
+  // tail bucket's upper bound; p99 over 3 samples is rank 2 (~3000).
+  EXPECT_EQ(h.Percentile(1.0), 1234567u);
+  EXPECT_GE(h.p99(), 3000u);
+  EXPECT_LE(h.p99(), 3375u);  // 3000 * 1.125
+}
+
+TEST(LatencyHistogram, RelativeErrorWithin12Point5Percent) {
+  std::mt19937_64 rng(42);
+  std::vector<uint64_t> values;
+  LatencyHistogram h;
+  // Magnitudes from tens to tens of millions (us-scale latencies).
+  for (int mag = 1; mag <= 7; ++mag) {
+    const uint64_t lo = static_cast<uint64_t>(std::pow(10.0, mag));
+    std::uniform_int_distribution<uint64_t> dist(lo, lo * 10);
+    for (int i = 0; i < 500; ++i) {
+      const uint64_t v = dist(rng);
+      values.push_back(v);
+      h.Record(v);
+    }
+  }
+  EXPECT_EQ(h.count(), values.size());
+  for (double p : {0.50, 0.90, 0.95, 0.99}) {
+    const uint64_t exact = ExactPercentile(values, p);
+    const uint64_t approx = h.Percentile(p);
+    // The bucket's upper bound is >= the true value and <= 12.5% above it.
+    EXPECT_GE(approx, exact) << "p=" << p;
+    EXPECT_LE(static_cast<double>(approx), 1.125 * static_cast<double>(exact))
+        << "p=" << p;
+  }
+}
+
+TEST(LatencyHistogram, MergeMatchesSingleStream) {
+  LatencyHistogram a, b, combined;
+  std::mt19937_64 rng(7);
+  std::uniform_int_distribution<uint64_t> dist(1, 1u << 20);
+  for (int i = 0; i < 2000; ++i) {
+    const uint64_t v = dist(rng);
+    combined.Record(v);
+    (i % 2 == 0 ? a : b).Record(v);
+  }
+  a.Merge(b);
+  EXPECT_EQ(a.Summary(), combined.Summary());
+}
+
+TEST(LatencyHistogram, ResetClears) {
+  LatencyHistogram h;
+  h.Record(123456);
+  h.Reset();
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_EQ(h.max(), 0u);
+  EXPECT_EQ(h.p99(), 0u);
+}
+
+TEST(LatencyHistogram, ConcurrentRecordIsLossless) {
+  LatencyHistogram h;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      std::mt19937_64 rng(static_cast<uint64_t>(t));
+      std::uniform_int_distribution<uint64_t> dist(1, 1u << 24);
+      for (int i = 0; i < kPerThread; ++i) h.Record(dist(rng));
+    });
+  }
+  for (std::thread& t : threads) t.join();
+  EXPECT_EQ(h.count(), static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_GT(h.max(), 0u);
+  EXPECT_GE(h.p99(), h.p50());
+}
+
+}  // namespace
+}  // namespace uniclean

@@ -1,0 +1,75 @@
+#!/usr/bin/env bash
+# End-to-end daemon smoke test: start unicleand on a generated HOSP sample,
+# run a batch clean plus one streaming DELTA through uniclean_client, assert
+# both journals are byte-identical to in-process uniclean_cli runs on the
+# same inputs, then SIGTERM the daemon and assert a graceful drain (exit 0
+# with the shutdown summary). Driven by CTest and by the CI serve-smoke job.
+#
+# usage: serve_smoke_test.sh CLI SAMPLER DAEMON CLIENT WORK_DIR
+set -u
+
+CLI=$1
+SAMPLER=$2
+DAEMON=$3
+CLIENT=$4
+WORK=$5
+
+fail() {
+  echo "serve_smoke_test: FAIL: $*" >&2
+  [ -n "${DAEMON_PID:-}" ] && kill -9 "$DAEMON_PID" 2>/dev/null
+  [ -f "$WORK/daemon.log" ] && sed 's/^/  daemon: /' "$WORK/daemon.log" >&2
+  exit 1
+}
+
+rm -rf "$WORK"
+mkdir -p "$WORK" || fail "cannot create $WORK"
+cd "$WORK" || fail "cannot cd $WORK"
+
+"$SAMPLER" --out-dir . --tuples 1000 --master 60 >/dev/null \
+  || fail "make_hosp_sample"
+{ head -1 dirty.csv; tail -3 dirty.csv; } > edits.csv
+
+# In-process references: the batch journal and the post-delta canonical one.
+"$CLI" --data dirty.csv --master master.csv --rules rules.txt \
+  --confidence confidence.csv --journal cli_batch.csv --out /dev/null \
+  >/dev/null 2>&1 || fail "uniclean_cli batch run"
+"$CLI" --data dirty.csv --master master.csv --rules rules.txt \
+  --confidence confidence.csv --journal cli_delta.csv --out /dev/null \
+  --delta edits.csv >/dev/null 2>&1 || fail "uniclean_cli delta run"
+
+"$DAEMON" --master master.csv --rules rules.txt --schema dirty.csv \
+  --port 0 --port-file port.txt --workers 2 >daemon.log 2>&1 &
+DAEMON_PID=$!
+
+for _ in $(seq 1 300); do
+  [ -f port.txt ] && break
+  kill -0 "$DAEMON_PID" 2>/dev/null || fail "daemon died during startup"
+  sleep 0.2
+done
+[ -f port.txt ] || fail "daemon never wrote the port file"
+
+"$CLIENT" --port-file port.txt --ping >/dev/null || fail "ping"
+"$CLIENT" --port-file port.txt --clean dirty.csv --confidence confidence.csv \
+  --journal wire_batch.csv --delta edits.csv --delta-journal wire_delta.csv \
+  >/dev/null || fail "client clean+delta"
+
+cmp -s cli_batch.csv wire_batch.csv \
+  || fail "batch journal differs from the in-process run"
+cmp -s cli_delta.csv wire_delta.csv \
+  || fail "delta canonical journal differs from the in-process run"
+
+kill -TERM "$DAEMON_PID" || fail "SIGTERM"
+DRAIN_OK=
+for _ in $(seq 1 300); do
+  if ! kill -0 "$DAEMON_PID" 2>/dev/null; then DRAIN_OK=1; break; fi
+  sleep 0.2
+done
+[ -n "$DRAIN_OK" ] || { kill -9 "$DAEMON_PID"; fail "daemon did not drain"; }
+wait "$DAEMON_PID"
+STATUS=$?
+DAEMON_PID=
+[ "$STATUS" -eq 0 ] || fail "daemon exited $STATUS after SIGTERM"
+grep -q "unicleand summary" daemon.log || fail "no shutdown summary logged"
+
+echo "serve_smoke_test: PASS (journals byte-identical, graceful drain)"
+exit 0

@@ -1,0 +1,465 @@
+// The serving layer (src/serve): wire-protocol parity with the in-process
+// Session API (batch journal and DELTA canonical journal byte-identical),
+// hot reload against in-flight requests (the acceptance pin), tracked
+// session lifecycle (explicit close, reclaim on disconnect), and framing
+// robustness — truncated frames, oversized declared lengths, garbage
+// opcodes, malformed CSV, mid-stream disconnects — all of which must yield
+// a clean error response or connection close, never a daemon crash. Runs
+// an in-process Daemon on an ephemeral port; also the ASan/TSan target for
+// the serving threads.
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <functional>
+#include <memory>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "data/csv.h"
+#include "gen/dataset.h"
+#include "serve/client.h"
+#include "serve/safe_csv.h"
+#include "serve/server.h"
+#include "serve/wire.h"
+#include "uniclean/engine.h"
+#include "uniclean/session.h"
+
+namespace uniclean {
+namespace serve {
+namespace {
+
+/// Polls `cond` for up to ~5s (the daemon reclaims sessions on its reader
+/// threads, so observers wait instead of racing).
+bool Eventually(const std::function<bool()>& cond) {
+  for (int i = 0; i < 500; ++i) {
+    if (cond()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  return cond();
+}
+
+/// Shared across the suite: one generated HOSP dataset written to disk, one
+/// Daemon serving it, and one in-process reference engine built from the
+/// same files. Tests assert daemon counters as deltas, never absolutes.
+struct ServeWorld {
+  std::string dir;
+  std::string dirty_csv;    // the wire payload
+  std::string dirty_path;
+  std::unique_ptr<Daemon> daemon;
+  std::shared_ptr<CleanEngine> reference;
+  std::string reference_journal;  // batch journal CSV on dirty_csv
+
+  static ServeWorld* Get() {
+    static ServeWorld* world = [] {
+      auto* w = new ServeWorld();
+      w->Init();
+      return w;
+    }();
+    return world;
+  }
+
+  void Init() {
+    char tmpl[] = "/tmp/uniclean_serve_test.XXXXXX";
+    ASSERT_NE(::mkdtemp(tmpl), nullptr);
+    dir = tmpl;
+
+    gen::GeneratorConfig config;
+    config.num_tuples = 120;
+    config.master_size = 60;
+    config.noise_rate = 0.08;
+    config.dup_rate = 0.4;
+    config.asserted_rate = 0.4;
+    config.seed = 20260808;
+    gen::Dataset ds = gen::GenerateHosp(config);
+
+    dirty_path = dir + "/dirty.csv";
+    ASSERT_TRUE(data::WriteCsvFile(dirty_path, ds.dirty).ok());
+    ASSERT_TRUE(data::WriteCsvFile(dir + "/master.csv", ds.master).ok());
+    std::ofstream rules(dir + "/rules.txt");
+    rules << ds.rule_text;
+    ASSERT_TRUE(rules.good());
+    rules.close();
+
+    std::ifstream in(dirty_path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    dirty_csv = buf.str();
+
+    RulesetConfig cfg;
+    cfg.name = "hosp";
+    cfg.master_csv = dir + "/master.csv";
+    cfg.rules_file = dir + "/rules.txt";
+    cfg.schema_csv = dirty_path;
+
+    DaemonOptions options;
+    options.port = 0;
+    options.n_workers = 3;
+    options.chunk_size = 1024;  // force multi-chunk streaming
+    daemon = std::make_unique<Daemon>(options, std::vector<RulesetConfig>{cfg});
+    Status started = daemon->Start();
+    ASSERT_TRUE(started.ok()) << started.ToString();
+
+    // The in-process reference: same files, same thresholds.
+    auto schema = data::InferCsvSchema(dirty_path, "data");
+    ASSERT_TRUE(schema.ok()) << schema.status().ToString();
+    auto engine = EngineBuilder()
+                      .WithDataSchema(*schema)
+                      .WithMasterCsv(cfg.master_csv)
+                      .WithRulesFile(cfg.rules_file)
+                      .WithEta(cfg.eta)
+                      .WithDelta1(cfg.delta1)
+                      .WithDelta2(cfg.delta2)
+                      .BuildEngine();
+    ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+    reference = std::move(engine).value();
+    reference_journal = ReferenceBatchJournal();
+    ASSERT_FALSE(reference_journal.empty());
+  }
+
+  Result<data::Relation> LoadDirty() const {
+    return data::ReadCsvFile(dirty_path, reference->rules().data_schema_ptr());
+  }
+
+  std::string ReferenceBatchJournal() const {
+    auto relation = LoadDirty();
+    EXPECT_TRUE(relation.ok()) << relation.status().ToString();
+    Session session = reference->NewSession();
+    auto result = session.Run(&*relation);
+    EXPECT_TRUE(result.ok()) << result.status().ToString();
+    std::ostringstream out;
+    EXPECT_TRUE(result->journal.WriteCsv(out).ok());
+    return out.str();
+  }
+
+  Client Connect() const {
+    auto client = Client::Connect("127.0.0.1", daemon->port());
+    EXPECT_TRUE(client.ok()) << client.status().ToString();
+    return std::move(client).value();
+  }
+};
+
+TEST(ServeTest, PingRoundTrips) {
+  ServeWorld* w = ServeWorld::Get();
+  Client client = w->Connect();
+  EXPECT_TRUE(client.Ping().ok());
+}
+
+TEST(ServeTest, BatchJournalByteIdenticalToInProcessRun) {
+  ServeWorld* w = ServeWorld::Get();
+  Client client = w->Connect();
+  CleanRequest request;
+  request.data_csv = w->dirty_csv;
+  auto reply = client.Clean(request);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(reply->journal_csv, w->reference_journal);
+  EXPECT_EQ(reply->session_id, 0u);  // untracked
+  EXPECT_GT(reply->total_fixes, 0u);
+  EXPECT_NE(reply->phase_summary.find("cRepair="), std::string::npos);
+}
+
+TEST(ServeTest, WantDataReturnsRepairedRelation) {
+  ServeWorld* w = ServeWorld::Get();
+  auto relation = w->LoadDirty();
+  ASSERT_TRUE(relation.ok());
+  Session session = w->reference->NewSession();
+  ASSERT_TRUE(session.Run(&*relation).ok());
+  std::ostringstream expected;
+  ASSERT_TRUE(data::WriteCsv(expected, *relation).ok());
+
+  Client client = w->Connect();
+  CleanRequest request;
+  request.data_csv = w->dirty_csv;
+  request.want_data = true;
+  auto reply = client.Clean(request);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(reply->data_csv, expected.str());
+}
+
+TEST(ServeTest, TrackedDeltaCanonicalJournalByteIdentical) {
+  ServeWorld* w = ServeWorld::Get();
+  const data::SchemaPtr schema = w->reference->rules().data_schema_ptr();
+
+  // Delta content: re-insert two dirty rows, rewrite tuple 0 with tuple 1's
+  // cells, delete tuple 2. Built from the CSV text so the wire and the
+  // in-process reference apply literally identical edits.
+  std::istringstream dirty(w->dirty_csv);
+  std::string header, row0, row1;
+  std::getline(dirty, header);
+  std::getline(dirty, row0);
+  std::getline(dirty, row1);
+  const std::string inserts_csv = header + "\n" + row0 + "\n" + row1 + "\n";
+  const std::string updates_csv = row1 + "\n";
+
+  // In-process reference.
+  auto relation = w->LoadDirty();
+  ASSERT_TRUE(relation.ok());
+  Session session = w->reference->NewTrackedSession();
+  ASSERT_TRUE(session.Run(&*relation).ok());
+  Delta delta;
+  auto inserts = ParseTupleRows(inserts_csv, schema, /*expect_header=*/true);
+  ASSERT_TRUE(inserts.ok()) << inserts.status().ToString();
+  delta.inserts = std::move(inserts).value();
+  auto update_row = ParseTupleRows(updates_csv, schema,
+                                   /*expect_header=*/false);
+  ASSERT_TRUE(update_row.ok());
+  delta.updates.emplace_back(0, std::move(update_row->front()));
+  delta.deletes.push_back(2);
+  auto reference_delta = session.ApplyDelta(delta);
+  ASSERT_TRUE(reference_delta.ok()) << reference_delta.status().ToString();
+  std::ostringstream expected;
+  ASSERT_TRUE(session.CanonicalJournal().WriteCsv(expected).ok());
+
+  // Over the wire.
+  Client client = w->Connect();
+  CleanRequest clean;
+  clean.data_csv = w->dirty_csv;
+  clean.track = true;
+  auto cleaned = client.Clean(clean);
+  ASSERT_TRUE(cleaned.ok()) << cleaned.status().ToString();
+  ASSERT_NE(cleaned->session_id, 0u);
+  DeltaRequest request;
+  request.session_id = cleaned->session_id;
+  request.inserts_csv = inserts_csv;
+  request.update_ids = {0};
+  request.updates_csv = updates_csv;
+  request.delete_ids = {2};
+  auto reply = client.Delta(request);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+
+  EXPECT_EQ(reply->journal_csv, expected.str());
+  EXPECT_EQ(reply->generation,
+            static_cast<uint32_t>(reference_delta->generation));
+  EXPECT_EQ(reply->inserted_ids.size(), 2u);
+  EXPECT_EQ(reply->inserted_ids,
+            std::vector<data::TupleId>(reference_delta->inserted_ids.begin(),
+                                       reference_delta->inserted_ids.end()));
+}
+
+TEST(ServeTest, ReloadMidStreamKeepsInFlightRequestsIntact) {
+  // The acceptance pin: RELOADs racing a stream of CLEANs must neither
+  // drop nor corrupt them — every journal stays byte-identical.
+  ServeWorld* w = ServeWorld::Get();
+  std::atomic<int> failures{0};
+  std::vector<std::thread> cleaners;
+  for (int t = 0; t < 2; ++t) {
+    cleaners.emplace_back([w, &failures] {
+      Client client = w->Connect();
+      for (int i = 0; i < 3; ++i) {
+        CleanRequest request;
+        request.data_csv = w->dirty_csv;
+        auto reply = client.Clean(request);
+        if (!reply.ok() || reply->journal_csv != w->reference_journal) {
+          failures.fetch_add(1);
+        }
+      }
+    });
+  }
+  Client reloader = w->Connect();
+  int reloads_ok = 0;
+  for (int i = 0; i < 3; ++i) {
+    auto report = reloader.Reload("hosp");
+    if (report.ok() && report->find("fingerprint") != std::string::npos) {
+      ++reloads_ok;
+    }
+  }
+  for (std::thread& t : cleaners) t.join();
+  EXPECT_EQ(failures.load(), 0);
+  EXPECT_EQ(reloads_ok, 3);
+  // Same files on disk -> the swapped-in engine has the same fingerprint.
+  Client probe = w->Connect();
+  auto stats = probe.Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_NE(stats->find("\"reloads\": "), std::string::npos);
+}
+
+TEST(ServeTest, PipelinedCleanAndReloadShareOneConnection) {
+  ServeWorld* w = ServeWorld::Get();
+  Client client = w->Connect();
+  CleanRequest request;
+  request.data_csv = w->dirty_csv;
+  auto clean_tag = client.SendClean(request);
+  ASSERT_TRUE(clean_tag.ok());
+  auto reload_tag = client.SendReload("hosp");
+  ASSERT_TRUE(reload_tag.ok());
+  // Await in the opposite order of sending: the client must buffer the
+  // interleaved frames of the other tag.
+  auto report = client.AwaitReload(*reload_tag);
+  ASSERT_TRUE(report.ok()) << report.status().ToString();
+  auto reply = client.AwaitClean(*clean_tag);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(reply->journal_csv, w->reference_journal);
+}
+
+TEST(ServeTest, TrackedSessionReclaimedOnDisconnect) {
+  ServeWorld* w = ServeWorld::Get();
+  const uint64_t baseline = w->daemon->live_sessions();
+  Client client = w->Connect();
+  CleanRequest request;
+  request.data_csv = w->dirty_csv;
+  request.track = true;
+  auto reply = client.Clean(request);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(w->daemon->live_sessions(), baseline + 1);
+  client.Close();  // abrupt disconnect, no CLOSE_SESSION
+  EXPECT_TRUE(Eventually(
+      [&] { return w->daemon->live_sessions() == baseline; }));
+}
+
+TEST(ServeTest, CloseSessionThenDeltaFails) {
+  ServeWorld* w = ServeWorld::Get();
+  Client client = w->Connect();
+  CleanRequest request;
+  request.data_csv = w->dirty_csv;
+  request.track = true;
+  auto reply = client.Clean(request);
+  ASSERT_TRUE(reply.ok());
+  ASSERT_TRUE(client.CloseSession(reply->session_id).ok());
+  DeltaRequest delta;
+  delta.session_id = reply->session_id;
+  auto dr = client.Delta(delta);
+  ASSERT_FALSE(dr.ok());
+  EXPECT_EQ(dr.status().code(), StatusCode::kNotFound);
+}
+
+TEST(ServeTest, UnknownRulesetIsNotFoundAndConnectionSurvives) {
+  ServeWorld* w = ServeWorld::Get();
+  Client client = w->Connect();
+  CleanRequest request;
+  request.ruleset = "nope";
+  request.data_csv = w->dirty_csv;
+  auto reply = client.Clean(request);
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), StatusCode::kNotFound);
+  EXPECT_TRUE(client.Ping().ok());
+}
+
+TEST(ServeTest, MalformedCsvIsInvalidArgumentNotACrash) {
+  ServeWorld* w = ServeWorld::Get();
+  Client client = w->Connect();
+  CleanRequest request;
+  request.data_csv = "wrong,header\noops,1\n";
+  auto reply = client.Clean(request);
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), StatusCode::kInvalidArgument);
+  // Unbalanced quotes deep in the body are caught too.
+  request.data_csv = w->dirty_csv + "\"unterminated";
+  reply = client.Clean(request);
+  ASSERT_FALSE(reply.ok());
+  EXPECT_TRUE(client.Ping().ok());
+}
+
+TEST(ServeTest, GarbageOpcodeGetsErrorResponseAndConnectionSurvives) {
+  ServeWorld* w = ServeWorld::Get();
+  auto fd = ConnectTcp("127.0.0.1", w->daemon->port());
+  ASSERT_TRUE(fd.ok());
+  FrameChannel channel(*fd);
+  const uint64_t errors_before = w->daemon->protocol_errors();
+  ASSERT_TRUE(channel.WriteFrame(7, static_cast<Op>(0x55), "junk").ok());
+  auto frame = channel.ReadFrame();
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  EXPECT_EQ(frame->op, Op::kError);
+  EXPECT_EQ(frame->tag, 7u);
+  // Framing stayed intact: the same connection still serves requests.
+  ASSERT_TRUE(channel.WriteFrame(8, Op::kPing, "x").ok());
+  frame = channel.ReadFrame();
+  ASSERT_TRUE(frame.ok());
+  EXPECT_EQ(frame->op, Op::kPong);
+  EXPECT_GE(w->daemon->protocol_errors(), errors_before + 1);
+}
+
+TEST(ServeTest, OversizedDeclaredLengthClosesConnection) {
+  ServeWorld* w = ServeWorld::Get();
+  auto fd = ConnectTcp("127.0.0.1", w->daemon->port());
+  ASSERT_TRUE(fd.ok());
+  const uint64_t errors_before = w->daemon->protocol_errors();
+  // Header declaring a 256 MiB payload (limit is 64 MiB).
+  unsigned char header[4] = {0, 0, 0, 0x10};
+  ASSERT_EQ(::send(*fd, header, sizeof(header), 0),
+            static_cast<ssize_t>(sizeof(header)));
+  FrameChannel channel(*fd);  // owns + closes the fd
+  // The daemon answers with a tag-0 error (best effort) and closes.
+  auto frame = channel.ReadFrame();
+  if (frame.ok()) {
+    EXPECT_EQ(frame->op, Op::kError);
+    frame = channel.ReadFrame();
+    EXPECT_FALSE(frame.ok());  // then EOF
+  }
+  EXPECT_TRUE(Eventually(
+      [&] { return w->daemon->protocol_errors() >= errors_before + 1; }));
+}
+
+TEST(ServeTest, TruncatedFrameIsAProtocolErrorNotACrash) {
+  ServeWorld* w = ServeWorld::Get();
+  const uint64_t errors_before = w->daemon->protocol_errors();
+  {
+    auto fd = ConnectTcp("127.0.0.1", w->daemon->port());
+    ASSERT_TRUE(fd.ok());
+    // Declare 100 payload bytes, send 7, disconnect mid-frame.
+    unsigned char partial[11] = {100, 0, 0, 0, /*tag*/ 1, 0, 0, 0,
+                                 /*op*/ 0x01, 'h', 'i'};
+    ASSERT_EQ(::send(*fd, partial, sizeof(partial), 0),
+              static_cast<ssize_t>(sizeof(partial)));
+    ::close(*fd);
+  }
+  EXPECT_TRUE(Eventually(
+      [&] { return w->daemon->protocol_errors() >= errors_before + 1; }));
+  // Daemon is still serving.
+  Client client = ServeWorld::Get()->Connect();
+  EXPECT_TRUE(client.Ping().ok());
+}
+
+TEST(ServeTest, SlowReaderStillReceivesEveryChunkByte) {
+  // chunk_size is 1024, so the journal streams as many frames; a reader
+  // that dawdles between frames must still assemble identical bytes.
+  ServeWorld* w = ServeWorld::Get();
+  Client client = w->Connect();
+  CleanRequest request;
+  request.data_csv = w->dirty_csv;
+  auto tag = client.SendClean(request);
+  ASSERT_TRUE(tag.ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  auto reply = client.AwaitClean(*tag);
+  ASSERT_TRUE(reply.ok());
+  EXPECT_EQ(reply->journal_csv, w->reference_journal);
+}
+
+TEST(ServeTest, StatsReportsServingCounters) {
+  ServeWorld* w = ServeWorld::Get();
+  Client client = w->Connect();
+  ASSERT_TRUE(client.Ping().ok());
+  auto json = client.Stats();
+  ASSERT_TRUE(json.ok());
+  EXPECT_NE(json->find("\"CLEAN\""), std::string::npos);
+  EXPECT_NE(json->find("\"latency_us\""), std::string::npos);
+  EXPECT_NE(json->find("\"fingerprint\""), std::string::npos);
+  EXPECT_NE(json->find("\"memo\""), std::string::npos);
+  EXPECT_NE(json->find("\"string_pool\""), std::string::npos);
+  EXPECT_FALSE(w->daemon->SummaryText().empty());
+}
+
+TEST(ServeTest, PoolExhaustionTravelsAsResourceExhausted) {
+  // The satellite contract: StringPool id-space exhaustion (OutOfRange at
+  // the pool layer) reaches wire clients as ResourceExhausted.
+  const Status pool_error = Status::OutOfRange(
+      "StringPool: id space exhausted (268435455 ids interned)");
+  const uint8_t code = WireErrorCode(pool_error);
+  EXPECT_EQ(code, static_cast<uint8_t>(StatusCode::kResourceExhausted));
+  const Status round_tripped = StatusFromWire(code, pool_error.message());
+  EXPECT_EQ(round_tripped.code(), StatusCode::kResourceExhausted);
+  // Ordinary OutOfRange (not the pool) stays OutOfRange.
+  EXPECT_EQ(WireErrorCode(Status::OutOfRange("index out of range")),
+            static_cast<uint8_t>(StatusCode::kOutOfRange));
+}
+
+}  // namespace
+}  // namespace serve
+}  // namespace uniclean
