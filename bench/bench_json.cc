@@ -24,6 +24,7 @@
 #include <sys/resource.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <chrono>
 #include <cstdio>
@@ -31,6 +32,7 @@
 #include <cstring>
 #include <fstream>
 #include <memory>
+#include <mutex>
 #include <new>
 #include <sstream>
 #include <string>
@@ -122,6 +124,12 @@ struct Measurement {
   unsigned long long alloc_bytes = 0;
   long long extra = -1;  // total_fixes for pipeline points, matches for
                          // ablation points; -1 when not applicable
+  // Overload-point extras (emitted only when >= 0): client-observed
+  // end-to-end request latency including retry backoff, and the fraction of
+  // admission attempts the daemon refused.
+  double p50_ms = -1.0;
+  double p99_ms = -1.0;
+  double reject_rate = -1.0;
 };
 
 std::vector<Measurement>& Results() {
@@ -503,6 +511,133 @@ void ServePoint(const std::string& dataset, int num_tuples, int master_size) {
   client.Close();
   daemon.Shutdown();
 }
+
+/// Overload point: a daemon sized for 4 concurrent CLEANs (2 workers + 2
+/// queue slots) takes 8 concurrent retrying clients — 2x capacity. The
+/// excess is refused at admission with kUnavailable + retry-after and the
+/// clients' capped exponential backoff carries every request to success;
+/// the point records client-observed p50/p99 end-to-end latency (backoff
+/// included) and the daemon's admission rejection rate.
+void ServeOverloadPoint(const std::string& dataset, int num_tuples,
+                        int master_size) {
+  gen::GeneratorConfig config;
+  config.num_tuples = num_tuples;
+  config.master_size = master_size;
+  config.noise_rate = 0.06;
+  config.dup_rate = 0.4;
+  config.seed = 1;
+  gen::Dataset ds = Generate(dataset, config);
+
+  char dir_template[] = "/tmp/uniclean_bench_overload.XXXXXX";
+  if (::mkdtemp(dir_template) == nullptr) {
+    std::fprintf(stderr, "bench_json: mkdtemp failed\n");
+    std::exit(2);
+  }
+  const std::string dir = dir_template;
+  if (!data::WriteCsvFile(dir + "/dirty.csv", ds.dirty).ok() ||
+      !data::WriteCsvFile(dir + "/master.csv", ds.master).ok()) {
+    std::fprintf(stderr, "bench_json: cannot write the overload dataset\n");
+    std::exit(2);
+  }
+  {
+    std::ofstream rules(dir + "/rules.txt");
+    rules << ds.rule_text;
+  }
+  std::ostringstream dirty_csv;
+  if (!data::WriteCsv(dirty_csv, ds.dirty).ok()) std::exit(2);
+
+  serve::RulesetConfig ruleset;
+  ruleset.name = dataset;
+  ruleset.master_csv = dir + "/master.csv";
+  ruleset.rules_file = dir + "/rules.txt";
+  ruleset.schema_csv = dir + "/dirty.csv";
+  ruleset.eta = 1.0;
+  serve::DaemonOptions options;
+  options.port = 0;
+  options.n_workers = 2;
+  options.max_queue = 2;
+  serve::Daemon daemon(options, {ruleset});
+  Status started = daemon.Start();
+  if (!started.ok()) {
+    std::fprintf(stderr, "bench_json: overload daemon start failed: %s\n",
+                 started.ToString().c_str());
+    std::exit(2);
+  }
+  {
+    // Pre-warm the engine memos so the measured phase is the serving
+    // steady state, not the first request's cache fill.
+    auto warm = serve::Client::Connect("127.0.0.1", daemon.port());
+    if (!warm.ok()) std::exit(2);
+    serve::CleanRequest request;
+    request.data_csv = dirty_csv.str();
+    if (!warm->Clean(request).ok()) {
+      std::fprintf(stderr, "bench_json: overload pre-warm failed\n");
+      std::exit(2);
+    }
+  }
+
+  constexpr int kClients = 8;            // 2x the admission capacity
+  constexpr int kRequestsPerClient = 4;
+  std::vector<double> latencies_ms;      // joined before reading
+  std::mutex latencies_mu;
+  const std::string name =
+      "serve_" + dataset + "_overload_n" + std::to_string(num_tuples);
+  Measure(name, dataset, num_tuples, master_size, "overload",
+          kClients * kRequestsPerClient * num_tuples, [&]() -> long long {
+            std::atomic<long long> fixes{0};
+            std::vector<std::thread> threads;
+            for (int i = 0; i < kClients; ++i) {
+              threads.emplace_back([&, i] {
+                auto connected =
+                    serve::Client::Connect("127.0.0.1", daemon.port());
+                if (!connected.ok()) std::exit(2);
+                serve::Client client = std::move(connected).value();
+                serve::RetryPolicy policy;
+                policy.max_retries = 200;
+                policy.base_backoff_ms = 5;
+                policy.max_backoff_ms = 100;
+                policy.jitter_seed = static_cast<uint64_t>(i + 1);
+                client.set_retry_policy(policy);
+                std::vector<double> mine;
+                for (int r = 0; r < kRequestsPerClient; ++r) {
+                  serve::CleanRequest request;
+                  request.data_csv = dirty_csv.str();
+                  const double t0 = Now();
+                  auto reply = client.Clean(request);
+                  if (!reply.ok()) {
+                    std::fprintf(stderr,
+                                 "bench_json: overloaded clean failed: %s\n",
+                                 reply.status().ToString().c_str());
+                    std::exit(2);
+                  }
+                  mine.push_back((Now() - t0) * 1000.0);
+                  fixes.fetch_add(reply->total_fixes);
+                }
+                std::lock_guard<std::mutex> lock(latencies_mu);
+                latencies_ms.insert(latencies_ms.end(), mine.begin(),
+                                    mine.end());
+              });
+            }
+            for (std::thread& t : threads) t.join();
+            return fixes.load();
+          });
+
+  std::sort(latencies_ms.begin(), latencies_ms.end());
+  const size_t n = latencies_ms.size();
+  Measurement& m = Results().back();
+  m.p50_ms = latencies_ms[n / 2];
+  m.p99_ms = latencies_ms[(n * 99) / 100 < n ? (n * 99) / 100 : n - 1];
+  const double rejected = static_cast<double>(daemon.requests_rejected());
+  const double attempts =
+      rejected + static_cast<double>(kClients * kRequestsPerClient);
+  m.reject_rate = attempts > 0 ? rejected / attempts : 0.0;
+  std::printf(
+      "    %s: p50 %.1f ms, p99 %.1f ms, reject rate %.2f "
+      "(%llu refusals)\n",
+      name.c_str(), m.p50_ms, m.p99_ms, m.reject_rate,
+      static_cast<unsigned long long>(daemon.requests_rejected()));
+  daemon.Shutdown();
+}
 #endif  // UNICLEAN_HAVE_SERVE
 
 /// The §5.2 blocking ablation: per-probe match cost with the suffix-tree
@@ -552,10 +687,17 @@ void WriteJson(const std::string& path) {
         "\"master_size\": %d, \"phases\": \"%s\", \"wall_s\": %.6f, "
         "\"items_per_sec\": %.1f, \"rss_kb\": %ld, "
         "\"cumulative_peak_rss_kb\": %ld, \"allocs\": %llu, "
-        "\"alloc_bytes\": %llu, \"result\": %lld}%s\n",
+        "\"alloc_bytes\": %llu, \"result\": %lld",
         m.name.c_str(), m.dataset.c_str(), m.num_tuples, m.master_size,
         m.phases.c_str(), m.wall_s, m.items_per_sec, m.rss_kb, m.peak_rss_kb,
-        m.allocs, m.alloc_bytes, m.extra, i + 1 < rs.size() ? "," : "");
+        m.allocs, m.alloc_bytes, m.extra);
+    if (m.p50_ms >= 0) {
+      std::fprintf(f,
+                   ", \"p50_ms\": %.2f, \"p99_ms\": %.2f, "
+                   "\"reject_rate\": %.4f",
+                   m.p50_ms, m.p99_ms, m.reject_rate);
+    }
+    std::fprintf(f, "}%s\n", i + 1 < rs.size() ? "," : "");
   }
   std::fprintf(f, "  ]\n}\n");
   std::fclose(f);
@@ -610,8 +752,12 @@ int main(int argc, char** argv) {
   SessionPoint("tpch", 1000, 300);
 #ifdef UNICLEAN_HAVE_SERVE
   // Serving round trips: the same cold/warm pair measured end-to-end
-  // through unicleand's wire protocol (in-process daemon + client).
+  // through unicleand's wire protocol (in-process daemon + client), then
+  // the admission-control point at 2x capacity (8 retrying clients vs
+  // 2 workers + 2 queue slots): p50/p99 end-to-end latency and the
+  // rejection rate.
   ServePoint("hosp", 1000, 500);
+  ServeOverloadPoint("hosp", quick ? 250 : 1000, quick ? 125 : 500);
 #endif
   // Concurrent sessions: a shared warm engine cleans a 12-relation batch
   // through RunBatch at 1 / 2 / 4 threads (journals pinned byte-identical

@@ -22,6 +22,9 @@ enum class StatusCode {
   kUnimplemented,
   kInternal,
   kResourceExhausted,
+  kDeadlineExceeded,
+  kCancelled,
+  kUnavailable,
 };
 
 /// Returns a short human-readable name, e.g. "InvalidArgument".
@@ -61,6 +64,24 @@ class Status {
   /// instead of aborting (see serve/wire.h).
   static Status ResourceExhausted(std::string msg) {
     return Status(StatusCode::kResourceExhausted, std::move(msg));
+  }
+  /// The caller-supplied deadline passed before the work finished. The
+  /// operation unwound cleanly between committed fixes (see
+  /// common/cancellation.h); retrying with a larger deadline is safe.
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  /// The caller explicitly abandoned the operation via a CancelToken.
+  /// Like kDeadlineExceeded the unwind is clean; unlike it, retrying is
+  /// pointless unless whoever cancelled changes their mind.
+  static Status Cancelled(std::string msg) {
+    return Status(StatusCode::kCancelled, std::move(msg));
+  }
+  /// The service refused the request up front (full queue, admission cap)
+  /// without doing any work. Always safe to retry after backing off; the
+  /// wire error may carry a retry-after hint (see serve/wire.h).
+  static Status Unavailable(std::string msg) {
+    return Status(StatusCode::kUnavailable, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

@@ -80,6 +80,7 @@ class CRepairRun {
     // Tombstoned tuples never enter the worklist here, so they stay out of
     // every group table and queue downstream.
     for (TupleId t = 0; t < d_.size(); ++t) {
+      if ((t & (kCancelStride - 1)) == 0 && Interrupted()) return stats_;
       if (!d_.live(t)) continue;
       // Rules with an empty premise apply unconditionally.
       for (RuleId rule = 0; rule < ruleset_.num_rules(); ++rule) {
@@ -93,8 +94,14 @@ class CRepairRun {
         }
       }
     }
-    // Main loop (Fig. 4 lines 7-15).
+    // Main loop (Fig. 4 lines 7-15). The token is polled only here, at the
+    // top of a pop — i.e. between committed Fix() applications — so an
+    // interrupted run never leaves a half-written cell.
     while (!worklist_.empty()) {
+      if ((stats_.rule_applications & (kCancelStride - 1)) == 0 &&
+          Interrupted()) {
+        return stats_;
+      }
       auto [t, rule] = worklist_.front();
       worklist_.pop_front();
       ++stats_.rule_applications;
@@ -114,6 +121,19 @@ class CRepairRun {
   }
 
  private:
+  // Poll granularity for the cancellation token: every 64 worklist pops /
+  // init tuples. Cheap enough to keep cancellation latency in the
+  // microseconds on the HOSP workloads without a measurable polling cost.
+  static constexpr int64_t kCancelStride = 64;
+
+  bool Interrupted() {
+    if (options_.cancel == nullptr || !options_.cancel->IsCancelled()) {
+      return false;
+    }
+    stats_.interrupt = options_.cancel->status();
+    return true;
+  }
+
   size_t CellIndex(TupleId t, AttributeId a) const {
     return static_cast<size_t>(t) *
                static_cast<size_t>(d_.schema().arity()) +

@@ -11,6 +11,8 @@
 #include <utility>
 #include <vector>
 
+#include "common/cancellation.h"
+#include "common/status.h"
 #include "core/fix_observer.h"
 #include "core/match_environment.h"
 #include "core/md_matcher.h"
@@ -30,6 +32,11 @@ struct CRepairOptions {
   /// Optional per-fix callback (see fix_observer.h); called exactly once per
   /// deterministic fix, with the rule that produced it.
   FixObserver on_fix;
+  /// Optional cooperative-cancellation token, polled between committed fixes
+  /// (never mid-write). On trip the run stops early and reports the token's
+  /// status in CRepairStats::interrupt; the relation keeps every fix applied
+  /// so far and nothing torn.
+  const common::CancelToken* cancel = nullptr;
 };
 
 struct CRepairStats {
@@ -48,6 +55,9 @@ struct CRepairStats {
   /// pairs whose MD premise held when an MD rule was applied. Used by the
   /// Exp-2 evaluation ("repairing helps matching").
   std::vector<std::pair<data::TupleId, data::TupleId>> md_matches;
+  /// OK for a completed run; DeadlineExceeded/Cancelled when
+  /// CRepairOptions::cancel tripped and the run stopped early.
+  Status interrupt;
 };
 
 /// Runs cRepair in place: fixes cells of `d`, upgrades their confidence and

@@ -55,6 +55,12 @@ class ERepairRun {
       changed = false;
       ++stats_.passes;
       for (RuleId rule : order) {
+        // Polled between rule resolutions — every fix applied so far has
+        // already been observed, so an interrupted run is never torn.
+        if (options_.cancel != nullptr && options_.cancel->IsCancelled()) {
+          stats_.interrupt = options_.cancel->status();
+          return stats_;
+        }
         int before = stats_.reliable_fixes;
         switch (ruleset_.kind(rule)) {
           case rules::RuleKind::kVariableCfd:

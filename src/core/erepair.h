@@ -9,6 +9,8 @@
 #ifndef UNICLEAN_CORE_EREPAIR_H_
 #define UNICLEAN_CORE_EREPAIR_H_
 
+#include "common/cancellation.h"
+#include "common/status.h"
 #include "core/fix_observer.h"
 #include "core/match_environment.h"
 #include "core/md_matcher.h"
@@ -31,6 +33,11 @@ struct ERepairOptions {
   /// Optional per-fix callback (see fix_observer.h); called once per reliable
   /// fix — a cell rewritten twice produces two calls.
   FixObserver on_fix;
+  /// Optional cooperative-cancellation token, polled between rule
+  /// resolutions (never mid-write). On trip the run stops early with
+  /// ERepairStats::interrupt set; every fix applied so far was observed,
+  /// nothing is torn.
+  const common::CancelToken* cancel = nullptr;
 };
 
 struct ERepairStats {
@@ -44,6 +51,9 @@ struct ERepairStats {
   int groups_skipped_high_entropy = 0;
   /// Full passes over the rule order until fixpoint.
   int passes = 0;
+  /// OK for a completed run; DeadlineExceeded/Cancelled when
+  /// ERepairOptions::cancel tripped and the run stopped early.
+  Status interrupt;
 };
 
 /// Entropy of a variable CFD for one group (§6.1):

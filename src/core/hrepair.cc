@@ -66,6 +66,14 @@ class HRepairRun {
       changed = false;
       ++stats_.passes;
       for (RuleId rule = 0; rule < ruleset_.num_rules(); ++rule) {
+        // hRepair only observes fixes after the fixpoint below, so a
+        // cancelled run rolls the view back to the phase entry state
+        // (original_ is already a clone): zero committed fixes, no tear.
+        if (options_.cancel != nullptr && options_.cancel->IsCancelled()) {
+          stats_.interrupt = options_.cancel->status();
+          view_ = original_;
+          return stats_;
+        }
         current_rule_ = rule;
         switch (ruleset_.kind(rule)) {
           case rules::RuleKind::kConstantCfd:

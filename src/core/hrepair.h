@@ -17,6 +17,8 @@
 #ifndef UNICLEAN_CORE_HREPAIR_H_
 #define UNICLEAN_CORE_HREPAIR_H_
 
+#include "common/cancellation.h"
+#include "common/status.h"
 #include "core/fix_observer.h"
 #include "core/match_environment.h"
 #include "core/md_matcher.h"
@@ -34,6 +36,12 @@ struct HRepairOptions {
   /// fix — i.e. per cell whose final value differs from the phase input —
   /// with the rule that last retargeted the cell's equivalence class.
   FixObserver on_fix;
+  /// Optional cooperative-cancellation token, polled between rule
+  /// resolutions. hRepair observes its fixes only once the fixpoint is
+  /// reached, so on trip the phase rolls the relation back to its entry
+  /// state (it already keeps a clone for the cost model): zero fixes
+  /// committed, HRepairStats::interrupt set, never a torn relation.
+  const common::CancelToken* cancel = nullptr;
 };
 
 struct HRepairStats {
@@ -51,6 +59,10 @@ struct HRepairStats {
   /// Violations that could not be resolved (conflicting frozen classes —
   /// indicates contradictory deterministic fixes; 0 for consistent input).
   int anomalies = 0;
+  /// OK for a completed run; DeadlineExceeded/Cancelled when
+  /// HRepairOptions::cancel tripped (the relation was rolled back to the
+  /// phase's entry state).
+  Status interrupt;
 };
 
 /// Runs hRepair in place; returns statistics. After the call (with zero

@@ -1,5 +1,7 @@
 #include "serve/client.h"
 
+#include <chrono>
+#include <thread>
 #include <utility>
 
 namespace uniclean {
@@ -16,6 +18,16 @@ std::string IdListText(const std::vector<data::TupleId>& ids) {
   return out;
 }
 
+// splitmix64: a cheap, stateless mixer — good enough to decorrelate the
+// backoff of clients that share a seed-by-index convention, and fully
+// deterministic for tests.
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
 }  // namespace
 
 Result<Client> Client::Connect(const std::string& host, int port) {
@@ -23,9 +35,38 @@ Result<Client> Client::Connect(const std::string& host, int port) {
   return Client(std::make_unique<FrameChannel>(fd));
 }
 
-Status Client::Send(uint32_t tag, Op op, std::string_view body) {
+Status Client::Send(uint32_t tag, Op op, std::string_view body,
+                    uint32_t deadline_ms) {
   if (!channel_) return Status::FailedPrecondition("client is not connected");
-  return channel_->WriteFrame(tag, op, body);
+  return channel_->WriteFrame(tag, op, body,
+                              deadline_ms != 0 ? deadline_ms
+                                               : default_deadline_ms_);
+}
+
+uint32_t Client::BackoffMs(int attempt) const {
+  uint64_t backoff = retry_policy_.base_backoff_ms;
+  // Saturating doubling: attempt counts can exceed the bits in a u64 when
+  // a caller configures a huge retry budget.
+  for (int i = 0; i < attempt && backoff < retry_policy_.max_backoff_ms; ++i) {
+    backoff *= 2;
+  }
+  if (backoff > retry_policy_.max_backoff_ms) {
+    backoff = retry_policy_.max_backoff_ms;
+  }
+  const uint64_t jitter =
+      SplitMix64(retry_policy_.jitter_seed ^
+                 (0x5bf03635ull * static_cast<uint64_t>(attempt + 1))) %
+      (backoff / 2 + 1);
+  uint64_t wait = backoff - backoff / 2 + jitter;  // in [ceil(b/2), b]
+  if (last_retry_after_ms_ > wait) wait = last_retry_after_ms_;
+  return static_cast<uint32_t>(wait);
+}
+
+bool Client::MaybeBackoff(int attempt) {
+  if (attempt >= retry_policy_.max_retries) return false;
+  ++retries_performed_;
+  std::this_thread::sleep_for(std::chrono::milliseconds(BackoffMs(attempt)));
+  return true;
 }
 
 Result<Frame> Client::ReadFor(uint32_t tag) {
@@ -59,6 +100,10 @@ Result<Frame> Client::ReadTerminal(uint32_t tag, Op expect,
         BodyReader body(frame.body);
         UC_ASSIGN_OR_RETURN(uint8_t code, body.U8());
         UC_ASSIGN_OR_RETURN(std::string message, body.Lp());
+        // Optional trailer (absent in pre-deadline daemons): the backoff
+        // hint for kUnavailable rejections.
+        last_retry_after_ms_ =
+            body.remaining() >= 4 ? body.U32().value() : 0;
         return StatusFromWire(code, std::move(message));
       }
       default:
@@ -91,7 +136,7 @@ Result<uint32_t> Client::SendClean(const CleanRequest& request) {
   PutLp(&body, request.data_csv);
   PutLp(&body, request.confidence_csv);
   const uint32_t tag = next_tag_++;
-  UC_RETURN_IF_ERROR(Send(tag, Op::kClean, body));
+  UC_RETURN_IF_ERROR(Send(tag, Op::kClean, body, request.deadline_ms));
   return tag;
 }
 
@@ -109,8 +154,16 @@ Result<CleanReply> Client::AwaitClean(uint32_t tag) {
 }
 
 Result<CleanReply> Client::Clean(const CleanRequest& request) {
-  UC_ASSIGN_OR_RETURN(uint32_t tag, SendClean(request));
-  return AwaitClean(tag);
+  for (int attempt = 0;; ++attempt) {
+    UC_ASSIGN_OR_RETURN(uint32_t tag, SendClean(request));
+    Result<CleanReply> reply = AwaitClean(tag);
+    // Only kUnavailable retries: the daemon rejected before doing any
+    // work, so resending cannot double-apply.
+    if (reply.ok() || reply.status().code() != StatusCode::kUnavailable ||
+        !MaybeBackoff(attempt)) {
+      return reply;
+    }
+  }
 }
 
 Result<DeltaReply> Client::Delta(const DeltaRequest& request) {
@@ -120,9 +173,18 @@ Result<DeltaReply> Client::Delta(const DeltaRequest& request) {
   PutLp(&body, IdListText(request.update_ids));
   PutLp(&body, request.updates_csv);
   PutLp(&body, IdListText(request.delete_ids));
-  const uint32_t tag = next_tag_++;
-  UC_RETURN_IF_ERROR(Send(tag, Op::kDelta, body));
+  for (int attempt = 0;; ++attempt) {
+    const uint32_t tag = next_tag_++;
+    UC_RETURN_IF_ERROR(Send(tag, Op::kDelta, body, request.deadline_ms));
+    Result<DeltaReply> reply = AwaitDelta(tag);
+    if (reply.ok() || reply.status().code() != StatusCode::kUnavailable ||
+        !MaybeBackoff(attempt)) {
+      return reply;
+    }
+  }
+}
 
+Result<DeltaReply> Client::AwaitDelta(uint32_t tag) {
   DeltaReply reply;
   UC_ASSIGN_OR_RETURN(Frame frame,
                       ReadTerminal(tag, Op::kDeltaDone, &reply.journal_csv,
@@ -174,6 +236,17 @@ Result<std::string> Client::AwaitReload(uint32_t tag) {
 Result<std::string> Client::Reload(const std::string& ruleset) {
   UC_ASSIGN_OR_RETURN(uint32_t tag, SendReload(ruleset));
   return AwaitReload(tag);
+}
+
+Status Client::Cancel(uint32_t target_tag) {
+  std::string body;
+  PutU32(&body, target_tag);
+  const uint32_t tag = next_tag_++;
+  UC_RETURN_IF_ERROR(Send(tag, Op::kCancel, body));
+  UC_ASSIGN_OR_RETURN(Frame frame,
+                      ReadTerminal(tag, Op::kOk, nullptr, nullptr));
+  (void)frame;
+  return Status::OK();
 }
 
 Status Client::CloseSession(uint64_t session_id) {

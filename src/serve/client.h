@@ -16,6 +16,14 @@
 // A Client is NOT thread-safe: one thread drives it. For concurrent
 // traffic, open one Client per thread (connections are cheap; tracked
 // sessions are per-connection server-side).
+//
+// Overload behaviour: when the daemon refuses a request with kUnavailable
+// (bounded queue / per-ruleset cap), Clean() and Delta() retry with capped
+// exponential backoff — deterministic given RetryPolicy::jitter_seed — and
+// honour the server's retry-after-ms hint as a floor. Only kUnavailable
+// retries: by contract the daemon rejected before doing any work, so the
+// retry cannot double-apply anything. Per-request deadlines ride the frame
+// header (deadline_ms); Cancel(tag) abandons an in-flight pipelined call.
 
 #ifndef UNICLEAN_SERVE_CLIENT_H_
 #define UNICLEAN_SERVE_CLIENT_H_
@@ -44,6 +52,9 @@ struct CleanRequest {
   bool track = false;
   /// Also stream back the repaired relation as CSV.
   bool want_data = false;
+  /// Relative deadline for this request, enforced server-side (covers queue
+  /// wait + execution). 0 = the client default, else the server default.
+  uint32_t deadline_ms = 0;
 };
 
 struct CleanReply {
@@ -68,6 +79,8 @@ struct DeltaRequest {
   std::vector<data::TupleId> update_ids;
   std::string updates_csv;  // header-less rows, one per update id
   std::vector<data::TupleId> delete_ids;
+  /// Relative deadline for this request (see CleanRequest::deadline_ms).
+  uint32_t deadline_ms = 0;
 };
 
 struct DeltaReply {
@@ -80,6 +93,20 @@ struct DeltaReply {
   /// The covering canonical journal CSV — byte-identical to
   /// Session::CanonicalJournal().WriteCsv after the same in-process edits.
   std::string journal_csv;
+};
+
+/// Backoff schedule for kUnavailable rejections. Attempt n waits a
+/// uniformly jittered value in [backoff/2, backoff] where backoff =
+/// min(base_backoff_ms << n, max_backoff_ms), raised to the server's
+/// retry-after hint when that is larger. The jitter is a pure function of
+/// (jitter_seed, attempt), so tests are reproducible.
+struct RetryPolicy {
+  /// Additional attempts after the first (0 = fail fast, the old
+  /// behaviour).
+  int max_retries = 0;
+  uint32_t base_backoff_ms = 50;
+  uint32_t max_backoff_ms = 2000;
+  uint64_t jitter_seed = 1;
 };
 
 class Client {
@@ -101,6 +128,22 @@ class Client {
   /// per-ruleset fingerprint report.
   Result<std::string> Reload(const std::string& ruleset = "");
   Status CloseSession(uint64_t session_id);
+  /// Asks the daemon to abandon the in-flight request sent under `tag` on
+  /// this connection (pipelined calls). Returns once the daemon
+  /// acknowledges; the cancelled request's Await then fails kCancelled.
+  /// Benign if the target already finished.
+  Status Cancel(uint32_t tag);
+
+  /// Retry/backoff for kUnavailable rejections (default: no retries).
+  void set_retry_policy(RetryPolicy policy) { retry_policy_ = policy; }
+  const RetryPolicy& retry_policy() const { return retry_policy_; }
+  /// Deadline applied to requests whose own deadline_ms is 0.
+  void set_default_deadline_ms(uint32_t ms) { default_deadline_ms_ = ms; }
+  /// The retry-after-ms hint from the most recent kError reply (0 if none
+  /// was hinted). Tests assert the overload contract through this.
+  uint32_t last_retry_after_ms() const { return last_retry_after_ms_; }
+  /// Rejections absorbed by retries across this client's lifetime.
+  uint64_t retries_performed() const { return retries_performed_; }
 
   // --- pipelined variants ---------------------------------------------------
   /// Sends without waiting; pass the returned tag to the Await call.
@@ -120,16 +163,27 @@ class Client {
   explicit Client(std::unique_ptr<FrameChannel> channel)
       : channel_(std::move(channel)) {}
 
-  Status Send(uint32_t tag, Op op, std::string_view body);
+  Status Send(uint32_t tag, Op op, std::string_view body,
+              uint32_t deadline_ms = 0);
   /// Reads until a frame for `tag` arrives, buffering other tags' frames.
   Result<Frame> ReadFor(uint32_t tag);
   Result<Frame> ReadTerminal(uint32_t tag, Op expect, std::string* journal,
                              std::string* data);
+  Result<DeltaReply> AwaitDelta(uint32_t tag);
+  /// The wait before retry `attempt` (0-based); see RetryPolicy.
+  uint32_t BackoffMs(int attempt) const;
+  /// Sleeps BackoffMs(attempt) if another retry is allowed; false = budget
+  /// exhausted, surface the rejection.
+  bool MaybeBackoff(int attempt);
 
   std::unique_ptr<FrameChannel> channel_;
   uint32_t next_tag_ = 1;
   /// Frames received for tags other than the one currently awaited.
   std::map<uint32_t, std::vector<Frame>> pending_;
+  RetryPolicy retry_policy_;
+  uint32_t default_deadline_ms_ = 0;
+  uint32_t last_retry_after_ms_ = 0;
+  uint64_t retries_performed_ = 0;
 };
 
 }  // namespace serve

@@ -127,6 +127,8 @@ struct Daemon::EngineEntry {
   mutable std::mutex mu;
   std::shared_ptr<CleanEngine> engine;
   std::atomic<uint64_t> reloads{0};
+  /// CLEANs currently running against this ruleset (admission cap).
+  std::atomic<int> inflight{0};
 
   std::shared_ptr<CleanEngine> Get() const {
     std::lock_guard<std::mutex> lock(mu);
@@ -138,6 +140,15 @@ struct Daemon::Work {
   std::shared_ptr<Conn> conn;
   Frame frame;
   uint64_t enqueue_us = 0;
+  /// When the worker picked it up (queue wait = dequeue - enqueue).
+  uint64_t dequeue_us = 0;
+  /// Armed at admission from the frame's deadline_ms (or the server
+  /// default); reachable for CANCEL/shutdown through the token registry.
+  std::shared_ptr<common::CancelToken> token;
+  /// Filled by handlers that resolve one (request-log field).
+  std::string ruleset;
+  /// Response bytes written for this request (request-log field).
+  uint64_t bytes_out = 0;
 };
 
 // ---------------------------------------------------------------------------
@@ -200,6 +211,16 @@ Status Daemon::Start() {
     UC_ASSIGN_OR_RETURN(engines_[i]->engine,
                         BuildEngine(engines_[i]->cfg, options_.warmup));
   }
+  if (!options_.request_log_path.empty()) {
+    request_log_ = std::fopen(options_.request_log_path.c_str(), "a");
+    if (request_log_ == nullptr) {
+      return Status::InvalidArgument("cannot open request log '" +
+                                     options_.request_log_path + "'");
+    }
+    // Line-buffered: each request's JSON line is visible as soon as it is
+    // written, without per-line flush syscall storms.
+    std::setvbuf(request_log_, nullptr, _IOLBF, 1 << 16);
+  }
   UC_ASSIGN_OR_RETURN(listen_fd_,
                       ListenTcp(options_.host, options_.port, &port_));
   start_time_s_ = NowS();
@@ -234,10 +255,21 @@ void Daemon::Shutdown() {
     readers.swap(readers_);
   }
   for (std::thread& t : readers) t.join();
-  // 3. Drain: every queued request is served before the workers stop.
+  // 3. Drain: every queued request is served before the workers stop — but
+  //    a request wedged past the grace budget has its token cancelled, so
+  //    the engines unwind it cooperatively and the drain still completes.
   {
     std::unique_lock<std::mutex> lock(queue_mu_);
-    drained_cv_.wait(lock, [&] { return queue_.empty() && in_flight_ == 0; });
+    const auto drained = [&] { return queue_.empty() && in_flight_ == 0; };
+    if (options_.drain_grace_ms > 0 &&
+        !drained_cv_.wait_for(
+            lock, std::chrono::milliseconds(options_.drain_grace_ms),
+            drained)) {
+      lock.unlock();
+      CancelAllTokens("daemon shutting down");
+      lock.lock();
+    }
+    drained_cv_.wait(lock, drained);
     stop_workers_ = true;
   }
   queue_cv_.notify_all();
@@ -254,6 +286,19 @@ void Daemon::Shutdown() {
     ::close(listen_fd_);
     listen_fd_ = -1;
   }
+  {
+    std::lock_guard<std::mutex> lock(tokens_mu_);
+    tokens_.clear();
+  }
+  if (request_log_ != nullptr) {
+    std::fclose(request_log_);
+    request_log_ = nullptr;
+  }
+}
+
+void Daemon::CancelAllTokens(const std::string& reason) {
+  std::lock_guard<std::mutex> lock(tokens_mu_);
+  for (auto& [key, token] : tokens_) token->Cancel(reason);
 }
 
 // ---------------------------------------------------------------------------
@@ -309,9 +354,41 @@ void Daemon::ReadLoop(std::shared_ptr<Conn> conn) {
                      std::to_string(static_cast<uint8_t>(frame->op))));
       continue;
     }
+    if (frame->op == Op::kCancel) {
+      // Handled right here on the reader thread: CANCEL must reach its
+      // target even when the queue is full and every worker is wedged.
+      HandleCancelInline(*conn, *frame);
+      continue;
+    }
+    // Admission control. The queue bound is checked under queue_mu_ so the
+    // limit is exact; a refused request is answered immediately (with a
+    // backoff hint) and costs no worker time and no queue slot.
+    Work work;
+    work.conn = conn;
+    work.frame = std::move(frame).value();
+    work.token = MakeToken(work.frame.deadline_ms);
+    const int op_index = static_cast<int>(work.frame.op);
+    bool admitted = true;
     {
       std::lock_guard<std::mutex> lock(queue_mu_);
-      queue_.push_back(Work{conn, std::move(frame).value(), NowUs()});
+      if (options_.max_queue > 0 &&
+          queue_.size() >= static_cast<size_t>(options_.max_queue)) {
+        admitted = false;
+      } else {
+        work.enqueue_us = NowUs();
+        RegisterToken(conn->id, work.frame.tag, work.token);
+        queue_.push_back(std::move(work));
+      }
+    }
+    if (!admitted) {
+      op_metrics_[op_index].rejected.fetch_add(1, std::memory_order_relaxed);
+      rejected_total_.fetch_add(1, std::memory_order_relaxed);
+      const Status unavailable = Status::Unavailable(
+          "work queue full (" + std::to_string(options_.max_queue) +
+          " queued); retry after the hinted backoff");
+      LogRequest(work, /*run_us=*/0, unavailable);
+      WriteError(*conn, work.frame.tag, unavailable, RetryAfterMsHint());
+      continue;
     }
     queue_cv_.notify_one();
   }
@@ -334,6 +411,7 @@ void Daemon::WorkerLoop() {
       queue_.pop_front();
       ++in_flight_;
     }
+    work.dequeue_us = NowUs();
     Dispatch(work);
     {
       std::lock_guard<std::mutex> lock(queue_mu_);
@@ -356,6 +434,10 @@ void Daemon::Dispatch(Work& work) {
   if (conn.closing.load()) {
     // The client is gone; don't spend a clean on a response nobody reads.
     metrics.errors.fetch_add(1, std::memory_order_relaxed);
+  } else if (work.token != nullptr && work.token->IsCancelled()) {
+    // Expired (or cancelled) while queued: answer without running the
+    // handler — the deadline covers queue wait, not just execution.
+    status = work.token->status();
   } else {
     switch (work.frame.op) {
       case Op::kPing: {
@@ -363,32 +445,55 @@ void Daemon::Dispatch(Work& work) {
         status =
             conn.channel.WriteFrame(work.frame.tag, Op::kPong,
                                     work.frame.body);
+        work.bytes_out += work.frame.body.size();
         break;
       }
       case Op::kClean:
-        status = HandleClean(conn, work.frame);
+        status = HandleClean(work);
         break;
       case Op::kDelta:
-        status = HandleDelta(conn, work.frame);
+        status = HandleDelta(work);
         break;
       case Op::kStats:
-        status = HandleStats(conn, work.frame);
+        status = HandleStats(work);
         break;
       case Op::kReload:
-        status = HandleReload(conn, work.frame);
+        status = HandleReload(work);
         break;
       case Op::kCloseSession:
-        status = HandleCloseSession(conn, work.frame);
+        status = HandleCloseSession(work);
         break;
       default:
         status = Status::Internal("unreachable: non-request op dispatched");
     }
-    if (!status.ok()) {
-      metrics.errors.fetch_add(1, std::memory_order_relaxed);
-      WriteError(conn, work.frame.tag, status);
+  }
+  if (!status.ok()) {
+    metrics.errors.fetch_add(1, std::memory_order_relaxed);
+    if (status.code() == StatusCode::kCancelled) {
+      metrics.cancelled.fetch_add(1, std::memory_order_relaxed);
+      cancelled_total_.fetch_add(1, std::memory_order_relaxed);
+    } else if (status.code() == StatusCode::kDeadlineExceeded) {
+      metrics.deadline_exceeded.fetch_add(1, std::memory_order_relaxed);
+      deadline_total_.fetch_add(1, std::memory_order_relaxed);
+    } else if (status.code() == StatusCode::kUnavailable) {
+      // The per-ruleset in-flight cap refuses inside the handler; it is
+      // still an admission rejection, not a failure of the work itself.
+      metrics.rejected.fetch_add(1, std::memory_order_relaxed);
+      rejected_total_.fetch_add(1, std::memory_order_relaxed);
+    }
+    // The counters record the unwind either way; the response is only
+    // worth writing while someone is still reading (shutdown-drain
+    // cancellations typically race the reader's exit).
+    if (!conn.closing.load()) {
+      WriteError(conn, work.frame.tag, status,
+                 status.code() == StatusCode::kUnavailable ? RetryAfterMsHint()
+                                                           : 0);
     }
   }
-  metrics.latency_us.Record(NowUs() - work.enqueue_us);
+  UnregisterToken(conn.id, work.frame.tag);
+  const uint64_t now = NowUs();
+  metrics.latency_us.Record(now - work.enqueue_us);
+  LogRequest(work, now - work.dequeue_us, status);
 }
 
 Result<Daemon::EngineEntry*> Daemon::FindRuleset(const std::string& name) {
@@ -404,27 +509,44 @@ Result<Daemon::EngineEntry*> Daemon::FindRuleset(const std::string& name) {
   return Status::NotFound("unknown ruleset '" + name + "'");
 }
 
-Status Daemon::StreamChunks(Conn& conn, uint32_t tag, Op op,
-                            const std::string& text) {
+Status Daemon::StreamChunks(Work& work, Op op, const std::string& text) {
+  Conn& conn = *work.conn;
   const size_t chunk = std::max<size_t>(1, options_.chunk_size);
   for (size_t at = 0; at < text.size(); at += chunk) {
     std::string_view piece(text.data() + at,
                            std::min(chunk, text.size() - at));
     std::lock_guard<std::mutex> lock(conn.write_mu);
-    UC_RETURN_IF_ERROR(conn.channel.WriteFrame(tag, op, piece));
+    UC_RETURN_IF_ERROR(conn.channel.WriteFrame(work.frame.tag, op, piece));
+    work.bytes_out += piece.size();
   }
   return Status::OK();
 }
 
-Status Daemon::WriteError(Conn& conn, uint32_t tag, const Status& error) {
+Status Daemon::WriteError(Conn& conn, uint32_t tag, const Status& error,
+                          uint32_t retry_after_ms) {
   std::string body;
   PutU8(&body, WireErrorCode(error));
   PutLp(&body, error.message());
+  PutU32(&body, retry_after_ms);
   std::lock_guard<std::mutex> lock(conn.write_mu);
   return conn.channel.WriteFrame(tag, Op::kError, body);
 }
 
-Status Daemon::HandleClean(Conn& conn, const Frame& frame) {
+namespace {
+
+/// Releases a per-ruleset in-flight slot on every exit path.
+struct InflightGuard {
+  std::atomic<int>* counter;
+  ~InflightGuard() {
+    if (counter != nullptr) counter->fetch_sub(1, std::memory_order_acq_rel);
+  }
+};
+
+}  // namespace
+
+Status Daemon::HandleClean(Work& work) {
+  Conn& conn = *work.conn;
+  const Frame& frame = work.frame;
   BodyReader body(frame.body);
   UC_ASSIGN_OR_RETURN(uint8_t flags, body.U8());
   UC_ASSIGN_OR_RETURN(std::string ruleset, body.Lp());
@@ -432,7 +554,28 @@ Status Daemon::HandleClean(Conn& conn, const Frame& frame) {
   UC_ASSIGN_OR_RETURN(std::string confidence_csv, body.Lp());
 
   UC_ASSIGN_OR_RETURN(EngineEntry * entry, FindRuleset(ruleset));
+  work.ruleset = entry->cfg.name;
+
+  // Per-ruleset admission: one hot ruleset must not occupy every worker.
+  // fetch_add-then-check keeps the cap exact under concurrent CLEANs.
+  InflightGuard inflight{nullptr};
+  if (options_.max_inflight_per_ruleset > 0) {
+    if (entry->inflight.fetch_add(1, std::memory_order_acq_rel) >=
+        options_.max_inflight_per_ruleset) {
+      entry->inflight.fetch_sub(1, std::memory_order_acq_rel);
+      return Status::Unavailable(
+          "ruleset '" + entry->cfg.name + "' is at its in-flight CLEAN cap (" +
+          std::to_string(options_.max_inflight_per_ruleset) +
+          "); retry after the hinted backoff");
+    }
+    inflight.counter = &entry->inflight;
+  }
+
   std::shared_ptr<CleanEngine> engine = entry->Get();
+
+  if (fault_hook_) {
+    UC_RETURN_IF_ERROR(fault_hook_("clean.before_run", work.token.get()));
+  }
 
   auto session = std::make_shared<ServeSession>();
   {
@@ -450,18 +593,21 @@ Status Daemon::HandleClean(Conn& conn, const Frame& frame) {
   const bool track = (flags & kCleanTrack) != 0;
   session->session =
       track ? engine->NewTrackedSession() : engine->NewSession();
+  // The token is cleared again right after Run: a tracked session outlives
+  // this request, and later DELTAs must not observe a long-tripped token.
+  session->session.set_cancel_token(work.token);
   Result<CleanResult> result = session->session.Run(session->relation.get());
+  session->session.set_cancel_token(nullptr);
   if (!result.ok()) return result.status();
 
   std::ostringstream journal_csv;
   UC_RETURN_IF_ERROR(result->journal.WriteCsv(journal_csv));
   UC_RETURN_IF_ERROR(
-      StreamChunks(conn, frame.tag, Op::kJournalChunk, journal_csv.str()));
+      StreamChunks(work, Op::kJournalChunk, journal_csv.str()));
   if ((flags & kCleanWantData) != 0) {
     std::ostringstream data_out;
     UC_RETURN_IF_ERROR(data::WriteCsv(data_out, *session->relation));
-    UC_RETURN_IF_ERROR(
-        StreamChunks(conn, frame.tag, Op::kDataChunk, data_out.str()));
+    UC_RETURN_IF_ERROR(StreamChunks(work, Op::kDataChunk, data_out.str()));
   }
 
   uint64_t session_id = 0;
@@ -485,11 +631,14 @@ Status Daemon::HandleClean(Conn& conn, const Frame& frame) {
   PutU32(&done, static_cast<uint32_t>(result->total_fixes()));
   PutU32(&done, static_cast<uint32_t>(result->journal.size()));
   PutLp(&done, summary);
+  work.bytes_out += done.size();
   std::lock_guard<std::mutex> lock(conn.write_mu);
   return conn.channel.WriteFrame(frame.tag, Op::kCleanDone, done);
 }
 
-Status Daemon::HandleDelta(Conn& conn, const Frame& frame) {
+Status Daemon::HandleDelta(Work& work) {
+  Conn& conn = *work.conn;
+  const Frame& frame = work.frame;
   BodyReader body(frame.body);
   UC_ASSIGN_OR_RETURN(uint64_t session_id, body.U64());
   UC_ASSIGN_OR_RETURN(std::string inserts_csv, body.Lp());
@@ -538,7 +687,13 @@ Status Daemon::HandleDelta(Conn& conn, const Frame& frame) {
   // One DELTA at a time per session (Session is single-threaded); DELTAs to
   // different sessions proceed in parallel on other workers.
   std::lock_guard<std::mutex> session_lock(session->mu);
+  if (fault_hook_) {
+    UC_RETURN_IF_ERROR(fault_hook_("delta.before_apply", work.token.get()));
+  }
+  // Token cleared right after: the session outlives this request.
+  session->session.set_cancel_token(work.token);
   Result<DeltaResult> dr = session->session.ApplyDelta(delta);
+  session->session.set_cancel_token(nullptr);
   if (!dr.ok()) return dr.status();
 
   // The canonical journal is the covering, batch-equivalent view — what the
@@ -547,7 +702,7 @@ Status Daemon::HandleDelta(Conn& conn, const Frame& frame) {
   UC_RETURN_IF_ERROR(
       session->session.CanonicalJournal().WriteCsv(journal_csv));
   UC_RETURN_IF_ERROR(
-      StreamChunks(conn, frame.tag, Op::kJournalChunk, journal_csv.str()));
+      StreamChunks(work, Op::kJournalChunk, journal_csv.str()));
 
   std::string inserted_ids;
   for (data::TupleId t : dr->inserted_ids) {
@@ -560,17 +715,22 @@ Status Daemon::HandleDelta(Conn& conn, const Frame& frame) {
   PutU32(&done, static_cast<uint32_t>(dr->refinement_rounds));
   PutU32(&done, static_cast<uint32_t>(dr->total_fixes()));
   PutLp(&done, inserted_ids);
+  work.bytes_out += done.size();
   std::lock_guard<std::mutex> lock(conn.write_mu);
   return conn.channel.WriteFrame(frame.tag, Op::kDeltaDone, done);
 }
 
-Status Daemon::HandleStats(Conn& conn, const Frame& frame) {
+Status Daemon::HandleStats(Work& work) {
+  Conn& conn = *work.conn;
   const std::string json = StatsJson();
+  work.bytes_out += json.size();
   std::lock_guard<std::mutex> lock(conn.write_mu);
-  return conn.channel.WriteFrame(frame.tag, Op::kStatsReply, json);
+  return conn.channel.WriteFrame(work.frame.tag, Op::kStatsReply, json);
 }
 
-Status Daemon::HandleReload(Conn& conn, const Frame& frame) {
+Status Daemon::HandleReload(Work& work) {
+  Conn& conn = *work.conn;
+  const Frame& frame = work.frame;
   BodyReader body(frame.body);
   UC_ASSIGN_OR_RETURN(std::string name, body.Lp());
   std::vector<EngineEntry*> targets;
@@ -601,11 +761,14 @@ Status Daemon::HandleReload(Conn& conn, const Frame& frame) {
   }
   std::string ok_body;
   PutLp(&ok_body, message);
+  work.bytes_out += ok_body.size();
   std::lock_guard<std::mutex> lock(conn.write_mu);
   return conn.channel.WriteFrame(frame.tag, Op::kOk, ok_body);
 }
 
-Status Daemon::HandleCloseSession(Conn& conn, const Frame& frame) {
+Status Daemon::HandleCloseSession(Work& work) {
+  Conn& conn = *work.conn;
+  const Frame& frame = work.frame;
   BodyReader body(frame.body);
   UC_ASSIGN_OR_RETURN(uint64_t session_id, body.U64());
   {
@@ -618,8 +781,102 @@ Status Daemon::HandleCloseSession(Conn& conn, const Frame& frame) {
   sessions_open_.fetch_sub(1, std::memory_order_relaxed);
   std::string ok_body;
   PutLp(&ok_body, "session " + std::to_string(session_id) + " closed");
+  work.bytes_out += ok_body.size();
   std::lock_guard<std::mutex> lock(conn.write_mu);
   return conn.channel.WriteFrame(frame.tag, Op::kOk, ok_body);
+}
+
+void Daemon::HandleCancelInline(Conn& conn, const Frame& frame) {
+  OpMetrics& metrics = op_metrics_[static_cast<int>(Op::kCancel)];
+  metrics.requests.fetch_add(1, std::memory_order_relaxed);
+  const uint64_t t0 = NowUs();
+  BodyReader body(frame.body);
+  Result<uint32_t> target = body.U32();
+  if (!target.ok()) {
+    metrics.errors.fetch_add(1, std::memory_order_relaxed);
+    WriteError(conn, frame.tag, target.status());
+    return;
+  }
+  bool found = false;
+  {
+    std::lock_guard<std::mutex> lock(tokens_mu_);
+    auto it = tokens_.find({conn.id, target.value()});
+    if (it != tokens_.end()) {
+      it->second->Cancel("cancelled by client");
+      found = true;
+    }
+  }
+  // kOk either way: cancelling a request that already finished is a benign
+  // race, not an error the client can act on.
+  std::string ok_body;
+  PutLp(&ok_body, "tag " + std::to_string(target.value()) +
+                      (found ? " cancelled" : " not in flight"));
+  {
+    std::lock_guard<std::mutex> lock(conn.write_mu);
+    if (!conn.channel.WriteFrame(frame.tag, Op::kOk, ok_body).ok()) {
+      metrics.errors.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  metrics.latency_us.Record(NowUs() - t0);
+}
+
+// ---------------------------------------------------------------------------
+// Admission / cancellation plumbing
+// ---------------------------------------------------------------------------
+
+std::shared_ptr<common::CancelToken> Daemon::MakeToken(uint32_t deadline_ms) {
+  const int64_t ms = deadline_ms != 0
+                         ? static_cast<int64_t>(deadline_ms)
+                         : static_cast<int64_t>(options_.request_timeout_ms);
+  if (ms > 0) return common::CancelToken::WithTimeout(ms);
+  return std::make_shared<common::CancelToken>();
+}
+
+void Daemon::RegisterToken(uint64_t conn_id, uint32_t tag,
+                           std::shared_ptr<common::CancelToken> token) {
+  std::lock_guard<std::mutex> lock(tokens_mu_);
+  // A tag reused while its predecessor is in flight simply replaces the
+  // registry entry; CANCEL then reaches the newer request, which is what
+  // the client meant by reusing the tag.
+  tokens_[{conn_id, tag}] = std::move(token);
+}
+
+void Daemon::UnregisterToken(uint64_t conn_id, uint32_t tag) {
+  std::lock_guard<std::mutex> lock(tokens_mu_);
+  tokens_.erase({conn_id, tag});
+}
+
+uint32_t Daemon::RetryAfterMsHint() const {
+  // Roughly one median CLEAN of breathing room. With no samples yet (cold
+  // daemon under instant overload) suggest a conservative 50 ms.
+  const double p50_us =
+      op_metrics_[static_cast<int>(Op::kClean)].latency_us.p50();
+  if (p50_us <= 0) return 50;
+  const double ms = p50_us / 1000.0;
+  if (ms < 10) return 10;
+  if (ms > 2000) return 2000;
+  return static_cast<uint32_t>(ms);
+}
+
+void Daemon::LogRequest(const Work& work, uint64_t run_us,
+                        const Status& status) {
+  if (request_log_ == nullptr) return;
+  const uint64_t queue_wait_us = work.dequeue_us > work.enqueue_us
+                                     ? work.dequeue_us - work.enqueue_us
+                                     : 0;
+  std::string line = "{\"op\": \"";
+  line += OpName(work.frame.op);
+  line += "\", \"ruleset\": \"" + JsonEscape(work.ruleset) + "\"";
+  line += ", \"tag\": " + std::to_string(work.frame.tag);
+  line += ", \"bytes_in\": " + std::to_string(work.frame.body.size());
+  line += ", \"bytes_out\": " + std::to_string(work.bytes_out);
+  line += ", \"queue_wait_us\": " + std::to_string(queue_wait_us);
+  line += ", \"run_us\": " + std::to_string(run_us);
+  line += ", \"status\": \"";
+  line += StatusCodeToString(status.code());
+  line += "\"}\n";
+  std::lock_guard<std::mutex> lock(request_log_mu_);
+  std::fputs(line.c_str(), request_log_);
 }
 
 // ---------------------------------------------------------------------------
@@ -639,16 +896,25 @@ std::string Daemon::StatsJson() const {
          "},\n";
   out += "  \"protocol_errors\": " + std::to_string(protocol_errors_.load()) +
          ",\n";
+  out += "  \"overload\": {\"rejected\": " + std::to_string(
+             rejected_total_.load()) +
+         ", \"cancelled\": " + std::to_string(cancelled_total_.load()) +
+         ", \"deadline_exceeded\": " + std::to_string(deadline_total_.load()) +
+         "},\n";
   out += "  \"requests\": {";
   bool first = true;
   for (int op = static_cast<int>(Op::kPing);
-       op <= static_cast<int>(Op::kCloseSession); ++op) {
+       op <= static_cast<int>(Op::kCancel); ++op) {
     const OpMetrics& m = op_metrics_[op];
     if (!first) out += ',';
     first = false;
     out += "\n    \"" + std::string(OpName(static_cast<Op>(op))) +
            "\": {\"count\": " + std::to_string(m.requests.load()) +
            ", \"errors\": " + std::to_string(m.errors.load()) +
+           ", \"rejected\": " + std::to_string(m.rejected.load()) +
+           ", \"cancelled\": " + std::to_string(m.cancelled.load()) +
+           ", \"deadline_exceeded\": " +
+           std::to_string(m.deadline_exceeded.load()) +
            ", \"latency_us\": " + HistogramJson(m.latency_us) + "}";
   }
   out += "\n  },\n";
@@ -687,14 +953,28 @@ std::string Daemon::SummaryText() const {
                     " tracked session(s), " +
                     std::to_string(protocol_errors_.load()) +
                     " protocol error(s)\n";
+  out += "  overload: " + std::to_string(rejected_total_.load()) +
+         " rejected, " + std::to_string(cancelled_total_.load()) +
+         " cancelled, " + std::to_string(deadline_total_.load()) +
+         " deadline-exceeded\n";
   for (int op = static_cast<int>(Op::kPing);
-       op <= static_cast<int>(Op::kCloseSession); ++op) {
+       op <= static_cast<int>(Op::kCancel); ++op) {
     const OpMetrics& m = op_metrics_[op];
-    if (m.requests.load() == 0) continue;
+    if (m.requests.load() == 0 && m.rejected.load() == 0) continue;
     out += "  " + std::string(OpName(static_cast<Op>(op))) + ": " +
            std::to_string(m.requests.load()) + " request(s), " +
-           std::to_string(m.errors.load()) + " error(s), latency_us " +
-           m.latency_us.Summary() + "\n";
+           std::to_string(m.errors.load()) + " error(s)";
+    if (m.rejected.load() != 0) {
+      out += ", " + std::to_string(m.rejected.load()) + " rejected";
+    }
+    if (m.cancelled.load() != 0) {
+      out += ", " + std::to_string(m.cancelled.load()) + " cancelled";
+    }
+    if (m.deadline_exceeded.load() != 0) {
+      out += ", " + std::to_string(m.deadline_exceeded.load()) +
+             " deadline-exceeded";
+    }
+    out += ", latency_us " + m.latency_us.Summary() + "\n";
   }
   for (const auto& entry : engines_) {
     std::shared_ptr<CleanEngine> engine = entry->Get();

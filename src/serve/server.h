@@ -23,14 +23,30 @@
 //    response (or a connection close for unframeable garbage), never a
 //    CHECK-abort of the daemon.
 //
-//  * Observability — per-opcode request/error counters and microsecond
-//    LatencyHistograms (common/latency_histogram.h), engine MemoStats,
-//    fingerprints and reload counts, StringPool occupancy; all exposed as
-//    the STATS JSON document and rendered once more as the shutdown
-//    summary.
+//  * Overload control — the work queue is bounded (DaemonOptions::
+//    max_queue) and each ruleset caps its concurrently running CLEANs
+//    (max_inflight_per_ruleset); a request over either limit is refused
+//    *immediately* with kUnavailable plus a retry-after-ms hint, on the
+//    reader thread, so overload degrades into fast rejections instead of
+//    unbounded queue growth. Every admitted request carries a
+//    common::CancelToken armed from its wire deadline (or the
+//    request_timeout_ms default); the repair engines poll it between
+//    committed fixes, so an expired or CANCELled request unwinds with
+//    kDeadlineExceeded / kCancelled and zero partial fixes. The CANCEL
+//    opcode is handled on the reader thread — it reaches a request even
+//    when every worker is busy.
+//
+//  * Observability — per-opcode request/error/rejected/cancelled/
+//    deadline-exceeded counters and microsecond LatencyHistograms
+//    (common/latency_histogram.h), engine MemoStats, fingerprints and
+//    reload counts, StringPool occupancy; all exposed as the STATS JSON
+//    document and rendered once more as the shutdown summary. Optional
+//    per-request JSON log (request_log_path).
 //
 // Shutdown() is a graceful drain: stop accepting, EOF every reader, finish
-// the queued work, then join. The unicleand binary wires SIGTERM to it.
+// the queued work, then join — except that after drain_grace_ms every
+// still-running request's token is cancelled, so a wedged request cannot
+// hold the drain hostage. The unicleand binary wires SIGTERM to it.
 
 #ifndef UNICLEAN_SERVE_SERVER_H_
 #define UNICLEAN_SERVE_SERVER_H_
@@ -38,14 +54,20 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <cstdio>
 #include <deque>
+#include <functional>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/latency_histogram.h"
 #include "common/result.h"
 #include "serve/wire.h"
@@ -85,6 +107,29 @@ struct DaemonOptions {
   size_t chunk_size = 64 * 1024;
   /// Build the match environments at Start() instead of on first request.
   bool warmup = true;
+  /// Work-queue bound (admission control): a request arriving while this
+  /// many are already queued is refused immediately with kUnavailable plus
+  /// a retry-after-ms hint instead of queueing unboundedly. 0 = unbounded
+  /// (the pre-admission-control behaviour).
+  int max_queue = 0;
+  /// Per-ruleset cap on concurrently *running* CLEANs: one hot ruleset
+  /// cannot occupy every worker. Excess CLEANs get kUnavailable +
+  /// retry-after. 0 = uncapped.
+  int max_inflight_per_ruleset = 0;
+  /// Default per-request deadline, applied when the request frame's
+  /// deadline_ms field is 0. Enforced cooperatively: the repair engines
+  /// poll the deadline between committed fixes and unwind with
+  /// kDeadlineExceeded. 0 = no default (requests without an explicit
+  /// deadline never expire).
+  int request_timeout_ms = 0;
+  /// Graceful-shutdown drain budget: after this long, still-running
+  /// requests have their cancel tokens tripped ("daemon shutting down") and
+  /// the drain completes as they unwind. <= 0 = wait forever (the
+  /// pre-cancellation behaviour).
+  int drain_grace_ms = 5000;
+  /// When non-empty, one JSON line per request (opcode, ruleset, tag, bytes
+  /// in/out, queue-wait us, run us, status) is appended here, line-buffered.
+  std::string request_log_path;
 };
 
 class Daemon {
@@ -124,6 +169,22 @@ class Daemon {
   /// Frames that failed protocol decoding (bad header, garbage opcode,
   /// malformed body).
   uint64_t protocol_errors() const { return protocol_errors_.load(); }
+  /// Requests refused at admission (full queue / per-ruleset cap), i.e.
+  /// answered kUnavailable without any work.
+  uint64_t requests_rejected() const { return rejected_total_.load(); }
+  /// Requests that unwound with kCancelled (CANCEL opcode or shutdown).
+  uint64_t requests_cancelled() const { return cancelled_total_.load(); }
+  /// Requests that unwound with kDeadlineExceeded.
+  uint64_t deadlines_exceeded() const { return deadline_total_.load(); }
+
+  /// Test-only fault injection: when set (before Start), handlers invoke the
+  /// hook at named points ("clean.before_run", "delta.before_apply") with
+  /// the request's cancel token. A hook that blocks models a stalled
+  /// worker — it should poll the token and return its status once tripped; a
+  /// non-OK return is reported as that request's failure.
+  using FaultHook =
+      std::function<Status(std::string_view point, const common::CancelToken*)>;
+  void SetFaultHookForTest(FaultHook hook) { fault_hook_ = std::move(hook); }
 
  private:
   struct ServeSession;
@@ -136,18 +197,29 @@ class Daemon {
   void ReadLoop(std::shared_ptr<Conn> conn);
   void WorkerLoop();
 
-  // Request handlers (run on worker threads).
+  // Request handlers (run on worker threads; CANCEL runs on the reader).
   void Dispatch(Work& work);
-  Status HandleClean(Conn& conn, const Frame& frame);
-  Status HandleDelta(Conn& conn, const Frame& frame);
-  Status HandleStats(Conn& conn, const Frame& frame);
-  Status HandleReload(Conn& conn, const Frame& frame);
-  Status HandleCloseSession(Conn& conn, const Frame& frame);
+  Status HandleClean(Work& work);
+  Status HandleDelta(Work& work);
+  Status HandleStats(Work& work);
+  Status HandleReload(Work& work);
+  Status HandleCloseSession(Work& work);
+  void HandleCancelInline(Conn& conn, const Frame& frame);
 
   /// Streams `text` as chunked frames of `op` under the request's tag.
-  Status StreamChunks(Conn& conn, uint32_t tag, Op op,
-                      const std::string& text);
-  Status WriteError(Conn& conn, uint32_t tag, const Status& error);
+  Status StreamChunks(Work& work, Op op, const std::string& text);
+  /// `retry_after_ms` rides the kError trailer (0 = no hint).
+  Status WriteError(Conn& conn, uint32_t tag, const Status& error,
+                    uint32_t retry_after_ms = 0);
+
+  // Admission / cancellation plumbing.
+  std::shared_ptr<common::CancelToken> MakeToken(uint32_t deadline_ms);
+  void RegisterToken(uint64_t conn_id, uint32_t tag,
+                     std::shared_ptr<common::CancelToken> token);
+  void UnregisterToken(uint64_t conn_id, uint32_t tag);
+  /// Backoff hint for kUnavailable: roughly one median CLEAN, clamped.
+  uint32_t RetryAfterMsHint() const;
+  void LogRequest(const Work& work, uint64_t run_us, const Status& status);
 
   /// Resolves a ruleset by name ("" = the sole configured one).
   Result<EngineEntry*> FindRuleset(const std::string& name);
@@ -180,20 +252,46 @@ class Daemon {
   int in_flight_ = 0;
   bool stop_workers_ = false;  // guarded by queue_mu_
 
+  // Cancel-token registry, keyed (connection id, request tag). Lives at
+  // daemon level — not on the Conn — because a reader unregisters its Conn
+  // on exit while its requests may still be in flight, and Shutdown's drain
+  // grace must reach every live token.
+  std::mutex tokens_mu_;
+  std::map<std::pair<uint64_t, uint32_t>,
+           std::shared_ptr<common::CancelToken>>
+      tokens_;
+  void CancelAllTokens(const std::string& reason);
+
+  // Structured request log (--log-requests); null when disabled.
+  std::FILE* request_log_ = nullptr;
+  std::mutex request_log_mu_;
+
+  FaultHook fault_hook_;
+
   // Metrics.
   struct OpMetrics {
+    /// Dispatched to a worker (== accepted; rejected requests never count
+    /// here).
     std::atomic<uint64_t> requests{0};
     std::atomic<uint64_t> errors{0};
+    /// Refused at admission with kUnavailable (full queue / ruleset cap).
+    std::atomic<uint64_t> rejected{0};
+    /// Unwound with kCancelled (CANCEL opcode, client gone, or shutdown).
+    std::atomic<uint64_t> cancelled{0};
+    /// Unwound with kDeadlineExceeded.
+    std::atomic<uint64_t> deadline_exceeded{0};
     LatencyHistogram latency_us;
   };
-  static constexpr int kNumRequestOps =
-      static_cast<int>(Op::kCloseSession) + 1;
+  static constexpr int kNumRequestOps = static_cast<int>(Op::kCancel) + 1;
   OpMetrics op_metrics_[kNumRequestOps];
   std::atomic<uint64_t> conns_accepted_{0};
   std::atomic<uint64_t> conns_open_{0};
   std::atomic<uint64_t> sessions_open_{0};
   std::atomic<uint64_t> sessions_opened_total_{0};
   std::atomic<uint64_t> protocol_errors_{0};
+  std::atomic<uint64_t> rejected_total_{0};
+  std::atomic<uint64_t> cancelled_total_{0};
+  std::atomic<uint64_t> deadline_total_{0};
   std::atomic<uint64_t> next_session_id_{1};
   double start_time_s_ = 0.0;
 };

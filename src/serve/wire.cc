@@ -34,6 +34,8 @@ const char* OpName(Op op) {
       return "RELOAD";
     case Op::kCloseSession:
       return "CLOSE_SESSION";
+    case Op::kCancel:
+      return "CANCEL";
     case Op::kPong:
       return "PONG";
     case Op::kJournalChunk:
@@ -56,7 +58,7 @@ const char* OpName(Op op) {
 
 bool IsRequestOp(uint8_t op) {
   return op >= static_cast<uint8_t>(Op::kPing) &&
-         op <= static_cast<uint8_t>(Op::kCloseSession);
+         op <= static_cast<uint8_t>(Op::kCancel);
 }
 
 // --- body encoding ---------------------------------------------------------
@@ -197,18 +199,21 @@ Result<Frame> FrameChannel::ReadFrame() {
   if (clean_eof) return Status::Corruption("connection closed mid-frame");
   Frame frame;
   BodyReader prefix(payload);
-  frame.tag = prefix.U32().value();  // len >= 5 guarantees these two
+  frame.tag = prefix.U32().value();  // len >= 9 guarantees these three
   frame.op = static_cast<Op>(prefix.U8().value());
+  frame.deadline_ms = prefix.U32().value();
   frame.body = prefix.Rest();
   return frame;
 }
 
-Status FrameChannel::WriteFrame(uint32_t tag, Op op, std::string_view body) {
+Status FrameChannel::WriteFrame(uint32_t tag, Op op, std::string_view body,
+                                uint32_t deadline_ms) {
   std::string wire;
-  wire.reserve(9 + body.size());
+  wire.reserve(13 + body.size());
   PutU32(&wire, static_cast<uint32_t>(kMinFramePayload + body.size()));
   PutU32(&wire, tag);
   PutU8(&wire, static_cast<uint8_t>(op));
+  PutU32(&wire, deadline_ms);
   wire.append(body.data(), body.size());
   size_t sent = 0;
   while (sent < wire.size()) {
@@ -256,6 +261,12 @@ Status StatusFromWire(uint8_t code, std::string message) {
       return Status::Internal(std::move(message));
     case StatusCode::kResourceExhausted:
       return Status::ResourceExhausted(std::move(message));
+    case StatusCode::kDeadlineExceeded:
+      return Status::DeadlineExceeded(std::move(message));
+    case StatusCode::kCancelled:
+      return Status::Cancelled(std::move(message));
+    case StatusCode::kUnavailable:
+      return Status::Unavailable(std::move(message));
   }
   return Status::Internal("unknown wire error code " + std::to_string(code) +
                           ": " + message);

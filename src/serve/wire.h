@@ -5,10 +5,13 @@
 // Frame layout (all integers little-endian):
 //
 //   offset  size  field
-//   0       4     payload length N (bytes after this field; 5 <= N <= cap)
+//   0       4     payload length N (bytes after this field; 9 <= N <= cap)
 //   4       4     tag (client-chosen request id; responses echo it)
 //   8       1     opcode
-//   9       N-5   body (opcode-specific)
+//   9       4     deadline_ms (request frames: relative deadline for this
+//                 request, 0 = use the server default --request-timeout-ms;
+//                 response frames: always 0)
+//   13      N-9   body (opcode-specific)
 //
 // A request's response is one or more frames carrying its tag: zero or more
 // stream chunks (kJournalChunk / kDataChunk) followed by exactly one
@@ -33,6 +36,12 @@
 //   kStats     empty
 //   kReload    lp ruleset name ("" = every configured ruleset)
 //   kCloseSession  u64 session id
+//   kCancel    u32 target tag: abandon that in-flight request on this
+//              connection. Handled on the reader thread (it bypasses the
+//              work queue, so it reaches even a stalled worker); the target
+//              replies kError(Cancelled) in its own tag, the kCancel itself
+//              replies kOk whether or not the tag was found (cancelling an
+//              already-finished request is a benign race).
 //
 // Response bodies:
 //   kPong       the kPing bytes
@@ -46,7 +55,12 @@
 //   kError      u8 wire error code (the numeric StatusCode: 1 =
 //               InvalidArgument, 2 = NotFound, 3 = Corruption, 4 =
 //               OutOfRange, 5 = FailedPrecondition, 6 = Unimplemented, 7 =
-//               Internal, 8 = ResourceExhausted), lp message
+//               Internal, 8 = ResourceExhausted, 9 = DeadlineExceeded,
+//               10 = Cancelled, 11 = Unavailable), lp message,
+//               u32 retry_after_ms (backoff hint; non-zero only with
+//               Unavailable — wait at least this long before retrying.
+//               Absent in pre-deadline peers; readers treat a missing
+//               trailer as 0)
 //
 // Everything here is transport plumbing shared by the daemon and the
 // client; policy (what CLEAN does) lives in server.h.
@@ -72,6 +86,7 @@ enum class Op : uint8_t {
   kStats = 0x04,
   kReload = 0x05,
   kCloseSession = 0x06,
+  kCancel = 0x07,
   // Responses.
   kPong = 0x81,
   kJournalChunk = 0x82,
@@ -98,13 +113,17 @@ constexpr uint8_t kCleanWantData = 0x02;  ///< also stream the repaired CSV
 /// to allocate attacker-chosen amounts). Large cleans stream in chunks well
 /// under this.
 constexpr uint32_t kMaxFramePayload = 64u << 20;  // 64 MiB
-/// Frame payloads smaller than tag + opcode are structurally invalid.
-constexpr uint32_t kMinFramePayload = 5;
+/// Frame payloads smaller than tag + opcode + deadline are structurally
+/// invalid.
+constexpr uint32_t kMinFramePayload = 9;
 
 /// One decoded frame.
 struct Frame {
   uint32_t tag = 0;
   Op op = Op::kPing;
+  /// Relative per-request deadline in milliseconds; 0 = server default.
+  /// Meaningful on request frames only (responses carry 0).
+  uint32_t deadline_ms = 0;
   std::string body;
 };
 
@@ -159,8 +178,10 @@ class FrameChannel {
   Result<Frame> ReadFrame();
 
   /// Writes one complete frame (retrying short writes). SIGPIPE-safe: a
-  /// closed peer surfaces as Internal, not a signal.
-  Status WriteFrame(uint32_t tag, Op op, std::string_view body);
+  /// closed peer surfaces as Internal, not a signal. `deadline_ms` goes in
+  /// the frame header; responses leave it 0.
+  Status WriteFrame(uint32_t tag, Op op, std::string_view body,
+                    uint32_t deadline_ms = 0);
 
   /// Shuts the socket down for writing (EOF at the peer) without closing
   /// the fd. Used by clients to signal "no more requests".

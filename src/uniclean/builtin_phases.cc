@@ -55,7 +55,9 @@ Result<PhaseStats> CRepairPhase::Run(PipelineContext* ctx) {
   core::CRepairOptions opts;
   opts.eta = ctx->config.eta;
   opts.on_fix = JournalObserver(ctx, kName);
+  opts.cancel = ctx->cancel;
   stats_ = core::CRepair(ctx->data, *ctx->match_env, opts);
+  UC_RETURN_IF_ERROR(stats_.interrupt);
 
   PhaseStats out;
   out.fixes = stats_.deterministic_fixes;
@@ -73,7 +75,9 @@ Result<PhaseStats> ERepairPhase::Run(PipelineContext* ctx) {
   opts.delta2 = ctx->config.delta2;
   opts.eta = ctx->config.eta;
   opts.on_fix = JournalObserver(ctx, kName);
+  opts.cancel = ctx->cancel;
   stats_ = core::ERepair(ctx->data, *ctx->match_env, opts);
+  UC_RETURN_IF_ERROR(stats_.interrupt);
 
   PhaseStats out;
   out.fixes = stats_.reliable_fixes;
@@ -89,7 +93,9 @@ Result<PhaseStats> HRepairPhase::Run(PipelineContext* ctx) {
   CheckContext(ctx);
   core::HRepairOptions opts;
   opts.on_fix = JournalObserver(ctx, kName);
+  opts.cancel = ctx->cancel;
   stats_ = core::HRepair(ctx->data, *ctx->match_env, opts);
+  UC_RETURN_IF_ERROR(stats_.interrupt);
 
   PhaseStats out;
   out.fixes = stats_.possible_fixes;

@@ -63,6 +63,12 @@ inline Status Annotate(const Status& status, const std::string& prefix) {
       return Status::Internal(message);
     case StatusCode::kResourceExhausted:
       return Status::ResourceExhausted(message);
+    case StatusCode::kDeadlineExceeded:
+      return Status::DeadlineExceeded(message);
+    case StatusCode::kCancelled:
+      return Status::Cancelled(message);
+    case StatusCode::kUnavailable:
+      return Status::Unavailable(message);
   }
   return Status::Internal(message);
 }

@@ -15,6 +15,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/result.h"
 #include "core/match_environment.h"
 #include "core/md_matcher.h"
@@ -52,6 +53,12 @@ struct PipelineContext {
   /// phase of every run, so user phases should probe MDs through
   /// `match_env->matcher(rule)` rather than constructing their own matcher.
   const core::MatchEnvironment* match_env = nullptr;
+  /// Optional cooperative-cancellation token (null = uncancellable). The
+  /// executor polls it between phases; the built-in phases forward it into
+  /// the repair engines, which poll between committed fixes. User phases
+  /// should honour it too: `UC_RETURN_IF_ERROR(common::PollCancel(cancel))`
+  /// at convenient safe points.
+  const common::CancelToken* cancel = nullptr;
 };
 
 /// What one phase did. Cleaner::Run() collects one per executed phase.

@@ -60,10 +60,12 @@ Result<std::vector<PhaseStats>> Session::ExecutePipeline(data::Relation* data,
   ctx.config = engine_->config();
   ctx.journal = journal;
   ctx.match_env = &engine_->environment();
+  ctx.cancel = cancel_.get();
 
   const int total = static_cast<int>(phases_.size());
   executed.reserve(static_cast<size_t>(total));
   for (int i = 0; i < total; ++i) {
+    UC_RETURN_IF_ERROR(common::PollCancel(ctx.cancel));
     Phase& phase = *phases_[static_cast<size_t>(i)];
     if (progress_) {
       PhaseEvent event;
@@ -125,10 +127,33 @@ Result<CleanResult> Session::Run(data::Relation* data) {
   }
 
   CleanResult result;
-  Result<std::vector<PhaseStats>> executed =
-      ExecutePipeline(data, &result.journal);
-  if (!executed.ok()) return executed.status();
-  result.phases = std::move(executed).value();
+  if (cancel_ != nullptr) {
+    // All-or-nothing under cancellation: clean a scratch copy and swap it
+    // into the caller's relation only on success, so a cancelled or expired
+    // run applies ZERO fixes — never a partially repaired relation. The
+    // tokenless path below stays the historical clean-in-place one (no copy).
+    data::Relation scratch = data->Clone();
+    Result<std::vector<PhaseStats>> executed =
+        ExecutePipeline(&scratch, &result.journal);
+    if (!executed.ok()) {
+      if (track_deltas_) {
+        // Reset to the not-yet-run state so the session stays usable for a
+        // fresh tracked Run().
+        tracked_ = nullptr;
+        pristine_.reset();
+        journal_ = FixJournal();
+        generation_ = 0;
+      }
+      return executed.status();
+    }
+    *data = std::move(scratch);
+    result.phases = std::move(executed).value();
+  } else {
+    Result<std::vector<PhaseStats>> executed =
+        ExecutePipeline(data, &result.journal);
+    if (!executed.ok()) return executed.status();
+    result.phases = std::move(executed).value();
+  }
 
   if (track_deltas_) {
     journal_ = result.journal;
@@ -196,6 +221,9 @@ Result<DeltaResult> Session::ApplyDelta(const Delta& delta) {
         "completed Run (CleanEngine::NewTrackedSession, then Run, then "
         "ApplyDelta)");
   }
+  // Polled again by the pipeline; this entry check makes an already-expired
+  // deadline fail before any edit is applied.
+  UC_RETURN_IF_ERROR(common::PollCancel(cancel_.get()));
   const core::MatchEnvironment& env = engine_->environment();
   const bool master_grew = env.indexed_master_size() > known_master_size_;
 

@@ -48,6 +48,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/cancellation.h"
 #include "common/result.h"
 #include "data/group_key.h"
 #include "data/relation.h"
@@ -203,6 +204,25 @@ class Session {
     progress_ = std::move(callback);
   }
 
+  /// Arms cooperative cancellation for subsequent Run/ApplyDelta calls
+  /// (null disarms). The token is polled at phase boundaries and, inside
+  /// the built-in phases, between committed fixes. Semantics when it trips:
+  ///
+  ///  * Run() becomes all-or-nothing: the pipeline executes over a scratch
+  ///    copy that is swapped into the caller's relation only on success, so
+  ///    a cancelled/expired run returns kCancelled/kDeadlineExceeded with
+  ///    ZERO fixes applied and no journal — never a partially repaired
+  ///    relation. (Without a token the historical clean-in-place path is
+  ///    unchanged and costs no copy.) A tracked session whose Run was
+  ///    cancelled resets to the not-yet-run state and stays usable for a
+  ///    fresh Run().
+  ///  * ApplyDelta keeps its existing failure contract: the raw edits are
+  ///    applied, the scratch re-repair is discarded, the journal still
+  ///    covers the pre-delta repairs, and the session remains usable.
+  void set_cancel_token(std::shared_ptr<const common::CancelToken> token) {
+    cancel_ = std::move(token);
+  }
+
   /// Phase names in pipeline order.
   std::vector<std::string> PhaseNames() const;
 
@@ -234,6 +254,7 @@ class Session {
   std::shared_ptr<const CleanEngine> engine_;
   std::vector<std::unique_ptr<Phase>> phases_;
   ProgressCallback progress_;
+  std::shared_ptr<const common::CancelToken> cancel_;
 
   // --- delta-tracking state (unused unless track_deltas_) ------------------
   using GroupIndex =

@@ -7,6 +7,7 @@
 #include <gtest/gtest.h>
 
 #include "common/result.h"
+#include "common/cancellation.h"
 #include "common/rng.h"
 #include "common/status.h"
 #include "common/string_util.h"
@@ -40,7 +41,9 @@ TEST(StatusTest, AllCodesHaveNames) {
        {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
         StatusCode::kCorruption, StatusCode::kOutOfRange,
         StatusCode::kFailedPrecondition, StatusCode::kUnimplemented,
-        StatusCode::kInternal}) {
+        StatusCode::kInternal, StatusCode::kResourceExhausted,
+        StatusCode::kDeadlineExceeded, StatusCode::kCancelled,
+        StatusCode::kUnavailable}) {
     EXPECT_STRNE(StatusCodeToString(code), "Unknown");
   }
 }
@@ -51,11 +54,13 @@ TEST(StatusTest, CodeNamesAreDistinct) {
        {StatusCode::kOk, StatusCode::kInvalidArgument, StatusCode::kNotFound,
         StatusCode::kCorruption, StatusCode::kOutOfRange,
         StatusCode::kFailedPrecondition, StatusCode::kUnimplemented,
-        StatusCode::kInternal}) {
+        StatusCode::kInternal, StatusCode::kResourceExhausted,
+        StatusCode::kDeadlineExceeded, StatusCode::kCancelled,
+        StatusCode::kUnavailable}) {
     EXPECT_TRUE(names.insert(StatusCodeToString(code)).second)
         << "duplicate name " << StatusCodeToString(code);
   }
-  EXPECT_EQ(names.size(), 8u);
+  EXPECT_EQ(names.size(), 12u);
 }
 
 TEST(StatusTest, EveryFactoryProducesItsCode) {
@@ -67,6 +72,12 @@ TEST(StatusTest, EveryFactoryProducesItsCode) {
             StatusCode::kFailedPrecondition);
   EXPECT_EQ(Status::Unimplemented("m").code(), StatusCode::kUnimplemented);
   EXPECT_EQ(Status::Internal("m").code(), StatusCode::kInternal);
+  EXPECT_EQ(Status::ResourceExhausted("m").code(),
+            StatusCode::kResourceExhausted);
+  EXPECT_EQ(Status::DeadlineExceeded("m").code(),
+            StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(Status::Cancelled("m").code(), StatusCode::kCancelled);
+  EXPECT_EQ(Status::Unavailable("m").code(), StatusCode::kUnavailable);
   EXPECT_EQ(Status::OK().code(), StatusCode::kOk);
 }
 
@@ -74,6 +85,10 @@ TEST(StatusTest, ToStringRoundTripsCodeName) {
   EXPECT_EQ(Status::FailedPrecondition("x").ToString(),
             "FailedPrecondition: x");
   EXPECT_EQ(Status::Internal("").ToString(), "Internal: ");
+  EXPECT_EQ(Status::DeadlineExceeded("late").ToString(),
+            "DeadlineExceeded: late");
+  EXPECT_EQ(Status::Cancelled("stop").ToString(), "Cancelled: stop");
+  EXPECT_EQ(Status::Unavailable("busy").ToString(), "Unavailable: busy");
 }
 
 TEST(StatusTest, MoveKeepsCodeAndMessage) {
@@ -264,6 +279,53 @@ TEST(RngTest, ShufflePreservesMultiset) {
   std::multiset<int> a(v.begin(), v.end());
   std::multiset<int> b(orig.begin(), orig.end());
   EXPECT_EQ(a, b);
+}
+
+TEST(CancelTokenTest, StartsLive) {
+  common::CancelToken token;
+  EXPECT_FALSE(token.IsCancelled());
+  EXPECT_TRUE(token.status().ok());
+  EXPECT_FALSE(token.has_deadline());
+}
+
+TEST(CancelTokenTest, ExplicitCancelLatchesWithReason) {
+  common::CancelToken token;
+  token.Cancel("client went away");
+  EXPECT_TRUE(token.IsCancelled());
+  EXPECT_EQ(token.status(), Status::Cancelled("client went away"));
+  // First reason wins; a token never un-cancels.
+  token.Cancel("other reason");
+  EXPECT_EQ(token.status(), Status::Cancelled("client went away"));
+}
+
+TEST(CancelTokenTest, ExpiredDeadlineReportsDeadlineExceeded) {
+  auto token = common::CancelToken::WithTimeout(0);
+  EXPECT_TRUE(token->has_deadline());
+  EXPECT_TRUE(token->IsCancelled());
+  EXPECT_EQ(token->status().code(), StatusCode::kDeadlineExceeded);
+}
+
+TEST(CancelTokenTest, FutureDeadlineStaysLive) {
+  auto token = common::CancelToken::WithTimeout(60 * 1000);
+  EXPECT_FALSE(token->IsCancelled());
+  EXPECT_TRUE(token->status().ok());
+}
+
+TEST(CancelTokenTest, CountdownTripsOnTheNthPoll) {
+  common::CancelToken token;
+  token.CancelAfterChecksForTest(2);
+  EXPECT_FALSE(token.IsCancelled());  // countdown 2 -> 1
+  EXPECT_FALSE(token.IsCancelled());  // countdown 1 -> 0
+  EXPECT_TRUE(token.IsCancelled());   // countdown 0: trips
+  EXPECT_EQ(token.status().code(), StatusCode::kCancelled);
+}
+
+TEST(CancelTokenTest, PollCancelHelper) {
+  EXPECT_TRUE(common::PollCancel(nullptr).ok());
+  common::CancelToken token;
+  EXPECT_TRUE(common::PollCancel(&token).ok());
+  token.Cancel("stop");
+  EXPECT_EQ(common::PollCancel(&token), Status::Cancelled("stop"));
 }
 
 }  // namespace

@@ -14,6 +14,8 @@
 
 #include <gtest/gtest.h>
 
+#include "common/cancellation.h"
+#include "data/csv.h"
 #include "data/relation.h"
 #include "data/value.h"
 #include "gen/dataset.h"
@@ -456,6 +458,102 @@ TEST(DeltaTest, ConcurrentTrackedSessionsMatchSerial) {
     EXPECT_EQ(LiveCellDiff(relations[static_cast<size_t>(i)], serial), 0)
         << "thread " << i;
   }
+}
+
+// --- Cooperative cancellation ---------------------------------------------
+//
+// The never-tears-state pin: a run cancelled at an ARBITRARY poll boundary
+// either completes (journal and data byte-identical to an uncancelled run)
+// or fails kCancelled with ZERO fixes applied to the caller's relation.
+
+std::string RelationCsv(const data::Relation& r) {
+  std::ostringstream out;
+  EXPECT_TRUE(data::WriteCsv(out, r).ok());
+  return out.str();
+}
+
+TEST(CancellationTest, CancelledRunNeverTearsState) {
+  gen::Dataset ds = MakeDataset("HOSP", /*seed=*/7, /*num_tuples=*/120);
+  auto engine = MakeEngine(ds);
+
+  data::Relation baseline = ds.dirty.Clone();
+  Session base_session = engine->NewSession();
+  auto base_run = base_session.Run(&baseline);
+  ASSERT_TRUE(base_run.ok()) << base_run.status().ToString();
+  std::ostringstream base_journal;
+  ASSERT_TRUE(base_run->journal.WriteCsv(base_journal).ok());
+  const std::string dirty_csv = RelationCsv(ds.dirty);
+
+  bool saw_cancel = false;
+  bool saw_success = false;
+  for (int64_t polls : {0, 1, 2, 3, 5, 8, 13, 21, 34, 200, 1000000}) {
+    data::Relation working = ds.dirty.Clone();
+    auto token = std::make_shared<common::CancelToken>();
+    token->CancelAfterChecksForTest(polls);
+    Session session = engine->NewSession();
+    session.set_cancel_token(token);
+    auto run = session.Run(&working);
+    if (run.ok()) {
+      saw_success = true;
+      std::ostringstream journal;
+      ASSERT_TRUE(run->journal.WriteCsv(journal).ok());
+      EXPECT_EQ(journal.str(), base_journal.str()) << "polls=" << polls;
+      EXPECT_EQ(RelationCsv(working), RelationCsv(baseline))
+          << "polls=" << polls;
+    } else {
+      saw_cancel = true;
+      EXPECT_EQ(run.status().code(), StatusCode::kCancelled)
+          << run.status().ToString();
+      EXPECT_EQ(RelationCsv(working), dirty_csv)
+          << "cancelled run applied fixes (polls=" << polls << ")";
+    }
+  }
+  // The poll spread must actually exercise both outcomes, or the property
+  // above pinned nothing.
+  EXPECT_TRUE(saw_cancel);
+  EXPECT_TRUE(saw_success);
+}
+
+TEST(CancellationTest, TrackedSessionUsableAfterCancelledRun) {
+  gen::Dataset ds = MakeDataset("HOSP", /*seed=*/11, /*num_tuples=*/120);
+  auto engine = MakeEngine(ds);
+
+  data::Relation initial(ds.dirty.schema_ptr());
+  for (data::TupleId t = 0; t < ds.dirty.size() - 1; ++t) {
+    initial.AddTuple(ds.dirty.tuple(t));
+  }
+  Delta insert_last;
+  insert_last.inserts.push_back(ds.dirty.tuple(ds.dirty.size() - 1));
+
+  // Reference: an untainted tracked run + one insert delta.
+  data::Relation ref_relation = initial.Clone();
+  Session reference = engine->NewTrackedSession();
+  ASSERT_TRUE(reference.Run(&ref_relation).ok());
+  ASSERT_TRUE(reference.ApplyDelta(insert_last).ok());
+  const std::string ref_fixes = reference.CanonicalJournal().CanonicalFixSetCsv();
+
+  // A token tripped before the first poll cancels the tracked run...
+  data::Relation relation = initial.Clone();
+  Session session = engine->NewTrackedSession();
+  auto token = std::make_shared<common::CancelToken>();
+  token->Cancel("client gave up");
+  session.set_cancel_token(token);
+  auto cancelled = session.Run(&relation);
+  ASSERT_FALSE(cancelled.ok());
+  EXPECT_EQ(cancelled.status().code(), StatusCode::kCancelled);
+  EXPECT_EQ(RelationCsv(relation), RelationCsv(initial))
+      << "cancelled tracked run must leave the relation untouched";
+
+  // ...and resets tracking: deltas need a fresh Run first.
+  EXPECT_FALSE(session.ApplyDelta(insert_last).ok());
+
+  // The same Session object stays fully usable once the token is cleared.
+  session.set_cancel_token(nullptr);
+  auto rerun = session.Run(&relation);
+  ASSERT_TRUE(rerun.ok()) << rerun.status().ToString();
+  ASSERT_TRUE(session.ApplyDelta(insert_last).ok());
+  EXPECT_EQ(session.CanonicalJournal().CanonicalFixSetCsv(), ref_fixes);
+  EXPECT_EQ(LiveCellDiff(relation, ref_relation), 0);
 }
 
 }  // namespace

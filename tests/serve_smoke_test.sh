@@ -3,7 +3,10 @@
 # run a batch clean plus one streaming DELTA through uniclean_client, assert
 # both journals are byte-identical to in-process uniclean_cli runs on the
 # same inputs, then SIGTERM the daemon and assert a graceful drain (exit 0
-# with the shutdown summary). Driven by CTest and by the CI serve-smoke job.
+# with the shutdown summary). A second daemon with a tiny --max-queue then
+# takes concurrent clients: the excess are rejected kUnavailable with a
+# retry-after hint and --max-retries backoff drives every one of them to a
+# byte-identical journal. Driven by CTest and by the CI serve-smoke job.
 #
 # usage: serve_smoke_test.sh CLI SAMPLER DAEMON CLIENT WORK_DIR
 set -u
@@ -71,5 +74,58 @@ DAEMON_PID=
 [ "$STATUS" -eq 0 ] || fail "daemon exited $STATUS after SIGTERM"
 grep -q "unicleand summary" daemon.log || fail "no shutdown summary logged"
 
-echo "serve_smoke_test: PASS (journals byte-identical, graceful drain)"
+# --- Overload scenario: tiny queue, concurrent clients, backoff to success.
+rm -f port.txt
+"$DAEMON" --master master.csv --rules rules.txt --schema dirty.csv \
+  --port 0 --port-file port.txt --workers 1 --max-queue 1 \
+  --request-timeout-ms 60000 --log-requests requests.log \
+  >daemon.log 2>&1 &
+DAEMON_PID=$!
+
+for _ in $(seq 1 300); do
+  [ -f port.txt ] && break
+  kill -0 "$DAEMON_PID" 2>/dev/null || fail "overload daemon died at startup"
+  sleep 0.2
+done
+[ -f port.txt ] || fail "overload daemon never wrote the port file"
+
+N_CLIENTS=8
+CLIENT_PIDS=
+for i in $(seq 1 "$N_CLIENTS"); do
+  "$CLIENT" --port-file port.txt --clean dirty.csv \
+    --confidence confidence.csv --max-retries 25 \
+    --journal "overload_$i.csv" >"client_$i.log" 2>&1 &
+  CLIENT_PIDS="$CLIENT_PIDS $!"
+done
+for pid in $CLIENT_PIDS; do
+  wait "$pid" || fail "an overloaded client did not retry to success"
+done
+for i in $(seq 1 "$N_CLIENTS"); do
+  cmp -s cli_batch.csv "overload_$i.csv" \
+    || fail "overloaded client $i journal differs from the in-process run"
+done
+
+kill -TERM "$DAEMON_PID" || fail "SIGTERM (overload daemon)"
+DRAIN_OK=
+for _ in $(seq 1 300); do
+  if ! kill -0 "$DAEMON_PID" 2>/dev/null; then DRAIN_OK=1; break; fi
+  sleep 0.2
+done
+[ -n "$DRAIN_OK" ] || { kill -9 "$DAEMON_PID"; fail "overload daemon hung"; }
+wait "$DAEMON_PID"
+STATUS=$?
+DAEMON_PID=
+[ "$STATUS" -eq 0 ] || fail "overload daemon exited $STATUS after SIGTERM"
+grep -q "overload:" daemon.log || fail "no overload line in the summary"
+# 8 concurrent 1000-tuple cleans against one worker + one queue slot must
+# have refused something; the request log records each refusal too.
+grep -Eq "overload: [1-9][0-9]* rejected" daemon.log \
+  || fail "expected at least one admission rejection under overload"
+grep -q '"status": "Unavailable"' requests.log \
+  || fail "request log has no Unavailable rejection line"
+grep -q '"status": "OK"' requests.log \
+  || fail "request log has no successful request line"
+
+echo "serve_smoke_test: PASS (journals byte-identical, graceful drain," \
+     "overload rejected + retried to success)"
 exit 0

@@ -460,6 +460,404 @@ TEST(ServeTest, PoolExhaustionTravelsAsResourceExhausted) {
             static_cast<uint8_t>(StatusCode::kOutOfRange));
 }
 
+// ---------------------------------------------------------------------------
+// Fault injection, deadlines & overload
+// ---------------------------------------------------------------------------
+
+/// A dedicated daemon over ServeWorld's on-disk files with caller-chosen
+/// admission options and an optional fault hook. The shared ServeWorld
+/// daemon runs with default (unbounded) options, so every overload /
+/// cancellation scenario gets its own small instance; the hook must be
+/// installed before Start(), as the Daemon contract requires.
+std::unique_ptr<Daemon> StartFaultDaemon(DaemonOptions options,
+                                         Daemon::FaultHook hook = nullptr) {
+  ServeWorld* w = ServeWorld::Get();
+  RulesetConfig cfg;
+  cfg.name = "hosp";
+  cfg.master_csv = w->dir + "/master.csv";
+  cfg.rules_file = w->dir + "/rules.txt";
+  cfg.schema_csv = w->dirty_path;
+  options.port = 0;
+  auto daemon = std::make_unique<Daemon>(std::move(options),
+                                         std::vector<RulesetConfig>{cfg});
+  if (hook) daemon->SetFaultHookForTest(std::move(hook));
+  Status started = daemon->Start();
+  EXPECT_TRUE(started.ok()) << started.ToString();
+  return daemon;
+}
+
+Client ConnectTo(const Daemon& daemon) {
+  auto client = Client::Connect("127.0.0.1", daemon.port());
+  EXPECT_TRUE(client.ok()) << client.status().ToString();
+  return std::move(client).value();
+}
+
+/// Fault hook stalling the first `n` CLEANs at "clean.before_run" until
+/// either the test flips `release` or the request's cancel token trips — a
+/// model of a wedged worker that still honours cooperative cancellation.
+struct Stall {
+  std::atomic<int> remaining;
+  std::atomic<int> entered{0};
+  std::atomic<bool> release{false};
+
+  explicit Stall(int n) : remaining(n) {}
+
+  Daemon::FaultHook Hook() {
+    return [this](std::string_view point, const common::CancelToken* token) {
+      if (point != "clean.before_run") return Status::OK();
+      if (remaining.fetch_sub(1) <= 0) return Status::OK();
+      entered.fetch_add(1);
+      while (!release.load() &&
+             (token == nullptr || !token->IsCancelled())) {
+        std::this_thread::sleep_for(std::chrono::milliseconds(1));
+      }
+      if (release.load()) return Status::OK();
+      return token != nullptr ? token->status()
+                              : Status::Cancelled("stall aborted");
+    };
+  }
+};
+
+int64_t MsSince(std::chrono::steady_clock::time_point t0) {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::steady_clock::now() - t0)
+      .count();
+}
+
+TEST(FaultInjectionTest, StalledWorkerDeadlineFiresWithinBound) {
+  // The acceptance pin: a wedged worker plus a 100 ms request deadline must
+  // answer kDeadlineExceeded in well under a second, and the lone worker
+  // must come back — a follow-up CLEAN on the SAME connection succeeds with
+  // a journal byte-identical to the in-process reference.
+  ServeWorld* w = ServeWorld::Get();
+  Stall stall(1);
+  DaemonOptions options;
+  options.n_workers = 1;
+  auto daemon = StartFaultDaemon(options, stall.Hook());
+  Client client = ConnectTo(*daemon);
+
+  CleanRequest request;
+  request.data_csv = w->dirty_csv;
+  request.deadline_ms = 100;
+  const auto t0 = std::chrono::steady_clock::now();
+  auto reply = client.Clean(request);
+  const int64_t elapsed_ms = MsSince(t0);
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), StatusCode::kDeadlineExceeded)
+      << reply.status().ToString();
+  EXPECT_LT(elapsed_ms, 1000);
+  EXPECT_EQ(daemon->deadlines_exceeded(), 1u);
+
+  CleanRequest again;
+  again.data_csv = w->dirty_csv;
+  auto ok = client.Clean(again);
+  ASSERT_TRUE(ok.ok()) << ok.status().ToString();
+  EXPECT_EQ(ok->journal_csv, w->reference_journal);
+  EXPECT_EQ(daemon->requests_rejected(), 0u);
+}
+
+TEST(FaultInjectionTest, ExpiredServerDefaultDeadlineAppliesWithoutClientOptIn) {
+  // request_timeout_ms backs requests whose frames carry deadline 0.
+  ServeWorld* w = ServeWorld::Get();
+  Stall stall(1);
+  DaemonOptions options;
+  options.n_workers = 1;
+  options.request_timeout_ms = 100;
+  auto daemon = StartFaultDaemon(options, stall.Hook());
+  Client client = ConnectTo(*daemon);
+
+  CleanRequest request;
+  request.data_csv = w->dirty_csv;  // no deadline_ms set
+  auto reply = client.Clean(request);
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(daemon->deadlines_exceeded(), 1u);
+}
+
+TEST(FaultInjectionTest, FullQueueRejectsImmediatelyWithRetryAfter) {
+  // One worker (wedged) + a queue bound of one: the first CLEAN occupies
+  // the worker, the second fills the queue, the third must be refused on
+  // the reader thread — immediately, with a retry-after hint — while both
+  // admitted requests still complete once the stall lifts.
+  ServeWorld* w = ServeWorld::Get();
+  Stall stall(1);
+  DaemonOptions options;
+  options.n_workers = 1;
+  options.max_queue = 1;
+  auto daemon = StartFaultDaemon(options, stall.Hook());
+  Client client = ConnectTo(*daemon);
+
+  CleanRequest request;
+  request.data_csv = w->dirty_csv;
+  auto tag_a = client.SendClean(request);
+  ASSERT_TRUE(tag_a.ok());
+  ASSERT_TRUE(Eventually([&] { return stall.entered.load() == 1; }));
+  // The reader handles frames in order, so by the time C is decoded, B is
+  // already queued: C deterministically trips the bound.
+  auto tag_b = client.SendClean(request);
+  ASSERT_TRUE(tag_b.ok());
+  auto tag_c = client.SendClean(request);
+  ASSERT_TRUE(tag_c.ok());
+
+  const auto t0 = std::chrono::steady_clock::now();
+  auto rejected = client.AwaitClean(*tag_c);
+  const int64_t elapsed_ms = MsSince(t0);
+  ASSERT_FALSE(rejected.ok());
+  EXPECT_EQ(rejected.status().code(), StatusCode::kUnavailable)
+      << rejected.status().ToString();
+  EXPECT_GT(client.last_retry_after_ms(), 0u);
+  EXPECT_LT(elapsed_ms, 1000);  // refused while A still stalls
+  EXPECT_EQ(daemon->requests_rejected(), 1u);
+
+  stall.release.store(true);
+  auto a = client.AwaitClean(*tag_a);
+  ASSERT_TRUE(a.ok()) << a.status().ToString();
+  auto b = client.AwaitClean(*tag_b);
+  ASSERT_TRUE(b.ok()) << b.status().ToString();
+  EXPECT_EQ(a->journal_csv, w->reference_journal);
+  EXPECT_EQ(b->journal_csv, w->reference_journal);
+}
+
+TEST(FaultInjectionTest, CancelReachesAStalledRequestAndReclaimsTheWorker) {
+  // CANCEL is handled on the reader thread, so it lands even with every
+  // worker wedged; the cancelled request unwinds as kCancelled and the
+  // worker serves the next CLEAN normally.
+  ServeWorld* w = ServeWorld::Get();
+  Stall stall(1);
+  DaemonOptions options;
+  options.n_workers = 1;
+  auto daemon = StartFaultDaemon(options, stall.Hook());
+  Client client = ConnectTo(*daemon);
+
+  CleanRequest request;
+  request.data_csv = w->dirty_csv;
+  auto tag = client.SendClean(request);
+  ASSERT_TRUE(tag.ok());
+  ASSERT_TRUE(Eventually([&] { return stall.entered.load() == 1; }));
+  ASSERT_TRUE(client.Cancel(*tag).ok());
+  auto reply = client.AwaitClean(*tag);
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), StatusCode::kCancelled)
+      << reply.status().ToString();
+  EXPECT_EQ(daemon->requests_cancelled(), 1u);
+
+  auto again = client.Clean(request);
+  ASSERT_TRUE(again.ok()) << again.status().ToString();
+  EXPECT_EQ(again->journal_csv, w->reference_journal);
+}
+
+TEST(FaultInjectionTest, CancelOfAnUnknownTagIsBenign) {
+  ServeWorld* w = ServeWorld::Get();
+  Client client = w->Connect();
+  EXPECT_TRUE(client.Cancel(0xdeadu).ok());
+  EXPECT_TRUE(client.Ping().ok());
+}
+
+TEST(FaultInjectionTest, ShutdownDrainCancelsWedgedRequests) {
+  // A wedged request must not hold the graceful drain hostage: after
+  // drain_grace_ms every live token is tripped and Shutdown completes.
+  ServeWorld* w = ServeWorld::Get();
+  Stall stall(1);
+  DaemonOptions options;
+  options.n_workers = 1;
+  options.drain_grace_ms = 100;
+  auto daemon = StartFaultDaemon(options, stall.Hook());
+  Client client = ConnectTo(*daemon);
+
+  CleanRequest request;
+  request.data_csv = w->dirty_csv;
+  auto tag = client.SendClean(request);
+  ASSERT_TRUE(tag.ok());
+  ASSERT_TRUE(Eventually([&] { return stall.entered.load() == 1; }));
+
+  const auto t0 = std::chrono::steady_clock::now();
+  daemon->Shutdown();
+  EXPECT_LT(MsSince(t0), 5000);
+  EXPECT_GE(daemon->requests_cancelled(), 1u);
+  EXPECT_NE(daemon->SummaryText().find("cancelled"), std::string::npos);
+}
+
+TEST(FaultInjectionTest, PerRulesetInflightCapRefusesThenBackoffSucceeds) {
+  // max_inflight_per_ruleset = 1: while one CLEAN holds the slot (wedged),
+  // a second is refused with kUnavailable; a retrying client's backoff
+  // carries it through once the slot frees.
+  ServeWorld* w = ServeWorld::Get();
+  Stall stall(1);
+  DaemonOptions options;
+  options.n_workers = 2;
+  options.max_inflight_per_ruleset = 1;
+  auto daemon = StartFaultDaemon(options, stall.Hook());
+  Client holder = ConnectTo(*daemon);
+
+  CleanRequest request;
+  request.data_csv = w->dirty_csv;
+  auto tag = holder.SendClean(request);
+  ASSERT_TRUE(tag.ok());
+  ASSERT_TRUE(Eventually([&] { return stall.entered.load() == 1; }));
+
+  // No retries: the refusal itself is observable.
+  Client probe = ConnectTo(*daemon);
+  auto refused = probe.Clean(request);
+  ASSERT_FALSE(refused.ok());
+  EXPECT_EQ(refused.status().code(), StatusCode::kUnavailable)
+      << refused.status().ToString();
+  EXPECT_GT(probe.last_retry_after_ms(), 0u);
+  EXPECT_GE(daemon->requests_rejected(), 1u);
+
+  // With retries: keeps refusing while the slot is held, succeeds after.
+  Client retrier = ConnectTo(*daemon);
+  RetryPolicy policy;
+  policy.max_retries = 100;
+  policy.base_backoff_ms = 5;
+  policy.max_backoff_ms = 50;
+  policy.jitter_seed = 42;
+  retrier.set_retry_policy(policy);
+  std::thread releaser([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    stall.release.store(true);
+  });
+  auto retried = retrier.Clean(request);
+  releaser.join();
+  ASSERT_TRUE(retried.ok()) << retried.status().ToString();
+  EXPECT_EQ(retried->journal_csv, w->reference_journal);
+  auto held = holder.AwaitClean(*tag);
+  ASSERT_TRUE(held.ok()) << held.status().ToString();
+  EXPECT_EQ(held->journal_csv, w->reference_journal);
+}
+
+TEST(OverloadTest, SixteenClientsBackoffToByteIdenticalSuccess) {
+  // The overload acceptance pin: sixteen simultaneous CLEANs against a
+  // queue bound of two get their excess refused with kUnavailable +
+  // retry-after, and client-side capped exponential backoff (seeded per
+  // client) drives every one of them to a byte-identical journal.
+  ServeWorld* w = ServeWorld::Get();
+  DaemonOptions options;
+  options.n_workers = 2;
+  options.max_queue = 2;
+  auto daemon = StartFaultDaemon(options);
+
+  constexpr int kClients = 16;
+  std::atomic<int> ready{0};
+  std::atomic<bool> go{false};
+  std::atomic<int> ok_count{0};
+  std::atomic<int> byte_identical{0};
+  std::atomic<uint64_t> retries{0};
+  std::vector<std::thread> threads;
+  for (int i = 0; i < kClients; ++i) {
+    threads.emplace_back([&, i] {
+      Client client = ConnectTo(*daemon);
+      RetryPolicy policy;
+      policy.max_retries = 200;
+      policy.base_backoff_ms = 5;
+      policy.max_backoff_ms = 100;
+      policy.jitter_seed = static_cast<uint64_t>(i + 1);
+      client.set_retry_policy(policy);
+      ready.fetch_add(1);
+      while (!go.load()) std::this_thread::sleep_for(
+          std::chrono::milliseconds(1));
+      CleanRequest request;
+      request.data_csv = w->dirty_csv;
+      auto reply = client.Clean(request);
+      if (reply.ok()) {
+        ok_count.fetch_add(1);
+        if (reply->journal_csv == w->reference_journal) {
+          byte_identical.fetch_add(1);
+        }
+      }
+      retries.fetch_add(client.retries_performed());
+    });
+  }
+  while (ready.load() < kClients) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  go.store(true);
+  for (std::thread& t : threads) t.join();
+
+  EXPECT_EQ(ok_count.load(), kClients);
+  EXPECT_EQ(byte_identical.load(), kClients);
+  // 16 near-simultaneous arrivals against 2 workers + 2 queue slots: the
+  // rest were refused at admission and later retried their way in.
+  EXPECT_GT(daemon->requests_rejected(), 0u);
+  EXPECT_GT(retries.load(), 0u);
+  const std::string stats = daemon->StatsJson();
+  EXPECT_NE(stats.find("\"overload\""), std::string::npos);
+  EXPECT_NE(stats.find("\"rejected\""), std::string::npos);
+}
+
+TEST(FaultInjectionTest, RequestLogRecordsOneJsonLinePerRequest) {
+  // --log-requests: one structured line per request, including refusals.
+  ServeWorld* w = ServeWorld::Get();
+  const std::string log_path = w->dir + "/requests.log";
+  DaemonOptions options;
+  options.n_workers = 1;
+  options.request_log_path = log_path;
+  auto daemon = StartFaultDaemon(options);
+  {
+    Client client = ConnectTo(*daemon);
+    CleanRequest request;
+    request.data_csv = w->dirty_csv;
+    ASSERT_TRUE(client.Clean(request).ok());
+    CleanRequest bad;
+    bad.ruleset = "nope";
+    bad.data_csv = w->dirty_csv;
+    ASSERT_FALSE(client.Clean(bad).ok());
+  }
+  daemon->Shutdown();  // flushes and closes the log
+
+  std::ifstream in(log_path);
+  ASSERT_TRUE(in.good());
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const std::string log = buf.str();
+  EXPECT_NE(log.find("\"op\": \"CLEAN\""), std::string::npos);
+  EXPECT_NE(log.find("\"ruleset\": \"hosp\""), std::string::npos);
+  EXPECT_NE(log.find("\"status\": \"OK\""), std::string::npos);
+  EXPECT_NE(log.find("\"status\": \"NotFound\""), std::string::npos);
+  EXPECT_NE(log.find("\"queue_wait_us\": "), std::string::npos);
+  EXPECT_NE(log.find("\"run_us\": "), std::string::npos);
+  // Every line parses as one JSON object (cheap structural check).
+  std::istringstream lines(log);
+  std::string line;
+  int n = 0;
+  while (std::getline(lines, line)) {
+    ++n;
+    EXPECT_EQ(line.front(), '{');
+    EXPECT_EQ(line.back(), '}');
+  }
+  EXPECT_GE(n, 2);
+}
+
+TEST(WireDeadlineTest, DeadlineFieldRoundTripsThroughAFrame) {
+  // The wire header's deadline_ms field survives a write/read round trip
+  // (exercised against the shared daemon's PING echo).
+  ServeWorld* w = ServeWorld::Get();
+  auto fd = ConnectTcp("127.0.0.1", w->daemon->port());
+  ASSERT_TRUE(fd.ok());
+  FrameChannel channel(*fd);
+  ASSERT_TRUE(
+      channel.WriteFrame(21, Op::kPing, "deadline?", /*deadline_ms=*/5000)
+          .ok());
+  auto frame = channel.ReadFrame();
+  ASSERT_TRUE(frame.ok()) << frame.status().ToString();
+  EXPECT_EQ(frame->op, Op::kPong);
+  EXPECT_EQ(frame->tag, 21u);
+  EXPECT_EQ(frame->body, "deadline?");
+}
+
+TEST(WireDeadlineTest, NewErrorCodesRoundTripUnchanged) {
+  const Status statuses[] = {
+      Status::DeadlineExceeded("request deadline (100 ms) exceeded"),
+      Status::Cancelled("cancelled by client"),
+      Status::Unavailable("work queue full"),
+  };
+  for (const Status& status : statuses) {
+    const uint8_t code = WireErrorCode(status);
+    const Status round_tripped = StatusFromWire(code, status.message());
+    EXPECT_EQ(round_tripped.code(), status.code());
+    EXPECT_EQ(round_tripped.message(), status.message());
+  }
+}
+
 }  // namespace
 }  // namespace serve
 }  // namespace uniclean

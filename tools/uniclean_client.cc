@@ -13,6 +13,11 @@
 //       [--delta E.csv]              insert E.csv's rows incrementally
 //                                    (implies --track)
 //       [--delta-journal J2.csv]     canonical journal after the delta
+//     --deadline-ms N                per-request deadline (server-enforced;
+//                                    0 = the daemon's default)
+//     --max-retries N                retry kUnavailable rejections up to N
+//                                    times with capped exponential backoff,
+//                                    honouring the daemon's retry-after hint
 //
 // Tracked sessions live exactly as long as their connection, so --clean
 // --track --delta runs both requests over one connection in one
@@ -22,6 +27,8 @@
 //
 // Exit codes: 0 success, 1 usage error, 2 connection error, 3 request
 // failed (the daemon's error message is printed to stderr).
+
+#include <unistd.h>
 
 #include <cerrno>
 #include <climits>
@@ -53,6 +60,8 @@ struct ClientCli {
   bool track = false;
   std::string delta_path;
   std::string delta_journal_path;
+  int deadline_ms = 0;
+  int max_retries = 0;
 };
 
 void Usage(const char* argv0) {
@@ -62,7 +71,8 @@ void Usage(const char* argv0) {
       "  --ping | --stats | --reload [NAME]\n"
       "  --clean D.csv [--confidence C.csv] [--ruleset NAME]\n"
       "          [--journal J.csv] [--out R.csv] [--track]\n"
-      "          [--delta E.csv] [--delta-journal J2.csv]\n",
+      "          [--delta E.csv] [--delta-journal J2.csv]\n"
+      "  [--deadline-ms N] [--max-retries N]\n",
       argv0);
 }
 
@@ -154,6 +164,12 @@ bool ParseArgs(int argc, char** argv, ClientCli* cli) {
     } else if (arg == "--delta-journal") {
       if ((v = next()) == nullptr) return false;
       cli->delta_journal_path = v;
+    } else if (arg == "--deadline-ms") {
+      if ((v = next()) == nullptr) return false;
+      if (!ParseInt("--deadline-ms", v, &cli->deadline_ms)) return false;
+    } else if (arg == "--max-retries") {
+      if ((v = next()) == nullptr) return false;
+      if (!ParseInt("--max-retries", v, &cli->max_retries)) return false;
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       return false;
@@ -196,6 +212,17 @@ int main(int argc, char** argv) {
     return 2;
   }
   serve::Client client = std::move(connected).value();
+  if (cli.deadline_ms > 0) {
+    client.set_default_deadline_ms(static_cast<uint32_t>(cli.deadline_ms));
+  }
+  if (cli.max_retries > 0) {
+    serve::RetryPolicy policy;
+    policy.max_retries = cli.max_retries;
+    // Seed from the pid so concurrent invocations spread their retries,
+    // while any single run stays reproducible under a fixed pid.
+    policy.jitter_seed = static_cast<uint64_t>(::getpid());
+    client.set_retry_policy(policy);
+  }
 
   if (cli.ping) {
     Status status = client.Ping();

@@ -7,6 +7,9 @@
 //             [--port-file P] [--workers 4]
 //             [--eta F] [--delta1 N] [--delta2 F] [--memo-cap N]
 //             [--phases c,e,h] [--no-warmup]
+//             [--max-queue N] [--max-inflight-per-ruleset N]
+//             [--request-timeout-ms N] [--drain-grace-ms N]
+//             [--log-requests PATH]
 //             [--ruleset NAME:MASTER:RULES:SCHEMA]...
 //
 // --schema names a CSV whose header row declares the data schema requests
@@ -66,6 +69,14 @@ void Usage(const char* argv0) {
       "  [--memo-cap N]            cap resident entries per memo map\n"
       "  [--phases c,e,h]          subset of phases to run\n"
       "  [--no-warmup]             skip building match indexes at startup\n"
+      "  [--max-queue N]           refuse requests beyond N queued "
+      "(0 = unbounded)\n"
+      "  [--max-inflight-per-ruleset N]   cap concurrent CLEANs per ruleset\n"
+      "  [--request-timeout-ms N]  default per-request deadline "
+      "(0 = none)\n"
+      "  [--drain-grace-ms N]      shutdown drain budget before requests "
+      "are cancelled\n"
+      "  [--log-requests PATH]     append one JSON line per request\n"
       "  [--ruleset NAME:MASTER:RULES:SCHEMA]   additional rulesets "
       "(repeatable)\n",
       argv0);
@@ -191,6 +202,29 @@ bool ParseArgs(int argc, char** argv, DaemonCli* cli) {
       if (!ParsePhases(v, &cli->base)) return false;
     } else if (arg == "--no-warmup") {
       cli->options.warmup = false;
+    } else if (arg == "--max-queue") {
+      if ((v = next()) == nullptr) return false;
+      if (!ParseInt("--max-queue", v, &cli->options.max_queue)) return false;
+    } else if (arg == "--max-inflight-per-ruleset") {
+      if ((v = next()) == nullptr) return false;
+      if (!ParseInt("--max-inflight-per-ruleset", v,
+                    &cli->options.max_inflight_per_ruleset)) {
+        return false;
+      }
+    } else if (arg == "--request-timeout-ms") {
+      if ((v = next()) == nullptr) return false;
+      if (!ParseInt("--request-timeout-ms", v,
+                    &cli->options.request_timeout_ms)) {
+        return false;
+      }
+    } else if (arg == "--drain-grace-ms") {
+      if ((v = next()) == nullptr) return false;
+      if (!ParseInt("--drain-grace-ms", v, &cli->options.drain_grace_ms)) {
+        return false;
+      }
+    } else if (arg == "--log-requests") {
+      if ((v = next()) == nullptr) return false;
+      cli->options.request_log_path = v;
     } else if (arg == "--ruleset") {
       if ((v = next()) == nullptr) return false;
       cli->ruleset_specs.push_back(v);
