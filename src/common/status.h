@@ -25,6 +25,7 @@ enum class StatusCode {
   kDeadlineExceeded,
   kCancelled,
   kUnavailable,
+  kDataLoss,
 };
 
 /// Returns a short human-readable name, e.g. "InvalidArgument".
@@ -82,6 +83,14 @@ class Status {
   /// wire error may carry a retry-after hint (see serve/wire.h).
   static Status Unavailable(std::string msg) {
     return Status(StatusCode::kUnavailable, std::move(msg));
+  }
+  /// Stored bytes failed validation: a snapshot with a bad magic/CRC, a
+  /// truncated section, a declared length past the file end. Unlike
+  /// kCorruption — malformed *input* the caller handed us — this marks data
+  /// *we* persisted and can no longer trust; the recovery is to discard the
+  /// artifact and rebuild from the primary sources (see src/snapshot/).
+  static Status DataLoss(std::string msg) {
+    return Status(StatusCode::kDataLoss, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

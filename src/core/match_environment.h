@@ -34,6 +34,9 @@
 #include "rules/ruleset.h"
 
 namespace uniclean {
+namespace snapshot {
+class Codec;  // snapshot/codec.h: persists / restores the environment
+}  // namespace snapshot
 namespace core {
 
 class MatchEnvironment {
@@ -88,6 +91,20 @@ class MatchEnvironment {
   core::MemoStats MemoStats() const;
 
  private:
+  // snapshot::Codec restores an environment from a snapshot: the tag
+  // constructor binds rules/master/options without building any matcher;
+  // the codec then installs one deserialized matcher per MD section.
+  friend class ::uniclean::snapshot::Codec;
+  struct RestoreTag {};
+  MatchEnvironment(const rules::RuleSet& rules, const data::Relation& master,
+                   const MdMatcherOptions& options, RestoreTag)
+      : rules_(&rules),
+        master_(&master),
+        options_(options),
+        indexed_master_size_(master.size()) {
+    matchers_.resize(static_cast<size_t>(rules.num_rules()));
+  }
+
   const rules::RuleSet* rules_;
   const data::Relation* master_;
   MdMatcherOptions options_;

@@ -101,6 +101,43 @@ MdMatcher::MdMatcher(const rules::Md& md, const data::Relation& dm,
   if (blocking_clause_ >= 0) RebuildSuffixTree();
 }
 
+MdMatcher::MdMatcher(const rules::Md& md, const data::Relation& dm,
+                     const MdMatcherOptions& options, RestoreTag)
+    : md_(md),
+      dm_(dm),
+      options_(options),
+      blocking_cache_(options.memo_capacity),
+      match_cache_(options.memo_capacity),
+      indexed_masters_(dm.size()) {
+  // The snapshot restore path: identical derived state (clause roles,
+  // memo shapes, the materialized all-masters list) but no index build —
+  // snapshot::Codec installs the deserialized equality index / suffix tree
+  // afterwards — and no ConstructedCount() bump, so tests can assert that a
+  // snapshot-warmed engine paid zero index builds.
+  UC_CHECK(md_.normalized()) << "MdMatcher requires a normalized MD";
+  UC_CHECK_LE(md_.premise().size(), data::GroupKey::kMaxParts)
+      << "MdMatcher: MD " << md_.name() << " premise too wide";
+  for (size_t i = 0; i < md_.premise().size(); ++i) {
+    sim_cache_.emplace_back(options.memo_capacity);
+  }
+  if (options_.use_blocking) {
+    for (size_t i = 0; i < md_.premise().size(); ++i) {
+      if (md_.premise()[i].predicate.is_equality()) {
+        equality_clauses_.push_back(i);
+      } else if (blocking_clause_ < 0) {
+        blocking_clause_ = static_cast<int>(i);
+      }
+    }
+  }
+  if (!options_.use_blocking ||
+      (equality_clauses_.empty() && blocking_clause_ < 0)) {
+    all_masters_.resize(static_cast<size_t>(dm_.size()));
+    for (data::TupleId s = 0; s < dm_.size(); ++s) {
+      all_masters_[static_cast<size_t>(s)] = s;
+    }
+  }
+}
+
 void MdMatcher::IndexEqualityRange(data::TupleId begin, data::TupleId end) {
   for (data::TupleId s = begin; s < end; ++s) {
     bool has_null = false;

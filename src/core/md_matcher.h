@@ -36,6 +36,9 @@
 #include "similarity/suffix_tree.h"
 
 namespace uniclean {
+namespace snapshot {
+class Codec;  // snapshot/codec.h: persists the matcher's built indexes
+}  // namespace snapshot
 namespace core {
 
 struct MdMatcherOptions {
@@ -116,6 +119,16 @@ class MdMatcher {
   int AppendMaster();
 
  private:
+  // snapshot::Codec restores a matcher from a snapshot section: the restore
+  // constructor below does everything the public one does *except* the
+  // index build (the codec installs the deserialized equality index or
+  // suffix tree afterwards) and except bumping ConstructedCount() — a
+  // snapshot-warmed engine deliberately reports zero index builds.
+  friend class ::uniclean::snapshot::Codec;
+  struct RestoreTag {};
+  MdMatcher(const rules::Md& md, const data::Relation& dm,
+            const MdMatcherOptions& options, RestoreTag);
+
   const std::vector<data::TupleId>& Candidates(const data::Tuple& t) const;
   bool Verify(const data::Tuple& t, data::TupleId s) const;
   void IndexEqualityRange(data::TupleId begin, data::TupleId end);

@@ -131,6 +131,19 @@ class ShardedMemo {
     entries_.store(0, std::memory_order_relaxed);
   }
 
+  /// Visits every resident entry as `fn(key, mapped)`, one shard at a time
+  /// under that shard's lock (keep `fn` cheap and lock-free). Entry order is
+  /// unspecified. Concurrent inserts into a not-yet-visited shard may or may
+  /// not be seen; for an exact enumeration (e.g. snapshot serialization)
+  /// the caller must quiesce writers.
+  template <typename Fn>
+  void ForEach(Fn&& fn) const {
+    for (Shard& shard : shards_) {
+      std::lock_guard<std::mutex> lock(shard.mu);
+      for (const auto& [key, mapped] : shard.map) fn(key, mapped);
+    }
+  }
+
   /// Counter snapshot plus a footprint estimate:
   /// `entry_bytes(key, mapped)` returns the payload size of one entry.
   template <typename EntryBytesFn>

@@ -62,6 +62,24 @@ struct StringPoolStats {
   /// Characters resident across all interned strings (payload only; chunk
   /// table and hash-index overhead not included).
   uint64_t string_bytes = 0;
+  /// Storage chunks in use (each holds kChunkSize string slots).
+  size_t chunks = 0;
+};
+
+/// Content tag of a pool prefix: `count` interned strings whose *order-
+/// sensitive* content hash is `hash`. Two pools with equal generations
+/// resolve every id below `count` to identical characters — the contract
+/// snapshot files (src/snapshot/) rely on to keep interned ids stable
+/// across a process restart. Unlike CleanEngine::Fingerprint(), which is
+/// deliberately interning-order independent, the generation hash *must*
+/// depend on order: id stability is exactly what it certifies.
+struct StringPoolGeneration {
+  uint64_t count = 0;
+  uint64_t hash = 0;
+
+  bool operator==(const StringPoolGeneration& o) const {
+    return count == o.count && hash == o.hash;
+  }
 };
 
 class StringPool {
@@ -96,31 +114,22 @@ class StringPool {
   /// which aborts. Watch Stats().remaining to see exhaustion coming.
   Result<ValueId> TryIntern(std::string_view s) {
     std::lock_guard<std::mutex> lock(mutex_);
-    auto it = index_.find(s);
-    if (it != index_.end()) return it->second;
-    const ValueId id = size_.load(std::memory_order_relaxed);
-    // Never mint kNullId (or wrap): fail loudly instead of silently aliasing.
-    if (id >= kCapacity) {
-      return Status::OutOfRange(
-          "StringPool: id space exhausted (" + std::to_string(kCapacity) +
-          " ids interned; ids are never recycled — see ROADMAP 'StringPool "
-          "growth')");
+    return InternLocked(s);
+  }
+
+  /// Interns `strings[0..n)` in order, writing each id to `ids[0..n)` —
+  /// semantically identical to n back-to-back TryIntern calls, but under
+  /// one lock acquisition with the index grown up front, so no other
+  /// thread's interning can interleave with the batch. The bulk path for
+  /// snapshot loading, where tens of thousands of strings arrive at once.
+  Status TryInternBatch(const std::string_view* strings, size_t n,
+                        ValueId* ids) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    index_.reserve(index_.size() + n);
+    for (size_t i = 0; i < n; ++i) {
+      UC_ASSIGN_OR_RETURN(ids[i], InternLocked(strings[i]));
     }
-    const size_t chunk = id >> kChunkBits;
-    std::string* slots = chunks_[chunk].load(std::memory_order_relaxed);
-    if (slots == nullptr) {
-      slots = new std::string[kChunkSize];
-      chunks_[chunk].store(slots, std::memory_order_release);
-    }
-    std::string& slot = slots[id & (kChunkSize - 1)];
-    slot.assign(s.data(), s.size());
-    string_bytes_.fetch_add(s.size(), std::memory_order_relaxed);
-    // Publish: a reader that acquire-loads size() > id is guaranteed to see
-    // the chunk pointer and the slot's characters.
-    size_.store(id + 1, std::memory_order_release);
-    // The key views the chunk-owned string; chunks never move or shrink.
-    index_.emplace(std::string_view(slot), id);
-    return id;
+    return Status::OK();
   }
 
   /// Like TryIntern but aborts on id-space exhaustion — the convenient form
@@ -159,7 +168,35 @@ class StringPool {
     stats.capacity = static_cast<size_t>(kCapacity);
     stats.remaining = stats.capacity - stats.interned;
     stats.string_bytes = string_bytes_.load(std::memory_order_relaxed);
+    stats.chunks = (stats.interned + kChunkSize - 1) >> kChunkBits;
     return stats;
+  }
+
+  /// Order-sensitive content hash of ids [0, n): each string's length and
+  /// characters folded through MixU64 in id order. Lock-free (reads through
+  /// str()); requires n <= size(). O(total characters of the prefix).
+  uint64_t PrefixHash(size_t n) const {
+    UC_CHECK_LE(n, size()) << "StringPool::PrefixHash: prefix beyond pool";
+    uint64_t h = 0x243f6a8885a308d3ULL;  // distinct seed from Fingerprint()
+    for (size_t id = 0; id < n; ++id) {
+      const std::string& s = str(static_cast<ValueId>(id));
+      h = MixU64(h ^ s.size());
+      for (char c : s) {
+        h = MixU64(h ^ static_cast<uint64_t>(static_cast<uint8_t>(c)));
+      }
+    }
+    return h;
+  }
+
+  /// The pool's current generation tag: its size and the PrefixHash over
+  /// all of it. Snapshot headers carry the writer's generation; a loader
+  /// accepts a snapshot into a pool whose ids extend (or are a prefix of)
+  /// the writer's — see snapshot::LoadPoolSection.
+  StringPoolGeneration Generation() const {
+    StringPoolGeneration gen;
+    gen.count = size();
+    gen.hash = PrefixHash(static_cast<size_t>(gen.count));
+    return gen;
   }
 
   /// The process-wide pool used by data::Value. All relations, rules and
@@ -190,6 +227,35 @@ class StringPool {
   /// Lazily creates the process default pool (safe under any static
   /// initialization order) and installs it as the global.
   static StringPool& DefaultInstance();
+
+  /// The interning body; requires mutex_ held.
+  Result<ValueId> InternLocked(std::string_view s) {
+    auto it = index_.find(s);
+    if (it != index_.end()) return it->second;
+    const ValueId id = size_.load(std::memory_order_relaxed);
+    // Never mint kNullId (or wrap): fail loudly instead of silently aliasing.
+    if (id >= kCapacity) {
+      return Status::OutOfRange(
+          "StringPool: id space exhausted (" + std::to_string(kCapacity) +
+          " ids interned; ids are never recycled — see ROADMAP 'StringPool "
+          "growth')");
+    }
+    const size_t chunk = id >> kChunkBits;
+    std::string* slots = chunks_[chunk].load(std::memory_order_relaxed);
+    if (slots == nullptr) {
+      slots = new std::string[kChunkSize];
+      chunks_[chunk].store(slots, std::memory_order_release);
+    }
+    std::string& slot = slots[id & (kChunkSize - 1)];
+    slot.assign(s.data(), s.size());
+    string_bytes_.fetch_add(s.size(), std::memory_order_relaxed);
+    // Publish: a reader that acquire-loads size() > id is guaranteed to see
+    // the chunk pointer and the slot's characters.
+    size_.store(id + 1, std::memory_order_release);
+    // The key views the chunk-owned string; chunks never move or shrink.
+    index_.emplace(std::string_view(slot), id);
+    return id;
+  }
 
   std::unique_ptr<std::atomic<std::string*>[]> chunks_;
   std::atomic<ValueId> size_{0};

@@ -16,6 +16,7 @@
 #include "data/csv.h"
 #include "data/string_pool.h"
 #include "serve/safe_csv.h"
+#include "snapshot/snapshot.h"
 
 namespace uniclean {
 namespace serve {
@@ -168,7 +169,7 @@ Daemon::Daemon(DaemonOptions options, std::vector<RulesetConfig> rulesets)
 Daemon::~Daemon() { Shutdown(); }
 
 Result<std::shared_ptr<CleanEngine>> Daemon::BuildEngine(
-    const RulesetConfig& cfg, bool warmup) {
+    const RulesetConfig& cfg, bool warmup, const std::string& snapshot_path) {
   if (cfg.master_csv.empty() || cfg.rules_file.empty() ||
       cfg.schema_csv.empty()) {
     return Status::InvalidArgument(
@@ -179,22 +180,61 @@ Result<std::shared_ptr<CleanEngine>> Daemon::BuildEngine(
                       data::InferCsvSchema(cfg.schema_csv, "data"));
   core::MdMatcherOptions matcher;
   matcher.memo_capacity = static_cast<size_t>(cfg.memo_cap);
-  UC_ASSIGN_OR_RETURN(
-      std::shared_ptr<CleanEngine> engine,
-      EngineBuilder()
-          .WithDataSchema(schema)
-          .WithMasterCsv(cfg.master_csv)
-          .WithRulesFile(cfg.rules_file)
-          .WithEta(cfg.eta)
-          .WithDelta1(cfg.delta1)
-          .WithDelta2(cfg.delta2)
-          .WithMatcherOptions(matcher)
-          .WithDefaultPhases(cfg.run_crepair, cfg.run_erepair, cfg.run_hrepair)
-          .BuildEngine());
+  const auto configure = [&](EngineBuilder& builder) {
+    builder.WithDataSchema(schema)
+        .WithMasterCsv(cfg.master_csv)
+        .WithRulesFile(cfg.rules_file)
+        .WithEta(cfg.eta)
+        .WithDelta1(cfg.delta1)
+        .WithDelta2(cfg.delta2)
+        .WithMatcherOptions(matcher)
+        .WithDefaultPhases(cfg.run_crepair, cfg.run_erepair, cfg.run_hrepair);
+  };
+  if (!snapshot_path.empty()) {
+    EngineBuilder from_snapshot;
+    configure(from_snapshot);
+    Result<std::shared_ptr<CleanEngine>> loaded =
+        from_snapshot.FromSnapshot(snapshot_path);
+    if (loaded.ok()) return loaded;  // env already warm
+    // A bad or stale snapshot must never take the daemon down: report why
+    // and cold-build from the primary sources. A missing file is the
+    // normal first start and stays quiet.
+    if (loaded.status().code() != StatusCode::kNotFound) {
+      std::fprintf(stderr,
+                   "unicleand: ruleset '%s': snapshot %s rejected (%s); "
+                   "cold-building\n",
+                   cfg.name.c_str(), snapshot_path.c_str(),
+                   loaded.status().ToString().c_str());
+    }
+  }
+  EngineBuilder cold;
+  configure(cold);
+  UC_ASSIGN_OR_RETURN(std::shared_ptr<CleanEngine> engine, cold.BuildEngine());
   // Reload path: warm the replacement BEFORE the swap, so a hot-reloaded
   // engine never serves its first requests through a cold index build.
   if (warmup) engine->Warmup();
   return engine;
+}
+
+std::string Daemon::SnapshotPath(const RulesetConfig& cfg) const {
+  if (options_.snapshot_dir.empty()) return {};
+  return options_.snapshot_dir + "/" + cfg.name + ".ucsnap";
+}
+
+void Daemon::MaybeWriteSnapshot(const RulesetConfig& cfg,
+                                const CleanEngine& engine) {
+  const std::string path = SnapshotPath(cfg);
+  if (path.empty()) return;
+  const Status status = snapshot::WriteSnapshot(engine, path);
+  if (status.ok()) {
+    std::fprintf(stderr, "unicleand: ruleset '%s': snapshot written to %s\n",
+                 cfg.name.c_str(), path.c_str());
+  } else {
+    std::fprintf(stderr,
+                 "unicleand: ruleset '%s': snapshot write to %s failed "
+                 "(%s)\n",
+                 cfg.name.c_str(), path.c_str(), status.ToString().c_str());
+  }
 }
 
 Status Daemon::Start() {
@@ -208,8 +248,22 @@ Status Daemon::Start() {
                                        engines_[i]->cfg.name + "'");
       }
     }
-    UC_ASSIGN_OR_RETURN(engines_[i]->engine,
-                        BuildEngine(engines_[i]->cfg, options_.warmup));
+    EngineEntry& entry = *engines_[i];
+    const double t0 = NowS();
+    UC_ASSIGN_OR_RETURN(
+        entry.engine,
+        BuildEngine(entry.cfg, options_.warmup, SnapshotPath(entry.cfg)));
+    const double build_s = NowS() - t0;
+    const bool from_snapshot = !entry.engine->snapshot_source().empty();
+    std::fprintf(stderr,
+                 "unicleand: ruleset '%s' engine ready in %.3fs (%s)\n",
+                 entry.cfg.name.c_str(), build_s,
+                 from_snapshot
+                     ? ("snapshot " + entry.engine->snapshot_source()).c_str()
+                     : "cold build");
+    // A cold-built engine leaves a snapshot behind for the next start; a
+    // snapshot-warmed one already matches the file on disk.
+    if (!from_snapshot) MaybeWriteSnapshot(entry.cfg, *entry.engine);
   }
   if (!options_.request_log_path.empty()) {
     request_log_ = std::fopen(options_.request_log_path.c_str(), "a");
@@ -754,6 +808,10 @@ Status Daemon::HandleReload(Work& work) {
       entry->engine = std::move(rebuilt);
     }
     entry->reloads.fetch_add(1, std::memory_order_relaxed);
+    // The reload deliberately did NOT consult the snapshot (its point is
+    // re-reading the source files); the freshly built engine now overwrites
+    // it so the next start warm-starts from the reloaded state.
+    MaybeWriteSnapshot(entry->cfg, *entry->Get());
     if (!message.empty()) message += '\n';
     message += entry->cfg.name + ": fingerprint " + FingerprintHex(old_fp) +
                " -> " + FingerprintHex(new_fp) +
@@ -919,17 +977,24 @@ std::string Daemon::StatsJson() const {
   }
   out += "\n  },\n";
   out += "  \"rulesets\": [";
+  core::MemoStats memo_total;
+  int snapshot_warmed = 0;
   for (size_t i = 0; i < engines_.size(); ++i) {
     const EngineEntry& entry = *engines_[i];
     std::shared_ptr<CleanEngine> engine = entry.Get();
     if (i > 0) out += ',';
     const core::MemoStats memo = engine->MemoStats();
+    memo_total += memo;
+    if (!engine->snapshot_source().empty()) ++snapshot_warmed;
     out += "\n    {\"name\": \"" + JsonEscape(entry.cfg.name) +
            "\", \"fingerprint\": \"" + FingerprintHex(engine->Fingerprint()) +
            "\", \"reloads\": " + std::to_string(entry.reloads.load()) +
            ", \"master_tuples\": " + std::to_string(engine->master().size()) +
            ", \"cfds\": " + std::to_string(engine->rules().cfds().size()) +
            ", \"mds\": " + std::to_string(engine->rules().mds().size()) +
+           ", \"snapshot\": {\"source\": \"" +
+           JsonEscape(engine->snapshot_source()) + "\", \"load_s\": " +
+           std::to_string(engine->snapshot_load_seconds()) + "}" +
            ", \"memo\": {\"entries\": " + std::to_string(memo.entries) +
            ", \"bytes\": " + std::to_string(memo.bytes) +
            ", \"hits\": " + std::to_string(memo.hits) +
@@ -938,6 +1003,16 @@ std::string Daemon::StatsJson() const {
   }
   out += "\n  ],\n";
   const data::StringPoolStats pool = data::StringPool::Global().Stats();
+  // The warm-state footprint rollup: everything a restart would have to
+  // rebuild (or a snapshot restores) in one place.
+  out += "  \"engine_memory\": {\"string_pool\": {\"interned\": " +
+         std::to_string(pool.interned) +
+         ", \"chunks\": " + std::to_string(pool.chunks) +
+         ", \"string_bytes\": " + std::to_string(pool.string_bytes) +
+         "}, \"memo\": {\"entries\": " + std::to_string(memo_total.entries) +
+         ", \"bytes\": " + std::to_string(memo_total.bytes) +
+         "}, \"snapshot_warmed_engines\": " + std::to_string(snapshot_warmed) +
+         "},\n";
   out += "  \"string_pool\": {\"interned\": " + std::to_string(pool.interned) +
          ", \"remaining\": " + std::to_string(pool.remaining) +
          ", \"string_bytes\": " + std::to_string(pool.string_bytes) + "}\n";
@@ -987,7 +1062,12 @@ std::string Daemon::SummaryText() const {
                                        : 100.0 * static_cast<double>(memo.hits) /
                                              static_cast<double>(lookups)) +
            "% (" + std::to_string(memo.hits) + "/" + std::to_string(lookups) +
-           ")\n";
+           ")";
+    if (!engine->snapshot_source().empty()) {
+      out += ", warm-started from snapshot in " +
+             std::to_string(engine->snapshot_load_seconds()) + "s";
+    }
+    out += "\n";
   }
   return out;
 }

@@ -130,6 +130,14 @@ struct DaemonOptions {
   /// When non-empty, one JSON line per request (opcode, ruleset, tag, bytes
   /// in/out, queue-wait us, run us, status) is appended here, line-buffered.
   std::string request_log_path;
+  /// When non-empty, engine snapshots (src/snapshot/) live here as
+  /// <name>.ucsnap, one per ruleset. Start() warm-starts each engine from
+  /// its snapshot when the fingerprint matches (falling back to a cold
+  /// build on any mismatch or corruption, never failing startup because of
+  /// a bad snapshot) and writes a fresh snapshot after every cold build and
+  /// after every successful RELOAD. Implies warmup: an engine must be warm
+  /// to be persisted.
+  std::string snapshot_dir;
 };
 
 class Daemon {
@@ -224,8 +232,18 @@ class Daemon {
   /// Resolves a ruleset by name ("" = the sole configured one).
   Result<EngineEntry*> FindRuleset(const std::string& name);
   /// Builds a fresh engine from `cfg` (reload path re-reads the files).
+  /// With a non-empty `snapshot_path`, tries EngineBuilder::FromSnapshot
+  /// first and falls back to the cold build on any snapshot failure (the
+  /// fallback reason is logged; a missing file is the normal first start).
   static Result<std::shared_ptr<CleanEngine>> BuildEngine(
-      const RulesetConfig& cfg, bool warmup);
+      const RulesetConfig& cfg, bool warmup,
+      const std::string& snapshot_path = {});
+  /// <snapshot_dir>/<name>.ucsnap, or "" when snapshots are disabled.
+  std::string SnapshotPath(const RulesetConfig& cfg) const;
+  /// Persists `engine` to the ruleset's snapshot path (no-op when
+  /// disabled); failures are logged, never fatal — a serving daemon must
+  /// not die because a snapshot write failed.
+  void MaybeWriteSnapshot(const RulesetConfig& cfg, const CleanEngine& engine);
 
   DaemonOptions options_;
   std::vector<std::unique_ptr<EngineEntry>> engines_;

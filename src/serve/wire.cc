@@ -267,6 +267,8 @@ Status StatusFromWire(uint8_t code, std::string message) {
       return Status::Cancelled(std::move(message));
     case StatusCode::kUnavailable:
       return Status::Unavailable(std::move(message));
+    case StatusCode::kDataLoss:
+      return Status::DataLoss(std::move(message));
   }
   return Status::Internal("unknown wire error code " + std::to_string(code) +
                           ": " + message);

@@ -56,7 +56,8 @@
 //               InvalidArgument, 2 = NotFound, 3 = Corruption, 4 =
 //               OutOfRange, 5 = FailedPrecondition, 6 = Unimplemented, 7 =
 //               Internal, 8 = ResourceExhausted, 9 = DeadlineExceeded,
-//               10 = Cancelled, 11 = Unavailable), lp message,
+//               10 = Cancelled, 11 = Unavailable, 12 = DataLoss),
+//               lp message,
 //               u32 retry_after_ms (backoff hint; non-zero only with
 //               Unavailable — wait at least this long before retrying.
 //               Absent in pre-deadline peers; readers treat a missing

@@ -25,7 +25,8 @@ int GeneralizedSuffixTree::AddString(std::string_view s) {
 }
 
 int GeneralizedSuffixTree::NewNode(int start, int end) {
-  nodes_.push_back(Node{start, end, 0, {}});
+  nodes_.push_back(Node{start, end, 0});
+  build_next_.emplace_back();
   return static_cast<int>(nodes_.size() - 1);
 }
 
@@ -36,11 +37,11 @@ void GeneralizedSuffixTree::Extend(int pos) {
   while (remainder_ > 0) {
     if (active_length_ == 0) active_edge_ = pos;
     const int32_t edge_symbol = text_[static_cast<size_t>(active_edge_)];
-    auto it = nodes_[static_cast<size_t>(active_node_)].next.find(edge_symbol);
-    if (it == nodes_[static_cast<size_t>(active_node_)].next.end()) {
+    auto it = build_next_[static_cast<size_t>(active_node_)].find(edge_symbol);
+    if (it == build_next_[static_cast<size_t>(active_node_)].end()) {
       // No edge: create a leaf.
       int leaf = NewNode(pos, kOpenEnd);
-      nodes_[static_cast<size_t>(active_node_)].next[edge_symbol] = leaf;
+      build_next_[static_cast<size_t>(active_node_)][edge_symbol] = leaf;
       if (last_new_node != -1) {
         nodes_[static_cast<size_t>(last_new_node)].link = active_node_;
         last_new_node = -1;
@@ -69,13 +70,12 @@ void GeneralizedSuffixTree::Extend(int pos) {
       // Split the edge.
       int split_start = nodes_[static_cast<size_t>(next_node)].start;
       int split = NewNode(split_start, split_start + active_length_);
-      nodes_[static_cast<size_t>(active_node_)].next[edge_symbol] = split;
+      build_next_[static_cast<size_t>(active_node_)][edge_symbol] = split;
       int leaf = NewNode(pos, kOpenEnd);
-      nodes_[static_cast<size_t>(split)].next[cur_symbol] = leaf;
+      build_next_[static_cast<size_t>(split)][cur_symbol] = leaf;
       nodes_[static_cast<size_t>(next_node)].start += active_length_;
-      nodes_[static_cast<size_t>(split)]
-          .next[text_[static_cast<size_t>(
-              nodes_[static_cast<size_t>(next_node)].start)]] = next_node;
+      build_next_[static_cast<size_t>(split)][text_[static_cast<size_t>(
+          nodes_[static_cast<size_t>(next_node)].start)]] = next_node;
       if (last_new_node != -1) {
         nodes_[static_cast<size_t>(last_new_node)].link = split;
       }
@@ -95,6 +95,7 @@ void GeneralizedSuffixTree::Build() {
   UC_CHECK(!built_) << "Build called twice";
   built_ = true;
   nodes_.clear();
+  build_next_.clear();
   NewNode(-1, -1);  // root
   active_node_ = 0;
   active_edge_ = 0;
@@ -126,12 +127,12 @@ void GeneralizedSuffixTree::Build() {
   while (!stack.empty()) {
     Frame& f = stack.back();
     const int node = f.node;
-    const Node& n = nodes_[static_cast<size_t>(node)];
+    const auto& children = build_next_[static_cast<size_t>(node)];
     if (!f.entered) {
       f.entered = true;
-      leaf_range_[static_cast<size_t>(node)].first =
+      leaf_range_[static_cast<size_t>(node)].begin =
           static_cast<int>(leaf_starts_.size());
-      if (n.next.empty() && node != 0) {
+      if (children.empty() && node != 0) {
         suffix_start_[static_cast<size_t>(node)] =
             static_cast<int>(text_.size()) - f.depth;
         leaf_starts_.push_back(suffix_start_[static_cast<size_t>(node)]);
@@ -139,7 +140,7 @@ void GeneralizedSuffixTree::Build() {
         // Push children in map order; LIFO popping visits them in reverse,
         // matching the old CollectLeaves stack discipline.
         const int depth = f.depth;
-        for (const auto& [sym, child] : n.next) {
+        for (const auto& [sym, child] : children) {
           (void)sym;
           stack.push_back(Frame{
               child,
@@ -150,7 +151,7 @@ void GeneralizedSuffixTree::Build() {
     }
     // Post-order: close the node's slice. Children appear below this frame
     // on the stack, so the node's frame resurfaces after its subtree.
-    leaf_range_[static_cast<size_t>(node)].second =
+    leaf_range_[static_cast<size_t>(node)].end =
         static_cast<int>(leaf_starts_.size());
     stack.pop_back();
   }
@@ -164,13 +165,52 @@ void GeneralizedSuffixTree::Build() {
       pos_string_id_[static_cast<size_t>(begin + k)] = static_cast<int>(id);
     }
   }
+
+  FreezeChildren();
+}
+
+void GeneralizedSuffixTree::FreezeChildren() {
+  size_t total = 0;
+  for (const auto& children : build_next_) total += children.size();
+  child_begin_.assign(nodes_.size() + 1, 0);
+  child_symbols_.clear();
+  child_symbols_.reserve(total);
+  child_nodes_.clear();
+  child_nodes_.reserve(total);
+  std::vector<std::pair<int32_t, int>> sorted;
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    child_begin_[i] = static_cast<int>(child_symbols_.size());
+    sorted.assign(build_next_[i].begin(), build_next_[i].end());
+    std::sort(sorted.begin(), sorted.end());
+    for (const auto& [symbol, child] : sorted) {
+      child_symbols_.push_back(symbol);
+      child_nodes_.push_back(child);
+    }
+  }
+  child_begin_[nodes_.size()] = static_cast<int>(child_symbols_.size());
+  // Release the build maps; queries run on the CSR arrays alone. For a
+  // master-scale tree this drops tens of bytes of hash-map overhead per
+  // node.
+  build_next_.clear();
+  build_next_.shrink_to_fit();
+}
+
+int GeneralizedSuffixTree::FindChild(int node, int32_t symbol) const {
+  const int begin = child_begin_[static_cast<size_t>(node)];
+  const int end = child_begin_[static_cast<size_t>(node) + 1];
+  const auto first = child_symbols_.begin() + begin;
+  const auto last = child_symbols_.begin() + end;
+  const auto it = std::lower_bound(first, last, symbol);
+  if (it == last || *it != symbol) return -1;
+  return child_nodes_[static_cast<size_t>(it - child_symbols_.begin())];
 }
 
 std::vector<int> GeneralizedSuffixTree::AllSuffixStarts() const {
   UC_CHECK(built_);
   std::vector<int> starts;
   for (size_t n = 1; n < nodes_.size(); ++n) {
-    if (nodes_[n].next.empty()) starts.push_back(suffix_start_[n]);
+    // Leaves are exactly the nodes the build stamped a suffix start on.
+    if (suffix_start_[n] >= 0) starts.push_back(suffix_start_[n]);
   }
   std::sort(starts.begin(), starts.end());
   return starts;
@@ -194,16 +234,16 @@ bool GeneralizedSuffixTree::ContainsSubstring(std::string_view q) const {
   int node = 0;
   size_t i = 0;
   while (i < q.size()) {
-    auto it = nodes_[static_cast<size_t>(node)].next.find(SymbolFor(q[i]));
-    if (it == nodes_[static_cast<size_t>(node)].next.end()) return false;
-    const Node& child = nodes_[static_cast<size_t>(it->second)];
+    const int next_node = FindChild(node, SymbolFor(q[i]));
+    if (next_node < 0) return false;
+    const Node& child = nodes_[static_cast<size_t>(next_node)];
     int len = EdgeLength(child);
     for (int k = 0; k < len && i < q.size(); ++k, ++i) {
       if (text_[static_cast<size_t>(child.start + k)] != SymbolFor(q[i])) {
         return false;
       }
     }
-    node = it->second;
+    node = next_node;
   }
   return true;
 }
@@ -257,9 +297,9 @@ void GeneralizedSuffixTree::TopL(std::string_view q, int l,
     int depth = 0;
     size_t i = start;
     while (i < q.size()) {
-      auto it = nodes_[static_cast<size_t>(node)].next.find(SymbolFor(q[i]));
-      if (it == nodes_[static_cast<size_t>(node)].next.end()) break;
-      const Node& child = nodes_[static_cast<size_t>(it->second)];
+      const int next_node = FindChild(node, SymbolFor(q[i]));
+      if (next_node < 0) break;
+      const Node& child = nodes_[static_cast<size_t>(next_node)];
       int len = EdgeLength(child);
       int advanced = 0;
       bool mismatch = false;
@@ -271,7 +311,7 @@ void GeneralizedSuffixTree::TopL(std::string_view q, int l,
         ++advanced;
       }
       depth += advanced;
-      node = it->second;  // even on partial edge match, subtree is correct
+      node = next_node;  // even on partial edge match, subtree is correct
       if (depth > 0) probes.push_back(Probe{node, depth});
       if (mismatch || advanced < len) break;
     }

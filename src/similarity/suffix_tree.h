@@ -15,6 +15,9 @@
 #include <vector>
 
 namespace uniclean {
+namespace snapshot {
+class Codec;  // snapshot/codec.h: serializes the built tree's internals
+}  // namespace snapshot
 namespace similarity {
 
 /// A candidate string produced by a blocking query.
@@ -73,11 +76,16 @@ class GeneralizedSuffixTree {
   std::vector<int> AllSuffixStarts() const;
 
  private:
+  // snapshot::Codec persists a built tree verbatim — nodes, suffix starts
+  // and the precomputed leaf slices — so a loaded tree answers TopL with
+  // byte-identical candidate order (the DFS that fixes leaf order depends
+  // on unordered_map iteration order and must not be re-run on load).
+  friend class ::uniclean::snapshot::Codec;
+
   struct Node {
     int start = -1;  // edge label [start, end) into text_, entering this node
     int end = -1;    // exclusive; kOpenEnd for growing leaves during build
     int link = 0;    // suffix link
-    std::unordered_map<int32_t, int> next;
   };
 
   static constexpr int kOpenEnd = -1;
@@ -90,6 +98,15 @@ class GeneralizedSuffixTree {
   int NewNode(int start, int end);
   void Extend(int pos);
 
+  /// Converts the build-time per-node child maps into the frozen CSR arrays
+  /// (children sorted by symbol) and discards the maps. Called at the end of
+  /// Build(); a restored tree gets the arrays installed directly.
+  void FreezeChildren();
+
+  /// Child of `node` along `symbol` in the frozen arrays, or -1. O(log k)
+  /// over the node's k children.
+  int FindChild(int node, int32_t symbol) const;
+
   /// Maps a text position to the id of the string containing it, or -1 for
   /// separator positions.
   int StringIdAt(int text_pos) const;
@@ -101,12 +118,31 @@ class GeneralizedSuffixTree {
   std::vector<int> boundaries_;     // start offset of each string in text_
   std::vector<int> string_length_;  // length of each indexed string
   std::vector<Node> nodes_;
+  // Build-time children: one mutable map per node, indexed like nodes_,
+  // consumed by FreezeChildren() when the build finishes. Empty on a built
+  // (or restored) tree — queries never touch it.
+  std::vector<std::unordered_map<int32_t, int>> build_next_;
+  // Frozen children in CSR form: node i's children are the slice
+  // [child_begin_[i], child_begin_[i + 1]) of the symbol/node arrays,
+  // sorted by symbol. Flat arrays restore from a snapshot as bulk copies —
+  // the reason a warm start costs milliseconds where Ukkonen's build (or
+  // rebuilding half a million little hash maps) costs hundreds.
+  std::vector<int> child_begin_;       // size nodes_.size() + 1
+  std::vector<int32_t> child_symbols_;
+  std::vector<int> child_nodes_;
   std::vector<int> suffix_start_;   // per node: suffix start if leaf, else -1
   // Query-time acceleration, precomputed at Build(): the leaves of every
   // subtree as a contiguous slice of a preorder leaf array, and an O(1)
   // text-position -> string-id map.
   std::vector<int> leaf_starts_;                 // leaf suffix starts, preorder
-  std::vector<std::pair<int, int>> leaf_range_;  // per node: [begin, end)
+  // Per node: the [begin, end) slice of leaf_starts_ covering its subtree.
+  // A plain struct (not std::pair) so the snapshot codec's bulk word
+  // transfer sees a trivially copyable element.
+  struct LeafRange {
+    int begin = 0;
+    int end = 0;
+  };
+  std::vector<LeafRange> leaf_range_;
   std::vector<int> pos_string_id_;               // per text position
   bool built_ = false;
 

@@ -69,6 +69,8 @@ inline Status Annotate(const Status& status, const std::string& prefix) {
       return Status::Cancelled(message);
     case StatusCode::kUnavailable:
       return Status::Unavailable(message);
+    case StatusCode::kDataLoss:
+      return Status::DataLoss(message);
   }
   return Status::Internal(message);
 }

@@ -19,6 +19,9 @@ namespace uniclean {
 
 const core::MatchEnvironment& CleanEngine::environment() const {
   std::call_once(env_once_, [this] {
+    // Already installed by EngineBuilder::FromSnapshot (before the engine
+    // escaped the builder, so the write happens-before any reader).
+    if (env_ != nullptr) return;
     env_ = std::make_unique<core::MatchEnvironment>(*rules_, *master_,
                                                     config_.matcher);
   });

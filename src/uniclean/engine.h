@@ -128,6 +128,12 @@ class CleanEngine : public std::enable_shared_from_this<CleanEngine> {
   /// Phase names a NewSession() pipeline will run, in order.
   std::vector<std::string> PhaseNames() const;
 
+  /// Path of the snapshot this engine's match environment was loaded from
+  /// (EngineBuilder::FromSnapshot), or empty for a cold-built environment.
+  const std::string& snapshot_source() const { return snapshot_source_; }
+  /// Wall seconds FromSnapshot spent loading (0 for a cold build).
+  double snapshot_load_seconds() const { return snapshot_load_s_; }
+
  private:
   friend class EngineBuilder;
   CleanEngine() = default;
@@ -141,9 +147,13 @@ class CleanEngine : public std::enable_shared_from_this<CleanEngine> {
   PipelineConfig config_;
   std::vector<PhaseFactory> phase_factories_;
   // Lazily built, then immutable; call_once makes the build thread-safe
-  // (two racing first Runs construct it exactly once).
+  // (two racing first Runs construct it exactly once). FromSnapshot installs
+  // env_ before the engine escapes the builder; environment()'s lambda
+  // checks for it, so a snapshot-warmed engine never cold-builds.
   mutable std::once_flag env_once_;
   mutable std::unique_ptr<core::MatchEnvironment> env_;
+  std::string snapshot_source_;
+  double snapshot_load_s_ = 0.0;
 };
 
 /// Fluent single-use builder for CleanEngine (and the Cleaner shim — the
@@ -229,6 +239,21 @@ class EngineBuilder {
   /// Status::InvalidArgument on bad configuration; I/O and parse failures
   /// propagate their own codes (NotFound, Corruption, …).
   Result<std::shared_ptr<CleanEngine>> BuildEngine();
+
+  /// Like BuildEngine(), but warm-starts the match environment from a
+  /// snapshot file written by snapshot::WriteSnapshot instead of paying the
+  /// cold index build. The snapshot's string-pool section is loaded (and
+  /// verified against the live pool) *before* the configured sources are
+  /// read, so interned ids — and therefore journals — are byte-identical to
+  /// a cold-built engine. Refuses with kDataLoss on a corrupt file (bad
+  /// magic/CRC/truncation), kFailedPrecondition when the snapshot's engine
+  /// fingerprint, matcher options or pool generation do not match this
+  /// configuration; in both cases no engine is returned and the caller
+  /// should fall back to BuildEngine() against the same sources (the
+  /// builder is left consumed — reconfigure a fresh one). Defined in the
+  /// uniclean::snapshot library (snapshot/snapshot.cc): link
+  /// uniclean::snapshot to use it.
+  Result<std::shared_ptr<CleanEngine>> FromSnapshot(const std::string& path);
 
   /// Validates the configuration and assembles the single-session Cleaner
   /// shim (engine + one session + the bound data relation). Defined with

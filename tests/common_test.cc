@@ -43,7 +43,7 @@ TEST(StatusTest, AllCodesHaveNames) {
         StatusCode::kFailedPrecondition, StatusCode::kUnimplemented,
         StatusCode::kInternal, StatusCode::kResourceExhausted,
         StatusCode::kDeadlineExceeded, StatusCode::kCancelled,
-        StatusCode::kUnavailable}) {
+        StatusCode::kUnavailable, StatusCode::kDataLoss}) {
     EXPECT_STRNE(StatusCodeToString(code), "Unknown");
   }
 }
@@ -56,11 +56,11 @@ TEST(StatusTest, CodeNamesAreDistinct) {
         StatusCode::kFailedPrecondition, StatusCode::kUnimplemented,
         StatusCode::kInternal, StatusCode::kResourceExhausted,
         StatusCode::kDeadlineExceeded, StatusCode::kCancelled,
-        StatusCode::kUnavailable}) {
+        StatusCode::kUnavailable, StatusCode::kDataLoss}) {
     EXPECT_TRUE(names.insert(StatusCodeToString(code)).second)
         << "duplicate name " << StatusCodeToString(code);
   }
-  EXPECT_EQ(names.size(), 12u);
+  EXPECT_EQ(names.size(), 13u);
 }
 
 TEST(StatusTest, EveryFactoryProducesItsCode) {
@@ -78,6 +78,7 @@ TEST(StatusTest, EveryFactoryProducesItsCode) {
             StatusCode::kDeadlineExceeded);
   EXPECT_EQ(Status::Cancelled("m").code(), StatusCode::kCancelled);
   EXPECT_EQ(Status::Unavailable("m").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(Status::DataLoss("m").code(), StatusCode::kDataLoss);
   EXPECT_EQ(Status::OK().code(), StatusCode::kOk);
 }
 
@@ -89,6 +90,7 @@ TEST(StatusTest, ToStringRoundTripsCodeName) {
             "DeadlineExceeded: late");
   EXPECT_EQ(Status::Cancelled("stop").ToString(), "Cancelled: stop");
   EXPECT_EQ(Status::Unavailable("busy").ToString(), "Unavailable: busy");
+  EXPECT_EQ(Status::DataLoss("bad crc").ToString(), "DataLoss: bad crc");
 }
 
 TEST(StatusTest, MoveKeepsCodeAndMessage) {
@@ -168,7 +170,7 @@ TEST(ResultTest, ErrorConstructionFromEveryCode) {
        {Status::InvalidArgument("a"), Status::NotFound("b"),
         Status::Corruption("c"), Status::OutOfRange("d"),
         Status::FailedPrecondition("e"), Status::Unimplemented("f"),
-        Status::Internal("g")}) {
+        Status::Internal("g"), Status::DataLoss("h")}) {
     Result<int> r(status);
     EXPECT_FALSE(r.ok());
     EXPECT_EQ(r.status(), status);

@@ -3,7 +3,10 @@
 # run a batch clean plus one streaming DELTA through uniclean_client, assert
 # both journals are byte-identical to in-process uniclean_cli runs on the
 # same inputs, then SIGTERM the daemon and assert a graceful drain (exit 0
-# with the shutdown summary). A second daemon with a tiny --max-queue then
+# with the shutdown summary). A --snapshot-dir daemon then demonstrates the
+# crash path: its cold start persists a snapshot, kill -9 simulates a crash,
+# and the restarted daemon warm-starts from the file with a byte-identical
+# journal. A second daemon with a tiny --max-queue then
 # takes concurrent clients: the excess are rejected kUnavailable with a
 # retry-after hint and --max-retries backoff drives every one of them to a
 # byte-identical journal. Driven by CTest and by the CI serve-smoke job.
@@ -74,6 +77,63 @@ DAEMON_PID=
 [ "$STATUS" -eq 0 ] || fail "daemon exited $STATUS after SIGTERM"
 grep -q "unicleand summary" daemon.log || fail "no shutdown summary logged"
 
+# --- Snapshot scenario: cold start persists a snapshot, a kill -9 "crash"
+# loses nothing, and the restarted daemon warm-starts from the file with a
+# byte-identical journal.
+mkdir -p snapshots
+rm -f port.txt
+"$DAEMON" --master master.csv --rules rules.txt --schema dirty.csv \
+  --port 0 --port-file port.txt --workers 2 --snapshot-dir snapshots \
+  >snap_daemon1.log 2>&1 &
+DAEMON_PID=$!
+for _ in $(seq 1 300); do
+  [ -f port.txt ] && break
+  kill -0 "$DAEMON_PID" 2>/dev/null || fail "snapshot daemon died at startup"
+  sleep 0.2
+done
+[ -f port.txt ] || fail "snapshot daemon never wrote the port file"
+[ -s snapshots/default.ucsnap ] || fail "cold start left no snapshot behind"
+grep -q "engine ready in .*cold build" snap_daemon1.log \
+  || fail "first snapshot-dir start was not a cold build"
+"$CLIENT" --port-file port.txt --clean dirty.csv \
+  --confidence confidence.csv --journal snap_batch1.csv >/dev/null \
+  || fail "clean against the snapshot-writing daemon"
+cmp -s cli_batch.csv snap_batch1.csv \
+  || fail "snapshot-writing daemon journal differs from the in-process run"
+kill -9 "$DAEMON_PID" 2>/dev/null  # simulated crash: no drain, no cleanup
+wait "$DAEMON_PID" 2>/dev/null
+DAEMON_PID=
+
+rm -f port.txt
+"$DAEMON" --master master.csv --rules rules.txt --schema dirty.csv \
+  --port 0 --port-file port.txt --workers 2 --snapshot-dir snapshots \
+  >snap_daemon2.log 2>&1 &
+DAEMON_PID=$!
+for _ in $(seq 1 300); do
+  [ -f port.txt ] && break
+  kill -0 "$DAEMON_PID" 2>/dev/null || fail "restarted daemon died at startup"
+  sleep 0.2
+done
+[ -f port.txt ] || fail "restarted daemon never wrote the port file"
+grep -q "engine ready in .*snapshot snapshots/default.ucsnap" snap_daemon2.log \
+  || fail "restarted daemon did not warm-start from the snapshot"
+"$CLIENT" --port-file port.txt --clean dirty.csv \
+  --confidence confidence.csv --journal snap_batch2.csv >/dev/null \
+  || fail "clean against the snapshot-warmed daemon"
+cmp -s cli_batch.csv snap_batch2.csv \
+  || fail "snapshot-warmed daemon journal differs from the in-process run"
+kill -TERM "$DAEMON_PID" || fail "SIGTERM (snapshot daemon)"
+DRAIN_OK=
+for _ in $(seq 1 300); do
+  if ! kill -0 "$DAEMON_PID" 2>/dev/null; then DRAIN_OK=1; break; fi
+  sleep 0.2
+done
+[ -n "$DRAIN_OK" ] || { kill -9 "$DAEMON_PID"; fail "snapshot daemon hung"; }
+wait "$DAEMON_PID"
+STATUS=$?
+DAEMON_PID=
+[ "$STATUS" -eq 0 ] || fail "snapshot daemon exited $STATUS after SIGTERM"
+
 # --- Overload scenario: tiny queue, concurrent clients, backoff to success.
 rm -f port.txt
 "$DAEMON" --master master.csv --rules rules.txt --schema dirty.csv \
@@ -127,5 +187,5 @@ grep -q '"status": "OK"' requests.log \
   || fail "request log has no successful request line"
 
 echo "serve_smoke_test: PASS (journals byte-identical, graceful drain," \
-     "overload rejected + retried to success)"
+     "snapshot warm restart, overload rejected + retried to success)"
 exit 0

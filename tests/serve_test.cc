@@ -30,6 +30,7 @@
 #include "serve/safe_csv.h"
 #include "serve/server.h"
 #include "serve/wire.h"
+#include "snapshot/snapshot.h"
 #include "uniclean/engine.h"
 #include "uniclean/session.h"
 
@@ -842,6 +843,105 @@ TEST(WireDeadlineTest, DeadlineFieldRoundTripsThroughAFrame) {
   EXPECT_EQ(frame->op, Op::kPong);
   EXPECT_EQ(frame->tag, 21u);
   EXPECT_EQ(frame->body, "deadline?");
+}
+
+// ---------------------------------------------------------------------------
+// Snapshot warm starts
+// ---------------------------------------------------------------------------
+
+std::string MakeSnapshotDir() {
+  char tmpl[] = "/tmp/uniclean_serve_snap.XXXXXX";
+  EXPECT_NE(::mkdtemp(tmpl), nullptr);
+  return tmpl;
+}
+
+TEST(SnapshotServeTest, ColdStartWritesSnapshotAndRestartWarmStartsFromIt) {
+  ServeWorld* w = ServeWorld::Get();
+  const std::string snap_dir = MakeSnapshotDir();
+  const std::string snap_path = snap_dir + "/hosp.ucsnap";
+  DaemonOptions options;
+  options.n_workers = 1;
+  options.snapshot_dir = snap_dir;
+  {
+    auto daemon = StartFaultDaemon(options);
+    // The cold start left a valid snapshot behind for the next process.
+    EXPECT_TRUE(snapshot::Verify(snap_path).ok());
+    Client client = ConnectTo(*daemon);
+    auto stats = client.Stats();
+    ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+    EXPECT_NE(stats->find("\"snapshot_warmed_engines\": 0"),
+              std::string::npos);
+    EXPECT_NE(stats->find("\"engine_memory\""), std::string::npos);
+  }
+  // "Restart": a second daemon over the same files and snapshot dir must
+  // warm-start from the file and serve byte-identical journals.
+  auto daemon = StartFaultDaemon(options);
+  Client client = ConnectTo(*daemon);
+  auto stats = client.Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_NE(stats->find("\"snapshot_warmed_engines\": 1"), std::string::npos);
+  EXPECT_NE(stats->find(snap_path), std::string::npos);
+  CleanRequest request;
+  request.data_csv = w->dirty_csv;
+  auto reply = client.Clean(request);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(reply->journal_csv, w->reference_journal);
+}
+
+TEST(SnapshotServeTest, CorruptSnapshotFallsBackToColdBuildAndRewrites) {
+  ServeWorld* w = ServeWorld::Get();
+  const std::string snap_dir = MakeSnapshotDir();
+  const std::string snap_path = snap_dir + "/hosp.ucsnap";
+  ASSERT_TRUE(snapshot::WriteSnapshot(*w->reference, snap_path).ok());
+  {
+    // Flip one payload byte: the load must refuse the file, not crash.
+    std::fstream f(snap_path,
+                   std::ios::in | std::ios::out | std::ios::binary);
+    ASSERT_TRUE(f.good());
+    f.seekg(0, std::ios::end);
+    const std::streamoff size = f.tellg();
+    ASSERT_GT(size, 200);
+    f.seekp(size / 2);
+    char byte = 0;
+    f.seekg(size / 2);
+    f.read(&byte, 1);
+    byte = static_cast<char>(byte ^ 0x40);
+    f.seekp(size / 2);
+    f.write(&byte, 1);
+  }
+  ASSERT_FALSE(snapshot::Verify(snap_path).ok());
+  DaemonOptions options;
+  options.n_workers = 1;
+  options.snapshot_dir = snap_dir;
+  auto daemon = StartFaultDaemon(options);
+  Client client = ConnectTo(*daemon);
+  auto stats = client.Stats();
+  ASSERT_TRUE(stats.ok()) << stats.status().ToString();
+  EXPECT_NE(stats->find("\"snapshot_warmed_engines\": 0"), std::string::npos);
+  // The cold build overwrote the bad file; journals are unaffected.
+  EXPECT_TRUE(snapshot::Verify(snap_path).ok());
+  CleanRequest request;
+  request.data_csv = w->dirty_csv;
+  auto reply = client.Clean(request);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(reply->journal_csv, w->reference_journal);
+}
+
+TEST(SnapshotServeTest, ReloadRewritesTheSnapshot) {
+  const std::string snap_dir = MakeSnapshotDir();
+  const std::string snap_path = snap_dir + "/hosp.ucsnap";
+  DaemonOptions options;
+  options.n_workers = 1;
+  options.snapshot_dir = snap_dir;
+  auto daemon = StartFaultDaemon(options);
+  ASSERT_TRUE(snapshot::Verify(snap_path).ok());
+  // RELOAD must leave a fresh snapshot of the rebuilt engine behind even if
+  // the old file vanished in between.
+  ASSERT_EQ(std::remove(snap_path.c_str()), 0);
+  Client client = ConnectTo(*daemon);
+  auto reload = client.Reload();
+  ASSERT_TRUE(reload.ok()) << reload.status().ToString();
+  EXPECT_TRUE(snapshot::Verify(snap_path).ok());
 }
 
 TEST(WireDeadlineTest, NewErrorCodesRoundTripUnchanged) {

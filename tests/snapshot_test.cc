@@ -1,0 +1,528 @@
+// src/snapshot/ contract tests.
+//
+// Two halves:
+//  1. Round-trip parity — an engine warm-started with
+//     EngineBuilder::FromSnapshot must be observationally identical to the
+//     cold-built engine the snapshot came from: byte-identical CLEAN and
+//     DELTA journals on HOSP/DBLP/TPCH, zero MdMatcher constructions during
+//     the load, memo contents carried across when asked for.
+//  2. Hostile-file hardening — truncations, bit flips, forged lengths, wrong
+//     magic, future versions and configuration mismatches must surface as
+//     the structured codes snapshot.h promises (kDataLoss vs
+//     kFailedPrecondition vs kNotFound), never an abort or a half-restored
+//     engine.
+//
+// Both halves run under ScopedStringPool so each cold/warm run replays the
+// same deterministic intern sequence a fresh process would.
+
+#include <unistd.h>
+
+#include <cstdint>
+#include <fstream>
+#include <sstream>
+#include <string>
+#include <tuple>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/match_environment.h"
+#include "core/md_matcher.h"
+#include "data/relation.h"
+#include "data/string_pool.h"
+#include "gen/dataset.h"
+#include "snapshot/format.h"
+#include "snapshot/snapshot.h"
+#include "uniclean/engine.h"
+#include "uniclean/session.h"
+
+namespace uniclean {
+namespace {
+
+gen::GeneratorConfig SmallConfig(uint64_t seed) {
+  gen::GeneratorConfig config;
+  config.num_tuples = 200;
+  config.master_size = 100;
+  config.noise_rate = 0.08;
+  config.dup_rate = 0.4;
+  config.asserted_rate = 0.4;
+  config.seed = seed;
+  return config;
+}
+
+gen::Dataset Generate(const std::string& name, uint64_t seed) {
+  const gen::GeneratorConfig config = SmallConfig(seed);
+  if (name == "HOSP") return gen::GenerateHosp(config);
+  if (name == "DBLP") return gen::GenerateDblp(config);
+  return gen::GenerateTpch(config);
+}
+
+/// The builder configuration shared by every cold build and every
+/// FromSnapshot in these tests; any knob a test varies (eta, matcher
+/// options) is a deliberate mismatch probe.
+EngineBuilder Configure(const gen::Dataset& ds, double eta = 1.0,
+                        core::MdMatcherOptions matcher = {}) {
+  EngineBuilder builder;
+  builder.WithDataSchema(ds.dirty.schema_ptr())
+      .WithMaster(&ds.master)
+      .WithRules(&ds.rules)
+      .WithEta(eta)
+      .WithMatcherOptions(matcher);
+  return builder;
+}
+
+/// Runs one untracked session over a fresh clone of the dirty relation and
+/// returns the journal's text + CSV serializations.
+std::string RunJournal(const std::shared_ptr<CleanEngine>& engine,
+                       const gen::Dataset& ds) {
+  data::Relation d = ds.dirty.Clone();
+  Session session = engine->NewSession();
+  auto result = session.Run(&d);
+  if (!result.ok()) {
+    ADD_FAILURE() << "Run failed: " << result.status().ToString();
+    return {};
+  }
+  std::ostringstream text;
+  std::ostringstream csv;
+  EXPECT_TRUE(result->journal.WriteText(text).ok());
+  EXPECT_TRUE(result->journal.WriteCsv(csv).ok());
+  return text.str() + "\n--\n" + csv.str();
+}
+
+/// Runs a tracked session, applies one delta (an insert and a delete), and
+/// returns the delta journal's CSV serialization.
+std::string RunDeltaJournal(const std::shared_ptr<CleanEngine>& engine,
+                            const gen::Dataset& ds) {
+  data::Relation d = ds.dirty.Clone();
+  Session session = engine->NewTrackedSession();
+  auto run = session.Run(&d);
+  if (!run.ok()) {
+    ADD_FAILURE() << "tracked Run failed: " << run.status().ToString();
+    return {};
+  }
+  Delta delta;
+  delta.inserts.push_back(ds.dirty.tuples()[1]);
+  delta.deletes.push_back(0);
+  auto dr = session.ApplyDelta(delta);
+  if (!dr.ok()) {
+    ADD_FAILURE() << "ApplyDelta failed: " << dr.status().ToString();
+    return {};
+  }
+  std::ostringstream csv;
+  EXPECT_TRUE(dr->delta_journal.WriteCsv(csv).ok());
+  return csv.str();
+}
+
+std::string ReadFileBytes(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  EXPECT_TRUE(in.good()) << path;
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+void WriteFileBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  ASSERT_TRUE(out.good()) << path;
+}
+
+void PatchU32(std::string* bytes, size_t offset, uint32_t v) {
+  ASSERT_LE(offset + 4, bytes->size());
+  for (int i = 0; i < 4; ++i) {
+    (*bytes)[offset + static_cast<size_t>(i)] =
+        static_cast<char>((v >> (8 * i)) & 0xFF);
+  }
+}
+
+/// Re-seals the 64-byte header after a deliberate field edit, so the test
+/// exercises the *semantic* check behind the CRC rather than the CRC itself.
+void ResealHeader(std::string* bytes) {
+  PatchU32(bytes, snapshot::kHeaderBytes - 4,
+           snapshot::Crc32(bytes->data(), snapshot::kHeaderBytes - 4));
+}
+
+// ---------------------------------------------------------------------------
+// Round-trip parity
+// ---------------------------------------------------------------------------
+
+class SnapshotParity
+    : public ::testing::TestWithParam<std::tuple<const char*, uint64_t>> {
+ protected:
+  std::string Name() const { return std::get<0>(GetParam()); }
+  uint64_t Seed() const { return std::get<1>(GetParam()); }
+  std::string Path(const char* tag) const {
+    return ::testing::TempDir() + "ucsnap_" + Name() + "_" +
+           std::to_string(Seed()) + "_" + tag + ".ucsnap";
+  }
+};
+
+TEST_P(SnapshotParity, WarmStartJournalsAreByteIdentical) {
+  const std::string path = Path("parity");
+  std::string cold_journal;
+  {
+    data::ScopedStringPool scoped;
+    gen::Dataset ds = Generate(Name(), Seed());
+    auto engine = Configure(ds).BuildEngine();
+    ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+    cold_journal = RunJournal(*engine, ds);
+    ASSERT_TRUE(snapshot::WriteSnapshot(**engine, path).ok());
+  }
+  ASSERT_FALSE(cold_journal.empty());
+  EXPECT_TRUE(snapshot::Verify(path).ok());
+
+  data::ScopedStringPool scoped;
+  gen::Dataset ds = Generate(Name(), Seed());
+  const uint64_t constructed_before = core::MdMatcher::ConstructedCount();
+  auto engine = Configure(ds).FromSnapshot(path);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  // The whole point: a warm start deserializes matchers, it never builds one.
+  EXPECT_EQ(core::MdMatcher::ConstructedCount(), constructed_before);
+  EXPECT_EQ((*engine)->snapshot_source(), path);
+  EXPECT_GT((*engine)->snapshot_load_seconds(), 0.0);
+  EXPECT_EQ(RunJournal(*engine, ds), cold_journal);
+}
+
+TEST_P(SnapshotParity, TrackedDeltaJournalsAreByteIdentical) {
+  const std::string path = Path("delta");
+  std::string cold_delta;
+  {
+    data::ScopedStringPool scoped;
+    gen::Dataset ds = Generate(Name(), Seed());
+    auto engine = Configure(ds).BuildEngine();
+    ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+    // Snapshot the *fresh* warm engine, then run: the snapshot must not
+    // depend on any session having run.
+    ASSERT_TRUE(snapshot::WriteSnapshot(**engine, path).ok());
+    cold_delta = RunDeltaJournal(*engine, ds);
+  }
+
+  data::ScopedStringPool scoped;
+  gen::Dataset ds = Generate(Name(), Seed());
+  auto engine = Configure(ds).FromSnapshot(path);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  EXPECT_EQ(RunDeltaJournal(*engine, ds), cold_delta);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Datasets, SnapshotParity,
+    ::testing::Combine(::testing::Values("HOSP", "DBLP", "TPCH"),
+                       ::testing::Values(11u, 29u)),
+    [](const ::testing::TestParamInfo<SnapshotParity::ParamType>& info) {
+      return std::string(std::get<0>(info.param)) + "_seed" +
+             std::to_string(std::get<1>(info.param));
+    });
+
+// ---------------------------------------------------------------------------
+// Memos, determinism, inspection
+// ---------------------------------------------------------------------------
+
+class SnapshotHosp : public ::testing::Test {
+ protected:
+  std::string Path(const char* tag) const {
+    return ::testing::TempDir() + std::string("ucsnap_hosp_") + tag +
+           ".ucsnap";
+  }
+};
+
+TEST_F(SnapshotHosp, MemoContentsRoundTrip) {
+  const std::string path = Path("memos");
+  uint64_t entries_before = 0;
+  {
+    data::ScopedStringPool scoped;
+    gen::Dataset ds = Generate("HOSP", 11);
+    auto engine = Configure(ds).BuildEngine();
+    ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+    // A run populates the match/blocking/similarity memos; the snapshot
+    // should carry exactly those entries across.
+    RunJournal(*engine, ds);
+    entries_before = (*engine)->environment().MemoStats().entries;
+    ASSERT_GT(entries_before, 0u);
+    ASSERT_TRUE(snapshot::WriteSnapshot(**engine, path).ok());
+  }
+  {
+    auto info = snapshot::Inspect(path);
+    ASSERT_TRUE(info.ok()) << info.status().ToString();
+    EXPECT_NE(info->header.flags & snapshot::kFlagHasMemos, 0u);
+  }
+  data::ScopedStringPool scoped;
+  gen::Dataset ds = Generate("HOSP", 11);
+  auto engine = Configure(ds).FromSnapshot(path);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  EXPECT_EQ((*engine)->environment().MemoStats().entries, entries_before);
+}
+
+TEST_F(SnapshotHosp, WithoutMemosLoadsCold) {
+  const std::string path = Path("nomemos");
+  {
+    data::ScopedStringPool scoped;
+    gen::Dataset ds = Generate("HOSP", 11);
+    auto engine = Configure(ds).BuildEngine();
+    ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+    RunJournal(*engine, ds);
+    snapshot::SnapshotWriteOptions options;
+    options.include_memos = false;
+    ASSERT_TRUE(snapshot::WriteSnapshot(**engine, path, options).ok());
+  }
+  {
+    auto info = snapshot::Inspect(path);
+    ASSERT_TRUE(info.ok()) << info.status().ToString();
+    EXPECT_EQ(info->header.flags & snapshot::kFlagHasMemos, 0u);
+    for (const auto& section : info->sections) {
+      EXPECT_NE(section.id,
+                static_cast<uint32_t>(snapshot::SectionId::kMemos));
+    }
+  }
+  data::ScopedStringPool scoped;
+  gen::Dataset ds = Generate("HOSP", 11);
+  auto engine = Configure(ds).FromSnapshot(path);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  EXPECT_EQ((*engine)->environment().MemoStats().entries, 0u);
+}
+
+TEST_F(SnapshotHosp, NonMemoWritesAreByteDeterministic) {
+  const std::string path_a = Path("det_a");
+  const std::string path_b = Path("det_b");
+  data::ScopedStringPool scoped;
+  gen::Dataset ds = Generate("HOSP", 11);
+  auto engine = Configure(ds).BuildEngine();
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  snapshot::SnapshotWriteOptions options;
+  options.include_memos = false;
+  ASSERT_TRUE(snapshot::WriteSnapshot(**engine, path_a, options).ok());
+  ASSERT_TRUE(snapshot::WriteSnapshot(**engine, path_b, options).ok());
+  EXPECT_EQ(ReadFileBytes(path_a), ReadFileBytes(path_b));
+}
+
+TEST_F(SnapshotHosp, LoadedEngineCanSnapshotAgain) {
+  const std::string path_a = Path("cycle_a");
+  const std::string path_b = Path("cycle_b");
+  std::string cold_journal;
+  {
+    data::ScopedStringPool scoped;
+    gen::Dataset ds = Generate("HOSP", 11);
+    auto engine = Configure(ds).BuildEngine();
+    ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+    cold_journal = RunJournal(*engine, ds);
+    ASSERT_TRUE(snapshot::WriteSnapshot(**engine, path_a).ok());
+  }
+  // The RELOAD cycle a daemon performs: load from a snapshot, write a new
+  // snapshot, load from *that* — parity must survive the round trip.
+  {
+    data::ScopedStringPool scoped;
+    gen::Dataset ds = Generate("HOSP", 11);
+    auto engine = Configure(ds).FromSnapshot(path_a);
+    ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+    ASSERT_TRUE(snapshot::WriteSnapshot(**engine, path_b).ok());
+  }
+  data::ScopedStringPool scoped;
+  gen::Dataset ds = Generate("HOSP", 11);
+  auto engine = Configure(ds).FromSnapshot(path_b);
+  ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+  EXPECT_EQ(RunJournal(*engine, ds), cold_journal);
+}
+
+TEST_F(SnapshotHosp, InspectReportsTheSectionTable) {
+  const std::string path = Path("inspect");
+  int num_matchers = 0;
+  {
+    data::ScopedStringPool scoped;
+    gen::Dataset ds = Generate("HOSP", 11);
+    auto engine = Configure(ds).BuildEngine();
+    ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+    ASSERT_TRUE(snapshot::WriteSnapshot(**engine, path).ok());
+    num_matchers = (*engine)->environment().num_matchers();
+    ASSERT_GT(num_matchers, 0);
+  }
+  auto info = snapshot::Inspect(path);
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_EQ(info->header.version, snapshot::kFormatVersion);
+  EXPECT_GT(info->header.pool_count, 0u);
+  EXPECT_EQ(info->header.section_count, info->sections.size());
+  EXPECT_GT(info->file_bytes, snapshot::kHeaderBytes);
+  int pools = 0;
+  int environments = 0;
+  int matchers = 0;
+  for (const auto& section : info->sections) {
+    if (section.id == static_cast<uint32_t>(snapshot::SectionId::kStringPool))
+      ++pools;
+    if (section.id == static_cast<uint32_t>(snapshot::SectionId::kEnvironment))
+      ++environments;
+    if (section.id == static_cast<uint32_t>(snapshot::SectionId::kMatcher)) {
+      EXPECT_NE(section.rule_id, snapshot::kNoRule);
+      ++matchers;
+    }
+  }
+  EXPECT_EQ(pools, 1);
+  EXPECT_EQ(environments, 1);
+  EXPECT_EQ(matchers, num_matchers);
+}
+
+// ---------------------------------------------------------------------------
+// Hostile files and configuration mismatches
+// ---------------------------------------------------------------------------
+
+class SnapshotHardening : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // ctest runs each discovered test as its own process in parallel; the
+    // pid suffix keeps concurrent hardening tests off each other's files.
+    const std::string pid = std::to_string(static_cast<long>(::getpid()));
+    path_ = ::testing::TempDir() + "ucsnap_hardening_" + pid + ".ucsnap";
+    mutated_path_ =
+        ::testing::TempDir() + "ucsnap_hardening_mut_" + pid + ".ucsnap";
+    data::ScopedStringPool scoped;
+    gen::Dataset ds = Generate("HOSP", 11);
+    auto engine = Configure(ds).BuildEngine();
+    ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+    ASSERT_TRUE(snapshot::WriteSnapshot(**engine, path_).ok());
+    good_ = ReadFileBytes(path_);
+    ASSERT_GT(good_.size(), snapshot::kHeaderBytes);
+  }
+
+  /// Attempts a warm start of `path` under the standard configuration;
+  /// `junk` pre-interned strings shift every id the generator would mint.
+  /// Also drives Verify() and Inspect() over the same file — hostile bytes
+  /// must never crash any entry point.
+  Status TryLoad(const std::string& path, int junk = 0, double eta = 1.0,
+                 core::MdMatcherOptions matcher = {}) {
+    snapshot::Verify(path).ok();                 // must not crash
+    auto info = snapshot::Inspect(path);         // must not crash
+    (void)info;
+    data::ScopedStringPool scoped;
+    for (int i = 0; i < junk; ++i) {
+      scoped.pool().Intern("junk-" + std::to_string(i));
+    }
+    gen::Dataset ds = Generate("HOSP", 11);
+    auto engine = Configure(ds, eta, matcher).FromSnapshot(path);
+    return engine.status();
+  }
+
+  Status TryLoadBytes(const std::string& bytes) {
+    WriteFileBytes(mutated_path_, bytes);
+    return TryLoad(mutated_path_);
+  }
+
+  std::string path_;
+  std::string mutated_path_;
+  std::string good_;
+};
+
+TEST_F(SnapshotHardening, GoodFileLoadsAndVerifies) {
+  EXPECT_TRUE(snapshot::Verify(path_).ok());
+  EXPECT_TRUE(TryLoad(path_).ok());
+}
+
+TEST_F(SnapshotHardening, MissingFileIsNotFound) {
+  const Status s = TryLoad(::testing::TempDir() + "ucsnap_does_not_exist");
+  EXPECT_EQ(s.code(), StatusCode::kNotFound) << s.ToString();
+}
+
+TEST_F(SnapshotHardening, TruncationsAreDataLoss) {
+  const std::vector<size_t> lengths = {
+      0,
+      1,
+      snapshot::kHeaderBytes - 1,
+      snapshot::kHeaderBytes,
+      snapshot::kHeaderBytes + snapshot::kSectionHeaderBytes - 1,
+      good_.size() / 2,
+      good_.size() - 1,
+  };
+  for (const size_t n : lengths) {
+    const Status s = TryLoadBytes(good_.substr(0, n));
+    EXPECT_EQ(s.code(), StatusCode::kDataLoss)
+        << "truncated to " << n << " bytes: " << s.ToString();
+  }
+}
+
+TEST_F(SnapshotHardening, BitFlipsAreDataLoss) {
+  // Header bytes (CRC-sealed), a section length field, and payload bytes
+  // (section-CRC-sealed) spread across the file.
+  const std::vector<size_t> offsets = {
+      9,                                               // header: version
+      16,                                              // header: fingerprint
+      57,                                              // header: section count
+      snapshot::kHeaderBytes + 8,                      // section: length
+      snapshot::kHeaderBytes + snapshot::kSectionHeaderBytes + 3,  // payload
+      good_.size() / 2,
+      good_.size() - 1,
+  };
+  for (const size_t offset : offsets) {
+    std::string bytes = good_;
+    bytes[offset] = static_cast<char>(bytes[offset] ^ 0x40);
+    const Status s = TryLoadBytes(bytes);
+    EXPECT_EQ(s.code(), StatusCode::kDataLoss)
+        << "bit flip at offset " << offset << ": " << s.ToString();
+  }
+}
+
+TEST_F(SnapshotHardening, WrongMagicIsDataLoss) {
+  std::string bytes = good_;
+  bytes[0] = 'X';
+  const Status s = TryLoadBytes(bytes);
+  EXPECT_EQ(s.code(), StatusCode::kDataLoss) << s.ToString();
+}
+
+TEST_F(SnapshotHardening, FutureVersionIsFailedPrecondition) {
+  // A well-formed file from a future writer: version bumped *and* the
+  // header re-sealed, so this exercises the version gate, not the CRC.
+  std::string bytes = good_;
+  PatchU32(&bytes, 8, snapshot::kFormatVersion + 1);
+  ResealHeader(&bytes);
+  const Status s = TryLoadBytes(bytes);
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition) << s.ToString();
+}
+
+TEST_F(SnapshotHardening, ForgedSectionLengthIsDataLoss) {
+  // Declare the first section far past the end of the file; the walk must
+  // refuse the bounds, not read past the buffer.
+  std::string bytes = good_;
+  PatchU32(&bytes, snapshot::kHeaderBytes + 8, 0x7FFFFFFFu);
+  PatchU32(&bytes, snapshot::kHeaderBytes + 12, 0x7FFFFFFFu);
+  const Status s = TryLoadBytes(bytes);
+  EXPECT_EQ(s.code(), StatusCode::kDataLoss) << s.ToString();
+}
+
+TEST_F(SnapshotHardening, FingerprintMismatchIsFailedPrecondition) {
+  // Same bytes, different engine: a changed eta changes Fingerprint().
+  const Status s = TryLoad(path_, /*junk=*/0, /*eta=*/0.5);
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition) << s.ToString();
+}
+
+TEST_F(SnapshotHardening, MatcherOptionMismatchIsFailedPrecondition) {
+  core::MdMatcherOptions matcher;
+  matcher.memo_capacity = 7777;
+  const Status s = TryLoad(path_, /*junk=*/0, /*eta=*/1.0, matcher);
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition) << s.ToString();
+}
+
+TEST_F(SnapshotHardening, DivergedStringPoolIsFailedPrecondition) {
+  // Junk interned before the load permutes every id the generator mints, so
+  // the snapshot's pool prefix no longer matches the live pool.
+  const Status s = TryLoad(path_, /*junk=*/500);
+  EXPECT_EQ(s.code(), StatusCode::kFailedPrecondition) << s.ToString();
+}
+
+TEST_F(SnapshotHardening, UnknownSectionIsSkipped) {
+  // A future writer appended a section kind this build does not know: the
+  // reader must skip it by declared length and load the rest normally.
+  std::string bytes = good_;
+  const std::string payload = "hello";
+  snapshot::SectionHeader extra;
+  extra.id = 99;
+  extra.rule_id = snapshot::kNoRule;
+  extra.length = payload.size();
+  extra.crc = snapshot::Crc32(payload);
+  snapshot::EncodeSectionHeader(extra, &bytes);
+  bytes += payload;
+  auto info = snapshot::Inspect(path_);
+  ASSERT_TRUE(info.ok());
+  PatchU32(&bytes, 56, info->header.section_count + 1);
+  ResealHeader(&bytes);
+  const Status s = TryLoadBytes(bytes);
+  EXPECT_TRUE(s.ok()) << s.ToString();
+  EXPECT_TRUE(snapshot::Verify(mutated_path_).ok());
+}
+
+}  // namespace
+}  // namespace uniclean

@@ -9,7 +9,7 @@
 //             [--phases c,e,h] [--no-warmup]
 //             [--max-queue N] [--max-inflight-per-ruleset N]
 //             [--request-timeout-ms N] [--drain-grace-ms N]
-//             [--log-requests PATH]
+//             [--log-requests PATH] [--snapshot-dir DIR]
 //             [--ruleset NAME:MASTER:RULES:SCHEMA]...
 //
 // --schema names a CSV whose header row declares the data schema requests
@@ -77,6 +77,8 @@ void Usage(const char* argv0) {
       "  [--drain-grace-ms N]      shutdown drain budget before requests "
       "are cancelled\n"
       "  [--log-requests PATH]     append one JSON line per request\n"
+      "  [--snapshot-dir DIR]      warm-start engines from DIR/<name>.ucsnap "
+      "and keep the snapshots fresh\n"
       "  [--ruleset NAME:MASTER:RULES:SCHEMA]   additional rulesets "
       "(repeatable)\n",
       argv0);
@@ -225,6 +227,9 @@ bool ParseArgs(int argc, char** argv, DaemonCli* cli) {
     } else if (arg == "--log-requests") {
       if ((v = next()) == nullptr) return false;
       cli->options.request_log_path = v;
+    } else if (arg == "--snapshot-dir") {
+      if ((v = next()) == nullptr) return false;
+      cli->options.snapshot_dir = v;
     } else if (arg == "--ruleset") {
       if ((v = next()) == nullptr) return false;
       cli->ruleset_specs.push_back(v);
