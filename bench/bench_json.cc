@@ -22,6 +22,7 @@
 //                      point exceeds this wall-clock budget (perf smoke)
 
 #include <sys/resource.h>
+#include <sys/stat.h>
 #include <unistd.h>
 
 #include <algorithm>
@@ -31,6 +32,7 @@
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
+#include <map>
 #include <memory>
 #include <mutex>
 #include <new>
@@ -46,6 +48,9 @@
 #include "uniclean/uniclean.h"
 
 #ifdef UNICLEAN_HAVE_SERVE
+#include "cluster/cluster_client.h"
+#include "cluster/membership.h"
+#include "cluster/ring.h"
 #include "serve/client.h"
 #include "serve/server.h"
 #endif
@@ -746,6 +751,187 @@ void ServeOverloadPoint(const std::string& dataset, int num_tuples,
       static_cast<unsigned long long>(daemon.requests_rejected()));
   daemon.Shutdown();
 }
+
+/// Cluster points (src/cluster): a 2-replica R=2 fleet over unix sockets
+/// sharing a snapshot dir.
+///
+///  * cluster_<ds>_route_overhead — a warm CLEAN through the consistent-hash
+///    routing client vs the same request on a direct serve::Client
+///    connection (cluster_<ds>_direct_warm): the ring hash, health ranking
+///    and session bookkeeping must cost ~nothing on top of the wire round
+///    trip.
+///
+///  * cluster_failover_recovery_{cold,warm} — the primary owner is killed
+///    and a replacement daemon starts on the same address; the point times
+///    replacement start + the first successful routed CLEAN. The warm arm
+///    boots from the snapshot the original fleet persisted (the cluster
+///    acceptance pin: warm recovery >= 5x faster than the cold rebuild).
+void ClusterPoint(const std::string& dataset, int num_tuples,
+                  int master_size) {
+  gen::GeneratorConfig config;
+  config.num_tuples = num_tuples;
+  config.master_size = master_size;
+  config.noise_rate = 0.06;
+  config.dup_rate = 0.4;
+  config.seed = 1;
+  gen::Dataset ds = Generate(dataset, config);
+
+  char dir_template[] = "/tmp/uniclean_bench_cluster.XXXXXX";
+  if (::mkdtemp(dir_template) == nullptr) {
+    std::fprintf(stderr, "bench_json: mkdtemp failed\n");
+    std::exit(2);
+  }
+  const std::string dir = dir_template;
+  if (!data::WriteCsvFile(dir + "/dirty.csv", ds.dirty).ok() ||
+      !data::WriteCsvFile(dir + "/master.csv", ds.master).ok()) {
+    std::fprintf(stderr, "bench_json: cannot write the cluster dataset\n");
+    std::exit(2);
+  }
+  {
+    std::ofstream rules(dir + "/rules.txt");
+    rules << ds.rule_text;
+  }
+  if (::mkdir((dir + "/snapshots").c_str(), 0755) != 0) {
+    std::fprintf(stderr, "bench_json: mkdir snapshots failed\n");
+    std::exit(2);
+  }
+  std::ostringstream dirty_csv;
+  if (!data::WriteCsv(dirty_csv, ds.dirty).ok()) std::exit(2);
+
+  serve::RulesetConfig ruleset;
+  ruleset.name = dataset;
+  ruleset.master_csv = dir + "/master.csv";
+  ruleset.rules_file = dir + "/rules.txt";
+  ruleset.schema_csv = dir + "/dirty.csv";
+  ruleset.eta = 1.0;
+
+  const std::vector<std::string> names = {"r1", "r2"};
+  auto sock_of = [&](const std::string& name) {
+    return "unix:" + dir + "/" + name + ".sock";
+  };
+  auto daemon_options = [&](const std::string& name, bool with_snapshots) {
+    serve::DaemonOptions o;
+    o.listen = sock_of(name);
+    o.n_workers = 2;
+    if (with_snapshots) o.snapshot_dir = dir + "/snapshots";
+    return o;
+  };
+
+  cluster::Ring ring;
+  std::map<std::string, std::unique_ptr<serve::Daemon>> daemons;
+  for (const std::string& name : names) {
+    if (!ring.AddReplica(name).ok()) std::exit(2);
+    daemons[name] = std::make_unique<serve::Daemon>(
+        daemon_options(name, /*with_snapshots=*/true),
+        std::vector<serve::RulesetConfig>{ruleset});
+    Status started = daemons[name]->Start();
+    if (!started.ok()) {
+      std::fprintf(stderr, "bench_json: cluster daemon start failed: %s\n",
+                   started.ToString().c_str());
+      std::exit(2);
+    }
+  }
+  auto make_membership = [&]() {
+    auto membership = std::make_shared<cluster::Membership>();
+    for (const std::string& name : names) {
+      (void)membership->AddReplica(name, sock_of(name));
+    }
+    return membership;
+  };
+  auto make_client = [&]() {
+    cluster::ClusterClientOptions options;
+    options.replication = 2;
+    return std::make_unique<cluster::ClusterClient>(ring, make_membership(),
+                                                    options);
+  };
+
+  serve::CleanRequest request;
+  request.ruleset = dataset;
+  request.data_csv = dirty_csv.str();
+
+  // Pre-warm the primary's memos and capture the reference journal every
+  // later arm must reproduce byte-identically.
+  const std::string primary = ring.PrimaryOwner(dataset);
+  auto routed = make_client();
+  auto warmed = routed->Clean(request);
+  if (!warmed.ok()) {
+    std::fprintf(stderr, "bench_json: cluster pre-warm failed: %s\n",
+                 warmed.status().ToString().c_str());
+    std::exit(2);
+  }
+  const std::string reference_journal = warmed->journal_csv;
+
+  auto check_journal = [&](const Result<serve::CleanReply>& reply,
+                           const char* what) -> long long {
+    if (!reply.ok()) {
+      std::fprintf(stderr, "bench_json: %s failed: %s\n", what,
+                   reply.status().ToString().c_str());
+      std::exit(2);
+    }
+    if (reply->journal_csv != reference_journal) {
+      std::fprintf(stderr, "bench_json: %s journal diverged\n", what);
+      std::exit(2);
+    }
+    return reply->total_fixes;
+  };
+
+  const std::string prefix = "cluster_" + dataset + "_";
+  auto direct_connected = serve::Client::ConnectAddress(sock_of(primary));
+  if (!direct_connected.ok()) std::exit(2);
+  serve::Client direct = std::move(direct_connected).value();
+  const Measurement direct_m = Measure(
+      prefix + "direct_warm", dataset, num_tuples, master_size, "warm",
+      num_tuples, [&]() -> long long {
+        return check_journal(direct.Clean(request), "direct warm clean");
+      });
+  const Measurement routed_m = Measure(
+      prefix + "route_overhead", dataset, num_tuples, master_size, "warm",
+      num_tuples, [&]() -> long long {
+        return check_journal(routed->Clean(request), "routed warm clean");
+      });
+  if (direct_m.wall_s > 0) {
+    std::printf("    %sroute_overhead: %.1f%% over the direct connection\n",
+                prefix.c_str(),
+                (routed_m.wall_s / direct_m.wall_s - 1.0) * 100.0);
+  }
+  direct.Close();
+
+  // Failover recovery: retire the ruleset's primary owner, start a
+  // replacement on the same address, time start -> first routed CLEAN.
+  // The cold arm's drain persists the memo heat the primary earned above,
+  // so the warm arm restores warmed memos, not just the index build -- the
+  // rolling-restart story the snapshot layer exists for.
+  double recovery_s[2] = {0.0, 0.0};
+  int arm_index = 0;
+  for (const char* arm : {"cold", "warm"}) {
+    const bool warm = arm_index == 1;
+    daemons[primary]->Shutdown();  // the "crash"
+    const Measurement m = Measure(
+        "cluster_failover_recovery_" + std::string(arm), dataset, num_tuples,
+        master_size, arm, num_tuples, [&]() -> long long {
+          auto replacement = std::make_unique<serve::Daemon>(
+              daemon_options(primary, /*with_snapshots=*/warm),
+              std::vector<serve::RulesetConfig>{ruleset});
+          Status started = replacement->Start();
+          if (!started.ok()) {
+            std::fprintf(stderr,
+                         "bench_json: replacement start failed: %s\n",
+                         started.ToString().c_str());
+            std::exit(2);
+          }
+          daemons[primary] = std::move(replacement);
+          auto client = make_client();
+          return check_journal(client->Clean(request),
+                               "post-failover routed clean");
+        });
+    recovery_s[arm_index++] = m.wall_s;
+  }
+  if (recovery_s[1] > 0) {
+    std::printf("    cluster_failover_recovery: warm %.2fx faster than cold\n",
+                recovery_s[0] / recovery_s[1]);
+  }
+  for (auto& [name, daemon] : daemons) daemon->Shutdown();
+}
 #endif  // UNICLEAN_HAVE_SERVE
 
 /// The §5.2 blocking ablation: per-probe match cost with the suffix-tree
@@ -866,6 +1052,12 @@ int main(int argc, char** argv) {
   // rejection rate.
   ServePoint("hosp", 1000, 500);
   ServeOverloadPoint("hosp", quick ? 250 : 1000, quick ? 125 : 500);
+  // Cluster routing + failover: route overhead over a direct connection,
+  // then kill-the-primary recovery cold vs snapshot-warm (cluster
+  // acceptance: warm recovery >= 5x faster). The big master makes the
+  // replacement's engine build the dominant recovery cost, as in a serving
+  // deployment; --quick keeps the point.
+  ClusterPoint("hosp", 250, 4000);
 #endif
   // Concurrent sessions: a shared warm engine cleans a 12-relation batch
   // through RunBatch at 1 / 2 / 4 threads (journals pinned byte-identical

@@ -1,0 +1,111 @@
+#include "cluster/ring.h"
+
+#include <algorithm>
+
+namespace uniclean {
+namespace cluster {
+
+uint64_t SplitMix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+uint64_t HashKey(std::string_view key, uint64_t seed) {
+  // FNV-1a folds the bytes, splitmix64 scrambles the (weak) FNV output so
+  // near-identical keys ("r1"/"r2") land far apart on the ring.
+  uint64_t h = 0xcbf29ce484222325ull ^ seed;
+  for (char c : key) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 0x100000001b3ull;
+  }
+  return SplitMix64(h ^ seed);
+}
+
+Ring::Ring(RingOptions options) : options_(options) {
+  if (options_.vnodes_per_replica < 1) options_.vnodes_per_replica = 1;
+}
+
+Status Ring::AddReplica(const std::string& name) {
+  if (name.empty()) {
+    return Status::InvalidArgument("ring: replica name must be non-empty");
+  }
+  if (Contains(name)) {
+    return Status::InvalidArgument("ring: duplicate replica '" + name + "'");
+  }
+  names_.push_back(name);
+  std::sort(names_.begin(), names_.end());
+  Rebuild();
+  return Status::OK();
+}
+
+Status Ring::RemoveReplica(const std::string& name) {
+  auto it = std::find(names_.begin(), names_.end(), name);
+  if (it == names_.end()) {
+    return Status::NotFound("ring: unknown replica '" + name + "'");
+  }
+  names_.erase(it);
+  Rebuild();
+  return Status::OK();
+}
+
+bool Ring::Contains(const std::string& name) const {
+  return std::find(names_.begin(), names_.end(), name) != names_.end();
+}
+
+std::vector<std::string> Ring::replicas() const { return names_; }
+
+void Ring::Rebuild() {
+  vnodes_.clear();
+  vnodes_.reserve(names_.size() *
+                  static_cast<size_t>(options_.vnodes_per_replica));
+  for (uint32_t r = 0; r < names_.size(); ++r) {
+    // A vnode's point depends only on (seed, replica name, vnode index) —
+    // never on the replica's position in names_ — so membership changes
+    // leave every surviving vnode exactly where it was.
+    const uint64_t base = HashKey(names_[r], options_.seed);
+    for (int v = 0; v < options_.vnodes_per_replica; ++v) {
+      vnodes_.push_back(
+          {SplitMix64(base ^ (0x9e3779b97f4a7c15ull *
+                              static_cast<uint64_t>(v + 1))),
+           r});
+    }
+  }
+  std::sort(vnodes_.begin(), vnodes_.end(),
+            [&](const VNode& a, const VNode& b) {
+              if (a.point != b.point) return a.point < b.point;
+              return names_[a.replica] < names_[b.replica];  // tie-break
+            });
+}
+
+std::vector<std::string> Ring::Owners(std::string_view key, int count) const {
+  std::vector<std::string> owners;
+  if (vnodes_.empty() || count <= 0) return owners;
+  const uint64_t point = HashKey(key, options_.seed);
+  // First vnode clockwise from the key's point (wrapping past the top).
+  size_t at = std::lower_bound(vnodes_.begin(), vnodes_.end(), point,
+                               [](const VNode& v, uint64_t p) {
+                                 return v.point < p;
+                               }) -
+              vnodes_.begin();
+  std::vector<bool> taken(names_.size(), false);
+  for (size_t step = 0;
+       step < vnodes_.size() && owners.size() < static_cast<size_t>(count);
+       ++step, ++at) {
+    if (at == vnodes_.size()) at = 0;
+    const uint32_t r = vnodes_[at].replica;
+    if (taken[r]) continue;
+    taken[r] = true;
+    owners.push_back(names_[r]);
+  }
+  return owners;
+}
+
+std::string Ring::PrimaryOwner(std::string_view key) const {
+  std::vector<std::string> owners = Owners(key, 1);
+  return owners.empty() ? std::string() : owners.front();
+}
+
+}  // namespace cluster
+}  // namespace uniclean

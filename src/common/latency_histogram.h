@@ -111,6 +111,68 @@ class LatencyHistogram {
     max_.store(0, std::memory_order_relaxed);
   }
 
+  /// Serializes the complete bucket state as a compact ASCII token,
+  /// "v1,<count>,<sum>,<max>,<bucket>=<n>,..." (sparse: only non-empty
+  /// buckets appear). The alphabet is [0-9a-z,=] so the token embeds in a
+  /// JSON string with no escaping — this is how per-replica histograms
+  /// travel inside the STATS document so the cluster client can merge them.
+  std::string Encode() const {
+    std::string out = "v1," + std::to_string(count()) + ',' +
+                      std::to_string(sum_.load(std::memory_order_relaxed)) +
+                      ',' + std::to_string(max());
+    for (int b = 0; b < kNumBuckets; ++b) {
+      const uint64_t n = buckets_[b].load(std::memory_order_relaxed);
+      if (n != 0) {
+        out += ',' + std::to_string(b) + '=' + std::to_string(n);
+      }
+    }
+    return out;
+  }
+
+  /// Folds an Encode()d histogram's observations in, exactly as Merge()
+  /// would the live histogram. Returns false (leaving this histogram
+  /// untouched) on a malformed or unknown-version token.
+  bool MergeEncoded(const std::string& encoded) {
+    if (encoded.compare(0, 3, "v1,") != 0) return false;
+    uint64_t header[3] = {0, 0, 0};  // count, sum, max
+    uint64_t add[kNumBuckets] = {};
+    int field = 0;
+    size_t pos = 3;
+    while (pos <= encoded.size()) {
+      size_t comma = encoded.find(',', pos);
+      if (comma == std::string::npos) comma = encoded.size();
+      const std::string tok = encoded.substr(pos, comma - pos);
+      if (field < 3) {
+        if (!ParseU64(tok, &header[field])) return false;
+      } else {
+        const size_t eq = tok.find('=');
+        uint64_t bucket = 0, n = 0;
+        if (eq == std::string::npos ||
+            !ParseU64(tok.substr(0, eq), &bucket) ||
+            !ParseU64(tok.substr(eq + 1), &n) ||
+            bucket >= static_cast<uint64_t>(kNumBuckets)) {
+          return false;
+        }
+        add[bucket] += n;
+      }
+      ++field;
+      pos = comma + 1;
+    }
+    if (field < 3) return false;
+    for (int b = 0; b < kNumBuckets; ++b) {
+      if (add[b] != 0) buckets_[b].fetch_add(add[b], std::memory_order_relaxed);
+    }
+    count_.fetch_add(header[0], std::memory_order_relaxed);
+    sum_.fetch_add(header[1], std::memory_order_relaxed);
+    uint64_t theirs = header[2];
+    uint64_t seen = max_.load(std::memory_order_relaxed);
+    while (theirs > seen &&
+           !max_.compare_exchange_weak(seen, theirs,
+                                       std::memory_order_relaxed)) {
+    }
+    return true;
+  }
+
   /// "count=N mean=M p50=A p95=B p99=C max=D" (no unit suffix).
   std::string Summary() const {
     return "count=" + std::to_string(count()) +
@@ -127,6 +189,17 @@ class LatencyHistogram {
   static constexpr int kSubBits = 3;
   static constexpr int kSub = 1 << kSubBits;  // 8
   static constexpr int kNumBuckets = ((64 - kSubBits) << kSubBits) + kSub;
+
+  static bool ParseU64(const std::string& s, uint64_t* out) {
+    if (s.empty()) return false;
+    uint64_t v = 0;
+    for (char c : s) {
+      if (c < '0' || c > '9') return false;
+      v = v * 10 + static_cast<uint64_t>(c - '0');
+    }
+    *out = v;
+    return true;
+  }
 
   static int BucketFor(uint64_t v) {
     if (v < kSub) return static_cast<int>(v);

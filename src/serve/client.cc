@@ -1,5 +1,8 @@
 #include "serve/client.h"
 
+#include <sys/socket.h>
+#include <sys/time.h>
+
 #include <chrono>
 #include <thread>
 #include <utility>
@@ -33,6 +36,25 @@ uint64_t SplitMix64(uint64_t x) {
 Result<Client> Client::Connect(const std::string& host, int port) {
   UC_ASSIGN_OR_RETURN(int fd, ConnectTcp(host, port));
   return Client(std::make_unique<FrameChannel>(fd));
+}
+
+Result<Client> Client::ConnectAddress(const std::string& address) {
+  UC_ASSIGN_OR_RETURN(int fd, serve::ConnectAddress(address));
+  return Client(std::make_unique<FrameChannel>(fd));
+}
+
+Status Client::SetIoTimeoutMs(int ms) {
+  if (!channel_) return Status::FailedPrecondition("client is not connected");
+  timeval tv{};
+  tv.tv_sec = ms / 1000;
+  tv.tv_usec = static_cast<suseconds_t>(ms % 1000) * 1000;
+  if (::setsockopt(channel_->fd(), SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) !=
+          0 ||
+      ::setsockopt(channel_->fd(), SOL_SOCKET, SO_SNDTIMEO, &tv, sizeof(tv)) !=
+          0) {
+    return Status::Internal("setsockopt(SO_RCVTIMEO/SO_SNDTIMEO) failed");
+  }
+  return Status::OK();
 }
 
 Status Client::Send(uint32_t tag, Op op, std::string_view body,
@@ -124,6 +146,34 @@ Status Client::Ping() {
                       ReadTerminal(tag, Op::kPong, nullptr, nullptr));
   (void)frame;
   return Status::OK();
+}
+
+Result<PingInfo> Client::PingEx() {
+  const uint32_t tag = next_tag_++;
+  UC_RETURN_IF_ERROR(Send(tag, Op::kPing, "unicleand?"));
+  UC_ASSIGN_OR_RETURN(Frame frame,
+                      ReadTerminal(tag, Op::kPong, nullptr, nullptr));
+  PingInfo info;
+  // Best-effort trailer parse: a pre-trailer daemon echoes the raw payload,
+  // which won't decode as the structured layout — that is still a healthy
+  // pong, just without load/fingerprint data.
+  BodyReader body(frame.body);
+  Result<std::string> echo = body.Lp();
+  if (!echo.ok()) return info;
+  Result<uint32_t> inflight = body.U32();
+  Result<uint32_t> queued = inflight.ok() ? body.U32() : inflight;
+  Result<uint32_t> count = queued.ok() ? body.U32() : queued;
+  if (!count.ok()) return info;
+  info.inflight = inflight.value();
+  info.queued = queued.value();
+  for (uint32_t i = 0; i < count.value(); ++i) {
+    Result<std::string> name = body.Lp();
+    if (!name.ok()) break;
+    Result<uint64_t> fingerprint = body.U64();
+    if (!fingerprint.ok()) break;
+    info.rulesets.emplace_back(std::move(name).value(), fingerprint.value());
+  }
+  return info;
 }
 
 Result<uint32_t> Client::SendClean(const CleanRequest& request) {

@@ -109,9 +109,20 @@ struct RetryPolicy {
   uint64_t jitter_seed = 1;
 };
 
+/// The decoded kPong trailer: instantaneous load plus per-ruleset engine
+/// fingerprints (what the cluster prober and rolling reload read).
+struct PingInfo {
+  uint32_t inflight = 0;
+  uint32_t queued = 0;
+  /// (ruleset name, engine fingerprint), in the daemon's configured order.
+  std::vector<std::pair<std::string, uint64_t>> rulesets;
+};
+
 class Client {
  public:
   static Result<Client> Connect(const std::string& host, int port);
+  /// Connects by address string: "unix:PATH" or "host:port".
+  static Result<Client> ConnectAddress(const std::string& address);
 
   /// An unconnected client; every call fails until one is move-assigned.
   Client() = default;
@@ -120,6 +131,9 @@ class Client {
 
   /// Round-trips an opaque payload through kPing/kPong.
   Status Ping();
+  /// Ping, returning the daemon's load + fingerprint trailer. A pre-trailer
+  /// daemon (plain echo) yields a default PingInfo rather than an error.
+  Result<PingInfo> PingEx();
   Result<CleanReply> Clean(const CleanRequest& request);
   Result<DeltaReply> Delta(const DeltaRequest& request);
   /// The daemon's STATS JSON document.
@@ -144,6 +158,15 @@ class Client {
   uint32_t last_retry_after_ms() const { return last_retry_after_ms_; }
   /// Rejections absorbed by retries across this client's lifetime.
   uint64_t retries_performed() const { return retries_performed_; }
+  /// Caps how long any single socket read/write may block (SO_RCVTIMEO /
+  /// SO_SNDTIMEO); a stalled peer then surfaces as a transport error
+  /// instead of hanging the caller. 0 = block forever (the default). The
+  /// health prober runs its probes under this.
+  Status SetIoTimeoutMs(int ms);
+  /// The wait before retry `attempt` (0-based) under the current policy — a
+  /// pure function of (jitter_seed, attempt, last retry-after hint), public
+  /// so tests can pin the schedule --retry-seed replays.
+  uint32_t BackoffMs(int attempt) const;
 
   // --- pipelined variants ---------------------------------------------------
   /// Sends without waiting; pass the returned tag to the Await call.
@@ -170,8 +193,6 @@ class Client {
   Result<Frame> ReadTerminal(uint32_t tag, Op expect, std::string* journal,
                              std::string* data);
   Result<DeltaReply> AwaitDelta(uint32_t tag);
-  /// The wait before retry `attempt` (0-based); see RetryPolicy.
-  uint32_t BackoffMs(int attempt) const;
   /// Sleeps BackoffMs(attempt) if another retry is allowed; false = budget
   /// exhausted, surface the rejection.
   bool MaybeBackoff(int attempt);

@@ -275,8 +275,16 @@ Status Daemon::Start() {
     // written, without per-line flush syscall storms.
     std::setvbuf(request_log_, nullptr, _IOLBF, 1 << 16);
   }
-  UC_ASSIGN_OR_RETURN(listen_fd_,
-                      ListenTcp(options_.host, options_.port, &port_));
+  if (options_.listen.rfind("unix:", 0) == 0) {
+    UC_ASSIGN_OR_RETURN(listen_fd_, ListenUnix(options_.listen.substr(5)));
+    port_ = 0;
+  } else if (!options_.listen.empty()) {
+    return Status::InvalidArgument("bad listen address (want unix:PATH): " +
+                                   options_.listen);
+  } else {
+    UC_ASSIGN_OR_RETURN(listen_fd_,
+                        ListenTcp(options_.host, options_.port, &port_));
+  }
   start_time_s_ = NowS();
   running_.store(true);
   stop_workers_ = false;
@@ -336,9 +344,21 @@ void Daemon::Shutdown() {
     std::lock_guard<std::mutex> lock(conns_mu_);
     conns_.clear();
   }
+  // 5. The drain left every engine quiescent; refresh the snapshots so the
+  //    memo heat this process earned (match lists, blocking candidates,
+  //    similarity outcomes) survives into the next start. A kill -9 skips
+  //    this and the replacement falls back to the build-time snapshot.
+  for (const auto& entry : engines_) {
+    if (std::shared_ptr<CleanEngine> engine = entry->Get()) {
+      MaybeWriteSnapshot(entry->cfg, *engine);
+    }
+  }
   if (listen_fd_ >= 0) {
     ::close(listen_fd_);
     listen_fd_ = -1;
+  }
+  if (options_.listen.rfind("unix:", 0) == 0) {
+    ::unlink(options_.listen.substr(5).c_str());
   }
   {
     std::lock_guard<std::mutex> lock(tokens_mu_);
@@ -348,6 +368,11 @@ void Daemon::Shutdown() {
     std::fclose(request_log_);
     request_log_ = nullptr;
   }
+}
+
+std::string Daemon::address() const {
+  if (!options_.listen.empty()) return options_.listen;
+  return options_.host + ":" + std::to_string(port_);
 }
 
 void Daemon::CancelAllTokens(const std::string& reason) {
@@ -495,11 +520,28 @@ void Daemon::Dispatch(Work& work) {
   } else {
     switch (work.frame.op) {
       case Op::kPing: {
+        // PONG carries a health/identity trailer behind the echo: load
+        // (in-flight + queued) and per-ruleset engine fingerprints. One
+        // cheap opcode gives the cluster prober liveness, load and
+        // rolling-reload verification in a single round trip.
+        std::string body;
+        PutLp(&body, work.frame.body);
+        uint32_t queued = 0;
+        {
+          std::lock_guard<std::mutex> lock(queue_mu_);
+          queued = static_cast<uint32_t>(queue_.size());
+          PutU32(&body, static_cast<uint32_t>(in_flight_));
+        }
+        PutU32(&body, queued);
+        PutU32(&body, static_cast<uint32_t>(engines_.size()));
+        for (const auto& entry : engines_) {
+          PutLp(&body, entry->cfg.name);
+          std::shared_ptr<CleanEngine> engine = entry->Get();
+          PutU64(&body, engine != nullptr ? engine->Fingerprint() : 0);
+        }
         std::lock_guard<std::mutex> lock(conn.write_mu);
-        status =
-            conn.channel.WriteFrame(work.frame.tag, Op::kPong,
-                                    work.frame.body);
-        work.bytes_out += work.frame.body.size();
+        status = conn.channel.WriteFrame(work.frame.tag, Op::kPong, body);
+        work.bytes_out += body.size();
         break;
       }
       case Op::kClean:
@@ -973,7 +1015,8 @@ std::string Daemon::StatsJson() const {
            ", \"cancelled\": " + std::to_string(m.cancelled.load()) +
            ", \"deadline_exceeded\": " +
            std::to_string(m.deadline_exceeded.load()) +
-           ", \"latency_us\": " + HistogramJson(m.latency_us) + "}";
+           ", \"latency_us\": " + HistogramJson(m.latency_us) +
+           ", \"hist\": \"" + m.latency_us.Encode() + "\"}";
   }
   out += "\n  },\n";
   out += "  \"rulesets\": [";

@@ -102,6 +102,12 @@ struct DaemonOptions {
   std::string host = "127.0.0.1";
   /// 0 = ephemeral; the bound port is Daemon::port() after Start().
   int port = 0;
+  /// When non-empty, overrides host/port: "unix:PATH" listens on an AF_UNIX
+  /// stream socket at PATH (unlinked on Shutdown). Filesystem permissions
+  /// on the path are the access control — the pre-TLS story for exposing a
+  /// daemon beyond loopback, and what the same-host cluster tests use to
+  /// dodge port allocation races. port() stays 0 in this mode.
+  std::string listen;
   int n_workers = 4;
   /// Byte size of streamed kJournalChunk / kDataChunk frames.
   size_t chunk_size = 64 * 1024;
@@ -134,9 +140,11 @@ struct DaemonOptions {
   /// <name>.ucsnap, one per ruleset. Start() warm-starts each engine from
   /// its snapshot when the fingerprint matches (falling back to a cold
   /// build on any mismatch or corruption, never failing startup because of
-  /// a bad snapshot) and writes a fresh snapshot after every cold build and
-  /// after every successful RELOAD. Implies warmup: an engine must be warm
-  /// to be persisted.
+  /// a bad snapshot) and writes a fresh snapshot after every cold build,
+  /// after every successful RELOAD, and at graceful Shutdown() — the last
+  /// one with the memo contents the process earned while serving, so a
+  /// replacement starts with the previous process's hit rates. Implies
+  /// warmup: an engine must be warm to be persisted.
   std::string snapshot_dir;
 };
 
@@ -154,8 +162,12 @@ class Daemon {
   /// without leaving threads behind.
   Status Start();
 
-  /// The bound TCP port (valid after a successful Start()).
+  /// The bound TCP port (valid after a successful Start(); 0 in unix-socket
+  /// mode).
   int port() const { return port_; }
+
+  /// The connectable address: "unix:PATH" or "host:port".
+  std::string address() const;
 
   /// Graceful drain: stop accepting, EOF every connection's reader, finish
   /// all queued and in-flight requests, join every thread, release every

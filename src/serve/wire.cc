@@ -4,6 +4,7 @@
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
+#include <sys/un.h>
 #include <unistd.h>
 
 #include <cerrno>
@@ -329,6 +330,73 @@ Result<int> ConnectTcp(const std::string& host, int port) {
   int one = 1;
   ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
   return fd;
+}
+
+Result<int> ListenUnix(const std::string& path) {
+  sockaddr_un addr{};
+  if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("bad unix socket path (empty or longer than " +
+                                   std::to_string(sizeof(addr.sun_path) - 1) +
+                                   " bytes): " + path);
+  }
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return Status::Internal(ErrnoText("socket"));
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  // A previous daemon's socket file would make bind fail with EADDRINUSE
+  // even though nobody is listening; a live listener still loses the file
+  // here, which is the standard unix-socket tradeoff — callers own the path.
+  ::unlink(path.c_str());
+  if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status s = Status::Internal(ErrnoText("bind"));
+    ::close(fd);
+    return s;
+  }
+  if (::listen(fd, 128) != 0) {
+    Status s = Status::Internal(ErrnoText("listen"));
+    ::close(fd);
+    return s;
+  }
+  return fd;
+}
+
+Result<int> ConnectUnix(const std::string& path) {
+  sockaddr_un addr{};
+  if (path.empty() || path.size() >= sizeof(addr.sun_path)) {
+    return Status::InvalidArgument("bad unix socket path: " + path);
+  }
+  int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+  if (fd < 0) return Status::Internal(ErrnoText("socket"));
+  addr.sun_family = AF_UNIX;
+  std::memcpy(addr.sun_path, path.c_str(), path.size() + 1);
+  if (::connect(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0) {
+    Status s = Status::Internal(ErrnoText("connect"));
+    ::close(fd);
+    return s;
+  }
+  return fd;
+}
+
+Result<int> ConnectAddress(const std::string& address) {
+  if (address.rfind("unix:", 0) == 0) {
+    return ConnectUnix(address.substr(5));
+  }
+  const size_t colon = address.rfind(':');
+  if (colon == std::string::npos || colon + 1 == address.size()) {
+    return Status::InvalidArgument(
+        "bad address (want host:port or unix:PATH): " + address);
+  }
+  int port = 0;
+  for (size_t i = colon + 1; i < address.size(); ++i) {
+    if (address[i] < '0' || address[i] > '9') {
+      return Status::InvalidArgument("bad port in address: " + address);
+    }
+    port = port * 10 + (address[i] - '0');
+    if (port > 65535) {
+      return Status::InvalidArgument("bad port in address: " + address);
+    }
+  }
+  return ConnectTcp(address.substr(0, colon), port);
 }
 
 }  // namespace serve

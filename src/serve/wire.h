@@ -25,7 +25,7 @@
 // error, never an out-of-bounds read.
 //
 // Request bodies:
-//   kPing      arbitrary bytes (echoed back verbatim in kPong)
+//   kPing      arbitrary bytes (echoed back inside kPong)
 //   kClean     u8 flags (kCleanTrack | kCleanWantData), lp ruleset name
 //              ("" = sole configured ruleset), lp dirty CSV,
 //              lp confidence CSV ("" = uniform 0.0)
@@ -44,7 +44,12 @@
 //              already-finished request is a benign race).
 //
 // Response bodies:
-//   kPong       the kPing bytes
+//   kPong       lp echo (the kPing bytes), u32 in-flight requests,
+//               u32 queued requests, u32 ruleset count, then per ruleset
+//               lp name + u64 engine fingerprint. The trailer is what lets
+//               the cluster layer health-probe and fingerprint replicas
+//               with a single cheap opcode; readers facing a pre-cluster
+//               daemon fall back to treating the whole body as the echo
 //   kJournalChunk / kDataChunk  raw CSV bytes (concatenate per tag)
 //   kCleanDone  u64 session id (0 = untracked), u32 total fixes,
 //               u32 journal entries, lp phase summary text
@@ -216,6 +221,17 @@ Result<int> ListenTcp(const std::string& host, int port, int* bound_port);
 
 /// Connects to host:port. Returns the connected fd.
 Result<int> ConnectTcp(const std::string& host, int port);
+
+/// Creates a listening AF_UNIX socket at `path`, unlinking any stale socket
+/// file first. Filesystem permissions on the path are the access control.
+Result<int> ListenUnix(const std::string& path);
+
+/// Connects to an AF_UNIX socket at `path`.
+Result<int> ConnectUnix(const std::string& path);
+
+/// Connects by address string: "unix:PATH" for AF_UNIX, otherwise
+/// "host:port" TCP (the cluster spec's replica address format).
+Result<int> ConnectAddress(const std::string& address);
 
 }  // namespace serve
 }  // namespace uniclean

@@ -1,0 +1,768 @@
+// The cluster layer (src/cluster): ring determinism and minimal movement,
+// membership hysteresis, spec parsing, and the routing contract over real
+// in-process daemons — routed CLEAN journals byte-identical to the
+// single-daemon run, failover when the primary dies mid-workload, DELTA
+// session pinning (never cross-replica), merged STATS equal to the sum of
+// per-replica counters, unix-socket parity, and retry-seed determinism.
+// Also the TSan target for the prober + routing threads.
+
+#include <unistd.h>
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <memory>
+#include <set>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "cluster/cluster_client.h"
+#include "cluster/membership.h"
+#include "cluster/ring.h"
+#include "cluster/spec.h"
+#include "common/latency_histogram.h"
+#include "data/csv.h"
+#include "gen/dataset.h"
+#include "serve/client.h"
+#include "serve/server.h"
+#include "uniclean/engine.h"
+#include "uniclean/session.h"
+
+namespace uniclean {
+namespace cluster {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Ring
+// ---------------------------------------------------------------------------
+
+std::vector<std::string> TestKeys(int n) {
+  std::vector<std::string> keys;
+  keys.reserve(n);
+  for (int i = 0; i < n; ++i) keys.push_back("ruleset_" + std::to_string(i));
+  return keys;
+}
+
+TEST(RingTest, DeterministicAcrossInstances) {
+  Ring a, b;
+  for (const char* name : {"r1", "r2", "r3", "r4"}) {
+    ASSERT_TRUE(a.AddReplica(name).ok());
+  }
+  // Insertion order must not matter.
+  for (const char* name : {"r4", "r2", "r1", "r3"}) {
+    ASSERT_TRUE(b.AddReplica(name).ok());
+  }
+  for (const std::string& key : TestKeys(500)) {
+    EXPECT_EQ(a.Owners(key, 3), b.Owners(key, 3)) << key;
+  }
+}
+
+TEST(RingTest, OwnersAreDistinctAndOrdered) {
+  Ring ring;
+  for (const char* name : {"r1", "r2", "r3", "r4", "r5"}) {
+    ASSERT_TRUE(ring.AddReplica(name).ok());
+  }
+  for (const std::string& key : TestKeys(200)) {
+    const std::vector<std::string> owners = ring.Owners(key, 3);
+    ASSERT_EQ(owners.size(), 3u);
+    EXPECT_EQ(std::set<std::string>(owners.begin(), owners.end()).size(), 3u);
+    EXPECT_EQ(owners.front(), ring.PrimaryOwner(key));
+  }
+  // More owners than replicas: every replica, still distinct.
+  EXPECT_EQ(ring.Owners("anything", 10).size(), 5u);
+}
+
+TEST(RingTest, MinimalMovementOnAdd) {
+  Ring ring;
+  for (const char* name : {"r1", "r2", "r3", "r4"}) {
+    ASSERT_TRUE(ring.AddReplica(name).ok());
+  }
+  const std::vector<std::string> keys = TestKeys(2000);
+  std::map<std::string, std::string> before;
+  for (const std::string& key : keys) before[key] = ring.PrimaryOwner(key);
+
+  ASSERT_TRUE(ring.AddReplica("r5").ok());
+  int moved = 0;
+  for (const std::string& key : keys) {
+    const std::string now = ring.PrimaryOwner(key);
+    if (now != before[key]) {
+      ++moved;
+      // Every move must be a capture by the new replica, never a reshuffle
+      // between survivors.
+      EXPECT_EQ(now, "r5") << key;
+    }
+  }
+  // Expected share 1/5 = 400 of 2000; vnode granularity wobbles it, but an
+  // order-of-magnitude excursion would mean the ring is rehashing.
+  EXPECT_GT(moved, 2000 / 5 / 3);
+  EXPECT_LT(moved, 2000 * 2 / 5);
+}
+
+TEST(RingTest, MinimalMovementOnRemove) {
+  Ring ring;
+  for (const char* name : {"r1", "r2", "r3", "r4", "r5"}) {
+    ASSERT_TRUE(ring.AddReplica(name).ok());
+  }
+  const std::vector<std::string> keys = TestKeys(2000);
+  std::map<std::string, std::string> before;
+  for (const std::string& key : keys) before[key] = ring.PrimaryOwner(key);
+
+  ASSERT_TRUE(ring.RemoveReplica("r3").ok());
+  for (const std::string& key : keys) {
+    if (before[key] != "r3") {
+      // Only the removed replica's keys may move.
+      EXPECT_EQ(ring.PrimaryOwner(key), before[key]) << key;
+    } else {
+      EXPECT_NE(ring.PrimaryOwner(key), "r3") << key;
+    }
+  }
+}
+
+TEST(RingTest, FailoverOrderIsTheSuccessorAfterRemoval) {
+  Ring ring;
+  for (const char* name : {"r1", "r2", "r3", "r4"}) {
+    ASSERT_TRUE(ring.AddReplica(name).ok());
+  }
+  // The replica that takes over when the primary is removed is exactly the
+  // second entry of Owners(key, 2) — what the routing client fails over to.
+  for (const std::string& key : TestKeys(300)) {
+    const std::vector<std::string> owners = ring.Owners(key, 2);
+    ASSERT_EQ(owners.size(), 2u);
+    Ring without = ring;
+    ASSERT_TRUE(without.RemoveReplica(owners[0]).ok());
+    EXPECT_EQ(without.PrimaryOwner(key), owners[1]) << key;
+  }
+}
+
+TEST(RingTest, RejectsDuplicateAndEmptyNames) {
+  Ring ring;
+  EXPECT_FALSE(ring.AddReplica("").ok());
+  ASSERT_TRUE(ring.AddReplica("r1").ok());
+  EXPECT_FALSE(ring.AddReplica("r1").ok());
+  EXPECT_FALSE(ring.RemoveReplica("r2").ok());
+  EXPECT_TRUE(ring.Owners("key", 1).size() == 1);
+  ASSERT_TRUE(ring.RemoveReplica("r1").ok());
+  EXPECT_TRUE(ring.Owners("key", 1).empty());
+  EXPECT_EQ(ring.PrimaryOwner("key"), "");
+}
+
+TEST(RingTest, BalanceIsReasonable) {
+  Ring ring;
+  for (const char* name : {"r1", "r2", "r3", "r4"}) {
+    ASSERT_TRUE(ring.AddReplica(name).ok());
+  }
+  std::map<std::string, int> load;
+  const int kKeys = 4000;
+  for (const std::string& key : TestKeys(kKeys)) {
+    ++load[ring.PrimaryOwner(key)];
+  }
+  for (const auto& [name, n] : load) {
+    // Fair share is 1000; 64 vnodes keeps every replica within ~2x.
+    EXPECT_GT(n, kKeys / 4 / 2) << name;
+    EXPECT_LT(n, kKeys / 4 * 2) << name;
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Encoded histogram merge (the STATS-merge transport)
+// ---------------------------------------------------------------------------
+
+TEST(EncodedHistogramTest, EncodeMergeMatchesDirectMerge) {
+  LatencyHistogram a, b, direct;
+  for (uint64_t v : {3u, 17u, 170u, 9000u, 1u << 20}) {
+    a.Record(v);
+    direct.Record(v);
+  }
+  for (uint64_t v : {5u, 17u, 300u, 123456u}) {
+    b.Record(v);
+    direct.Record(v);
+  }
+  LatencyHistogram merged;
+  ASSERT_TRUE(merged.MergeEncoded(a.Encode()));
+  ASSERT_TRUE(merged.MergeEncoded(b.Encode()));
+  EXPECT_EQ(merged.count(), direct.count());
+  EXPECT_EQ(merged.mean(), direct.mean());
+  EXPECT_EQ(merged.max(), direct.max());
+  EXPECT_EQ(merged.p50(), direct.p50());
+  EXPECT_EQ(merged.p99(), direct.p99());
+  EXPECT_EQ(merged.Encode(), direct.Encode());
+}
+
+TEST(EncodedHistogramTest, RejectsMalformedTokens) {
+  LatencyHistogram h;
+  EXPECT_FALSE(h.MergeEncoded(""));
+  EXPECT_FALSE(h.MergeEncoded("v2,1,2,3"));
+  EXPECT_FALSE(h.MergeEncoded("v1,1,2"));
+  EXPECT_FALSE(h.MergeEncoded("v1,1,2,x"));
+  EXPECT_FALSE(h.MergeEncoded("v1,1,2,3,99999=4"));  // bucket out of range
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_TRUE(h.MergeEncoded("v1,0,0,0"));  // empty histogram is valid
+  EXPECT_EQ(h.count(), 0u);
+}
+
+// ---------------------------------------------------------------------------
+// Membership
+// ---------------------------------------------------------------------------
+
+TEST(MembershipTest, HysteresisWalksHealthySuspectDown) {
+  MembershipOptions options;
+  options.suspect_after = 2;
+  options.down_after = 4;
+  options.healthy_after = 2;
+  Membership membership(options);
+  ASSERT_TRUE(membership.AddReplica("r1", "127.0.0.1:1").ok());
+
+  EXPECT_EQ(membership.health("r1"), Health::kHealthy);
+  membership.ReportFailure("r1");
+  EXPECT_EQ(membership.health("r1"), Health::kHealthy);  // 1 < suspect_after
+  membership.ReportFailure("r1");
+  EXPECT_EQ(membership.health("r1"), Health::kSuspect);
+  membership.ReportFailure("r1");
+  EXPECT_EQ(membership.health("r1"), Health::kSuspect);
+  membership.ReportFailure("r1");
+  EXPECT_EQ(membership.health("r1"), Health::kDown);
+
+  membership.ReportSuccess("r1");
+  EXPECT_EQ(membership.health("r1"), Health::kDown);  // 1 < healthy_after
+  membership.ReportSuccess("r1");
+  EXPECT_EQ(membership.health("r1"), Health::kHealthy);
+
+  // One more failure starts the walk again from zero.
+  membership.ReportFailure("r1");
+  EXPECT_EQ(membership.health("r1"), Health::kHealthy);
+}
+
+TEST(MembershipTest, ProbeFailsAgainstNothing) {
+  MembershipOptions options;
+  options.suspect_after = 1;
+  options.down_after = 2;
+  options.probe_timeout_ms = 200;
+  Membership membership(options);
+  // A port nothing listens on: connect refuses instantly on loopback.
+  ASSERT_TRUE(membership.AddReplica("ghost", "127.0.0.1:1").ok());
+  EXPECT_FALSE(membership.ProbeOne("ghost"));
+  EXPECT_EQ(membership.health("ghost"), Health::kSuspect);
+  EXPECT_FALSE(membership.ProbeOne("ghost"));
+  EXPECT_EQ(membership.health("ghost"), Health::kDown);
+  const auto status = membership.status("ghost");
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(status->probes, 2u);
+  EXPECT_EQ(status->failures, 2u);
+  EXPECT_FALSE(membership.ProbeOne("no-such-replica"));
+  EXPECT_EQ(membership.health("no-such-replica"), Health::kDown);
+}
+
+// ---------------------------------------------------------------------------
+// Spec
+// ---------------------------------------------------------------------------
+
+TEST(SpecTest, ParsesAndComputesOwnership) {
+  const std::string text =
+      "# a three-replica cluster\n"
+      "replication 2\n"
+      "vnodes 32\n"
+      "workers 3\n"
+      "snapshot-dir /tmp/snaps\n"
+      "replica r1 unix:/tmp/r1.sock\n"
+      "replica r2 127.0.0.1:7701   # tcp works too\n"
+      "replica r3 unix:/tmp/r3.sock\n"
+      "ruleset hosp m.csv r.txt s.csv\n"
+      "ruleset flights m2.csv r2.txt s2.csv\n";
+  auto spec = ClusterSpec::Parse(text);
+  ASSERT_TRUE(spec.ok()) << spec.status().ToString();
+  EXPECT_EQ(spec->replication, 2);
+  EXPECT_EQ(spec->ring.vnodes_per_replica, 32);
+  EXPECT_EQ(spec->workers, 3);
+  EXPECT_EQ(spec->snapshot_dir, "/tmp/snaps");
+  ASSERT_EQ(spec->replicas.size(), 3u);
+  EXPECT_EQ(spec->replicas[1].address, "127.0.0.1:7701");
+  ASSERT_EQ(spec->rulesets.size(), 2u);
+
+  // Ownership agrees between OwnersOf and RulesetsOwnedBy.
+  for (const RulesetSpec& rs : spec->rulesets) {
+    const std::vector<std::string> owners = spec->OwnersOf(rs.name);
+    ASSERT_EQ(owners.size(), 2u);
+    for (const std::string& owner : owners) {
+      const std::vector<std::string> owned = spec->RulesetsOwnedBy(owner);
+      EXPECT_NE(std::find(owned.begin(), owned.end(), rs.name), owned.end());
+    }
+  }
+  EXPECT_TRUE(spec->FindReplica("r2").ok());
+  EXPECT_FALSE(spec->FindReplica("r9").ok());
+  EXPECT_TRUE(spec->FindRuleset("hosp").ok());
+  EXPECT_FALSE(spec->FindRuleset("nope").ok());
+}
+
+TEST(SpecTest, RejectsMalformedSpecs) {
+  EXPECT_FALSE(ClusterSpec::Parse("").ok());
+  EXPECT_FALSE(ClusterSpec::Parse("replica r1 unix:/a\n").ok());  // no ruleset
+  EXPECT_FALSE(ClusterSpec::Parse("ruleset h m r s\n").ok());     // no replica
+  EXPECT_FALSE(
+      ClusterSpec::Parse("bogus 1\nreplica r1 a\nruleset h m r s\n").ok());
+  EXPECT_FALSE(ClusterSpec::Parse(
+                   "replica r1 a\nreplica r1 b\nruleset h m r s\n")
+                   .ok());
+  EXPECT_FALSE(
+      ClusterSpec::Parse("replication zero\nreplica r1 a\nruleset h m r s\n")
+          .ok());
+  // Replication clamps to the replica count instead of failing.
+  auto clamped =
+      ClusterSpec::Parse("replication 5\nreplica r1 a\nruleset h m r s\n");
+  ASSERT_TRUE(clamped.ok());
+  EXPECT_EQ(clamped->replication, 1);
+}
+
+// ---------------------------------------------------------------------------
+// Routing over real daemons
+// ---------------------------------------------------------------------------
+
+/// A 3-replica, 2-ruleset in-process cluster over one generated HOSP
+/// dataset, plus a single-engine reference journal. Each test builds its
+/// own world when it mutates the fleet (killing a replica); read-only tests
+/// share Get().
+struct ClusterWorld {
+  static constexpr int kReplicas = 3;
+  static constexpr int kReplication = 2;
+
+  std::string dir;
+  std::string dirty_csv;
+  std::vector<std::string> names;      // r1..r3
+  std::vector<std::string> addresses;  // 127.0.0.1:port, index-aligned
+  std::vector<std::unique_ptr<serve::Daemon>> daemons;
+  Ring ring;
+  std::vector<std::string> rulesets = {"hosp", "hosp_alt"};
+  std::string reference_journal;
+
+  static ClusterWorld* Get() {
+    static ClusterWorld* world = [] {
+      auto* w = new ClusterWorld();
+      w->Init();
+      return w;
+    }();
+    return world;
+  }
+
+  void Init() {
+    char tmpl[] = "/tmp/uniclean_cluster_test.XXXXXX";
+    ASSERT_NE(::mkdtemp(tmpl), nullptr);
+    dir = tmpl;
+
+    gen::GeneratorConfig config;
+    config.num_tuples = 100;
+    config.master_size = 50;
+    config.noise_rate = 0.08;
+    config.dup_rate = 0.4;
+    config.asserted_rate = 0.4;
+    config.seed = 20260808;
+    gen::Dataset ds = gen::GenerateHosp(config);
+
+    const std::string dirty_path = dir + "/dirty.csv";
+    ASSERT_TRUE(data::WriteCsvFile(dirty_path, ds.dirty).ok());
+    ASSERT_TRUE(data::WriteCsvFile(dir + "/master.csv", ds.master).ok());
+    std::ofstream rules(dir + "/rules.txt");
+    rules << ds.rule_text;
+    ASSERT_TRUE(rules.good());
+    rules.close();
+    std::ifstream in(dirty_path, std::ios::binary);
+    std::ostringstream buf;
+    buf << in.rdbuf();
+    dirty_csv = buf.str();
+
+    for (int i = 1; i <= kReplicas; ++i) {
+      names.push_back("r" + std::to_string(i));
+      ASSERT_TRUE(ring.AddReplica(names.back()).ok());
+    }
+
+    // Each replica serves exactly the rulesets the ring assigns it — the
+    // same sharding unicleanctl spawn computes from a spec.
+    for (const std::string& name : names) {
+      std::vector<serve::RulesetConfig> configs;
+      for (const std::string& ruleset : rulesets) {
+        const std::vector<std::string> owners =
+            ring.Owners(ruleset, kReplication);
+        if (std::find(owners.begin(), owners.end(), name) == owners.end()) {
+          continue;
+        }
+        serve::RulesetConfig cfg;
+        cfg.name = ruleset;
+        cfg.master_csv = dir + "/master.csv";
+        cfg.rules_file = dir + "/rules.txt";
+        cfg.schema_csv = dirty_path;
+        configs.push_back(cfg);
+      }
+      if (configs.empty()) {
+        // A ring-idle replica still boots (a daemon needs >=1 ruleset);
+        // routing never dials a non-owner, so the config is inert.
+        serve::RulesetConfig cfg;
+        cfg.name = rulesets[0];
+        cfg.master_csv = dir + "/master.csv";
+        cfg.rules_file = dir + "/rules.txt";
+        cfg.schema_csv = dirty_path;
+        configs.push_back(cfg);
+      }
+      serve::DaemonOptions options;
+      options.port = 0;
+      options.n_workers = 2;
+      options.chunk_size = 1024;
+      auto daemon = std::make_unique<serve::Daemon>(options, configs);
+      Status started = daemon->Start();
+      ASSERT_TRUE(started.ok()) << started.ToString();
+      addresses.push_back("127.0.0.1:" + std::to_string(daemon->port()));
+      daemons.push_back(std::move(daemon));
+    }
+
+    // The single-daemon reference journal ("hosp" through one engine).
+    auto schema = data::InferCsvSchema(dirty_path, "data");
+    ASSERT_TRUE(schema.ok());
+    serve::RulesetConfig defaults;  // same thresholds the daemons serve with
+    auto engine = EngineBuilder()
+                      .WithDataSchema(*schema)
+                      .WithMasterCsv(dir + "/master.csv")
+                      .WithRulesFile(dir + "/rules.txt")
+                      .WithEta(defaults.eta)
+                      .WithDelta1(defaults.delta1)
+                      .WithDelta2(defaults.delta2)
+                      .BuildEngine();
+    ASSERT_TRUE(engine.ok()) << engine.status().ToString();
+    auto relation =
+        data::ReadCsvFile(dirty_path, (*engine)->rules().data_schema_ptr());
+    ASSERT_TRUE(relation.ok());
+    Session session = (*engine)->NewSession();
+    auto result = session.Run(&*relation);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    std::ostringstream journal;
+    ASSERT_TRUE(result->journal.WriteCsv(journal).ok());
+    reference_journal = journal.str();
+    ASSERT_FALSE(reference_journal.empty());
+  }
+
+  std::shared_ptr<Membership> MakeMembership(
+      MembershipOptions options = {}) const {
+    auto membership = std::make_shared<Membership>(options);
+    for (size_t i = 0; i < names.size(); ++i) {
+      EXPECT_TRUE(membership->AddReplica(names[i], addresses[i]).ok());
+    }
+    return membership;
+  }
+
+  std::unique_ptr<ClusterClient> MakeClient(
+      std::shared_ptr<Membership> membership = nullptr) const {
+    if (membership == nullptr) membership = MakeMembership();
+    ClusterClientOptions options;
+    options.replication = kReplication;
+    options.retry.max_retries = 2;
+    options.retry.jitter_seed = 42;
+    return std::make_unique<ClusterClient>(ring, membership, options);
+  }
+
+  int IndexOf(const std::string& name) const {
+    return static_cast<int>(std::find(names.begin(), names.end(), name) -
+                            names.begin());
+  }
+};
+
+TEST(ClusterRoutingTest, RoutedCleanJournalByteIdenticalToSingleDaemon) {
+  ClusterWorld* w = ClusterWorld::Get();
+  auto client = w->MakeClient();
+  serve::CleanRequest request;
+  request.ruleset = "hosp";
+  request.data_csv = w->dirty_csv;
+  auto reply = client->Clean(request);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(reply->journal_csv, w->reference_journal);
+  EXPECT_GT(reply->total_fixes, 0u);
+  EXPECT_EQ(client->failovers(), 0u);
+  // The connection went to the ring's primary owner for "hosp".
+  const std::vector<std::string> connected = client->ConnectedReplicas();
+  ASSERT_EQ(connected.size(), 1u);
+  EXPECT_EQ(connected[0], w->ring.PrimaryOwner("hosp"));
+}
+
+TEST(ClusterRoutingTest, EmptyRulesetIsRejected) {
+  ClusterWorld* w = ClusterWorld::Get();
+  auto client = w->MakeClient();
+  serve::CleanRequest request;
+  request.data_csv = w->dirty_csv;
+  auto reply = client->Clean(request);
+  EXPECT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ClusterRoutingTest, PingExReportsLoadAndFingerprints) {
+  ClusterWorld* w = ClusterWorld::Get();
+  auto client = serve::Client::ConnectAddress(w->addresses[0]);
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  auto info = client.value().PingEx();
+  ASSERT_TRUE(info.ok()) << info.status().ToString();
+  EXPECT_FALSE(info->rulesets.empty());
+  for (const auto& [name, fingerprint] : info->rulesets) {
+    EXPECT_TRUE(name == "hosp" || name == "hosp_alt") << name;
+    EXPECT_NE(fingerprint, 0u);
+  }
+}
+
+TEST(ClusterRoutingTest, MembershipProbesRealDaemons) {
+  ClusterWorld* w = ClusterWorld::Get();
+  auto membership = w->MakeMembership();
+  EXPECT_EQ(membership->ProbeAll(), ClusterWorld::kReplicas);
+  for (const ReplicaStatus& status : membership->Snapshot()) {
+    EXPECT_EQ(status.health, Health::kHealthy) << status.name;
+    EXPECT_FALSE(status.rulesets.empty()) << status.name;
+  }
+}
+
+TEST(ClusterRoutingTest, BackgroundProberConvergesAndStops) {
+  ClusterWorld* w = ClusterWorld::Get();
+  MembershipOptions options;
+  options.probe_interval_ms = 20;
+  auto membership = w->MakeMembership(options);
+  membership->Start();
+  membership->Start();  // idempotent
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  bool probed = false;
+  while (std::chrono::steady_clock::now() < deadline && !probed) {
+    probed = true;
+    for (const ReplicaStatus& status : membership->Snapshot()) {
+      if (status.probes == 0) probed = false;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+  EXPECT_TRUE(probed);
+  membership->Stop();
+  membership->Stop();  // idempotent
+}
+
+TEST(ClusterRoutingTest, MergedStatsSumPerReplicaCounters) {
+  ClusterWorld* w = ClusterWorld::Get();
+  auto client = w->MakeClient();
+  serve::CleanRequest request;
+  request.ruleset = "hosp";
+  request.data_csv = w->dirty_csv;
+  for (int i = 0; i < 3; ++i) {
+    auto reply = client->Clean(request);
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  }
+  request.ruleset = "hosp_alt";
+  ASSERT_TRUE(client->Clean(request).ok());
+
+  auto merged = client->Stats();
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+
+  // Daemon::StatsJson() reads the metrics in-process — no wire STATS, so
+  // collecting the per-replica truth does not perturb any counter.
+  uint64_t expect_count = 0, expect_errors = 0;
+  LatencyHistogram expect_hist;
+  for (const auto& daemon : w->daemons) {
+    const std::string doc = daemon->StatsJson();
+    auto count = StatsOpCounter(doc, "CLEAN", "count");
+    ASSERT_TRUE(count.ok()) << count.status().ToString();
+    expect_count += *count;
+    auto errors = StatsOpCounter(doc, "CLEAN", "errors");
+    ASSERT_TRUE(errors.ok());
+    expect_errors += *errors;
+    auto hist = StatsOpHist(doc, "CLEAN");
+    ASSERT_TRUE(hist.ok());
+    ASSERT_TRUE(expect_hist.MergeEncoded(*hist));
+  }
+  ASSERT_GE(expect_count, 4u);
+
+  auto merged_count = StatsOpCounter(*merged, "CLEAN", "count");
+  ASSERT_TRUE(merged_count.ok()) << merged_count.status().ToString();
+  EXPECT_EQ(*merged_count, expect_count);
+  auto merged_errors = StatsOpCounter(*merged, "CLEAN", "errors");
+  ASSERT_TRUE(merged_errors.ok());
+  EXPECT_EQ(*merged_errors, expect_errors);
+  auto merged_hist = StatsOpHist(*merged, "CLEAN");
+  ASSERT_TRUE(merged_hist.ok());
+  EXPECT_EQ(*merged_hist, expect_hist.Encode());
+  // The cluster envelope reports the fleet.
+  EXPECT_NE(merged->find("\"cluster\""), std::string::npos);
+  EXPECT_NE(merged->find("\"replicas\": 3"), std::string::npos);
+}
+
+TEST(ClusterRoutingTest, RollingReloadKeepsServing) {
+  ClusterWorld* w = ClusterWorld::Get();
+  auto client = w->MakeClient();
+  serve::CleanRequest request;
+  request.ruleset = "hosp";
+  request.data_csv = w->dirty_csv;
+  // Reload each owner in turn (what `unicleanctl rolling-reload` does) and
+  // prove routed cleans stay byte-identical throughout.
+  for (const std::string& owner :
+       w->ring.Owners("hosp", ClusterWorld::kReplication)) {
+    auto direct =
+        serve::Client::ConnectAddress(w->addresses[w->IndexOf(owner)]);
+    ASSERT_TRUE(direct.ok()) << direct.status().ToString();
+    auto report = direct.value().Reload("hosp");
+    ASSERT_TRUE(report.ok()) << report.status().ToString();
+    auto reply = client->Clean(request);
+    ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+    EXPECT_EQ(reply->journal_csv, w->reference_journal);
+  }
+}
+
+TEST(ClusterRoutingTest, RetrySeedPinsTheBackoffSchedule) {
+  serve::RetryPolicy policy;
+  policy.max_retries = 5;
+  policy.jitter_seed = 1234;
+  serve::Client a, b;
+  a.set_retry_policy(policy);
+  b.set_retry_policy(policy);
+  bool any_nonzero = false;
+  for (int attempt = 0; attempt < 5; ++attempt) {
+    EXPECT_EQ(a.BackoffMs(attempt), b.BackoffMs(attempt)) << attempt;
+    if (a.BackoffMs(attempt) > 0) any_nonzero = true;
+  }
+  EXPECT_TRUE(any_nonzero);
+  policy.jitter_seed = 5678;
+  b.set_retry_policy(policy);
+  bool any_difference = false;
+  for (int attempt = 0; attempt < 5; ++attempt) {
+    if (a.BackoffMs(attempt) != b.BackoffMs(attempt)) any_difference = true;
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(ClusterRoutingTest, UnixSocketParity) {
+  ClusterWorld* w = ClusterWorld::Get();
+  serve::RulesetConfig cfg;
+  cfg.name = "hosp";
+  cfg.master_csv = w->dir + "/master.csv";
+  cfg.rules_file = w->dir + "/rules.txt";
+  cfg.schema_csv = w->dir + "/dirty.csv";
+  serve::DaemonOptions options;
+  options.listen = "unix:" + w->dir + "/parity.sock";
+  options.n_workers = 1;
+  serve::Daemon daemon(options, {cfg});
+  Status started = daemon.Start();
+  ASSERT_TRUE(started.ok()) << started.ToString();
+  EXPECT_EQ(daemon.port(), 0);
+  EXPECT_EQ(daemon.address(), options.listen);
+
+  auto client = serve::Client::ConnectAddress(daemon.address());
+  ASSERT_TRUE(client.ok()) << client.status().ToString();
+  serve::CleanRequest request;
+  request.data_csv = w->dirty_csv;
+  auto reply = client.value().Clean(request);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  // The transport must not leak into the repair: byte-identical journal.
+  EXPECT_EQ(reply->journal_csv, w->reference_journal);
+
+  daemon.Shutdown();
+  // The socket path is unlinked on shutdown.
+  EXPECT_NE(::access((w->dir + "/parity.sock").c_str(), F_OK), 0);
+}
+
+// --- destructive tests: each builds a private fleet it may kill ------------
+
+TEST(ClusterFailoverTest, CleanFailsOverWhenPrimaryDies) {
+  ClusterWorld world;
+  world.Init();
+  if (::testing::Test::HasFatalFailure()) return;
+
+  auto membership = world.MakeMembership();
+  auto client = world.MakeClient(membership);
+  serve::CleanRequest request;
+  request.ruleset = "hosp";
+  request.data_csv = world.dirty_csv;
+
+  // Warm path: primary serves.
+  auto reply = client->Clean(request);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(reply->journal_csv, world.reference_journal);
+  EXPECT_EQ(client->failovers(), 0u);
+
+  // Kill the primary owner mid-fleet. The next routed CLEAN must recover
+  // client-transparently on the secondary with a byte-identical journal.
+  const std::string primary = world.ring.PrimaryOwner("hosp");
+  world.daemons[world.IndexOf(primary)]->Shutdown();
+
+  reply = client->Clean(request);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(reply->journal_csv, world.reference_journal);
+  EXPECT_GE(client->failovers(), 1u);
+  EXPECT_EQ(membership->health(primary), Health::kSuspect);
+
+  // The replica now serving is the ring's designated second owner.
+  const std::vector<std::string> owners =
+      world.ring.Owners("hosp", ClusterWorld::kReplication);
+  ASSERT_EQ(owners.size(), 2u);
+  const std::vector<std::string> connected = client->ConnectedReplicas();
+  EXPECT_NE(std::find(connected.begin(), connected.end(), owners[1]),
+            connected.end());
+
+  // Once the prober marks the primary down, fresh routing goes straight to
+  // the survivor without burning a failover.
+  MembershipOptions probe_options;
+  probe_options.suspect_after = 1;
+  probe_options.down_after = 2;
+  auto demoted = std::make_shared<Membership>(probe_options);
+  for (size_t i = 0; i < world.names.size(); ++i) {
+    ASSERT_TRUE(
+        demoted->AddReplica(world.names[i], world.addresses[i]).ok());
+  }
+  demoted->ProbeAll();
+  demoted->ProbeAll();
+  EXPECT_EQ(demoted->health(primary), Health::kDown);
+  auto fresh = world.MakeClient(demoted);
+  const uint64_t before = fresh->failovers();
+  reply = fresh->Clean(request);
+  ASSERT_TRUE(reply.ok()) << reply.status().ToString();
+  EXPECT_EQ(reply->journal_csv, world.reference_journal);
+  EXPECT_EQ(fresh->failovers(), before)
+      << "down-ranked primary should not be dialled first";
+}
+
+TEST(ClusterFailoverTest, DeltaIsPinnedAndNeverFailsOver) {
+  ClusterWorld world;
+  world.Init();
+  if (::testing::Test::HasFatalFailure()) return;
+
+  auto client = world.MakeClient();
+  serve::CleanRequest clean;
+  clean.ruleset = "hosp";
+  clean.data_csv = world.dirty_csv;
+  clean.track = true;
+  auto opened = client->Clean(clean);
+  ASSERT_TRUE(opened.ok()) << opened.status().ToString();
+  ASSERT_NE(opened->session_id, 0u);
+
+  const std::string pinned = client->SessionReplica(opened->session_id);
+  EXPECT_EQ(pinned, world.ring.PrimaryOwner("hosp"));
+
+  // A DELTA against the live pinned replica works.
+  serve::DeltaRequest delta;
+  delta.session_id = opened->session_id;
+  delta.delete_ids = {0};
+  auto applied = client->Delta(delta);
+  ASSERT_TRUE(applied.ok()) << applied.status().ToString();
+
+  // Kill the pinned replica: the DELTA must FAIL — not silently re-run on
+  // the secondary, which never saw the tracked session's base state.
+  world.daemons[world.IndexOf(pinned)]->Shutdown();
+  const uint64_t failovers_before = client->failovers();
+  auto after = client->Delta(delta);
+  EXPECT_FALSE(after.ok());
+  EXPECT_EQ(after.status().code(), StatusCode::kUnavailable);
+  EXPECT_NE(after.status().ToString().find("re-CLEAN"), std::string::npos)
+      << after.status().ToString();
+  EXPECT_EQ(client->failovers(), failovers_before);
+  // The session died with its replica: the id no longer resolves.
+  EXPECT_EQ(client->SessionReplica(opened->session_id), "");
+  EXPECT_EQ(client->CloseSession(opened->session_id).code(),
+            StatusCode::kNotFound);
+  auto retried = client->Delta(delta);
+  ASSERT_FALSE(retried.ok());
+  EXPECT_EQ(retried.status().code(), StatusCode::kNotFound);
+}
+
+}  // namespace
+}  // namespace cluster
+}  // namespace uniclean

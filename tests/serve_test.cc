@@ -842,7 +842,18 @@ TEST(WireDeadlineTest, DeadlineFieldRoundTripsThroughAFrame) {
   ASSERT_TRUE(frame.ok()) << frame.status().ToString();
   EXPECT_EQ(frame->op, Op::kPong);
   EXPECT_EQ(frame->tag, 21u);
-  EXPECT_EQ(frame->body, "deadline?");
+  // PONG leads with the length-prefixed echo; a health/identity trailer
+  // (load + ruleset fingerprints, for the cluster prober) follows it.
+  const std::string echo = "deadline?";
+  ASSERT_GE(frame->body.size(), 4 + echo.size());
+  uint32_t echo_len = 0;
+  for (int i = 0; i < 4; ++i) {
+    echo_len |= static_cast<uint32_t>(
+                    static_cast<unsigned char>(frame->body[i]))
+                << (8 * i);
+  }
+  EXPECT_EQ(echo_len, echo.size());
+  EXPECT_EQ(frame->body.substr(4, echo.size()), echo);
 }
 
 // ---------------------------------------------------------------------------

@@ -1,6 +1,7 @@
 // uniclean_client: command-line companion of unicleand (serve/client.h).
 //
-//   uniclean_client --port N [--host 127.0.0.1 | --port-file P]
+//   uniclean_client --port N [--host 127.0.0.1 | --port-file P |
+//                             --address unix:PATH|HOST:PORT]
 //     --ping                         liveness probe
 //     --stats                        print the daemon's STATS JSON
 //     --reload [NAME]                hot-reload a ruleset ("" = all)
@@ -18,6 +19,9 @@
 //     --max-retries N                retry kUnavailable rejections up to N
 //                                    times with capped exponential backoff,
 //                                    honouring the daemon's retry-after hint
+//     --retry-seed N                 jitter seed for the retry backoff
+//                                    (default: pid), so tests replay
+//                                    byte-identical schedules
 //
 // Tracked sessions live exactly as long as their connection, so --clean
 // --track --delta runs both requests over one connection in one
@@ -48,6 +52,7 @@ struct ClientCli {
   std::string host = "127.0.0.1";
   int port = 0;
   std::string port_file;
+  std::string address;  // "unix:PATH" or "host:port"; overrides host/port
   bool ping = false;
   bool stats = false;
   bool reload = false;
@@ -62,17 +67,20 @@ struct ClientCli {
   std::string delta_journal_path;
   int deadline_ms = 0;
   int max_retries = 0;
+  bool have_retry_seed = false;
+  uint64_t retry_seed = 0;
 };
 
 void Usage(const char* argv0) {
   std::fprintf(
       stderr,
-      "usage: %s --port N [--host H | --port-file P] COMMAND\n"
+      "usage: %s --port N [--host H | --port-file P | --address A] COMMAND\n"
+      "  --address A               unix:PATH or HOST:PORT\n"
       "  --ping | --stats | --reload [NAME]\n"
       "  --clean D.csv [--confidence C.csv] [--ruleset NAME]\n"
       "          [--journal J.csv] [--out R.csv] [--track]\n"
       "          [--delta E.csv] [--delta-journal J2.csv]\n"
-      "  [--deadline-ms N] [--max-retries N]\n",
+      "  [--deadline-ms N] [--max-retries N] [--retry-seed N]\n",
       argv0);
 }
 
@@ -130,6 +138,9 @@ bool ParseArgs(int argc, char** argv, ClientCli* cli) {
     } else if (arg == "--port-file") {
       if ((v = next()) == nullptr) return false;
       cli->port_file = v;
+    } else if (arg == "--address") {
+      if ((v = next()) == nullptr) return false;
+      cli->address = v;
     } else if (arg == "--ping") {
       cli->ping = true;
     } else if (arg == "--stats") {
@@ -170,6 +181,16 @@ bool ParseArgs(int argc, char** argv, ClientCli* cli) {
     } else if (arg == "--max-retries") {
       if ((v = next()) == nullptr) return false;
       if (!ParseInt("--max-retries", v, &cli->max_retries)) return false;
+    } else if (arg == "--retry-seed") {
+      if ((v = next()) == nullptr) return false;
+      errno = 0;
+      char* end = nullptr;
+      cli->retry_seed = std::strtoull(v, &end, 10);
+      if (end == v || *end != '\0' || errno == ERANGE) {
+        std::fprintf(stderr, "--retry-seed expects an integer, got '%s'\n", v);
+        return false;
+      }
+      cli->have_retry_seed = true;
     } else {
       std::fprintf(stderr, "unknown argument: %s\n", arg.c_str());
       return false;
@@ -189,13 +210,16 @@ int main(int argc, char** argv) {
   if (!cli.port_file.empty()) {
     std::string text;
     if (!ReadFile(cli.port_file, &text)) return 1;
-    if (!ParseInt("--port-file", text.substr(0, text.find('\n')).c_str(),
-                  &cli.port)) {
+    const std::string line = text.substr(0, text.find('\n'));
+    // A unix-mode daemon writes its "unix:PATH" address to the port file.
+    if (line.rfind("unix:", 0) == 0) {
+      cli.address = line;
+    } else if (!ParseInt("--port-file", line.c_str(), &cli.port)) {
       return 1;
     }
   }
-  if (cli.port <= 0) {
-    std::fprintf(stderr, "--port (or --port-file) is required\n");
+  if (cli.address.empty() && cli.port <= 0) {
+    std::fprintf(stderr, "--port (or --port-file / --address) is required\n");
     Usage(argv[0]);
     return 1;
   }
@@ -205,7 +229,10 @@ int main(int argc, char** argv) {
     return 1;
   }
 
-  Result<serve::Client> connected = serve::Client::Connect(cli.host, cli.port);
+  Result<serve::Client> connected =
+      cli.address.empty()
+          ? serve::Client::Connect(cli.host, cli.port)
+          : serve::Client::ConnectAddress(cli.address);
   if (!connected.ok()) {
     std::fprintf(stderr, "connect failed: %s\n",
                  connected.status().ToString().c_str());
@@ -218,9 +245,11 @@ int main(int argc, char** argv) {
   if (cli.max_retries > 0) {
     serve::RetryPolicy policy;
     policy.max_retries = cli.max_retries;
-    // Seed from the pid so concurrent invocations spread their retries,
-    // while any single run stays reproducible under a fixed pid.
-    policy.jitter_seed = static_cast<uint64_t>(::getpid());
+    // Default seed is the pid so concurrent invocations spread their
+    // retries; --retry-seed pins it so tests replay identical schedules.
+    policy.jitter_seed = cli.have_retry_seed
+                             ? cli.retry_seed
+                             : static_cast<uint64_t>(::getpid());
     client.set_retry_policy(policy);
   }
 

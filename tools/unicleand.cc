@@ -4,7 +4,7 @@
 //
 //   unicleand --master M.csv --rules R.txt --schema D.csv
 //             [--name default] [--host 127.0.0.1] [--port 0]
-//             [--port-file P] [--workers 4]
+//             [--listen unix:PATH] [--port-file P] [--workers 4]
 //             [--eta F] [--delta1 N] [--delta2 F] [--memo-cap N]
 //             [--phases c,e,h] [--no-warmup]
 //             [--max-queue N] [--max-inflight-per-ruleset N]
@@ -63,7 +63,10 @@ void Usage(const char* argv0) {
       "usage: %s --master M.csv --rules R.txt --schema D.csv\n"
       "  [--name default]          ruleset name for the simple flags\n"
       "  [--host 127.0.0.1] [--port 0]   bind address (port 0 = ephemeral)\n"
-      "  [--port-file P]           write the bound port here once listening\n"
+      "  [--listen unix:PATH]      listen on an AF_UNIX socket instead of "
+      "TCP\n"
+      "  [--port-file P]           write the bound port (or unix address) "
+      "here once listening\n"
       "  [--workers 4]             request worker threads\n"
       "  [--eta F] [--delta1 N] [--delta2 F]   thresholds (0.8 / 5 / 0.8)\n"
       "  [--memo-cap N]            cap resident entries per memo map\n"
@@ -181,6 +184,9 @@ bool ParseArgs(int argc, char** argv, DaemonCli* cli) {
     } else if (arg == "--port") {
       if ((v = next()) == nullptr) return false;
       if (!ParseInt("--port", v, &cli->options.port)) return false;
+    } else if (arg == "--listen") {
+      if ((v = next()) == nullptr) return false;
+      cli->options.listen = v;
     } else if (arg == "--port-file") {
       if ((v = next()) == nullptr) return false;
       cli->port_file = v;
@@ -286,9 +292,8 @@ int main(int argc, char** argv) {
                  status.ToString().c_str());
     return 2;
   }
-  std::fprintf(stderr, "unicleand: listening on %s:%d (%d workers)\n",
-               cli.options.host.c_str(), daemon.port(),
-               cli.options.n_workers);
+  std::fprintf(stderr, "unicleand: listening on %s (%d workers)\n",
+               daemon.address().c_str(), cli.options.n_workers);
   if (!cli.port_file.empty()) {
     // Write-then-rename so a watcher never reads a half-written port.
     const std::string tmp = cli.port_file + ".tmp";
@@ -297,7 +302,13 @@ int main(int argc, char** argv) {
       std::perror("fopen(port-file)");
       return 2;
     }
-    std::fprintf(f, "%d\n", daemon.port());
+    // TCP mode writes the bound port (the historical contract scripts
+    // parse); unix mode writes the connectable address.
+    if (cli.options.listen.empty()) {
+      std::fprintf(f, "%d\n", daemon.port());
+    } else {
+      std::fprintf(f, "%s\n", daemon.address().c_str());
+    }
     std::fclose(f);
     if (std::rename(tmp.c_str(), cli.port_file.c_str()) != 0) {
       std::perror("rename(port-file)");
